@@ -1,0 +1,41 @@
+(* BlindBox benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§7).  See DESIGN.md §3 for the experiment index and
+   EXPERIMENTS.md for recorded paper-vs-measured results.
+
+   Usage: dune exec bench/main.exe [experiment ...]
+   Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
+                setup ablation all (default: all) *)
+
+let experiments =
+  [ ("table1", "Table 1: protocol coverage per ruleset", Table1.run);
+    ("table2", "Table 2: encryption/setup/detection micro-benchmarks", Table2.run);
+    ("fig3", "Fig 3: page load times at broadband (20 Mbps x 10 ms)", Figs.run_fig3);
+    ("fig4", "Fig 4: page load times at 1 Gbps x 10 ms", Figs.run_fig4);
+    ("fig5", "Fig 5: bandwidth overhead across the top-50 corpus", Figs.run_fig5);
+    ("fig6", "Fig 6: CDF of transmitted-byte ratios (vs plaintext and gzip)", Figs.run_fig6);
+    ("accuracy", "Sec 7.1: detection accuracy vs Snort on an ICTF-like trace", Accuracy.run);
+    ("throughput", "Sec 7.2.3: middlebox throughput, BlindBox vs Snort-like baseline", Throughput.run);
+    ("setup", "Sec 7.2.2: connection setup scaling with ruleset size", Setup_bench.run);
+    ("ablation", "Ablations: tree vs scan, DPIEnc vs deterministic, tokenizers, OT", Ablation.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: [] | _ :: [ "all" ] -> List.map (fun (n, _, _) -> n) experiments
+    | _ :: args -> args
+    | [] -> assert false
+  in
+  List.iter
+    (fun name ->
+       match List.find_opt (fun (n, _, _) -> n = name) experiments with
+       | Some (_, descr, run) ->
+         Printf.printf "\n>>> %s\n%!" descr;
+         let t0 = Unix.gettimeofday () in
+         run ();
+         Printf.printf "    [%s done in %.1f s]\n%!" name (Unix.gettimeofday () -. t0)
+       | None ->
+         Printf.eprintf "unknown experiment %S; available: %s all\n" name
+           (String.concat " " (List.map (fun (n, _, _) -> n) experiments));
+         exit 2)
+    requested

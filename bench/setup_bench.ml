@@ -1,0 +1,86 @@
+(* §7.2.2: connection-setup cost — obfuscated rule encryption scales
+   linearly with the number of keywords (garbling + transmission + OT +
+   evaluation per keyword chunk).
+
+   Paper (AES-NI + JustGarble): 1042 us garbling per circuit, 599 KB per
+   circuit; client setup 650 ms @ 10 keywords, 1.6 s @ 100, 9.5 s @ 1k,
+   97 s @ 10k.  Software AES and our algebraic S-box move the constants
+   (~1.4 MB, hundreds of ms per circuit) but not the scaling. *)
+
+open Bbx_crypto
+open Bbx_ot
+
+let run () =
+  Bench_util.section "Connection setup: obfuscated rule encryption scaling";
+  (* handshake alone *)
+  let hs =
+    Bench_util.time_per ~min_time:0.3 (fun () ->
+        let st, share = Bbx_tls.Handshake.initiate (Drbg.create "su-c") in
+        let _, share_s = Bbx_tls.Handshake.respond (Drbg.create "su-s") ~peer_share:share in
+        ignore (Bbx_tls.Handshake.complete st ~peer_share:share_s))
+  in
+  Printf.printf "  SSL handshake alone: %s\n" (Bench_util.fmt_seconds hs);
+
+  (* per-circuit costs, measured on real batches *)
+  let drbg = Drbg.create "su-chunks" in
+  let measure n =
+    let chunks = Array.init n (fun _ -> Drbg.bytes drbg 8) in
+    let t0 = Unix.gettimeofday () in
+    let _, stats = Blindbox.Ruleprep.prepare_unchecked ~k:"k" ~k_rand:"kr" ~chunks () in
+    (Unix.gettimeofday () -. t0, stats)
+  in
+  let t1, s1 = measure 1 in
+  let t4, s4 = measure 4 in
+  let per_chunk = (t4 -. t1) /. 3.0 in
+  Printf.printf "  per-circuit: garble %s, MB eval %s, %s shipped per endpoint\n"
+    (Bench_util.fmt_seconds (s4.Blindbox.Ruleprep.garble_seconds /. 4.0))
+    (Bench_util.fmt_seconds (s4.Blindbox.Ruleprep.eval_seconds /. 4.0))
+    (Bench_util.fmt_bytes (s4.Blindbox.Ruleprep.circuit_bytes / 4));
+  Printf.printf "  (paper per-circuit: 1042 us garbling, 599 KB — AES-NI + a 9k-AND S-box circuit)\n";
+  Printf.printf "  measured setup: 1 keyword = %s, 4 keywords = %s; OT bytes @4 = %s\n"
+    (Bench_util.fmt_seconds t1) (Bench_util.fmt_seconds t4)
+    (Bench_util.fmt_bytes s4.Blindbox.Ruleprep.ot_bytes);
+  ignore s1;
+  Printf.printf "\n  %-14s %16s %16s\n" "keywords" "extrapolated" "paper";
+  List.iter
+    (fun (n, paper) ->
+       Printf.printf "  %-14d %16s %16s\n" n
+         (Bench_util.fmt_seconds (t1 +. (per_chunk *. float_of_int (n - 1))))
+         paper)
+    [ (10, "650 ms"); (100, "1.6 s"); (1000, "9.5 s"); (10_000, "97 s") ];
+
+  (* The paper's deployment argument (§7.2): setup is tolerable exactly
+     when connections are long-lived.  Compute the connection volume at
+     which setup falls below 10% of total time on the broadband link. *)
+  Bench_util.subsection "setup amortisation over connection lifetime";
+  let bw_bytes_per_s = 20e6 /. 8.0 in
+  List.iter
+    (fun (kws, paper) ->
+       let setup = t1 +. (per_chunk *. float_of_int (kws - 1)) in
+       let bytes = setup /. 0.1 *. bw_bytes_per_s in
+       Printf.printf
+         "  %6d keywords: setup %s -> <10%% of a 20 Mbps connection after %s transferred (paper setup: %s)\n"
+         kws (Bench_util.fmt_seconds setup)
+         (Bench_util.fmt_bytes (int_of_float bytes)) paper)
+    [ (10, "650 ms"); (1000, "9.5 s"); (10_000, "97 s") ];
+  Bench_util.note
+    "hence the paper's conclusion: practical for persistent (SPDY-like/tunneled) connections, \
+     not for short flows against large rulesets; Session.resume amortises setup across \
+     connections entirely";
+
+  (* OT extension amortisation: transcript bytes per transfer *)
+  Bench_util.subsection "IKNP OT extension amortisation";
+  List.iter
+    (fun n ->
+       let messages = Array.init n (fun _ -> (Drbg.bytes drbg 16, Drbg.bytes drbg 16)) in
+       let choices = Array.init n (fun i -> i land 1 = 0) in
+       let t0 = Unix.gettimeofday () in
+       let _, bytes =
+         Extension.run ~sender_drbg:(Drbg.create "su-ot-s") ~receiver_drbg:(Drbg.create "su-ot-r")
+           ~messages ~choices
+       in
+       let dt = Unix.gettimeofday () -. t0 in
+       Printf.printf "  %6d transfers: %s total, %s, %.1f us and %.0f B per transfer\n" n
+         (Bench_util.fmt_seconds dt) (Bench_util.fmt_bytes bytes)
+         (dt /. float_of_int n *. 1e6) (float_of_int bytes /. float_of_int n))
+    [ 64; 512; 4096 ]

@@ -1,0 +1,23 @@
+(* Table 1: fraction of rules in each dataset implementable with
+   Protocols I, II and III.
+
+   Rulesets are produced by the statistical generators (DESIGN.md §2,
+   substitution 4) and the fractions are then *measured* by classifying
+   every generated rule. *)
+
+open Bbx_rules
+
+let run () =
+  Bench_util.section "Table 1: rules addressable with Protocols I / II / III";
+  Printf.printf "%-34s %23s %23s\n" "" "measured (n=1000)" "paper";
+  Printf.printf "%-34s %7s %7s %7s %7s %7s %7s\n" "Dataset" "I" "II" "III" "I" "II" "III";
+  List.iter
+    (fun ds ->
+       let rules = Datasets.generate ds ~n:1000 in
+       let f1, f2, f3 = Classify.fractions rules in
+       let p1, p2, p3 = Datasets.paper_fractions ds in
+       let pct v = Printf.sprintf "%.1f%%" (100.0 *. v) in
+       Printf.printf "%-34s %7s %7s %7s %7s %7s %7s\n"
+         (Datasets.name ds) (pct f1) (pct f2) (pct f3) (pct p1) (pct p2) (pct p3))
+    Datasets.all;
+  Bench_util.note "generators target the paper's class mix; fractions above are re-measured by the classifier"

@@ -1,0 +1,160 @@
+(* The blindbox command-line tool.
+
+   Subcommands:
+     classify   parse a Snort-dialect ruleset and report Protocol I/II/III coverage
+     generate   emit a synthetic ruleset with a named dataset's statistics
+     tokenize   show the tokens the sender would emit for a payload
+     inspect    run payloads through a full in-process BlindBox connection *)
+
+open Cmdliner
+open Bbx_rules
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let read_stdin () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run path =
+    match Parser.parse_ruleset (read_file path) with
+    | exception Parser.Syntax_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+    | rules ->
+      let f1, f2, f3 = Classify.fractions rules in
+      Printf.printf "%d rules\n" (List.length rules);
+      Printf.printf "Protocol I   (single exact keyword): %5.1f%%\n" (100. *. f1);
+      Printf.printf "Protocol II  (multi-keyword+offsets): %5.1f%%\n" (100. *. f2);
+      Printf.printf "Protocol III (full IDS, pcre):        %5.1f%%\n" (100. *. f3);
+      Printf.printf "distinct keywords: %d\n" (List.length (Datasets.distinct_keywords rules));
+      Printf.printf "distinct 8-byte chunks to prepare: %d\n"
+        (Array.length (Bbx_mbox.Engine.distinct_chunks rules))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"RULES" ~doc:"Snort-dialect rules file.") in
+  Cmd.v (Cmd.info "classify" ~doc:"Classify a ruleset into BlindBox protocols")
+    Term.(const run $ path)
+
+(* ---- generate ---- *)
+
+let dataset_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun ds -> String.lowercase_ascii (Datasets.name ds) |> fun n ->
+          n = String.lowercase_ascii s
+          || String.concat "-" (String.split_on_char ' ' n) = String.lowercase_ascii s)
+        Datasets.all
+    with
+    | Some ds -> Ok ds
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown dataset %S; one of: %s" s
+                     (String.concat ", " (List.map Datasets.name Datasets.all))))
+  in
+  Arg.conv (parse, fun fmt ds -> Format.pp_print_string fmt (Datasets.name ds))
+
+let generate_cmd =
+  let run ds n seed =
+    List.iter (fun r -> print_endline (Rule.to_string r)) (Datasets.generate ~seed ds ~n)
+  in
+  let ds =
+    Arg.(required & pos 0 (some dataset_conv) None
+         & info [] ~docv:"DATASET" ~doc:"Dataset name (e.g. 'Lastline', 'parental-filtering').")
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of rules.") in
+  let seed = Arg.(value & opt string "blindbox-dataset" & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic ruleset with a dataset's statistics")
+    Term.(const run $ ds $ n $ seed)
+
+(* ---- tokenize ---- *)
+
+let tokenize_cmd =
+  let run window short_units =
+    let payload = read_stdin () in
+    let toks =
+      if window then Bbx_tokenizer.Tokenizer.window payload
+      else Bbx_tokenizer.Tokenizer.delimiter ~short_units payload
+    in
+    List.iter
+      (fun t ->
+         Printf.printf "%6d  %s\n" t.Bbx_tokenizer.Tokenizer.offset
+           (String.concat ""
+              (List.map
+                 (fun c ->
+                    if c >= ' ' && c <= '~' then String.make 1 c
+                    else Printf.sprintf "\\x%02x" (Char.code c))
+                 (List.init 8 (String.get t.Bbx_tokenizer.Tokenizer.content)))))
+      toks;
+    Printf.printf "-- %d tokens for %d bytes\n" (List.length toks) (String.length payload)
+  in
+  let window = Arg.(value & flag & info [ "window" ] ~doc:"Window-based tokenization (default: delimiter).") in
+  let shorts = Arg.(value & flag & info [ "short-units" ] ~doc:"Also emit padded short units.") in
+  Cmd.v (Cmd.info "tokenize" ~doc:"Tokenize stdin as the BlindBox sender would")
+    Term.(const run $ window $ shorts)
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let run rules_path probable window =
+    let rules =
+      match Parser.parse_ruleset (read_file rules_path) with
+      | exception Parser.Syntax_error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+      | rules -> rules
+    in
+    let open Blindbox in
+    let config =
+      { Session.default_config with
+        Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
+        tokenization = (if window then Session.Window else Session.Delimiter) }
+    in
+    let session, stats = Session.establish ~config ~rules () in
+    Printf.printf "# connection up: %d rules, %d chunks\n%!"
+      (List.length rules) stats.Session.chunk_count;
+    (try
+       while true do
+         let line = input_line stdin in
+         let d = Session.send session line in
+         if d.Session.verdicts = [] then
+           Printf.printf "clean   (%d tokens, %d token bytes)\n%!"
+             d.Session.token_count d.Session.token_bytes
+         else
+           List.iter
+             (fun v ->
+                Printf.printf "ALERT   sid:%d %s (%s)\n%!"
+                  (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0)
+                  (Option.value v.Bbx_mbox.Engine.rule.Rule.msg ~default:"")
+                  (match v.Bbx_mbox.Engine.via with
+                   | `Exact_match -> "exact match"
+                   | `Probable_cause -> "probable cause"))
+             d.Session.verdicts
+       done
+     with End_of_file -> ());
+    match Session.mb_recovered_key session with
+    | Some _ -> Printf.printf "# middlebox recovered the session key (probable cause fired)\n"
+    | None -> Printf.printf "# middlebox never held the session key\n"
+  in
+  let rules = Arg.(required & pos 0 (some file) None & info [] ~docv:"RULES" ~doc:"Rules file.") in
+  let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
+  let window = Arg.(value & flag & info [ "window" ] ~doc:"Window tokenization.") in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
+    Term.(const run $ rules $ probable $ window)
+
+let () =
+  let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd ]))

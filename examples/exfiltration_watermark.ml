@@ -1,0 +1,57 @@
+(* Exfiltration detection via document watermarking (paper §1, ref [45]).
+
+   An enterprise embeds confidentiality watermarks in sensitive documents;
+   the egress middlebox watches outbound HTTPS for those watermarks.  With
+   BlindBox, employees' ordinary traffic stays private: the middlebox only
+   learns when a watermark crosses the wire.
+
+   This example runs the *real* obfuscated rule encryption (garbled AES
+   circuits + oblivious transfer) for a small watermark ruleset, with the
+   rule generator's RSA signatures verified during setup.
+
+   Run with: dune exec examples/exfiltration_watermark.exe *)
+
+open Blindbox
+open Bbx_rules
+
+let () =
+  (* The rule generator (e.g. the org's DLP vendor) signs its watermark
+     rules. *)
+  let rg_drbg = Bbx_crypto.Drbg.create "dlp-vendor-keys" in
+  let rg = Bbx_sig.Rsa.generate ~rand_bytes:(Bbx_crypto.Drbg.bytes rg_drbg) ~bits:512 in
+  let watermarks = [ "WM-7f3a9c51"; "WM-d4e8b200" ] in
+  let rules =
+    List.mapi
+      (fun i wm -> Rule.make ~msg:(Printf.sprintf "confidential watermark %d" i) ~sid:(100 + i)
+          [ Rule.make_content wm ])
+      watermarks
+  in
+  Printf.printf "preparing %d watermark rules with garbled circuits + OT...\n%!"
+    (List.length rules);
+  let config = { Session.default_config with Session.rule_prep = Session.Garbled } in
+  let session, stats = Session.establish ~config ~rg ~rules () in
+  (match stats.Session.rule_prep_stats with
+   | Some s ->
+     Printf.printf
+       "  %d circuits garbled in %.0f ms (%.1f MB shipped), OT moved %.1f KB, MB evaluated in %.0f ms\n\n"
+       s.Ruleprep.circuits (1000.0 *. s.Ruleprep.garble_seconds)
+       (float_of_int s.Ruleprep.circuit_bytes /. 1e6)
+       (float_of_int s.Ruleprep.ot_bytes /. 1e3)
+       (1000.0 *. s.Ruleprep.eval_seconds)
+   | None -> ());
+  let uploads =
+    [ ("weekly-report.txt", "POST /upload HTTP/1.1\r\n\r\nQ3 sales grew 14% across regions.");
+      ("meeting-notes.txt", "POST /upload HTTP/1.1\r\n\r\nAction items: ship v2, hire an SRE.");
+      ("roadmap-CONFIDENTIAL.txt",
+       "POST /upload HTTP/1.1\r\n\r\nInternal only WM-d4e8b200 : acquisition target list...");
+    ]
+  in
+  List.iter
+    (fun (name, payload) ->
+       let d = Session.send session payload in
+       (match d.Session.verdicts with
+        | [] -> Printf.printf "%-28s left the network (middlebox saw nothing)\n" name
+        | v :: _ ->
+          Printf.printf "%-28s BLOCKED: %s\n" name
+            (Option.value v.Bbx_mbox.Engine.rule.Rule.msg ~default:"watermark")))
+    uploads

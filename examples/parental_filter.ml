@@ -1,0 +1,66 @@
+(* Parental filtering (paper §2.1, example #2).
+
+   Bob registers for filtering with his ISP but does not want the ISP
+   reading his browsing.  The Electronic Filtering Foundation (the rule
+   generator he trusts) publishes a domain blacklist; the ISP's middlebox
+   can enforce it over Bob's encrypted traffic and learns nothing else —
+   in particular it cannot build a browsing profile to sell.
+
+   Run with: dune exec examples/parental_filter.exe *)
+
+open Blindbox
+open Bbx_rules
+
+(* index of the first occurrence of [needle] in [hay] *)
+let find hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then raise Not_found
+    else if String.sub hay i nn = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let () =
+  let blacklist = [ "blocked-casino.example"; "blocked-adult.example"; "blocked-guns.example" ] in
+  let rules =
+    List.mapi
+      (fun i domain ->
+         Rule.make ~action:Rule.Drop ~msg:("blacklisted: " ^ domain) ~sid:(200 + i)
+           [ Rule.make_content domain ])
+      blacklist
+  in
+  let session, _ = Session.establish ~rules () in
+  let browse =
+    [ "GET / HTTP/1.1\r\nHost: news.example\r\n\r\n";
+      "GET /watch?v=cats HTTP/1.1\r\nHost: videos.example\r\n\r\n";
+      "GET /signup HTTP/1.1\r\nHost: blocked-casino.example\r\n\r\n";
+      "GET /medical?q=embarrassing+question HTTP/1.1\r\nHost: doctor.example\r\n\r\n";
+    ]
+  in
+  let blocked = ref 0 and forwarded = ref 0 in
+  let current = ref session in
+  let reconnects = ref 0 in
+  List.iter
+    (fun payload ->
+       let host =
+         let i = find payload "Host: " in
+         let rest = String.sub payload (i + 6) (String.length payload - i - 6) in
+         String.sub rest 0 (String.index rest '\r')
+       in
+       (* a drop rule tears the connection down; the browser reconnects *)
+       if Session.blocked !current then begin
+         incr reconnects;
+         current := fst (Session.establish ~seed:(Printf.sprintf "reconnect-%d" !reconnects) ~rules ())
+       end;
+       match (Session.send !current payload).Session.verdicts with
+       | [] -> incr forwarded; Printf.printf "  %-28s forwarded\n" host
+       | _ -> incr blocked; Printf.printf "  %-28s DROPPED (blacklist hit)\n" host)
+    browse;
+  Printf.printf "\n%d forwarded, %d blocked.\n" !forwarded !blocked;
+  Printf.printf
+    "what the ISP's middlebox learned about Bob's browsing: %s\n"
+    (match Session.mb_keyword_hits session with
+     | [] -> "(nothing)"
+     | hits -> String.concat ", " (List.map fst hits));
+  print_endline "the clean requests' hosts, paths and queries were never visible to it."

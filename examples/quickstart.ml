@@ -1,0 +1,49 @@
+(* Quickstart: a BlindBox connection in ~30 lines.
+
+   A sender and receiver talk HTTPS through a middlebox loaded with two
+   IDS rules.  The middlebox inspects the encrypted traffic and flags the
+   message containing an attack keyword — without ever holding the session
+   key.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Blindbox
+
+let () =
+  let rules =
+    Bbx_rules.Parser.parse_ruleset
+      {|alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"shell download"; content:"cmd.exe?download"; sid:1;)
+        alert tcp $EXTERNAL_NET any -> $HOME_NET any (msg:"path traversal"; content:"../../etc/passwd"; sid:2;)|}
+  in
+  let session, stats = Session.establish ~rules () in
+  Printf.printf "connection established: %d rule-keyword chunks prepared in %.1f ms\n\n"
+    stats.Session.chunk_count (1000.0 *. stats.Session.setup_seconds);
+  let messages =
+    [ "GET /index.html HTTP/1.1\r\nHost: shop.example\r\n\r\n";
+      "POST /search?q=holiday+gifts HTTP/1.1\r\nHost: shop.example\r\n\r\n";
+      "GET /cgi-bin/cmd.exe?download=implant HTTP/1.1\r\nHost: victim.example\r\n\r\n";
+    ]
+  in
+  List.iter
+    (fun payload ->
+       let d = Session.send session payload in
+       let status =
+         match d.Session.verdicts with
+         | [] -> "forwarded (clean)"
+         | vs ->
+           String.concat "; "
+             (List.map
+                (fun v ->
+                   Printf.sprintf "ALERT sid:%d %s"
+                     (Option.value v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.sid ~default:0)
+                     (Option.value v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.msg ~default:""))
+                vs)
+       in
+       Printf.printf "%-70s -> %s\n"
+         (String.sub payload 0 (min 68 (String.index payload '\r'))) status)
+    messages;
+  Printf.printf "\nmiddlebox keyword observations: %s\n"
+    (String.concat ", "
+       (List.map (fun (kw, off) -> Printf.sprintf "%S@%d" kw off)
+          (Session.mb_keyword_hits session)));
+  print_endline "everything else in the stream stayed opaque to the middlebox."

@@ -1,0 +1,131 @@
+(* Coarsely Integrated Operand Scanning (CIOS) Montgomery multiplication
+   over the 31-bit limbs of {!Nat}.  For an n-limb odd modulus m and
+   R = 2^(31n), mont_mul(a, b) = a*b*R^-1 mod m; values are kept in
+   Montgomery form a*R mod m between multiplications. *)
+
+let limb_bits = Nat.limb_bits
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type ctx = {
+  m : Nat.t;
+  m_limbs : int array;   (* length n, unpadded modulus limbs *)
+  n : int;
+  m0' : int;             (* -m^-1 mod 2^31 *)
+  r2 : int array;        (* R^2 mod m, as n limbs (Montgomery form of R) *)
+  one_mont : int array;  (* R mod m = Montgomery form of 1 *)
+}
+
+(* inverse of an odd x modulo 2^31 by Newton iteration *)
+let inv_mod_base x =
+  let inv = ref x in
+  (* each step doubles the number of correct low bits: 5 steps cover 31 *)
+  for _ = 1 to 5 do
+    inv := (!inv * (2 - (x * !inv))) land mask
+  done;
+  assert ((x * !inv) land mask = 1);
+  !inv
+
+let pad limbs n =
+  let out = Array.make n 0 in
+  Array.blit limbs 0 out 0 (Array.length limbs);
+  out
+
+let create m =
+  if Nat.is_even m || Nat.compare m Nat.one <= 0 then
+    invalid_arg "Mont.create: modulus must be odd and > 1";
+  let m_limbs = Nat.to_limbs m in
+  let n = Array.length m_limbs in
+  let m0' = (base - inv_mod_base m_limbs.(0)) land mask in
+  let r = Nat.shift_left Nat.one (limb_bits * n) in
+  let r2 = Nat.rem (Nat.mul r r) m in
+  let one_mont = Nat.rem r m in
+  { m;
+    m_limbs;
+    n;
+    m0';
+    r2 = pad (Nat.to_limbs r2) n;
+    one_mont = pad (Nat.to_limbs one_mont) n }
+
+let modulus ctx = ctx.m
+
+(* t <- a*b*R^-1 mod m; a, b, t are n-limb arrays (t may alias neither). *)
+let mont_mul ctx a b t =
+  let n = ctx.n and m = ctx.m_limbs and m0' = ctx.m0' in
+  Array.fill t 0 n 0;
+  let t_n = ref 0 and t_n1 = ref 0 in
+  for i = 0 to n - 1 do
+    (* t += a_i * b *)
+    let ai = a.(i) in
+    let c = ref 0 in
+    for j = 0 to n - 1 do
+      let s = t.(j) + (ai * b.(j)) + !c in
+      t.(j) <- s land mask;
+      c := s lsr limb_bits
+    done;
+    let s = !t_n + !c in
+    t_n := s land mask;
+    t_n1 := !t_n1 + (s lsr limb_bits);
+    (* u = t_0 * m0' mod base; t += u * m; t >>= one limb *)
+    let u = (t.(0) * m0') land mask in
+    let s = t.(0) + (u * m.(0)) in
+    let c = ref (s lsr limb_bits) in
+    for j = 1 to n - 1 do
+      let s = t.(j) + (u * m.(j)) + !c in
+      t.(j - 1) <- s land mask;
+      c := s lsr limb_bits
+    done;
+    let s = !t_n + !c in
+    t.(n - 1) <- s land mask;
+    t_n := !t_n1 + (s lsr limb_bits);
+    t_n1 := 0
+  done;
+  (* conditional subtraction: result < 2m here *)
+  if !t_n > 0
+  || (let rec ge i =
+        if i < 0 then true
+        else if t.(i) <> m.(i) then t.(i) > m.(i)
+        else ge (i - 1)
+      in
+      ge (n - 1))
+  then begin
+    let borrow = ref 0 in
+    for j = 0 to n - 1 do
+      let d = t.(j) - m.(j) - !borrow in
+      if d < 0 then begin t.(j) <- d + base; borrow := 1 end
+      else begin t.(j) <- d; borrow := 0 end
+    done
+  end
+
+let mod_pow ctx ~base:b ~exp =
+  let n = ctx.n in
+  let b = Nat.rem b ctx.m in
+  let b_limbs = pad (Nat.to_limbs b) n in
+  (* convert to Montgomery form: b * R = mont_mul(b, R^2) *)
+  let bm = Array.make n 0 in
+  mont_mul ctx b_limbs ctx.r2 bm;
+  let acc = Array.copy ctx.one_mont in
+  let tmp = Array.make n 0 in
+  let nbits = Nat.bit_length exp in
+  for i = nbits - 1 downto 0 do
+    mont_mul ctx acc acc tmp;
+    Array.blit tmp 0 acc 0 n;
+    if Nat.testbit exp i then begin
+      mont_mul ctx acc bm tmp;
+      Array.blit tmp 0 acc 0 n
+    end
+  done;
+  (* convert out of Montgomery form: mont_mul(acc, 1) *)
+  let one = Array.make n 0 in
+  one.(0) <- 1;
+  mont_mul ctx acc one tmp;
+  Nat.of_limbs tmp
+
+let mul ctx a b =
+  let n = ctx.n in
+  let a = pad (Nat.to_limbs (Nat.rem a ctx.m)) n in
+  let b = pad (Nat.to_limbs (Nat.rem b ctx.m)) n in
+  let am = Array.make n 0 and t = Array.make n 0 in
+  mont_mul ctx a ctx.r2 am;      (* a*R *)
+  mont_mul ctx am b t;           (* a*R * b * R^-1 = a*b *)
+  Nat.of_limbs t

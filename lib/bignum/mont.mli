@@ -1,0 +1,23 @@
+(** Montgomery-form modular exponentiation.
+
+    Division-free modular multiplication (CIOS reduction) for odd moduli —
+    the workhorse behind the Diffie–Hellman handshake, the base oblivious
+    transfers, RSA rule signatures and the functional-encryption strawman,
+    all of which exponentiate modulo fixed odd primes.  Verified against
+    the division-based {!Nat.mod_pow} by the property tests. *)
+
+type ctx
+
+(** [create m] precomputes the Montgomery context for an odd modulus
+    [m > 1].  Raises [Invalid_argument] otherwise. *)
+val create : Nat.t -> ctx
+
+(** [modulus ctx]. *)
+val modulus : ctx -> Nat.t
+
+(** [mod_pow ctx ~base ~exp] is [base^exp mod m]. *)
+val mod_pow : ctx -> base:Nat.t -> exp:Nat.t -> Nat.t
+
+(** [mul ctx a b] is [a * b mod m] (operands in ordinary representation;
+    one conversion round-trip per call — prefer {!mod_pow} for chains). *)
+val mul : ctx -> Nat.t -> Nat.t -> Nat.t

@@ -1,0 +1,343 @@
+(* Little-endian arrays of 31-bit limbs; the empty array is zero and no
+   value has a leading (most-significant) zero limb.  31-bit limbs keep all
+   intermediate products and accumulators within OCaml's 63-bit native [int]:
+   (2^31-1)^2 + 2*(2^31-1) = 2^62 - 1 = max_int. *)
+
+type t = int array
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero : t = [||]
+let is_zero a = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+  Array.of_list (limbs n)
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int a =
+  (* An OCaml int holds just over two limbs. *)
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | 3 when a.(2) <= (max_int lsr (2 * limb_bits)) ->
+    Some (a.(0) lor (a.(1) lsl limb_bits) lor (a.(2) lsl (2 * limb_bits)))
+  | _ -> None
+
+let is_even a = is_zero a || a.(0) land 1 = 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Nat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- acc land mask;
+        carry := acc lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+let shift_left a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let r = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+        r.(i) <- if bits = 0 then a.(i + limbs) else lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let bit_length a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n = if n = 0 then 0 else 1 + width (n lsr 1) in
+    (la - 1) * limb_bits + width top
+  end
+
+let testbit a i =
+  let limb = i / limb_bits and bit = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* Division.  Single-limb divisors take a fast path; the general case is
+   Knuth's Algorithm D with the divisor normalized so its top limb is at
+   least base/2, which bounds the trial quotient error at 2 before
+   correction and 1 before the add-back step. *)
+
+let divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, of_int !r)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero
+  else if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then divmod_small a b.(0)
+  else begin
+    let shift =
+      let rec go v = if v land (1 lsl (limb_bits - 1)) <> 0 then 0 else 1 + go (v lsl 1) in
+      go b.(Array.length b - 1)
+    in
+    let v = shift_left b shift in
+    let n = Array.length v in
+    let u0 = shift_left a shift in
+    let m = Array.length u0 - n in
+    (* Working copy of the dividend with one extra top limb. *)
+    let u = Array.make (Array.length u0 + 1) 0 in
+    Array.blit u0 0 u 0 (Array.length u0);
+    let q = Array.make (m + 1) 0 in
+    let vn1 = v.(n - 1) and vn2 = v.(n - 2) in
+    for j = m downto 0 do
+      let top = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (top / vn1) in
+      let rhat = ref (top - (!qhat * vn1)) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := top - (!qhat * vn1)
+      end;
+      while !rhat < base && !qhat * vn2 > (!rhat lsl limb_bits) lor u.(j + n - 2) do
+        decr qhat;
+        rhat := !rhat + vn1
+      done;
+      (* Multiply-subtract [qhat * v] from [u] at offset [j]. *)
+      let borrow = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !borrow in
+        let d = u.(i + j) - (p land mask) in
+        if d < 0 then begin u.(i + j) <- d + base; borrow := (p lsr limb_bits) + 1 end
+        else begin u.(i + j) <- d; borrow := p lsr limb_bits end
+      done;
+      let d = u.(j + n) - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large; add the divisor back. *)
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !carry in
+          u.(i + j) <- s land mask;
+          carry := s lsr limb_bits
+        done;
+        u.(j + n) <- (d + !carry) land mask;
+        assert (d + !carry = 0)
+      end else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let mod_pow ~base:b ~exp ~modulus =
+  if is_zero modulus then raise Division_by_zero;
+  let b = rem b modulus in
+  let nbits = bit_length exp in
+  let acc = ref one and sq = ref b in
+  for i = 0 to nbits - 1 do
+    if testbit exp i then acc := rem (mul !acc !sq) modulus;
+    if i < nbits - 1 then sq := rem (mul !sq !sq) modulus
+  done;
+  rem !acc modulus
+
+let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+
+let mod_inv a m =
+  (* Iterative extended Euclid keeping the Bezout coefficient for [a]
+     reduced modulo [m], so all arithmetic stays in the naturals:
+     x_new = x0 - q * x1 (mod m). *)
+  if is_zero m then raise Division_by_zero;
+  let a = rem a m in
+  if is_zero a then raise Not_found;
+  let mod_sub_mul x0 q x1 =
+    (* x0 - q * x1 (mod m), operands already reduced mod m *)
+    let p = rem (mul q x1) m in
+    if compare x0 p >= 0 then sub x0 p else sub (add x0 m) p
+  in
+  let rec go r0 r1 x0 x1 =
+    if is_zero r1 then
+      if equal r0 one then x0 else raise Not_found
+    else begin
+      let q, r2 = divmod r0 r1 in
+      go r1 r2 x1 (mod_sub_mul x0 q x1)
+    end
+  in
+  go m a zero one
+
+let of_bytes_be s =
+  let r = ref zero in
+  String.iter (fun c -> r := add (shift_left !r 8) (of_int (Char.code c))) s;
+  !r
+
+let to_bytes_be ?len a =
+  let nbytes = (bit_length a + 7) / 8 in
+  let out_len = match len with
+    | None -> max nbytes 1
+    | Some l ->
+      if l < nbytes then invalid_arg "Nat.to_bytes_be: value too large for len";
+      l
+  in
+  let buf = Bytes.make out_len '\000' in
+  for i = 0 to nbytes - 1 do
+    let byte = (shift_right a (8 * i)) in
+    let v = if is_zero byte then 0 else byte.(0) land 0xff in
+    Bytes.set buf (out_len - 1 - i) (Char.chr v)
+  done;
+  Bytes.to_string buf
+
+let of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Nat.of_hex: bad digit"
+  in
+  let r = ref zero in
+  String.iter (fun c -> r := add (shift_left !r 4) (of_int (digit c))) s;
+  !r
+
+let to_hex a =
+  if is_zero a then "0"
+  else begin
+    let nnib = (bit_length a + 3) / 4 in
+    let buf = Buffer.create nnib in
+    for i = nnib - 1 downto 0 do
+      let nib = shift_right a (4 * i) in
+      let v = if is_zero nib then 0 else nib.(0) land 0xf in
+      Buffer.add_char buf "0123456789abcdef".[v]
+    done;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  let ten = of_int 10 in
+  let r = ref zero in
+  String.iter
+    (fun c ->
+       match c with
+       | '0' .. '9' -> r := add (mul !r ten) (of_int (Char.code c - Char.code '0'))
+       | '_' -> ()
+       | _ -> invalid_arg "Nat.of_string: bad digit")
+    s;
+  !r
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    (* Peel nine decimal digits at a time through the small-divisor path. *)
+    let chunk = 1_000_000_000 in
+    let rec go a acc =
+      if is_zero a then acc
+      else begin
+        let q, r = divmod_small a chunk in
+        let r = match to_int r with Some v -> v | None -> assert false in
+        if is_zero q then string_of_int r :: acc
+        else go q (Printf.sprintf "%09d" r :: acc)
+      end
+    in
+    String.concat "" (go a [])
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let to_limbs a = Array.copy a
+let of_limbs l = normalize (Array.copy l)

@@ -1,0 +1,84 @@
+(** Arbitrary-precision natural numbers.
+
+    Little-endian arrays of 31-bit limbs, always normalized (no leading zero
+    limb).  All operations are functional; no value is ever mutated after it
+    is returned.  This module is the arithmetic substrate for oblivious
+    transfer ({!Bbx_ot}) and rule signatures ({!Bbx_sig}). *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** [of_int n] converts a non-negative [int].  Raises [Invalid_argument] on
+    negative input. *)
+val of_int : int -> t
+
+(** [to_int t] is [Some n] when [t] fits in an OCaml [int]. *)
+val to_int : t -> int option
+
+val is_zero : t -> bool
+val is_even : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].  Raises [Invalid_argument] if [b > a]. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)].  Raises [Division_by_zero] when
+    [b = 0]. *)
+val divmod : t -> t -> t * t
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** [pow b e] is [b]{^ [e]} for a small exponent. *)
+val pow : t -> int -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** [bit_length t] is the position of the highest set bit plus one;
+    [bit_length zero = 0]. *)
+val bit_length : t -> int
+
+(** [testbit t i] is bit [i] of [t] (little-endian bit order). *)
+val testbit : t -> int -> bool
+
+(** [mod_pow ~base ~exp ~modulus] is [base]{^ [exp]} [mod modulus]. *)
+val mod_pow : base:t -> exp:t -> modulus:t -> t
+
+(** [mod_inv a m] is the inverse of [a] modulo [m].  Raises [Not_found]
+    when [gcd a m <> 1]. *)
+val mod_inv : t -> t -> t
+
+val gcd : t -> t -> t
+
+(** Big-endian byte-string conversions.  [to_bytes_be ?len t] left-pads with
+    zero bytes to [len] when given; raises [Invalid_argument] if [t] does not
+    fit. *)
+val of_bytes_be : string -> t
+val to_bytes_be : ?len:int -> t -> string
+
+(** Hexadecimal (lowercase, no prefix). *)
+val of_hex : string -> t
+val to_hex : t -> string
+
+(** Decimal strings. *)
+val of_string : string -> t
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Internal representation (little-endian 31-bit limbs, normalized); used
+    by {!Mont} within this library.  Not part of the stable API. *)
+val to_limbs : t -> int array
+val of_limbs : int array -> t
+val limb_bits : int

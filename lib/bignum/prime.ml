@@ -1,0 +1,74 @@
+let small_primes =
+  (* Primes below 550: enough trial division to reject ~80% of candidates
+     before the Miller-Rabin rounds. *)
+  let sieve = Array.make 550 true in
+  sieve.(0) <- false; sieve.(1) <- false;
+  for i = 2 to 549 do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j < 550 do sieve.(!j) <- false; j := !j + i done
+    end
+  done;
+  List.filter (fun i -> sieve.(i)) (List.init 550 Fun.id)
+
+let random_below ~rand_bytes n =
+  if Nat.is_zero n then invalid_arg "Prime.random_below: zero bound";
+  let bits = Nat.bit_length n in
+  let nbytes = (bits + 7) / 8 in
+  let excess = nbytes * 8 - bits in
+  let rec draw () =
+    let candidate = Nat.shift_right (Nat.of_bytes_be (rand_bytes nbytes)) excess in
+    if Nat.compare candidate n < 0 then candidate else draw ()
+  in
+  draw ()
+
+let miller_rabin_round ~rand_bytes ctx n =
+  (* n is odd and >= 5 here.  Write n - 1 = 2^s * d and test a random base. *)
+  let n1 = Nat.sub n Nat.one in
+  let rec split d s = if Nat.is_even d then split (Nat.shift_right d 1) (s + 1) else (d, s) in
+  let d, s = split n1 0 in
+  let a = Nat.add Nat.two (random_below ~rand_bytes (Nat.sub n (Nat.of_int 4))) in
+  let x = Mont.mod_pow ctx ~base:a ~exp:d in
+  if Nat.equal x Nat.one || Nat.equal x n1 then true
+  else begin
+    let rec go x i =
+      if i >= s - 1 then false
+      else begin
+        let x = Nat.rem (Nat.mul x x) n in
+        if Nat.equal x n1 then true else go x (i + 1)
+      end
+    in
+    go x 0
+  end
+
+let is_probable_prime ?(rounds = 24) ~rand_bytes n =
+  match Nat.to_int n with
+  | Some v when v < 550 -> List.mem v small_primes
+  | _ ->
+    if Nat.is_even n then false
+    else if List.exists
+        (fun p -> p <> 2 && Nat.is_zero (Nat.rem n (Nat.of_int p)))
+        small_primes
+    then false
+    else begin
+      let ctx = Mont.create n in
+      let rec go i = i >= rounds || (miller_rabin_round ~rand_bytes ctx n && go (i + 1)) in
+      go 0
+    end
+
+let gen_prime ~rand_bytes ~bits =
+  if bits < 8 then invalid_arg "Prime.gen_prime: need at least 8 bits";
+  let rec draw () =
+    let nbytes = (bits + 7) / 8 in
+    let raw = Nat.of_bytes_be (rand_bytes nbytes) in
+    let excess = nbytes * 8 - bits in
+    let candidate = Nat.shift_right raw excess in
+    (* Force the top bit (exact width) and the bottom bit (odd). *)
+    let top = Nat.shift_left Nat.one (bits - 1) in
+    let candidate =
+      let c = if Nat.testbit candidate (bits - 1) then candidate else Nat.add candidate top in
+      if Nat.is_even c then Nat.add c Nat.one else c
+    in
+    if is_probable_prime ~rand_bytes candidate then candidate else draw ()
+  in
+  draw ()

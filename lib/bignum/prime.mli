@@ -1,0 +1,22 @@
+(** Primality testing and prime generation.
+
+    Randomness is supplied by the caller as a [rand_bytes] function (number
+    of bytes -> uniformly random string) so that this library stays
+    independent of {!Bbx_crypto} and callers can plug in a deterministic DRBG
+    for reproducible tests. *)
+
+(** [is_probable_prime ?rounds ~rand_bytes n] runs trial division by small
+    primes followed by [rounds] (default 24) Miller–Rabin rounds with random
+    bases. *)
+val is_probable_prime : ?rounds:int -> rand_bytes:(int -> string) -> Nat.t -> bool
+
+(** [random_below ~rand_bytes n] samples uniformly from [[0, n)] by
+    rejection. *)
+val random_below : rand_bytes:(int -> string) -> Nat.t -> Nat.t
+
+(** [gen_prime ~rand_bytes ~bits] generates a random probable prime with
+    exactly [bits] bits (top bit set, odd). *)
+val gen_prime : rand_bytes:(int -> string) -> bits:int -> Nat.t
+
+(** Small primes used for trial division (first 100 odd primes and 2). *)
+val small_primes : int list

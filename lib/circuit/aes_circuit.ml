@@ -1,0 +1,326 @@
+open Circuit
+
+(* Bytes are wire arrays of length 8 in *degree* order: index i holds the
+   coefficient of x^i (LSB first).  The circuit interface uses
+   [Circuit.bits_of_string] order (MSB first), so bytes are flipped on the
+   way in and out. *)
+
+let key_input_range = (0, 128)
+let msg_input_range = (128, 128)
+
+let byte_xor b x y = Array.init 8 (fun i -> Builder.bxor b x.(i) y.(i))
+
+let xor_const b x c =
+  Array.init 8 (fun i ->
+      if (c lsr i) land 1 = 1 then Builder.bnot b x.(i) else x.(i))
+
+(* Karatsuba carry-less multiplication of two degree-(n-1) polynomials
+   (n a power of two); returns the 2n-1 product coefficients.  Uses
+   3^log2(n) AND gates: 27 for n = 8. *)
+let rec clmul b x y =
+  let n = Array.length x in
+  if n = 1 then [| Builder.band b x.(0) y.(0) |]
+  else begin
+    let h = n / 2 in
+    let xl = Array.sub x 0 h and xh = Array.sub x h h in
+    let yl = Array.sub y 0 h and yh = Array.sub y h h in
+    let pll = clmul b xl yl in
+    let phh = clmul b xh yh in
+    let xs = Array.init h (fun i -> Builder.bxor b xl.(i) xh.(i)) in
+    let ys = Array.init h (fun i -> Builder.bxor b yl.(i) yh.(i)) in
+    let pss = clmul b xs ys in
+    let pmid =
+      Array.init (2 * h - 1) (fun i ->
+          Builder.bxor b (Builder.bxor b pss.(i) pll.(i)) phh.(i))
+    in
+    let acc = Array.make (2 * n - 1) None in
+    let add i w =
+      acc.(i) <- (match acc.(i) with None -> Some w | Some v -> Some (Builder.bxor b v w))
+    in
+    Array.iteri (fun i w -> add i w) pll;
+    Array.iteri (fun i w -> add (i + h) w) pmid;
+    Array.iteri (fun i w -> add (i + n) w) phh;
+    Array.map (function Some w -> w | None -> assert false) acc
+  end
+
+(* Reduce a polynomial of degree < 15 modulo x^8 + x^4 + x^3 + x + 1. *)
+let reduce b (poly : wire option array) =
+  let poly = Array.append poly (Array.make (max 0 (15 - Array.length poly)) None) in
+  let fold_into d t =
+    match poly.(d) with
+    | None -> ()
+    | Some w ->
+      poly.(t) <- (match poly.(t) with None -> Some w | Some v -> Some (Builder.bxor b v w))
+  in
+  for d = 14 downto 8 do
+    fold_into d (d - 4);
+    fold_into d (d - 5);
+    fold_into d (d - 7);
+    fold_into d (d - 8);
+    poly.(d) <- None
+  done;
+  (* A GF(2^8) element must have all 8 coefficient wires; synthesise a zero
+     wire only if some coefficient never appeared (cannot happen for the
+     multiplications below, which always populate degrees 0..7). *)
+  Array.init 8 (fun i -> match poly.(i) with Some w -> w | None -> assert false)
+
+let gf_mul b x y = reduce b (Array.map Option.some (clmul b x y))
+
+(* Squaring is linear over GF(2): coefficients spread to even degrees and
+   reduce with XORs only. *)
+let gf_square b x =
+  let poly = Array.make 15 None in
+  Array.iteri (fun i w -> poly.(2 * i) <- Some w) x;
+  reduce b poly
+
+(* x^254 by the addition chain 2, 3, 12, 15, 240, 252, 254: four
+   multiplications, the rest free squarings. *)
+let gf_inv b x =
+  let x2 = gf_square b x in
+  let x3 = gf_mul b x2 x in
+  let x12 = gf_square b (gf_square b x3) in
+  let x15 = gf_mul b x12 x3 in
+  let x240 = gf_square b (gf_square b (gf_square b (gf_square b x15))) in
+  let x252 = gf_mul b x240 x12 in
+  gf_mul b x252 x2
+
+(* The AES affine map applied after inversion (either inversion circuit). *)
+let affine b y =
+  let rot n = Array.init 8 (fun i -> y.((i - n + 8) mod 8)) in
+  let r1 = rot 1 and r2 = rot 2 and r3 = rot 3 and r4 = rot 4 in
+  let acc =
+    Array.init 8 (fun i ->
+        let w = Builder.bxor b y.(i) r1.(i) in
+        let w = Builder.bxor b w r2.(i) in
+        let w = Builder.bxor b w r3.(i) in
+        Builder.bxor b w r4.(i))
+  in
+  xor_const b acc 0x63
+
+let sbox_algebraic b x = affine b (gf_inv b x)
+
+(* ---------- tower-field S-box: GF(2^8) ~ GF(2^4)[y]/(y^2 + y + lambda) --
+
+   All constants of the decomposition — lambda, the isomorphism matrix M
+   (mapping the AES representation to the tower) and its inverse — are
+   derived here numerically; nothing is pasted from tables. *)
+
+(* GF(2^4) with modulus x^4 + x + 1 *)
+let gf16_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = let a = a lsl 1 in if a land 0x10 <> 0 then (a lxor 0x13) land 0xf else a in
+      go a (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+(* smallest lambda making y^2 + y + lambda irreducible over GF(2^4) *)
+let lambda =
+  let has_root l =
+    List.exists (fun t -> gf16_mul t t lxor t lxor l = 0) (List.init 16 Fun.id)
+  in
+  let rec find l = if has_root l then find (l + 1) else l in
+  find 1
+
+(* composite-field element w = a*16 + b  <->  a*y + b *)
+let cmul w1 w2 =
+  let a = w1 lsr 4 and b = w1 land 0xf and c = w2 lsr 4 and d = w2 land 0xf in
+  let ac = gf16_mul a c in
+  let hi = gf16_mul a d lxor gf16_mul b c lxor ac in
+  let lo = gf16_mul b d lxor gf16_mul ac lambda in
+  (hi lsl 4) lor lo
+
+let cpow w n =
+  let rec go acc base n =
+    if n = 0 then acc
+    else go (if n land 1 = 1 then cmul acc base else acc) (cmul base base) (n lsr 1)
+  in
+  go 0x01 w n
+
+(* gamma: a root of the AES modulus z^8 + z^4 + z^3 + z + 1 in the tower,
+   making (1, gamma, gamma^2, ...) the image of the polynomial basis *)
+let gamma =
+  let m w = cpow w 8 lxor cpow w 4 lxor cpow w 3 lxor w lxor 0x01 in
+  let rec find w = if w > 255 then failwith "no root" else if m w = 0 then w else find (w + 1) in
+  find 2
+
+(* M as row masks: output bit j = XOR of input bits i with row.(j) bit i *)
+let matrix_of_columns cols =
+  Array.init 8 (fun j ->
+      snd
+        (Array.fold_left
+           (fun (i, mask) col ->
+              (i + 1, if (col lsr j) land 1 = 1 then mask lor (1 lsl i) else mask))
+           (0, 0) cols))
+
+let tower_matrix = matrix_of_columns (Array.init 8 (fun i -> cpow gamma i))
+
+(* Gauss-Jordan inversion over GF(2) of an 8x8 row-mask matrix. *)
+let invert_matrix rows =
+  let n = 8 in
+  let aug = Array.mapi (fun j row -> row lor (1 lsl (n + j))) rows in
+  for col = 0 to n - 1 do
+    let pivot = ref (-1) in
+    for j = col to n - 1 do
+      if !pivot = -1 && (aug.(j) lsr col) land 1 = 1 then pivot := j
+    done;
+    if !pivot = -1 then failwith "singular matrix";
+    let tmp = aug.(col) in
+    aug.(col) <- aug.(!pivot);
+    aug.(!pivot) <- tmp;
+    for j = 0 to n - 1 do
+      if j <> col && (aug.(j) lsr col) land 1 = 1 then aug.(j) <- aug.(j) lxor aug.(col)
+    done
+  done;
+  Array.map (fun row -> row lsr n) aug
+
+let tower_matrix_inv = invert_matrix tower_matrix
+
+(* circuit-side linear map: wires (LSB-first) through a row-mask matrix *)
+let apply_matrix b rows wires =
+  Array.map
+    (fun row ->
+       let acc = ref None in
+       Array.iteri
+         (fun i w ->
+            if (row lsr i) land 1 = 1 then
+              acc := (match !acc with None -> Some w | Some v -> Some (Builder.bxor b v w)))
+         wires;
+       match !acc with Some w -> w | None -> failwith "zero matrix row")
+    rows
+
+(* GF(2^4) circuit arithmetic on 4-wire (degree-indexed) arrays *)
+let reduce16 b poly =
+  let poly = Array.append poly (Array.make (max 0 (7 - Array.length poly)) None) in
+  let fold_into d t =
+    match poly.(d) with
+    | None -> ()
+    | Some w ->
+      poly.(t) <- (match poly.(t) with None -> Some w | Some v -> Some (Builder.bxor b v w))
+  in
+  for d = 6 downto 4 do
+    (* x^4 = x + 1: x^d = x^(d-3) + x^(d-4) *)
+    fold_into d (d - 3);
+    fold_into d (d - 4);
+    poly.(d) <- None
+  done;
+  Array.init 4 (fun i -> match poly.(i) with Some w -> w | None -> assert false)
+
+let g16_mul b x y = reduce16 b (Array.map Option.some (clmul b x y))
+
+let g16_sq b x =
+  let poly = Array.make 7 None in
+  Array.iteri (fun i w -> poly.(2 * i) <- Some w) x;
+  reduce16 b poly
+
+let g16_xor b x y = Array.init 4 (fun i -> Builder.bxor b x.(i) y.(i))
+
+(* multiplication by the constant lambda: a linear map *)
+let g16_mul_lambda =
+  let rows =
+    Array.init 4 (fun j ->
+        snd
+          (List.fold_left
+             (fun (i, mask) v ->
+                (i + 1, if (v lsr j) land 1 = 1 then mask lor (1 lsl i) else mask))
+             (0, 0)
+             (List.init 4 (fun i -> gf16_mul lambda (1 lsl i)))))
+  in
+  fun b x -> apply_matrix b rows x
+
+(* GF(2^4) inversion = x^14: two multiplications, free squarings *)
+let g16_inv b x =
+  let x2 = g16_sq b x in
+  let x3 = g16_mul b x2 x in
+  let x12 = g16_sq b (g16_sq b x3) in
+  g16_mul b x12 x2
+
+let sbox_tower b x =
+  let w = apply_matrix b tower_matrix x in
+  let lo = Array.sub w 0 4 and hi = Array.sub w 4 4 in
+  (* inverse of a*y + b: delta = a^2 lambda + ab + b^2;
+     (a*y + b)^-1 = (a delta^-1) y + (a + b) delta^-1 *)
+  let a = hi and bb = lo in
+  let delta =
+    g16_xor b
+      (g16_mul_lambda b (g16_sq b a))
+      (g16_xor b (g16_mul b a bb) (g16_sq b bb))
+  in
+  let di = g16_inv b delta in
+  let c = g16_mul b a di in
+  let d = g16_mul b (g16_xor b a bb) di in
+  let inv_composite = Array.append d c in
+  affine b (apply_matrix b tower_matrix_inv inv_composite)
+
+let xtime b x =
+  [| x.(7);
+     Builder.bxor b x.(0) x.(7);
+     x.(1);
+     Builder.bxor b x.(2) x.(7);
+     Builder.bxor b x.(3) x.(7);
+     x.(4);
+     x.(5);
+     x.(6) |]
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let build_with sbox () =
+  let b = Builder.create () in
+  let key_bits = Builder.inputs b 128 in
+  let msg_bits = Builder.inputs b 128 in
+  let to_bytes bits =
+    Array.init 16 (fun byte -> Array.init 8 (fun i -> bits.((8 * byte) + 7 - i)))
+  in
+  (* Key schedule: 44 words of 4 bytes. *)
+  let key_bytes = to_bytes key_bits in
+  let w = Array.make 44 [||] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> key_bytes.((4 * i) + j))
+  done;
+  for i = 4 to 43 do
+    if i mod 4 = 0 then begin
+      let p = w.(i - 1) in
+      let t = [| sbox b p.(1); sbox b p.(2); sbox b p.(3); sbox b p.(0) |] in
+      t.(0) <- xor_const b t.(0) rcon.((i / 4) - 1);
+      w.(i) <- Array.init 4 (fun j -> byte_xor b w.(i - 4).(j) t.(j))
+    end else
+      w.(i) <- Array.init 4 (fun j -> byte_xor b w.(i - 4).(j) w.(i - 1).(j))
+  done;
+  let state = ref (to_bytes msg_bits) in
+  let add_round_key round =
+    state := Array.init 16 (fun i -> byte_xor b !state.(i) w.((4 * round) + (i / 4)).(i mod 4))
+  in
+  let sub_bytes () = state := Array.map (sbox b) !state in
+  let shift_rows () =
+    let s = !state in
+    (* index = row + 4*col; row r rotates left by r *)
+    state := Array.init 16 (fun i ->
+        let r = i mod 4 and c = i / 4 in
+        s.(r + (4 * ((c + r) mod 4))))
+  in
+  let mix_columns () =
+    let s = !state in
+    state :=
+      Array.init 16 (fun i ->
+          let c = i / 4 and r = i mod 4 in
+          let a j = s.((4 * c) + j) in
+          let all = byte_xor b (byte_xor b (a 0) (a 1)) (byte_xor b (a 2) (a 3)) in
+          let cur = a r and next = a ((r + 1) mod 4) in
+          byte_xor b (byte_xor b cur all) (xtime b (byte_xor b cur next)))
+  in
+  add_round_key 0;
+  for round = 1 to 9 do
+    sub_bytes (); shift_rows (); mix_columns (); add_round_key round
+  done;
+  sub_bytes (); shift_rows (); add_round_key 10;
+  let out_bits =
+    Array.concat
+      (List.init 16 (fun byte -> Array.init 8 (fun i -> !state.(byte).(7 - i))))
+  in
+  Builder.finish b out_bits
+
+let build = build_with sbox_algebraic
+let build_tower = build_with sbox_tower

@@ -1,0 +1,30 @@
+(** AES-128 as a boolean circuit.
+
+    This is the function garbled during obfuscated rule encryption (paper
+    §3.3): the endpoints garble [AES_k(.)] with the session key [k] as the
+    garbler's input and the middlebox's rule keyword as the evaluator's
+    input.
+
+    The S-box is computed algebraically — GF(2^8) inversion as x^254 via an
+    addition chain of free squarings and four Karatsuba carry-less
+    multiplications (27 AND gates each) — so the circuit costs 108 ANDs per
+    S-box and 21 600 ANDs in total; everything else (ShiftRows, MixColumns,
+    AddRoundKey, the affine map) is XOR/NOT and therefore free to garble. *)
+
+(** [build ()] constructs the AES-128 circuit.  Inputs: wires [0..127] are
+    the key bits, wires [128..255] the plaintext bits, both in
+    {!Circuit.bits_of_string} order.  Outputs: the 128 ciphertext bits. *)
+val build : unit -> Circuit.t
+
+(** [build_tower ()] — the same function with the S-box computed in the
+    tower field GF((2^4)^2): inversion costs five GF(2^4) multiplications
+    (9 ANDs each by Karatsuba) = 45 ANDs per S-box and 9 000 ANDs total,
+    the circuit family behind the paper's 599 KB garbled circuits.  The
+    field isomorphism GF(2^8) -> GF(2^4)[y]/(y^2+y+lambda) is derived at
+    build time (root search + Gaussian elimination), not hard-coded. *)
+val build_tower : unit -> Circuit.t
+
+(** [key_input_range] and [msg_input_range] give [(first, count)] for the
+    two input halves. *)
+val key_input_range : int * int
+val msg_input_range : int * int

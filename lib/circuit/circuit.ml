@@ -1,0 +1,92 @@
+type wire = int
+
+type op = And | Xor | Not
+
+type gate = { op : op; a : wire; b : wire; out : wire }
+
+type t = {
+  n_inputs : int;
+  n_wires : int;
+  gates : gate array;
+  outputs : wire array;
+}
+
+let and_count t =
+  Array.fold_left (fun acc g -> if g.op = And then acc + 1 else acc) 0 t.gates
+
+let gate_count t = Array.length t.gates
+
+module Builder = struct
+  type b = {
+    mutable n_inputs : int;
+    mutable next_wire : int;
+    mutable gates_rev : gate list;
+    mutable n_gates : int;
+    mutable sealed : bool; (* inputs frozen once the first gate is added *)
+  }
+
+  let create () =
+    { n_inputs = 0; next_wire = 0; gates_rev = []; n_gates = 0; sealed = false }
+
+  let inputs b n =
+    if b.sealed then invalid_arg "Circuit.Builder.inputs: gates already added";
+    if n < 0 then invalid_arg "Circuit.Builder.inputs: negative count";
+    let first = b.next_wire in
+    b.next_wire <- b.next_wire + n;
+    b.n_inputs <- b.n_inputs + n;
+    Array.init n (fun i -> first + i)
+
+  let add b op x y =
+    if x >= b.next_wire || y >= b.next_wire || x < 0 || y < 0 then
+      invalid_arg "Circuit.Builder: undefined wire";
+    b.sealed <- true;
+    let out = b.next_wire in
+    b.next_wire <- out + 1;
+    b.gates_rev <- { op; a = x; b = y; out } :: b.gates_rev;
+    b.n_gates <- b.n_gates + 1;
+    out
+
+  let band b x y = add b And x y
+  let bxor b x y = add b Xor x y
+  let bnot b x = add b Not x x
+
+  let finish b outputs =
+    Array.iter
+      (fun w ->
+         if w < 0 || w >= b.next_wire then
+           invalid_arg "Circuit.Builder.finish: undefined output wire")
+      outputs;
+    { n_inputs = b.n_inputs;
+      n_wires = b.next_wire;
+      gates = Array.of_list (List.rev b.gates_rev);
+      outputs = Array.copy outputs }
+end
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then
+    invalid_arg "Circuit.eval: wrong number of inputs";
+  let values = Array.make t.n_wires false in
+  Array.blit inputs 0 values 0 t.n_inputs;
+  Array.iter
+    (fun { op; a; b; out } ->
+       values.(out) <-
+         (match op with
+          | And -> values.(a) && values.(b)
+          | Xor -> values.(a) <> values.(b)
+          | Not -> not values.(a)))
+    t.gates;
+  Array.map (fun w -> values.(w)) t.outputs
+
+let bits_of_string s =
+  Array.init (8 * String.length s) (fun i ->
+      let byte = Char.code s.[i / 8] in
+      (byte lsr (7 - (i mod 8))) land 1 = 1)
+
+let string_of_bits bits =
+  if Array.length bits mod 8 <> 0 then invalid_arg "Circuit.string_of_bits: ragged";
+  String.init (Array.length bits / 8) (fun i ->
+      let v = ref 0 in
+      for j = 0 to 7 do
+        v := (!v lsl 1) lor (if bits.((8 * i) + j) then 1 else 0)
+      done;
+      Char.chr !v)

@@ -1,0 +1,52 @@
+(** Boolean circuits over AND / XOR / NOT gates.
+
+    Circuits are built once with {!Builder}, then either evaluated in the
+    clear (the test oracle) or garbled by {!Bbx_garble}.  The gate basis is
+    chosen for garbling: XOR and NOT are free under the free-XOR technique,
+    so only AND gates cost ciphertexts. *)
+
+type wire = int
+
+type op = And | Xor | Not
+
+type gate = { op : op; a : wire; b : wire (* = a for Not *); out : wire }
+
+type t = private {
+  n_inputs : int;      (** wires [0 .. n_inputs-1] are inputs *)
+  n_wires : int;
+  gates : gate array;  (** topologically ordered; gate [i] defines wire [n_inputs + i] *)
+  outputs : wire array;
+}
+
+(** Number of AND gates — the only gates that cost garbled-table rows. *)
+val and_count : t -> int
+
+val gate_count : t -> int
+
+(** Circuit construction.  A builder is single-use: build inputs and gates,
+    then {!Builder.finish} with the output wires. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  (** [inputs b n] allocates the next [n] input wires.  All inputs must be
+      allocated before any gate is added. *)
+  val inputs : b -> int -> wire array
+
+  val band : b -> wire -> wire -> wire
+  val bxor : b -> wire -> wire -> wire
+  val bnot : b -> wire -> wire
+
+  (** [finish b outputs] freezes the circuit. *)
+  val finish : b -> wire array -> t
+end
+
+(** [eval t inputs] evaluates in the clear.  Raises [Invalid_argument] if
+    [Array.length inputs <> t.n_inputs]. *)
+val eval : t -> bool array -> bool array
+
+(** Byte/bit conversions, MSB-first within each byte: bit [8*i + j] of the
+    array is bit [7-j] of byte [i]. *)
+val bits_of_string : string -> bool array
+val string_of_bits : bool array -> string

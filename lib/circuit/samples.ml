@@ -1,0 +1,43 @@
+open Circuit
+
+let adder n =
+  let b = Builder.create () in
+  let xs = Builder.inputs b n in
+  let ys = Builder.inputs b n in
+  let outs = Array.make (n + 1) 0 in
+  let carry = ref None in
+  for i = 0 to n - 1 do
+    let x = xs.(i) and y = ys.(i) in
+    let x_xor_y = Builder.bxor b x y in
+    match !carry with
+    | None ->
+      outs.(i) <- x_xor_y;
+      carry := Some (Builder.band b x y)
+    | Some c ->
+      outs.(i) <- Builder.bxor b x_xor_y c;
+      (* carry' = (x AND y) XOR (c AND (x XOR y)) *)
+      let t = Builder.band b c x_xor_y in
+      carry := Some (Builder.bxor b (Builder.band b x y) t)
+  done;
+  outs.(n) <- (match !carry with Some c -> c | None -> assert false);
+  Builder.finish b outs
+
+let equality n =
+  let b = Builder.create () in
+  let xs = Builder.inputs b n in
+  let ys = Builder.inputs b n in
+  let diffs = Array.init n (fun i -> Builder.bnot b (Builder.bxor b xs.(i) ys.(i))) in
+  let all = Array.fold_left (fun acc w -> Builder.band b acc w) diffs.(0) (Array.sub diffs 1 (n - 1)) in
+  Builder.finish b [| all |]
+
+let mux n =
+  let b = Builder.create () in
+  let xs = Builder.inputs b n in
+  let ys = Builder.inputs b n in
+  let s = (Builder.inputs b 1).(0) in
+  (* out = a XOR (s AND (a XOR b)) *)
+  let outs =
+    Array.init n (fun i ->
+        Builder.bxor b xs.(i) (Builder.band b s (Builder.bxor b xs.(i) ys.(i))))
+  in
+  Builder.finish b outs

@@ -1,0 +1,12 @@
+(** Small reference circuits used by the garbling tests and benches. *)
+
+(** [adder n] adds two [n]-bit unsigned integers (LSB-first inputs: wires
+    [0..n-1] = a, [n..2n-1] = b); outputs [n+1] bits LSB-first. *)
+val adder : int -> Circuit.t
+
+(** [equality n] compares two [n]-bit strings; one output bit (1 = equal). *)
+val equality : int -> Circuit.t
+
+(** [mux n] selects between two [n]-bit inputs with one select bit: inputs
+    are [a (n) ; b (n) ; s (1)], output is [a] when [s = 0] else [b]. *)
+val mux : int -> Circuit.t

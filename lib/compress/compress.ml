@@ -1,0 +1,264 @@
+(* ---------- bit I/O ---------- *)
+
+module Bitwriter = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 1024; acc = 0; nbits = 0 }
+
+  (* LSB-first bit packing. *)
+  let put t value width =
+    t.acc <- t.acc lor (value lsl t.nbits);
+    t.nbits <- t.nbits + width;
+    while t.nbits >= 8 do
+      Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+      t.acc <- t.acc lsr 8;
+      t.nbits <- t.nbits - 8
+    done
+
+  let finish t =
+    if t.nbits > 0 then Buffer.add_char t.buf (Char.chr (t.acc land 0xff));
+    Buffer.contents t.buf
+end
+
+module Bitreader = struct
+  type t = { src : string; mutable pos : int; mutable acc : int; mutable nbits : int }
+
+  let create src pos = { src; pos; acc = 0; nbits = 0 }
+
+  let get t width =
+    while t.nbits < width do
+      if t.pos >= String.length t.src then invalid_arg "Compress: truncated stream";
+      t.acc <- t.acc lor (Char.code t.src.[t.pos] lsl t.nbits);
+      t.pos <- t.pos + 1;
+      t.nbits <- t.nbits + 8
+    done;
+    let v = t.acc land ((1 lsl width) - 1) in
+    t.acc <- t.acc lsr width;
+    t.nbits <- t.nbits - width;
+    v
+end
+
+(* ---------- canonical Huffman ---------- *)
+
+let n_symbols = 257 (* 256 literals + end-of-block *)
+let eob = 256
+
+(* Code lengths by repeated pairing of the two lightest subtrees (a simple
+   array-based selection is fine at 257 symbols). *)
+let huffman_lengths freqs =
+  let n = Array.length freqs in
+  (* weight, depth-propagation via parent pointers *)
+  let weights = Array.to_list (Array.mapi (fun i f -> (f, i)) freqs) in
+  let alive = List.filter (fun (f, _) -> f > 0) weights in
+  match alive with
+  | [] -> Array.make n 0
+  | [ (_, only) ] ->
+    let l = Array.make n 0 in
+    l.(only) <- 1;
+    l
+  | _ ->
+    (* nodes: 0..n-1 leaves, then internal *)
+    let max_nodes = 2 * n in
+    let weight = Array.make max_nodes 0 in
+    let parent = Array.make max_nodes (-1) in
+    let in_use = Array.make max_nodes false in
+    List.iter (fun (f, i) -> weight.(i) <- f; in_use.(i) <- true) alive;
+    let next = ref n in
+    let pick_two () =
+      let best = ref (-1) and second = ref (-1) in
+      for i = 0 to !next - 1 do
+        if in_use.(i) then begin
+          if !best = -1 || weight.(i) < weight.(!best) then begin
+            second := !best; best := i
+          end
+          else if !second = -1 || weight.(i) < weight.(!second) then second := i
+        end
+      done;
+      (!best, !second)
+    in
+    let remaining = ref (List.length alive) in
+    while !remaining > 1 do
+      let a, b = pick_two () in
+      in_use.(a) <- false;
+      in_use.(b) <- false;
+      weight.(!next) <- weight.(a) + weight.(b);
+      parent.(a) <- !next;
+      parent.(b) <- !next;
+      in_use.(!next) <- true;
+      incr next;
+      decr remaining
+    done;
+    let lengths = Array.make n 0 in
+    List.iter
+      (fun (_, i) ->
+         let rec depth j = if parent.(j) = -1 then 0 else 1 + depth parent.(j) in
+         lengths.(i) <- depth i)
+      alive;
+    lengths
+
+(* Canonical code assignment: sort by (length, symbol). *)
+let canonical_codes lengths =
+  let max_len = Array.fold_left max 0 lengths in
+  let codes = Array.make (Array.length lengths) 0 in
+  let code = ref 0 in
+  for len = 1 to max_len do
+    Array.iteri
+      (fun sym l ->
+         if l = len then begin
+           codes.(sym) <- !code;
+           incr code
+         end)
+      lengths;
+    code := !code lsl 1
+  done;
+  codes
+
+(* Write a Huffman code MSB-first so canonical decoding works. *)
+let put_code bw code len =
+  for i = len - 1 downto 0 do
+    Bitwriter.put bw ((code lsr i) land 1) 1
+  done
+
+(* ---------- LZ77 ---------- *)
+
+let window_size = 32768
+let min_match = 4
+let max_match = 258
+let max_chain = 64
+
+type symbol = Lit of char | Match of int * int (* length, distance *)
+
+let lz77 s =
+  let n = String.length s in
+  let hash_bits = 15 in
+  let head = Array.make (1 lsl hash_bits) (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let hash i =
+    ((Char.code s.[i] lsl 10) lxor (Char.code s.[i + 1] lsl 5) lxor Char.code s.[i + 2])
+    land ((1 lsl hash_bits) - 1)
+  in
+  let syms = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash !i in
+      let cand = ref head.(h) in
+      let chain = ref 0 in
+      while !cand >= 0 && !chain < max_chain && !i - !cand <= window_size do
+        let cap = min max_match (n - !i) in
+        let len = ref 0 in
+        while !len < cap && s.[!cand + !len] = s.[!i + !len] do incr len done;
+        if !len > !best_len then begin
+          best_len := !len;
+          best_dist := !i - !cand
+        end;
+        cand := prev.(!cand);
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      syms := Match (!best_len, !best_dist) :: !syms;
+      (* insert hash entries for every position we skip *)
+      let stop = min (!i + !best_len) (n - min_match + 1) in
+      let j = ref !i in
+      while !j < stop do
+        let h = hash !j in
+        prev.(!j) <- head.(h);
+        head.(h) <- !j;
+        incr j
+      done;
+      i := !i + !best_len
+    end
+    else begin
+      if !i + min_match <= n then begin
+        let h = hash !i in
+        prev.(!i) <- head.(h);
+        head.(h) <- !i
+      end;
+      syms := Lit s.[!i] :: !syms;
+      incr i
+    end
+  done;
+  List.rev !syms
+
+(* ---------- container ---------- *)
+
+let compress s =
+  let syms = lz77 s in
+  let freqs = Array.make n_symbols 0 in
+  List.iter (function Lit c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1 | Match _ -> ()) syms;
+  freqs.(eob) <- 1;
+  let lengths = huffman_lengths freqs in
+  let codes = canonical_codes lengths in
+  let bw = Bitwriter.create () in
+  List.iter
+    (function
+      | Lit c ->
+        Bitwriter.put bw 0 1;
+        put_code bw codes.(Char.code c) lengths.(Char.code c)
+      | Match (len, dist) ->
+        Bitwriter.put bw 1 1;
+        Bitwriter.put bw (len - min_match) 8;
+        Bitwriter.put bw dist 15)
+    syms;
+  Bitwriter.put bw 0 1;
+  put_code bw codes.(eob) lengths.(eob);
+  let body = Bitwriter.finish bw in
+  let header = String.init n_symbols (fun i -> Char.chr lengths.(i)) in
+  let packed = "\001" ^ header ^ body in
+  if String.length packed >= String.length s + 1 then "\000" ^ s else packed
+
+let decompress s =
+  if String.length s = 0 then invalid_arg "Compress.decompress: empty";
+  match s.[0] with
+  | '\000' -> String.sub s 1 (String.length s - 1)
+  | '\001' ->
+    if String.length s < 1 + n_symbols then invalid_arg "Compress.decompress: truncated header";
+    let lengths = Array.init n_symbols (fun i -> Char.code s.[1 + i]) in
+    let codes = canonical_codes lengths in
+    (* decoding table: (length, code) -> symbol *)
+    let table = Hashtbl.create 512 in
+    Array.iteri (fun sym l -> if l > 0 then Hashtbl.replace table (l, codes.(sym)) sym) lengths;
+    let max_len = Array.fold_left max 0 lengths in
+    let br = Bitreader.create s (1 + n_symbols) in
+    let read_symbol () =
+      let rec go code len =
+        if len > max_len then invalid_arg "Compress.decompress: bad code";
+        let code = (code lsl 1) lor Bitreader.get br 1 in
+        match Hashtbl.find_opt table (len + 1, code) with
+        | Some sym -> sym
+        | None -> go code (len + 1)
+      in
+      go 0 0
+    in
+    let out = Buffer.create (4 * String.length s) in
+    let rec loop () =
+      let flag = Bitreader.get br 1 in
+      if flag = 1 then begin
+        let len = Bitreader.get br 8 + min_match in
+        let dist = Bitreader.get br 15 in
+        let start = Buffer.length out - dist in
+        if dist = 0 || start < 0 then invalid_arg "Compress.decompress: bad distance";
+        for k = 0 to len - 1 do
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done;
+        loop ()
+      end
+      else begin
+        let sym = read_symbol () in
+        if sym <> eob then begin
+          Buffer.add_char out (Char.chr sym);
+          loop ()
+        end
+      end
+    in
+    loop ();
+    Buffer.contents out
+  | _ -> invalid_arg "Compress.decompress: bad flag byte"
+
+let compressed_size s = String.length (compress s)
+
+let ratio s =
+  if s = "" then 1.0
+  else float_of_int (String.length s) /. float_of_int (compressed_size s)

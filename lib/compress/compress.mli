@@ -1,0 +1,25 @@
+(** LZ77 + canonical-Huffman compressor (DEFLATE-shaped).
+
+    Fig. 6 of the paper compares BlindBox's token overhead against pages
+    served with gzip.  This module provides that baseline: a real
+    dictionary compressor whose ratios on text/HTML sit in gzip's band
+    (~3-4x).  The format is self-describing but deliberately not
+    byte-compatible with RFC 1951; see DESIGN.md §2 on substitutions.
+
+    Format: 1 flag byte (0 = stored, 1 = compressed), then either the raw
+    bytes or a 257-entry code-length table followed by a bit stream of
+    flagged literals (Huffman-coded, with an end-of-block symbol) and
+    matches (8-bit length-3, 15-bit distance). *)
+
+val compress : string -> string
+
+(** [decompress s] inverts {!compress}.  Raises [Invalid_argument] on
+    malformed input. *)
+val decompress : string -> string
+
+(** [compressed_size s] = [String.length (compress s)]. *)
+val compressed_size : string -> int
+
+(** [ratio s] is [original / compressed] (>= ~0.99 thanks to the stored
+    fallback). *)
+val ratio : string -> float

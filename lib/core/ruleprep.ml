@@ -1,0 +1,122 @@
+open Bbx_circuit
+open Bbx_crypto
+open Bbx_garble
+open Bbx_ot
+open Bbx_tokenizer
+
+type stats = {
+  circuits : int;
+  circuit_bytes : int;
+  ot_bytes : int;
+  garble_seconds : float;
+  eval_seconds : float;
+}
+
+(* The tower-field AES circuit (9 000 AND gates) with half-gates garbling
+   lands per-circuit sizes near the paper's 599 KB; the algebraic circuit
+   is kept for the circuit tests and garbling ablations. *)
+let circuit =
+  let c = lazy (Aes_circuit.build_tower ()) in
+  fun () -> Lazy.force c
+
+let chunk_bits_per_circuit = 8 * Tokenizer.token_len (* 64 *)
+
+(* One deterministic garbling per (generation, chunk index); both endpoints
+   derive the same DRBG from k_rand so their circuits agree byte-for-byte.
+   The generation label keeps rule *updates* on fresh randomness — garbled
+   circuits must never be reused across different evaluator inputs. *)
+let garble_for_chunk ~generation ~k_rand idx c =
+  let drbg =
+    Drbg.create
+      (Kdf.derive ~secret:k_rand ~label:(Printf.sprintf "garble-%s-%d" generation idx) 32)
+  in
+  Garble.garble drbg c
+
+let prepare_internal ?k_rand_receiver ?(generation = "initial") ~k ~k_rand ~chunks () =
+  Array.iter
+    (fun chunk ->
+       if String.length chunk <> Tokenizer.token_len then
+         invalid_arg "Ruleprep: chunk must be token-sized")
+    chunks;
+  let c = circuit () in
+  let n = Array.length chunks in
+  let raw_key = Bbx_dpienc.Dpienc.raw_key_of_secret k in
+  let key_bits = Circuit.bits_of_string raw_key in
+  (* Endpoint S garbles; endpoint R's copy is re-derived and checked. *)
+  let t0 = Unix.gettimeofday () in
+  let garblings_s = Array.init n (fun i -> garble_for_chunk ~generation ~k_rand i c) in
+  let garble_seconds = Unix.gettimeofday () -. t0 in
+  (* The receiver independently re-derives every circuit from its own copy
+     of k_rand; the middlebox accepts only byte-identical garblings (at
+     least one endpoint is honest, so agreement implies honesty). *)
+  let k_rand_r = Option.value k_rand_receiver ~default:k_rand in
+  let garblings_r =
+    Array.init n (fun i -> fst (garble_for_chunk ~generation ~k_rand:k_rand_r i c))
+  in
+  Array.iteri
+    (fun i (g_s, _) ->
+       if not (Garble.equal g_s garblings_r.(i)) then
+         invalid_arg "Ruleprep: endpoint garblings disagree (malicious endpoint?)")
+    garblings_s;
+  (* Batched IKNP oblivious transfer for every chunk bit of every circuit:
+     the middlebox's choice bits are the chunk bits; the endpoints' message
+     pairs are the corresponding input-wire labels. *)
+  let msg_first, _ = Aes_circuit.msg_input_range in
+  let messages =
+    Array.concat
+      (List.init n (fun i ->
+           let _, secrets = garblings_s.(i) in
+           Array.init chunk_bits_per_circuit (fun b ->
+               Garble.input_label_pair secrets ~wire:(msg_first + b))))
+  in
+  let choices =
+    Array.concat
+      (List.init n (fun i ->
+           Array.sub (Circuit.bits_of_string chunks.(i)) 0 chunk_bits_per_circuit))
+  in
+  let chunk_labels, ot_bytes =
+    if n = 0 then ([||], 0)
+    else
+      Extension.run
+        ~sender_drbg:(Drbg.create (Kdf.derive ~secret:k_rand ~label:"ot-endpoint" 32))
+        ~receiver_drbg:(Drbg.create (Sha256.digest (String.concat "" (Array.to_list chunks) ^ "mb-ot")))
+        ~messages ~choices
+  in
+  (* Middlebox evaluation: key labels and zero-pad labels arrive directly
+     from the endpoints; chunk labels come from the OT. *)
+  let t1 = Unix.gettimeofday () in
+  let encs =
+    Array.init n (fun i ->
+        let g, secrets = garblings_s.(i) in
+        let labels =
+          Array.init c.Circuit.n_inputs (fun w ->
+              if w < 128 then Garble.encode_input secrets ~wire:w key_bits.(w)
+              else if w < msg_first + chunk_bits_per_circuit then
+                chunk_labels.((i * chunk_bits_per_circuit) + (w - msg_first))
+              else Garble.encode_input secrets ~wire:w false)
+        in
+        Circuit.string_of_bits (Garble.eval c g labels))
+  in
+  let eval_seconds = Unix.gettimeofday () -. t1 in
+  let circuit_bytes = Array.fold_left (fun acc (g, _) -> acc + Garble.size_bytes g) 0 garblings_s in
+  (encs,
+   { circuits = n; circuit_bytes; ot_bytes; garble_seconds; eval_seconds })
+
+let prepare_unchecked ?generation ~k ~k_rand ~chunks () =
+  prepare_internal ?generation ~k ~k_rand ~chunks ()
+
+(* Test hook for the malicious-endpoint case: endpoints with different
+   randomness (i.e. at least one cheating on the agreed seed) must be
+   rejected by the middlebox's equality check. *)
+let prepare_distrusting ~k ~k_rand_sender ~k_rand_receiver ~chunks =
+  prepare_internal ~k_rand_receiver ~k ~k_rand:k_rand_sender ~chunks ()
+
+let prepare ?generation ~k ~k_rand ~chunks ~signatures ~rg_key () =
+  if Array.length signatures <> Array.length chunks then
+    invalid_arg "Ruleprep.prepare: one signature per chunk required";
+  Array.iteri
+    (fun i chunk ->
+       if not (Bbx_sig.Rsa.verify rg_key ~signature:signatures.(i) chunk) then
+         invalid_arg (Printf.sprintf "Ruleprep.prepare: bad RG signature on chunk %d" i))
+    chunks;
+  prepare_internal ?generation ~k ~k_rand ~chunks ()

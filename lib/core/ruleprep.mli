@@ -1,0 +1,66 @@
+(** Obfuscated rule encryption (paper §3.3, Fig. 2).
+
+    The middlebox must obtain [AES_k(chunk)] for every rule-keyword chunk
+    without learning [k] and without the endpoints learning the chunks:
+
+    + both endpoints garble the AES-128 circuit deterministically from the
+      shared seed [k_rand] — one fresh circuit per chunk (garbled-circuit
+      security breaks if two inputs are encoded for the same circuit);
+    + the middlebox checks the two garblings are byte-identical (at least
+      one endpoint is honest, so agreement implies honesty);
+    + the endpoints hand over the key-half input labels for [k] directly
+      and the padding-zero labels for the low message bits;
+    + the middlebox fetches the 64 chunk-bit labels per circuit by IKNP
+      oblivious transfer (one batched extension run for the whole
+      ruleset);
+    + the middlebox evaluates each circuit and decodes [AES_k(chunk)].
+
+    Rule authenticity: RG signs each chunk with {!Bbx_sig.Rsa}; the
+    middlebox's signatures are verified against RG's public key before any
+    labels are transferred.  Unlike the paper, the check runs outside the
+    garbled circuit (DESIGN.md §2, substitution 3). *)
+
+type stats = {
+  circuits : int;
+  circuit_bytes : int;       (** serialized garbled-circuit bytes shipped *)
+  ot_bytes : int;            (** OT transcript bytes *)
+  garble_seconds : float;    (** endpoint-side garbling time (one endpoint) *)
+  eval_seconds : float;      (** middlebox evaluation time *)
+}
+
+(** [prepare ~k ~k_rand ~chunks ~signatures ~rg_key ()] returns
+    [AES_k(chunk)] for every chunk, plus transfer statistics.
+    Raises [Invalid_argument] if any signature fails to verify or any
+    chunk is not token-sized.  [generation] namespaces the garbling
+    randomness: every preparation round (initial setup, each rule update)
+    must use a distinct generation, because garbled-circuit security
+    forbids evaluating one circuit on two inputs. *)
+val prepare :
+  ?generation:string ->
+  k:string ->
+  k_rand:string ->
+  chunks:string array ->
+  signatures:string array ->
+  rg_key:Bbx_sig.Rsa.public_key ->
+  unit ->
+  string array * stats
+
+(** [prepare_unchecked ~k ~k_rand ~chunks] — same without RG signatures
+    (for benches isolating the crypto cost). *)
+val prepare_unchecked :
+  ?generation:string -> k:string -> k_rand:string -> chunks:string array -> unit ->
+  string array * stats
+
+(** [prepare_distrusting ~k ~k_rand_sender ~k_rand_receiver ~chunks] runs
+    the exchange with each endpoint garbling from its own seed: when the
+    seeds differ (a malicious endpoint deviated from the handshake), the
+    middlebox's byte-equality check raises [Invalid_argument] — the §3.3
+    defence, exposed for failure-injection tests. *)
+val prepare_distrusting :
+  k:string -> k_rand_sender:string -> k_rand_receiver:string -> chunks:string array ->
+  string array * stats
+
+(** The circuit is built once per process (it does not depend on keys);
+    rule preparation uses the tower-field AES circuit (9 000 AND gates,
+    ~290 KB garbled under half-gates). *)
+val circuit : unit -> Bbx_circuit.Circuit.t

@@ -1,0 +1,393 @@
+open Bbx_crypto
+open Bbx_dpienc
+open Bbx_tokenizer
+open Bbx_tls
+
+type tokenization = Window | Delimiter
+
+type rule_prep_mode = Garbled | Direct
+
+type config = {
+  mode : Dpienc.mode;
+  tokenization : tokenization;
+  rule_prep : rule_prep_mode;
+  salt0 : int;
+  reset_period : int;
+}
+
+let default_config =
+  { mode = Dpienc.Exact; tokenization = Delimiter; rule_prep = Direct;
+    salt0 = 0; reset_period = 1 lsl 20 }
+
+type setup_stats = {
+  chunk_count : int;
+  rule_prep_stats : Ruleprep.stats option;
+  setup_seconds : float;
+}
+
+exception Evasion_detected of string
+exception Connection_blocked
+
+type t = {
+  config : config;
+  keys : Handshake.keys;
+  (* sender side *)
+  writer : Record.t;
+  dpi_sender : Dpienc.sender;
+  mutable sender_stream_off : int;
+  mutable bytes_since_reset : int;
+  (* middlebox *)
+  engine : Bbx_mbox.Engine.t;
+  mutable mb_records : string list; (* newest first *)
+  (* receiver side *)
+  reader : Record.t;
+  dpi_mirror : Dpienc.sender;       (* for token validation, §3.4 *)
+  mutable receiver_stream_off : int;
+  mutable reported : int list;      (* rule indices already reported in a delivery *)
+  mutable is_blocked : bool;        (* a drop-action rule fired *)
+  dir : string;                     (* record-layer direction label *)
+  mutable chunks_cache : string array; (* for resumption tickets *)
+  mutable encs_cache : string array;
+  rg : Bbx_sig.Rsa.keypair option;  (* retained for incremental rule prep *)
+  mutable rule_generation : int;    (* counts rule updates (fresh garbling namespace) *)
+}
+
+let direction = "sender->receiver"
+
+(* Build the in-process trio (S, MB, R) from agreed keys and prepared
+   encrypted rules.  [label] salts the record-layer direction so resumed
+   connections never reuse a keystream. *)
+let make_session ?rg config keys ~rules ~chunks ~encs ~label =
+  let enc_chunk =
+    let tbl = Hashtbl.create (Array.length chunks) in
+    Array.iteri (fun i c -> Hashtbl.replace tbl c encs.(i)) chunks;
+    fun chunk -> Hashtbl.find tbl chunk
+  in
+  let engine =
+    Bbx_mbox.Engine.create ~mode:config.mode ~salt0:config.salt0 ~rules ~enc_chunk
+  in
+  let dir = direction ^ label in
+  { config;
+    keys;
+    writer = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
+    dpi_sender =
+      Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
+        ~salt0:config.salt0;
+    sender_stream_off = 0;
+    bytes_since_reset = 0;
+    engine;
+    mb_records = [];
+    reader = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
+    dpi_mirror =
+      Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
+        ~salt0:config.salt0;
+    receiver_stream_off = 0;
+    reported = [];
+    is_blocked = false;
+    dir;
+    chunks_cache = chunks;
+    encs_cache = encs;
+    rg;
+    rule_generation = 0 }
+
+let tokenize config ~base payload =
+  let toks =
+    match config.tokenization with
+    | Window -> Tokenizer.window payload
+    | Delimiter -> Tokenizer.delimiter payload
+  in
+  List.map (fun tok -> { tok with Tokenizer.offset = tok.Tokenizer.offset + base }) toks
+
+(* Handshake between the two endpoints; the middlebox observes only the
+   public key shares. *)
+let run_handshake seed =
+  let st, client_share = Handshake.initiate (Drbg.create (seed ^ "/client")) in
+  let keys_r, server_share =
+    Handshake.respond (Drbg.create (seed ^ "/server")) ~peer_share:client_share
+  in
+  let keys = Handshake.complete st ~peer_share:server_share in
+  assert (keys = keys_r);
+  keys
+
+(* Shared rule preparation used by [establish] and [Duplex.establish]. *)
+let prepare_rules config ?rg keys rules =
+  let chunks = Bbx_mbox.Engine.distinct_chunks rules in
+  let encs, rule_prep_stats =
+    match config.rule_prep with
+    | Direct ->
+      let key = Dpienc.key_of_secret keys.Handshake.k in
+      (Array.map (Dpienc.token_enc key) chunks, None)
+    | Garbled ->
+      let encs, stats =
+        match rg with
+        | None ->
+          Ruleprep.prepare_unchecked ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks ()
+        | Some (kp : Bbx_sig.Rsa.keypair) ->
+          let signatures = Array.map (Bbx_sig.Rsa.sign kp.Bbx_sig.Rsa.private_) chunks in
+          Ruleprep.prepare ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks
+            ~signatures ~rg_key:kp.Bbx_sig.Rsa.public ()
+      in
+      (encs, Some stats)
+  in
+  (chunks, encs, rule_prep_stats)
+
+let establish ?(config = default_config) ?(seed = "blindbox-session") ?rg ~rules () =
+  let t0 = Unix.gettimeofday () in
+  let keys = run_handshake seed in
+  let chunks, encs, rule_prep_stats = prepare_rules config ?rg keys rules in
+  let t = make_session ?rg config keys ~rules ~chunks ~encs ~label:"" in
+  ( t,
+    { chunk_count = Array.length chunks;
+      rule_prep_stats;
+      setup_seconds = Unix.gettimeofday () -. t0 } )
+
+type ticket = {
+  tk_keys : Handshake.keys;
+  tk_config : config;
+  tk_chunks : string array;
+  tk_encs : string array;
+  mutable tk_uses : int;
+}
+
+let resumption_ticket t =
+  { tk_keys = t.keys;
+    tk_config = t.config;
+    tk_chunks = t.chunks_cache;
+    tk_encs = t.encs_cache;
+    tk_uses = 0 }
+
+let resume ?config ticket ~rules () =
+  let config = Option.value config ~default:ticket.tk_config in
+  let chunks = Bbx_mbox.Engine.distinct_chunks rules in
+  if chunks <> ticket.tk_chunks then
+    invalid_arg "Session.resume: ruleset differs from the ticket's";
+  ticket.tk_uses <- ticket.tk_uses + 1;
+  make_session config ticket.tk_keys ~rules ~chunks:ticket.tk_chunks ~encs:ticket.tk_encs
+    ~label:(Printf.sprintf "#resume-%d" ticket.tk_uses)
+
+type delivery = {
+  plaintext : string;
+  verdicts : Bbx_mbox.Engine.verdict list;
+  record_bytes : int;
+  token_bytes : int;
+  token_count : int;
+}
+
+let k_ssl_opt t =
+  match t.config.mode with
+  | Dpienc.Probable -> Some t.keys.Handshake.k_ssl
+  | Dpienc.Exact -> None
+
+let mb_recovered_key t = Bbx_mbox.Engine.recovered_key t.engine
+
+let mb_decrypted_stream t =
+  match mb_recovered_key t with
+  | None -> None
+  | Some k_ssl ->
+    let frames = Ssldump.decrypt_records ~k_ssl ~direction:t.dir (List.rev t.mb_records) in
+    (* strip the per-record frame tag before the regexp stage *)
+    Some
+      (String.concat ""
+         (List.map
+            (fun f -> if f = "" then f else String.sub f 1 (String.length f - 1))
+            frames))
+
+let mb_keyword_hits t = Bbx_mbox.Engine.keyword_hits t.engine
+
+let mb_verdicts t = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine
+
+(* Sender-side encryption of one payload: SSL record + encrypted tokens.
+   A one-byte frame tag inside the record marks whether the payload was
+   tokenized ('T') or sent as binary without tokens ('B', the paper's §3
+   optimisation for images/video); the receiver validates accordingly. *)
+let sender_encrypt t ~tokenized payload =
+  let tag = if tokenized then "T" else "B" in
+  let record = Record.seal t.writer (tag ^ payload) in
+  if tokenized then begin
+    let toks = tokenize t.config ~base:t.sender_stream_off payload in
+    t.sender_stream_off <- t.sender_stream_off + String.length payload;
+    let enc = Dpienc.sender_encrypt t.dpi_sender ?k_ssl:(k_ssl_opt t) toks in
+    (record, enc)
+  end
+  else (record, [])
+
+(* Receiver-side §3.4 validation: recompute the token stream from the
+   decrypted plaintext and compare with what the middlebox forwarded. *)
+let receiver_validate t ~tokenized plaintext forwarded =
+  let expected =
+    if tokenized then begin
+      let toks = tokenize t.config ~base:t.receiver_stream_off plaintext in
+      t.receiver_stream_off <- t.receiver_stream_off + String.length plaintext;
+      Dpienc.sender_encrypt t.dpi_mirror ?k_ssl:(k_ssl_opt t) toks
+    end
+    else []
+  in
+  let same =
+    List.length expected = List.length forwarded
+    && List.for_all2
+      (fun (a : Dpienc.enc_token) (b : Dpienc.enc_token) ->
+         a.Dpienc.cipher = b.Dpienc.cipher
+         && a.Dpienc.offset = b.Dpienc.offset
+         && a.Dpienc.embed = b.Dpienc.embed)
+      expected forwarded
+  in
+  if not same then
+    raise (Evasion_detected "token stream does not match the decrypted payload")
+
+let maybe_reset t payload_len =
+  t.bytes_since_reset <- t.bytes_since_reset + payload_len;
+  if t.config.reset_period > 0 && t.bytes_since_reset >= t.config.reset_period then begin
+    t.bytes_since_reset <- 0;
+    let new_salt0 = Dpienc.sender_reset t.dpi_sender in
+    (* announced to MB and mirrored by the receiver *)
+    Bbx_mbox.Engine.reset t.engine ~salt0:new_salt0;
+    let mirror_salt0 = Dpienc.sender_reset t.dpi_mirror in
+    assert (mirror_salt0 = new_salt0)
+  end
+
+let blocked t = t.is_blocked
+
+let deliver t ~record ~tokens =
+  if t.is_blocked then raise Connection_blocked;
+  (* middlebox: inspect tokens, record the SSL stream, forward both *)
+  Bbx_mbox.Engine.process t.engine tokens;
+  t.mb_records <- record :: t.mb_records;
+  (* receiver *)
+  let framed = Record.open_ t.reader record in
+  if String.length framed = 0 then raise (Evasion_detected "empty frame");
+  let tokenized =
+    match framed.[0] with
+    | 'T' -> true
+    | 'B' -> false
+    | _ -> raise (Evasion_detected "bad frame tag")
+  in
+  let plaintext = String.sub framed 1 (String.length framed - 1) in
+  receiver_validate t ~tokenized plaintext tokens;
+  if not tokenized && tokens <> [] then
+    raise (Evasion_detected "tokens attached to a binary frame");
+  let all = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine in
+  (* report each rule once, on the send that first triggered it *)
+  let fresh =
+    List.filter (fun v -> not (List.mem v.Bbx_mbox.Engine.rule_idx t.reported)) all
+  in
+  t.reported <- List.map (fun v -> v.Bbx_mbox.Engine.rule_idx) fresh @ t.reported;
+  if List.exists
+      (fun v -> v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
+      all
+  then t.is_blocked <- true;
+  maybe_reset t (String.length plaintext);
+  { plaintext;
+    verdicts = fresh;
+    record_bytes = String.length record;
+    token_bytes = String.length (Dpienc.encode_tokens tokens);
+    token_count = List.length tokens }
+
+(* Rule update on a live connection (§2.3: RG ships new signatures to its
+   middlebox customers): only the chunks not already prepared pay the
+   obfuscated-rule-encryption cost. *)
+let add_rules t rules =
+  let known = Hashtbl.create (Array.length t.chunks_cache) in
+  Array.iter (fun c -> Hashtbl.replace known c ()) t.chunks_cache;
+  let fresh_chunks =
+    Array.of_list
+      (List.filter
+         (fun c -> not (Hashtbl.mem known c))
+         (Array.to_list (Bbx_mbox.Engine.distinct_chunks rules)))
+  in
+  let fresh_encs, stats =
+    match t.config.rule_prep with
+    | Direct ->
+      let key = Dpienc.key_of_secret t.keys.Handshake.k in
+      (Array.map (Dpienc.token_enc key) fresh_chunks, None)
+    | Garbled ->
+      (* preparation runs for the fresh chunks only, on a fresh garbling
+         generation (circuits are never reused across inputs) *)
+      t.rule_generation <- t.rule_generation + 1;
+      let generation = Printf.sprintf "update-%d" t.rule_generation in
+      let encs, st =
+        match t.rg with
+        | None ->
+          Ruleprep.prepare_unchecked ~generation ~k:t.keys.Handshake.k
+            ~k_rand:t.keys.Handshake.k_rand ~chunks:fresh_chunks ()
+        | Some kp ->
+          let signatures =
+            Array.map (Bbx_sig.Rsa.sign kp.Bbx_sig.Rsa.private_) fresh_chunks
+          in
+          Ruleprep.prepare ~generation ~k:t.keys.Handshake.k
+            ~k_rand:t.keys.Handshake.k_rand ~chunks:fresh_chunks ~signatures
+            ~rg_key:kp.Bbx_sig.Rsa.public ()
+      in
+      (encs, Some st)
+  in
+  let tbl = Hashtbl.create (Array.length fresh_chunks) in
+  Array.iteri (fun i c -> Hashtbl.replace tbl c fresh_encs.(i)) fresh_chunks;
+  let added =
+    Bbx_mbox.Engine.add_rules t.engine ~rules ~enc_chunk:(fun c -> Hashtbl.find tbl c)
+  in
+  t.chunks_cache <- Array.append t.chunks_cache fresh_chunks;
+  t.encs_cache <- Array.append t.encs_cache fresh_encs;
+  (* A rule update forces a salt reset: the sender may already have
+     emitted the new keywords' token values under earlier salts, and the
+     middlebox has no way to know their counts.  Resetting puts every
+     counter — old and new — back in lock-step. *)
+  t.bytes_since_reset <- 0;
+  let new_salt0 = Dpienc.sender_reset t.dpi_sender in
+  Bbx_mbox.Engine.reset t.engine ~salt0:new_salt0;
+  let mirror_salt0 = Dpienc.sender_reset t.dpi_mirror in
+  assert (mirror_salt0 = new_salt0);
+  (added, stats)
+
+let send t payload =
+  let record, tokens = sender_encrypt t ~tokenized:true payload in
+  deliver t ~record ~tokens
+
+let send_binary t payload =
+  let record, tokens = sender_encrypt t ~tokenized:false payload in
+  deliver t ~record ~tokens
+
+let send_evading t payload ~drop_tokens =
+  let record, tokens = sender_encrypt t ~tokenized:true payload in
+  let tokens = List.filteri (fun i _ -> i >= drop_tokens) tokens in
+  deliver t ~record ~tokens
+
+
+(* ---------- bidirectional connections ---------- *)
+
+module Duplex = struct
+  type duplex = {
+    c2s : t;  (* client -> server: requests *)
+    s2c : t;  (* server -> client: responses *)
+  }
+
+  let rules_for direction rules =
+    List.filter
+      (fun r ->
+         match Bbx_rules.Rule.flow_direction r with
+         | `Any -> true
+         | (`From_client | `From_server) as d -> d = direction)
+      rules
+
+  let establish ?(config = default_config) ?(seed = "blindbox-duplex") ?rg ~rules () =
+    let t0 = Unix.gettimeofday () in
+    let keys = run_handshake seed in
+    (* one rule preparation covers the chunks of the whole ruleset; each
+       direction's engine then loads only the rules that apply to it *)
+    let chunks, encs, rule_prep_stats = prepare_rules config ?rg keys rules in
+    let mk direction label =
+      make_session ?rg config keys ~rules:(rules_for direction rules) ~chunks ~encs ~label
+    in
+    ( { c2s = mk `From_client "/c2s"; s2c = mk `From_server "/s2c" },
+      { chunk_count = Array.length chunks;
+        rule_prep_stats;
+        setup_seconds = Unix.gettimeofday () -. t0 } )
+
+  let client_send t payload =
+    if t.s2c.is_blocked then raise Connection_blocked;
+    send t.c2s payload
+
+  let server_send t payload =
+    if t.c2s.is_blocked then raise Connection_blocked;
+    send t.s2c payload
+
+  let blocked t = t.c2s.is_blocked || t.s2c.is_blocked
+end

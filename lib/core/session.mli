@@ -1,0 +1,148 @@
+(** A complete BlindBox HTTPS connection (paper Fig. 1): sender S,
+    receiver R and middlebox MB wired together in-process.
+
+    [establish] runs the SSL handshake (key agreement + derivation of
+    [k_ssl]/[k]/[k_rand]), then connection setup with the middlebox
+    (obfuscated rule encryption over every distinct rule-keyword chunk).
+    [send] then drives one message through the full pipeline:
+
+    + S encrypts the payload into an SSL record, tokenizes it (window- or
+      delimiter-based) and DPIEnc-encrypts the tokens;
+    + MB runs BlindBox Detect over the encrypted tokens, records the SSL
+      stream, and — under probable cause — recovers [k_ssl] on a keyword
+      match and decrypts the stream for full-rule (pcre) evaluation;
+    + R decrypts the record and {e validates} the token stream by
+      re-tokenizing the plaintext and comparing (§3.4); a cheating sender
+      raises {!Evasion_detected}. *)
+
+type tokenization = Window | Delimiter
+
+type rule_prep_mode =
+  | Garbled                       (** the real protocol: garbled circuits + OT *)
+  | Direct
+  (** trusted-simulation shortcut: MB is handed [AES_k(chunk)] directly.
+      Identical detection behaviour; used by benches that isolate
+      detection cost from setup cost. *)
+
+type config = {
+  mode : Bbx_dpienc.Dpienc.mode;
+  tokenization : tokenization;
+  rule_prep : rule_prep_mode;
+  salt0 : int;
+  reset_period : int;  (** bytes between salt-counter resets; 0 = never *)
+}
+
+val default_config : config
+
+type setup_stats = {
+  chunk_count : int;
+  rule_prep_stats : Ruleprep.stats option;  (** [None] in [Direct] mode *)
+  setup_seconds : float;
+}
+
+type t
+
+exception Evasion_detected of string
+
+(** Raised by {!send} once a [drop]-action rule has fired: the middlebox
+    blocks the connection (paper §6: "under Protocols I and II, the
+    middlebox blocks the connection"). *)
+exception Connection_blocked
+
+(** [establish ?config ?seed ?rg ~rules ()] — [rg] (the rule generator's
+    keypair) enables signature verification during rule preparation; when
+    absent, [Garbled] prep runs unchecked. *)
+val establish :
+  ?config:config ->
+  ?seed:string ->
+  ?rg:Bbx_sig.Rsa.keypair ->
+  rules:Bbx_rules.Rule.t list ->
+  unit ->
+  t * setup_stats
+
+(** Session resumption (paper §7.2: "BlindBox is most fit for settings
+    using long or persistent connections through SPDY-like protocols or
+    tunneling").  A resumption ticket carries the session keys and the
+    prepared encrypted rules, so a resumed connection skips both the
+    handshake and the expensive obfuscated rule encryption.  Each
+    resumption re-keys the record layer (fresh direction label), so no
+    keystream is ever reused. *)
+type ticket
+
+(** [resumption_ticket t] — capture the state needed to resume. *)
+val resumption_ticket : t -> ticket
+
+(** [resume ?config ticket ~rules ()] — [rules] must be the same ruleset
+    the ticket was created with (checked by chunk count). *)
+val resume : ?config:config -> ticket -> rules:Bbx_rules.Rule.t list -> unit -> t
+
+(** [blocked t] — has the middlebox blocked this connection? *)
+val blocked : t -> bool
+
+(** [add_rules t rules] ships a rule update onto the live connection:
+    obfuscated rule encryption runs only for chunks not already prepared.
+    Returns [(fresh_chunks, rule_prep_stats)]. *)
+val add_rules : t -> Bbx_rules.Rule.t list -> int * Ruleprep.stats option
+
+type delivery = {
+  plaintext : string;   (** payload as decrypted and validated by R *)
+  verdicts : Bbx_mbox.Engine.verdict list;
+  (** rules newly triggered by this send (each rule is reported once per
+      connection; see {!mb_verdicts} for the cumulative view) *)
+  record_bytes : int;   (** SSL record bytes on the wire *)
+  token_bytes : int;    (** encrypted-token bytes on the wire *)
+  token_count : int;
+}
+
+(** [send t payload] drives one sender->receiver message through MB. *)
+val send : t -> string -> delivery
+
+(** [send_binary t payload] ships a payload without tokenizing it — the
+    paper's §3 optimisation for images/video, which an HTTP-only IDS does
+    not analyse.  The receiver checks that no tokens were attached. *)
+val send_binary : t -> string -> delivery
+
+(** [send_evading t payload ~drop_tokens] simulates a malicious sender
+    that omits its first [drop_tokens] tokens; the receiver's validation
+    raises {!Evasion_detected}. *)
+val send_evading : t -> string -> drop_tokens:int -> delivery
+
+(** [mb_recovered_key t] — [Some k_ssl] once probable cause has fired. *)
+val mb_recovered_key : t -> string option
+
+(** [mb_decrypted_stream t] — the stream as decrypted by the middlebox's
+    ssldump element, available only after probable cause. *)
+val mb_decrypted_stream : t -> string option
+
+(** Keyword-level matches observed by MB so far. *)
+val mb_keyword_hits : t -> (string * int) list
+
+(** All rule verdicts for the connection so far (cumulative). *)
+val mb_verdicts : t -> Bbx_mbox.Engine.verdict list
+
+
+(** Bidirectional connections: requests and responses are separate
+    BlindBox streams through the same middlebox, sharing one handshake and
+    one (expensive) rule preparation.  Rules carrying a [flow] direction
+    ([from_server], [to_server], ...) are only evaluated on the matching
+    direction, like the paper's example rule 2003296. *)
+module Duplex : sig
+  type duplex
+
+  val establish :
+    ?config:config ->
+    ?seed:string ->
+    ?rg:Bbx_sig.Rsa.keypair ->
+    rules:Bbx_rules.Rule.t list ->
+    unit ->
+    duplex * setup_stats
+
+  (** [client_send d payload] — request direction.  Raises
+      {!Connection_blocked} if either direction was blocked. *)
+  val client_send : duplex -> string -> delivery
+
+  (** [server_send d payload] — response direction. *)
+  val server_send : duplex -> string -> delivery
+
+  val blocked : duplex -> bool
+end

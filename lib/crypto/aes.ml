@@ -1,0 +1,248 @@
+(* AES-128, FIPS-197.  The state is a flat 16-entry int array indexed by
+   [r + 4*c] (column-major), which coincides with the byte order of inputs,
+   outputs and round keys, so no transposition is ever needed.
+
+   The S-box is derived algebraically (GF(2^8) inversion + affine map) at
+   module initialisation rather than pasted as a literal; the FIPS test
+   vectors in the test suite pin it down. *)
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then ((a lsl 1) lxor 0x11b) land 0xff else (a lsl 1) land 0xff in
+      go a (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+let gf_inv x =
+  if x = 0 then 0
+  else begin
+    (* x^254 by square-and-multiply. *)
+    let rec go acc sq e =
+      if e = 0 then acc
+      else begin
+        let acc = if e land 1 = 1 then gf_mul acc sq else acc in
+        go acc (gf_mul sq sq) (e lsr 1)
+      end
+    in
+    go 1 x 254
+  end
+
+let sbox =
+  let rotl8 v n = ((v lsl n) lor (v lsr (8 - n))) land 0xff in
+  Array.init 256 (fun x ->
+      let y = gf_inv x in
+      y lxor rotl8 y 1 lxor rotl8 y 2 lxor rotl8 y 3 lxor rotl8 y 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+let xtime = Array.init 256 (fun v -> gf_mul v 2)
+
+type key = { enc : int array (* 176 bytes: 11 round keys in byte order *) }
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand_key s =
+  if String.length s <> 16 then invalid_arg "Aes.expand_key: key must be 16 bytes";
+  let w = Array.make 176 0 in
+  for i = 0 to 15 do w.(i) <- Char.code s.[i] done;
+  for i = 4 to 43 do
+    let base = 4 * i in
+    let prev = base - 4 in
+    if i mod 4 = 0 then begin
+      (* rot_word + sub_word + rcon on the previous word *)
+      w.(base) <- w.(base - 16) lxor sbox.(w.(prev + 1)) lxor rcon.(i / 4 - 1);
+      w.(base + 1) <- w.(base - 15) lxor sbox.(w.(prev + 2));
+      w.(base + 2) <- w.(base - 14) lxor sbox.(w.(prev + 3));
+      w.(base + 3) <- w.(base - 13) lxor sbox.(w.(prev))
+    end else
+      for j = 0 to 3 do
+        w.(base + j) <- w.(base - 16 + j) lxor w.(prev + j)
+      done
+  done;
+  { enc = w }
+
+let add_round_key st w round =
+  let off = 16 * round in
+  for i = 0 to 15 do st.(i) <- st.(i) lxor w.(off + i) done
+
+let sub_bytes st = for i = 0 to 15 do st.(i) <- sbox.(st.(i)) done
+let inv_sub_bytes st = for i = 0 to 15 do st.(i) <- inv_sbox.(st.(i)) done
+
+(* Row r of the state lives at indices r, r+4, r+8, r+12. *)
+let shift_rows st =
+  let t1 = st.(1) in
+  st.(1) <- st.(5); st.(5) <- st.(9); st.(9) <- st.(13); st.(13) <- t1;
+  let t2 = st.(2) and t6 = st.(6) in
+  st.(2) <- st.(10); st.(10) <- t2; st.(6) <- st.(14); st.(14) <- t6;
+  let t15 = st.(15) in
+  st.(15) <- st.(11); st.(11) <- st.(7); st.(7) <- st.(3); st.(3) <- t15
+
+let inv_shift_rows st =
+  let t13 = st.(13) in
+  st.(13) <- st.(9); st.(9) <- st.(5); st.(5) <- st.(1); st.(1) <- t13;
+  let t2 = st.(2) and t6 = st.(6) in
+  st.(2) <- st.(10); st.(10) <- t2; st.(6) <- st.(14); st.(14) <- t6;
+  let t3 = st.(3) in
+  st.(3) <- st.(7); st.(7) <- st.(11); st.(11) <- st.(15); st.(15) <- t3
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    let all = a0 lxor a1 lxor a2 lxor a3 in
+    st.(i) <- a0 lxor all lxor xtime.(a0 lxor a1);
+    st.(i + 1) <- a1 lxor all lxor xtime.(a1 lxor a2);
+    st.(i + 2) <- a2 lxor all lxor xtime.(a2 lxor a3);
+    st.(i + 3) <- a3 lxor all lxor xtime.(a3 lxor a0)
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    let m9 = gf_mul 9 and m11 = gf_mul 11 and m13 = gf_mul 13 and m14 = gf_mul 14 in
+    st.(i) <- m14 a0 lxor m11 a1 lxor m13 a2 lxor m9 a3;
+    st.(i + 1) <- m9 a0 lxor m14 a1 lxor m11 a2 lxor m13 a3;
+    st.(i + 2) <- m13 a0 lxor m9 a1 lxor m14 a2 lxor m11 a3;
+    st.(i + 3) <- m11 a0 lxor m13 a1 lxor m9 a2 lxor m14 a3
+  done
+
+(* T-tables: the fused SubBytes+ShiftRows+MixColumns round as four table
+   lookups per output column (the classic software-AES optimisation).
+   Column c packs state bytes 4c..4c+3 little-endian; T_r[x] holds
+   MixColumns applied to S[x] sitting in row r. *)
+let t0 =
+  Array.init 256 (fun x ->
+      let s = sbox.(x) in
+      gf_mul 2 s lor (s lsl 8) lor (s lsl 16) lor (gf_mul 3 s lsl 24))
+
+let rotl32 v n = ((v lsl n) lor (v lsr (32 - n))) land 0xffffffff
+
+let t1 = Array.map (fun v -> rotl32 v 8) t0
+let t2 = Array.map (fun v -> rotl32 v 16) t0
+let t3 = Array.map (fun v -> rotl32 v 24) t0
+
+let encrypt_state { enc = w } st =
+  (* pack columns (and round-key columns) as 32-bit ints *)
+  let col i =
+    st.(4 * i) lor (st.((4 * i) + 1) lsl 8) lor (st.((4 * i) + 2) lsl 16)
+    lor (st.((4 * i) + 3) lsl 24)
+  in
+  let rk round c =
+    let o = (16 * round) + (4 * c) in
+    w.(o) lor (w.(o + 1) lsl 8) lor (w.(o + 2) lsl 16) lor (w.(o + 3) lsl 24)
+  in
+  let x0 = ref (col 0 lxor rk 0 0) and x1 = ref (col 1 lxor rk 0 1) in
+  let x2 = ref (col 2 lxor rk 0 2) and x3 = ref (col 3 lxor rk 0 3) in
+  for round = 1 to 9 do
+    let y c a b c' d =
+      t0.(a land 0xff)
+      lxor t1.((b lsr 8) land 0xff)
+      lxor t2.((c' lsr 16) land 0xff)
+      lxor t3.((d lsr 24) land 0xff)
+      lxor rk round c
+    in
+    let n0 = y 0 !x0 !x1 !x2 !x3 in
+    let n1 = y 1 !x1 !x2 !x3 !x0 in
+    let n2 = y 2 !x2 !x3 !x0 !x1 in
+    let n3 = y 3 !x3 !x0 !x1 !x2 in
+    x0 := n0; x1 := n1; x2 := n2; x3 := n3
+  done;
+  (* final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns *)
+  let final c a b c' d =
+    sbox.(a land 0xff)
+    lor (sbox.((b lsr 8) land 0xff) lsl 8)
+    lor (sbox.((c' lsr 16) land 0xff) lsl 16)
+    lor (sbox.((d lsr 24) land 0xff) lsl 24)
+    lxor rk 10 c
+  in
+  let n0 = final 0 !x0 !x1 !x2 !x3 in
+  let n1 = final 1 !x1 !x2 !x3 !x0 in
+  let n2 = final 2 !x2 !x3 !x0 !x1 in
+  let n3 = final 3 !x3 !x0 !x1 !x2 in
+  List.iteri
+    (fun i v ->
+       st.(4 * i) <- v land 0xff;
+       st.((4 * i) + 1) <- (v lsr 8) land 0xff;
+       st.((4 * i) + 2) <- (v lsr 16) land 0xff;
+       st.((4 * i) + 3) <- (v lsr 24) land 0xff)
+    [ n0; n1; n2; n3 ]
+
+(* Reference byte-wise implementation, kept as the test oracle for the
+   T-table path. *)
+let encrypt_state_reference { enc = w } st =
+  add_round_key st w 0;
+  for round = 1 to 9 do
+    sub_bytes st; shift_rows st; mix_columns st; add_round_key st w round
+  done;
+  sub_bytes st; shift_rows st; add_round_key st w 10
+
+let decrypt_state { enc = w } st =
+  add_round_key st w 10;
+  for round = 9 downto 1 do
+    inv_shift_rows st; inv_sub_bytes st; add_round_key st w round; inv_mix_columns st
+  done;
+  inv_shift_rows st; inv_sub_bytes st; add_round_key st w 0
+
+let encrypt_block key src =
+  if String.length src <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code src.[i]) in
+  encrypt_state key st;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let encrypt_block_reference key src =
+  if String.length src <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code src.[i]) in
+  encrypt_state_reference key st;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let decrypt_block key src =
+  if String.length src <> 16 then invalid_arg "Aes.decrypt_block: need 16 bytes";
+  let st = Array.init 16 (fun i -> Char.code src.[i]) in
+  decrypt_state key st;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
+  let st = Array.init 16 (fun i -> Char.code (Bytes.get src (src_off + i))) in
+  encrypt_state key st;
+  for i = 0 to 15 do Bytes.set dst (dst_off + i) (Char.chr st.(i)) done
+
+let ctr_transform key ~nonce data =
+  if String.length nonce <> 16 then invalid_arg "Aes.ctr_transform: nonce must be 16 bytes";
+  let len = String.length data in
+  let out = Bytes.create len in
+  let counter = Array.init 16 (fun i -> Char.code nonce.[i]) in
+  let ks = Array.make 16 0 in
+  let nblocks = (len + 15) / 16 in
+  for b = 0 to nblocks - 1 do
+    Array.blit counter 0 ks 0 16;
+    encrypt_state key ks;
+    let off = 16 * b in
+    for i = 0 to min 15 (len - off - 1) do
+      Bytes.set out (off + i) (Char.chr (Char.code data.[off + i] lxor ks.(i)))
+    done;
+    (* Increment the low 64 bits of the counter, big-endian. *)
+    let rec bump i =
+      if i >= 8 then begin
+        counter.(i) <- (counter.(i) + 1) land 0xff;
+        if counter.(i) = 0 then bump (i - 1)
+      end
+    in
+    bump 15
+  done;
+  Bytes.to_string out
+
+let encrypt_u64 key v =
+  let st = Array.make 16 0 in
+  for i = 0 to 7 do st.(15 - i) <- (v lsr (8 * i)) land 0xff done;
+  encrypt_state key st;
+  let r = ref 0 in
+  for i = 0 to 7 do r := (!r lsl 8) lor st.(i) done;
+  !r land ((1 lsl 62) - 1)

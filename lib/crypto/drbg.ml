@@ -1,0 +1,53 @@
+type t = {
+  key : Aes.key;
+  seed : string;               (* retained for forking *)
+  mutable counter : int;
+  mutable pending : string;    (* unconsumed tail of the last block *)
+  mutable pending_off : int;
+}
+
+let create seed =
+  let km = Kdf.derive ~secret:seed ~label:"drbg-key" 16 in
+  { key = Aes.expand_key km; seed; counter = 0; pending = ""; pending_off = 0 }
+
+let refill t =
+  let block = Util.u64_be 0 ^ Util.u64_be t.counter in
+  t.counter <- t.counter + 1;
+  t.pending <- Aes.encrypt_block t.key block;
+  t.pending_off <- 0
+
+let bytes t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    if t.pending_off >= String.length t.pending then refill t;
+    let avail = String.length t.pending - t.pending_off in
+    let take = min avail (n - Buffer.length buf) in
+    Buffer.add_substring buf t.pending t.pending_off take;
+    t.pending_off <- t.pending_off + take
+  done;
+  Buffer.contents buf
+
+let bits t n =
+  if n < 0 || n > 62 then invalid_arg "Drbg.bits: need 0 <= n <= 62";
+  let nbytes = (n + 7) / 8 in
+  let s = bytes t nbytes in
+  let r = ref 0 in
+  String.iter (fun c -> r := (!r lsl 8) lor Char.code c) s;
+  !r land ((1 lsl n) - 1)
+
+let uniform t bound =
+  if bound <= 0 then invalid_arg "Drbg.uniform: bound must be positive";
+  let nbits =
+    let rec go b n = if b = 0 then n else go (b lsr 1) (n + 1) in
+    go (bound - 1) 0
+  in
+  if nbits = 0 then 0
+  else begin
+    let rec draw () =
+      let v = bits t nbits in
+      if v < bound then v else draw ()
+    in
+    draw ()
+  end
+
+let fork t label = create (Kdf.derive ~secret:(t.seed ^ "/" ^ label) ~label:"drbg-fork" 32)

@@ -1,0 +1,26 @@
+(** Deterministic random byte generator (AES-128-CTR keystream).
+
+    Both endpoints seed a DRBG with [k_rand] so they generate identical
+    garbled circuits (paper §3.3: the middlebox checks the two copies are
+    equal).  Also used to make every test and benchmark reproducible. *)
+
+type t
+
+(** [create seed] derives an AES key and starting counter from [seed] (any
+    length). *)
+val create : string -> t
+
+(** [bytes t n] returns the next [n] bytes of the stream. *)
+val bytes : t -> int -> string
+
+(** [uniform t bound] samples uniformly from [[0, bound)] by rejection.
+    [bound] must be positive. *)
+val uniform : t -> int -> int
+
+(** [bits t n] samples an [n]-bit non-negative integer, [n <= 62]. *)
+val bits : t -> int -> int
+
+(** [fork t label] derives an independent generator; two forks with
+    different labels produce independent streams, and forking does not
+    disturb [t]. *)
+val fork : t -> string -> t

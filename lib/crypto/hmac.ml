@@ -1,0 +1,10 @@
+let block_size = 64
+
+let mac ~key data =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let pad byte = String.map (fun c -> Char.chr (Char.code c lxor byte)) key in
+  let ipad = pad 0x36 and opad = pad 0x5c in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ data))
+
+let verify ~key ~tag data = Util.ct_equal tag (mac ~key data)

@@ -1,0 +1,7 @@
+(** HMAC-SHA-256 (RFC 2104). *)
+
+(** [mac ~key data] is the 32-byte HMAC-SHA-256 tag. *)
+val mac : key:string -> string -> string
+
+(** [verify ~key ~tag data] checks [tag] in constant time. *)
+val verify : key:string -> tag:string -> string -> bool

@@ -1,0 +1,18 @@
+let extract ~salt ikm = Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info len =
+  if len > 255 * 32 then invalid_arg "Kdf.expand: output too long";
+  let buf = Buffer.create len in
+  let rec go t i =
+    if Buffer.length buf < len then begin
+      let t = Hmac.mac ~key:prk (t ^ info ^ String.make 1 (Char.chr i)) in
+      Buffer.add_string buf t;
+      go t (i + 1)
+    end
+  in
+  go "" 1;
+  String.sub (Buffer.contents buf) 0 len
+
+let derive ~secret ~label len =
+  let prk = extract ~salt:"blindbox-hkdf-salt-v1" secret in
+  expand ~prk ~info:label len

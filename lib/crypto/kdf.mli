@@ -1,0 +1,16 @@
+(** HKDF-style key derivation (RFC 5869 over HMAC-SHA-256).
+
+    The BlindBox handshake derives three independent keys from the SSL
+    master secret [k0] (paper §2.3): [k_ssl] for the record layer, [k] for
+    DPIEnc, and [k_rand] as the shared randomness seed for deterministic
+    garbling. *)
+
+(** [extract ~salt ikm] is the HKDF extract step. *)
+val extract : salt:string -> string -> string
+
+(** [expand ~prk ~info len] is the HKDF expand step ([len <= 8160]). *)
+val expand : prk:string -> info:string -> int -> string
+
+(** [derive ~secret ~label len] = extract with a fixed salt then expand with
+    [label]; convenience wrapper used by the handshake. *)
+val derive : secret:string -> label:string -> int -> string

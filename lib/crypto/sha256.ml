@@ -1,0 +1,126 @@
+(* FIPS 180-4.  Round constants and initial state are derived from the
+   fractional parts of cube/square roots of the first primes rather than
+   pasted as literals; the FIPS test vectors pin them down in the tests. *)
+
+let mask32 = 0xffffffff
+
+let first_primes n =
+  let rec is_prime k d = d * d > k || (k mod d <> 0 && is_prime k (d + 1)) in
+  let rec go k acc count =
+    if count = n then List.rev acc
+    else if is_prime k 2 then go (k + 1) (k :: acc) (count + 1)
+    else go (k + 1) acc count
+  in
+  go 2 [] 0
+
+let frac_bits f =
+  let frac = f -. Float.of_int (int_of_float f) in
+  int_of_float (frac *. 4294967296.0) land mask32
+
+let h0 =
+  Array.of_list (List.map (fun p -> frac_bits (sqrt (float_of_int p))) (first_primes 8))
+
+let k =
+  Array.of_list (List.map (fun p -> frac_bits (Float.cbrt (float_of_int p))) (first_primes 64))
+
+type ctx = {
+  h : int array;
+  buf : Bytes.t;            (* 64-byte block buffer *)
+  mutable buf_len : int;
+  mutable total : int;      (* total bytes hashed *)
+}
+
+let init () = { h = Array.copy h0; buf = Bytes.create 64; buf_len = 0; total = 0 }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+let w = Array.make 64 0 (* per-block message schedule; contexts are not thread-shared *)
+
+let compress h block off =
+  for t = 0 to 15 do
+    let i = off + 4 * t in
+    w.(t) <-
+      (Char.code (Bytes.get block i) lsl 24)
+      lor (Char.code (Bytes.get block (i + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (i + 2)) lsl 8)
+      lor Char.code (Bytes.get block (i + 3))
+  done;
+  for t = 16 to 63 do
+    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
+    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask32
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask32 in
+    hh := !g; g := !f; f := !e;
+    e := (!d + t1) land mask32;
+    d := !c; c := !b; b := !a;
+    a := (t1 + t2) land mask32
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b) land mask32;
+  h.(2) <- (h.(2) + !c) land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32;
+  h.(5) <- (h.(5) + !f) land mask32;
+  h.(6) <- (h.(6) + !g) land mask32;
+  h.(7) <- (h.(7) + !hh) land mask32
+
+let update ctx s =
+  let len = String.length s in
+  ctx.total <- ctx.total + len;
+  let pos = ref 0 in
+  (* Fill a partial buffer first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min (64 - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := take;
+    if ctx.buf_len = 64 then begin
+      compress ctx.h ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= 64 do
+    Bytes.blit_string s !pos ctx.buf 0 64;
+    compress ctx.h ctx.buf 0;
+    pos := !pos + 64
+  done;
+  if !pos < len then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let final ctx =
+  let total_bits = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1 + 8) mod 64 in
+    if rem = 0 then 1 + 8 else 1 + 8 + (64 - rem)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len - 1 - i) (Char.chr ((total_bits lsr (8 * i)) land 0xff))
+  done;
+  update ctx (Bytes.to_string pad);
+  assert (ctx.buf_len = 0);
+  String.init 32 (fun i ->
+      Char.chr ((ctx.h.(i / 4) lsr (24 - 8 * (i mod 4))) land 0xff))
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  final ctx
+
+let hexdigest s =
+  let d = digest s in
+  let buf = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for rule signatures, the TLS-like handshake transcript hash, and
+    the IKNP OT-extension hash. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+
+(** [final ctx] returns the 32-byte digest.  The context must not be used
+    afterwards. *)
+val final : ctx -> string
+
+(** [digest s] is the 32-byte SHA-256 of [s]. *)
+val digest : string -> string
+
+(** [hexdigest s] is [digest s] in lowercase hex. *)
+val hexdigest : string -> string

@@ -1,0 +1,26 @@
+(** Byte-string helpers shared across the crypto stack. *)
+
+(** [xor a b] XORs two equal-length strings.  Raises [Invalid_argument] on
+    length mismatch. *)
+val xor : string -> string -> string
+
+(** [ct_equal a b] compares in time dependent only on the lengths, not the
+    contents (returns [false] immediately on length mismatch). *)
+val ct_equal : string -> string -> bool
+
+val to_hex : string -> string
+
+(** [of_hex s] decodes lowercase or uppercase hex.  Raises
+    [Invalid_argument] on odd length or bad digits. *)
+val of_hex : string -> string
+
+(** [u64_be v] is the 8-byte big-endian encoding of [v] (low 64 bits). *)
+val u64_be : int -> string
+
+(** [read_u64_be s off] reads 8 big-endian bytes as an int (top 2 bits
+    dropped to stay non-negative). *)
+val read_u64_be : string -> int -> int
+
+(** [u32_be v] / [read_u32_be s off]: 4-byte big-endian encodings. *)
+val u32_be : int -> string
+val read_u32_be : string -> int -> int

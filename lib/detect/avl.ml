@@ -1,0 +1,101 @@
+type 'a t =
+  | Leaf
+  | Node of { l : 'a t; k : int; v : 'a; r : 'a t; h : int }
+
+let empty = Leaf
+let is_empty t = t = Leaf
+
+let height = function Leaf -> 0 | Node { h; _ } -> h
+
+let rec size = function Leaf -> 0 | Node { l; r; _ } -> 1 + size l + size r
+
+let node l k v r =
+  Node { l; k; v; r; h = 1 + max (height l) (height r) }
+
+(* Rebalance assuming subtrees differ in height by at most 2. *)
+let balance l k v r =
+  let hl = height l and hr = height r in
+  if hl > hr + 1 then
+    match l with
+    | Leaf -> assert false
+    | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+      if height ll >= height lr then node ll lk lv (node lr k v r)
+      else begin
+        match lr with
+        | Leaf -> assert false
+        | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+          node (node ll lk lv lrl) lrk lrv (node lrr k v r)
+      end
+  else if hr > hl + 1 then
+    match r with
+    | Leaf -> assert false
+    | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+      if height rr >= height rl then node (node l k v rl) rk rv rr
+      else begin
+        match rl with
+        | Leaf -> assert false
+        | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+          node (node l k v rll) rlk rlv (node rlr rk rv rr)
+      end
+  else node l k v r
+
+let rec insert key value = function
+  | Leaf -> node Leaf key value Leaf
+  | Node { l; k; v; r; _ } ->
+    if key = k then node l key value r
+    else if key < k then balance (insert key value l) k v r
+    else balance l k v (insert key value r)
+
+let rec find_opt key = function
+  | Leaf -> None
+  | Node { l; k; v; r; _ } ->
+    if key = k then Some v else if key < k then find_opt key l else find_opt key r
+
+let mem key t = find_opt key t <> None
+
+let rec min_binding = function
+  | Leaf -> invalid_arg "Avl.min_binding: empty"
+  | Node { l = Leaf; k; v; _ } -> (k, v)
+  | Node { l; _ } -> min_binding l
+
+let rec remove key = function
+  | Leaf -> Leaf
+  | Node { l; k; v; r; _ } ->
+    if key < k then balance (remove key l) k v r
+    else if key > k then balance l k v (remove key r)
+    else begin
+      match (l, r) with
+      | Leaf, _ -> r
+      | _, Leaf -> l
+      | _ ->
+        let sk, sv = min_binding r in
+        balance l sk sv (remove sk r)
+    end
+
+let update key f t =
+  match f (find_opt key t) with
+  | None -> remove key t
+  | Some v -> insert key v t
+
+let of_list l = List.fold_left (fun t (k, v) -> insert k v t) empty l
+
+let to_sorted_list t =
+  let rec go t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; k; v; r; _ } -> go l ((k, v) :: go r acc)
+  in
+  go t []
+
+let check_invariants t =
+  let rec go lo hi = function
+    | Leaf -> true
+    | Node { l; k; v = _; r; h } ->
+      (match lo with None -> true | Some b -> k > b)
+      && (match hi with None -> true | Some b -> k < b)
+      && h = 1 + max (height l) (height r)
+      && abs (height l - height r) <= 1
+      && go lo (Some k) l
+      && go (Some k) hi r
+  in
+  go None None t

@@ -1,0 +1,33 @@
+(** Self-balancing (AVL) search tree with [int] keys.
+
+    BlindBox Detect keeps one node per rule keyword, keyed by the keyword's
+    current DPIEnc ciphertext, so that each traffic token costs one
+    O(log #rules) lookup — the paper's headline complexity argument against
+    the linear-scan searchable-encryption strawman (§3.2). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val height : 'a t -> int
+
+(** [insert k v t] replaces any existing binding of [k]. *)
+val insert : int -> 'a -> 'a t -> 'a t
+
+val find_opt : int -> 'a t -> 'a option
+val mem : int -> 'a t -> bool
+
+(** [remove k t] is [t] without [k] (unchanged if unbound). *)
+val remove : int -> 'a t -> 'a t
+
+(** [update k f t]: [f None] on absent, [f (Some v)] on present; [f]
+    returning [None] deletes. *)
+val update : int -> ('a option -> 'a option) -> 'a t -> 'a t
+
+val of_list : (int * 'a) list -> 'a t
+val to_sorted_list : 'a t -> (int * 'a) list
+
+(** [check_invariants t] verifies BST ordering and AVL balance; used by the
+    property tests. *)
+val check_invariants : 'a t -> bool

@@ -1,0 +1,86 @@
+open Bbx_dpienc
+
+type keyword_id = int
+
+type event = { kw_id : keyword_id; offset : int; salt : int }
+
+type kw_state = {
+  tkey : Dpienc.token_key;
+  mutable count : int;
+  mutable current_cipher : int;
+}
+
+type t = {
+  mode : Dpienc.mode;
+  stride : int;
+  mutable salt0 : int;
+  mutable keywords : kw_state array;
+  mutable tree : keyword_id Avl.t;
+}
+
+let current_salt t kw = t.salt0 + (t.stride * kw.count)
+
+let rebuild t =
+  t.tree <- Avl.empty;
+  Array.iteri
+    (fun id kw ->
+       kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
+       t.tree <- Avl.insert kw.current_cipher id t.tree)
+    t.keywords
+
+let create ~mode ~salt0 encs =
+  if mode = Dpienc.Probable && salt0 land 1 <> 0 then
+    invalid_arg "Detect.create: salt0 must be even";
+  let keywords =
+    Array.map
+      (fun enc -> { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 })
+      encs
+  in
+  let t =
+    { mode; stride = Dpienc.salt_stride mode; salt0; keywords; tree = Avl.empty }
+  in
+  rebuild t;
+  t
+
+let process t (tok : Dpienc.enc_token) =
+  match Avl.find_opt tok.Dpienc.cipher t.tree with
+  | None -> None
+  | Some kw_id ->
+    let kw = t.keywords.(kw_id) in
+    let salt = current_salt t kw in
+    (* Advance the keyword to its next expected ciphertext. *)
+    t.tree <- Avl.remove kw.current_cipher t.tree;
+    kw.count <- kw.count + 1;
+    kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
+    t.tree <- Avl.insert kw.current_cipher kw_id t.tree;
+    Some { kw_id; offset = tok.Dpienc.offset; salt }
+
+let process_batch t toks =
+  List.filter_map (fun tok -> process t tok) toks
+
+let recover_key t ~event ~embed =
+  if t.mode <> Dpienc.Probable then
+    invalid_arg "Detect.recover_key: not in probable-cause mode";
+  if String.length embed <> 16 then invalid_arg "Detect.recover_key: embed must be 16 bytes";
+  let kw = t.keywords.(event.kw_id) in
+  let mask = Dpienc.encrypt_full kw.tkey ~salt:(event.salt + 1) in
+  Bbx_crypto.Util.xor embed mask
+
+let reset t ~salt0 =
+  if t.mode = Dpienc.Probable && salt0 land 1 <> 0 then
+    invalid_arg "Detect.reset: salt0 must be even";
+  t.salt0 <- salt0;
+  Array.iter (fun kw -> kw.count <- 0) t.keywords;
+  rebuild t
+
+let add_keyword t enc =
+  let kw = { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 } in
+  let id = Array.length t.keywords in
+  t.keywords <- Array.append t.keywords [| kw |];
+  kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
+  t.tree <- Avl.insert kw.current_cipher id t.tree;
+  id
+
+let size t = Avl.size t.tree
+
+let tree_height t = Avl.height t.tree

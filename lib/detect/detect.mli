@@ -1,0 +1,56 @@
+(** The BlindBox Detect engine (paper §3.2, extended for Protocols II/III).
+
+    The middlebox holds, for each distinct rule-keyword token, the value
+    [AES_k(token)] obtained through obfuscated rule encryption (never the
+    key [k] itself).  It keeps a per-keyword occurrence counter and an AVL
+    tree mapping each keyword's {e current} ciphertext
+    [Enc_k(salt0 + stride * ct, token)] to the keyword.  Processing a
+    traffic token is one tree lookup; on a match the keyword's node is
+    re-encrypted under the next salt and swapped in the tree, keeping
+    sender and middlebox counters in lock-step. *)
+
+type keyword_id = int
+
+(** A keyword match observed in the encrypted stream. *)
+type event = {
+  kw_id : keyword_id;
+  offset : int;   (** stream offset of the matching token *)
+  salt : int;     (** salt the match was encrypted under *)
+}
+
+type t
+
+(** [create ~mode ~salt0 keywords] — [keywords] are the encrypted rule
+    tokens [AES_k(token)] (16 bytes each); keyword ids are their indices.
+    Duplicate encrypted values are allowed but only the last one's id is
+    reported (callers dedup by token value). *)
+val create : mode:Bbx_dpienc.Dpienc.mode -> salt0:int -> string array -> t
+
+(** [process t tok] looks the token up and returns the match, if any.
+    Matching updates the keyword's counter and tree node. *)
+val process : t -> Bbx_dpienc.Dpienc.enc_token -> event option
+
+(** [process_batch t toks] processes in order and returns all events. *)
+val process_batch : t -> Bbx_dpienc.Dpienc.enc_token list -> event list
+
+(** [recover_key t ~event ~embed] implements probable-cause decryption
+    (§5): given the matching event and the paired ciphertext [c2], returns
+    the 16-byte [k_ssl].  Raises [Invalid_argument] outside [Probable]
+    mode. *)
+val recover_key : t -> event:event -> embed:string -> string
+
+(** [add_keyword t enc] registers one more encrypted rule token on a live
+    connection (rule updates, §2.3's RG->MB distribution happening
+    mid-connection) and returns its id.  The new keyword starts at counter
+    zero under the current [salt0]. *)
+val add_keyword : t -> string -> keyword_id
+
+(** [reset t ~salt0] handles the sender's periodic counter reset: clears
+    all counters and rebuilds the tree under the new initial salt. *)
+val reset : t -> salt0:int -> unit
+
+(** Number of distinct tree entries (= number of keywords). *)
+val size : t -> int
+
+(** Height of the search tree (for the log-vs-linear ablation bench). *)
+val tree_height : t -> int

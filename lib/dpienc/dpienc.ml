@@ -1,0 +1,125 @@
+open Bbx_crypto
+open Bbx_tokenizer
+
+let rs_bits = 40
+let rs_mask = (1 lsl rs_bits) - 1
+
+type key = Aes.key
+
+let raw_key_of_secret s = Kdf.derive ~secret:s ~label:"dpienc-key" 16
+
+let key_of_secret s = Aes.expand_key (raw_key_of_secret s)
+
+let token_block t =
+  if String.length t <> Tokenizer.token_len then
+    invalid_arg "Dpienc: token must be Tokenizer.token_len bytes";
+  t ^ String.make (16 - Tokenizer.token_len) '\000'
+
+let token_enc key t = Aes.encrypt_block key (token_block t)
+
+type token_key = Aes.key
+
+let token_key_of_enc e = Aes.expand_key e
+let token_key key t = token_key_of_enc (token_enc key t)
+
+let encrypt tk ~salt = Aes.encrypt_u64 tk salt land rs_mask
+
+let encrypt_full tk ~salt = Aes.encrypt_block tk (String.make 8 '\000' ^ Util.u64_be salt)
+
+type mode = Exact | Probable
+
+let salt_stride = function Exact -> 1 | Probable -> 2
+
+type enc_token = {
+  cipher : int;
+  embed : string option;
+  offset : int;
+}
+
+type counter_entry = { mutable count : int; tkey : token_key }
+
+type sender = {
+  mode : mode;
+  key : key;
+  mutable salt0 : int;
+  counters : (string, counter_entry) Hashtbl.t;
+  mutable max_count : int;
+}
+
+let sender_create mode key ~salt0 =
+  if mode = Probable && salt0 land 1 <> 0 then
+    invalid_arg "Dpienc.sender_create: salt0 must be even";
+  { mode; key; salt0; counters = Hashtbl.create 4096; max_count = 0 }
+
+let sender_salt0 s = s.salt0
+
+let encrypt_one s ~k_ssl (tok : Tokenizer.token) =
+  let entry =
+    match Hashtbl.find_opt s.counters tok.Tokenizer.content with
+    | Some e -> e
+    | None ->
+      let e = { count = 0; tkey = token_key s.key tok.Tokenizer.content } in
+      Hashtbl.add s.counters tok.Tokenizer.content e;
+      e
+  in
+  let stride = salt_stride s.mode in
+  let salt = s.salt0 + (stride * entry.count) in
+  entry.count <- entry.count + 1;
+  if entry.count > s.max_count then s.max_count <- entry.count;
+  let cipher = encrypt entry.tkey ~salt in
+  let embed =
+    match s.mode with
+    | Exact -> None
+    | Probable ->
+      (match k_ssl with
+       | None -> invalid_arg "Dpienc.sender_encrypt: Probable mode needs ~k_ssl"
+       | Some k ->
+         if String.length k <> 16 then
+           invalid_arg "Dpienc.sender_encrypt: k_ssl must be 16 bytes";
+         Some (Util.xor (encrypt_full entry.tkey ~salt:(salt + 1)) k))
+  in
+  { cipher; embed; offset = tok.Tokenizer.offset }
+
+let sender_encrypt s ?k_ssl tokens = List.map (encrypt_one s ~k_ssl) tokens
+
+let sender_reset s =
+  let stride = salt_stride s.mode in
+  s.salt0 <- s.salt0 + (stride * (s.max_count + 1));
+  s.max_count <- 0;
+  Hashtbl.reset s.counters;
+  s.salt0
+
+(* Wire format per token: 1 flag byte, 5-byte cipher, 4-byte offset,
+   then 16-byte embed iff the flag is 1. *)
+let encode_tokens toks =
+  let buf = Buffer.create (16 * List.length toks) in
+  List.iter
+    (fun { cipher; embed; offset } ->
+       Buffer.add_char buf (if embed = None then '\000' else '\001');
+       for i = 4 downto 0 do
+         Buffer.add_char buf (Char.chr ((cipher lsr (8 * i)) land 0xff))
+       done;
+       Buffer.add_string buf (Util.u32_be offset);
+       match embed with None -> () | Some e -> Buffer.add_string buf e)
+    toks;
+  Buffer.contents buf
+
+let decode_tokens s =
+  let n = String.length s in
+  let rec go pos acc =
+    if pos = n then List.rev acc
+    else begin
+      if pos + 10 > n then invalid_arg "Dpienc.decode_tokens: truncated";
+      let has_embed = s.[pos] = '\001' in
+      let cipher = ref 0 in
+      for i = 0 to 4 do cipher := (!cipher lsl 8) lor Char.code s.[pos + 1 + i] done;
+      let offset = Util.read_u32_be s (pos + 6) in
+      let pos = pos + 10 in
+      if has_embed then begin
+        if pos + 16 > n then invalid_arg "Dpienc.decode_tokens: truncated embed";
+        go (pos + 16) ({ cipher = !cipher; embed = Some (String.sub s pos 16); offset } :: acc)
+      end
+      else go pos ({ cipher = !cipher; embed = None; offset } :: acc)
+    end
+  in
+  go 0 []

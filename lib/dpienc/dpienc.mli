@@ -1,0 +1,89 @@
+(** The DPIEnc encryption scheme (paper §3.1) and the sender-side salt
+    machinery of BlindBox Detect (§3.2).
+
+    A token [t] encrypts to
+
+    {v salt, AES_{AES_k(t)}(salt) mod RS v}
+
+    with [RS = 2^40] (5-byte ciphertexts).  Salts are never transmitted:
+    both ends derive them from a shared initial salt and per-token counters
+    — the i-th occurrence of the same token value gets salt [salt0 + i]
+    (stride 2 under probable-cause mode), so equal tokens never share a salt
+    and the scheme stays semantically secure while the middlebox can still
+    precompute one tree node per rule keyword.
+
+    Protocol III ({!mode} [Probable]) additionally emits
+    [c2 = AES_{AES_k(t)}(salt + 1) XOR k_ssl]: a keyword match lets the
+    middlebox reconstruct the mask and recover the session key (§5). *)
+
+(** Width of the ciphertext after reduction: 40 bits = 5 bytes. *)
+val rs_bits : int
+
+type key
+
+(** [key_of_secret s] derives the DPIEnc key from the handshake secret [k]
+    (any length). *)
+val key_of_secret : string -> key
+
+(** [raw_key_of_secret s] — the same derived key as raw bytes; obfuscated
+    rule encryption hard-codes these 16 bytes into the garbled AES
+    circuit. *)
+val raw_key_of_secret : string -> string
+
+(** [token_enc key t] is [AES_k(t)] for a [Tokenizer.token_len]-byte token —
+    the "encrypted rule" the middlebox obtains through obfuscated rule
+    encryption.  Raises [Invalid_argument] on wrong token length. *)
+val token_enc : key -> string -> string
+
+(** A token key is the expanded [AES_{AES_k(t)}] cipher; building one is the
+    expensive step so both sides cache it per token value. *)
+type token_key
+
+val token_key : key -> string -> token_key
+
+(** [token_key_of_enc e] builds a token key directly from [AES_k(t)] — this
+    is what the middlebox does with encrypted rules, never holding [k]. *)
+val token_key_of_enc : string -> token_key
+
+(** [encrypt tk ~salt] is [AES_{AES_k(t)}(salt) mod RS] as a 40-bit int. *)
+val encrypt : token_key -> salt:int -> int
+
+(** [encrypt_full tk ~salt] is the unreduced 16-byte block, used as the
+    probable-cause mask. *)
+val encrypt_full : token_key -> salt:int -> string
+
+type mode = Exact | Probable
+
+(** An encrypted token on the wire. *)
+type enc_token = {
+  cipher : int;            (** 40-bit detection ciphertext [c1] *)
+  embed : string option;   (** [c2] (16 bytes), present in [Probable] mode *)
+  offset : int;            (** stream offset, used by Protocol II *)
+}
+
+(** Sender-side encryptor with the counter table of §3.2. *)
+type sender
+
+(** [sender_create mode key ~salt0] — [salt0] must be even in probable-cause
+    mode (odd salts are reserved for the embedding ciphertext). *)
+val sender_create : mode -> key -> salt0:int -> sender
+
+(** [sender_encrypt sender ?k_ssl tokens] encrypts a batch.  [k_ssl]
+    (16 bytes) is required in [Probable] mode and ignored in [Exact]. *)
+val sender_encrypt : sender -> ?k_ssl:string -> Bbx_tokenizer.Tokenizer.token list -> enc_token list
+
+(** [sender_reset sender] implements the periodic counter-table reset: the
+    table is cleared and the new [salt0] (to announce to the middlebox) is
+    returned. *)
+val sender_reset : sender -> int
+
+val sender_salt0 : sender -> int
+
+(** [salt_stride mode] is 1 for [Exact], 2 for [Probable] — exposed for the
+    middlebox, which must walk its rule counters at the same stride. *)
+val salt_stride : mode -> int
+
+(** Wire encoding of a batch of encrypted tokens (5 bytes + optional
+    16 bytes + 4-byte offset each). *)
+val encode_tokens : enc_token list -> string
+val decode_tokens : string -> enc_token list

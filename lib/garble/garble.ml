@@ -1,0 +1,187 @@
+open Bbx_circuit
+open Bbx_crypto
+
+type label = string
+
+type scheme = Classic | Half_gates
+
+type garbled = {
+  scheme : scheme;
+  tables : string array; (* per AND gate: 4 rows (Classic) or 2 (Half_gates) *)
+  decode : bool array;   (* colour bit of k^0 for each output wire *)
+}
+
+type secrets = {
+  input_zero : string array;
+  r : string;
+}
+
+let zero16 = String.make 16 '\000'
+
+let xor16 a b =
+  String.init 16 (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Colour bit: LSB of the last byte. *)
+let color l = Char.code l.[15] land 1 = 1
+
+let with_color l bit =
+  let v = Char.code l.[15] in
+  let v = if bit then v lor 1 else v land 0xfe in
+  String.init 16 (fun i -> if i = 15 then Char.chr v else l.[i])
+
+(* Doubling in GF(2^128) with the x^128 + x^7 + x^2 + x + 1 modulus,
+   big-endian bit order. *)
+let double l =
+  let carry = Char.code l.[0] land 0x80 <> 0 in
+  String.init 16 (fun i ->
+      let v = (Char.code l.[i] lsl 1) land 0xff in
+      let v = if i < 15 && Char.code l.[i + 1] land 0x80 <> 0 then v lor 1 else v in
+      let v = if i = 15 && carry then v lxor 0x87 else v in
+      Char.chr v)
+
+(* JustGarble-style fixed-key hashes.  Two-input (classic rows):
+   H(a,b,t) = AES(x) XOR x with x = 2a XOR 4b XOR t; single-input
+   (half-gates): H(a,t) = AES(x) XOR x with x = 2a XOR t. *)
+let fixed_key = Aes.expand_key (Sha256.digest "blindbox-garble-fixed-key" |> fun d -> String.sub d 0 16)
+
+let tweak gid = String.make 8 '\000' ^ Util.u64_be gid
+
+let hash2 a b gid =
+  let x = xor16 (double a) (xor16 (double (double b)) (tweak gid)) in
+  xor16 (Aes.encrypt_block fixed_key x) x
+
+let hash1 a gid =
+  let x = xor16 (double a) (tweak gid) in
+  xor16 (Aes.encrypt_block fixed_key x) x
+
+let rows_per_and = function Classic -> 4 | Half_gates -> 2
+
+let garble ?(scheme = Half_gates) drbg (c : Circuit.t) =
+  (* The global offset must have colour 1 so that paired labels always have
+     opposite colours. *)
+  let r = with_color (Drbg.bytes drbg 16) true in
+  let zero = Array.make c.Circuit.n_wires "" in
+  for i = 0 to c.Circuit.n_inputs - 1 do
+    zero.(i) <- Drbg.bytes drbg 16
+  done;
+  let tables = ref [] in
+  let n_and = ref 0 in
+  let if_r cond = if cond then r else zero16 in
+  Array.iteri
+    (fun gid { Circuit.op; a; b; out } ->
+       match op with
+       | Circuit.Xor -> zero.(out) <- xor16 zero.(a) zero.(b)
+       | Circuit.Not -> zero.(out) <- xor16 zero.(a) r
+       | Circuit.And ->
+         incr n_and;
+         (match scheme with
+          | Classic ->
+            let k0 = Drbg.bytes drbg 16 in
+            zero.(out) <- k0;
+            let rows = Array.make 4 "" in
+            for va = 0 to 1 do
+              for vb = 0 to 1 do
+                let la = if va = 1 then xor16 zero.(a) r else zero.(a) in
+                let lb = if vb = 1 then xor16 zero.(b) r else zero.(b) in
+                let out_label = if va land vb = 1 then xor16 k0 r else k0 in
+                let idx = (if color la then 2 else 0) + if color lb then 1 else 0 in
+                rows.(idx) <- xor16 (hash2 la lb gid) out_label
+              done
+            done;
+            tables := rows :: !tables
+          | Half_gates ->
+            (* Zahur-Rosulek-Evans: a garbler half-gate keyed by wire a and
+               an evaluator half-gate keyed by wire b; two ciphertexts. *)
+            let a0 = zero.(a) and b0 = zero.(b) in
+            let pa = color a0 and pb = color b0 in
+            let h_a0 = hash1 a0 (2 * gid) and h_a1 = hash1 (xor16 a0 r) (2 * gid) in
+            let h_b0 = hash1 b0 ((2 * gid) + 1) and h_b1 = hash1 (xor16 b0 r) ((2 * gid) + 1) in
+            let t_g = xor16 (xor16 h_a0 h_a1) (if_r pb) in
+            let w_g0 = if pa then xor16 h_a0 t_g else h_a0 in
+            let t_e = xor16 (xor16 h_b0 h_b1) a0 in
+            let w_e0 = if pb then xor16 h_b0 (xor16 t_e a0) else h_b0 in
+            zero.(out) <- xor16 w_g0 w_e0;
+            tables := [| t_g; t_e |] :: !tables))
+    c.Circuit.gates;
+  let width = rows_per_and scheme in
+  let tables =
+    let flat = Array.make (width * !n_and) "" in
+    List.iteri
+      (fun i rows ->
+         let base = width * (!n_and - 1 - i) in
+         Array.blit rows 0 flat base width)
+      !tables;
+    flat
+  in
+  let decode = Array.map (fun w -> color zero.(w)) c.Circuit.outputs in
+  let input_zero = Array.sub zero 0 c.Circuit.n_inputs in
+  ({ scheme; tables; decode }, { input_zero; r })
+
+let encode_input s ~wire bit =
+  if bit then xor16 s.input_zero.(wire) s.r else s.input_zero.(wire)
+
+let encode_inputs s bits = Array.mapi (fun wire bit -> encode_input s ~wire bit) bits
+
+let input_label_pair s ~wire = (s.input_zero.(wire), xor16 s.input_zero.(wire) s.r)
+
+let eval (c : Circuit.t) g labels =
+  if Array.length labels <> c.Circuit.n_inputs then
+    invalid_arg "Garble.eval: wrong number of input labels";
+  let values = Array.make c.Circuit.n_wires "" in
+  Array.blit labels 0 values 0 c.Circuit.n_inputs;
+  let and_idx = ref 0 in
+  let width = rows_per_and g.scheme in
+  Array.iteri
+    (fun gid { Circuit.op; a; b; out } ->
+       match op with
+       | Circuit.Xor -> values.(out) <- xor16 values.(a) values.(b)
+       | Circuit.Not -> values.(out) <- values.(a)
+       | Circuit.And ->
+         let la = values.(a) and lb = values.(b) in
+         let base = width * !and_idx in
+         incr and_idx;
+         (match g.scheme with
+          | Classic ->
+            let idx = (if color la then 2 else 0) + if color lb then 1 else 0 in
+            values.(out) <- xor16 (hash2 la lb gid) g.tables.(base + idx)
+          | Half_gates ->
+            let t_g = g.tables.(base) and t_e = g.tables.(base + 1) in
+            let w_g = if color la then xor16 (hash1 la (2 * gid)) t_g else hash1 la (2 * gid) in
+            let w_e =
+              if color lb then xor16 (hash1 lb ((2 * gid) + 1)) (xor16 t_e la)
+              else hash1 lb ((2 * gid) + 1)
+            in
+            values.(out) <- xor16 w_g w_e))
+    c.Circuit.gates;
+  Array.mapi (fun i w -> color values.(w) <> g.decode.(i)) c.Circuit.outputs
+
+let size_bytes g = (16 * Array.length g.tables) + ((Array.length g.decode + 7) / 8)
+
+let equal a b = a.scheme = b.scheme && a.tables = b.tables && a.decode = b.decode
+
+let scheme_byte = function Classic -> '\000' | Half_gates -> '\001'
+
+let to_string g =
+  let buf = Buffer.create (size_bytes g + 16) in
+  Buffer.add_char buf (scheme_byte g.scheme);
+  Buffer.add_string buf (Util.u32_be (Array.length g.tables));
+  Buffer.add_string buf (Util.u32_be (Array.length g.decode));
+  Array.iter (Buffer.add_string buf) g.tables;
+  Array.iter (fun b -> Buffer.add_char buf (if b then '\001' else '\000')) g.decode;
+  Buffer.contents buf
+
+let of_string s =
+  if String.length s < 9 then invalid_arg "Garble.of_string: truncated";
+  let scheme =
+    match s.[0] with
+    | '\000' -> Classic
+    | '\001' -> Half_gates
+    | _ -> invalid_arg "Garble.of_string: bad scheme byte"
+  in
+  let n_tables = Util.read_u32_be s 1 in
+  let n_decode = Util.read_u32_be s 5 in
+  if String.length s <> 9 + (16 * n_tables) + n_decode then
+    invalid_arg "Garble.of_string: length mismatch";
+  let tables = Array.init n_tables (fun i -> String.sub s (9 + (16 * i)) 16) in
+  let decode = Array.init n_decode (fun i -> s.[9 + (16 * n_tables) + i] = '\001') in
+  { scheme; tables; decode }

@@ -1,0 +1,67 @@
+(** Yao garbled circuits with free-XOR and point-and-permute.
+
+    This implements the "obfuscation" of the paper's §3.3: the endpoints
+    garble the AES circuit with the session key [k] hard-coded (as garbler
+    input labels), ship the garbled circuit to the middlebox, which evaluates
+    it on rule keywords whose input labels it fetched by oblivious transfer.
+
+    Technique summary:
+    - every wire [w] has two 128-bit labels [k_w^0] and [k_w^1 = k_w^0 XOR R]
+      for a circuit-global secret offset [R] whose colour bit is 1 (free-XOR);
+    - XOR gates are free ([k_out^0 = k_a^0 XOR k_b^0]), NOT gates are free
+      ([k_out^0 = k_a^0 XOR R], evaluation is a pass-through);
+    - AND gates cost four ciphertext rows ordered by the labels' colour
+      bits ([Classic]) or two half-gate ciphertexts ([Half_gates]);
+    - the row cipher is the JustGarble-style fixed-key AES hash
+      [H(x) = AES(x) XOR x] over tweaked, doubled labels (doubling in
+      GF(2^128)).
+
+    Garbling is deterministic in the supplied {!Bbx_crypto.Drbg}: both
+    endpoints seed it from [k_rand] and produce byte-identical circuits,
+    which is exactly the equality check the middlebox performs (§3.3). *)
+
+type label = string (* 16 bytes *)
+
+(** AND-gate garbling scheme: [Classic] is the textbook four-row
+    point-and-permute table; [Half_gates] (Zahur-Rosulek-Evans, the
+    default) costs two ciphertexts and two evaluator hashes per AND. *)
+type scheme = Classic | Half_gates
+
+(** What is shipped to the evaluator (middlebox). *)
+type garbled
+
+(** What the garbler (endpoint) keeps: zero-labels of the input wires and
+    the global offset. *)
+type secrets
+
+(** [garble ?scheme drbg circuit] garbles; all randomness comes from
+    [drbg]. *)
+val garble : ?scheme:scheme -> Bbx_crypto.Drbg.t -> Bbx_circuit.Circuit.t -> garbled * secrets
+
+(** [encode_input secrets ~wire bit] is the label the evaluator must use for
+    input [wire] carrying [bit]. *)
+val encode_input : secrets -> wire:int -> bool -> label
+
+(** [encode_inputs secrets bits] encodes a full input assignment. *)
+val encode_inputs : secrets -> bool array -> label array
+
+(** [input_label_pair secrets ~wire] is [(label for 0, label for 1)] — the
+    two OT sender messages for an evaluator-chosen input wire. *)
+val input_label_pair : secrets -> wire:int -> label * label
+
+(** [eval circuit garbled labels] evaluates with one label per input wire
+    and decodes the outputs.  Raises [Invalid_argument] on a label count
+    mismatch. *)
+val eval : Bbx_circuit.Circuit.t -> garbled -> label array -> bool array
+
+(** Wire size of the garbled circuit in bytes (tables + decode bits), the
+    quantity the paper reports as 599 KB per circuit. *)
+val size_bytes : garbled -> int
+
+(** Byte-exact equality — the middlebox's check that sender and receiver
+    garbled honestly. *)
+val equal : garbled -> garbled -> bool
+
+(** Serialisation (for shipping between endpoints and middlebox). *)
+val to_string : garbled -> string
+val of_string : string -> garbled

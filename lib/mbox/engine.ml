@@ -1,0 +1,144 @@
+open Bbx_dpienc
+open Bbx_rules
+open Bbx_tokenizer
+
+type verdict = {
+  rule_idx : int;
+  rule : Rule.t;
+  via : [ `Exact_match | `Probable_cause ];
+}
+
+type t = {
+  mode : Dpienc.mode;
+  mutable rules : Rule.t array;
+  mutable chunks : string array;               (* chunk_id -> chunk bytes *)
+  detect : Bbx_detect.Detect.t;
+  hits : (int, int list ref) Hashtbl.t;        (* chunk_id -> stream offsets *)
+  mutable recovered : string option;
+}
+
+let distinct_chunks rules =
+  let seen = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+       List.iter
+         (fun kw ->
+            List.iter
+              (fun (chunk, _) ->
+                 if not (Hashtbl.mem seen chunk) then begin
+                   Hashtbl.add seen chunk (Hashtbl.length seen);
+                   order := chunk :: !order
+                 end)
+              (Tokenizer.keyword_chunks kw))
+         (Rule.keywords r))
+    rules;
+  Array.of_list (List.rev !order)
+
+let create ~mode ~salt0 ~rules ~enc_chunk =
+  let chunks = distinct_chunks rules in
+  let encs = Array.map enc_chunk chunks in
+  { mode;
+    rules = Array.of_list rules;
+    chunks;
+    detect = Bbx_detect.Detect.create ~mode ~salt0 encs;
+    hits = Hashtbl.create 256;
+    recovered = None }
+
+let record_hit t chunk_id offset =
+  match Hashtbl.find_opt t.hits chunk_id with
+  | Some l -> l := offset :: !l
+  | None -> Hashtbl.add t.hits chunk_id (ref [ offset ])
+
+let process t tokens =
+  List.iter
+    (fun tok ->
+       match Bbx_detect.Detect.process t.detect tok with
+       | None -> ()
+       | Some ev ->
+         record_hit t ev.Bbx_detect.Detect.kw_id ev.Bbx_detect.Detect.offset;
+         if t.mode = Dpienc.Probable && t.recovered = None then begin
+           match tok.Dpienc.embed with
+           | Some embed ->
+             t.recovered <- Some (Bbx_detect.Detect.recover_key t.detect ~event:ev ~embed)
+           | None -> ()
+         end)
+    tokens
+
+let keyword_hits t =
+  Hashtbl.fold
+    (fun chunk_id offsets acc ->
+       List.fold_left (fun acc off -> (t.chunks.(chunk_id), off) :: acc) acc !offsets)
+    t.hits []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let recovered_key t = t.recovered
+
+(* Candidate start positions for a content pattern: stream offsets where
+   every one of its chunks matched at the right relative position. *)
+let content_candidates t =
+  let chunk_id =
+    let tbl = Hashtbl.create (Array.length t.chunks) in
+    Array.iteri (fun i c -> Hashtbl.replace tbl c i) t.chunks;
+    fun c -> Hashtbl.find_opt tbl c
+  in
+  let offsets_of chunk =
+    match chunk_id chunk with
+    | None -> []
+    | Some id ->
+      (match Hashtbl.find_opt t.hits id with Some l -> !l | None -> [])
+  in
+  fun (c : Rule.content) ->
+    match Tokenizer.keyword_chunks c.Rule.pattern with
+    | [] -> []
+    | (first_chunk, first_rel) :: rest ->
+      let starts = List.map (fun off -> off - first_rel) (offsets_of first_chunk) in
+      let starts = List.sort_uniq compare starts in
+      List.filter
+        (fun q ->
+           q >= 0
+           && List.for_all (fun (chunk, rel) -> List.mem (q + rel) (offsets_of chunk)) rest)
+        starts
+
+let verdicts ?plaintext t =
+  let candidates = content_candidates t in
+  let out = ref [] in
+  Array.iteri
+    (fun rule_idx rule ->
+       match rule.Rule.pcre with
+       | None ->
+         if rule.Rule.contents <> []
+         && Classify.contents_satisfiable ~candidates rule.Rule.contents then
+           out := { rule_idx; rule; via = `Exact_match } :: !out
+       | Some _ ->
+         (* Protocol III rule: needs the decrypted stream. *)
+         (match plaintext with
+          | Some payload when Classify.matches_plaintext rule payload ->
+            out := { rule_idx; rule; via = `Probable_cause } :: !out
+          | _ -> ()))
+    t.rules;
+  List.rev !out
+
+(* Rule update on a live connection: only chunks not already covered go
+   through (the caller's) rule preparation. *)
+let add_rules t ~rules ~enc_chunk =
+  let known = Hashtbl.create (Array.length t.chunks) in
+  Array.iter (fun c -> Hashtbl.replace known c ()) t.chunks;
+  let fresh =
+    Array.to_list (distinct_chunks rules)
+    |> List.filter (fun c -> not (Hashtbl.mem known c))
+  in
+  List.iter
+    (fun chunk ->
+       let id = Bbx_detect.Detect.add_keyword t.detect (enc_chunk chunk) in
+       assert (id = Array.length t.chunks);
+       t.chunks <- Array.append t.chunks [| chunk |])
+    fresh;
+  t.rules <- Array.append t.rules (Array.of_list rules);
+  List.length fresh
+
+let reset t ~salt0 =
+  Bbx_detect.Detect.reset t.detect ~salt0;
+  Hashtbl.reset t.hits
+
+let chunk_count t = Bbx_detect.Detect.size t.detect

@@ -1,0 +1,71 @@
+(** The middlebox detection engine (paper §6): one instance per connection.
+
+    The engine is built from the ruleset and an [enc_chunk] oracle giving
+    [AES_k(chunk)] for each distinct rule-keyword chunk — in production
+    that oracle is obfuscated rule encryption (garbled circuits + OT, see
+    {!Blindbox.Session}); tests may pass the direct encryption.
+
+    Keyword-level matches come from {!Bbx_detect.Detect}; this module
+    lifts them to rule-level verdicts:
+
+    - {b Protocol I}: a rule fires when its single keyword's chunks all
+      match at consistent offsets;
+    - {b Protocol II}: multiple keywords plus
+      offset/depth/distance/within constraints, evaluated with the same
+      backtracking semantics as the plaintext reference
+      ({!Bbx_rules.Classify.matches_plaintext});
+    - {b Protocol III}: when a suspicious keyword matches, the engine
+      recovers [k_ssl] from the paired ciphertext (probable cause); the
+      caller decrypts the recorded stream and passes the plaintext back so
+      pcre rules can run. *)
+
+type verdict = {
+  rule_idx : int;
+  rule : Bbx_rules.Rule.t;
+  via : [ `Exact_match | `Probable_cause ];
+}
+
+type t
+
+(** [distinct_chunks rules] — every distinct token-sized keyword chunk the
+    ruleset needs, in first-appearance order.  This is the exact set
+    obfuscated rule encryption must cover. *)
+val distinct_chunks : Bbx_rules.Rule.t list -> string array
+
+(** [create ~mode ~salt0 ~rules ~enc_chunk] — [enc_chunk] is consulted once
+    per distinct chunk at construction time. *)
+val create :
+  mode:Bbx_dpienc.Dpienc.mode ->
+  salt0:int ->
+  rules:Bbx_rules.Rule.t list ->
+  enc_chunk:(string -> string) ->
+  t
+
+(** [process t tokens] feeds encrypted tokens in stream order. *)
+val process : t -> Bbx_dpienc.Dpienc.enc_token list -> unit
+
+(** [keyword_hits t] — keyword-level (chunk, stream offset) matches so far
+    (the quantity behind the paper's 97.1% keyword-recall number). *)
+val keyword_hits : t -> (string * int) list
+
+(** [recovered_key t] — [Some k_ssl] once any keyword of a Protocol III
+    rule has matched in [Probable] mode. *)
+val recovered_key : t -> string option
+
+(** [verdicts ?plaintext t] evaluates rules.  Protocol I/II rules are
+    decided from the encrypted-side events alone; Protocol III rules are
+    evaluated on [plaintext] when provided (pass the stream decrypted under
+    {!recovered_key}). *)
+val verdicts : ?plaintext:string -> t -> verdict list
+
+(** [add_rules t ~rules ~enc_chunk] extends a live connection with new
+    rules (the rule generator shipped an update).  Only chunks not already
+    prepared consult [enc_chunk]; returns how many fresh chunks were
+    added. *)
+val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string) -> int
+
+(** [reset t ~salt0] forwards the sender's periodic salt reset. *)
+val reset : t -> salt0:int -> unit
+
+(** Distinct chunk count (tree size). *)
+val chunk_count : t -> int

@@ -1,0 +1,75 @@
+type conn_id = int
+
+type stats = {
+  connections : int;
+  total_tokens : int;
+  total_keyword_hits : int;
+  alerts : int;
+  blocked : int;
+}
+
+type conn = {
+  engine : Engine.t;
+  mutable conn_blocked : bool;
+  mutable reported : int list;
+}
+
+type t = {
+  mode : Bbx_dpienc.Dpienc.mode;
+  rules : Bbx_rules.Rule.t list;
+  conns : (conn_id, conn) Hashtbl.t;
+  mutable total_tokens : int;
+  mutable total_keyword_hits : int;
+  mutable alerts : int;
+  mutable blocked_count : int;
+}
+
+let create ~mode ~rules =
+  { mode; rules; conns = Hashtbl.create 64;
+    total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
+
+let register t ~conn_id ~salt0 ~enc_chunk =
+  if Hashtbl.mem t.conns conn_id then
+    invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
+  let engine = Engine.create ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk in
+  Hashtbl.add t.conns conn_id { engine; conn_blocked = false; reported = [] }
+
+let get t conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Middlebox: unknown connection %d" conn_id)
+
+let process t ~conn_id tokens =
+  let c = get t conn_id in
+  if c.conn_blocked then
+    invalid_arg (Printf.sprintf "Middlebox.process: connection %d is blocked" conn_id);
+  let hits_before = List.length (Engine.keyword_hits c.engine) in
+  Engine.process c.engine tokens;
+  t.total_tokens <- t.total_tokens + List.length tokens;
+  t.total_keyword_hits <-
+    t.total_keyword_hits + List.length (Engine.keyword_hits c.engine) - hits_before;
+  let all = Engine.verdicts c.engine in
+  let fresh = List.filter (fun v -> not (List.mem v.Engine.rule_idx c.reported)) all in
+  c.reported <- List.map (fun v -> v.Engine.rule_idx) fresh @ c.reported;
+  t.alerts <- t.alerts + List.length fresh;
+  if List.exists
+      (fun v -> v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
+      fresh
+  then begin
+    c.conn_blocked <- true;
+    t.blocked_count <- t.blocked_count + 1
+  end;
+  fresh
+
+let is_blocked t ~conn_id = (get t conn_id).conn_blocked
+
+let unregister t ~conn_id = Hashtbl.remove t.conns conn_id
+
+let engine t ~conn_id = (get t conn_id).engine
+
+let stats t =
+  { connections = Hashtbl.length t.conns;
+    total_tokens = t.total_tokens;
+    total_keyword_hits = t.total_keyword_hits;
+    alerts = t.alerts;
+    blocked = t.blocked_count }

@@ -1,0 +1,47 @@
+(** A middlebox managing many monitored connections.
+
+    This is the deployment unit of Fig. 1: one in-network appliance, one
+    ruleset, many sender/receiver pairs.  Each connection gets its own
+    {!Engine} (per-connection keys mean per-connection encrypted rules and
+    counters); the middlebox multiplexes them by connection id and keeps
+    the aggregate statistics an operator would act on. *)
+
+type conn_id = int
+
+type stats = {
+  connections : int;        (** currently registered *)
+  total_tokens : int;       (** encrypted tokens inspected *)
+  total_keyword_hits : int;
+  alerts : int;             (** rule verdicts across all connections *)
+  blocked : int;            (** connections torn down by drop rules *)
+}
+
+type t
+
+(** [create ~mode ~rules] — the ruleset is fixed for the box's lifetime
+    (rule updates in deployments mean re-running rule preparation per
+    connection anyway). *)
+val create : mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> t
+
+(** [register t ~conn_id ~salt0 ~enc_chunk] — called at connection setup,
+    after obfuscated rule encryption yields this connection's [enc_chunk]
+    oracle.  Raises [Invalid_argument] on duplicate ids. *)
+val register :
+  t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [process t ~conn_id tokens] inspects a batch for one connection and
+    returns the new rule verdicts (empty list when clean).  Connections
+    whose drop-rules fire are marked blocked; processing a blocked or
+    unknown connection raises [Invalid_argument]. *)
+val process : t -> conn_id:conn_id -> Bbx_dpienc.Dpienc.enc_token list -> Engine.verdict list
+
+(** [is_blocked t ~conn_id]. *)
+val is_blocked : t -> conn_id:conn_id -> bool
+
+(** [unregister t ~conn_id] — connection teardown (idempotent). *)
+val unregister : t -> conn_id:conn_id -> unit
+
+(** [engine t ~conn_id] — direct access for probable-cause key recovery. *)
+val engine : t -> conn_id:conn_id -> Engine.t
+
+val stats : t -> stats

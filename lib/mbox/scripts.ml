@@ -1,0 +1,113 @@
+type finding = {
+  script : string;
+  detail : string;
+}
+
+type t = {
+  name : string;
+  check : string -> string option; (* payload -> detail *)
+}
+
+let name t = t.name
+
+let run t payload =
+  match t.check payload with
+  | Some detail -> Some { script = t.name; detail }
+  | None -> None
+
+let run_all scripts payload = List.filter_map (fun s -> run s payload) scripts
+
+(* Parse the payload as an HTTP request when possible; scripts degrade to
+   raw-bytes analysis otherwise. *)
+let try_request payload =
+  match Bbx_net.Http.parse_request payload with
+  | r -> Some r
+  | exception Bbx_net.Http.Malformed _ -> None
+
+let large_upload ?(threshold = 64 * 1024) () =
+  { name = "large-upload";
+    check =
+      (fun payload ->
+         match try_request payload with
+         | Some r when (r.Bbx_net.Http.meth = "POST" || r.Bbx_net.Http.meth = "PUT")
+                    && String.length r.Bbx_net.Http.body > threshold ->
+           Some (Printf.sprintf "%s body of %d bytes exceeds %d"
+                   r.Bbx_net.Http.meth (String.length r.Bbx_net.Http.body) threshold)
+         | _ -> None) }
+
+let shannon_entropy s =
+  if s = "" then 0.0
+  else begin
+    let counts = Array.make 256 0 in
+    String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) s;
+    let n = float_of_int (String.length s) in
+    Array.fold_left
+      (fun acc c ->
+         if c = 0 then acc
+         else begin
+           let p = float_of_int c /. n in
+           acc -. (p *. (log p /. log 2.0))
+         end)
+      0.0 counts
+  end
+
+let high_entropy_body ?(threshold = 7.2) () =
+  { name = "high-entropy-body";
+    check =
+      (fun payload ->
+         let body =
+           match try_request payload with
+           | Some r -> r.Bbx_net.Http.body
+           | None -> payload
+         in
+         if String.length body >= 256 then begin
+           let h = shannon_entropy body in
+           if h > threshold then
+             Some (Printf.sprintf "body entropy %.2f bits/byte over %d bytes" h
+                     (String.length body))
+           else None
+         end
+         else None) }
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay and needle = String.lowercase_ascii needle in
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let sql_injection () =
+  { name = "sql-injection";
+    check =
+      (fun payload ->
+         let target =
+           match try_request payload with
+           | Some r -> r.Bbx_net.Http.path ^ "?" ^ r.Bbx_net.Http.body
+           | None -> payload
+         in
+         let has_quote =
+           String.contains target '\'' || contains_ci target "%27"
+         in
+         let has_grammar =
+           List.exists (contains_ci target) [ "union select"; "union+select"; "or 1=1"; "or+1=1"; "--"; "/*" ]
+         in
+         if has_quote && has_grammar then Some "quote plus SQL grammar in query"
+         else None) }
+
+let nop_sled ?(min_run = 16) () =
+  { name = "nop-sled";
+    check =
+      (fun payload ->
+         let best = ref 0 and cur = ref 0 in
+         String.iter
+           (fun c ->
+              if c = '\x90' then begin
+                incr cur;
+                if !cur > !best then best := !cur
+              end
+              else cur := 0)
+           payload;
+         if !best >= min_run then Some (Printf.sprintf "0x90 run of %d bytes" !best)
+         else None) }
+
+let defaults =
+  [ large_upload (); high_entropy_body (); sql_injection (); nop_sled () ]

@@ -1,0 +1,47 @@
+(** Bro-style analysis scripts for the probable-cause stage.
+
+    Protocol III's point (paper §5) is that once a suspicious keyword
+    matches and the stream is decrypted, the middlebox can run analyses
+    that exact matching cannot express — Snort's pcre, but also Bro-style
+    scripts.  This module ships a small library of such scripts operating
+    on decrypted HTTP payloads, plus the combinator to run them.
+
+    Scripts never see traffic before probable cause fires; wiring them to
+    {!Engine.verdicts}' decrypted stream preserves the privacy model. *)
+
+type finding = {
+  script : string;     (** script name *)
+  detail : string;     (** human-readable reason *)
+}
+
+type t
+
+val name : t -> string
+
+(** [run script payload] analyses one decrypted payload. *)
+val run : t -> string -> finding option
+
+(** [run_all scripts payload] collects every finding. *)
+val run_all : t list -> string -> finding list
+
+(** {1 Built-in scripts} *)
+
+(** Flags POST/PUT bodies larger than [threshold] bytes (bulk exfiltration
+    heuristic; default 64 KiB). *)
+val large_upload : ?threshold:int -> unit -> t
+
+(** Flags request bodies whose Shannon entropy exceeds [threshold]
+    bits/byte (default 7.2): compressed or encrypted blobs smuggled in
+    text endpoints. *)
+val high_entropy_body : ?threshold:float -> unit -> t
+
+(** Flags SQL-injection-shaped query strings (quotes + comment/UNION
+    grammar beyond a plain keyword match). *)
+val sql_injection : unit -> t
+
+(** Flags NOP sleds: runs of at least [min_run] consecutive 0x90 bytes
+    (default 16) anywhere in the payload. *)
+val nop_sled : ?min_run:int -> unit -> t
+
+(** All of the above with default thresholds. *)
+val defaults : t list

@@ -1,0 +1,40 @@
+open Bbx_crypto
+
+type site_profile = {
+  site : string;
+  text_kb : int;
+  binary_kb : int;
+}
+
+(* 1/10-scale 2015 page weights: YouTube/AirBnB dominated by binary media,
+   CNN/NYTimes mixed, Gutenberg pure text. *)
+let named_sites =
+  [ { site = "YouTube"; text_kb = 60; binary_kb = 1500 };
+    { site = "AirBnB"; text_kb = 90; binary_kb = 700 };
+    { site = "CNN"; text_kb = 180; binary_kb = 320 };
+    { site = "NYTimes"; text_kb = 220; binary_kb = 280 };
+    { site = "Gutenberg"; text_kb = 350; binary_kb = 0 };
+  ]
+
+let page_of_profile ?(seed = "blindbox-corpus") p =
+  let drbg = Drbg.create (seed ^ "/" ^ p.site) in
+  let url = "https://" ^ String.lowercase_ascii p.site ^ ".example/" in
+  if p.binary_kb = 0 then
+    (* pure-text sites are book-like prose (Gutenberg), not markup *)
+    { Page.url;
+      objects =
+        [ { Page.name = "book.txt"; mime = Page.Text;
+            body = Page.gen_prose drbg ~bytes:(p.text_kb * 1024) } ] }
+  else
+    Page.generate drbg ~url ~text_bytes:(p.text_kb * 1024) ~binary_bytes:(p.binary_kb * 1024)
+
+let top50 ?(seed = "blindbox-top50") () =
+  let drbg = Drbg.create seed in
+  List.init 50 (fun i ->
+      (* Sweep the text fraction from ~2% (video sites) to ~100% (text
+         sites); total size varies 100 KB - 2 MB. *)
+      let text_fraction = 0.02 +. (0.98 *. float_of_int i /. 49.0) in
+      let total_kb = 100 + Drbg.uniform drbg 1900 in
+      let text_kb = int_of_float (float_of_int total_kb *. text_fraction) in
+      let p = { site = Printf.sprintf "site%02d" i; text_kb; binary_kb = total_kb - text_kb } in
+      page_of_profile ~seed:(seed ^ string_of_int i) p)

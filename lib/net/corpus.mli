@@ -1,0 +1,24 @@
+(** Synthetic web corpora standing in for the paper's page sets (DESIGN.md
+    §2, substitution 5): the five named sites of Figs. 3-4 and an Alexa
+    top-50-like mix for Figs. 5-6.
+
+    Page sizes are scaled to 1/10 of the 2015 originals (and the link
+    simulator's bandwidth scales identically), keeping every ratio intact
+    while letting the benches run in seconds. *)
+
+type site_profile = {
+  site : string;
+  text_kb : int;    (** text/code kilobytes (tokenized) *)
+  binary_kb : int;  (** image/video kilobytes (not tokenized) *)
+}
+
+(** YouTube, AirBnB, CNN, NYTimes, Gutenberg — orderd as in Fig. 3, with
+    the paper's qualitative mixes (video-heavy, mixed, text-only). *)
+val named_sites : site_profile list
+
+(** [page_of_profile ?seed profile] materialises a page. *)
+val page_of_profile : ?seed:string -> site_profile -> Page.t
+
+(** [top50 ?seed ()] generates 50 pages spanning video-heavy to text-heavy
+    mixes (the Fig. 5 x-axis). *)
+val top50 : ?seed:string -> unit -> Page.t list

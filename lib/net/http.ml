@@ -1,0 +1,105 @@
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_version : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let header name headers =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = name then Some v else None)
+    headers
+
+let ensure_content_length headers body =
+  if body = "" || header "content-length" headers <> None then headers
+  else headers @ [ ("Content-Length", string_of_int (String.length body)) ]
+
+let render_headers buf headers =
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string buf "\r\n"
+
+let render_request r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s %s\r\n" r.meth r.path r.version);
+  render_headers buf (ensure_content_length r.headers r.body);
+  Buffer.add_string buf r.body;
+  Buffer.contents buf
+
+let render_response r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %d %s\r\n" r.resp_version r.status r.reason);
+  render_headers buf (ensure_content_length r.resp_headers r.resp_body);
+  Buffer.add_string buf r.resp_body;
+  Buffer.contents buf
+
+(* Split head (start line + headers) from body at the CRLFCRLF mark. *)
+let split_message s =
+  let rec find i =
+    if i + 4 > String.length s then fail "missing header terminator"
+    else if String.sub s i 4 = "\r\n\r\n" then i
+    else find (i + 1)
+  in
+  let sep = find 0 in
+  let head = String.sub s 0 sep in
+  let body = String.sub s (sep + 4) (String.length s - sep - 4) in
+  match String.split_on_char '\n' (String.concat "" (String.split_on_char '\r' head)) with
+  | [] -> fail "empty message"
+  | start :: header_lines -> (start, header_lines, body)
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> fail "bad header line %S" line
+  | Some i ->
+    ( String.trim (String.sub line 0 i),
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let check_length headers body =
+  match header "content-length" headers with
+  | None -> ()
+  | Some l ->
+    (match int_of_string_opt (String.trim l) with
+     | Some n when n = String.length body -> ()
+     | Some n -> fail "Content-Length %d but body has %d bytes" n (String.length body)
+     | None -> fail "bad Content-Length %S" l)
+
+let parse_request s =
+  let start, header_lines, body = split_message s in
+  let headers = List.map parse_header_line (List.filter (fun l -> l <> "") header_lines) in
+  check_length headers body;
+  match String.split_on_char ' ' start with
+  | [ meth; path; version ] -> { meth; path; version; headers; body }
+  | _ -> fail "bad request line %S" start
+
+let parse_response s =
+  let start, header_lines, body = split_message s in
+  let resp_headers = List.map parse_header_line (List.filter (fun l -> l <> "") header_lines) in
+  check_length resp_headers body;
+  match String.split_on_char ' ' start with
+  | version :: status :: rest ->
+    (match int_of_string_opt status with
+     | Some status ->
+       { status; reason = String.concat " " rest; resp_version = version; resp_headers; resp_body = body }
+     | None -> fail "bad status %S" status)
+  | _ -> fail "bad status line %S" start
+
+let get ?(headers = []) path = { meth = "GET"; path; version = "HTTP/1.1"; headers; body = "" }
+
+let post ?(headers = []) ~body path =
+  { meth = "POST"; path; version = "HTTP/1.1"; headers; body }
+
+let ok ?(headers = []) body =
+  { status = 200; reason = "OK"; resp_version = "HTTP/1.1"; resp_headers = headers; resp_body = body }

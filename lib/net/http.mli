@@ -1,0 +1,44 @@
+(** Minimal HTTP/1.1 message model.
+
+    BlindBox is an HTTP-layer DPI (paper §2.3: "BlindBox only supports
+    attack rules at the HTTP application layer"), so traces, examples and
+    tests build real request/response payloads rather than ad-hoc strings.
+    Bodies are byte strings framed by [Content-Length]. *)
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;                   (** e.g. "HTTP/1.1" *)
+  headers : (string * string) list;   (** in order; names case-preserved *)
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_version : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+exception Malformed of string
+
+(** [render_request r] serialises with CRLF line endings, adding a
+    [Content-Length] header when a body is present and none was given. *)
+val render_request : request -> string
+
+val render_response : response -> string
+
+(** [parse_request s] — inverse of {!render_request}.
+    Raises {!Malformed}. *)
+val parse_request : string -> request
+
+val parse_response : string -> response
+
+(** [header name msg_headers] — case-insensitive lookup. *)
+val header : string -> (string * string) list -> string option
+
+(** Convenience constructors. *)
+val get : ?headers:(string * string) list -> string -> request
+val post : ?headers:(string * string) list -> body:string -> string -> request
+val ok : ?headers:(string * string) list -> string -> response

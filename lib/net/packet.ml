@@ -1,0 +1,28 @@
+type t = {
+  flow : int;
+  seq : int;
+  payload : string;
+}
+
+let default_mtu = 1400
+
+let packetize ~flow ?(mtu = default_mtu) stream =
+  if mtu <= 0 then invalid_arg "Packet.packetize: mtu must be positive";
+  let n = String.length stream in
+  let count = (n + mtu - 1) / mtu in
+  List.init (max count 0) (fun i ->
+      { flow; seq = i; payload = String.sub stream (i * mtu) (min mtu (n - (i * mtu))) })
+
+let reassemble packets =
+  match packets with
+  | [] -> ""
+  | { flow; _ } :: _ ->
+    let sorted = List.sort (fun a b -> compare a.seq b.seq) packets in
+    let buf = Buffer.create 4096 in
+    List.iteri
+      (fun i p ->
+         if p.flow <> flow then invalid_arg "Packet.reassemble: mixed flows";
+         if p.seq <> i then invalid_arg "Packet.reassemble: missing sequence number";
+         Buffer.add_string buf p.payload)
+      sorted;
+    Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Packets and flows: the unit the middlebox processes.
+
+    BlindBox operates at the application layer, so a "packet" here is a
+    payload slice with flow bookkeeping — enough to drive per-packet
+    micro-benchmarks (Table 2 uses 1500-byte packets) and the throughput
+    engine. *)
+
+type t = {
+  flow : int;
+  seq : int;
+  payload : string;
+}
+
+(** The paper's packet payload size. *)
+val default_mtu : int
+
+(** [packetize ~flow ?mtu stream] slices a byte stream into packets. *)
+val packetize : flow:int -> ?mtu:int -> string -> t list
+
+(** [reassemble packets] concatenates one flow's payloads in sequence
+    order.  Raises [Invalid_argument] on missing sequence numbers or mixed
+    flows. *)
+val reassemble : t list -> string

@@ -1,0 +1,106 @@
+open Bbx_crypto
+
+type mime = Text | Binary
+
+type obj = { name : string; mime : mime; body : string }
+
+type t = { url : string; objects : obj list }
+
+let bytes_matching p t =
+  List.fold_left
+    (fun acc o -> if p o.mime then acc + String.length o.body else acc)
+    0 t.objects
+
+let text_bytes t = bytes_matching (fun m -> m = Text) t
+let binary_bytes t = bytes_matching (fun m -> m = Binary) t
+let total_bytes t = bytes_matching (fun _ -> true) t
+
+let text_body t =
+  String.concat "" (List.filter_map (fun o -> if o.mime = Text then Some o.body else None) t.objects)
+
+(* English-ish word pool with web-typical lengths (average ~5.5 chars). *)
+let words =
+  [| "the"; "news"; "today"; "report"; "analysis"; "climate"; "market";
+     "update"; "with"; "from"; "about"; "world"; "science"; "research";
+     "people"; "latest"; "video"; "article"; "comment"; "share"; "story";
+     "editor"; "review"; "travel"; "health"; "technology"; "business";
+     "during"; "after"; "between"; "million"; "government"; "president";
+     "a"; "of"; "in"; "to"; "and"; "is"; "for"; "that"; "this"; "more" |]
+
+let attrs = [| "class"; "id"; "href"; "src"; "style"; "data-id"; "rel" |]
+let tags = [| "div"; "p"; "span"; "a"; "li"; "h2"; "section"; "article" |]
+
+let pick drbg arr = arr.(Drbg.uniform drbg (Array.length arr))
+
+let gen_sentence drbg buf =
+  let n = 4 + Drbg.uniform drbg 10 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (pick drbg words)
+  done;
+  Buffer.add_string buf ". "
+
+let gen_html drbg ~bytes =
+  let buf = Buffer.create (bytes + 256) in
+  Buffer.add_string buf "<!DOCTYPE html><html><head><title>";
+  gen_sentence drbg buf;
+  Buffer.add_string buf "</title></head><body>";
+  while Buffer.length buf < bytes do
+    let tag = pick drbg tags in
+    Buffer.add_string buf (Printf.sprintf "<%s %s=\"%s-%d\">" tag (pick drbg attrs)
+                             (pick drbg words) (Drbg.uniform drbg 1000));
+    let sentences = 1 + Drbg.uniform drbg 4 in
+    for _ = 1 to sentences do gen_sentence drbg buf done;
+    Buffer.add_string buf (Printf.sprintf "</%s>" tag)
+  done;
+  Buffer.add_string buf "</body></html>";
+  Buffer.contents buf
+
+let gen_prose drbg ~bytes =
+  (* book-like text: words and sentence punctuation only, so the delimiter
+     density is that of prose rather than markup *)
+  let buf = Buffer.create (bytes + 64) in
+  while Buffer.length buf < bytes do
+    gen_sentence drbg buf;
+    if Drbg.uniform drbg 12 = 0 then Buffer.add_string buf "\n\n"
+  done;
+  Buffer.contents buf
+
+let gen_script drbg ~bytes =
+  let buf = Buffer.create (bytes + 256) in
+  while Buffer.length buf < bytes do
+    Buffer.add_string buf
+      (Printf.sprintf "function %s%d(%s, %s) { var %s = %d; return %s.%s(%s + %d); }\n"
+         (pick drbg words) (Drbg.uniform drbg 1000)
+         (pick drbg words) (pick drbg words) (pick drbg words)
+         (Drbg.uniform drbg 10000) (pick drbg words) (pick drbg words)
+         (pick drbg words) (Drbg.uniform drbg 100))
+  done;
+  Buffer.contents buf
+
+let gen_binary drbg ~bytes = Drbg.bytes drbg bytes
+
+let generate drbg ~url ~text_bytes ~binary_bytes =
+  let objects = ref [] in
+  (* main document: ~60% of text; the rest split into scripts *)
+  let html_bytes = text_bytes * 6 / 10 in
+  if html_bytes > 0 then
+    objects := { name = "index.html"; mime = Text; body = gen_html drbg ~bytes:html_bytes } :: !objects;
+  let rest = text_bytes - html_bytes in
+  let n_scripts = if rest > 0 then 1 + Drbg.uniform drbg 3 else 0 in
+  for i = 1 to n_scripts do
+    let share = rest / n_scripts in
+    if share > 0 then
+      objects :=
+        { name = Printf.sprintf "app-%d.js" i; mime = Text; body = gen_script drbg ~bytes:share }
+        :: !objects
+  done;
+  let n_blobs = if binary_bytes > 0 then 1 + Drbg.uniform drbg 4 else 0 in
+  for i = 1 to n_blobs do
+    let share = binary_bytes / n_blobs in
+    if share > 0 then
+      objects :=
+        { name = Printf.sprintf "media-%d.bin" i; mime = Binary; body = gen_binary drbg ~bytes:share }
+        :: !objects
+  done;
+  { url; objects = List.rev !objects }

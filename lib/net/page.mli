@@ -1,0 +1,47 @@
+(** Web-page model and synthetic content generation.
+
+    A page is a set of objects, each either text/code (HTML, JS, CSS, JSON —
+    tokenized by BlindBox) or binary (images, video — not tokenized, per the
+    paper's §3 optimisation).  The generators produce HTML/JS-shaped text
+    with realistic delimiter density so tokenizer overheads are meaningful,
+    and incompressible blobs for binary. *)
+
+type mime = Text | Binary
+
+type obj = {
+  name : string;
+  mime : mime;
+  body : string;
+}
+
+type t = {
+  url : string;
+  objects : obj list;
+}
+
+val text_bytes : t -> int
+val binary_bytes : t -> int
+val total_bytes : t -> int
+
+(** [text_body t] — concatenation of the text/code objects (what the sender
+    tokenizes). *)
+val text_body : t -> string
+
+(** [gen_html drbg ~bytes] generates HTML-ish markup of roughly (and at
+    least) [bytes] bytes. *)
+val gen_html : Bbx_crypto.Drbg.t -> bytes:int -> string
+
+(** [gen_prose drbg ~bytes] generates book-like prose (words and sentence
+    punctuation only — the Gutenberg-style workload). *)
+val gen_prose : Bbx_crypto.Drbg.t -> bytes:int -> string
+
+(** [gen_script drbg ~bytes] generates JS-ish code. *)
+val gen_script : Bbx_crypto.Drbg.t -> bytes:int -> string
+
+(** [gen_binary drbg ~bytes] generates an incompressible blob. *)
+val gen_binary : Bbx_crypto.Drbg.t -> bytes:int -> string
+
+(** [generate drbg ~url ~text_bytes ~binary_bytes] builds a page with the
+    requested byte mix split across several objects. *)
+val generate :
+  Bbx_crypto.Drbg.t -> url:string -> text_bytes:int -> binary_bytes:int -> t

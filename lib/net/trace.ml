@@ -1,0 +1,53 @@
+open Bbx_crypto
+
+type flow = {
+  id : int;
+  payload : string;
+  attack : Bbx_rules.Rule.t option;
+}
+
+let benign_payload drbg =
+  let host = Printf.sprintf "ctf-%d.example" (Drbg.uniform drbg 50) in
+  let path = Printf.sprintf "/app/%d?session=%d" (Drbg.uniform drbg 100) (Drbg.uniform drbg 100000) in
+  let body = Page.gen_html drbg ~bytes:(200 + Drbg.uniform drbg 800) in
+  let req =
+    if Drbg.uniform drbg 3 = 0 then Http.post ~headers:[ ("Host", host) ] ~body path
+    else Http.get ~headers:[ ("Host", host) ] path
+  in
+  Http.render_request req
+
+let attack_payload drbg ~misaligned_fraction rule =
+  let keywords = Bbx_rules.Rule.keywords rule in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "/vuln.php?probe=%d" (Drbg.uniform drbg 10000));
+  List.iter
+    (fun kw ->
+       let misaligned =
+         Drbg.uniform drbg 10_000 < int_of_float (misaligned_fraction *. 10_000.0)
+       in
+       if misaligned then
+         (* glue the keyword inside an alphanumeric run: no delimiter
+            boundary at its start or end *)
+         Buffer.add_string buf (Printf.sprintf "&f=zq%szq" kw)
+       else Buffer.add_string buf (Printf.sprintf "&arg=%s" kw))
+    keywords;
+  Http.render_request
+    (Http.get ~headers:[ ("Host", "victim.example") ] (Buffer.contents buf))
+  ^ Page.gen_html drbg ~bytes:(100 + Drbg.uniform drbg 400)
+
+let generate ?(seed = "ictf") ?(misaligned_fraction = 0.04) ~rules ~n_attacks ~n_benign () =
+  if rules = [] then invalid_arg "Trace.generate: no rules";
+  let drbg = Drbg.create seed in
+  let rules_arr = Array.of_list rules in
+  let attacks =
+    List.init n_attacks (fun i ->
+        let rule = rules_arr.(Drbg.uniform drbg (Array.length rules_arr)) in
+        { id = i; payload = attack_payload drbg ~misaligned_fraction rule; attack = Some rule })
+  in
+  let benign =
+    List.init n_benign (fun i ->
+        { id = n_attacks + i; payload = benign_payload drbg; attack = None })
+  in
+  (* interleave deterministically *)
+  let all = attacks @ benign in
+  List.sort (fun a b -> compare (Hashtbl.hash (seed, a.id)) (Hashtbl.hash (seed, b.id))) all

@@ -1,0 +1,27 @@
+(** ICTF-like attack trace generation (DESIGN.md §2, substitution 6).
+
+    The paper replays the ICTF 2010 capture-the-flag trace and checks which
+    of Snort's detections BlindBox (with delimiter tokenization) reproduces.
+    This generator plants rule keywords into HTTP-shaped payloads — most on
+    delimiter boundaries, a small adversarial fraction glued inside
+    alphanumeric runs where delimiter tokenization is blind — plus benign
+    background flows.  Ground truth is then *measured* with the plaintext
+    evaluator, never assumed. *)
+
+type flow = {
+  id : int;
+  payload : string;
+  attack : Bbx_rules.Rule.t option;  (** the rule whose keywords were planted *)
+}
+
+(** [generate ?seed ?misaligned_fraction ~rules ~n_attacks ~n_benign ()]:
+    [misaligned_fraction] (default 0.04) of planted keywords are embedded
+    mid-word. *)
+val generate :
+  ?seed:string ->
+  ?misaligned_fraction:float ->
+  rules:Bbx_rules.Rule.t list ->
+  n_attacks:int ->
+  n_benign:int ->
+  unit ->
+  flow list

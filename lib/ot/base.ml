@@ -1,0 +1,57 @@
+open Bbx_bignum
+open Bbx_crypto
+
+type sender_params = { c : Nat.t }
+
+let setup drbg =
+  (* c is a random group element with discrete log unknown to both parties
+     (derived from g^x for throwaway x). *)
+  { c = Group.exp Group.g (Group.random_exponent drbg) }
+
+let params_to_string { c } = Group.to_bytes c
+
+let params_of_string s =
+  if String.length s <> Group.element_size then invalid_arg "Base.params_of_string";
+  { c = Group.of_bytes s }
+
+type receiver_state = { k : Nat.t; b : bool }
+
+let receiver_choose drbg { c } b =
+  let k = Group.random_exponent drbg in
+  let pk_b = Group.exp Group.g k in
+  (* pk_{1-b} = c / pk_b, so the receiver knows the discrete log of exactly
+     one of the two keys while their product relation is fixed by c. *)
+  let pk0 = if b then Group.mul c (Group.inv pk_b) else pk_b in
+  ({ k; b }, Group.to_bytes pk0)
+
+let mask ~point ~which ~len =
+  Kdf.expand
+    ~prk:(Sha256.digest (Group.to_bytes point))
+    ~info:(Printf.sprintf "ot-base-%d" which)
+    len
+
+let sender_respond drbg { c } ~pk0 ~m0 ~m1 =
+  if String.length m0 <> String.length m1 then
+    invalid_arg "Base.sender_respond: message length mismatch";
+  let len = String.length m0 in
+  let pk0 = Group.of_bytes pk0 in
+  let pk1 = Group.mul c (Group.inv pk0) in
+  let encrypt which pk m =
+    let r = Group.random_exponent drbg in
+    let gr = Group.exp Group.g r in
+    let masked = Util.xor m (mask ~point:(Group.exp pk r) ~which ~len) in
+    Group.to_bytes gr ^ masked
+  in
+  Util.u32_be len ^ encrypt 0 pk0 m0 ^ encrypt 1 pk1 m1
+
+let receiver_recover { k; b } response =
+  if String.length response < 4 then invalid_arg "Base.receiver_recover: truncated";
+  let len = Util.read_u32_be response 0 in
+  let part = Group.element_size + len in
+  if String.length response <> 4 + (2 * part) then
+    invalid_arg "Base.receiver_recover: length mismatch";
+  let which = if b then 1 else 0 in
+  let off = 4 + (which * part) in
+  let gr = Group.of_bytes (String.sub response off Group.element_size) in
+  let masked = String.sub response (off + Group.element_size) len in
+  Util.xor masked (mask ~point:(Group.exp gr k) ~which ~len)

@@ -1,0 +1,32 @@
+(** 1-out-of-2 oblivious transfer (Bellare–Micali construction over
+    {!Group}).
+
+    The sender holds two equal-length messages [m0], [m1]; the receiver
+    holds a choice bit [b] and learns [m_b] and nothing about [m_{1-b}],
+    while the sender learns nothing about [b] (paper §3.3).
+
+    The protocol is exposed move-by-move with string-serialised messages so
+    the session layer can count handshake bytes, and the composition is
+    tested in-process. *)
+
+type sender_params
+
+(** [setup drbg] creates sender parameters; the serialised form is the
+    first protocol message (sender -> receiver). *)
+val setup : Bbx_crypto.Drbg.t -> sender_params
+val params_to_string : sender_params -> string
+val params_of_string : string -> sender_params
+
+type receiver_state
+
+(** [receiver_choose drbg params b] is move 2 (receiver -> sender): commits
+    to the choice bit, returning the public key to send. *)
+val receiver_choose : Bbx_crypto.Drbg.t -> sender_params -> bool -> receiver_state * string
+
+(** [sender_respond drbg params ~pk0 ~m0 ~m1] is move 3 (sender ->
+    receiver).  [m0] and [m1] must have equal length. *)
+val sender_respond :
+  Bbx_crypto.Drbg.t -> sender_params -> pk0:string -> m0:string -> m1:string -> string
+
+(** [receiver_recover st response] decrypts the chosen message. *)
+val receiver_recover : receiver_state -> string -> string

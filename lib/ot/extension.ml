@@ -1,0 +1,156 @@
+open Bbx_crypto
+
+let security = 128
+let seed_len = 16
+
+(* PRG used to stretch base-OT seeds into matrix columns. *)
+let prg seed n = Drbg.bytes (Drbg.create ("iknp-prg:" ^ seed)) n
+
+(* Row hash: correlation-robust H(j, v) stretched to the message length. *)
+let row_hash j v len =
+  Kdf.expand ~prk:(Sha256.digest (Util.u64_be j ^ v)) ~info:"iknp-row" len
+
+let get_bit s j = (Char.code s.[j / 8] lsr (7 - (j mod 8))) land 1 = 1
+
+let pack_bits bits =
+  let n = Array.length bits in
+  String.init ((n + 7) / 8) (fun byte ->
+      let v = ref 0 in
+      for j = 0 to 7 do
+        let idx = (8 * byte) + j in
+        v := (!v lsl 1) lor (if idx < n && bits.(idx) then 1 else 0)
+      done;
+      Char.chr !v)
+
+(* Row j of a k-column matrix stored as column strings. *)
+let row_of_columns columns j =
+  let k = Array.length columns in
+  String.init ((k + 7) / 8) (fun byte ->
+      let v = ref 0 in
+      for i = 0 to 7 do
+        let col = (8 * byte) + i in
+        v := (!v lsl 1) lor (if col < k && get_bit columns.(col) j then 1 else 0)
+      done;
+      Char.chr !v)
+
+type receiver_state = {
+  r_drbg : Drbg.t;
+  choices : bool array;
+  r_msg_len : int;
+  r_params : Base.sender_params;
+  mutable seed_pairs : (string * string) array;
+  mutable t_columns : string array;
+}
+
+type sender_state = {
+  s_drbg : Drbg.t;
+  n : int;
+  s_msg_len : int;
+  sigma : bool array;
+  base_states : Base.receiver_state array;
+  mutable q_columns : string array;
+}
+
+let receiver_init drbg ~choices ~msg_len =
+  let params = Base.setup drbg in
+  ( { r_drbg = drbg; choices; r_msg_len = msg_len; r_params = params;
+      seed_pairs = [||]; t_columns = [||] },
+    Base.params_to_string params )
+
+let sender_init drbg ~n ~msg_len move0 =
+  let params = Base.params_of_string move0 in
+  let sigma = Array.init security (fun _ -> Drbg.uniform drbg 2 = 1) in
+  let buf = Buffer.create (security * Group.element_size) in
+  let base_states =
+    Array.init security (fun i ->
+        let st, pk0 = Base.receiver_choose drbg params sigma.(i) in
+        Buffer.add_string buf pk0;
+        st)
+  in
+  ( { s_drbg = drbg; n; s_msg_len = msg_len; sigma; base_states; q_columns = [||] },
+    Buffer.contents buf )
+
+let receiver_correct st move1 =
+  if String.length move1 <> security * Group.element_size then
+    invalid_arg "Extension.receiver_correct: bad move-1 length";
+  let m = Array.length st.choices in
+  let m8 = (m + 7) / 8 in
+  let r_packed = pack_bits st.choices in
+  let seed_pairs =
+    Array.init security (fun _ -> (Drbg.bytes st.r_drbg seed_len, Drbg.bytes st.r_drbg seed_len))
+  in
+  let t_columns = Array.map (fun (s0, _) -> prg s0 m8) seed_pairs in
+  let buf = Buffer.create (security * 256) in
+  Array.iteri
+    (fun i (s0, s1) ->
+       let pk0 = String.sub move1 (i * Group.element_size) Group.element_size in
+       let resp = Base.sender_respond st.r_drbg st.r_params ~pk0 ~m0:s0 ~m1:s1 in
+       if i = 0 then Buffer.add_string buf (Util.u32_be (String.length resp));
+       Buffer.add_string buf resp)
+    seed_pairs;
+  Array.iteri
+    (fun i (_, s1) ->
+       let u = Util.xor (Util.xor t_columns.(i) (prg s1 m8)) r_packed in
+       Buffer.add_string buf u)
+    seed_pairs;
+  st.seed_pairs <- seed_pairs;
+  st.t_columns <- t_columns;
+  (st, Buffer.contents buf)
+
+let sender_transfer st ~messages move2 =
+  if Array.length messages <> st.n then
+    invalid_arg "Extension.sender_transfer: message count mismatch";
+  Array.iter
+    (fun (m0, m1) ->
+       if String.length m0 <> st.s_msg_len || String.length m1 <> st.s_msg_len then
+         invalid_arg "Extension.sender_transfer: bad message length")
+    messages;
+  let m8 = (st.n + 7) / 8 in
+  let resp_len = Util.read_u32_be move2 0 in
+  let expected = 4 + (security * resp_len) + (security * m8) in
+  if String.length move2 <> expected then
+    invalid_arg "Extension.sender_transfer: bad move-2 length";
+  let q_columns =
+    Array.init security (fun i ->
+        let resp = String.sub move2 (4 + (i * resp_len)) resp_len in
+        let seed = Base.receiver_recover st.base_states.(i) resp in
+        let col = prg seed m8 in
+        if st.sigma.(i) then
+          Util.xor col (String.sub move2 (4 + (security * resp_len) + (i * m8)) m8)
+        else col)
+  in
+  st.q_columns <- q_columns;
+  let sigma_packed = pack_bits st.sigma in
+  let buf = Buffer.create (2 * st.n * st.s_msg_len) in
+  Array.iteri
+    (fun j (m0, m1) ->
+       let qj = row_of_columns q_columns j in
+       Buffer.add_string buf (Util.xor m0 (row_hash j qj st.s_msg_len));
+       Buffer.add_string buf (Util.xor m1 (row_hash j (Util.xor qj sigma_packed) st.s_msg_len)))
+    messages;
+  Buffer.contents buf
+
+let receiver_recover st move3 =
+  let m = Array.length st.choices in
+  if String.length move3 <> 2 * m * st.r_msg_len then
+    invalid_arg "Extension.receiver_recover: bad move-3 length";
+  Array.init m (fun j ->
+      let tj = row_of_columns st.t_columns j in
+      let which = if st.choices.(j) then 1 else 0 in
+      let y = String.sub move3 (((2 * j) + which) * st.r_msg_len) st.r_msg_len in
+      Util.xor y (row_hash j tj st.r_msg_len))
+
+let run ~sender_drbg ~receiver_drbg ~messages ~choices =
+  let msg_len = match messages with
+    | [||] -> invalid_arg "Extension.run: no messages"
+    | _ -> String.length (fst messages.(0))
+  in
+  let rs, move0 = receiver_init receiver_drbg ~choices ~msg_len in
+  let ss, move1 = sender_init sender_drbg ~n:(Array.length messages) ~msg_len move0 in
+  let rs, move2 = receiver_correct rs move1 in
+  let move3 = sender_transfer ss ~messages move2 in
+  let out = receiver_recover rs move3 in
+  let bytes =
+    String.length move0 + String.length move1 + String.length move2 + String.length move3
+  in
+  (out, bytes)

@@ -1,0 +1,57 @@
+(** IKNP oblivious-transfer extension.
+
+    Rule preparation needs one OT per input bit of every garbled AES
+    circuit — hundreds of thousands for a full ruleset — far too many to run
+    at one public-key operation each.  IKNP amortises: 128 base OTs (on
+    16-byte PRG seeds, with the roles of the two parties swapped) extend to
+    any number of transfers using only symmetric primitives.
+
+    Moves (R = extension receiver holding choice bits, S = extension sender
+    holding message pairs):
+    + move 0, R->S: base-OT parameters;
+    + move 1, S->R: base-OT public keys committing to S's random column
+      selection [sigma];
+    + move 2, R->S: base-OT responses carrying seed pairs, plus the
+      correction columns [u^i = PRG(s_i^0) XOR PRG(s_i^1) XOR r];
+    + move 3, S->R: masked message pairs
+      [y_j^b = m_j^b XOR H(j, q_j XOR b.sigma)];
+    + R recovers [m_j^{r_j} = y_j^{r_j} XOR H(j, t_j)].
+
+    All messages are opaque strings so callers can count setup bandwidth
+    (Table 2 / §7.2.2). *)
+
+val security : int
+(** Number of base OTs (128). *)
+
+type receiver_state
+type sender_state
+
+(** [receiver_init drbg ~choices ~msg_len] starts the protocol; returns the
+    move-0 message. *)
+val receiver_init :
+  Bbx_crypto.Drbg.t -> choices:bool array -> msg_len:int -> receiver_state * string
+
+(** [sender_init drbg ~n ~msg_len move0] processes move 0; returns move 1.
+    [n] is the number of transfers (must equal [Array.length choices]). *)
+val sender_init :
+  Bbx_crypto.Drbg.t -> n:int -> msg_len:int -> string -> sender_state * string
+
+(** [receiver_correct st move1] processes move 1; returns move 2. *)
+val receiver_correct : receiver_state -> string -> receiver_state * string
+
+(** [sender_transfer st ~messages move2] processes move 2; returns move 3.
+    Every pair must consist of [msg_len]-byte strings. *)
+val sender_transfer : sender_state -> messages:(string * string) array -> string -> string
+
+(** [receiver_recover st move3] yields the chosen messages. *)
+val receiver_recover : receiver_state -> string -> string array
+
+(** [run ~sender_drbg ~receiver_drbg ~messages ~choices] composes the whole
+    protocol in-process; returns the received messages and the total
+    transcript size in bytes. *)
+val run :
+  sender_drbg:Bbx_crypto.Drbg.t ->
+  receiver_drbg:Bbx_crypto.Drbg.t ->
+  messages:(string * string) array ->
+  choices:bool array ->
+  string array * int

@@ -1,0 +1,25 @@
+open Bbx_bignum
+
+let p = Nat.sub (Nat.shift_left Nat.one 255) (Nat.of_int 19)
+let g = Nat.two
+
+let element_size = 32
+
+(* Montgomery context for the fixed prime modulus. *)
+let ctx = Mont.create p
+
+let exp base e = Mont.mod_pow ctx ~base ~exp:e
+let mul a b = Nat.rem (Nat.mul a b) p
+let inv a = Nat.mod_inv a p
+
+let random_exponent drbg =
+  let bound = Nat.sub p Nat.two in
+  let rec draw () =
+    let raw = Nat.of_bytes_be (Bbx_crypto.Drbg.bytes drbg 32) in
+    let v = Nat.rem raw p in
+    if Nat.compare v Nat.one > 0 && Nat.compare v bound < 0 then v else draw ()
+  in
+  draw ()
+
+let to_bytes v = Nat.to_bytes_be ~len:element_size v
+let of_bytes s = Nat.of_bytes_be s

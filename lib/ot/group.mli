@@ -1,0 +1,22 @@
+(** The Diffie-Hellman group used by the base oblivious transfers and the
+    TLS-like handshake: the multiplicative group modulo p = 2^255 - 19 with
+    generator 2.  Elements serialise to 32 big-endian bytes. *)
+
+val p : Bbx_bignum.Nat.t
+val g : Bbx_bignum.Nat.t
+
+(** [exp base e] is [base^e mod p]. *)
+val exp : Bbx_bignum.Nat.t -> Bbx_bignum.Nat.t -> Bbx_bignum.Nat.t
+
+(** [mul a b] / [inv a]: group operations mod p. *)
+val mul : Bbx_bignum.Nat.t -> Bbx_bignum.Nat.t -> Bbx_bignum.Nat.t
+val inv : Bbx_bignum.Nat.t -> Bbx_bignum.Nat.t
+
+(** [random_exponent drbg] samples a uniform exponent in [[1, p-1)]. *)
+val random_exponent : Bbx_crypto.Drbg.t -> Bbx_bignum.Nat.t
+
+val to_bytes : Bbx_bignum.Nat.t -> string
+val of_bytes : string -> Bbx_bignum.Nat.t
+
+(** Byte width of a serialised element (32). *)
+val element_size : int

@@ -1,0 +1,397 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- AST ---------- *)
+
+type charset = bool array (* 256 entries *)
+
+type node =
+  | Empty
+  | Lit of charset
+  | Concat of node * node
+  | Alt of node * node
+  | Star of node
+  | Plus of node
+  | Opt of node
+  | Repeat of node * int * int option
+  | Bol
+  | Eol
+
+let max_repeat = 256
+
+(* ---------- charset helpers ---------- *)
+
+let cs_none () = Array.make 256 false
+
+let cs_of_char c =
+  let cs = cs_none () in
+  cs.(Char.code c) <- true;
+  cs
+
+let cs_union a b = Array.init 256 (fun i -> a.(i) || b.(i))
+
+let cs_negate a = Array.map not a
+
+let cs_range lo hi =
+  if lo > hi then fail "bad class range %c-%c" (Char.chr lo) (Char.chr hi);
+  Array.init 256 (fun i -> i >= lo && i <= hi)
+
+let cs_digit = cs_range (Char.code '0') (Char.code '9')
+let cs_word =
+  cs_union cs_digit
+    (cs_union (cs_range (Char.code 'a') (Char.code 'z'))
+       (cs_union (cs_range (Char.code 'A') (Char.code 'Z')) (cs_of_char '_')))
+let cs_space =
+  List.fold_left (fun acc c -> cs_union acc (cs_of_char c)) (cs_none ())
+    [ ' '; '\t'; '\n'; '\r'; '\012'; '\011' ]
+
+let cs_caseless cs =
+  Array.init 256 (fun i ->
+      cs.(i)
+      || (i >= Char.code 'a' && i <= Char.code 'z' && cs.(i - 32))
+      || (i >= Char.code 'A' && i <= Char.code 'Z' && cs.(i + 32)))
+
+(* ---------- parser ---------- *)
+
+type parser_state = { pat : string; mutable pos : int; caseless : bool; dotall : bool }
+
+let peek p = if p.pos < String.length p.pat then Some p.pat.[p.pos] else None
+let advance p = p.pos <- p.pos + 1
+let eat p c =
+  match peek p with
+  | Some x when x = c -> advance p
+  | _ -> fail "expected '%c' at %d" c p.pos
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail "bad hex digit '%c'" c
+
+(* Parse one escape sequence (after the backslash); returns a charset. *)
+let parse_escape p =
+  match peek p with
+  | None -> fail "trailing backslash"
+  | Some c ->
+    advance p;
+    (match c with
+     | 'd' -> cs_digit
+     | 'D' -> cs_negate cs_digit
+     | 'w' -> cs_word
+     | 'W' -> cs_negate cs_word
+     | 's' -> cs_space
+     | 'S' -> cs_negate cs_space
+     | 'n' -> cs_of_char '\n'
+     | 'r' -> cs_of_char '\r'
+     | 't' -> cs_of_char '\t'
+     | '0' -> cs_of_char '\000'
+     | 'x' ->
+       (match (peek p, (if p.pos + 1 < String.length p.pat then Some p.pat.[p.pos + 1] else None)) with
+        | Some h, Some l ->
+          advance p; advance p;
+          cs_of_char (Char.chr ((hex_digit h lsl 4) lor hex_digit l))
+        | _ -> fail "truncated \\x escape")
+     | c -> cs_of_char c)
+
+let parse_class p =
+  eat p '[';
+  let negated = peek p = Some '^' in
+  if negated then advance p;
+  let acc = ref (cs_none ()) in
+  let rec item first =
+    match peek p with
+    | None -> fail "unterminated character class"
+    | Some ']' when not first -> advance p
+    | Some c ->
+      let lo_set =
+        if c = '\\' then begin advance p; parse_escape p end
+        else begin advance p; cs_of_char c end
+      in
+      (* range only when the left side is a single character *)
+      let is_single = Array.fold_left (fun n b -> if b then n + 1 else n) 0 lo_set = 1 in
+      (match (peek p, is_single) with
+       | Some '-', true when p.pos + 1 < String.length p.pat && p.pat.[p.pos + 1] <> ']' ->
+         advance p;
+         let hi =
+           match peek p with
+           | Some '\\' ->
+             advance p;
+             let hs = parse_escape p in
+             let idx = ref (-1) in
+             Array.iteri (fun i b -> if b && !idx < 0 then idx := i) hs;
+             !idx
+           | Some c -> advance p; Char.code c
+           | None -> fail "unterminated character class"
+         in
+         let lo = ref (-1) in
+         Array.iteri (fun i b -> if b && !lo < 0 then lo := i) lo_set;
+         acc := cs_union !acc (cs_range !lo hi)
+       | _ -> acc := cs_union !acc lo_set);
+      item false
+  in
+  item true;
+  let cs = if negated then cs_negate !acc else !acc in
+  if p.caseless then cs_caseless cs else cs
+
+let parse_int p =
+  let start = p.pos in
+  while (match peek p with Some ('0' .. '9') -> true | _ -> false) do advance p done;
+  if p.pos = start then fail "expected number at %d" start;
+  int_of_string (String.sub p.pat start (p.pos - start))
+
+let rec parse_alt p =
+  let left = parse_concat p in
+  match peek p with
+  | Some '|' ->
+    advance p;
+    Alt (left, parse_alt p)
+  | _ -> left
+
+and parse_concat p =
+  let rec go acc =
+    match peek p with
+    | None | Some '|' | Some ')' -> acc
+    | _ ->
+      let atom = parse_repeat p in
+      go (if acc = Empty then atom else Concat (acc, atom))
+  in
+  go Empty
+
+and parse_repeat p =
+  let atom = parse_atom p in
+  let rec postfix node =
+    match peek p with
+    | Some '*' -> advance p; postfix (Star node)
+    | Some '+' -> advance p; postfix (Plus node)
+    | Some '?' -> advance p; postfix (Opt node)
+    | Some '{' ->
+      advance p;
+      let min = parse_int p in
+      let max =
+        match peek p with
+        | Some ',' ->
+          advance p;
+          (match peek p with
+           | Some '}' -> None
+           | _ -> Some (parse_int p))
+        | _ -> Some min
+      in
+      eat p '}';
+      if min > max_repeat || (match max with Some m -> m > max_repeat || m < min | None -> false)
+      then fail "repeat bound too large or inverted";
+      postfix (Repeat (node, min, max))
+    | _ -> node
+  in
+  postfix atom
+
+and parse_atom p =
+  match peek p with
+  | None -> fail "expected atom at end of pattern"
+  | Some '(' ->
+    advance p;
+    (* Non-capturing group prefix (?:...) is accepted and ignored. *)
+    if peek p = Some '?' then begin
+      advance p;
+      match peek p with
+      | Some ':' -> advance p
+      | _ -> fail "unsupported group modifier"
+    end;
+    let inner = parse_alt p in
+    eat p ')';
+    inner
+  | Some '[' -> Lit (parse_class p)
+  | Some '.' ->
+    advance p;
+    let cs = if p.dotall then Array.make 256 true else cs_negate (cs_of_char '\n') in
+    Lit cs
+  | Some '^' -> advance p; Bol
+  | Some '$' -> advance p; Eol
+  | Some '\\' ->
+    advance p;
+    let cs = parse_escape p in
+    Lit (if p.caseless then cs_caseless cs else cs)
+  | Some ('*' | '+' | '?') -> fail "quantifier with nothing to repeat at %d" p.pos
+  | Some ')' -> fail "unbalanced ')' at %d" p.pos
+  | Some c ->
+    advance p;
+    let cs = cs_of_char c in
+    Lit (if p.caseless then cs_caseless cs else cs)
+
+(* ---------- compilation to a Pike VM program ---------- *)
+
+type inst =
+  | IChar of charset
+  | IMatch
+  | IJmp of int
+  | ISplit of int * int
+  | IBol
+  | IEol
+
+type t = { prog : inst array; source : string }
+
+let compile_node node =
+  let insts = ref [] in
+  let n = ref 0 in
+  let emit i =
+    insts := i :: !insts;
+    incr n;
+    !n - 1
+  in
+  let patch pc i =
+    insts := List.mapi (fun j x -> if j = !n - 1 - pc then i else x) !insts
+  in
+  let rec go = function
+    | Empty -> ()
+    | Lit cs -> ignore (emit (IChar cs))
+    | Bol -> ignore (emit IBol)
+    | Eol -> ignore (emit IEol)
+    | Concat (a, b) -> go a; go b
+    | Alt (a, b) ->
+      let split = emit (ISplit (0, 0)) in
+      go a;
+      let jmp = emit (IJmp 0) in
+      let b_start = !n in
+      go b;
+      patch split (ISplit (split + 1, b_start));
+      patch jmp (IJmp !n)
+    | Star node ->
+      let split = emit (ISplit (0, 0)) in
+      go node;
+      ignore (emit (IJmp split));
+      patch split (ISplit (split + 1, !n))
+    | Plus node ->
+      let start = !n in
+      go node;
+      let split = emit (ISplit (0, 0)) in
+      patch split (ISplit (start, split + 1))
+    | Opt node ->
+      let split = emit (ISplit (0, 0)) in
+      go node;
+      patch split (ISplit (split + 1, !n))
+    | Repeat (node, min, max) ->
+      for _ = 1 to min do go node done;
+      (match max with
+       | None -> go (Star node)
+       | Some m -> for _ = 1 to m - min do go (Opt node) done)
+  in
+  go node;
+  ignore (emit IMatch);
+  Array.of_list (List.rev !insts)
+
+let compile ?(caseless = false) ?(dotall = false) pattern =
+  let p = { pat = pattern; pos = 0; caseless; dotall } in
+  let ast = parse_alt p in
+  if p.pos <> String.length pattern then fail "unexpected '%c' at %d" pattern.[p.pos] p.pos;
+  { prog = compile_node ast; source = pattern }
+
+let parse_pcre s =
+  let len = String.length s in
+  if len < 2 || s.[0] <> '/' then fail "pcre must look like /pattern/flags";
+  match String.rindex_opt s '/' with
+  | None | Some 0 -> fail "pcre missing closing '/'"
+  | Some close ->
+    let pattern = String.sub s 1 (close - 1) in
+    let flags = String.sub s (close + 1) (len - close - 1) in
+    let caseless = ref false and dotall = ref false in
+    String.iter
+      (function
+        | 'i' -> caseless := true
+        | 's' -> dotall := true
+        | 'm' | 'x' | 'U' | 'R' | 'B' | 'P' | 'H' | 'D' | 'M' | 'C' | 'K' | 'S' | 'Y' ->
+          () (* snort content modifiers / multiline: no-op for our matcher *)
+        | c -> fail "unsupported pcre flag '%c'" c)
+      flags;
+    compile ~caseless:!caseless ~dotall:!dotall pattern
+
+let pattern t = t.source
+
+(* ---------- Pike VM ---------- *)
+
+(* Epsilon-closure insertion of pc into the thread list. *)
+let rec add_thread prog list on_list ~pos ~len pc =
+  if not on_list.(pc) then begin
+    on_list.(pc) <- true;
+    match prog.(pc) with
+    | IJmp target -> add_thread prog list on_list ~pos ~len target
+    | ISplit (a, b) ->
+      add_thread prog list on_list ~pos ~len a;
+      add_thread prog list on_list ~pos ~len b
+    | IBol -> if pos = 0 then add_thread prog list on_list ~pos ~len (pc + 1)
+    | IEol -> if pos = len then add_thread prog list on_list ~pos ~len (pc + 1)
+    | IChar _ | IMatch -> list := pc :: !list
+  end
+
+(* Unanchored multi-start simulation: O(|prog| * |input|). *)
+let matches t s =
+  let prog = t.prog in
+  let len = String.length s in
+  let nprog = Array.length prog in
+  let current = ref [] in
+  let exception Found in
+  try
+    for pos = 0 to len do
+      let on_list = Array.make nprog false in
+      let next = ref [] in
+      (* new attempt starting at every position (leftmost-anywhere match) *)
+      add_thread prog next on_list ~pos ~len 0;
+      List.iter (fun pc -> add_thread prog next on_list ~pos ~len pc) !current;
+      if List.exists (fun pc -> prog.(pc) = IMatch) !next then raise Found;
+      if pos < len then begin
+        let c = Char.code s.[pos] in
+        let stepped = ref [] in
+        let on2 = Array.make nprog false in
+        List.iter
+          (fun pc ->
+             match prog.(pc) with
+             | IChar cs when cs.(c) ->
+               add_thread prog stepped on2 ~pos:(pos + 1) ~len (pc + 1)
+             | _ -> ())
+          !next;
+        current := !stepped
+      end
+    done;
+    false
+  with Found -> true
+
+(* Anchored-at-[start] run returning the longest match end. *)
+let run_at t s start =
+  let prog = t.prog in
+  let len = String.length s in
+  let nprog = Array.length prog in
+  let best = ref None in
+  let current = ref [] in
+  let on_list = Array.make nprog false in
+  add_thread prog current on_list ~pos:start ~len 0;
+  let pos = ref start in
+  let threads = ref !current in
+  let check l p = if List.exists (fun pc -> prog.(pc) = IMatch) l then best := Some p in
+  check !threads !pos;
+  while !threads <> [] && !pos < len do
+    let c = Char.code s.[!pos] in
+    let next = ref [] in
+    let on2 = Array.make nprog false in
+    List.iter
+      (fun pc ->
+         match prog.(pc) with
+         | IChar cs when cs.(c) -> add_thread prog next on2 ~pos:(!pos + 1) ~len (pc + 1)
+         | _ -> ())
+      !threads;
+    incr pos;
+    threads := !next;
+    check !threads !pos
+  done;
+  !best
+
+let search t s =
+  let len = String.length s in
+  let rec go start =
+    if start > len then None
+    else begin
+      match run_at t s start with
+      | Some e -> Some (start, e)
+      | None -> go (start + 1)
+    end
+  in
+  go 0

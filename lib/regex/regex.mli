@@ -1,0 +1,42 @@
+(** Regular-expression engine (PCRE subset) for Protocol III.
+
+    Once probable cause lets the middlebox decrypt a flow (paper §5), the
+    decrypted payload is run through the full rule including its [pcre]
+    field.  Snort's pcre options use a modest subset of PCRE which this
+    engine covers:
+
+    - literals, [.], escapes [\d \D \w \W \s \S \n \r \t \xHH] and escaped
+      metacharacters;
+    - character classes [[a-z0-9_]] and negated classes [[^...]];
+    - grouping [(...)], alternation [|];
+    - quantifiers [* + ? {m} {m,} {m,n}] (greedy; matching is by the Pike VM
+      so greediness only affects which match is reported, not whether one is
+      found);
+    - anchors [^] and [$];
+    - flags [i] (caseless) and [s] (dot matches newline) via {!parse_pcre}.
+
+    Matching is worst-case linear in [pattern size * input size] (Thompson
+    NFA simulated by a Pike VM) — no catastrophic backtracking, which
+    matters for an IDS exposed to adversarial inputs. *)
+
+type t
+
+exception Parse_error of string
+
+(** [compile ?caseless ?dotall pattern] compiles a pattern.
+    Raises {!Parse_error} on malformed patterns. *)
+val compile : ?caseless:bool -> ?dotall:bool -> string -> t
+
+(** [parse_pcre s] parses Snort's ["/pattern/flags"] syntax. *)
+val parse_pcre : string -> t
+
+(** [matches t s] — does [t] match anywhere in [s]?  (Unanchored unless the
+    pattern is anchored.) *)
+val matches : t -> string -> bool
+
+(** [search t s] returns the leftmost match as [(start, end_)] byte offsets
+    ([end_] exclusive), if any. *)
+val search : t -> string -> (int * int) option
+
+(** Source pattern (for pretty-printing rules). *)
+val pattern : t -> string

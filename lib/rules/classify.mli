@@ -1,0 +1,35 @@
+(** Rule classification into BlindBox protocols (paper §2.4 / Table 1) and a
+    reference plaintext evaluator (the "Snort" semantics BlindBox is compared
+    against). *)
+
+type protocol_class =
+  | Protocol_I    (** one exact-match keyword, no position constraints *)
+  | Protocol_II   (** multiple keywords and/or offset information *)
+  | Protocol_III  (** needs regular expressions (probable cause) *)
+
+val classify : Rule.t -> protocol_class
+
+(** [supported_by cls rule]: can a middlebox running protocol [cls]
+    implement [rule]?  (III supports everything, II supports I and II...) *)
+val supported_by : protocol_class -> Rule.t -> bool
+
+(** [fractions rules] is the Table 1 row for a ruleset: fraction of rules
+    supported by Protocols I, II and III. *)
+val fractions : Rule.t list -> float * float * float
+
+(** [matches_plaintext rule payload] — reference evaluation on cleartext:
+    contents in order with Snort-style [offset]/[depth] (absolute) and
+    [distance]/[within] (relative to the previous match, with backtracking
+    over candidate positions), then the [pcre] if present. *)
+val matches_plaintext : Rule.t -> string -> bool
+
+(** [keyword_match_positions ~nocase pattern payload] — all match start
+    offsets, exposed for the accuracy experiments. *)
+val keyword_match_positions : nocase:bool -> string -> string -> int list
+
+(** [contents_satisfiable ~candidates contents] — the constraint engine
+    behind {!matches_plaintext} with caller-supplied candidate match
+    positions per content, so the middlebox can run identical semantics on
+    encrypted-side keyword events. *)
+val contents_satisfiable :
+  candidates:(Rule.content -> int list) -> Rule.content list -> bool

@@ -1,0 +1,130 @@
+open Bbx_crypto
+
+type t =
+  | Watermarking
+  | Parental
+  | Snort_community
+  | Emerging_threats
+  | Mcafee_stonesoft
+  | Lastline
+
+let all =
+  [ Watermarking; Parental; Snort_community; Emerging_threats; Mcafee_stonesoft; Lastline ]
+
+let name = function
+  | Watermarking -> "Document watermarking"
+  | Parental -> "Parental filtering"
+  | Snort_community -> "Snort Community (HTTP)"
+  | Emerging_threats -> "Snort Emerging Threats (HTTP)"
+  | Mcafee_stonesoft -> "McAfee Stonesoft IDS"
+  | Lastline -> "Lastline"
+
+let paper_fractions = function
+  | Watermarking -> (1.0, 1.0, 1.0)
+  | Parental -> (1.0, 1.0, 1.0)
+  | Snort_community -> (0.03, 0.67, 1.0)
+  | Emerging_threats -> (0.016, 0.42, 1.0)
+  | Mcafee_stonesoft -> (0.05, 0.40, 1.0)
+  | Lastline -> (0.0, 0.291, 1.0)
+
+(* Class mix per dataset: fraction of rules in class I, class II-only; the
+   rest carry a pcre (class III-only).  Chosen so the cumulative fractions
+   measured by Classify.fractions land on the paper's Table 1 row. *)
+let class_mix = function
+  | Watermarking | Parental -> (1.0, 0.0)
+  | Snort_community -> (0.03, 0.64)
+  | Emerging_threats -> (0.016, 0.404)
+  | Mcafee_stonesoft -> (0.05, 0.35)
+  | Lastline -> (0.0, 0.291)
+
+(* ---------- keyword vocabulary ---------- *)
+
+let http_fragments =
+  [| "cmd.exe"; "powershell"; "/etc/passwd"; "wp-admin"; "base64_decode";
+     "union+select"; "<script>"; "document.cookie"; "eval("; "shell_exec";
+     "/bin/sh"; "xp_cmdshell"; "../../"; "User-Agent|3a|"; "Content-Type|3a|";
+     "X-Forwarded-For"; "login.php"; "?id="; "admin.cgi"; "setup.php";
+     "download.exe"; "update.bin"; "botnet"; "beacon"; "exfil";
+     "Server|3a| nginx/0."; "GET /"; "POST /upload"; "multipart/form-data";
+     ".hta"; "ActiveXObject"; "CreateObject"; "fromCharCode"; "%u9090";
+     "onmouseover"; "javascript|3a|"; "data|3a|text/html" |]
+
+let pcre_templates =
+  [| "/union.+select/i"; "/eval\\(.{0,30}base64/i"; "/\\.exe$/";
+     "/cmd\\.exe/i"; "/[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}/";
+     "/passwd|shadow/"; "/%u[0-9a-f]{4}/i"; "/(script|iframe|object)/i";
+     "/user-agent[^\\n]{0,10}(bot|crawl)/i"; "/id=[0-9]+('|%27)/" |]
+
+let alnum drbg n =
+  String.init n (fun _ ->
+      let i = Drbg.uniform drbg 36 in
+      if i < 26 then Char.chr (Char.code 'a' + i) else Char.chr (Char.code '0' + i - 26))
+
+(* Decode |hex| notation in vocabulary entries via the rule parser's content
+   decoder (so generated keywords are raw bytes, same as parsed ones). *)
+let decode = Parser.decode_content
+
+let keyword drbg =
+  (* A fragment with a random suffix: distinct across rules, realistic in
+     shape, and at least 8 bytes so a single DPIEnc token can carry it. *)
+  let frag = decode http_fragments.(Drbg.uniform drbg (Array.length http_fragments)) in
+  let suffix_len = 2 + Drbg.uniform drbg 6 in
+  let kw = frag ^ alnum drbg suffix_len in
+  if String.length kw >= 8 then kw else kw ^ alnum drbg (8 - String.length kw)
+
+let watermark drbg =
+  (* CMU-style confidentiality watermark: long high-entropy tag. *)
+  "WM-" ^ Util.to_hex (Drbg.bytes drbg (8 + Drbg.uniform drbg 8))
+
+let domain drbg =
+  Printf.sprintf "blocked-site-%s.example" (alnum drbg 6)
+
+let class_i_rule ds drbg sid =
+  let kw =
+    match ds with
+    | Watermarking -> watermark drbg
+    | Parental -> domain drbg
+    | _ -> keyword drbg
+  in
+  Rule.make ~msg:(Printf.sprintf "%s sig %d" (name ds) sid) ~sid [ Rule.make_content kw ]
+
+let class_ii_rule ds drbg sid =
+  (* Average three keywords per rule (paper §4/§7.2.2): 2-4 contents with
+     positional modifiers on some. *)
+  let n_contents = 2 + Drbg.uniform drbg 3 in
+  let contents =
+    List.init n_contents (fun i ->
+        let kw = keyword drbg in
+        if i = 0 && Drbg.uniform drbg 2 = 0 then
+          Rule.make_content ~offset:(Drbg.uniform drbg 20)
+            ~depth:(String.length kw + 2 + Drbg.uniform drbg 10) kw
+        else if i > 0 && Drbg.uniform drbg 3 = 0 then
+          Rule.make_content ~distance:(Drbg.uniform drbg 10)
+            ~within:(String.length kw + 5 + Drbg.uniform drbg 40) kw
+        else Rule.make_content kw)
+  in
+  Rule.make ~msg:(Printf.sprintf "%s sig %d" (name ds) sid) ~sid contents
+
+let class_iii_rule ds drbg sid =
+  let base = class_ii_rule ds drbg sid in
+  let pcre = pcre_templates.(Drbg.uniform drbg (Array.length pcre_templates)) in
+  { base with Rule.pcre = Some pcre }
+
+let generate ?(seed = "blindbox-dataset") ds ~n =
+  let drbg = Drbg.create (seed ^ "/" ^ name ds) in
+  let f1, f2 = class_mix ds in
+  List.init n (fun i ->
+      let sid = 1_000_000 + i in
+      (* Deterministic stratified assignment keeps measured fractions exact
+         even for small n. *)
+      let u = (float_of_int i +. 0.5) /. float_of_int n in
+      if u < f1 then class_i_rule ds drbg sid
+      else if u < f1 +. f2 then class_ii_rule ds drbg sid
+      else class_iii_rule ds drbg sid)
+
+let distinct_keywords rules =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun r -> List.iter (fun kw -> Hashtbl.replace tbl kw ()) (Rule.keywords r))
+    rules;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []

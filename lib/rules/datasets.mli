@@ -1,0 +1,34 @@
+(** Ruleset generators reproducing the statistics of the six datasets in the
+    paper's Table 1.
+
+    The real datasets (Snort Community / Emerging Threats 2015 snapshots,
+    the University of Toulouse blacklists, the CMU watermarking report, and
+    the proprietary McAfee Stonesoft and Lastline rulesets) are not
+    redistributable, so each generator produces rules with the published
+    class mix — the fraction implementable with Protocols I/II/III — and
+    the published shape (about three keywords per multi-keyword rule).
+    Table 1 is then {e measured} by running {!Classify.fractions} over the
+    generated rules, not asserted. *)
+
+type t =
+  | Watermarking      (** document watermarks: one long keyword per rule *)
+  | Parental          (** URL blacklist: one keyword per rule *)
+  | Snort_community   (** HTTP subset: 3% / 67% / 100% *)
+  | Emerging_threats  (** HTTP subset: 1.6% / 42% / 100% *)
+  | Mcafee_stonesoft  (** industrial: 5% / 40% / 100% *)
+  | Lastline          (** industrial: 0% / 29.1% / 100% *)
+
+val all : t list
+
+val name : t -> string
+
+(** The paper's Table 1 row: expected fractions for Protocols I, II, III. *)
+val paper_fractions : t -> float * float * float
+
+(** [generate ?seed t ~n] produces [n] rules with the dataset's class mix.
+    Deterministic in [seed]. *)
+val generate : ?seed:string -> t -> n:int -> Rule.t list
+
+(** [distinct_keywords rules] — all distinct content patterns (the paper's
+    "a typical 3000 rule IDS rule set contains between 9-10k keywords"). *)
+val distinct_keywords : Rule.t list -> string list

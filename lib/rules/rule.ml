@@ -1,0 +1,128 @@
+type action = Alert | Drop | Pass | Log
+
+type proto = Tcp | Udp | Icmp | Ip
+
+type direction = To_dst | Bidirectional
+
+type endpoint = { net : string; port : string }
+
+type content = {
+  pattern : string;
+  nocase : bool;
+  offset : int option;
+  depth : int option;
+  distance : int option;
+  within : int option;
+}
+
+type t = {
+  action : action;
+  proto : proto;
+  src : endpoint;
+  dst : endpoint;
+  direction : direction;
+  msg : string option;
+  contents : content list;
+  pcre : string option;
+  flow : string option;
+  sid : int option;
+  rev : int option;
+}
+
+let make_content ?(nocase = false) ?offset ?depth ?distance ?within pattern =
+  if pattern = "" then invalid_arg "Rule.make_content: empty pattern";
+  { pattern; nocase; offset; depth; distance; within }
+
+let make ?(action = Alert) ?(proto = Tcp) ?msg ?pcre ?sid contents =
+  { action; proto;
+    src = { net = "$EXTERNAL_NET"; port = "any" };
+    dst = { net = "$HOME_NET"; port = "any" };
+    direction = To_dst;
+    msg; contents; pcre; flow = None; sid; rev = None }
+
+let keywords t = List.map (fun c -> c.pattern) t.contents
+
+let flow_direction t =
+  match t.flow with
+  | None -> `Any
+  | Some f ->
+    let has needle =
+      List.exists (fun part -> String.trim part = needle) (String.split_on_char ',' f)
+    in
+    if has "from_server" || has "to_client" then `From_server
+    else if has "from_client" || has "to_server" then `From_client
+    else `Any
+
+let action_to_string = function
+  | Alert -> "alert" | Drop -> "drop" | Pass -> "pass" | Log -> "log"
+
+let proto_to_string = function
+  | Tcp -> "tcp" | Udp -> "udp" | Icmp -> "icmp" | Ip -> "ip"
+
+let is_printable c = c >= ' ' && c <= '~' && c <> '|' && c <> '"' && c <> ';' && c <> '\\'
+
+(* Snort content escaping: printable chars verbatim, everything else as a
+   |hex| run. *)
+let escape_content s =
+  let buf = Buffer.create (String.length s + 8) in
+  let in_hex = ref false in
+  String.iter
+    (fun c ->
+       if is_printable c then begin
+         if !in_hex then begin Buffer.add_char buf '|'; in_hex := false end;
+         Buffer.add_char buf c
+       end
+       else begin
+         if not !in_hex then begin Buffer.add_char buf '|'; in_hex := true end
+         else Buffer.add_char buf ' ';
+         Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c))
+       end)
+    s;
+  if !in_hex then Buffer.add_char buf '|';
+  Buffer.contents buf
+
+let content_to_string c =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "content:\"%s\";" (escape_content c.pattern));
+  if c.nocase then Buffer.add_string buf " nocase;";
+  let opt name = function
+    | None -> ()
+    | Some v -> Buffer.add_string buf (Printf.sprintf " %s:%d;" name v)
+  in
+  opt "offset" c.offset;
+  opt "depth" c.depth;
+  opt "distance" c.distance;
+  opt "within" c.within;
+  Buffer.contents buf
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s %s %s %s %s %s ("
+       (action_to_string t.action) (proto_to_string t.proto)
+       t.src.net t.src.port
+       (match t.direction with To_dst -> "->" | Bidirectional -> "<>")
+       t.dst.net t.dst.port);
+  (match t.msg with
+   | Some m -> Buffer.add_string buf (Printf.sprintf "msg:\"%s\"; " m)
+   | None -> ());
+  (match t.flow with
+   | Some f -> Buffer.add_string buf (Printf.sprintf "flow:%s; " f)
+   | None -> ());
+  List.iter (fun c -> Buffer.add_string buf (content_to_string c ^ " ")) t.contents;
+  (match t.pcre with
+   | Some p -> Buffer.add_string buf (Printf.sprintf "pcre:\"%s\"; " p)
+   | None -> ());
+  (match t.sid with
+   | Some s -> Buffer.add_string buf (Printf.sprintf "sid:%d; " s)
+   | None -> ());
+  (match t.rev with
+   | Some r -> Buffer.add_string buf (Printf.sprintf "rev:%d; " r)
+   | None -> ());
+  (* trim trailing space before the closing paren *)
+  let s = Buffer.contents buf in
+  let s = if String.length s > 0 && s.[String.length s - 1] = ' '
+    then String.sub s 0 (String.length s - 1) else s in
+  s ^ ")"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

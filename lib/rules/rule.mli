@@ -1,0 +1,62 @@
+(** The rule language: a dialect of Snort's (paper §4 shows rule 2003296
+    from Emerging Threats in exactly this syntax).
+
+    A rule has a header ([action proto src_net src_port -> dst_net
+    dst_port]) and a body of options.  The options BlindBox cares about are
+    [content] (a keyword, with [|hex|] escapes and positional modifiers
+    [offset]/[depth]/[distance]/[within] and [nocase]) and [pcre]; the rest
+    ([msg], [sid], [rev], [flow], ...) are carried through for fidelity. *)
+
+type action = Alert | Drop | Pass | Log
+
+type proto = Tcp | Udp | Icmp | Ip
+
+type direction = To_dst | Bidirectional
+
+(** Network/port specs are kept textual ("$HOME_NET", "any", "1025:5000"):
+    BlindBox inspects payloads, not headers. *)
+type endpoint = { net : string; port : string }
+
+type content = {
+  pattern : string;        (** decoded bytes, [|3a|] hex escapes resolved *)
+  nocase : bool;
+  offset : int option;     (** absolute: match starts at >= offset *)
+  depth : int option;      (** absolute: match must end within [offset+depth] *)
+  distance : int option;   (** relative to previous content match *)
+  within : int option;     (** relative window for this content *)
+}
+
+type t = {
+  action : action;
+  proto : proto;
+  src : endpoint;
+  dst : endpoint;
+  direction : direction;
+  msg : string option;
+  contents : content list;
+  pcre : string option;    (** raw "/pattern/flags" *)
+  flow : string option;
+  sid : int option;
+  rev : int option;
+}
+
+val make_content :
+  ?nocase:bool -> ?offset:int -> ?depth:int -> ?distance:int -> ?within:int ->
+  string -> content
+
+(** [make keyword] builds a minimal alert-tcp rule around keywords. *)
+val make :
+  ?action:action -> ?proto:proto -> ?msg:string -> ?pcre:string -> ?sid:int ->
+  content list -> t
+
+(** [keywords t] returns the content patterns in order. *)
+val keywords : t -> string list
+
+(** [flow_direction t] interprets the [flow] option: which traffic
+    direction the rule applies to ([`Any] when unspecified). *)
+val flow_direction : t -> [ `From_client | `From_server | `Any ]
+
+(** [to_string t] renders in Snort syntax (parseable back by {!Parser}). *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+open Bbx_bignum
+
+type public_key = { n : Nat.t; e : Nat.t }
+type private_key = { pn : Nat.t; d : Nat.t }
+type keypair = { public : public_key; private_ : private_key }
+
+let e65537 = Nat.of_int 65537
+
+let generate ~rand_bytes ~bits =
+  if bits < 64 then invalid_arg "Rsa.generate: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Prime.gen_prime ~rand_bytes ~bits:half in
+    let q = Prime.gen_prime ~rand_bytes ~bits:(bits - half) in
+    if Nat.equal p q then go ()
+    else begin
+      let n = Nat.mul p q in
+      let p1 = Nat.sub p Nat.one and q1 = Nat.sub q Nat.one in
+      let lambda = Nat.div (Nat.mul p1 q1) (Nat.gcd p1 q1) in
+      match Nat.mod_inv e65537 lambda with
+      | d -> { public = { n; e = e65537 }; private_ = { pn = n; d } }
+      | exception Not_found -> go ()
+    end
+  in
+  go ()
+
+(* EMSA-PKCS1-v1.5 shape: 0x00 0x01 0xff.. 0x00 || SHA-256(msg), stretched to
+   the modulus length. *)
+let encode_digest ~len msg =
+  let digest = Bbx_crypto.Sha256.digest msg in
+  let pad_len = len - String.length digest - 3 in
+  if pad_len < 1 then invalid_arg "Rsa: modulus too small for digest";
+  "\x00\x01" ^ String.make pad_len '\xff' ^ "\x00" ^ digest
+
+let sign { pn; d } msg =
+  let len = (Nat.bit_length pn + 7) / 8 in
+  let m = Nat.of_bytes_be (encode_digest ~len msg) in
+  Nat.to_bytes_be ~len (Mont.mod_pow (Mont.create pn) ~base:m ~exp:d)
+
+let verify { n; e } ~signature msg =
+  let len = (Nat.bit_length n + 7) / 8 in
+  String.length signature = len
+  && begin
+    let s = Nat.of_bytes_be signature in
+    Nat.compare s n < 0
+    && begin
+      let m = Mont.mod_pow (Mont.create n) ~base:s ~exp:e in
+      Bbx_crypto.Util.ct_equal (Nat.to_bytes_be ~len m) (encode_digest ~len msg)
+    end
+  end
+
+let public_to_string { n; e } = Nat.to_hex n ^ ":" ^ Nat.to_hex e
+
+let public_of_string s =
+  match String.index_opt s ':' with
+  | None -> invalid_arg "Rsa.public_of_string: missing separator"
+  | Some i ->
+    { n = Nat.of_hex (String.sub s 0 i);
+      e = Nat.of_hex (String.sub s (i + 1) (String.length s - i - 1)) }

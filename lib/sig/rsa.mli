@@ -1,0 +1,27 @@
+(** RSA signatures (hash-then-pad-then-exponentiate, PKCS#1 v1.5-shaped).
+
+    The rule generator RG signs every rule it ships (paper §2.3/§3.3) so the
+    middlebox cannot have arbitrary strings encrypted during obfuscated rule
+    encryption.  Key sizes here default to 512 bits: large enough to exercise
+    the real arithmetic, small enough that generating fresh keys in tests is
+    cheap.  See DESIGN.md §2 on the in-circuit-verification substitution. *)
+
+type public_key = { n : Bbx_bignum.Nat.t; e : Bbx_bignum.Nat.t }
+type private_key
+
+type keypair = { public : public_key; private_ : private_key }
+
+(** [generate ~rand_bytes ~bits] generates a fresh keypair with a [bits]-bit
+    modulus (public exponent 65537). *)
+val generate : rand_bytes:(int -> string) -> bits:int -> keypair
+
+(** [sign key msg] signs SHA-256([msg]); the result is as long as the
+    modulus. *)
+val sign : private_key -> string -> string
+
+(** [verify key ~signature msg] checks the signature. *)
+val verify : public_key -> signature:string -> string -> bool
+
+(** Serialisation of public keys (for shipping RG's key to endpoints). *)
+val public_to_string : public_key -> string
+val public_of_string : string -> public_key

@@ -1,0 +1,32 @@
+open Bbx_bignum
+open Bbx_crypto
+open Bbx_ot
+
+type key = { secret : string }
+
+let key_of_secret s = { secret = Kdf.derive ~secret:s ~label:"fe-key" 32 }
+
+type ciphertext = { c1 : Nat.t; c2 : Nat.t }
+
+(* Token exponent: H(k, t) as a 255-bit integer. *)
+let token_exponent key t =
+  let h = Sha256.digest (key.secret ^ "\x00" ^ t) in
+  Nat.rem (Nat.of_bytes_be h) (Nat.sub Group.p Nat.one)
+
+let encrypt key drbg t =
+  if String.length t <> 8 then invalid_arg "Fe.encrypt: token must be 8 bytes";
+  let r = Group.random_exponent drbg in
+  let c1 = Group.exp Group.g r in
+  let c2 = Group.exp c1 (token_exponent key t) in
+  { c1; c2 }
+
+type rule_key = { exponent : Nat.t }
+
+let rule_key key r = { exponent = token_exponent key r }
+
+let test rk { c1; c2 } = Nat.equal (Group.exp c1 rk.exponent) c2
+
+let detect rule_keys c =
+  let n = Array.length rule_keys in
+  let rec go i = if i >= n then None else if test rule_keys.(i) c then Some i else go (i + 1) in
+  go 0

@@ -1,0 +1,36 @@
+(** The functional-encryption strawman (paper §7.2.1).
+
+    The paper benchmarks a Katz-Sahai-Waters predicate-encryption scheme
+    whose pairing operations make it 5-6 orders of magnitude slower than
+    DPIEnc.  Pairing-friendly curves are out of scope for this
+    reproduction (DESIGN.md §2), so this module implements an
+    ElGamal-style predicate check over the same Z_p^* group the OTs use,
+    with the same cost {e shape}: a handful of modular exponentiations per
+    token encryption and one modular exponentiation per (token, rule)
+    test, detection linear in the ruleset.  Since a 255-bit modexp costs
+    ~10^4-10^5 DPIEnc operations, the measured gap lands in the paper's
+    "orders of magnitude" band.
+
+    (The check is an equality predicate — enough for Protocols I/II; like
+    the Katz et al. scheme, it cannot express Protocol III.) *)
+
+type key
+
+val key_of_secret : string -> key
+
+type ciphertext
+
+(** [encrypt key drbg t] — randomised encryption of an 8-byte token:
+    [(g^r, (g^r)^{H(k,t)})]. *)
+val encrypt : key -> Bbx_crypto.Drbg.t -> string -> ciphertext
+
+(** Per-rule predicate key. *)
+type rule_key
+
+val rule_key : key -> string -> rule_key
+
+(** [test rk c] — one modular exponentiation. *)
+val test : rule_key -> ciphertext -> bool
+
+(** [detect rule_keys c] — the linear scan. *)
+val detect : rule_key array -> ciphertext -> int option

@@ -1,0 +1,54 @@
+open Bbx_crypto
+
+type key = {
+  pre : Aes.key;     (* k'' : deterministic pre-encryption *)
+  derive : string;   (* k'  : keys the per-word key derivation f *)
+  stream : Drbg.t;   (* seeds the S_i stream *)
+}
+
+let key_of_secret s =
+  { pre = Aes.expand_key (Kdf.derive ~secret:s ~label:"song-pre" 16);
+    derive = Kdf.derive ~secret:s ~label:"song-derive" 16;
+    stream = Drbg.create (Kdf.derive ~secret:s ~label:"song-stream" 32) }
+
+let half = 8
+
+let pre_encrypt key t =
+  if String.length t <> Bbx_tokenizer.Tokenizer.token_len then
+    invalid_arg "Song: token must be 8 bytes";
+  Aes.encrypt_block key.pre (t ^ String.make 8 '\000')
+
+(* f_{k'}(L): the per-word key; F_k(S): the check function.  Both AES. *)
+let word_key derive l = Aes.expand_key (Aes.encrypt_block (Aes.expand_key derive) (l ^ String.make 8 '\000'))
+
+let check_tag wk s = String.sub (Aes.encrypt_block wk (s ^ String.make 8 '\000')) 0 half
+
+type sender = { key : key }
+
+let sender_create key = { key }
+
+let encrypt sender t =
+  let x = pre_encrypt sender.key t in
+  let l = String.sub x 0 half in
+  let wk = word_key sender.key.derive l in
+  let s = Drbg.bytes sender.key.stream half in
+  Util.xor (s ^ check_tag wk s) x
+
+type trapdoor = { x : string; wk : Aes.key }
+
+let trapdoor key r =
+  let x = pre_encrypt key r in
+  let l = String.sub x 0 half in
+  { x; wk = word_key key.derive l }
+
+let test td cipher =
+  if String.length cipher <> 16 then invalid_arg "Song.test: cipher must be 16 bytes";
+  let unmasked = Util.xor cipher td.x in
+  let s = String.sub unmasked 0 half in
+  let tag = String.sub unmasked half half in
+  Util.ct_equal tag (check_tag td.wk s)
+
+let detect trapdoors cipher =
+  let n = Array.length trapdoors in
+  let rec go i = if i >= n then None else if test trapdoors.(i) cipher then Some i else go (i + 1) in
+  go 0

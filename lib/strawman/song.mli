@@ -1,0 +1,39 @@
+(** The searchable-encryption strawman: Song, Wagner and Perrig's
+    sequential-scan scheme (paper §7.2.1), specialised to fixed-size
+    tokens, with the hash instantiated by AES as the paper's authors did
+    when tuning this strawman.
+
+    A token [t] at stream position [i] encrypts to
+
+    {v C_i = (S_i || F_{k_i}(S_i)) XOR X_t v}
+
+    where [X_t = E_{k''}(t)] is the deterministic pre-encryption,
+    [S_i] a pseudorandom stream, and [k_i = f_{k'}(L_t)] depends on the
+    left half of [X_t].  To search for keyword [r] the middlebox gets
+    [X_r] and [k_r] and must test {e every} ciphertext against {e every}
+    keyword — detection linear in the ruleset, which is exactly the
+    performance gap Table 2 quantifies against BlindBox Detect's tree. *)
+
+type key
+
+val key_of_secret : string -> key
+
+(** Sender-side encryptor (tracks the stream position). *)
+type sender
+
+val sender_create : key -> sender
+
+(** [encrypt sender t] — 16-byte ciphertext for an 8-byte token. *)
+val encrypt : sender -> string -> string
+
+(** Per-keyword search trapdoor. *)
+type trapdoor
+
+val trapdoor : key -> string -> trapdoor
+
+(** [test trapdoor cipher] — does this ciphertext hide the trapdoor's
+    keyword? *)
+val test : trapdoor -> string -> bool
+
+(** [detect trapdoors cipher] scans all trapdoors (the linear scan). *)
+val detect : trapdoor array -> string -> int option

@@ -1,0 +1,26 @@
+(** The SSL record layer: AES-128-CTR with HMAC-SHA-256 in
+    encrypt-then-MAC composition, with per-direction keys and sequence
+    numbers (so records cannot be reordered, replayed or truncated
+    silently).
+
+    BlindBox forwards these records unmodified through the middlebox; only
+    the parallel DPIEnc token stream is inspectable. *)
+
+exception Auth_failure
+
+type t
+
+(** [create ~key ~direction] builds one half-duplex session state.  Both
+    ends must create matching states ("client->server" on the sender's
+    writer and the receiver's reader, etc.). *)
+val create : key:string -> direction:string -> t
+
+(** [seal t plaintext] encrypts and authenticates the next record. *)
+val seal : t -> string -> string
+
+(** [open_ t record] verifies and decrypts the next record in order.
+    Raises {!Auth_failure} on any tamper, replay or reorder. *)
+val open_ : t -> string -> string
+
+(** Bytes of framing + MAC overhead per record. *)
+val overhead : int

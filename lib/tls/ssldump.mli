@@ -1,0 +1,15 @@
+(** The decryption element of Protocol III (paper §6): a wrapper modelled on
+    the [ssldump] tool.  When probable cause yields [k_ssl], the middlebox
+    hands the recorded records plus the key to this element, which decrypts
+    the stream for the secondary analysis (regexp / scripting) stage. *)
+
+(** [decrypt_stream ~k_ssl ~direction records] decrypts an ordered record
+    list captured from one direction of a connection.  Raises
+    {!Record.Auth_failure} if the key is wrong or the capture is
+    corrupted. *)
+val decrypt_stream : k_ssl:string -> direction:string -> string list -> string
+
+(** [decrypt_records ~k_ssl ~direction records] — same, keeping record
+    boundaries (BlindBox frames carry a type tag per record that the
+    middlebox strips before regexp analysis). *)
+val decrypt_records : k_ssl:string -> direction:string -> string list -> string list

@@ -1,0 +1,138 @@
+type token = { content : string; offset : int }
+
+let token_len = 8
+let max_keyword_len = 32
+
+let is_delimiter c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> false
+  | c when Char.code c >= 0x80 -> false (* binary / multi-byte data *)
+  | _ -> true
+
+let window s =
+  let n = String.length s in
+  if n < token_len then []
+  else
+    List.init (n - token_len + 1) (fun i -> { content = String.sub s i token_len; offset = i })
+
+let window_count s = max 0 (String.length s - token_len + 1)
+
+let pad_short s =
+  let n = String.length s in
+  if n = 0 || n > token_len then invalid_arg "Tokenizer.pad_short: bad length";
+  s ^ String.make (token_len - n) '\000'
+
+(* forward declaration resolved below: keyword chunking consults the
+   delimiter tokenizer's emission plan so that every chunk the middlebox
+   searches for is actually emitted when the keyword appears on a
+   boundary. *)
+
+(* Keyword boundary positions: the start/end of the stream and every
+   position adjacent to a delimiter character (a keyword may itself contain
+   or consist of delimiters, e.g. "?user=", so positions of delimiters count
+   as boundaries too). *)
+let boundaries s =
+  let n = String.length s in
+  let mark = Array.make (n + 1) false in
+  mark.(0) <- true;
+  mark.(n) <- true;
+  for i = 0 to n - 1 do
+    if is_delimiter s.[i] then begin
+      mark.(i) <- true;
+      mark.(i + 1) <- true
+    end
+  done;
+  mark
+
+(* The delimiter tokenizer's emission plan: which full-token offsets get a
+   token, and which short delimiter-bounded units get a padded one (the
+   latter only when [short_units] is set: the paper's tokenizer detects
+   keywords of 8+ bytes only, so padded short tokens are an extension). *)
+let delimiter_plan ~short_units s =
+  let n = String.length s in
+  let mark = boundaries s in
+  let emit = Array.make (max 0 (n - token_len + 1)) false in
+  (* One chunk at every start boundary... *)
+  for i = 0 to n - 1 do
+    if mark.(i) && i + token_len <= n then emit.(i) <- true
+  done;
+  (* ...continuation chunks at stride [token_len] inside long
+     non-delimiter runs (covering keywords longer than one token)... *)
+  let shorts = ref [] in
+  let run_start = ref 0 in
+  for i = 0 to n do
+    if i = n || is_delimiter s.[i] then begin
+      let a = !run_start in
+      let rec go off =
+        if off + token_len <= i && off - a < max_keyword_len then begin
+          emit.(off) <- true;
+          go (off + token_len)
+        end
+      in
+      if i - a > token_len then go (a + token_len);
+      (* short delimiter-bounded units are emitted zero-padded *)
+      if short_units && i - a > 0 && i - a < token_len then shorts := (a, i - a) :: !shorts;
+      run_start := i + 1
+    end
+  done;
+  (* ...plus end-aligned tails for every end boundary. *)
+  for j = token_len to n do
+    if mark.(j) then emit.(j - token_len) <- true
+  done;
+  (emit, List.rev !shorts)
+
+let delimiter ?(short_units = false) s =
+  let emit, shorts = delimiter_plan ~short_units s in
+  let tokens = ref [] in
+  for i = Array.length emit - 1 downto 0 do
+    if emit.(i) then tokens := { content = String.sub s i token_len; offset = i } :: !tokens
+  done;
+  !tokens
+  @ List.map (fun (a, len) -> { content = pad_short (String.sub s a len); offset = a }) shorts
+
+let delimiter_count ?(short_units = false) s =
+  let emit, shorts = delimiter_plan ~short_units s in
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 emit + List.length shorts
+
+(* Split a rule keyword into chunks the middlebox will search for.  Chunk
+   offsets are picked from the delimiter tokenizer's own emission plan for
+   the keyword (a keyword sitting between delimiters in traffic is emitted
+   at exactly these relative offsets, plus possibly more from context), so
+   delimiter tokenization covers every chunk of a boundary-aligned keyword.
+   Window tokenization emits every offset and covers them trivially.
+
+   A greedy cover walks the emittable offsets: at each step take the
+   right-most emittable chunk still overlapping the covered prefix.  Gaps
+   (only possible for keywords longer than [max_keyword_len]) are jumped,
+   trading a little match evidence for detectability. *)
+let keyword_chunks kw =
+  let n = String.length kw in
+  if n = 0 then []
+  else if n <= token_len then [ (pad_short kw, 0) ]
+  else begin
+    let emit, _ = delimiter_plan ~short_units:false kw in
+    let offsets = ref [] in
+    for i = Array.length emit - 1 downto 0 do
+      if emit.(i) then offsets := i :: !offsets
+    done;
+    let emittable = !offsets in (* sorted ascending; contains 0 and n - token_len *)
+    let rec cover frontier acc =
+      if frontier >= n then List.rev acc
+      else begin
+        let overlapping =
+          List.filter (fun e -> e <= frontier && e + token_len > frontier) emittable
+        in
+        match List.fold_left (fun best e -> max best e) (-1) overlapping with
+        | -1 ->
+          (* gap: jump to the next emittable offset *)
+          (match List.find_opt (fun e -> e > frontier) emittable with
+           | Some e -> cover (e + token_len) (e :: acc)
+           | None -> List.rev acc)
+        | e -> cover (e + token_len) (e :: acc)
+      end
+    in
+    let picks = cover 0 [] in
+    (* always include the end-aligned tail so matches anchor the keyword end *)
+    let picks = if List.mem (n - token_len) picks then picks else picks @ [ n - token_len ] in
+    List.map (fun i -> (String.sub kw i token_len, i)) (List.sort_uniq compare picks)
+  end

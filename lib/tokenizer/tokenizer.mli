@@ -1,0 +1,60 @@
+(** Traffic tokenization (paper §3).
+
+    The sender splits the plaintext byte stream into fixed-size tokens which
+    are then encrypted under DPIEnc.  Two strategies are implemented:
+
+    - {b window}: one token at every byte offset (the paper's sliding
+      window).  Complete — detects keywords at any alignment — but emits one
+      token per payload byte.
+    - {b delimiter}: tokens only at offsets where a rule keyword could start
+      or end, i.e. adjacent to punctuation/whitespace/special symbols.  Far
+      fewer tokens; misses the rare keyword that starts mid-word (the paper
+      measures 97.1% keyword recall on ICTF).
+
+    Keywords longer than one token are split by {!keyword_chunks} exactly as
+    the middlebox splits rule keywords: consecutive chunks plus an
+    end-aligned tail (the paper's "maliciou"/"iciously" example).  Keywords
+    shorter than one token are zero-padded; the delimiter tokenizer emits
+    padded tokens for short delimiter-bounded units so they remain
+    detectable. *)
+
+type token = {
+  content : string;  (** exactly [token_len] bytes (short units zero-padded) *)
+  offset : int;      (** byte offset in the stream *)
+}
+
+(** Token length in bytes (8, as in the paper's implementation). *)
+val token_len : int
+
+(** Longest keyword coverable by delimiter tokenization (32 bytes = 4
+    chunks from any starting boundary; window tokenization has no limit). *)
+val max_keyword_len : int
+
+(** [is_delimiter c] — punctuation, whitespace and special symbols. *)
+val is_delimiter : char -> bool
+
+(** [window s] emits one token per offset ([String.length s - token_len + 1]
+    tokens; none if the payload is shorter than a token). *)
+val window : string -> token list
+
+(** [delimiter ?short_units s] emits tokens only at keyword-boundary
+    offsets.  With [short_units] (default false — the paper detects
+    keywords of 8+ bytes only), delimiter-bounded units shorter than a
+    token are additionally emitted zero-padded so short keywords become
+    detectable, at a bandwidth cost. *)
+val delimiter : ?short_units:bool -> string -> token list
+
+(** [keyword_chunks kw] splits a rule keyword into [(chunk, relative
+    offset)] pairs: stride-[token_len] chunks plus an end-aligned tail.
+    A short keyword yields a single zero-padded chunk at offset 0. *)
+val keyword_chunks : string -> (string * int) list
+
+(** [pad_short s] zero-pads [s] to [token_len].  Raises [Invalid_argument]
+    if [s] is longer than a token or empty. *)
+val pad_short : string -> string
+
+(** [window_count s] / [delimiter_count s]: number of tokens the respective
+    tokenizer would emit, without materialising them — the bandwidth
+    experiments (Figs. 5-6) sweep megabytes of page text. *)
+val window_count : string -> int
+val delimiter_count : ?short_units:bool -> string -> int

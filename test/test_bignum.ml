@@ -1,0 +1,194 @@
+open Bbx_bignum
+
+(* Deterministic xorshift-based byte source for reproducible prime tests. *)
+let make_rand seed =
+  let state = ref (if seed = 0 then 0x9e3779b9 else seed) in
+  fun n ->
+    String.init n (fun _ ->
+        let x = !state in
+        let x = x lxor (x lsl 13) in
+        let x = x lxor (x lsr 7) in
+        let x = x lxor (x lsl 17) in
+        state := x land max_int;
+        Char.chr (!state land 0xff))
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let check_nat = Alcotest.check nat
+
+let n = Nat.of_string
+
+(* QCheck generator: random naturals up to ~512 bits, biased toward small. *)
+let gen_nat =
+  let open QCheck.Gen in
+  let* nbytes = frequency [ (4, int_range 0 8); (3, int_range 9 32); (1, int_range 33 64) ] in
+  let* s = string_size ~gen:char (return nbytes) in
+  return (Nat.of_bytes_be s)
+
+let arb_nat = QCheck.make ~print:Nat.to_string gen_nat
+
+let arb_nat_pos =
+  QCheck.make ~print:Nat.to_string
+    QCheck.Gen.(map (fun x -> Nat.add x Nat.one) gen_nat)
+
+let unit_tests =
+  [ Alcotest.test_case "zero and one" `Quick (fun () ->
+        Alcotest.(check bool) "zero is zero" true (Nat.is_zero Nat.zero);
+        check_nat "0+1=1" Nat.one (Nat.add Nat.zero Nat.one);
+        Alcotest.(check (option int)) "to_int one" (Some 1) (Nat.to_int Nat.one));
+    Alcotest.test_case "decimal round trip" `Quick (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "to_string" s (Nat.to_string (n s)));
+    Alcotest.test_case "hex round trip" `Quick (fun () ->
+        let h = "deadbeefcafebabe0123456789abcdef" in
+        Alcotest.(check string) "to_hex" h (Nat.to_hex (Nat.of_hex h)));
+    Alcotest.test_case "known product" `Quick (fun () ->
+        check_nat "mul"
+          (n "121932631137021795226185032733622923332237463801111263526900")
+          (Nat.mul (n "123456789012345678901234567890") (n "987654321098765432109876543210")));
+    Alcotest.test_case "known quotient" `Quick (fun () ->
+        let a = n "123456789012345678901234567890123456789" in
+        let b = n "9876543210987654321" in
+        let q, r = Nat.divmod a b in
+        check_nat "identity" a (Nat.add (Nat.mul q b) r);
+        Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+        check_nat "q rebuilt" q (Nat.div (Nat.sub a r) b));
+    Alcotest.test_case "division by larger" `Quick (fun () ->
+        let q, r = Nat.divmod (n "5") (n "7") in
+        check_nat "q=0" Nat.zero q;
+        check_nat "r=5" (n "5") r);
+    Alcotest.test_case "division by zero" `Quick (fun () ->
+        Alcotest.check_raises "raises" Division_by_zero (fun () ->
+            ignore (Nat.divmod Nat.one Nat.zero)));
+    Alcotest.test_case "sub underflow" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Nat.sub: negative result")
+          (fun () -> ignore (Nat.sub Nat.one Nat.two)));
+    Alcotest.test_case "bit length" `Quick (fun () ->
+        Alcotest.(check int) "bl 0" 0 (Nat.bit_length Nat.zero);
+        Alcotest.(check int) "bl 1" 1 (Nat.bit_length Nat.one);
+        Alcotest.(check int) "bl 255" 8 (Nat.bit_length (Nat.of_int 255));
+        Alcotest.(check int) "bl 256" 9 (Nat.bit_length (Nat.of_int 256));
+        Alcotest.(check int) "bl 2^100" 101 (Nat.bit_length (Nat.shift_left Nat.one 100)));
+    Alcotest.test_case "mod_pow fermat" `Quick (fun () ->
+        (* 2^(p-1) = 1 mod p for prime p *)
+        let p = n "1000000007" in
+        check_nat "fermat" Nat.one
+          (Nat.mod_pow ~base:Nat.two ~exp:(Nat.sub p Nat.one) ~modulus:p));
+    Alcotest.test_case "mod_inv known" `Quick (fun () ->
+        let p = n "1000000007" in
+        let a = n "123456789" in
+        let inv = Nat.mod_inv a p in
+        check_nat "a * a^-1 = 1" Nat.one (Nat.rem (Nat.mul a inv) p));
+    Alcotest.test_case "mod_inv non-invertible" `Quick (fun () ->
+        Alcotest.check_raises "raises" Not_found (fun () ->
+            ignore (Nat.mod_inv (Nat.of_int 6) (Nat.of_int 9))));
+    Alcotest.test_case "to_bytes_be padding" `Quick (fun () ->
+        Alcotest.(check string) "padded" "\x00\x00\x01\x02"
+          (Nat.to_bytes_be ~len:4 (Nat.of_int 258));
+        Alcotest.check_raises "too small"
+          (Invalid_argument "Nat.to_bytes_be: value too large for len") (fun () ->
+              ignore (Nat.to_bytes_be ~len:1 (Nat.of_int 258))));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        check_nat "2^10" (Nat.of_int 1024) (Nat.pow Nat.two 10);
+        check_nat "x^0" Nat.one (Nat.pow (n "999") 0));
+    Alcotest.test_case "2^255-19 is prime" `Slow (fun () ->
+        let p = Nat.sub (Nat.shift_left Nat.one 255) (Nat.of_int 19) in
+        let rand_bytes = make_rand 42 in
+        Alcotest.(check bool) "prime" true (Prime.is_probable_prime ~rand_bytes p));
+    Alcotest.test_case "carmichael number rejected" `Quick (fun () ->
+        let rand_bytes = make_rand 7 in
+        Alcotest.(check bool) "561" false
+          (Prime.is_probable_prime ~rand_bytes (Nat.of_int 561));
+        Alcotest.(check bool) "1105" false
+          (Prime.is_probable_prime ~rand_bytes (Nat.of_int 1105)));
+    Alcotest.test_case "gen_prime width" `Slow (fun () ->
+        let rand_bytes = make_rand 99 in
+        let p = Prime.gen_prime ~rand_bytes ~bits:128 in
+        Alcotest.(check int) "128 bits" 128 (Nat.bit_length p);
+        Alcotest.(check bool) "prime" true (Prime.is_probable_prime ~rand_bytes p));
+  ]
+
+let prop name ?(count = 200) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let property_tests =
+  [ prop "add commutative" (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal (Nat.add a b) (Nat.add b a));
+    prop "add associative" (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+        Nat.equal (Nat.add a (Nat.add b c)) (Nat.add (Nat.add a b) c));
+    prop "sub inverts add" (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal a (Nat.sub (Nat.add a b) b));
+    prop "mul commutative" (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+        Nat.equal (Nat.mul a b) (Nat.mul b a));
+    prop "mul distributes" (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+        Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    prop "divmod identity" ~count:500 (QCheck.pair arb_nat arb_nat_pos) (fun (a, b) ->
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    prop "shift left/right round trip" (QCheck.pair arb_nat QCheck.(int_range 0 200))
+      (fun (a, k) -> Nat.equal a (Nat.shift_right (Nat.shift_left a k) k));
+    prop "shift_left is mul by 2^k" (QCheck.pair arb_nat QCheck.(int_range 0 100))
+      (fun (a, k) -> Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.pow Nat.two k)));
+    prop "bytes round trip" arb_nat (fun a ->
+        Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)));
+    prop "decimal round trip" arb_nat (fun a ->
+        Nat.equal a (Nat.of_string (Nat.to_string a)));
+    prop "compare consistent with sub" (QCheck.pair arb_nat arb_nat) (fun (a, b) ->
+        match Nat.compare a b with
+        | 0 -> Nat.equal a b
+        | c when c < 0 -> Nat.compare (Nat.add a Nat.one) (Nat.add b Nat.one) < 0
+        | _ -> Nat.compare b a < 0);
+    prop "mod_pow matches naive" ~count:50
+      (QCheck.triple arb_nat QCheck.(int_range 0 40) arb_nat_pos)
+      (fun (b, e, m) ->
+         let naive = Nat.rem (Nat.pow b e) m in
+         Nat.equal naive (Nat.mod_pow ~base:b ~exp:(Nat.of_int e) ~modulus:m));
+    prop "mod_inv is inverse mod prime" ~count:100 arb_nat_pos (fun a ->
+        let p = Nat.of_string "170141183460469231731687303715884105727" (* 2^127-1 *) in
+        let a = Nat.rem a p in
+        QCheck.assume (not (Nat.is_zero a));
+        let inv = Nat.mod_inv a p in
+        Nat.equal Nat.one (Nat.rem (Nat.mul a inv) p));
+    prop "gcd divides both" (QCheck.pair arb_nat_pos arb_nat_pos) (fun (a, b) ->
+        let g = Nat.gcd a b in
+        Nat.is_zero (Nat.rem a g) && Nat.is_zero (Nat.rem b g));
+    prop "testbit consistent with shift" (QCheck.pair arb_nat QCheck.(int_range 0 300))
+      (fun (a, i) ->
+         let expected = not (Nat.is_even (Nat.shift_right a i)) in
+         Nat.testbit a i = expected);
+  ]
+
+let mont_tests =
+  let odd n = if Nat.is_even n then Nat.add n Nat.one else n in
+  let prop name ?(count = 200) arb f =
+    QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  in
+  [ Alcotest.test_case "known exponentiation" `Quick (fun () ->
+        let p = n "1000000007" in
+        let ctx = Mont.create p in
+        check_nat "fermat" Nat.one (Mont.mod_pow ctx ~base:Nat.two ~exp:(Nat.sub p Nat.one));
+        check_nat "2^10" (Nat.of_int 1024) (Mont.mod_pow ctx ~base:Nat.two ~exp:(Nat.of_int 10)));
+    Alcotest.test_case "even modulus rejected" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Mont.create: modulus must be odd and > 1")
+          (fun () -> ignore (Mont.create (Nat.of_int 100))));
+    prop "mod_pow matches Nat.mod_pow" ~count:150
+      (QCheck.triple arb_nat arb_nat arb_nat_pos)
+      (fun (b, e, m) ->
+         let m = odd (Nat.add m (Nat.of_int 2)) in
+         Nat.equal (Mont.mod_pow (Mont.create m) ~base:b ~exp:e)
+           (Nat.mod_pow ~base:b ~exp:e ~modulus:m));
+    prop "mul matches rem(mul)" ~count:200 (QCheck.triple arb_nat arb_nat arb_nat_pos)
+      (fun (a, b, m) ->
+         let m = odd (Nat.add m (Nat.of_int 2)) in
+         Nat.equal (Mont.mul (Mont.create m) a b) (Nat.rem (Nat.mul a b) m));
+    prop "exponent edge cases" ~count:50 arb_nat_pos (fun m ->
+        let m = odd (Nat.add m (Nat.of_int 2)) in
+        let ctx = Mont.create m in
+        Nat.equal (Mont.mod_pow ctx ~base:(n "12345") ~exp:Nat.zero) (Nat.rem Nat.one m)
+        && Nat.equal (Mont.mod_pow ctx ~base:(n "12345") ~exp:Nat.one)
+          (Nat.rem (n "12345") m));
+  ]
+
+let () =
+  Alcotest.run "bignum"
+    [ ("nat-unit", unit_tests); ("nat-props", property_tests); ("montgomery", mont_tests) ]

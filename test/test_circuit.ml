@@ -1,0 +1,110 @@
+open Bbx_circuit
+open Bbx_crypto
+
+let bits_of_int n v = Array.init n (fun i -> (v lsr i) land 1 = 1)
+let int_of_bits bits = Array.to_list bits |> List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0
+let int_of_bits_lsb bits =
+  snd (Array.fold_left (fun (i, acc) b -> (i + 1, if b then acc lor (1 lsl i) else acc)) (0, 0) bits)
+let _ = int_of_bits
+
+let builder_tests =
+  [ Alcotest.test_case "inputs after gates rejected" `Quick (fun () ->
+        let b = Circuit.Builder.create () in
+        let w = Circuit.Builder.inputs b 2 in
+        let _ = Circuit.Builder.bxor b w.(0) w.(1) in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Circuit.Builder.inputs: gates already added")
+          (fun () -> ignore (Circuit.Builder.inputs b 1)));
+    Alcotest.test_case "undefined wire rejected" `Quick (fun () ->
+        let b = Circuit.Builder.create () in
+        let w = Circuit.Builder.inputs b 1 in
+        Alcotest.check_raises "raises" (Invalid_argument "Circuit.Builder: undefined wire")
+          (fun () -> ignore (Circuit.Builder.band b w.(0) 99)));
+    Alcotest.test_case "basic gates" `Quick (fun () ->
+        let b = Circuit.Builder.create () in
+        let w = Circuit.Builder.inputs b 2 in
+        let a = Circuit.Builder.band b w.(0) w.(1) in
+        let x = Circuit.Builder.bxor b w.(0) w.(1) in
+        let n = Circuit.Builder.bnot b w.(0) in
+        let c = Circuit.Builder.finish b [| a; x; n |] in
+        List.iter
+          (fun (i0, i1) ->
+             let out = Circuit.eval c [| i0; i1 |] in
+             Alcotest.(check (array bool)) "truth table"
+               [| i0 && i1; i0 <> i1; not i0 |] out)
+          [ (false, false); (false, true); (true, false); (true, true) ]);
+    Alcotest.test_case "bits round trip" `Quick (fun () ->
+        let s = "BlindBox!" in
+        Alcotest.(check string) "round trip" s
+          (Circuit.string_of_bits (Circuit.bits_of_string s)));
+  ]
+
+let sample_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"adder adds" ~count:200
+         QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+         (fun (x, y) ->
+            let c = Samples.adder 16 in
+            let out = Circuit.eval c (Array.append (bits_of_int 16 x) (bits_of_int 16 y)) in
+            int_of_bits_lsb out = x + y));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"equality compares" ~count:200
+         QCheck.(pair (int_bound 0xff) (int_bound 0xff))
+         (fun (x, y) ->
+            let c = Samples.equality 8 in
+            let out = Circuit.eval c (Array.append (bits_of_int 8 x) (bits_of_int 8 y)) in
+            out.(0) = (x = y)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mux selects" ~count:200
+         QCheck.(triple (int_bound 0xff) (int_bound 0xff) bool)
+         (fun (x, y, s) ->
+            let c = Samples.mux 8 in
+            let inputs = Array.concat [ bits_of_int 8 x; bits_of_int 8 y; [| s |] ] in
+            int_of_bits_lsb (Circuit.eval c inputs) = (if s then y else x)));
+  ]
+
+let aes_circuit = lazy (Aes_circuit.build ())
+let aes_tower = lazy (Aes_circuit.build_tower ())
+
+let aes_tests =
+  [ Alcotest.test_case "matches FIPS-197 vector" `Quick (fun () ->
+        let c = Lazy.force aes_circuit in
+        let key = Util.of_hex "000102030405060708090a0b0c0d0e0f" in
+        let msg = Util.of_hex "00112233445566778899aabbccddeeff" in
+        let inputs = Array.append (Circuit.bits_of_string key) (Circuit.bits_of_string msg) in
+        Alcotest.(check string) "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a"
+          (Util.to_hex (Circuit.string_of_bits (Circuit.eval c inputs))));
+    Alcotest.test_case "and-gate budget" `Quick (fun () ->
+        let c = Lazy.force aes_circuit in
+        Alcotest.(check int) "21600 AND gates" 21600 (Circuit.and_count c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"circuit agrees with table AES" ~count:20
+         QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+         (fun (key, msg) ->
+            let c = Lazy.force aes_circuit in
+            let inputs = Array.append (Circuit.bits_of_string key) (Circuit.bits_of_string msg) in
+            let expected = Aes.encrypt_block (Aes.expand_key key) msg in
+            Circuit.string_of_bits (Circuit.eval c inputs) = expected));
+    Alcotest.test_case "tower circuit matches FIPS-197 vector" `Quick (fun () ->
+        let c = Lazy.force aes_tower in
+        let key = Util.of_hex "000102030405060708090a0b0c0d0e0f" in
+        let msg = Util.of_hex "00112233445566778899aabbccddeeff" in
+        let inputs = Array.append (Circuit.bits_of_string key) (Circuit.bits_of_string msg) in
+        Alcotest.(check string) "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a"
+          (Util.to_hex (Circuit.string_of_bits (Circuit.eval c inputs))));
+    Alcotest.test_case "tower circuit and-gate budget" `Quick (fun () ->
+        let c = Lazy.force aes_tower in
+        Alcotest.(check int) "9000 AND gates" 9000 (Circuit.and_count c));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"tower circuit agrees with table AES" ~count:20
+         QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+         (fun (key, msg) ->
+            let c = Lazy.force aes_tower in
+            let inputs = Array.append (Circuit.bits_of_string key) (Circuit.bits_of_string msg) in
+            let expected = Aes.encrypt_block (Aes.expand_key key) msg in
+            Circuit.string_of_bits (Circuit.eval c inputs) = expected));
+  ]
+
+let () =
+  Alcotest.run "circuit"
+    [ ("builder", builder_tests); ("samples", sample_tests); ("aes-circuit", aes_tests) ]

@@ -1,0 +1,58 @@
+open Bbx_compress.Compress
+
+let html_sample =
+  let item i =
+    Printf.sprintf
+      "<div class=\"article\"><h2>Headline %d</h2><p>Lorem ipsum dolor sit amet, \
+       consectetur adipiscing elit, sed do eiusmod tempor incididunt.</p></div>\n" i
+  in
+  "<!DOCTYPE html><html><head><title>News</title></head><body>"
+  ^ String.concat "" (List.init 60 item)
+  ^ "</body></html>"
+
+let unit_tests =
+  [ Alcotest.test_case "round trip on text" `Quick (fun () ->
+        Alcotest.(check string) "same" html_sample (decompress (compress html_sample)));
+    Alcotest.test_case "round trip on empty and tiny" `Quick (fun () ->
+        List.iter
+          (fun s -> Alcotest.(check string) "same" s (decompress (compress s)))
+          [ ""; "a"; "ab"; "aaa"; "abcdefgh" ]);
+    Alcotest.test_case "round trip on binary" `Quick (fun () ->
+        let s = String.init 4096 (fun i -> Char.chr ((i * 37 + (i lsr 5)) land 0xff)) in
+        Alcotest.(check string) "same" s (decompress (compress s)));
+    Alcotest.test_case "html compresses in gzip's band" `Quick (fun () ->
+        let r = ratio html_sample in
+        Alcotest.(check bool) (Printf.sprintf "ratio %.2f in [2.5, 30]" r) true
+          (r >= 2.5 && r <= 30.0));
+    Alcotest.test_case "repetitive data compresses hard" `Quick (fun () ->
+        let r = ratio (String.make 100_000 'x') in
+        Alcotest.(check bool) (Printf.sprintf "ratio %.0f > 50" r) true (r > 50.0));
+    Alcotest.test_case "random data falls back to stored" `Quick (fun () ->
+        let drbg = Bbx_crypto.Drbg.create "incompressible" in
+        let s = Bbx_crypto.Drbg.bytes drbg 10_000 in
+        Alcotest.(check bool) "no blowup" true (compressed_size s <= String.length s + 1);
+        Alcotest.(check string) "still round trips" s (decompress (compress s)));
+    Alcotest.test_case "corrupt input rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match decompress "\002garbage" with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Alcotest.(check bool) "truncated" true
+          (match decompress "\001abc" with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+let property_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"round trip on random strings" ~count:300 QCheck.string
+         (fun s -> decompress (compress s) = s));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"round trip on structured strings" ~count:100
+         QCheck.(list (oneofl [ "<div>"; "</div>"; "class="; "hello "; "x" ]))
+         (fun parts ->
+            let s = String.concat "" parts in
+            decompress (compress s) = s));
+  ]
+
+let () = Alcotest.run "compress" [ ("unit", unit_tests); ("props", property_tests) ]

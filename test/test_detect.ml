@@ -1,0 +1,162 @@
+open Bbx_detect
+open Bbx_dpienc.Dpienc
+open Bbx_tokenizer.Tokenizer
+
+(* ---------- AVL property tests ---------- *)
+
+let avl_props =
+  let prop name ?(count = 300) arb f =
+    QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  in
+  let arb_ops =
+    QCheck.(list (pair (int_bound 500) bool)) (* (key, insert?) sequence *)
+  in
+  [ prop "matches stdlib Map under random ops" arb_ops (fun ops ->
+        let module M = Map.Make (Int) in
+        let avl, map =
+          List.fold_left
+            (fun (avl, map) (k, ins) ->
+               if ins then (Avl.insert k (k * 2) avl, M.add k (k * 2) map)
+               else (Avl.remove k avl, M.remove k map))
+            (Avl.empty, M.empty) ops
+        in
+        Avl.check_invariants avl
+        && Avl.to_sorted_list avl = M.bindings map);
+    prop "height is logarithmic" QCheck.(int_range 1 2000) (fun n ->
+        let t = Avl.of_list (List.init n (fun i -> (i, i))) in
+        Avl.check_invariants t
+        && float_of_int (Avl.height t)
+           <= 1.45 *. (log (float_of_int (n + 2)) /. log 2.0));
+    prop "insert replaces" QCheck.(int_bound 100) (fun k ->
+        let t = Avl.insert k "b" (Avl.insert k "a" Avl.empty) in
+        Avl.find_opt k t = Some "b" && Avl.size t = 1);
+    prop "update add/remove" QCheck.(int_bound 100) (fun k ->
+        let t = Avl.update k (fun _ -> Some 1) Avl.empty in
+        let t' = Avl.update k (fun _ -> None) t in
+        Avl.mem k t && not (Avl.mem k t') && Avl.is_empty t');
+  ]
+
+(* ---------- Detect engine ---------- *)
+
+let key = key_of_secret "shared-k"
+let t8 = pad_short
+
+(* Build a detect engine the way the middlebox would: from AES_k(token). *)
+let mk_detect ?(mode = Exact) ?(salt0 = 0) kws =
+  Detect.create ~mode ~salt0 (Array.of_list (List.map (fun k -> token_enc key (t8 k)) kws))
+
+let mk_sender ?(mode = Exact) ?(salt0 = 0) () = sender_create mode key ~salt0
+
+let stream sender ?k_ssl contents =
+  sender_encrypt sender ?k_ssl (List.mapi (fun i c -> { content = t8 c; offset = 8 * i }) contents)
+
+let detect_tests =
+  [ Alcotest.test_case "single keyword match with offset" `Quick (fun () ->
+        let d = mk_detect [ "attack" ] in
+        let s = mk_sender () in
+        let toks = stream s [ "hello"; "attack"; "world" ] in
+        (match Detect.process_batch d toks with
+         | [ ev ] ->
+           Alcotest.(check int) "kw" 0 ev.Detect.kw_id;
+           Alcotest.(check int) "offset" 8 ev.Detect.offset
+         | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))));
+    Alcotest.test_case "no match on clean traffic" `Quick (fun () ->
+        let d = mk_detect [ "attack"; "malware" ] in
+        let s = mk_sender () in
+        Alcotest.(check int) "no events" 0
+          (List.length (Detect.process_batch d (stream s [ "just"; "normal"; "words" ]))));
+    Alcotest.test_case "repeated keyword matches every time" `Quick (fun () ->
+        let d = mk_detect [ "attack" ] in
+        let s = mk_sender () in
+        let toks = stream s [ "attack"; "x"; "attack"; "attack" ] in
+        Alcotest.(check int) "three matches" 3 (List.length (Detect.process_batch d toks)));
+    Alcotest.test_case "interleaved keywords stay in sync" `Quick (fun () ->
+        let d = mk_detect [ "aaa"; "bbb" ] in
+        let s = mk_sender () in
+        let toks = stream s [ "aaa"; "bbb"; "aaa"; "ccc"; "bbb"; "aaa" ] in
+        let evs = Detect.process_batch d toks in
+        Alcotest.(check (list int)) "ids" [ 0; 1; 0; 1; 0 ]
+          (List.map (fun e -> e.Detect.kw_id) evs));
+    Alcotest.test_case "out-of-sync counters do not match (semantic security)" `Quick (fun () ->
+        (* A second sender starting fresh re-uses low salts; a detector that
+           has already advanced past them must not match. *)
+        let d = mk_detect [ "attack" ] in
+        let s1 = mk_sender () in
+        ignore (Detect.process_batch d (stream s1 [ "attack"; "attack" ]));
+        let s2 = mk_sender () in
+        let toks = stream s2 [ "attack" ] in
+        Alcotest.(check int) "stale salt ignored" 0
+          (List.length (Detect.process_batch d toks)));
+    Alcotest.test_case "reset resynchronises" `Quick (fun () ->
+        let d = mk_detect [ "attack" ] in
+        let s = mk_sender () in
+        ignore (Detect.process_batch d (stream s [ "attack"; "attack" ]));
+        let new_salt0 = sender_reset s in
+        Detect.reset d ~salt0:new_salt0;
+        let toks = stream s [ "attack" ] in
+        Alcotest.(check int) "matches again" 1 (List.length (Detect.process_batch d toks)));
+    Alcotest.test_case "probable cause recovers k_ssl only on match" `Quick (fun () ->
+        let d = mk_detect ~mode:Probable [ "attack" ] in
+        let s = mk_sender ~mode:Probable () in
+        let k_ssl = Bbx_crypto.Sha256.digest "ssl" |> fun x -> String.sub x 0 16 in
+        let toks = stream s ~k_ssl [ "benign"; "attack" ] in
+        let evs = Detect.process_batch d toks in
+        (match evs with
+         | [ ev ] ->
+           let embed =
+             match List.nth toks 1 with
+             | { embed = Some e; _ } -> e
+             | _ -> Alcotest.fail "missing embed"
+           in
+           Alcotest.(check string) "k_ssl recovered" k_ssl
+             (Detect.recover_key d ~event:ev ~embed)
+         | _ -> Alcotest.fail "expected exactly one event");
+        (* the benign token's embed does not decrypt to k_ssl under any rule *)
+        let benign_embed =
+          match List.nth toks 0 with { embed = Some e; _ } -> e | _ -> assert false
+        in
+        Alcotest.(check bool) "benign embed useless" true
+          (Detect.recover_key d
+             ~event:{ Detect.kw_id = 0; offset = 0; salt = 0 }
+             ~embed:benign_embed
+           <> k_ssl));
+    Alcotest.test_case "recover_key rejected in exact mode" `Quick (fun () ->
+        let d = mk_detect [ "attack" ] in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Detect.recover_key: not in probable-cause mode")
+          (fun () ->
+             ignore
+               (Detect.recover_key d ~event:{ Detect.kw_id = 0; offset = 0; salt = 0 }
+                  ~embed:(String.make 16 'x'))));
+    Alcotest.test_case "tree size equals keyword count" `Quick (fun () ->
+        let d = mk_detect [ "a"; "b"; "c"; "d"; "e" ] in
+        Alcotest.(check int) "size" 5 (Detect.size d);
+        Alcotest.(check bool) "height sane" true (Detect.tree_height d <= 4));
+    Alcotest.test_case "add_keyword extends a live detector" `Quick (fun () ->
+        let d = mk_detect [ "first" ] in
+        let s = mk_sender () in
+        (* unknown keyword flows through *)
+        Alcotest.(check int) "miss" 0 (List.length (Detect.process_batch d (stream s [ "second" ])));
+        let id = Detect.add_keyword d (token_enc key (t8 "second")) in
+        Alcotest.(check int) "id appended" 1 id;
+        Alcotest.(check int) "size grew" 2 (Detect.size d);
+        (* note: the live sender already used salt 0 for "second"; a fresh
+           sender (as after the protocol's post-update salt reset) matches *)
+        let s2 = mk_sender () in
+        (match Detect.process_batch d (stream s2 [ "second" ]) with
+         | [ ev ] -> Alcotest.(check int) "new id matches" id ev.Detect.kw_id
+         | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random streams: events match plaintext scan" ~count:50
+         QCheck.(list_of_size (QCheck.Gen.int_range 0 40) (QCheck.oneofl [ "atk"; "mal"; "ok"; "fine" ]))
+         (fun words ->
+            let d = mk_detect [ "atk"; "mal" ] in
+            let s = mk_sender () in
+            let evs = Detect.process_batch d (stream s words) in
+            let expected =
+              List.filteri (fun _ w -> w = "atk" || w = "mal") words |> List.length
+            in
+            List.length evs = expected));
+  ]
+
+let () = Alcotest.run "detect" [ ("avl", avl_props); ("engine", detect_tests) ]

@@ -1,0 +1,119 @@
+open Bbx_dpienc.Dpienc
+open Bbx_tokenizer.Tokenizer
+
+let key = key_of_secret "session-key-k"
+
+let mk_tokens contents = List.mapi (fun i c -> { content = c; offset = 8 * i }) contents
+
+let t8 s = pad_short s
+
+let unit_tests =
+  [ Alcotest.test_case "ciphertext is 40 bits" `Quick (fun () ->
+        let tk = token_key key (t8 "attack") in
+        for salt = 0 to 100 do
+          let c = encrypt tk ~salt in
+          Alcotest.(check bool) "fits" true (c >= 0 && c < 1 lsl 40)
+        done);
+    Alcotest.test_case "deterministic given key, token, salt" `Quick (fun () ->
+        let tk = token_key key (t8 "attack") in
+        Alcotest.(check int) "equal" (encrypt tk ~salt:7) (encrypt tk ~salt:7));
+    Alcotest.test_case "different salts give different ciphertexts" `Quick (fun () ->
+        let tk = token_key key (t8 "attack") in
+        Alcotest.(check bool) "differ" true (encrypt tk ~salt:0 <> encrypt tk ~salt:1));
+    Alcotest.test_case "middlebox path equals sender path" `Quick (fun () ->
+        (* MB builds the token key from AES_k(t) without knowing k. *)
+        let enc = token_enc key (t8 "attack") in
+        let mb_tk = token_key_of_enc enc in
+        let sender_tk = token_key key (t8 "attack") in
+        Alcotest.(check int) "same cipher" (encrypt sender_tk ~salt:42) (encrypt mb_tk ~salt:42));
+    Alcotest.test_case "equal tokens never share a ciphertext (salt counters)" `Quick (fun () ->
+        let s = sender_create Exact key ~salt0:0 in
+        let toks = mk_tokens [ t8 "dup"; t8 "dup"; t8 "dup"; t8 "other"; t8 "dup" ] in
+        let out = sender_encrypt s toks in
+        let ciphers = List.map (fun e -> e.cipher) out in
+        let sorted = List.sort_uniq compare ciphers in
+        Alcotest.(check int) "all distinct" (List.length ciphers) (List.length sorted));
+    Alcotest.test_case "salt0 must be even in probable mode" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Dpienc.sender_create: salt0 must be even")
+          (fun () -> ignore (sender_create Probable key ~salt0:1));
+        (* exact mode has no parity constraint *)
+        ignore (sender_create Exact key ~salt0:1));
+    Alcotest.test_case "probable mode requires k_ssl" `Quick (fun () ->
+        let s = sender_create Probable key ~salt0:0 in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Dpienc.sender_encrypt: Probable mode needs ~k_ssl")
+          (fun () -> ignore (sender_encrypt s (mk_tokens [ t8 "x" ]))));
+    Alcotest.test_case "probable mode embeds recoverable key" `Quick (fun () ->
+        let s = sender_create Probable key ~salt0:0 in
+        let k_ssl = String.init 16 Char.chr in
+        let out = sender_encrypt s ~k_ssl (mk_tokens [ t8 "attack" ]) in
+        match out with
+        | [ { embed = Some c2; _ } ] ->
+          (* With AES_k(t), the mask at salt+1 recovers k_ssl. *)
+          let tk = token_key key (t8 "attack") in
+          let mask = encrypt_full tk ~salt:1 in
+          Alcotest.(check string) "recovered" k_ssl (Bbx_crypto.Util.xor c2 mask)
+        | _ -> Alcotest.fail "expected one embedded token");
+    Alcotest.test_case "exact mode has no embed" `Quick (fun () ->
+        let s = sender_create Exact key ~salt0:0 in
+        match sender_encrypt s (mk_tokens [ t8 "x" ]) with
+        | [ { embed = None; _ } ] -> ()
+        | _ -> Alcotest.fail "unexpected embed");
+    Alcotest.test_case "reset advances salt0 past every used salt" `Quick (fun () ->
+        let s = sender_create Exact key ~salt0:0 in
+        let _ = sender_encrypt s (mk_tokens [ t8 "a"; t8 "a"; t8 "a"; t8 "b" ]) in
+        let new_salt0 = sender_reset s in
+        Alcotest.(check bool) "advanced" true (new_salt0 > 3);
+        (* After the reset the same token restarts from the new salt. *)
+        let out = sender_encrypt s (mk_tokens [ t8 "a" ]) in
+        let tk = token_key key (t8 "a") in
+        Alcotest.(check int) "fresh salt" (encrypt tk ~salt:new_salt0)
+          (List.hd out).cipher);
+    Alcotest.test_case "different keys give different ciphertexts" `Quick (fun () ->
+        let tk1 = token_key (key_of_secret "k1") (t8 "attack") in
+        let tk2 = token_key (key_of_secret "k2") (t8 "attack") in
+        Alcotest.(check bool) "differ" true (encrypt tk1 ~salt:0 <> encrypt tk2 ~salt:0));
+    Alcotest.test_case "wire encoding round trip" `Quick (fun () ->
+        let s = sender_create Probable key ~salt0:0 in
+        let k_ssl = String.make 16 'K' in
+        let toks = sender_encrypt s ~k_ssl (mk_tokens [ t8 "a"; t8 "b"; t8 "c" ]) in
+        let decoded = decode_tokens (encode_tokens toks) in
+        Alcotest.(check int) "count" (List.length toks) (List.length decoded);
+        List.iter2
+          (fun a b ->
+             Alcotest.(check int) "cipher" a.cipher b.cipher;
+             Alcotest.(check int) "offset" a.offset b.offset;
+             Alcotest.(check (option string)) "embed" a.embed b.embed)
+          toks decoded);
+    Alcotest.test_case "decode rejects truncation" `Quick (fun () ->
+        let s = sender_create Exact key ~salt0:0 in
+        let enc = encode_tokens (sender_encrypt s (mk_tokens [ t8 "a" ])) in
+        Alcotest.check_raises "raises" (Invalid_argument "Dpienc.decode_tokens: truncated")
+          (fun () -> ignore (decode_tokens (String.sub enc 0 (String.length enc - 1)))));
+  ]
+
+(* Frequency-analysis resistance: the histogram of ciphertexts of a stream
+   with many repeats is flat (all ciphertexts distinct), unlike
+   deterministic encryption where repeats leak. *)
+let security_tests =
+  [ Alcotest.test_case "no frequency leakage" `Quick (fun () ->
+        let s = sender_create Exact key ~salt0:0 in
+        let toks = mk_tokens (List.init 200 (fun i -> t8 (if i mod 2 = 0 then "yes" else "no"))) in
+        let out = sender_encrypt s toks in
+        let ciphers = List.map (fun e -> e.cipher) out in
+        Alcotest.(check int) "all distinct" 200 (List.length (List.sort_uniq compare ciphers)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"streams with same histogram are indistinguishable by count"
+         ~count:50
+         QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 20) (string_of_size (QCheck.Gen.return 8)))
+                  (list_of_size (QCheck.Gen.int_range 1 20) (string_of_size (QCheck.Gen.return 8))))
+         (fun (xs, ys) ->
+            (* Whatever the token values, #ciphertexts = #tokens and all are
+               in range; ciphertext values alone don't reveal equality. *)
+            let s = sender_create Exact key ~salt0:0 in
+            let out = sender_encrypt s (mk_tokens (xs @ ys)) in
+            List.length out = List.length xs + List.length ys
+            && List.for_all (fun e -> e.cipher >= 0 && e.cipher < 1 lsl 40) out));
+  ]
+
+let () = Alcotest.run "dpienc" [ ("dpienc", unit_tests); ("security", security_tests) ]

@@ -1,0 +1,92 @@
+open Bbx_circuit
+open Bbx_crypto
+open Bbx_garble
+
+let bits_of_int n v = Array.init n (fun i -> (v lsr i) land 1 = 1)
+let int_of_bits_lsb bits =
+  snd (Array.fold_left (fun (i, acc) b -> (i + 1, if b then acc lor (1 lsl i) else acc)) (0, 0) bits)
+
+let garble_eval ?scheme circuit inputs seed =
+  let g, s = Garble.garble ?scheme (Drbg.create seed) circuit in
+  Garble.eval circuit g (Garble.encode_inputs s inputs)
+
+let tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"garbled adder matches plain eval (half-gates)" ~count:50
+         QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+         (fun (x, y) ->
+            let c = Samples.adder 16 in
+            let inputs = Array.append (bits_of_int 16 x) (bits_of_int 16 y) in
+            int_of_bits_lsb (garble_eval c inputs "seed") = x + y));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"garbled adder matches plain eval (classic)" ~count:50
+         QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+         (fun (x, y) ->
+            let c = Samples.adder 16 in
+            let inputs = Array.append (bits_of_int 16 x) (bits_of_int 16 y) in
+            int_of_bits_lsb (garble_eval ~scheme:Garble.Classic c inputs "seed") = x + y));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"garbled equality matches plain eval" ~count:50
+         QCheck.(pair (int_bound 0xff) (int_bound 0xff))
+         (fun (x, y) ->
+            let c = Samples.equality 8 in
+            let inputs = Array.append (bits_of_int 8 x) (bits_of_int 8 y) in
+            (garble_eval c inputs "s2").(0) = (x = y)));
+    Alcotest.test_case "half-gates tables are half the classic size" `Quick (fun () ->
+        let c = Samples.adder 32 in
+        let g_half, _ = Garble.garble (Drbg.create "sz") c in
+        let g_classic, _ = Garble.garble ~scheme:Garble.Classic (Drbg.create "sz") c in
+        Alcotest.(check bool) "roughly half" true
+          (float_of_int (Garble.size_bytes g_half)
+           < 0.55 *. float_of_int (Garble.size_bytes g_classic)));
+    Alcotest.test_case "schemes do not cross-evaluate" `Quick (fun () ->
+        (* serialisation tags the scheme so a mismatch is caught on decode *)
+        let c = Samples.equality 8 in
+        let g, _ = Garble.garble (Drbg.create "tag") c in
+        let s = Garble.to_string g in
+        let g' = Garble.of_string s in
+        Alcotest.(check bool) "round trips with scheme" true (Garble.equal g g'));
+    Alcotest.test_case "deterministic from seed" `Quick (fun () ->
+        let c = Samples.adder 8 in
+        let g1, _ = Garble.garble (Drbg.create "shared") c in
+        let g2, _ = Garble.garble (Drbg.create "shared") c in
+        Alcotest.(check bool) "equal" true (Garble.equal g1 g2);
+        let g3, _ = Garble.garble (Drbg.create "other") c in
+        Alcotest.(check bool) "differs" false (Garble.equal g1 g3));
+    Alcotest.test_case "serialisation round trip" `Quick (fun () ->
+        let c = Samples.mux 8 in
+        let g, s = Garble.garble (Drbg.create "ser") c in
+        let g' = Garble.of_string (Garble.to_string g) in
+        Alcotest.(check bool) "equal" true (Garble.equal g g');
+        let inputs = Array.concat [ bits_of_int 8 0xa5; bits_of_int 8 0x3c; [| true |] ] in
+        Alcotest.(check int) "still evaluates" 0x3c
+          (int_of_bits_lsb (Garble.eval c g' (Garble.encode_inputs s inputs))));
+    Alcotest.test_case "label pair differs per wire and value" `Quick (fun () ->
+        let c = Samples.equality 8 in
+        let _, s = Garble.garble (Drbg.create "lbl") c in
+        let l0, l1 = Garble.input_label_pair s ~wire:0 in
+        Alcotest.(check bool) "0/1 labels differ" true (l0 <> l1);
+        Alcotest.(check string) "encode 0" l0 (Garble.encode_input s ~wire:0 false);
+        Alcotest.(check string) "encode 1" l1 (Garble.encode_input s ~wire:0 true);
+        let l0', _ = Garble.input_label_pair s ~wire:1 in
+        Alcotest.(check bool) "wires differ" true (l0 <> l0'));
+    Alcotest.test_case "wrong label count rejected" `Quick (fun () ->
+        let c = Samples.equality 8 in
+        let g, s = Garble.garble (Drbg.create "cnt") c in
+        let labels = Garble.encode_inputs s (Array.make 16 false) in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Garble.eval: wrong number of input labels")
+          (fun () -> ignore (Garble.eval c g (Array.sub labels 0 15))));
+    Alcotest.test_case "garbled AES-128 circuit is correct" `Slow (fun () ->
+        let c = Aes_circuit.build () in
+        let key = Util.of_hex "000102030405060708090a0b0c0d0e0f" in
+        let msg = Util.of_hex "00112233445566778899aabbccddeeff" in
+        let inputs = Array.append (Circuit.bits_of_string key) (Circuit.bits_of_string msg) in
+        let g, s = Garble.garble (Drbg.create "aes-garble") c in
+        let out = Garble.eval c g (Garble.encode_inputs s inputs) in
+        Alcotest.(check string) "FIPS vector" "69c4e0d86a7b0430d8cdb78070b4c55a"
+          (Util.to_hex (Circuit.string_of_bits out));
+        Alcotest.(check bool) "non-trivial size" true (Garble.size_bytes g > 500_000));
+  ]
+
+let () = Alcotest.run "garble" [ ("garble", tests) ]

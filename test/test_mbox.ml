@@ -1,0 +1,270 @@
+open Bbx_dpienc.Dpienc
+open Bbx_mbox
+open Bbx_rules
+open Bbx_tokenizer.Tokenizer
+
+let key = key_of_secret "mbox-k"
+let enc_chunk chunk = token_enc key chunk
+
+let mk_engine ?(mode = Exact) rules = Engine.create ~mode ~salt0:0 ~rules ~enc_chunk
+
+let sender ?(mode = Exact) () = sender_create mode key ~salt0:0
+
+(* Encrypt a payload exactly as the BlindBox sender would (delimiter
+   tokenization). *)
+let encrypt_payload ?k_ssl s payload =
+  sender_encrypt s ?k_ssl (delimiter payload)
+
+let rule_of_string = Parser.parse_rule
+
+let engine_tests =
+  [ Alcotest.test_case "distinct chunks dedup across rules" `Quick (fun () ->
+        let rules =
+          [ Rule.make [ Rule.make_content "keyword1" ];
+            Rule.make [ Rule.make_content "keyword1"; Rule.make_content "keyword2" ] ]
+        in
+        Alcotest.(check int) "two chunks" 2 (Array.length (Engine.distinct_chunks rules)));
+    Alcotest.test_case "protocol I: single keyword fires" `Quick (fun () ->
+        let rules = [ Rule.make ~sid:1 [ Rule.make_content "evilword" ] ] in
+        let e = mk_engine rules in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "GET /?q=evilword HTTP/1.1");
+        (match Engine.verdicts e with
+         | [ v ] ->
+           Alcotest.(check int) "rule 0" 0 v.Engine.rule_idx;
+           Alcotest.(check bool) "exact" true (v.Engine.via = `Exact_match)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs))));
+    Alcotest.test_case "protocol I: long keyword needs all chunks" `Quick (fun () ->
+        let kw = "maliciouspayload" (* 16 bytes = 2 chunks *) in
+        let rules = [ Rule.make ~sid:2 [ Rule.make_content kw ] ] in
+        let e = mk_engine rules in
+        let s = sender () in
+        (* only the first half appears: no rule verdict *)
+        Engine.process e (encrypt_payload s "GET /?q=maliciou HTTP/1.1");
+        Alcotest.(check int) "no verdict" 0 (List.length (Engine.verdicts e));
+        let e2 = mk_engine rules in
+        let s2 = sender () in
+        Engine.process e2 (encrypt_payload s2 ("GET /?q=" ^ kw ^ " HTTP/1.1"));
+        Alcotest.(check int) "fires" 1 (List.length (Engine.verdicts e2)));
+    Alcotest.test_case "benign traffic: no verdicts, no hits" `Quick (fun () ->
+        let rules = [ Rule.make [ Rule.make_content "evilword" ] ] in
+        let e = mk_engine rules in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "GET /index.html HTTP/1.1\r\nHost: ok.example");
+        Alcotest.(check int) "no hits" 0 (List.length (Engine.keyword_hits e));
+        Alcotest.(check int) "no verdicts" 0 (List.length (Engine.verdicts e)));
+    Alcotest.test_case "protocol II: multiple keywords all required" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"firstkey\"; content:\"secondkey\"; sid:3;)" in
+        let e = mk_engine [ r ] in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "x=firstkey&y=unrelated");
+        Alcotest.(check int) "half: no verdict" 0 (List.length (Engine.verdicts e));
+        Engine.process e (encrypt_payload s "z=secondkey&w=1");
+        Alcotest.(check int) "both: fires" 1 (List.length (Engine.verdicts e)));
+    Alcotest.test_case "protocol II: offset constraint enforced" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"needle88\"; offset:10; depth:8; sid:4;)" in
+        (* window tokenization so alignment is exact *)
+        let e = mk_engine [ r ] in
+        let s = sender () in
+        let payload_match = "0123456789needle88 trailer" (* at offset 10 *) in
+        Engine.process e (sender_encrypt s (window payload_match));
+        Alcotest.(check int) "fires at 10" 1 (List.length (Engine.verdicts e));
+        let e2 = mk_engine [ r ] in
+        let s2 = sender () in
+        Engine.process e2 (sender_encrypt s2 (window "needle88 at start instead"));
+        Alcotest.(check int) "no fire at 0" 0 (List.length (Engine.verdicts e2)));
+    Alcotest.test_case "protocol II agrees with plaintext reference" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"alphakey\"; content:\"betakeyx\"; distance:4; within:20; sid:5;)" in
+        let payloads =
+          [ "alphakey....betakeyx";          (* distance 4: ok *)
+            "alphakey..betakeyx";            (* too close *)
+            "alphakey.........................betakeyx" (* too far *) ]
+        in
+        List.iter
+          (fun payload ->
+             let reference = Classify.matches_plaintext r payload in
+             let e = mk_engine [ r ] in
+             let s = sender () in
+             Engine.process e (sender_encrypt s (window payload));
+             let got = Engine.verdicts e <> [] in
+             Alcotest.(check bool) (Printf.sprintf "agrees on %S" payload) reference got)
+          payloads);
+    Alcotest.test_case "protocol III: pcre needs plaintext" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"userquery\"; pcre:\"/userquery=[0-9]+'/\"; sid:6;)" in
+        let payload = "GET /?userquery=42' HTTP/1.1" in
+        let e = mk_engine ~mode:Probable [ r ] in
+        let s = sender ~mode:Probable () in
+        let k_ssl = String.make 16 'S' in
+        Engine.process e (encrypt_payload ~k_ssl s payload);
+        (* without plaintext, pcre rules cannot fire *)
+        Alcotest.(check int) "encrypted only: no verdict" 0 (List.length (Engine.verdicts e));
+        (* the keyword match recovered the key *)
+        Alcotest.(check (option string)) "key recovered" (Some k_ssl) (Engine.recovered_key e);
+        (match Engine.verdicts ~plaintext:payload e with
+         | [ v ] -> Alcotest.(check bool) "probable cause" true (v.Engine.via = `Probable_cause)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs))));
+    Alcotest.test_case "probable cause does not fire on benign pcre" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"userquery\"; pcre:\"/userquery=[0-9]+'/\"; sid:7;)" in
+        let payload = "GET /?userquery=42 HTTP/1.1" (* keyword yes, pcre no *) in
+        let e = mk_engine ~mode:Probable [ r ] in
+        let s = sender ~mode:Probable () in
+        Engine.process e (encrypt_payload ~k_ssl:(String.make 16 'S') s payload);
+        Alcotest.(check bool) "key recovered (probable cause)" true (Engine.recovered_key e <> None);
+        Alcotest.(check int) "but no verdict" 0
+          (List.length (Engine.verdicts ~plaintext:payload e)));
+    Alcotest.test_case "no keyword match leaves key unrecoverable" `Quick (fun () ->
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"userquery\"; pcre:\"/x/\"; sid:8;)" in
+        let e = mk_engine ~mode:Probable [ r ] in
+        let s = sender ~mode:Probable () in
+        Engine.process e (encrypt_payload ~k_ssl:(String.make 16 'S') s "GET /benign HTTP/1.1");
+        Alcotest.(check (option string)) "no key" None (Engine.recovered_key e));
+    Alcotest.test_case "reset keeps matching working" `Quick (fun () ->
+        let rules = [ Rule.make [ Rule.make_content "evilword" ] ] in
+        let e = mk_engine rules in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "q=evilword");
+        let new_salt0 = sender_reset s in
+        Engine.reset e ~salt0:new_salt0;
+        Engine.process e (encrypt_payload s "q=evilword");
+        Alcotest.(check int) "hit after reset" 1 (List.length (Engine.keyword_hits e));
+        Alcotest.(check int) "verdict" 1 (List.length (Engine.verdicts e)));
+    Alcotest.test_case "keyword hits carry stream offsets" `Quick (fun () ->
+        let rules = [ Rule.make [ Rule.make_content "evilword" ] ] in
+        let e = mk_engine rules in
+        let s = sender () in
+        let payload = "aa bb=evilword" in
+        Engine.process e (encrypt_payload s payload);
+        (match Engine.keyword_hits e with
+         | [ (chunk, off) ] ->
+           Alcotest.(check string) "chunk" "evilword" chunk;
+           Alcotest.(check int) "offset" 6 off
+         | l -> Alcotest.fail (Printf.sprintf "expected 1 hit, got %d" (List.length l))));
+  ]
+
+(* ---------- multi-connection middlebox ---------- *)
+
+let middlebox_tests =
+  let rules =
+    [ Rule.make ~sid:1 [ Rule.make_content "alertkw1" ];
+      Rule.make ~action:Rule.Drop ~sid:2 [ Rule.make_content "dropkw22" ] ]
+  in
+  let key_for conn = key_of_secret (Printf.sprintf "conn-%d" conn) in
+  let register mb conn =
+    let key = key_for conn in
+    Engine.(ignore distinct_chunks);
+    Middlebox.register mb ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc key)
+  in
+  let tokens conn payload =
+    let s = sender_create Exact (key_for conn) ~salt0:0 in
+    sender_encrypt s (delimiter payload)
+  in
+  [ Alcotest.test_case "connections are isolated" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        register mb 2;
+        (* conn 1 attacks; conn 2 stays clean *)
+        let v1 = Middlebox.process mb ~conn_id:1 (tokens 1 "x=alertkw1") in
+        let v2 = Middlebox.process mb ~conn_id:2 (tokens 2 "hello clean world") in
+        Alcotest.(check int) "conn 1 alert" 1 (List.length v1);
+        Alcotest.(check int) "conn 2 clean" 0 (List.length v2);
+        let st = Middlebox.stats mb in
+        Alcotest.(check int) "2 conns" 2 st.Middlebox.connections;
+        Alcotest.(check int) "1 alert" 1 st.Middlebox.alerts);
+    Alcotest.test_case "cross-connection tokens never match" `Quick (fun () ->
+        (* per-connection keys: conn 2's attack tokens are noise to conn 1 *)
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        let foreign = tokens 2 "x=alertkw1" in
+        Alcotest.(check int) "no match" 0
+          (List.length (Middlebox.process mb ~conn_id:1 foreign)));
+    Alcotest.test_case "drop rule blocks only that connection" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        register mb 2;
+        let _ = Middlebox.process mb ~conn_id:1 (tokens 1 "x=dropkw22") in
+        Alcotest.(check bool) "1 blocked" true (Middlebox.is_blocked mb ~conn_id:1);
+        Alcotest.(check bool) "2 fine" false (Middlebox.is_blocked mb ~conn_id:2);
+        Alcotest.(check bool) "processing blocked conn raises" true
+          (match Middlebox.process mb ~conn_id:1 (tokens 1 "more") with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Alcotest.(check int) "blocked count" 1 (Middlebox.stats mb).Middlebox.blocked);
+    Alcotest.test_case "duplicate registration rejected" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        Alcotest.(check bool) "raises" true
+          (match register mb 1 with exception Invalid_argument _ -> true | _ -> false));
+    Alcotest.test_case "unregister frees the id" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        Middlebox.unregister mb ~conn_id:1;
+        Alcotest.(check int) "0 conns" 0 (Middlebox.stats mb).Middlebox.connections;
+        register mb 1 (* re-usable *));
+    Alcotest.test_case "verdicts reported once per connection" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        let v1 = Middlebox.process mb ~conn_id:1 (tokens 1 "x=alertkw1") in
+        (* same rule again in later traffic: no duplicate report *)
+        let s = sender_create Exact (key_for 1) ~salt0:0 in
+        let _ = sender_encrypt s (delimiter "x=alertkw1") in
+        let later = sender_encrypt s (delimiter "y=alertkw1") in
+        let v2 = Middlebox.process mb ~conn_id:1 later in
+        Alcotest.(check int) "first" 1 (List.length v1);
+        Alcotest.(check int) "second" 0 (List.length v2));
+  ]
+
+(* ---------- probable-cause analysis scripts ---------- *)
+
+let script_tests =
+  let http_post ?(headers = []) ~body path =
+    Bbx_net.Http.render_request (Bbx_net.Http.post ~headers ~body path)
+  in
+  [ Alcotest.test_case "large upload flagged" `Quick (fun () ->
+        let s = Scripts.large_upload ~threshold:1000 () in
+        let big = http_post ~body:(String.make 2000 'x') "/upload" in
+        let small = http_post ~body:"tiny" "/upload" in
+        Alcotest.(check bool) "big" true (Scripts.run s big <> None);
+        Alcotest.(check bool) "small" false (Scripts.run s small <> None);
+        (* GETs never flagged *)
+        let get = Bbx_net.Http.render_request (Bbx_net.Http.get "/x") in
+        Alcotest.(check bool) "get" false (Scripts.run s get <> None));
+    Alcotest.test_case "high entropy body flagged" `Quick (fun () ->
+        let s = Scripts.high_entropy_body () in
+        let drbg = Bbx_crypto.Drbg.create "entropy" in
+        let random_blob = http_post ~body:(Bbx_crypto.Drbg.bytes drbg 4096) "/exfil" in
+        let text = http_post ~body:(String.concat " " (List.init 200 (fun _ -> "word"))) "/ok" in
+        Alcotest.(check bool) "blob" true (Scripts.run s random_blob <> None);
+        Alcotest.(check bool) "text" false (Scripts.run s text <> None));
+    Alcotest.test_case "sql injection grammar flagged" `Quick (fun () ->
+        let s = Scripts.sql_injection () in
+        let evil = Bbx_net.Http.render_request (Bbx_net.Http.get "/item?id=1' union select password from users--") in
+        let fine = Bbx_net.Http.render_request (Bbx_net.Http.get "/item?id=union station") in
+        Alcotest.(check bool) "evil" true (Scripts.run s evil <> None);
+        Alcotest.(check bool) "fine" false (Scripts.run s fine <> None));
+    Alcotest.test_case "nop sled flagged" `Quick (fun () ->
+        let s = Scripts.nop_sled () in
+        let sled = "prefix" ^ String.make 32 '\x90' ^ "suffix" in
+        Alcotest.(check bool) "sled" true (Scripts.run s sled <> None);
+        Alcotest.(check bool) "short run" false
+          (Scripts.run s (String.make 8 '\x90') <> None));
+    Alcotest.test_case "run_all aggregates" `Quick (fun () ->
+        let payload =
+          http_post ~body:(String.make 200_000 '\x90') "/upload"
+        in
+        let findings = Scripts.run_all Scripts.defaults payload in
+        let names = List.map (fun f -> f.Scripts.script) findings in
+        Alcotest.(check bool) "large-upload" true (List.mem "large-upload" names);
+        Alcotest.(check bool) "nop-sled" true (List.mem "nop-sled" names));
+  ]
+
+let () =
+  Alcotest.run "mbox"
+    [ ("engine", engine_tests);
+      ("middlebox", middlebox_tests);
+      ("scripts", script_tests) ]

@@ -1,0 +1,195 @@
+open Bbx_net
+
+let packet_tests =
+  [ Alcotest.test_case "packetize/reassemble round trip" `Quick (fun () ->
+        let stream = String.init 5000 (fun i -> Char.chr (i land 0xff)) in
+        let packets = Packet.packetize ~flow:7 stream in
+        Alcotest.(check int) "count" 4 (List.length packets);
+        Alcotest.(check string) "round trip" stream (Packet.reassemble packets));
+    Alcotest.test_case "mtu respected" `Quick (fun () ->
+        let packets = Packet.packetize ~flow:0 ~mtu:100 (String.make 350 'x') in
+        Alcotest.(check (list int)) "sizes" [ 100; 100; 100; 50 ]
+          (List.map (fun p -> String.length p.Packet.payload) packets));
+    Alcotest.test_case "missing packet detected" `Quick (fun () ->
+        let packets = Packet.packetize ~flow:0 ~mtu:10 (String.make 50 'x') in
+        let holey = List.filter (fun p -> p.Packet.seq <> 2 ) packets in
+        Alcotest.(check bool) "raises" true
+          (match Packet.reassemble holey with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "empty stream" `Quick (fun () ->
+        Alcotest.(check int) "no packets" 0 (List.length (Packet.packetize ~flow:0 "")));
+  ]
+
+let page_tests =
+  [ Alcotest.test_case "generate hits requested byte mix" `Quick (fun () ->
+        let drbg = Bbx_crypto.Drbg.create "page" in
+        let p = Page.generate drbg ~url:"https://x.example/" ~text_bytes:50_000 ~binary_bytes:100_000 in
+        let tb = Page.text_bytes p and bb = Page.binary_bytes p in
+        Alcotest.(check bool) (Printf.sprintf "text %d ~ 50k" tb) true
+          (tb >= 45_000 && tb <= 60_000);
+        Alcotest.(check bool) (Printf.sprintf "binary %d ~ 100k" bb) true
+          (bb >= 90_000 && bb <= 110_000));
+    Alcotest.test_case "html has delimiter structure" `Quick (fun () ->
+        let drbg = Bbx_crypto.Drbg.create "html" in
+        let html = Page.gen_html drbg ~bytes:10_000 in
+        let delims = ref 0 in
+        String.iter (fun c -> if Bbx_tokenizer.Tokenizer.is_delimiter c then incr delims) html;
+        let frac = float_of_int !delims /. float_of_int (String.length html) in
+        Alcotest.(check bool) (Printf.sprintf "delimiter fraction %.2f" frac) true
+          (frac > 0.10 && frac < 0.45));
+    Alcotest.test_case "binary is incompressible" `Quick (fun () ->
+        let drbg = Bbx_crypto.Drbg.create "bin" in
+        let blob = Page.gen_binary drbg ~bytes:20_000 in
+        Alcotest.(check bool) "ratio ~1" true (Bbx_compress.Compress.ratio blob < 1.05));
+    Alcotest.test_case "text body excludes binary" `Quick (fun () ->
+        let drbg = Bbx_crypto.Drbg.create "tb" in
+        let p = Page.generate drbg ~url:"u" ~text_bytes:10_000 ~binary_bytes:10_000 in
+        Alcotest.(check int) "lengths agree" (Page.text_bytes p)
+          (String.length (Page.text_body p)));
+  ]
+
+let corpus_tests =
+  [ Alcotest.test_case "named sites ordered and shaped" `Quick (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "YouTube"; "AirBnB"; "CNN"; "NYTimes"; "Gutenberg" ]
+          (List.map (fun p -> p.Corpus.site) Corpus.named_sites);
+        let youtube = List.hd Corpus.named_sites in
+        let gutenberg = List.nth Corpus.named_sites 4 in
+        Alcotest.(check bool) "youtube binary-heavy" true
+          (youtube.Corpus.binary_kb > 5 * youtube.Corpus.text_kb);
+        Alcotest.(check int) "gutenberg pure text" 0 gutenberg.Corpus.binary_kb);
+    Alcotest.test_case "top50 spans the text-fraction axis" `Quick (fun () ->
+        let pages = Corpus.top50 () in
+        Alcotest.(check int) "50 pages" 50 (List.length pages);
+        let fraction p =
+          float_of_int (Page.text_bytes p) /. float_of_int (max 1 (Page.total_bytes p))
+        in
+        let fractions = List.map fraction pages in
+        Alcotest.(check bool) "low end" true (List.exists (fun f -> f < 0.10) fractions);
+        Alcotest.(check bool) "high end" true (List.exists (fun f -> f > 0.90) fractions));
+    Alcotest.test_case "deterministic" `Quick (fun () ->
+        let a = Corpus.top50 ~seed:"s" () and b = Corpus.top50 ~seed:"s" () in
+        List.iter2
+          (fun x y -> Alcotest.(check int) "same size" (Page.total_bytes x) (Page.total_bytes y))
+          a b);
+  ]
+
+let linksim_tests =
+  [ Alcotest.test_case "broadband is network-bound" `Quick (fun () ->
+        let model =
+          { Linksim.tls_cpu_per_byte = 1e-8; bb_text_cpu_per_byte = 3e-7;
+            token_wire_per_text_byte = 1.5 }
+        in
+        let tls = Linksim.page_load Linksim.broadband model Linksim.Tls
+            ~text_bytes:200_000 ~binary_bytes:200_000 in
+        let bb = Linksim.page_load Linksim.broadband model Linksim.Blindbox
+            ~text_bytes:200_000 ~binary_bytes:200_000 in
+        (* wire bytes grow by 1.5x on the text half: overhead < 2x *)
+        Alcotest.(check bool) "bb slower" true (bb > tls);
+        Alcotest.(check bool) "bounded" true (bb /. tls < 2.0));
+    Alcotest.test_case "gigabit is cpu-bound" `Quick (fun () ->
+        let model =
+          { Linksim.tls_cpu_per_byte = 1e-8; bb_text_cpu_per_byte = 3e-7;
+            token_wire_per_text_byte = 1.5 }
+        in
+        let tls = Linksim.page_load Linksim.gigabit model Linksim.Tls
+            ~text_bytes:400_000 ~binary_bytes:0 in
+        let bb = Linksim.page_load Linksim.gigabit model Linksim.Blindbox
+            ~text_bytes:400_000 ~binary_bytes:0 in
+        (* cpu ratio 30x dominates once the link stops being the bottleneck *)
+        Alcotest.(check bool) (Printf.sprintf "ratio %.1f > 5" (bb /. tls)) true (bb /. tls > 5.0));
+    Alcotest.test_case "binary bytes never pay token overhead" `Quick (fun () ->
+        let model =
+          { Linksim.tls_cpu_per_byte = 1e-8; bb_text_cpu_per_byte = 3e-7;
+            token_wire_per_text_byte = 1.5 }
+        in
+        let tls = Linksim.page_load Linksim.broadband model Linksim.Tls
+            ~text_bytes:0 ~binary_bytes:500_000 in
+        let bb = Linksim.page_load Linksim.broadband model Linksim.Blindbox
+            ~text_bytes:0 ~binary_bytes:500_000 in
+        Alcotest.(check bool) "equal" true (Float.abs (bb -. tls) < 1e-9));
+  ]
+
+let trace_tests =
+  [ Alcotest.test_case "planted keywords really appear" `Quick (fun () ->
+        let rules = Bbx_rules.Datasets.generate Bbx_rules.Datasets.Snort_community ~n:30 in
+        let flows = Trace.generate ~rules ~n_attacks:20 ~n_benign:20 () in
+        Alcotest.(check int) "40 flows" 40 (List.length flows);
+        List.iter
+          (fun f ->
+             match f.Trace.attack with
+             | None -> ()
+             | Some rule ->
+               List.iter
+                 (fun kw ->
+                    Alcotest.(check bool) "keyword present" true
+                      (Bbx_rules.Classify.keyword_match_positions ~nocase:false kw f.Trace.payload
+                       <> []))
+                 (Bbx_rules.Rule.keywords rule))
+          flows);
+    Alcotest.test_case "misaligned fraction controls boundary placement" `Quick (fun () ->
+        let rules = [ Bbx_rules.Rule.make [ Bbx_rules.Rule.make_content "plantkw1" ] ] in
+        let flows = Trace.generate ~misaligned_fraction:1.0 ~rules ~n_attacks:5 ~n_benign:0 () in
+        List.iter
+          (fun f ->
+             Alcotest.(check bool) "glued inside word" true
+               (Bbx_rules.Classify.keyword_match_positions ~nocase:false "zqplantkw1zq"
+                  f.Trace.payload <> []))
+          flows);
+    Alcotest.test_case "benign flows match no rules" `Quick (fun () ->
+        let rules = Bbx_rules.Datasets.generate Bbx_rules.Datasets.Watermarking ~n:20 in
+        let flows = Trace.generate ~rules ~n_attacks:0 ~n_benign:30 () in
+        List.iter
+          (fun f ->
+             Alcotest.(check bool) "clean" false
+               (List.exists (fun r -> Bbx_rules.Classify.matches_plaintext r f.Trace.payload) rules))
+          flows);
+  ]
+
+let http_tests =
+  [ Alcotest.test_case "request round trip" `Quick (fun () ->
+        let r = Http.post ~headers:[ ("Host", "x.example") ] ~body:"a=1&b=2" "/submit" in
+        let r2 = Http.parse_request (Http.render_request r) in
+        Alcotest.(check string) "meth" "POST" r2.Http.meth;
+        Alcotest.(check string) "path" "/submit" r2.Http.path;
+        Alcotest.(check string) "body" "a=1&b=2" r2.Http.body;
+        Alcotest.(check (option string)) "host" (Some "x.example")
+          (Http.header "host" r2.Http.headers);
+        Alcotest.(check (option string)) "content-length added" (Some "7")
+          (Http.header "Content-Length" r2.Http.headers));
+    Alcotest.test_case "response round trip" `Quick (fun () ->
+        let r = Http.ok ~headers:[ ("Server", "nginx/0.6") ] "<html></html>" in
+        let r2 = Http.parse_response (Http.render_response r) in
+        Alcotest.(check int) "status" 200 r2.Http.status;
+        Alcotest.(check string) "body" "<html></html>" r2.Http.resp_body);
+    Alcotest.test_case "malformed messages rejected" `Quick (fun () ->
+        let bad s = match Http.parse_request s with
+          | exception Http.Malformed _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "no terminator" true (bad "GET / HTTP/1.1");
+        Alcotest.(check bool) "bad request line" true (bad "GETONLY\r\n\r\n");
+        Alcotest.(check bool) "bad header" true (bad "GET / HTTP/1.1\r\nnocolon\r\n\r\n");
+        Alcotest.(check bool) "length mismatch" true
+          (bad "GET / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"));
+    Alcotest.test_case "header lookup is case-insensitive" `Quick (fun () ->
+        let r = Http.get ~headers:[ ("X-Thing", "v") ] "/" in
+        Alcotest.(check (option string)) "lookup" (Some "v") (Http.header "x-thing" r.Http.headers));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"render/parse round trip on random bodies" ~count:200
+         QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+         (fun body ->
+            let r = Http.post ~headers:[ ("Host", "h") ] ~body "/p" in
+            (Http.parse_request (Http.render_request r)).Http.body = body));
+  ]
+
+let () =
+  Alcotest.run "net"
+    [ ("packet", packet_tests);
+      ("http", http_tests);
+      ("page", page_tests);
+      ("corpus", corpus_tests);
+      ("linksim", linksim_tests);
+      ("trace", trace_tests);
+    ]

@@ -1,0 +1,97 @@
+open Bbx_crypto
+open Bbx_ot
+
+let base_tests =
+  [ Alcotest.test_case "receiver gets chosen message" `Quick (fun () ->
+        let sd = Drbg.create "ot-s" and rd = Drbg.create "ot-r" in
+        let params = Base.setup sd in
+        List.iter
+          (fun b ->
+             let st, pk0 = Base.receiver_choose rd params b in
+             let resp = Base.sender_respond sd params ~pk0 ~m0:"message zero 0.." ~m1:"message one 1..." in
+             Alcotest.(check string) "chosen"
+               (if b then "message one 1..." else "message zero 0..")
+               (Base.receiver_recover st resp))
+          [ false; true ]);
+    Alcotest.test_case "response reveals neither message in the clear" `Quick (fun () ->
+        let sd = Drbg.create "ot-s2" and rd = Drbg.create "ot-r2" in
+        let params = Base.setup sd in
+        let _, pk0 = Base.receiver_choose rd params false in
+        let m0 = "aaaaaaaaaaaaaaaa" and m1 = "bbbbbbbbbbbbbbbb" in
+        let resp = Base.sender_respond sd params ~pk0 ~m0 ~m1 in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "m0 masked" false (contains resp m0);
+        Alcotest.(check bool) "m1 masked" false (contains resp m1));
+    Alcotest.test_case "length mismatch rejected" `Quick (fun () ->
+        let sd = Drbg.create "ot-s3" and rd = Drbg.create "ot-r3" in
+        let params = Base.setup sd in
+        let _, pk0 = Base.receiver_choose rd params false in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Base.sender_respond: message length mismatch")
+          (fun () -> ignore (Base.sender_respond sd params ~pk0 ~m0:"a" ~m1:"bb")));
+    Alcotest.test_case "params serialisation" `Quick (fun () ->
+        let sd = Drbg.create "ot-s4" in
+        let params = Base.setup sd in
+        let s = Base.params_to_string params in
+        Alcotest.(check int) "32 bytes" 32 (String.length s);
+        Alcotest.(check string) "round trip" s
+          (Base.params_to_string (Base.params_of_string s)));
+  ]
+
+let ext_tests =
+  [ Alcotest.test_case "extension transfers correctly (n=300)" `Quick (fun () ->
+        let n = 300 in
+        let drbg = Drbg.create "ext-msgs" in
+        let messages =
+          Array.init n (fun _ -> (Drbg.bytes drbg 16, Drbg.bytes drbg 16))
+        in
+        let choices = Array.init n (fun i -> i mod 3 = 0) in
+        let out, transcript_bytes =
+          Extension.run
+            ~sender_drbg:(Drbg.create "ext-s") ~receiver_drbg:(Drbg.create "ext-r")
+            ~messages ~choices
+        in
+        Array.iteri
+          (fun j got ->
+             let m0, m1 = messages.(j) in
+             Alcotest.(check string) (Printf.sprintf "ot %d" j)
+               (if choices.(j) then m1 else m0) got)
+          out;
+        Alcotest.(check bool) "transcript non-trivial" true (transcript_bytes > 0));
+    Alcotest.test_case "extension with odd n and all-same choices" `Quick (fun () ->
+        let n = 13 in
+        let messages = Array.init n (fun i -> (Printf.sprintf "zero%012d" i, Printf.sprintf "one.%012d" i)) in
+        List.iter
+          (fun bit ->
+             let out, _ =
+               Extension.run
+                 ~sender_drbg:(Drbg.create "s") ~receiver_drbg:(Drbg.create "r")
+                 ~messages ~choices:(Array.make n bit)
+             in
+             Array.iteri
+               (fun j got ->
+                  let m0, m1 = messages.(j) in
+                  Alcotest.(check string) "msg" (if bit then m1 else m0) got)
+               out)
+          [ false; true ]);
+    Alcotest.test_case "amortisation: base OT count independent of n" `Quick (fun () ->
+        (* Transcript size grows sub-linearly in n for 16-byte messages:
+           base-OT cost (128 public-key OTs) is paid once. *)
+        let mk n =
+          let messages = Array.init n (fun _ -> (String.make 16 'a', String.make 16 'b')) in
+          let _, bytes =
+            Extension.run ~sender_drbg:(Drbg.create "s") ~receiver_drbg:(Drbg.create "r")
+              ~messages ~choices:(Array.make n false)
+          in
+          bytes
+        in
+        let b100 = mk 100 and b1000 = mk 1000 in
+        Alcotest.(check bool) "10x messages < 10x bytes" true
+          (float_of_int b1000 < 9.0 *. float_of_int b100));
+  ]
+
+let () = Alcotest.run "ot" [ ("base", base_tests); ("extension", ext_tests) ]

@@ -1,0 +1,155 @@
+open Bbx_regex
+
+let m pat s = Regex.matches (Regex.compile pat) s
+
+let unit_tests =
+  [ Alcotest.test_case "literals" `Quick (fun () ->
+        Alcotest.(check bool) "hit" true (m "abc" "xxabcxx");
+        Alcotest.(check bool) "miss" false (m "abc" "ab c"));
+    Alcotest.test_case "dot" `Quick (fun () ->
+        Alcotest.(check bool) "any" true (m "a.c" "abc");
+        Alcotest.(check bool) "not newline" false (m "a.c" "a\nc");
+        Alcotest.(check bool) "dotall" true
+          (Regex.matches (Regex.compile ~dotall:true "a.c") "a\nc"));
+    Alcotest.test_case "classes" `Quick (fun () ->
+        Alcotest.(check bool) "range" true (m "[a-f]+" "zzzdzz");
+        Alcotest.(check bool) "negated" true (m "[^0-9]" "7a7");
+        Alcotest.(check bool) "negated miss" false (m "[^0-9]" "777");
+        Alcotest.(check bool) "escapes in class" true (m "[\\d_]+" "__42__"));
+    Alcotest.test_case "escapes" `Quick (fun () ->
+        Alcotest.(check bool) "digit" true (m "\\d\\d" "ab12cd");
+        Alcotest.(check bool) "word" true (m "\\w+" "!!x!!");
+        Alcotest.(check bool) "space" true (m "a\\sb" "a b");
+        Alcotest.(check bool) "hex" true (m "\\x41" "A");
+        Alcotest.(check bool) "meta" true (m "\\." "a.b");
+        Alcotest.(check bool) "meta miss" false (m "\\." "ab"));
+    Alcotest.test_case "quantifiers" `Quick (fun () ->
+        Alcotest.(check bool) "star empty" true (m "ab*c" "ac");
+        Alcotest.(check bool) "star many" true (m "ab*c" "abbbbc");
+        Alcotest.(check bool) "plus needs one" false (m "ab+c" "ac");
+        Alcotest.(check bool) "plus" true (m "ab+c" "abc");
+        Alcotest.(check bool) "opt" true (m "colou?r" "color");
+        Alcotest.(check bool) "opt 2" true (m "colou?r" "colour"));
+    Alcotest.test_case "bounded repeats" `Quick (fun () ->
+        Alcotest.(check bool) "exact" true (m "a{3}" "xaaax");
+        Alcotest.(check bool) "exact miss" false (m "^a{3}$" "aa");
+        Alcotest.(check bool) "range hit" true (m "^a{2,4}$" "aaa");
+        Alcotest.(check bool) "range miss high" false (m "^a{2,4}$" "aaaaa");
+        Alcotest.(check bool) "open" true (m "^a{2,}$" "aaaaaaa"));
+    Alcotest.test_case "alternation and groups" `Quick (fun () ->
+        Alcotest.(check bool) "alt" true (m "cat|dog" "hotdog");
+        Alcotest.(check bool) "group" true (m "(ab)+" "xababx");
+        Alcotest.(check bool) "nested" true (m "a(b|c(d|e))f" "acef");
+        Alcotest.(check bool) "non-capturing" true (m "(?:ab)+c" "ababc"));
+    Alcotest.test_case "anchors" `Quick (fun () ->
+        Alcotest.(check bool) "bol" true (m "^GET" "GET /x");
+        Alcotest.(check bool) "bol miss" false (m "^GET" " GET /x");
+        Alcotest.(check bool) "eol" true (m "html$" "index.html");
+        Alcotest.(check bool) "eol miss" false (m "html$" "html.index");
+        Alcotest.(check bool) "both" true (m "^$" ""));
+    Alcotest.test_case "caseless" `Quick (fun () ->
+        Alcotest.(check bool) "hit" true
+          (Regex.matches (Regex.compile ~caseless:true "select") "SeLeCt * from");
+        Alcotest.(check bool) "class" true
+          (Regex.matches (Regex.compile ~caseless:true "[a-z]+!") "ABC!"));
+    Alcotest.test_case "pcre syntax" `Quick (fun () ->
+        let r = Regex.parse_pcre "/union.+select/i" in
+        Alcotest.(check bool) "sqli" true (Regex.matches r "x UNION ALL SELECT y");
+        Alcotest.(check string) "pattern" "union.+select" (Regex.pattern r));
+    Alcotest.test_case "search offsets" `Quick (fun () ->
+        Alcotest.(check (option (pair int int))) "found" (Some (2, 5))
+          (Regex.search (Regex.compile "b+") "aabbbaa");
+        Alcotest.(check (option (pair int int))) "missing" None
+          (Regex.search (Regex.compile "zz") "aabbbaa");
+        Alcotest.(check (option (pair int int))) "empty match" (Some (0, 0))
+          (Regex.search (Regex.compile "x*") "aaa"));
+    Alcotest.test_case "parse errors" `Quick (fun () ->
+        let bad p =
+          match Regex.compile p with
+          | exception Regex.Parse_error _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "unbalanced" true (bad "a)b");
+        Alcotest.(check bool) "unterminated class" true (bad "[abc");
+        Alcotest.(check bool) "dangling star" true (bad "*a");
+        Alcotest.(check bool) "trailing backslash" true (bad "a\\");
+        Alcotest.(check bool) "huge repeat" true (bad "a{1,9999}");
+        Alcotest.(check bool) "bad pcre" true
+          (match Regex.parse_pcre "no-slashes" with
+           | exception Regex.Parse_error _ -> true
+           | _ -> false));
+    Alcotest.test_case "no catastrophic backtracking" `Quick (fun () ->
+        (* (a+)+b against a^40 — exponential for backtrackers, linear here. *)
+        let r = Regex.compile "(a+)+b" in
+        let t0 = Unix.gettimeofday () in
+        Alcotest.(check bool) "no match" false (Regex.matches r (String.make 40 'a'));
+        Alcotest.(check bool) "fast" true (Unix.gettimeofday () -. t0 < 1.0));
+  ]
+
+(* Differential test: random small regexes over {a,b}, compared against an
+   independent backtracking matcher defined on the generated AST. *)
+type oracle =
+  | OChar of char
+  | OCat of oracle * oracle
+  | OAlt of oracle * oracle
+  | OStar of oracle
+  | OOpt of oracle
+
+let rec render = function
+  | OChar c -> String.make 1 c
+  | OCat (a, b) -> render a ^ render b
+  | OAlt (a, b) -> "(" ^ render a ^ "|" ^ render b ^ ")"
+  | OStar a -> "(" ^ render a ^ ")*"
+  | OOpt a -> "(" ^ render a ^ ")?"
+
+(* match oracle at position i, calling k on every end position *)
+let rec omatch o s i k =
+  match o with
+  | OChar c -> if i < String.length s && s.[i] = c then k (i + 1)
+  | OCat (a, b) -> omatch a s i (fun j -> omatch b s j k)
+  | OAlt (a, b) -> omatch a s i k; omatch b s i k
+  | OOpt a -> k i; omatch a s i k
+  | OStar a ->
+    k i;
+    (* bounded unrolling to avoid infinite loops on nullable bodies *)
+    let rec star i depth =
+      if depth < String.length s + 1 then
+        omatch a s i (fun j -> if j > i then begin k j; star j (depth + 1) end)
+    in
+    star i 0
+
+let oracle_matches o s =
+  let exception Hit in
+  try
+    for i = 0 to String.length s do
+      omatch o s i (fun _ -> raise Hit)
+    done;
+    false
+  with Hit -> true
+
+let gen_oracle =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+           if n <= 1 then map (fun b -> OChar (if b then 'a' else 'b')) bool
+           else
+             frequency
+               [ (3, map2 (fun a b -> OCat (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> OAlt (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map (fun a -> OStar a) (self (n - 1)));
+                 (1, map (fun a -> OOpt a) (self (n - 1)));
+                 (1, map (fun b -> OChar (if b then 'a' else 'b')) bool) ])
+        (min n 12))
+
+let gen_input = QCheck.Gen.(string_size ~gen:(map (fun b -> if b then 'a' else 'b') bool) (int_range 0 12))
+
+let differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"agrees with backtracking oracle" ~count:1000
+       (QCheck.make ~print:(fun (o, s) -> render o ^ " on " ^ s)
+          (QCheck.Gen.pair gen_oracle gen_input))
+       (fun (o, s) -> Regex.matches (Regex.compile (render o)) s = oracle_matches o s))
+
+let () =
+  Alcotest.run "regex" [ ("unit", unit_tests); ("differential", [ differential ]) ]

@@ -1,0 +1,162 @@
+open Bbx_rules
+
+let paper_rule_2003296 =
+  "alert tcp $EXTERNAL_NET $HTTP_PORTS -> $HOME_NET 1025:5000 ( \
+   flow: established,from_server; \
+   content: \"Server|3a| nginx/0.\"; offset: 17; depth: 19; \
+   content: \"Content-Type|3a| text/html\"; \
+   content: \"|3a|80|3b|255.255.255.255\"; sid:2003296; )"
+
+let parser_tests =
+  [ Alcotest.test_case "parses the paper's example rule" `Quick (fun () ->
+        let r = Parser.parse_rule paper_rule_2003296 in
+        Alcotest.(check int) "three contents" 3 (List.length r.Rule.contents);
+        let c1 = List.nth r.Rule.contents 0 in
+        Alcotest.(check string) "hex decoded" "Server: nginx/0." c1.Rule.pattern;
+        Alcotest.(check (option int)) "offset" (Some 17) c1.Rule.offset;
+        Alcotest.(check (option int)) "depth" (Some 19) c1.Rule.depth;
+        Alcotest.(check string) "binary content" ":80;255.255.255.255"
+          (List.nth r.Rule.contents 2).Rule.pattern;
+        Alcotest.(check (option int)) "sid" (Some 2003296) r.Rule.sid;
+        Alcotest.(check (option string)) "flow" (Some "established,from_server") r.Rule.flow);
+    Alcotest.test_case "render/parse round trip" `Quick (fun () ->
+        let r = Parser.parse_rule paper_rule_2003296 in
+        let r2 = Parser.parse_rule (Rule.to_string r) in
+        Alcotest.(check string) "stable" (Rule.to_string r) (Rule.to_string r2));
+    Alcotest.test_case "pcre option" `Quick (fun () ->
+        let r =
+          Parser.parse_rule
+            "alert tcp any any -> any any (content:\"login\"; pcre:\"/user=[^&]{50,}/i\"; sid:7;)"
+        in
+        Alcotest.(check (option string)) "pcre" (Some "/user=[^&]{50,}/i") r.Rule.pcre);
+    Alcotest.test_case "semicolons inside quotes" `Quick (fun () ->
+        let r =
+          Parser.parse_rule "alert tcp any any -> any any (msg:\"a;b\"; content:\"x;y;z;abc\";)"
+        in
+        Alcotest.(check (option string)) "msg" (Some "a;b") r.Rule.msg;
+        Alcotest.(check string) "content" "x;y;z;abc" (List.hd r.Rule.contents).Rule.pattern);
+    Alcotest.test_case "nocase attaches to preceding content" `Quick (fun () ->
+        let r =
+          Parser.parse_rule
+            "alert tcp any any -> any any (content:\"AAA\"; content:\"BBB\"; nocase;)"
+        in
+        Alcotest.(check bool) "first not nocase" false (List.nth r.Rule.contents 0).Rule.nocase;
+        Alcotest.(check bool) "second nocase" true (List.nth r.Rule.contents 1).Rule.nocase);
+    Alcotest.test_case "syntax errors" `Quick (fun () ->
+        let bad s = match Parser.parse_rule s with
+          | exception Parser.Syntax_error _ -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "no paren" true (bad "alert tcp any any -> any any");
+        Alcotest.(check bool) "bad action" true (bad "alart tcp any any -> any any ()");
+        Alcotest.(check bool) "short header" true (bad "alert tcp any -> any ()");
+        Alcotest.(check bool) "modifier before content" true
+          (bad "alert tcp any any -> any any (offset:3; content:\"x\";)"));
+    Alcotest.test_case "ruleset skips comments and blanks" `Quick (fun () ->
+        let rules = Parser.parse_ruleset
+            ("# comment\n\n" ^ paper_rule_2003296 ^ "\n# another\n") in
+        Alcotest.(check int) "one rule" 1 (List.length rules));
+  ]
+
+let classify_tests =
+  [ Alcotest.test_case "single keyword = Protocol I" `Quick (fun () ->
+        let r = Rule.make [ Rule.make_content "watermark-xyz" ] in
+        Alcotest.(check bool) "I" true (Classify.classify r = Classify.Protocol_I));
+    Alcotest.test_case "offsets push to Protocol II" `Quick (fun () ->
+        let r = Rule.make [ Rule.make_content ~offset:4 "keyword1" ] in
+        Alcotest.(check bool) "II" true (Classify.classify r = Classify.Protocol_II));
+    Alcotest.test_case "multiple keywords = Protocol II" `Quick (fun () ->
+        let r = Rule.make [ Rule.make_content "aaaa"; Rule.make_content "bbbb" ] in
+        Alcotest.(check bool) "II" true (Classify.classify r = Classify.Protocol_II));
+    Alcotest.test_case "pcre = Protocol III" `Quick (fun () ->
+        let r = Rule.make ~pcre:"/x+/" [ Rule.make_content "selector" ] in
+        Alcotest.(check bool) "III" true (Classify.classify r = Classify.Protocol_III));
+    Alcotest.test_case "support is cumulative" `Quick (fun () ->
+        let r1 = Rule.make [ Rule.make_content "k" ] in
+        Alcotest.(check bool) "II supports I" true (Classify.supported_by Classify.Protocol_II r1);
+        Alcotest.(check bool) "III supports I" true (Classify.supported_by Classify.Protocol_III r1));
+  ]
+
+let eval_tests =
+  [ Alcotest.test_case "paper rule matches its own traffic" `Quick (fun () ->
+        let r = Parser.parse_rule paper_rule_2003296 in
+        let payload =
+          "HTTP/1.0 200 OK\r\nServer: nginx/0.6.31\r\nContent-Type: text/html\r\n\
+           X-Pad: :80;255.255.255.255\r\n\r\n<html></html>"
+        in
+        (* "Server: nginx/0." starts at offset 17 in this payload *)
+        Alcotest.(check bool) "matches" true (Classify.matches_plaintext r payload));
+    Alcotest.test_case "offset constraint rejects shifted match" `Quick (fun () ->
+        let r = Parser.parse_rule
+            "alert tcp any any -> any any (content:\"needle\"; offset:10; depth:6;)" in
+        Alcotest.(check bool) "at 10" true
+          (Classify.matches_plaintext r ("0123456789" ^ "needle"));
+        Alcotest.(check bool) "at 0" false (Classify.matches_plaintext r "needle0123456789"));
+    Alcotest.test_case "distance/within relative constraints" `Quick (fun () ->
+        let r = Parser.parse_rule
+            "alert tcp any any -> any any (content:\"AB\"; content:\"CD\"; distance:2; within:4;)" in
+        Alcotest.(check bool) "AB..CD ok" true (Classify.matches_plaintext r "ABxxCDzz");
+        Alcotest.(check bool) "too close" false (Classify.matches_plaintext r "ABCDzzzz");
+        Alcotest.(check bool) "too far" false (Classify.matches_plaintext r "ABxxxxxxxxCD"));
+    Alcotest.test_case "backtracks over candidate positions" `Quick (fun () ->
+        (* first "AB" is too close to CD; the second works *)
+        let r = Parser.parse_rule
+            "alert tcp any any -> any any (content:\"AB\"; content:\"CD\"; distance:2;)" in
+        Alcotest.(check bool) "matches via later candidate" true
+          (Classify.matches_plaintext r "ABCD AB..CD"));
+    Alcotest.test_case "nocase content" `Quick (fun () ->
+        let r = Parser.parse_rule
+            "alert tcp any any -> any any (content:\"select\"; nocase;)" in
+        Alcotest.(check bool) "matches" true (Classify.matches_plaintext r "UNION SELECT"));
+    Alcotest.test_case "pcre gates the match" `Quick (fun () ->
+        let r = Parser.parse_rule
+            "alert tcp any any -> any any (content:\"id=\"; pcre:\"/id=[0-9]+'/\";)" in
+        Alcotest.(check bool) "sqli" true (Classify.matches_plaintext r "GET /?id=42'--");
+        Alcotest.(check bool) "benign" false (Classify.matches_plaintext r "GET /?id=42"));
+  ]
+
+let dataset_tests =
+  let check_fractions ds n tol =
+    let rules = Datasets.generate ds ~n in
+    let f1, f2, f3 = Classify.fractions rules in
+    let p1, p2, p3 = Datasets.paper_fractions ds in
+    let close a b = Float.abs (a -. b) <= tol in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s I: got %.3f want %.3f" (Datasets.name ds) f1 p1) true (close f1 p1);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s II: got %.3f want %.3f" (Datasets.name ds) f2 p2) true (close f2 p2);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s III: got %.3f want %.3f" (Datasets.name ds) f3 p3) true (close f3 p3)
+  in
+  List.map
+    (fun ds ->
+       Alcotest.test_case (Datasets.name ds) `Quick (fun () -> check_fractions ds 500 0.01))
+    Datasets.all
+  @ [ Alcotest.test_case "deterministic given seed" `Quick (fun () ->
+        let a = Datasets.generate ~seed:"s" Datasets.Snort_community ~n:50 in
+        let b = Datasets.generate ~seed:"s" Datasets.Snort_community ~n:50 in
+        Alcotest.(check (list string)) "same"
+          (List.map Rule.to_string a) (List.map Rule.to_string b));
+      Alcotest.test_case "generated rules re-parse" `Quick (fun () ->
+          List.iter
+            (fun ds ->
+               List.iter
+                 (fun r ->
+                    let r2 = Parser.parse_rule (Rule.to_string r) in
+                    Alcotest.(check string) "round trip" (Rule.to_string r) (Rule.to_string r2))
+                 (Datasets.generate ds ~n:30))
+            Datasets.all);
+      Alcotest.test_case "3k rules yield ~9-10k keywords (paper)" `Quick (fun () ->
+          let rules = Datasets.generate Datasets.Emerging_threats ~n:3000 in
+          let kws = List.length (Datasets.distinct_keywords rules) in
+          Alcotest.(check bool) (Printf.sprintf "got %d" kws) true
+            (kws >= 7000 && kws <= 12000));
+    ]
+
+let () =
+  Alcotest.run "rules"
+    [ ("parser", parser_tests);
+      ("classify", classify_tests);
+      ("plaintext-eval", eval_tests);
+      ("datasets", dataset_tests);
+    ]

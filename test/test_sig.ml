@@ -1,0 +1,47 @@
+open Bbx_sig
+
+let drbg = Bbx_crypto.Drbg.create "test-sig-seed"
+let rand_bytes n = Bbx_crypto.Drbg.bytes drbg n
+
+(* One shared keypair: generation is the slow part. *)
+let kp = lazy (Rsa.generate ~rand_bytes ~bits:512)
+
+let tests =
+  [ Alcotest.test_case "sign/verify round trip" `Quick (fun () ->
+        let kp = Lazy.force kp in
+        let signature = Rsa.sign kp.private_ "attack keyword" in
+        Alcotest.(check bool) "verifies" true
+          (Rsa.verify kp.public ~signature "attack keyword"));
+    Alcotest.test_case "verify rejects tampered message" `Quick (fun () ->
+        let kp = Lazy.force kp in
+        let signature = Rsa.sign kp.private_ "msg" in
+        Alcotest.(check bool) "rejects" false (Rsa.verify kp.public ~signature "msG"));
+    Alcotest.test_case "verify rejects tampered signature" `Quick (fun () ->
+        let kp = Lazy.force kp in
+        let signature = Rsa.sign kp.private_ "msg" in
+        let bad =
+          String.mapi (fun i c -> if i = 5 then Char.chr (Char.code c lxor 1) else c) signature
+        in
+        Alcotest.(check bool) "rejects" false (Rsa.verify kp.public ~signature:bad "msg"));
+    Alcotest.test_case "verify rejects wrong length" `Quick (fun () ->
+        let kp = Lazy.force kp in
+        Alcotest.(check bool) "rejects" false (Rsa.verify kp.public ~signature:"short" "msg"));
+    Alcotest.test_case "public key serialisation" `Quick (fun () ->
+        let kp = Lazy.force kp in
+        let s = Rsa.public_to_string kp.public in
+        let back = Rsa.public_of_string s in
+        Alcotest.(check bool) "n" true (Bbx_bignum.Nat.equal back.Rsa.n kp.public.Rsa.n);
+        Alcotest.(check bool) "e" true (Bbx_bignum.Nat.equal back.Rsa.e kp.public.Rsa.e));
+    Alcotest.test_case "signatures from another key rejected" `Slow (fun () ->
+        let kp = Lazy.force kp in
+        let other = Rsa.generate ~rand_bytes ~bits:512 in
+        let signature = Rsa.sign other.private_ "msg" in
+        Alcotest.(check bool) "rejects" false (Rsa.verify kp.public ~signature "msg"));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"round trip on random messages" ~count:20 QCheck.string
+         (fun msg ->
+            let kp = Lazy.force kp in
+            Rsa.verify kp.public ~signature:(Rsa.sign kp.private_ msg) msg));
+  ]
+
+let () = Alcotest.run "sig" [ ("rsa", tests) ]
