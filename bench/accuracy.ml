@@ -50,8 +50,11 @@ let run () =
          Bbx_mbox.Engine.create ~mode:Dpienc.Exact ~salt0:0 ~rules ~enc_chunk
        in
        let sender = Dpienc.sender_create Dpienc.Exact dpi_key ~salt0:0 in
-       Bbx_mbox.Engine.process engine
-         (Dpienc.sender_encrypt sender (Tokenizer.delimiter payload));
+       let buf = Buffer.create 4096 in
+       ignore
+         (Dpienc.sender_encrypt_into sender
+            ~tokenization:(Dpienc.Delimiter { short_units = false }) payload buf : int);
+       ignore (Bbx_mbox.Engine.process_wire engine (Buffer.contents buf) : int);
        let verdict_rules =
          List.map (fun v -> v.Bbx_mbox.Engine.rule) (Bbx_mbox.Engine.verdicts engine)
        in

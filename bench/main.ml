@@ -2,9 +2,9 @@
    paper's evaluation (§7).  See DESIGN.md §3 for the experiment index and
    EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: dune exec bench/main.exe [experiment ...]
+   Usage: dune exec bench/main.exe [experiment ...] [--smoke]
    Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
-                setup ablation all (default: all) *)
+                setup ablation pipeline all (default: all) *)
 
 let experiments =
   [ ("table1", "Table 1: protocol coverage per ruleset", Table1.run);
@@ -17,14 +17,20 @@ let experiments =
     ("throughput", "Sec 7.2.3: middlebox throughput, BlindBox vs Snort-like baseline", Throughput.run);
     ("setup", "Sec 7.2.2: connection setup scaling with ruleset size", Setup_bench.run);
     ("ablation", "Ablations: tree vs scan, DPIEnc vs deterministic, tokenizers, OT", Ablation.run);
+    ("pipeline", "Token pipeline: legacy list path vs streaming path", Pipeline.run);
   ]
 
 let () =
+  let args =
+    (* flags like --smoke are read by the experiments themselves *)
+    List.filter
+      (fun a -> String.length a = 0 || a.[0] <> '-')
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] | _ :: [ "all" ] -> List.map (fun (n, _, _) -> n) experiments
-    | _ :: args -> args
-    | [] -> assert false
+    match args with
+    | [] | [ "all" ] -> List.map (fun (n, _, _) -> n) experiments
+    | args -> args
   in
   List.iter
     (fun name ->

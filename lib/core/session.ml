@@ -90,13 +90,22 @@ let make_session ?rg config keys ~rules ~chunks ~encs ~label =
     rg;
     rule_generation = 0 }
 
-let tokenize config ~base payload =
-  let toks =
-    match config.tokenization with
-    | Window -> Tokenizer.window payload
-    | Delimiter -> Tokenizer.delimiter payload
+let dpienc_tokenization config =
+  match config.tokenization with
+  | Window -> Dpienc.Window
+  | Delimiter -> Dpienc.Delimiter { short_units = false }
+
+(* Size hint for the wire buffer: exact for window tokenization, a
+   text-typical guess for delimiter (Buffer grows as needed either way). *)
+let wire_buf_estimate config payload =
+  let per =
+    match config.mode with
+    | Dpienc.Exact -> Dpienc.exact_record_bytes
+    | Dpienc.Probable -> Dpienc.probable_record_bytes
   in
-  List.map (fun tok -> { tok with Tokenizer.offset = tok.Tokenizer.offset + base }) toks
+  match config.tokenization with
+  | Window -> per * (max 1 (String.length payload - Tokenizer.token_len + 1))
+  | Delimiter -> per * (max 16 (String.length payload / 4))
 
 (* Handshake between the two endpoints; the middlebox observes only the
    public key shares. *)
@@ -196,7 +205,9 @@ let mb_keyword_hits t = Bbx_mbox.Engine.keyword_hits t.engine
 
 let mb_verdicts t = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine
 
-(* Sender-side encryption of one payload: SSL record + encrypted tokens.
+(* Sender-side encryption of one payload: SSL record + encrypted tokens,
+   the latter tokenized+encrypted+serialised in one streaming pass
+   (Dpienc.sender_encrypt_into) — no token or enc_token lists are built.
    A one-byte frame tag inside the record marks whether the payload was
    tokenized ('T') or sent as binary without tokens ('B', the paper's §3
    optimisation for images/video); the receiver validates accordingly. *)
@@ -204,34 +215,35 @@ let sender_encrypt t ~tokenized payload =
   let tag = if tokenized then "T" else "B" in
   let record = Record.seal t.writer (tag ^ payload) in
   if tokenized then begin
-    let toks = tokenize t.config ~base:t.sender_stream_off payload in
+    let buf = Buffer.create (wire_buf_estimate t.config payload) in
+    let count =
+      Dpienc.sender_encrypt_into t.dpi_sender ?k_ssl:(k_ssl_opt t)
+        ~base:t.sender_stream_off ~tokenization:(dpienc_tokenization t.config)
+        payload buf
+    in
     t.sender_stream_off <- t.sender_stream_off + String.length payload;
-    let enc = Dpienc.sender_encrypt t.dpi_sender ?k_ssl:(k_ssl_opt t) toks in
-    (record, enc)
+    (record, Buffer.contents buf, count)
   end
-  else (record, [])
+  else (record, "", 0)
 
-(* Receiver-side §3.4 validation: recompute the token stream from the
-   decrypted plaintext and compare with what the middlebox forwarded. *)
-let receiver_validate t ~tokenized plaintext forwarded =
+(* Receiver-side §3.4 validation: recompute the wire-encoded token stream
+   from the decrypted plaintext and compare bytes with what the middlebox
+   forwarded (the encoding is injective, so byte equality is exactly
+   token-stream equality). *)
+let receiver_validate t ~tokenized plaintext forwarded_wire =
   let expected =
     if tokenized then begin
-      let toks = tokenize t.config ~base:t.receiver_stream_off plaintext in
+      let buf = Buffer.create (String.length forwarded_wire) in
+      ignore
+        (Dpienc.sender_encrypt_into t.dpi_mirror ?k_ssl:(k_ssl_opt t)
+           ~base:t.receiver_stream_off ~tokenization:(dpienc_tokenization t.config)
+           plaintext buf : int);
       t.receiver_stream_off <- t.receiver_stream_off + String.length plaintext;
-      Dpienc.sender_encrypt t.dpi_mirror ?k_ssl:(k_ssl_opt t) toks
+      Buffer.contents buf
     end
-    else []
+    else ""
   in
-  let same =
-    List.length expected = List.length forwarded
-    && List.for_all2
-      (fun (a : Dpienc.enc_token) (b : Dpienc.enc_token) ->
-         a.Dpienc.cipher = b.Dpienc.cipher
-         && a.Dpienc.offset = b.Dpienc.offset
-         && a.Dpienc.embed = b.Dpienc.embed)
-      expected forwarded
-  in
-  if not same then
+  if not (String.equal expected forwarded_wire) then
     raise (Evasion_detected "token stream does not match the decrypted payload")
 
 let maybe_reset t payload_len =
@@ -247,10 +259,11 @@ let maybe_reset t payload_len =
 
 let blocked t = t.is_blocked
 
-let deliver t ~record ~tokens =
+let deliver t ~record ~wire ~token_count =
   if t.is_blocked then raise Connection_blocked;
-  (* middlebox: inspect tokens, record the SSL stream, forward both *)
-  Bbx_mbox.Engine.process t.engine tokens;
+  (* middlebox: inspect the token stream straight off the wire bytes,
+     record the SSL stream, forward both *)
+  let _ : int = Bbx_mbox.Engine.process_wire t.engine wire in
   t.mb_records <- record :: t.mb_records;
   (* receiver *)
   let framed = Record.open_ t.reader record in
@@ -262,8 +275,8 @@ let deliver t ~record ~tokens =
     | _ -> raise (Evasion_detected "bad frame tag")
   in
   let plaintext = String.sub framed 1 (String.length framed - 1) in
-  receiver_validate t ~tokenized plaintext tokens;
-  if not tokenized && tokens <> [] then
+  receiver_validate t ~tokenized plaintext wire;
+  if not tokenized && wire <> "" then
     raise (Evasion_detected "tokens attached to a binary frame");
   let all = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine in
   (* report each rule once, on the send that first triggered it *)
@@ -279,8 +292,8 @@ let deliver t ~record ~tokens =
   { plaintext;
     verdicts = fresh;
     record_bytes = String.length record;
-    token_bytes = String.length (Dpienc.encode_tokens tokens);
-    token_count = List.length tokens }
+    token_bytes = String.length wire;
+    token_count }
 
 (* Rule update on a live connection (§2.3: RG ships new signatures to its
    middlebox customers): only the chunks not already prepared pay the
@@ -338,17 +351,20 @@ let add_rules t rules =
   (added, stats)
 
 let send t payload =
-  let record, tokens = sender_encrypt t ~tokenized:true payload in
-  deliver t ~record ~tokens
+  let record, wire, token_count = sender_encrypt t ~tokenized:true payload in
+  deliver t ~record ~wire ~token_count
 
 let send_binary t payload =
-  let record, tokens = sender_encrypt t ~tokenized:false payload in
-  deliver t ~record ~tokens
+  let record, wire, token_count = sender_encrypt t ~tokenized:false payload in
+  deliver t ~record ~wire ~token_count
 
 let send_evading t payload ~drop_tokens =
-  let record, tokens = sender_encrypt t ~tokenized:true payload in
+  let record, wire, _ = sender_encrypt t ~tokenized:true payload in
+  (* the cheat needs token granularity: decode, drop, re-encode *)
+  let tokens = Dpienc.decode_tokens wire in
   let tokens = List.filteri (fun i _ -> i >= drop_tokens) tokens in
-  deliver t ~record ~tokens
+  deliver t ~record ~wire:(Dpienc.encode_tokens tokens)
+    ~token_count:(List.length tokens)
 
 
 (* ---------- bidirectional connections ---------- *)

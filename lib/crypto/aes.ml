@@ -129,51 +129,54 @@ let t1 = Array.map (fun v -> rotl32 v 8) t0
 let t2 = Array.map (fun v -> rotl32 v 16) t0
 let t3 = Array.map (fun v -> rotl32 v 24) t0
 
+(* The round helpers live at top level (fully applied at every call site)
+   so the encryption paths allocate nothing: per-call closures would cost
+   one heap block per round, which dominates DPIEnc's per-token budget. *)
+let[@inline] rk w round c =
+  let o = (16 * round) + (4 * c) in
+  w.(o) lor (w.(o + 1) lsl 8) lor (w.(o + 2) lsl 16) lor (w.(o + 3) lsl 24)
+
+let[@inline] tround w round c a b c' d =
+  t0.(a land 0xff)
+  lxor t1.((b lsr 8) land 0xff)
+  lxor t2.((c' lsr 16) land 0xff)
+  lxor t3.((d lsr 24) land 0xff)
+  lxor rk w round c
+
+(* final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns *)
+let[@inline] tfinal w c a b c' d =
+  sbox.(a land 0xff)
+  lor (sbox.((b lsr 8) land 0xff) lsl 8)
+  lor (sbox.((c' lsr 16) land 0xff) lsl 16)
+  lor (sbox.((d lsr 24) land 0xff) lsl 24)
+  lxor rk w 10 c
+
+let[@inline] store_col st i v =
+  st.(4 * i) <- v land 0xff;
+  st.((4 * i) + 1) <- (v lsr 8) land 0xff;
+  st.((4 * i) + 2) <- (v lsr 16) land 0xff;
+  st.((4 * i) + 3) <- (v lsr 24) land 0xff
+
 let encrypt_state { enc = w } st =
-  (* pack columns (and round-key columns) as 32-bit ints *)
+  (* pack columns as 32-bit ints *)
   let col i =
     st.(4 * i) lor (st.((4 * i) + 1) lsl 8) lor (st.((4 * i) + 2) lsl 16)
     lor (st.((4 * i) + 3) lsl 24)
   in
-  let rk round c =
-    let o = (16 * round) + (4 * c) in
-    w.(o) lor (w.(o + 1) lsl 8) lor (w.(o + 2) lsl 16) lor (w.(o + 3) lsl 24)
-  in
-  let x0 = ref (col 0 lxor rk 0 0) and x1 = ref (col 1 lxor rk 0 1) in
-  let x2 = ref (col 2 lxor rk 0 2) and x3 = ref (col 3 lxor rk 0 3) in
+  let x0 = ref (col 0 lxor rk w 0 0) and x1 = ref (col 1 lxor rk w 0 1) in
+  let x2 = ref (col 2 lxor rk w 0 2) and x3 = ref (col 3 lxor rk w 0 3) in
   for round = 1 to 9 do
-    let y c a b c' d =
-      t0.(a land 0xff)
-      lxor t1.((b lsr 8) land 0xff)
-      lxor t2.((c' lsr 16) land 0xff)
-      lxor t3.((d lsr 24) land 0xff)
-      lxor rk round c
-    in
-    let n0 = y 0 !x0 !x1 !x2 !x3 in
-    let n1 = y 1 !x1 !x2 !x3 !x0 in
-    let n2 = y 2 !x2 !x3 !x0 !x1 in
-    let n3 = y 3 !x3 !x0 !x1 !x2 in
+    let n0 = tround w round 0 !x0 !x1 !x2 !x3 in
+    let n1 = tround w round 1 !x1 !x2 !x3 !x0 in
+    let n2 = tround w round 2 !x2 !x3 !x0 !x1 in
+    let n3 = tround w round 3 !x3 !x0 !x1 !x2 in
     x0 := n0; x1 := n1; x2 := n2; x3 := n3
   done;
-  (* final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns *)
-  let final c a b c' d =
-    sbox.(a land 0xff)
-    lor (sbox.((b lsr 8) land 0xff) lsl 8)
-    lor (sbox.((c' lsr 16) land 0xff) lsl 16)
-    lor (sbox.((d lsr 24) land 0xff) lsl 24)
-    lxor rk 10 c
-  in
-  let n0 = final 0 !x0 !x1 !x2 !x3 in
-  let n1 = final 1 !x1 !x2 !x3 !x0 in
-  let n2 = final 2 !x2 !x3 !x0 !x1 in
-  let n3 = final 3 !x3 !x0 !x1 !x2 in
-  List.iteri
-    (fun i v ->
-       st.(4 * i) <- v land 0xff;
-       st.((4 * i) + 1) <- (v lsr 8) land 0xff;
-       st.((4 * i) + 2) <- (v lsr 16) land 0xff;
-       st.((4 * i) + 3) <- (v lsr 24) land 0xff)
-    [ n0; n1; n2; n3 ]
+  let n0 = tfinal w 0 !x0 !x1 !x2 !x3 in
+  let n1 = tfinal w 1 !x1 !x2 !x3 !x0 in
+  let n2 = tfinal w 2 !x2 !x3 !x0 !x1 in
+  let n3 = tfinal w 3 !x3 !x0 !x1 !x2 in
+  store_col st 0 n0; store_col st 1 n1; store_col st 2 n2; store_col st 3 n3
 
 (* Reference byte-wise implementation, kept as the test oracle for the
    T-table path. *)
@@ -239,10 +242,28 @@ let ctr_transform key ~nonce data =
   done;
   Bytes.to_string out
 
-let encrypt_u64 key v =
-  let st = Array.make 16 0 in
-  for i = 0 to 7 do st.(15 - i) <- (v lsr (8 * i)) land 0xff done;
-  encrypt_state key st;
-  let r = ref 0 in
-  for i = 0 to 7 do r := (!r lsl 8) lor st.(i) done;
-  !r land ((1 lsl 62) - 1)
+let[@inline] bswap32 v =
+  ((v land 0xff) lsl 24) lor ((v land 0xff00) lsl 8)
+  lor ((v lsr 8) land 0xff00) lor ((v lsr 24) land 0xff)
+
+let rec u64_rounds w round x0 x1 x2 x3 =
+  if round > 9 then
+    (* Only the first 8 output bytes are read (columns 0 and 1, whose
+       little-endian packing byte-swaps into the big-endian result). *)
+    ((bswap32 (tfinal w 0 x0 x1 x2 x3) lsl 32)
+     lor bswap32 (tfinal w 1 x1 x2 x3 x0))
+    land ((1 lsl 62) - 1)
+  else
+    u64_rounds w (round + 1)
+      (tround w round 0 x0 x1 x2 x3)
+      (tround w round 1 x1 x2 x3 x0)
+      (tround w round 2 x2 x3 x0 x1)
+      (tround w round 3 x3 x0 x1 x2)
+
+(* DPIEnc's per-token hot path: encrypt the block 0^8 || BE64(v) and keep
+   the first 8 bytes.  The block is built directly in the four packed
+   columns — no state array, no heap allocation. *)
+let encrypt_u64 { enc = w } v =
+  u64_rounds w 1 (rk w 0 0) (rk w 0 1)
+    (bswap32 ((v lsr 32) land 0xffffffff) lxor rk w 0 2)
+    (bswap32 (v land 0xffffffff) lxor rk w 0 3)

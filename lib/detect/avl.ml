@@ -72,6 +72,39 @@ let rec remove key = function
         balance l sk sv (remove sk r)
     end
 
+let rec max_binding = function
+  | Leaf -> invalid_arg "Avl.max_binding: empty"
+  | Node { r = Leaf; k; v; _ } -> (k, v)
+  | Node { r; _ } -> max_binding r
+
+(* [replace ~old_key new_key v t] = [insert new_key v (remove old_key t)],
+   but when [new_key] falls inside the same ordering gap as [old_key]'s
+   node (adjacent in order: greater than everything left of it, smaller
+   than everything right of it) the node's key is rewritten in one
+   traversal with no rebalancing.  Detect re-keys a matched keyword to its
+   next pseudorandom ciphertext on every hit, so the fast path is
+   opportunistic and the fallback must stay correct. *)
+exception Replace_fallback
+
+let replace ~old_key new_key value t =
+  let rec go lo hi = function
+    | Leaf -> raise_notrace Replace_fallback (* old_key unbound *)
+    | Node { l; k; v; r; h } ->
+      if old_key = k then begin
+        let above_left =
+          match l with Leaf -> new_key > lo | _ -> new_key > fst (max_binding l)
+        and below_right =
+          match r with Leaf -> new_key < hi | _ -> new_key < fst (min_binding r)
+        in
+        if above_left && below_right then Node { l; k = new_key; v = value; r; h }
+        else raise_notrace Replace_fallback
+      end
+      else if old_key < k then Node { l = go lo k l; k; v; r; h }
+      else Node { l; k; v; r = go k hi r; h }
+  in
+  try go min_int max_int t
+  with Replace_fallback -> insert new_key value (remove old_key t)
+
 let update key f t =
   match f (find_opt key t) with
   | None -> remove key t

@@ -25,6 +25,12 @@ val remove : int -> 'a t -> 'a t
     returning [None] deletes. *)
 val update : int -> ('a option -> 'a option) -> 'a t -> 'a t
 
+(** [replace ~old_key k v t] is [insert k v (remove old_key t)], optimised
+    to a single traversal (an in-place key rewrite, no rebalancing) when
+    [k] lies in the same ordering gap as [old_key]'s node.  Detect's
+    match-path re-keying uses this instead of two rebalancing passes. *)
+val replace : old_key:int -> int -> 'a -> 'a t -> 'a t
+
 val of_list : (int * 'a) list -> 'a t
 val to_sorted_list : 'a t -> (int * 'a) list
 

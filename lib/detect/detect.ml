@@ -10,23 +10,29 @@ type kw_state = {
   mutable current_cipher : int;
 }
 
+(* [keywords] is a growable store: the first [kw_count] slots are live,
+   the rest are capacity (filled with an arbitrary live element).
+   [add_keyword] amortises to O(1) instead of the old O(n) Array.append
+   per call. *)
 type t = {
   mode : Dpienc.mode;
   stride : int;
   mutable salt0 : int;
   mutable keywords : kw_state array;
+  mutable kw_count : int;
   mutable tree : keyword_id Avl.t;
 }
 
 let current_salt t kw = t.salt0 + (t.stride * kw.count)
 
+let iter_keywords t f =
+  for id = 0 to t.kw_count - 1 do f id t.keywords.(id) done
+
 let rebuild t =
   t.tree <- Avl.empty;
-  Array.iteri
-    (fun id kw ->
-       kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-       t.tree <- Avl.insert kw.current_cipher id t.tree)
-    t.keywords
+  iter_keywords t (fun id kw ->
+      kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
+      t.tree <- Avl.insert kw.current_cipher id t.tree)
 
 let create ~mode ~salt0 encs =
   if mode = Dpienc.Probable && salt0 land 1 <> 0 then
@@ -37,26 +43,44 @@ let create ~mode ~salt0 encs =
       encs
   in
   let t =
-    { mode; stride = Dpienc.salt_stride mode; salt0; keywords; tree = Avl.empty }
+    { mode; stride = Dpienc.salt_stride mode; salt0; keywords;
+      kw_count = Array.length keywords; tree = Avl.empty }
   in
   rebuild t;
   t
 
-let process t (tok : Dpienc.enc_token) =
-  match Avl.find_opt tok.Dpienc.cipher t.tree with
+(* Streaming core: one tree lookup per token; on a match the keyword's
+   node is re-keyed to its next-salt ciphertext in a single traversal
+   (Avl.replace) instead of remove + insert. *)
+let process_token t ~cipher ~offset =
+  match Avl.find_opt cipher t.tree with
   | None -> None
   | Some kw_id ->
     let kw = t.keywords.(kw_id) in
     let salt = current_salt t kw in
-    (* Advance the keyword to its next expected ciphertext. *)
-    t.tree <- Avl.remove kw.current_cipher t.tree;
     kw.count <- kw.count + 1;
-    kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-    t.tree <- Avl.insert kw.current_cipher kw_id t.tree;
-    Some { kw_id; offset = tok.Dpienc.offset; salt }
+    let next = Dpienc.encrypt kw.tkey ~salt:(current_salt t kw) in
+    t.tree <- Avl.replace ~old_key:kw.current_cipher next kw_id t.tree;
+    kw.current_cipher <- next;
+    Some { kw_id; offset; salt }
+
+let process t (tok : Dpienc.enc_token) =
+  process_token t ~cipher:tok.Dpienc.cipher ~offset:tok.Dpienc.offset
 
 let process_batch t toks =
   List.filter_map (fun tok -> process t tok) toks
+
+(* Walk a wire-encoded token stream without materialising enc_token
+   records; [f] fires once per match with the position of the matching
+   record's embed inside [wire] (or -1).  Returns the token count. *)
+let process_stream t wire ~f =
+  let count = ref 0 in
+  Dpienc.decode_iter wire ~f:(fun ~cipher ~offset ~embed_pos ->
+      incr count;
+      match process_token t ~cipher ~offset with
+      | None -> ()
+      | Some ev -> f ev ~embed_pos);
+  !count
 
 let recover_key t ~event ~embed =
   if t.mode <> Dpienc.Probable then
@@ -70,13 +94,19 @@ let reset t ~salt0 =
   if t.mode = Dpienc.Probable && salt0 land 1 <> 0 then
     invalid_arg "Detect.reset: salt0 must be even";
   t.salt0 <- salt0;
-  Array.iter (fun kw -> kw.count <- 0) t.keywords;
+  iter_keywords t (fun _ kw -> kw.count <- 0);
   rebuild t
 
 let add_keyword t enc =
   let kw = { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 } in
-  let id = Array.length t.keywords in
-  t.keywords <- Array.append t.keywords [| kw |];
+  if t.kw_count = Array.length t.keywords then begin
+    let grown = Array.make (max 8 (2 * t.kw_count)) kw in
+    Array.blit t.keywords 0 grown 0 t.kw_count;
+    t.keywords <- grown
+  end;
+  let id = t.kw_count in
+  t.keywords.(id) <- kw;
+  t.kw_count <- id + 1;
   kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
   t.tree <- Avl.insert kw.current_cipher id t.tree;
   id

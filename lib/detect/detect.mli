@@ -33,6 +33,18 @@ val process : t -> Bbx_dpienc.Dpienc.enc_token -> event option
 (** [process_batch t toks] processes in order and returns all events. *)
 val process_batch : t -> Bbx_dpienc.Dpienc.enc_token list -> event list
 
+(** [process_token t ~cipher ~offset] — {!process} without the enc_token
+    record: the streaming hot path. *)
+val process_token : t -> cipher:int -> offset:int -> event option
+
+(** [process_stream t wire ~f] decodes a wire-encoded token stream
+    ({!Bbx_dpienc.Dpienc.decode_iter}) and processes each record in
+    order, calling [f event ~embed_pos] on every match, where [embed_pos]
+    locates the matching record's 16-byte embed inside [wire] ([-1] when
+    the record has none).  Returns the number of tokens processed. *)
+val process_stream :
+  t -> string -> f:(event -> embed_pos:int -> unit) -> int
+
 (** [recover_key t ~event ~embed] implements probable-cause decryption
     (§5): given the matching event and the paired ciphertext [c2], returns
     the 16-byte [k_ssl].  Raises [Invalid_argument] outside [Probable]

@@ -10,10 +10,15 @@ let raw_key_of_secret s = Kdf.derive ~secret:s ~label:"dpienc-key" 16
 
 let key_of_secret s = Aes.expand_key (raw_key_of_secret s)
 
+(* Constant pads, hoisted off the hot path (one shared string each instead
+   of a fresh [String.make] per call). *)
+let block_pad = String.make (16 - Tokenizer.token_len) '\000'
+let salt_pad = String.make 8 '\000'
+
 let token_block t =
   if String.length t <> Tokenizer.token_len then
     invalid_arg "Dpienc: token must be Tokenizer.token_len bytes";
-  t ^ String.make (16 - Tokenizer.token_len) '\000'
+  t ^ block_pad
 
 let token_enc key t = Aes.encrypt_block key (token_block t)
 
@@ -24,7 +29,7 @@ let token_key key t = token_key_of_enc (token_enc key t)
 
 let encrypt tk ~salt = Aes.encrypt_u64 tk salt land rs_mask
 
-let encrypt_full tk ~salt = Aes.encrypt_block tk (String.make 8 '\000' ^ Util.u64_be salt)
+let encrypt_full tk ~salt = Aes.encrypt_block tk (salt_pad ^ Util.u64_be salt)
 
 type mode = Exact | Probable
 
@@ -38,45 +43,101 @@ type enc_token = {
 
 type counter_entry = { mutable count : int; tkey : token_key }
 
+(* Counter table keyed by token *value* but consulted with [(src, off, len)]
+   slices: the probe key is a single mutable record reused for every lookup,
+   so the hot path never calls [String.sub].  Stored keys materialise the
+   (padded) token bytes exactly once, on first occurrence.  [len <
+   token_len] slices hash/compare as if zero-padded to [token_len]. *)
+module Slice_key = struct
+  type t = { mutable src : string; mutable off : int; mutable len : int }
+
+  let logical_byte k i = if i < k.len then Char.code k.src.[k.off + i] else 0
+
+  let equal a b =
+    let rec go i =
+      i = Tokenizer.token_len || (logical_byte a i = logical_byte b i && go (i + 1))
+    in
+    go 0
+
+  (* FNV-1a over the logical token bytes, seeded with the FNV offset
+     basis; masked to stay a positive OCaml int. *)
+  let hash k =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Tokenizer.token_len - 1 do
+      h := (!h lxor logical_byte k i) * 0x01000193 land max_int
+    done;
+    !h
+end
+
+module Counter_tbl = Hashtbl.Make (Slice_key)
+
 type sender = {
   mode : mode;
   key : key;
   mutable salt0 : int;
-  counters : (string, counter_entry) Hashtbl.t;
+  counters : counter_entry Counter_tbl.t;
+  probe : Slice_key.t;  (* reused for lookups; never stored *)
   mutable max_count : int;
 }
 
 let sender_create mode key ~salt0 =
   if mode = Probable && salt0 land 1 <> 0 then
     invalid_arg "Dpienc.sender_create: salt0 must be even";
-  { mode; key; salt0; counters = Hashtbl.create 4096; max_count = 0 }
+  { mode; key; salt0;
+    counters = Counter_tbl.create 4096;
+    probe = { Slice_key.src = ""; off = 0; len = 0 };
+    max_count = 0 }
 
 let sender_salt0 s = s.salt0
 
-let encrypt_one s ~k_ssl (tok : Tokenizer.token) =
-  let entry =
-    match Hashtbl.find_opt s.counters tok.Tokenizer.content with
-    | Some e -> e
-    | None ->
-      let e = { count = 0; tkey = token_key s.key tok.Tokenizer.content } in
-      Hashtbl.add s.counters tok.Tokenizer.content e;
-      e
-  in
-  let stride = salt_stride s.mode in
-  let salt = s.salt0 + (stride * entry.count) in
+(* Materialise the (padded) token value of a slice — first occurrence of a
+   distinct token value only. *)
+let materialize src off len =
+  if len = Tokenizer.token_len then String.sub src off len
+  else Tokenizer.pad_short (String.sub src off len)
+
+let entry_for s src off len =
+  s.probe.Slice_key.src <- src;
+  s.probe.Slice_key.off <- off;
+  s.probe.Slice_key.len <- len;
+  (* exception-style lookup: [find_opt] would allocate a [Some] per token *)
+  match Counter_tbl.find s.counters s.probe with
+  | e -> e
+  | exception Not_found ->
+    let content = materialize src off len in
+    let stored =
+      { Slice_key.src = content; off = 0; len = Tokenizer.token_len }
+    in
+    let e = { count = 0; tkey = token_key s.key content } in
+    Counter_tbl.add s.counters stored e;
+    e
+
+let next_salt s entry =
+  let salt = s.salt0 + (salt_stride s.mode * entry.count) in
   entry.count <- entry.count + 1;
   if entry.count > s.max_count then s.max_count <- entry.count;
+  salt
+
+let check_k_ssl s k_ssl =
+  match s.mode with
+  | Exact -> None
+  | Probable ->
+    (match k_ssl with
+     | None -> invalid_arg "Dpienc.sender_encrypt: Probable mode needs ~k_ssl"
+     | Some k ->
+       if String.length k <> 16 then
+         invalid_arg "Dpienc.sender_encrypt: k_ssl must be 16 bytes";
+       Some k)
+
+let encrypt_one s ~k_ssl (tok : Tokenizer.token) =
+  let k_ssl = check_k_ssl s k_ssl in
+  let entry = entry_for s tok.Tokenizer.content 0 Tokenizer.token_len in
+  let salt = next_salt s entry in
   let cipher = encrypt entry.tkey ~salt in
   let embed =
-    match s.mode with
-    | Exact -> None
-    | Probable ->
-      (match k_ssl with
-       | None -> invalid_arg "Dpienc.sender_encrypt: Probable mode needs ~k_ssl"
-       | Some k ->
-         if String.length k <> 16 then
-           invalid_arg "Dpienc.sender_encrypt: k_ssl must be 16 bytes";
-         Some (Util.xor (encrypt_full entry.tkey ~salt:(salt + 1)) k))
+    match k_ssl with
+    | None -> None
+    | Some k -> Some (Util.xor (encrypt_full entry.tkey ~salt:(salt + 1)) k)
   in
   { cipher; embed; offset = tok.Tokenizer.offset }
 
@@ -86,40 +147,110 @@ let sender_reset s =
   let stride = salt_stride s.mode in
   s.salt0 <- s.salt0 + (stride * (s.max_count + 1));
   s.max_count <- 0;
-  Hashtbl.reset s.counters;
+  Counter_tbl.reset s.counters;
   s.salt0
 
-(* Wire format per token: 1 flag byte, 5-byte cipher, 4-byte offset,
-   then 16-byte embed iff the flag is 1. *)
+(* ---- wire format ----
+
+   Per token: 1 flag byte, 5-byte big-endian cipher, 4-byte big-endian
+   stream offset, then the 16-byte embed iff the flag is 1 — 10 bytes in
+   Exact mode, 26 in Probable. *)
+
+let exact_record_bytes = 10
+let probable_record_bytes = 26
+
+let add_cipher buf cipher =
+  for i = 4 downto 0 do
+    Buffer.add_char buf (Char.chr ((cipher lsr (8 * i)) land 0xff))
+  done
+
+let add_u32 buf v =
+  for i = 3 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+(* Streaming serialisation of one token slice: counter lookup, DPIEnc,
+   wire bytes — no intermediate token or enc_token records. *)
+let encrypt_slice_into s ~k_ssl ~src ~off ~len ~stream_off buf =
+  let entry = entry_for s src off len in
+  let salt = next_salt s entry in
+  let cipher = encrypt entry.tkey ~salt in
+  (match k_ssl with
+   | None ->
+     Buffer.add_char buf '\000';
+     add_cipher buf cipher;
+     add_u32 buf stream_off
+   | Some k ->
+     Buffer.add_char buf '\001';
+     add_cipher buf cipher;
+     add_u32 buf stream_off;
+     let mask = encrypt_full entry.tkey ~salt:(salt + 1) in
+     for i = 0 to 15 do
+       Buffer.add_char buf (Char.chr (Char.code mask.[i] lxor Char.code k.[i]))
+     done)
+
+type tokenization = Window | Delimiter of { short_units : bool }
+
+let sender_encrypt_into s ?k_ssl ?(base = 0) ?(tokenization = Window) payload buf =
+  let k_ssl = check_k_ssl s k_ssl in
+  let f count ~off ~len =
+    encrypt_slice_into s ~k_ssl ~src:payload ~off ~len ~stream_off:(base + off) buf;
+    count + 1
+  in
+  match tokenization with
+  | Window -> Tokenizer.fold_window payload ~init:0 ~f
+  | Delimiter { short_units } ->
+    Tokenizer.fold_delimiter ~short_units payload ~init:0 ~f
+
 let encode_tokens toks =
-  let buf = Buffer.create (16 * List.length toks) in
+  let per_token =
+    match toks with
+    | { embed = Some _; _ } :: _ -> probable_record_bytes
+    | _ -> exact_record_bytes
+  in
+  let buf = Buffer.create (per_token * List.length toks) in
   List.iter
     (fun { cipher; embed; offset } ->
        Buffer.add_char buf (if embed = None then '\000' else '\001');
-       for i = 4 downto 0 do
-         Buffer.add_char buf (Char.chr ((cipher lsr (8 * i)) land 0xff))
-       done;
-       Buffer.add_string buf (Util.u32_be offset);
+       add_cipher buf cipher;
+       add_u32 buf offset;
        match embed with None -> () | Some e -> Buffer.add_string buf e)
     toks;
   Buffer.contents buf
 
-let decode_tokens s =
+(* Streaming decode: one callback per record, no list, no substrings.
+   [embed_pos] is the byte position of the 16-byte embed inside [s], or
+   [-1] when the record carries none. *)
+let decode_iter s ~f =
   let n = String.length s in
-  let rec go pos acc =
-    if pos = n then List.rev acc
-    else begin
-      if pos + 10 > n then invalid_arg "Dpienc.decode_tokens: truncated";
-      let has_embed = s.[pos] = '\001' in
-      let cipher = ref 0 in
-      for i = 0 to 4 do cipher := (!cipher lsl 8) lor Char.code s.[pos + 1 + i] done;
-      let offset = Util.read_u32_be s (pos + 6) in
-      let pos = pos + 10 in
-      if has_embed then begin
-        if pos + 16 > n then invalid_arg "Dpienc.decode_tokens: truncated embed";
-        go (pos + 16) ({ cipher = !cipher; embed = Some (String.sub s pos 16); offset } :: acc)
-      end
-      else go pos ({ cipher = !cipher; embed = None; offset } :: acc)
+  let pos = ref 0 in
+  while !pos < n do
+    let p = !pos in
+    if p + exact_record_bytes > n then invalid_arg "Dpienc.decode_tokens: truncated";
+    let has_embed = s.[p] = '\001' in
+    let cipher = ref 0 in
+    for i = 0 to 4 do cipher := (!cipher lsl 8) lor Char.code s.[p + 1 + i] done;
+    let offset = Util.read_u32_be s (p + 6) in
+    let p = p + exact_record_bytes in
+    if has_embed then begin
+      if p + 16 > n then invalid_arg "Dpienc.decode_tokens: truncated embed";
+      f ~cipher:!cipher ~offset ~embed_pos:p;
+      pos := p + 16
     end
-  in
-  go 0 []
+    else begin
+      f ~cipher:!cipher ~offset ~embed_pos:(-1);
+      pos := p
+    end
+  done
+
+let decode_tokens s =
+  let acc = ref [] in
+  decode_iter s ~f:(fun ~cipher ~offset ~embed_pos ->
+      let embed = if embed_pos < 0 then None else Some (String.sub s embed_pos 16) in
+      acc := { cipher; embed; offset } :: !acc);
+  List.rev !acc
+
+let wire_token_count s =
+  let count = ref 0 in
+  decode_iter s ~f:(fun ~cipher:_ ~offset:_ ~embed_pos:_ -> incr count);
+  !count

@@ -83,7 +83,56 @@ val sender_salt0 : sender -> int
     middlebox, which must walk its rule counters at the same stride. *)
 val salt_stride : mode -> int
 
-(** Wire encoding of a batch of encrypted tokens (5 bytes + optional
-    16 bytes + 4-byte offset each). *)
+(** {2 Streaming pipeline}
+
+    The streaming API tokenizes, encrypts and serialises in one pass, with
+    no per-token records or strings: the counter table is consulted with
+    [(payload, off)] slices through a reused probe key (a seeded FNV hash
+    over the logical token bytes), and wire bytes go straight into the
+    caller's [Buffer].  It shares the counter table with the legacy list
+    API, so the two may be mixed on one [sender] and produce the identical
+    byte stream for the identical payload sequence. *)
+
+(** Which tokenizer drives {!sender_encrypt_into}. *)
+type tokenization = Window | Delimiter of { short_units : bool }
+
+(** [sender_encrypt_into sender ?k_ssl ?base ?tokenization payload buf]
+    appends the wire encoding of [payload]'s encrypted token stream to
+    [buf] and returns the number of tokens emitted.  [base] (default 0) is
+    added to every token's stream offset.  Byte-identical to
+    [encode_tokens (sender_encrypt sender (tokenize payload))]. *)
+val sender_encrypt_into :
+  sender -> ?k_ssl:string -> ?base:int -> ?tokenization:tokenization ->
+  string -> Buffer.t -> int
+
+(** [encrypt_slice_into sender ~k_ssl ~src ~off ~len ~stream_off buf]
+    encrypts one token slice ([src.[off..off+len-1]], zero-padded when
+    [len < Tokenizer.token_len]) and appends its wire record to [buf].
+    [k_ssl] must already be validated ([Some] iff the sender is in
+    [Probable] mode) — this is the raw building block under
+    {!sender_encrypt_into}. *)
+val encrypt_slice_into :
+  sender -> k_ssl:string option -> src:string -> off:int -> len:int ->
+  stream_off:int -> Buffer.t -> unit
+
+(** Wire encoding of a batch of encrypted tokens: per token a flag byte,
+    5-byte cipher and 4-byte offset, plus the 16-byte embed in [Probable]
+    mode (10 or 26 bytes per record). *)
 val encode_tokens : enc_token list -> string
 val decode_tokens : string -> enc_token list
+
+(** [decode_iter s ~f] walks the wire format without building a list:
+    [f ~cipher ~offset ~embed_pos] once per record, where [embed_pos] is
+    the position of the record's 16-byte embed inside [s], or [-1] when
+    absent.  Raises the same [Invalid_argument] as {!decode_tokens} on
+    truncated input. *)
+val decode_iter :
+  string -> f:(cipher:int -> offset:int -> embed_pos:int -> unit) -> unit
+
+(** [wire_token_count s] — number of records in a wire encoding. *)
+val wire_token_count : string -> int
+
+(** Wire record sizes (without / with embed), exposed for sizing buffers
+    and for the truncation tests. *)
+val exact_record_bytes : int
+val probable_record_bytes : int

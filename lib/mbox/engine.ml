@@ -50,20 +50,29 @@ let record_hit t chunk_id offset =
   | Some l -> l := offset :: !l
   | None -> Hashtbl.add t.hits chunk_id (ref [ offset ])
 
+let handle_event t ev ~embed =
+  record_hit t ev.Bbx_detect.Detect.kw_id ev.Bbx_detect.Detect.offset;
+  if t.mode = Dpienc.Probable && t.recovered = None then begin
+    match embed with
+    | Some embed ->
+      t.recovered <- Some (Bbx_detect.Detect.recover_key t.detect ~event:ev ~embed)
+    | None -> ()
+  end
+
 let process t tokens =
   List.iter
     (fun tok ->
        match Bbx_detect.Detect.process t.detect tok with
        | None -> ()
-       | Some ev ->
-         record_hit t ev.Bbx_detect.Detect.kw_id ev.Bbx_detect.Detect.offset;
-         if t.mode = Dpienc.Probable && t.recovered = None then begin
-           match tok.Dpienc.embed with
-           | Some embed ->
-             t.recovered <- Some (Bbx_detect.Detect.recover_key t.detect ~event:ev ~embed)
-           | None -> ()
-         end)
+       | Some ev -> handle_event t ev ~embed:tok.Dpienc.embed)
     tokens
+
+(* Streaming entry point: decode + detect in one pass over the wire bytes;
+   the (rare) matching record's embed is the only substring materialised. *)
+let process_wire t wire =
+  Bbx_detect.Detect.process_stream t.detect wire ~f:(fun ev ~embed_pos ->
+      let embed = if embed_pos < 0 then None else Some (String.sub wire embed_pos 16) in
+      handle_event t ev ~embed)
 
 let keyword_hits t =
   Hashtbl.fold
@@ -128,12 +137,13 @@ let add_rules t ~rules ~enc_chunk =
     Array.to_list (distinct_chunks rules)
     |> List.filter (fun c -> not (Hashtbl.mem known c))
   in
-  List.iter
-    (fun chunk ->
+  List.iteri
+    (fun i chunk ->
        let id = Bbx_detect.Detect.add_keyword t.detect (enc_chunk chunk) in
-       assert (id = Array.length t.chunks);
-       t.chunks <- Array.append t.chunks [| chunk |])
+       assert (id = Array.length t.chunks + i))
     fresh;
+  (* one append for the whole batch, not one O(n) copy per chunk *)
+  t.chunks <- Array.append t.chunks (Array.of_list fresh);
   t.rules <- Array.append t.rules (Array.of_list rules);
   List.length fresh
 

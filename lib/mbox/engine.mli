@@ -44,6 +44,11 @@ val create :
 (** [process t tokens] feeds encrypted tokens in stream order. *)
 val process : t -> Bbx_dpienc.Dpienc.enc_token list -> unit
 
+(** [process_wire t wire] feeds a wire-encoded token stream (the output of
+    {!Bbx_dpienc.Dpienc.sender_encrypt_into}/[encode_tokens]) without
+    materialising a token list; returns the number of tokens processed. *)
+val process_wire : t -> string -> int
+
 (** [keyword_hits t] — keyword-level (chunk, stream offset) matches so far
     (the quantity behind the paper's 97.1% keyword-recall number). *)
 val keyword_hits : t -> (string * int) list

@@ -39,13 +39,14 @@ let get t conn_id =
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Middlebox: unknown connection %d" conn_id)
 
-let process t ~conn_id tokens =
+(* [inject] runs the engine over this delivery's tokens and returns how
+   many there were — the list and wire entry points only differ here. *)
+let process_common t ~conn_id inject =
   let c = get t conn_id in
   if c.conn_blocked then
     invalid_arg (Printf.sprintf "Middlebox.process: connection %d is blocked" conn_id);
   let hits_before = List.length (Engine.keyword_hits c.engine) in
-  Engine.process c.engine tokens;
-  t.total_tokens <- t.total_tokens + List.length tokens;
+  t.total_tokens <- t.total_tokens + inject c.engine;
   t.total_keyword_hits <-
     t.total_keyword_hits + List.length (Engine.keyword_hits c.engine) - hits_before;
   let all = Engine.verdicts c.engine in
@@ -60,6 +61,14 @@ let process t ~conn_id tokens =
     t.blocked_count <- t.blocked_count + 1
   end;
   fresh
+
+let process t ~conn_id tokens =
+  process_common t ~conn_id (fun engine ->
+      Engine.process engine tokens;
+      List.length tokens)
+
+let process_wire t ~conn_id wire =
+  process_common t ~conn_id (fun engine -> Engine.process_wire engine wire)
 
 let is_blocked t ~conn_id = (get t conn_id).conn_blocked
 

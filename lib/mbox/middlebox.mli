@@ -35,6 +35,10 @@ val register :
     unknown connection raises [Invalid_argument]. *)
 val process : t -> conn_id:conn_id -> Bbx_dpienc.Dpienc.enc_token list -> Engine.verdict list
 
+(** [process_wire t ~conn_id wire] — same, straight off the wire encoding
+    (no token list materialised). *)
+val process_wire : t -> conn_id:conn_id -> string -> Engine.verdict list
+
 (** [is_blocked t ~conn_id]. *)
 val is_blocked : t -> conn_id:conn_id -> bool
 

@@ -9,11 +9,26 @@ let is_delimiter c =
   | c when Char.code c >= 0x80 -> false (* binary / multi-byte data *)
   | _ -> true
 
-let window s =
+(* ---- streaming visitors ----
+
+   The folds below are the primitive tokenizers: they hand the consumer
+   [(off, len)] slices of the payload instead of materialising one string
+   per token.  [len = token_len] for ordinary tokens; [len < token_len]
+   marks a short delimiter-bounded unit whose logical token is the slice
+   zero-padded to [token_len].  The list API is a shim over these. *)
+
+let fold_window s ~init ~f =
   let n = String.length s in
-  if n < token_len then []
-  else
-    List.init (n - token_len + 1) (fun i -> { content = String.sub s i token_len; offset = i })
+  let acc = ref init in
+  for off = 0 to n - token_len do
+    acc := f !acc ~off ~len:token_len
+  done;
+  !acc
+
+let window s =
+  List.rev
+    (fold_window s ~init:[] ~f:(fun acc ~off ~len:_ ->
+         { content = String.sub s off token_len; offset = off } :: acc))
 
 let window_count s = max 0 (String.length s - token_len + 1)
 
@@ -81,18 +96,29 @@ let delimiter_plan ~short_units s =
   done;
   (emit, List.rev !shorts)
 
-let delimiter ?(short_units = false) s =
+(* Emission order (full tokens ascending, then short units ascending) is
+   part of the wire contract: the streaming and list paths must serialize
+   identically for the receiver's §3.4 validation to compare bytes. *)
+let fold_delimiter ?(short_units = false) s ~init ~f =
   let emit, shorts = delimiter_plan ~short_units s in
-  let tokens = ref [] in
-  for i = Array.length emit - 1 downto 0 do
-    if emit.(i) then tokens := { content = String.sub s i token_len; offset = i } :: !tokens
+  let acc = ref init in
+  for off = 0 to Array.length emit - 1 do
+    if emit.(off) then acc := f !acc ~off ~len:token_len
   done;
-  !tokens
-  @ List.map (fun (a, len) -> { content = pad_short (String.sub s a len); offset = a }) shorts
+  List.iter (fun (off, len) -> acc := f !acc ~off ~len) shorts;
+  !acc
 
-let delimiter_count ?(short_units = false) s =
-  let emit, shorts = delimiter_plan ~short_units s in
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 emit + List.length shorts
+let slice_token s ~off ~len =
+  if len = token_len then { content = String.sub s off token_len; offset = off }
+  else { content = pad_short (String.sub s off len); offset = off }
+
+let delimiter ?short_units s =
+  List.rev
+    (fold_delimiter ?short_units s ~init:[] ~f:(fun acc ~off ~len ->
+         slice_token s ~off ~len :: acc))
+
+let delimiter_count ?short_units s =
+  fold_delimiter ?short_units s ~init:0 ~f:(fun acc ~off:_ ~len:_ -> acc + 1)
 
 (* Split a rule keyword into chunks the middlebox will search for.  Chunk
    offsets are picked from the delimiter tokenizer's own emission plan for

@@ -33,6 +33,30 @@ val max_keyword_len : int
 (** [is_delimiter c] — punctuation, whitespace and special symbols. *)
 val is_delimiter : char -> bool
 
+(** {2 Streaming visitors}
+
+    The folds are the primitive tokenizers: they visit [(off, len)] slices
+    of the payload in emission order without allocating a string per token.
+    [len = token_len] for ordinary tokens; [len < token_len] (delimiter
+    tokenizer with [short_units] only) marks a short delimiter-bounded unit
+    whose logical token is [s.[off..off+len-1]] zero-padded to
+    {!token_len}.  The list API below is a shim over these, and both emit
+    in the identical order (the wire contract the receiver's validation
+    depends on). *)
+
+(** [fold_window s ~init ~f] folds [f] over every window offset. *)
+val fold_window : string -> init:'a -> f:('a -> off:int -> len:int -> 'a) -> 'a
+
+(** [fold_delimiter ?short_units s ~init ~f] folds [f] over the delimiter
+    tokenizer's emission plan: full tokens in ascending offset order, then
+    (with [short_units]) padded short units in ascending offset order. *)
+val fold_delimiter :
+  ?short_units:bool -> string -> init:'a -> f:('a -> off:int -> len:int -> 'a) -> 'a
+
+(** [slice_token s ~off ~len] materialises the token a fold visited — the
+    bridge from the streaming API back to {!token} records. *)
+val slice_token : string -> off:int -> len:int -> token
+
 (** [window s] emits one token per offset ([String.length s - token_len + 1]
     tokens; none if the payload is shorter than a token). *)
 val window : string -> token list

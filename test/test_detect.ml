@@ -34,6 +34,31 @@ let avl_props =
         let t = Avl.update k (fun _ -> Some 1) Avl.empty in
         let t' = Avl.update k (fun _ -> None) t in
         Avl.mem k t && not (Avl.mem k t') && Avl.is_empty t');
+    (let arb =
+       QCheck.(triple (list_of_size (QCheck.Gen.int_range 1 40) (int_bound 500))
+                 (int_bound 39) (int_bound 600))
+     in
+     prop "replace equals remove-then-insert" arb (fun (keys, pick, new_key) ->
+         let t =
+           List.fold_left (fun t k -> Avl.insert k (k * 3) t) Avl.empty keys
+         in
+         let old_key = List.nth keys (pick mod List.length keys) in
+         let v = new_key * 7 in
+         let fast = Avl.replace ~old_key new_key v t in
+         let slow = Avl.insert new_key v (Avl.remove old_key t) in
+         Avl.check_invariants fast
+         && Avl.to_sorted_list fast = Avl.to_sorted_list slow));
+    prop "replace with adjacent key keeps all other bindings"
+      QCheck.(int_range 1 200) (fun n ->
+        (* keys 0,2,4,...: bumping k to k+1 always fits the ordering gap,
+           which is exactly Detect's salt-increment pattern *)
+        let t = Avl.of_list (List.init n (fun i -> (2 * i, i))) in
+        let k = 2 * (n / 2) in
+        let t' = Avl.replace ~old_key:k (k + 1) ~-1 t in
+        Avl.check_invariants t'
+        && Avl.size t' = n
+        && Avl.find_opt (k + 1) t' = Some ~-1
+        && not (Avl.mem k t'));
   ]
 
 (* ---------- Detect engine ---------- *)
@@ -157,6 +182,69 @@ let detect_tests =
               List.filteri (fun _ w -> w = "atk" || w = "mal") words |> List.length
             in
             List.length evs = expected));
+    Alcotest.test_case "store grows across many add_keyword calls" `Quick (fun () ->
+        let d = mk_detect [] in
+        let kws = List.init 40 (Printf.sprintf "kw%d") in
+        List.iteri
+          (fun i kw ->
+             Alcotest.(check int) "sequential id" i
+               (Detect.add_keyword d (token_enc key (t8 kw))))
+          kws;
+        Alcotest.(check int) "size" 40 (Detect.size d);
+        let s = mk_sender () in
+        let evs = Detect.process_batch d (stream s kws) in
+        Alcotest.(check (list int)) "every keyword matches" (List.init 40 Fun.id)
+          (List.map (fun e -> e.Detect.kw_id) evs));
   ]
 
-let () = Alcotest.run "detect" [ ("avl", avl_props); ("engine", detect_tests) ]
+(* Streaming path vs batch path: same events from the same wire bytes. *)
+let stream_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"process_stream equals process_batch" ~count:80
+         QCheck.(pair (oneofl [ Exact; Probable ])
+                   (list_of_size (QCheck.Gen.int_range 0 30)
+                      (QCheck.oneofl [ "atk"; "mal"; "ok"; "fine" ])))
+         (fun (mode, words) ->
+            let k_ssl = if mode = Probable then Some (String.make 16 'S') else None in
+            let d_batch = mk_detect ~mode [ "atk"; "mal" ] in
+            let d_stream = mk_detect ~mode [ "atk"; "mal" ] in
+            let s = mk_sender ~mode () in
+            let toks = stream s ?k_ssl words in
+            let wire = encode_tokens toks in
+            let batch_evs = Detect.process_batch d_batch toks in
+            let stream_evs = ref [] in
+            let n =
+              Detect.process_stream d_stream wire ~f:(fun ev ~embed_pos ->
+                  stream_evs := (ev, embed_pos) :: !stream_evs)
+            in
+            let stream_evs = List.rev !stream_evs in
+            n = List.length words
+            && List.length batch_evs = List.length stream_evs
+            && List.for_all2
+              (fun b (sv, embed_pos) ->
+                 b.Detect.kw_id = sv.Detect.kw_id
+                 && b.Detect.offset = sv.Detect.offset
+                 && b.Detect.salt = sv.Detect.salt
+                 && (mode = Exact) = (embed_pos < 0))
+              batch_evs stream_evs));
+    Alcotest.test_case "embed_pos locates the matching record's embed" `Quick (fun () ->
+        let d = mk_detect ~mode:Probable [ "attack" ] in
+        let s = mk_sender ~mode:Probable () in
+        let k_ssl = String.make 16 'Z' in
+        let toks = stream s ~k_ssl [ "benign"; "attack" ] in
+        let wire = encode_tokens toks in
+        let hits = ref [] in
+        ignore
+          (Detect.process_stream d wire ~f:(fun ev ~embed_pos ->
+               hits := (ev, String.sub wire embed_pos 16) :: !hits)
+            : int);
+        match !hits with
+        | [ (ev, embed) ] ->
+          Alcotest.(check string) "k_ssl via streamed embed" k_ssl
+            (Detect.recover_key d ~event:ev ~embed)
+        | l -> Alcotest.fail (Printf.sprintf "expected 1 hit, got %d" (List.length l)));
+  ]
+
+let () =
+  Alcotest.run "detect"
+    [ ("avl", avl_props); ("engine", detect_tests); ("streaming", stream_tests) ]

@@ -116,4 +116,80 @@ let security_tests =
             && List.for_all (fun e -> e.cipher >= 0 && e.cipher < 1 lsl 40) out));
   ]
 
-let () = Alcotest.run "dpienc" [ ("dpienc", unit_tests); ("security", security_tests) ]
+(* ---------- wire format: round trip, streaming decode, truncation ---------- *)
+
+let arb_contents =
+  QCheck.(list_of_size (QCheck.Gen.int_range 1 12) (string_of_size (QCheck.Gen.int_range 1 8)))
+
+let encrypt_stream mode contents =
+  let s = sender_create mode key ~salt0:0 in
+  let k_ssl = if mode = Probable then Some (String.make 16 'K') else None in
+  sender_encrypt s ?k_ssl (mk_tokens (List.map t8 contents))
+
+let wire_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"encode/decode round trip (both modes)" ~count:100
+         arb_contents
+         (fun contents ->
+            List.for_all
+              (fun mode ->
+                 let toks = encrypt_stream mode contents in
+                 let decoded = decode_tokens (encode_tokens toks) in
+                 List.length toks = List.length decoded
+                 && List.for_all2
+                   (fun a b ->
+                      a.cipher = b.cipher && a.offset = b.offset && a.embed = b.embed)
+                   toks decoded)
+              [ Exact; Probable ]));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"decode_iter agrees with decode_tokens" ~count:100
+         arb_contents
+         (fun contents ->
+            List.for_all
+              (fun mode ->
+                 let wire = encode_tokens (encrypt_stream mode contents) in
+                 let via_iter = ref [] in
+                 decode_iter wire ~f:(fun ~cipher ~offset ~embed_pos ->
+                     let embed =
+                       if embed_pos < 0 then None else Some (String.sub wire embed_pos 16)
+                     in
+                     via_iter := { cipher; offset; embed } :: !via_iter);
+                 let via_iter = List.rev !via_iter in
+                 let via_list = decode_tokens wire in
+                 List.length via_iter = List.length via_list
+                 && wire_token_count wire = List.length via_list
+                 && List.for_all2
+                   (fun a b ->
+                      a.cipher = b.cipher && a.offset = b.offset && a.embed = b.embed)
+                   via_iter via_list)
+              [ Exact; Probable ]));
+    Alcotest.test_case "record sizes match the wire" `Quick (fun () ->
+        Alcotest.(check int) "exact" exact_record_bytes
+          (String.length (encode_tokens (encrypt_stream Exact [ "a" ])));
+        Alcotest.(check int) "probable" probable_record_bytes
+          (String.length (encode_tokens (encrypt_stream Probable [ "a" ]))));
+    Alcotest.test_case "truncation rejected at every byte boundary" `Quick (fun () ->
+        (* one full record then a partial one, cut at every possible point:
+           the decoder must raise, never return a short read or crash *)
+        List.iter
+          (fun mode ->
+             let wire = encode_tokens (encrypt_stream mode [ "a"; "b" ]) in
+             let record = String.length wire / 2 in
+             for cut = 1 to String.length wire - 1 do
+               if cut mod record <> 0 then begin
+                 let truncated = String.sub wire 0 cut in
+                 match decode_tokens truncated with
+                 | _ -> Alcotest.failf "decode accepted a %d-byte cut" cut
+                 | exception Invalid_argument msg ->
+                   Alcotest.(check bool)
+                     (Printf.sprintf "cut %d names the decoder" cut)
+                     true
+                     (String.length msg >= 19 && String.sub msg 0 19 = "Dpienc.decode_token")
+               end
+             done)
+          [ Exact; Probable ]);
+  ]
+
+let () =
+  Alcotest.run "dpienc"
+    [ ("dpienc", unit_tests); ("security", security_tests); ("wire", wire_tests) ]

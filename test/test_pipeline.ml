@@ -1,0 +1,132 @@
+(* Differential test for the token pipeline: the streaming path
+   (sender_encrypt_into -> decode_iter -> process_stream) must be
+   observationally identical to the legacy list path
+   (tokenize -> sender_encrypt -> encode_tokens -> decode_tokens ->
+   process_batch): byte-identical wire output and identical match events,
+   in both Exact and Probable modes, under both tokenizers. *)
+
+open Bbx_dpienc.Dpienc
+open Bbx_tokenizer.Tokenizer
+
+let key = key_of_secret "pipeline-diff-k"
+
+(* Payloads that exercise both tokenizers: random printable text with an
+   attack keyword planted on a delimiter boundary, so both the window and
+   the delimiter tokenizer emit its chunks. *)
+let planted = "attackers"
+
+let arb_payload =
+  QCheck.make ~print:Fun.id
+    QCheck.Gen.(
+      let* left = string_size ~gen:(char_range 'a' 'z') (int_range 0 60) in
+      let* right = string_size ~gen:(oneofl [ 'a'; 'b'; ' '; '/'; '.'; '=' ]) (int_range 0 60) in
+      return (left ^ " " ^ planted ^ " " ^ right))
+
+let tokenize = function
+  | Window -> window
+  | Delimiter { short_units } -> delimiter ~short_units
+
+let mk_detect mode =
+  Bbx_detect.Detect.create ~mode ~salt0:0
+    (Array.of_list
+       (List.map (fun (c, _) -> token_enc key c) (keyword_chunks planted)))
+
+let same_events mode batch stream =
+  List.length batch = List.length stream
+  && List.for_all2
+    (fun b (s, embed_pos) ->
+       b.Bbx_detect.Detect.kw_id = s.Bbx_detect.Detect.kw_id
+       && b.Bbx_detect.Detect.offset = s.Bbx_detect.Detect.offset
+       && b.Bbx_detect.Detect.salt = s.Bbx_detect.Detect.salt
+       && (mode = Exact) = (embed_pos < 0))
+    batch stream
+
+(* One sender/detector pair per path; [packets] flow through both so the
+   differential also covers counter-table state carried across packets. *)
+let run_both mode tokenization packets =
+  let k_ssl = if mode = Probable then Some (String.make 16 'L') else None in
+  let s_legacy = sender_create mode key ~salt0:0 in
+  let s_stream = sender_create mode key ~salt0:0 in
+  let d_legacy = mk_detect mode and d_stream = mk_detect mode in
+  let buf = Buffer.create 1024 in
+  List.for_all
+    (fun payload ->
+       let wire_legacy =
+         encode_tokens (sender_encrypt s_legacy ?k_ssl (tokenize tokenization payload))
+       in
+       Buffer.clear buf;
+       let n =
+         sender_encrypt_into s_stream ?k_ssl ~tokenization payload buf
+       in
+       let wire_stream = Buffer.contents buf in
+       let batch_evs =
+         Bbx_detect.Detect.process_batch d_legacy (decode_tokens wire_legacy)
+       in
+       let stream_evs = ref [] in
+       let n' =
+         Bbx_detect.Detect.process_stream d_stream wire_stream
+           ~f:(fun ev ~embed_pos -> stream_evs := (ev, embed_pos) :: !stream_evs)
+       in
+       String.equal wire_legacy wire_stream
+       && n = n'
+       && n = wire_token_count wire_stream
+       && batch_evs <> []  (* the planted keyword must actually fire *)
+       && same_events mode batch_evs (List.rev !stream_evs))
+    packets
+
+let diff_tests =
+  let prop name mode tokenization =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name ~count:60
+         QCheck.(pair arb_payload arb_payload)
+         (fun (p1, p2) -> run_both mode tokenization [ p1; p2 ]))
+  in
+  [ prop "exact + window" Exact Window;
+    prop "exact + delimiter" Exact (Delimiter { short_units = false });
+    prop "exact + delimiter w/ short units" Exact (Delimiter { short_units = true });
+    prop "probable + window" Probable Window;
+    prop "probable + delimiter" Probable (Delimiter { short_units = false });
+  ]
+
+(* Engine-level differential on a generated ruleset: feeding the wire
+   stream must produce the same keyword hits and verdicts as feeding the
+   token list. *)
+let engine_tests =
+  [ Alcotest.test_case "process_wire equals process on an ET ruleset" `Quick (fun () ->
+        let rules =
+          List.filter
+            (fun r -> r.Bbx_rules.Rule.pcre = None)
+            (Bbx_rules.Datasets.generate Bbx_rules.Datasets.Emerging_threats ~n:80)
+        in
+        let enc_chunk = token_enc key in
+        let kw =
+          match List.concat_map Bbx_rules.Rule.keywords rules with
+          | kw :: _ -> kw
+          | [] -> Alcotest.fail "ruleset has no keywords"
+        in
+        let payload = "GET /index.html?q=" ^ kw ^ " HTTP/1.1\r\nHost: a.example\r\n\r\n" in
+        let e_list = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk in
+        let e_wire = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk in
+        let s1 = sender_create Exact key ~salt0:0 in
+        let s2 = sender_create Exact key ~salt0:0 in
+        Bbx_mbox.Engine.process e_list (sender_encrypt s1 (delimiter payload));
+        let buf = Buffer.create 1024 in
+        let n =
+          sender_encrypt_into s2
+            ~tokenization:(Delimiter { short_units = false }) payload buf
+        in
+        Alcotest.(check int) "token count" (delimiter_count payload)
+          (Bbx_mbox.Engine.process_wire e_wire (Buffer.contents buf));
+        Alcotest.(check int) "same count both paths" n (delimiter_count payload);
+        Alcotest.(check (list (pair string int))) "keyword hits"
+          (Bbx_mbox.Engine.keyword_hits e_list)
+          (Bbx_mbox.Engine.keyword_hits e_wire);
+        let idxs e =
+          List.map (fun v -> v.Bbx_mbox.Engine.rule_idx) (Bbx_mbox.Engine.verdicts e)
+        in
+        Alcotest.(check (list int)) "verdicts" (idxs e_list) (idxs e_wire));
+  ]
+
+let () =
+  Alcotest.run "pipeline"
+    [ ("differential", diff_tests); ("engine", engine_tests) ]

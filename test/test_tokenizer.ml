@@ -136,10 +136,49 @@ let count_tests =
          (fun s -> delimiter_count s <= window_count s + String.length s / token_len));
   ]
 
+(* The list API is a shim over the streaming folds; these properties pin
+   the two views together: every fold visit, materialised through
+   [slice_token], must reproduce the list tokens in emission order. *)
+let streaming_tests =
+  let collect fold s =
+    List.rev (fold s ~init:[] ~f:(fun acc ~off ~len -> slice_token s ~off ~len :: acc))
+  in
+  let same_tokens a b =
+    List.length a = List.length b
+    && List.for_all2 (fun x y -> x.content = y.content && x.offset = y.offset) a b
+  in
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fold_window agrees with window" ~count:200
+         QCheck.(string_of_size (QCheck.Gen.int_range 0 150))
+         (fun s -> same_tokens (collect fold_window s) (window s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fold_delimiter agrees with delimiter" ~count:200
+         QCheck.(string_of_size (QCheck.Gen.int_range 0 150))
+         (fun s ->
+            same_tokens (collect (fun s -> fold_delimiter s) s) (delimiter s)
+            && same_tokens
+                 (collect (fold_delimiter ~short_units:true) s)
+                 (delimiter ~short_units:true s)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fold visit counts equal the count API" ~count:200
+         QCheck.(string_of_size (QCheck.Gen.int_range 0 150))
+         (fun s ->
+            let visits fold s = fold s ~init:0 ~f:(fun n ~off:_ ~len:_ -> n + 1) in
+            visits fold_window s = window_count s
+            && visits (fun s -> fold_delimiter s) s = delimiter_count s
+            && visits (fold_delimiter ~short_units:true) s
+               = delimiter_count ~short_units:true s));
+    Alcotest.test_case "slice_token pads short slices" `Quick (fun () ->
+        let t = slice_token "run cmd now" ~off:4 ~len:3 in
+        Alcotest.(check string) "padded" (pad_short "cmd") t.content;
+        Alcotest.(check int) "offset" 4 t.offset);
+  ]
+
 let () =
   Alcotest.run "tokenizer"
     [ ("window", window_tests);
       ("keyword-chunks", keyword_tests);
       ("delimiter", delimiter_tests);
       ("counts", count_tests);
+      ("streaming", streaming_tests);
     ]
