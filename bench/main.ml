@@ -2,9 +2,14 @@
    paper's evaluation (§7).  See DESIGN.md §3 for the experiment index and
    EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: dune exec bench/main.exe [experiment ...] [--smoke]
+   Usage: dune exec bench/main.exe [experiment ...] [--smoke] [--metrics FILE]
    Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
-                setup ablation pipeline all (default: all) *)
+                setup ablation pipeline obs-overhead all (default: all)
+
+   After the requested experiments run, the full bbx_obs metric registry is
+   written to BENCH_obs.json (override with --metrics FILE) so every bench
+   run leaves a machine-readable snapshot of where tokens, bytes and time
+   went — the perf trajectory is self-recording. *)
 
 let experiments =
   [ ("table1", "Table 1: protocol coverage per ruleset", Table1.run);
@@ -18,15 +23,19 @@ let experiments =
     ("setup", "Sec 7.2.2: connection setup scaling with ruleset size", Setup_bench.run);
     ("ablation", "Ablations: tree vs scan, DPIEnc vs deterministic, tokenizers, OT", Ablation.run);
     ("pipeline", "Token pipeline: legacy list path vs streaming path", Pipeline.run);
+    ("obs-overhead", "Observability: instrumented vs uninstrumented hot path (<=5% gate)", Obs_overhead.run);
   ]
 
 let () =
-  let args =
-    (* flags like --smoke are read by the experiments themselves *)
-    List.filter
-      (fun a -> String.length a = 0 || a.[0] <> '-')
-      (List.tl (Array.to_list Sys.argv))
+  (* flags like --smoke are read by the experiments themselves;
+     --metrics takes a value, which must not be mistaken for a name *)
+  let rec parse names metrics = function
+    | [] -> (List.rev names, metrics)
+    | "--metrics" :: path :: rest -> parse names (Some path) rest
+    | a :: rest when String.length a > 0 && a.[0] = '-' -> parse names metrics rest
+    | a :: rest -> parse (a :: names) metrics rest
   in
+  let args, metrics_path = parse [] None (List.tl (Array.to_list Sys.argv)) in
   let requested =
     match args with
     | [] | [ "all" ] -> List.map (fun (n, _, _) -> n) experiments
@@ -44,4 +53,7 @@ let () =
          Printf.eprintf "unknown experiment %S; available: %s all\n" name
            (String.concat " " (List.map (fun (n, _, _) -> n) experiments));
          exit 2)
-    requested
+    requested;
+  let path = Option.value metrics_path ~default:"BENCH_obs.json" in
+  Bbx_obs.Obs.save ~path;
+  Printf.printf "\nmetric snapshot written to %s\n%!" path

@@ -1,0 +1,105 @@
+(* Observability-overhead gate: the streaming pipeline (tokenize ->
+   DPIEnc -> wire -> decode -> detect) timed with instrumentation enabled
+   vs disabled.  bbx_obs promises a near-zero hot path (one flag load and
+   branch per bump); this experiment enforces it — enabling metrics may
+   cost at most [max_overhead] of throughput, or the bench exits 1.
+   Observability that taxes the hot path is caught by the harness, not by
+   a reviewer.
+
+   Timing uses interleaved rounds and takes the best (minimum) time per
+   configuration, so one background hiccup cannot fail the gate; a
+   measurement that still lands over budget is re-taken up to
+   [max_attempts] times before failing, since a genuine instrumentation
+   regression is systematic and fails every attempt while scheduler
+   noise does not survive a repeat. *)
+
+open Bbx_crypto
+open Bbx_dpienc
+open Bbx_rules
+
+module Obs = Bbx_obs.Obs
+
+let packet_bytes = 1500
+let max_overhead = 0.05
+
+let run () =
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  Bench_util.section
+    (if smoke then "Observability overhead (smoke)" else "Observability overhead: obs on vs off");
+  let packet =
+    let html = Bbx_net.Page.gen_html (Drbg.create "obs-overhead") ~bytes:(2 * packet_bytes) in
+    String.sub html 0 packet_bytes
+  in
+  let n_rules = if smoke then 50 else 1000 in
+  let rules = Datasets.generate Datasets.Emerging_threats ~n:n_rules in
+  let chunks = Bbx_mbox.Engine.distinct_chunks rules in
+  let dpi_key = Dpienc.key_of_secret "obs-overhead-k" in
+  let encs = Array.map (Dpienc.token_enc dpi_key) chunks in
+  let tokens = Bbx_tokenizer.Tokenizer.window_count packet in
+  Printf.printf "  workload: %d-byte packet, window tokenization (%d tokens), %d chunks\n"
+    packet_bytes tokens (Array.length chunks);
+
+  let sender = Dpienc.sender_create Dpienc.Exact dpi_key ~salt0:0 in
+  let detect = Bbx_detect.Detect.create ~mode:Dpienc.Exact ~salt0:0 encs in
+  let buf = Buffer.create (Dpienc.exact_record_bytes * tokens) in
+  let one_pass () =
+    Buffer.clear buf;
+    ignore (Dpienc.sender_encrypt_into sender ~tokenization:Dpienc.Window packet buf : int);
+    ignore
+      (Bbx_detect.Detect.process_stream detect (Buffer.contents buf)
+         ~f:(fun _ ~embed_pos:_ -> ()) : int)
+  in
+
+  let was_enabled = Obs.enabled () in
+  let timed enabled min_time =
+    Obs.set_enabled enabled;
+    let t = Bench_util.time_per ~min_time one_pass in
+    Obs.set_enabled was_enabled;
+    t
+  in
+  (* interleaved rounds, best-of per configuration; the order within a
+     round alternates so clock/cache drift cancels instead of biasing one
+     configuration *)
+  let rounds = if smoke then 4 else 6 in
+  let min_time = if smoke then 0.15 else 0.5 in
+  let measure () =
+    let best_off = ref infinity and best_on = ref infinity in
+    for round = 1 to rounds do
+      let on_first = round land 1 = 0 in
+      let a = timed on_first min_time in
+      let b = timed (not on_first) min_time in
+      let t_on, t_off = if on_first then (a, b) else (b, a) in
+      best_on := min !best_on t_on;
+      best_off := min !best_off t_off
+    done;
+    (!best_on, !best_off)
+  in
+  let tps s = float_of_int tokens /. s in
+  let max_attempts = 3 in
+  let rec attempt n =
+    let best_on, best_off = measure () in
+    let overhead = (best_on -. best_off) /. best_off in
+    Printf.printf "  obs off: %8.0f tokens/s  (%s/packet)\n" (tps best_off)
+      (Bench_util.fmt_seconds best_off);
+    Printf.printf "  obs on:  %8.0f tokens/s  (%s/packet)\n" (tps best_on)
+      (Bench_util.fmt_seconds best_on);
+    Printf.printf "  overhead: %+.2f%% throughput\n" (100.0 *. overhead);
+    if overhead > max_overhead && n < max_attempts then begin
+      Printf.printf "  over budget; re-measuring (attempt %d/%d)\n" (n + 1) max_attempts;
+      attempt (n + 1)
+    end
+    else overhead
+  in
+  (* one untimed pass with instrumentation on, so first-touch effects
+     (code paths, caches) never land inside a timed window *)
+  Obs.set_enabled true;
+  one_pass ();
+  Obs.set_enabled was_enabled;
+  let overhead = attempt 1 in
+  Bench_util.note "acceptance: instrumentation may cost at most %.0f%% throughput"
+    (100.0 *. max_overhead);
+  if overhead > max_overhead then begin
+    Printf.printf "  FAIL: observability overhead exceeds the %.0f%% budget\n"
+      (100.0 *. max_overhead);
+    exit 1
+  end

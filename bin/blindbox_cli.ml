@@ -4,10 +4,28 @@
      classify   parse a Snort-dialect ruleset and report Protocol I/II/III coverage
      generate   emit a synthetic ruleset with a named dataset's statistics
      tokenize   show the tokens the sender would emit for a payload
-     inspect    run payloads through a full in-process BlindBox connection *)
+     inspect    run payloads through a full in-process BlindBox connection
+     stats      drive a sample trace and render the bbx_obs metric registry
+
+   Every subcommand takes [--metrics FILE] to dump the metric registry on
+   exit (JSONL for .json/.jsonl paths, Prometheus text otherwise). *)
 
 open Cmdliner
 open Bbx_rules
+module Obs = Bbx_obs.Obs
+
+(* [--metrics FILE]: shared by all subcommands; wraps each command's body
+   so the snapshot is written after the run. *)
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the bbx_obs metric snapshot to $(docv) on exit \
+               (JSONL when $(docv) ends in .json/.jsonl, Prometheus text otherwise).")
+
+let with_metrics metrics f =
+  let r = f () in
+  (match metrics with None -> () | Some path -> Obs.save ~path);
+  r
 
 let read_file path =
   let ic = open_in_bin path in
@@ -28,7 +46,8 @@ let read_stdin () =
 (* ---- classify ---- *)
 
 let classify_cmd =
-  let run path =
+  let run path metrics =
+    with_metrics metrics @@ fun () ->
     match Parser.parse_ruleset (read_file path) with
     | exception Parser.Syntax_error msg ->
       Printf.eprintf "parse error: %s\n" msg;
@@ -45,7 +64,7 @@ let classify_cmd =
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"RULES" ~doc:"Snort-dialect rules file.") in
   Cmd.v (Cmd.info "classify" ~doc:"Classify a ruleset into BlindBox protocols")
-    Term.(const run $ path)
+    Term.(const run $ path $ metrics_arg)
 
 (* ---- generate ---- *)
 
@@ -66,7 +85,8 @@ let dataset_conv =
   Arg.conv (parse, fun fmt ds -> Format.pp_print_string fmt (Datasets.name ds))
 
 let generate_cmd =
-  let run ds n seed =
+  let run ds n seed metrics =
+    with_metrics metrics @@ fun () ->
     List.iter (fun r -> print_endline (Rule.to_string r)) (Datasets.generate ~seed ds ~n)
   in
   let ds =
@@ -76,12 +96,13 @@ let generate_cmd =
   let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Number of rules.") in
   let seed = Arg.(value & opt string "blindbox-dataset" & info [ "seed" ] ~doc:"Generator seed.") in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic ruleset with a dataset's statistics")
-    Term.(const run $ ds $ n $ seed)
+    Term.(const run $ ds $ n $ seed $ metrics_arg)
 
 (* ---- tokenize ---- *)
 
 let tokenize_cmd =
-  let run window short_units =
+  let run window short_units metrics =
+    with_metrics metrics @@ fun () ->
     let payload = read_stdin () in
     let toks =
       if window then Bbx_tokenizer.Tokenizer.window payload
@@ -102,12 +123,13 @@ let tokenize_cmd =
   let window = Arg.(value & flag & info [ "window" ] ~doc:"Window-based tokenization (default: delimiter).") in
   let shorts = Arg.(value & flag & info [ "short-units" ] ~doc:"Also emit padded short units.") in
   Cmd.v (Cmd.info "tokenize" ~doc:"Tokenize stdin as the BlindBox sender would")
-    Term.(const run $ window $ shorts)
+    Term.(const run $ window $ shorts $ metrics_arg)
 
 (* ---- inspect ---- *)
 
 let inspect_cmd =
-  let run rules_path probable window =
+  let run rules_path probable window metrics =
+    with_metrics metrics @@ fun () ->
     let rules =
       match Parser.parse_ruleset (read_file rules_path) with
       | exception Parser.Syntax_error msg ->
@@ -153,8 +175,78 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
-    Term.(const run $ rules $ probable $ window)
+    Term.(const run $ rules $ probable $ window $ metrics_arg)
+
+(* ---- stats ---- *)
+
+(* Drive a sample trace through a full connection so every pipeline stage
+   (tokenizer, DPIEnc, detect, engine, session) registers activity, then
+   render the registry.  The trace mixes benign HTML-ish lines with
+   payloads carrying actual rule keywords, so hit/match counters are
+   non-zero in both Exact and Probable modes. *)
+let stats_cmd =
+  let run rules_path probable window sends format metrics =
+    with_metrics metrics @@ fun () ->
+    let rules =
+      match rules_path with
+      | Some path ->
+        (match Parser.parse_ruleset (read_file path) with
+         | exception Parser.Syntax_error msg ->
+           Printf.eprintf "parse error: %s\n" msg;
+           exit 1
+         | rules -> rules)
+      | None -> Datasets.generate Datasets.Emerging_threats ~n:50
+    in
+    let open Blindbox in
+    let config =
+      { Session.default_config with
+        Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
+        tokenization = (if window then Session.Window else Session.Delimiter) }
+    in
+    let session, _ = Session.establish ~config ~rules () in
+    (* one keyword per rule woven into otherwise benign traffic *)
+    let keywords =
+      List.filter_map
+        (fun r -> match Rule.keywords r with kw :: _ -> Some kw | [] -> None)
+        rules
+    in
+    let drbg = Bbx_crypto.Drbg.create "blindbox-stats-trace" in
+    for i = 1 to sends do
+      let benign = Bbx_net.Page.gen_html drbg ~bytes:512 in
+      let payload =
+        match keywords with
+        | [] -> benign
+        | kws ->
+          let kw = List.nth kws (i mod List.length kws) in
+          Printf.sprintf "GET /trace-%d?q=%s HTTP/1.1\r\n%s" i kw benign
+      in
+      (try ignore (Session.send session payload : Session.delivery)
+       with Session.Connection_blocked -> ())
+    done;
+    match format with
+    | `Prometheus -> print_string (Obs.render_prometheus ())
+    | `Jsonl -> print_string (Obs.dump_jsonl ())
+  in
+  let rules =
+    Arg.(value & opt (some file) None
+         & info [ "rules" ] ~docv:"RULES"
+           ~doc:"Snort-dialect rules file (default: 50 synthetic Emerging-Threats rules).")
+  in
+  let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
+  let window = Arg.(value & flag & info [ "window" ] ~doc:"Window tokenization.") in
+  let sends =
+    Arg.(value & opt int 20 & info [ "sends" ] ~doc:"Number of payloads in the sample trace.")
+  in
+  let format =
+    Arg.(value
+         & opt (enum [ ("prometheus", `Prometheus); ("jsonl", `Jsonl) ]) `Prometheus
+         & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: prometheus or jsonl.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Drive a sample trace through a BlindBox connection and render the metric registry")
+    Term.(const run $ rules $ probable $ window $ sends $ format $ metrics_arg)
 
 let () =
   let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd; stats_cmd ]))

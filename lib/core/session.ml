@@ -2,6 +2,30 @@ open Bbx_crypto
 open Bbx_dpienc
 open Bbx_tokenizer
 open Bbx_tls
+module Obs = Bbx_obs.Obs
+
+(* Connection-lifecycle spans (wall-clock + GC-allocated bytes) and
+   traffic counters.  Setup spans separate the handshake from rule
+   preparation — under [Garbled] prep the latter is the OT + garbling cost
+   the paper's §7.2.2 plots. *)
+let obs_handshake = Obs.span "bbx_session_handshake"
+let obs_rule_prep = Obs.span "bbx_session_rule_prep"
+let obs_setup = Obs.span "bbx_session_setup"
+let obs_deliver = Obs.span "bbx_session_deliver"
+let obs_sends = Obs.counter "bbx_session_sends_total"
+let obs_payload_bytes = Obs.counter "bbx_session_payload_bytes_total"
+let obs_verdicts = Obs.counter "bbx_session_verdicts_total"
+let obs_blocked = Obs.counter "bbx_session_blocked_total"
+let obs_evasions = Obs.counter "bbx_session_evasions_total"
+let obs_resets = Obs.counter "bbx_session_salt_resets_total"
+
+let obs_payload_size =
+  Obs.histogram "bbx_session_payload_bytes"
+    ~buckets:[| 64; 256; 1024; 1500; 4096; 16384; 65536; 262144 |]
+
+let obs_tokens_per_send =
+  Obs.histogram "bbx_session_tokens_per_send"
+    ~buckets:[| 8; 32; 128; 512; 1024; 4096; 16384 |]
 
 type tokenization = Window | Delimiter
 
@@ -110,16 +134,19 @@ let wire_buf_estimate config payload =
 (* Handshake between the two endpoints; the middlebox observes only the
    public key shares. *)
 let run_handshake seed =
+  Obs.span_enter obs_handshake;
   let st, client_share = Handshake.initiate (Drbg.create (seed ^ "/client")) in
   let keys_r, server_share =
     Handshake.respond (Drbg.create (seed ^ "/server")) ~peer_share:client_share
   in
   let keys = Handshake.complete st ~peer_share:server_share in
   assert (keys = keys_r);
+  Obs.span_exit obs_handshake;
   keys
 
 (* Shared rule preparation used by [establish] and [Duplex.establish]. *)
 let prepare_rules config ?rg keys rules =
+  Obs.time obs_rule_prep @@ fun () ->
   let chunks = Bbx_mbox.Engine.distinct_chunks rules in
   let encs, rule_prep_stats =
     match config.rule_prep with
@@ -141,10 +168,12 @@ let prepare_rules config ?rg keys rules =
   (chunks, encs, rule_prep_stats)
 
 let establish ?(config = default_config) ?(seed = "blindbox-session") ?rg ~rules () =
+  Obs.span_enter obs_setup;
   let t0 = Unix.gettimeofday () in
   let keys = run_handshake seed in
   let chunks, encs, rule_prep_stats = prepare_rules config ?rg keys rules in
   let t = make_session ?rg config keys ~rules ~chunks ~encs ~label:"" in
+  Obs.span_exit obs_setup;
   ( t,
     { chunk_count = Array.length chunks;
       rule_prep_stats;
@@ -243,13 +272,16 @@ let receiver_validate t ~tokenized plaintext forwarded_wire =
     end
     else ""
   in
-  if not (String.equal expected forwarded_wire) then
+  if not (String.equal expected forwarded_wire) then begin
+    Obs.incr obs_evasions;
     raise (Evasion_detected "token stream does not match the decrypted payload")
+  end
 
 let maybe_reset t payload_len =
   t.bytes_since_reset <- t.bytes_since_reset + payload_len;
   if t.config.reset_period > 0 && t.bytes_since_reset >= t.config.reset_period then begin
     t.bytes_since_reset <- 0;
+    Obs.incr obs_resets;
     let new_salt0 = Dpienc.sender_reset t.dpi_sender in
     (* announced to MB and mirrored by the receiver *)
     Bbx_mbox.Engine.reset t.engine ~salt0:new_salt0;
@@ -261,6 +293,7 @@ let blocked t = t.is_blocked
 
 let deliver t ~record ~wire ~token_count =
   if t.is_blocked then raise Connection_blocked;
+  Obs.span_enter obs_deliver;
   (* middlebox: inspect the token stream straight off the wire bytes,
      record the SSL stream, forward both *)
   let _ : int = Bbx_mbox.Engine.process_wire t.engine wire in
@@ -287,8 +320,17 @@ let deliver t ~record ~wire ~token_count =
   if List.exists
       (fun v -> v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
       all
-  then t.is_blocked <- true;
+  then begin
+    if not t.is_blocked then Obs.incr obs_blocked;
+    t.is_blocked <- true
+  end;
   maybe_reset t (String.length plaintext);
+  Obs.incr obs_sends;
+  Obs.add obs_payload_bytes (String.length plaintext);
+  Obs.add obs_verdicts (List.length fresh);
+  Obs.observe obs_payload_size (String.length plaintext);
+  Obs.observe obs_tokens_per_send token_count;
+  Obs.span_exit obs_deliver;
   { plaintext;
     verdicts = fresh;
     record_bytes = String.length record;

@@ -51,6 +51,17 @@ let rec find_opt key = function
   | Node { l; k; v; r; _ } ->
     if key = k then Some v else if key < k then find_opt key l else find_opt key r
 
+(* [find_opt] that also counts nodes visited (= key comparisons) into the
+   caller's preallocated cell — the instrumented lookup of the detection
+   hot path. *)
+let rec find_probe key ~steps = function
+  | Leaf -> None
+  | Node { l; k; v; r; _ } ->
+    steps := !steps + 1;
+    if key = k then Some v
+    else if key < k then find_probe key ~steps l
+    else find_probe key ~steps r
+
 let mem key t = find_opt key t <> None
 
 let rec min_binding = function

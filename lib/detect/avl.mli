@@ -16,6 +16,13 @@ val height : 'a t -> int
 val insert : int -> 'a -> 'a t -> 'a t
 
 val find_opt : int -> 'a t -> 'a option
+
+(** [find_probe k ~steps t] is [find_opt k t], additionally adding the
+    number of nodes visited (key comparisons) to [steps].  The cell is
+    caller-preallocated so the instrumented lookup allocates nothing
+    beyond [find_opt]'s own result. *)
+val find_probe : int -> steps:int ref -> 'a t -> 'a option
+
 val mem : int -> 'a t -> bool
 
 (** [remove k t] is [t] without [k] (unchanged if unbound). *)

@@ -1,5 +1,17 @@
 open Bbx_crypto
 open Bbx_tokenizer
+module Obs = Bbx_obs.Obs
+
+(* Sender-side encryption accounting: payload bytes in, wire bytes out and
+   tokens emitted are added once per [sender_encrypt_into] call; the salt
+   counter table's occupancy and deepest counter are sampled as gauges at
+   the same cadence — never inside the per-token loop. *)
+let obs_bytes_in = Obs.counter "bbx_dpienc_sender_bytes_in_total"
+let obs_wire_bytes = Obs.counter "bbx_dpienc_sender_wire_bytes_total"
+let obs_tokens = Obs.counter "bbx_dpienc_sender_tokens_total"
+let obs_table_entries = Obs.gauge "bbx_dpienc_counter_table_entries"
+let obs_max_count = Obs.gauge "bbx_dpienc_counter_max"
+let obs_resets = Obs.counter "bbx_dpienc_sender_resets_total"
 
 let rs_bits = 40
 let rs_mask = (1 lsl rs_bits) - 1
@@ -148,6 +160,7 @@ let sender_reset s =
   s.salt0 <- s.salt0 + (stride * (s.max_count + 1));
   s.max_count <- 0;
   Counter_tbl.reset s.counters;
+  Obs.incr obs_resets;
   s.salt0
 
 (* ---- wire format ----
@@ -193,14 +206,23 @@ type tokenization = Window | Delimiter of { short_units : bool }
 
 let sender_encrypt_into s ?k_ssl ?(base = 0) ?(tokenization = Window) payload buf =
   let k_ssl = check_k_ssl s k_ssl in
+  let wire0 = Buffer.length buf in
   let f count ~off ~len =
     encrypt_slice_into s ~k_ssl ~src:payload ~off ~len ~stream_off:(base + off) buf;
     count + 1
   in
-  match tokenization with
-  | Window -> Tokenizer.fold_window payload ~init:0 ~f
-  | Delimiter { short_units } ->
-    Tokenizer.fold_delimiter ~short_units payload ~init:0 ~f
+  let count =
+    match tokenization with
+    | Window -> Tokenizer.fold_window payload ~init:0 ~f
+    | Delimiter { short_units } ->
+      Tokenizer.fold_delimiter ~short_units payload ~init:0 ~f
+  in
+  Obs.add obs_bytes_in (String.length payload);
+  Obs.add obs_wire_bytes (Buffer.length buf - wire0);
+  Obs.add obs_tokens count;
+  Obs.set_gauge obs_table_entries (Counter_tbl.length s.counters);
+  Obs.set_gauge obs_max_count s.max_count;
+  count
 
 let encode_tokens toks =
   let per_token =

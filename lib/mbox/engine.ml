@@ -1,6 +1,10 @@
 open Bbx_dpienc
 open Bbx_rules
 open Bbx_tokenizer
+module Obs = Bbx_obs.Obs
+
+let obs_hits = Obs.counter "bbx_engine_keyword_hits_total"
+let obs_recoveries = Obs.counter "bbx_engine_key_recoveries_total"
 
 type verdict = {
   rule_idx : int;
@@ -8,12 +12,22 @@ type verdict = {
   via : [ `Exact_match | `Probable_cause ];
 }
 
+(* Per-chunk hit evidence, kept in two shapes: the offset list (newest
+   first) feeds [keyword_hits]'s ordered report, the hash-set gives
+   [content_candidates] O(1) membership instead of a [List.mem] scan that
+   was quadratic in hit count for multi-chunk content rules. *)
+type hit_set = {
+  mutable offsets : int list;
+  seen : (int, unit) Hashtbl.t;
+}
+
 type t = {
   mode : Dpienc.mode;
   mutable rules : Rule.t array;
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
   detect : Bbx_detect.Detect.t;
-  hits : (int, int list ref) Hashtbl.t;        (* chunk_id -> stream offsets *)
+  hits : (int, hit_set) Hashtbl.t;             (* chunk_id -> stream offsets *)
+  mutable hit_count : int;                     (* monotonic, survives [reset] *)
   mutable recovered : string option;
 }
 
@@ -43,19 +57,28 @@ let create ~mode ~salt0 ~rules ~enc_chunk =
     chunks;
     detect = Bbx_detect.Detect.create ~mode ~salt0 encs;
     hits = Hashtbl.create 256;
+    hit_count = 0;
     recovered = None }
 
 let record_hit t chunk_id offset =
+  t.hit_count <- t.hit_count + 1;
+  Obs.incr obs_hits;
   match Hashtbl.find_opt t.hits chunk_id with
-  | Some l -> l := offset :: !l
-  | None -> Hashtbl.add t.hits chunk_id (ref [ offset ])
+  | Some hs ->
+    hs.offsets <- offset :: hs.offsets;
+    Hashtbl.replace hs.seen offset ()
+  | None ->
+    let hs = { offsets = [ offset ]; seen = Hashtbl.create 16 } in
+    Hashtbl.replace hs.seen offset ();
+    Hashtbl.add t.hits chunk_id hs
 
 let handle_event t ev ~embed =
   record_hit t ev.Bbx_detect.Detect.kw_id ev.Bbx_detect.Detect.offset;
   if t.mode = Dpienc.Probable && t.recovered = None then begin
     match embed with
     | Some embed ->
-      t.recovered <- Some (Bbx_detect.Detect.recover_key t.detect ~event:ev ~embed)
+      t.recovered <- Some (Bbx_detect.Detect.recover_key t.detect ~event:ev ~embed);
+      Obs.incr obs_recoveries
     | None -> ()
   end
 
@@ -76,38 +99,52 @@ let process_wire t wire =
 
 let keyword_hits t =
   Hashtbl.fold
-    (fun chunk_id offsets acc ->
-       List.fold_left (fun acc off -> (t.chunks.(chunk_id), off) :: acc) acc !offsets)
+    (fun chunk_id hs acc ->
+       List.fold_left (fun acc off -> (t.chunks.(chunk_id), off) :: acc) acc hs.offsets)
     t.hits []
   |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+(* Monotonic count of keyword hits ever recorded (not reset by [reset]):
+   callers track deltas across deliveries without folding the history. *)
+let hit_count t = t.hit_count
 
 let recovered_key t = t.recovered
 
 (* Candidate start positions for a content pattern: stream offsets where
-   every one of its chunks matched at the right relative position. *)
+   every one of its chunks matched at the right relative position.
+   Membership tests go through each chunk's offset hash-set, so a rule
+   with [r] extra chunks costs O(starts * r) lookups, not a scan of the
+   full hit history per start. *)
 let content_candidates t =
   let chunk_id =
     let tbl = Hashtbl.create (Array.length t.chunks) in
     Array.iteri (fun i c -> Hashtbl.replace tbl c i) t.chunks;
     fun c -> Hashtbl.find_opt tbl c
   in
-  let offsets_of chunk =
+  let hit_set chunk =
     match chunk_id chunk with
-    | None -> []
-    | Some id ->
-      (match Hashtbl.find_opt t.hits id with Some l -> !l | None -> [])
+    | None -> None
+    | Some id -> Hashtbl.find_opt t.hits id
+  in
+  let hit_at chunk off =
+    match hit_set chunk with
+    | None -> false
+    | Some hs -> Hashtbl.mem hs.seen off
   in
   fun (c : Rule.content) ->
     match Tokenizer.keyword_chunks c.Rule.pattern with
     | [] -> []
     | (first_chunk, first_rel) :: rest ->
-      let starts = List.map (fun off -> off - first_rel) (offsets_of first_chunk) in
-      let starts = List.sort_uniq compare starts in
-      List.filter
-        (fun q ->
-           q >= 0
-           && List.for_all (fun (chunk, rel) -> List.mem (q + rel) (offsets_of chunk)) rest)
-        starts
+      (match hit_set first_chunk with
+       | None -> []
+       | Some hs ->
+         let starts = List.map (fun off -> off - first_rel) hs.offsets in
+         let starts = List.sort_uniq compare starts in
+         List.filter
+           (fun q ->
+              q >= 0
+              && List.for_all (fun (chunk, rel) -> hit_at chunk (q + rel)) rest)
+           starts)
 
 let verdicts ?plaintext t =
   let candidates = content_candidates t in

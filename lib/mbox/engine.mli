@@ -53,6 +53,12 @@ val process_wire : t -> string -> int
     (the quantity behind the paper's 97.1% keyword-recall number). *)
 val keyword_hits : t -> (string * int) list
 
+(** [hit_count t] — monotonic count of keyword hits ever recorded on this
+    engine, in O(1).  Unlike {!keyword_hits} it is {e not} cleared by
+    {!reset}, so callers can account per-delivery deltas without folding
+    the hit history. *)
+val hit_count : t -> int
+
 (** [recovered_key t] — [Some k_ssl] once any keyword of a Protocol III
     rule has matched in [Probable] mode. *)
 val recovered_key : t -> string option

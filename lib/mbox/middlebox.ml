@@ -1,3 +1,15 @@
+module Obs = Bbx_obs.Obs
+
+(* Aggregate middlebox accounting, mirrored into the process-wide obs
+   registry so `blindbox stats` / bench snapshots see middlebox activity
+   without holding a reference to the box. *)
+let obs_tokens = Obs.counter "bbx_mbox_tokens_total"
+let obs_hits = Obs.counter "bbx_mbox_keyword_hits_total"
+let obs_alerts = Obs.counter "bbx_mbox_alerts_total"
+let obs_blocked = Obs.counter "bbx_mbox_blocked_total"
+let obs_deliveries = Obs.counter "bbx_mbox_deliveries_total"
+let obs_connections = Obs.gauge "bbx_mbox_connections"
+
 type conn_id = int
 
 type stats = {
@@ -8,10 +20,19 @@ type stats = {
   blocked : int;
 }
 
+type flow_stats = {
+  flow_tokens : int;
+  flow_hits : int;
+  flow_verdicts : int;
+  flow_blocked : bool;
+}
+
 type conn = {
   engine : Engine.t;
   mutable conn_blocked : bool;
   mutable reported : int list;
+  mutable conn_tokens : int;
+  mutable conn_verdicts : int;
 }
 
 type t = {
@@ -32,7 +53,9 @@ let register t ~conn_id ~salt0 ~enc_chunk =
   if Hashtbl.mem t.conns conn_id then
     invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
   let engine = Engine.create ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk in
-  Hashtbl.add t.conns conn_id { engine; conn_blocked = false; reported = [] }
+  Hashtbl.add t.conns conn_id
+    { engine; conn_blocked = false; reported = []; conn_tokens = 0; conn_verdicts = 0 };
+  Obs.set_gauge obs_connections (Hashtbl.length t.conns)
 
 let get t conn_id =
   match Hashtbl.find_opt t.conns conn_id with
@@ -40,25 +63,38 @@ let get t conn_id =
   | None -> invalid_arg (Printf.sprintf "Middlebox: unknown connection %d" conn_id)
 
 (* [inject] runs the engine over this delivery's tokens and returns how
-   many there were — the list and wire entry points only differ here. *)
+   many there were — the list and wire entry points only differ here.
+   Keyword-hit accounting uses [Engine.hit_count] deltas: the old
+   [List.length (Engine.keyword_hits ...)] bracketing folded and sorted
+   the whole hit history twice per delivery, turning long-lived noisy
+   connections O(hits^2). *)
 let process_common t ~conn_id inject =
   let c = get t conn_id in
   if c.conn_blocked then
     invalid_arg (Printf.sprintf "Middlebox.process: connection %d is blocked" conn_id);
-  let hits_before = List.length (Engine.keyword_hits c.engine) in
-  t.total_tokens <- t.total_tokens + inject c.engine;
-  t.total_keyword_hits <-
-    t.total_keyword_hits + List.length (Engine.keyword_hits c.engine) - hits_before;
+  let hits_before = Engine.hit_count c.engine in
+  let tokens = inject c.engine in
+  t.total_tokens <- t.total_tokens + tokens;
+  c.conn_tokens <- c.conn_tokens + tokens;
+  let new_hits = Engine.hit_count c.engine - hits_before in
+  t.total_keyword_hits <- t.total_keyword_hits + new_hits;
   let all = Engine.verdicts c.engine in
   let fresh = List.filter (fun v -> not (List.mem v.Engine.rule_idx c.reported)) all in
   c.reported <- List.map (fun v -> v.Engine.rule_idx) fresh @ c.reported;
-  t.alerts <- t.alerts + List.length fresh;
+  let n_fresh = List.length fresh in
+  t.alerts <- t.alerts + n_fresh;
+  c.conn_verdicts <- c.conn_verdicts + n_fresh;
+  Obs.incr obs_deliveries;
+  Obs.add obs_tokens tokens;
+  Obs.add obs_hits new_hits;
+  Obs.add obs_alerts n_fresh;
   if List.exists
       (fun v -> v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
       fresh
   then begin
     c.conn_blocked <- true;
-    t.blocked_count <- t.blocked_count + 1
+    t.blocked_count <- t.blocked_count + 1;
+    Obs.incr obs_blocked
   end;
   fresh
 
@@ -72,7 +108,9 @@ let process_wire t ~conn_id wire =
 
 let is_blocked t ~conn_id = (get t conn_id).conn_blocked
 
-let unregister t ~conn_id = Hashtbl.remove t.conns conn_id
+let unregister t ~conn_id =
+  Hashtbl.remove t.conns conn_id;
+  Obs.set_gauge obs_connections (Hashtbl.length t.conns)
 
 let engine t ~conn_id = (get t conn_id).engine
 
@@ -82,3 +120,14 @@ let stats t =
     total_keyword_hits = t.total_keyword_hits;
     alerts = t.alerts;
     blocked = t.blocked_count }
+
+let flow_stats_of c =
+  { flow_tokens = c.conn_tokens;
+    flow_hits = Engine.hit_count c.engine;
+    flow_verdicts = c.conn_verdicts;
+    flow_blocked = c.conn_blocked }
+
+let flow_stats t ~conn_id = flow_stats_of (get t conn_id)
+
+let fold_flows t ~init ~f =
+  Hashtbl.fold (fun conn_id c acc -> f acc conn_id (flow_stats_of c)) t.conns init

@@ -16,6 +16,15 @@ type stats = {
   blocked : int;            (** connections torn down by drop rules *)
 }
 
+(** Per-connection flow statistics (what a NetFlow-style export would
+    carry for one monitored connection). *)
+type flow_stats = {
+  flow_tokens : int;        (** encrypted tokens inspected on this flow *)
+  flow_hits : int;          (** keyword hits (monotonic, survives engine resets) *)
+  flow_verdicts : int;      (** fresh rule verdicts reported *)
+  flow_blocked : bool;
+}
+
 type t
 
 (** [create ~mode ~rules] — the ruleset is fixed for the box's lifetime
@@ -49,3 +58,11 @@ val unregister : t -> conn_id:conn_id -> unit
 val engine : t -> conn_id:conn_id -> Engine.t
 
 val stats : t -> stats
+
+(** [flow_stats t ~conn_id] — this connection's flow counters.  Raises
+    [Invalid_argument] on unknown ids, like {!process}. *)
+val flow_stats : t -> conn_id:conn_id -> flow_stats
+
+(** [fold_flows t ~init ~f] folds over every registered connection's flow
+    stats (iteration order unspecified). *)
+val fold_flows : t -> init:'a -> f:('a -> conn_id -> flow_stats -> 'a) -> 'a

@@ -1,0 +1,278 @@
+(* Process-wide metric registry.  Slots are plain mutable records the
+   instrumented modules obtain once (at init or connection setup) and bump
+   directly; the registry only exists for registration-by-name and for
+   rendering.  The hot path is [if !on then slot.value <- slot.value + n]. *)
+
+let on =
+  ref
+    (match Sys.getenv_opt "BLINDBOX_OBS" with
+     | Some ("0" | "false" | "off") -> false
+     | _ -> true)
+
+let set_enabled b = on := b
+let enabled () = !on
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : int }
+
+type histogram = {
+  h_name : string;
+  bounds : int array;          (* ascending upper bounds; +Inf implicit *)
+  counts : int array;          (* length = Array.length bounds + 1 *)
+  mutable h_sum : int;
+  mutable h_count : int;
+}
+
+type span = {
+  s_name : string;
+  mutable s_count : int;
+  mutable s_seconds : float;
+  mutable s_alloc : float;     (* GC-allocated bytes across all entries *)
+  mutable open_at : float;     (* < 0.0 when the span is closed *)
+  mutable open_alloc : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Span of span
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name mk unwrap =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+    (match unwrap m with
+     | Some slot -> slot
+     | None -> invalid_arg (Printf.sprintf "Obs: %S registered with another type" name))
+  | None ->
+    let slot = mk () in
+    slot
+
+let counter name =
+  register name
+    (fun () ->
+       let c = { c_name = name; c_value = 0 } in
+       Hashtbl.add registry name (Counter c);
+       c)
+    (function Counter c -> Some c | _ -> None)
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  register name
+    (fun () ->
+       let g = { g_name = name; g_value = 0 } in
+       Hashtbl.add registry name (Gauge g);
+       g)
+    (function Gauge g -> Some g | _ -> None)
+
+let set_gauge g v = if !on then g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram name ~buckets =
+  register name
+    (fun () ->
+       let bounds = Array.copy buckets in
+       Array.iteri
+         (fun i b -> if i > 0 && b <= bounds.(i - 1) then
+             invalid_arg "Obs.histogram: buckets must be strictly ascending")
+         bounds;
+       let h =
+         { h_name = name; bounds; counts = Array.make (Array.length bounds + 1) 0;
+           h_sum = 0; h_count = 0 }
+       in
+       Hashtbl.add registry name (Histogram h);
+       h)
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  if !on then begin
+    let n = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < n && h.bounds.(!i) < v do Stdlib.incr i done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.h_sum <- h.h_sum + v;
+    h.h_count <- h.h_count + 1
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let span name =
+  register name
+    (fun () ->
+       let s =
+         { s_name = name; s_count = 0; s_seconds = 0.0; s_alloc = 0.0;
+           open_at = -1.0; open_alloc = 0.0 }
+       in
+       Hashtbl.add registry name (Span s);
+       s)
+    (function Span s -> Some s | _ -> None)
+
+let span_enter s =
+  if !on then begin
+    s.open_alloc <- Gc.allocated_bytes ();
+    s.open_at <- Unix.gettimeofday ()
+  end
+
+let span_exit s =
+  if !on && s.open_at >= 0.0 then begin
+    s.s_seconds <- s.s_seconds +. (Unix.gettimeofday () -. s.open_at);
+    s.s_alloc <- s.s_alloc +. (Gc.allocated_bytes () -. s.open_alloc);
+    s.s_count <- s.s_count + 1;
+    s.open_at <- -1.0
+  end
+
+let time s f =
+  span_enter s;
+  match f () with
+  | x -> span_exit s; x
+  | exception e -> span_exit s; raise e
+
+let span_count s = s.s_count
+let span_seconds s = s.s_seconds
+let span_alloc_bytes s = s.s_alloc
+
+(* ---- exposition ---- *)
+
+(* A name may carry baked-in labels ([base{k="v"}]); Prometheus suffixes
+   and TYPE headers apply to the base. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, "")
+  | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+
+let sorted_metrics () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fmt_float f =
+  (* shortest representation that round-trips enough precision for metrics *)
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* merge a label suffix with extra labels: base{a="1"} + [le="5"] *)
+let with_label labels extra =
+  if labels = "" then Printf.sprintf "{%s}" extra
+  else Printf.sprintf "%s,%s}" (String.sub labels 0 (String.length labels - 1)) extra
+
+let render_prometheus () =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 32 in
+  let type_header base kind =
+    if not (Hashtbl.mem typed (base, kind)) then begin
+      Hashtbl.add typed (base, kind) ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
+    end
+  in
+  List.iter
+    (fun (name, m) ->
+       let base, labels = split_labels name in
+       match m with
+       | Counter c ->
+         type_header base "counter";
+         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels c.c_value)
+       | Gauge g ->
+         type_header base "gauge";
+         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels g.g_value)
+       | Histogram h ->
+         type_header base "histogram";
+         let cum = ref 0 in
+         Array.iteri
+           (fun i bound ->
+              cum := !cum + h.counts.(i);
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" base
+                   (with_label labels (Printf.sprintf "le=\"%d\"" bound)) !cum))
+           h.bounds;
+         cum := !cum + h.counts.(Array.length h.bounds);
+         Buffer.add_string buf
+           (Printf.sprintf "%s_bucket%s %d\n" base (with_label labels "le=\"+Inf\"") !cum);
+         Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" base labels h.h_sum);
+         Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" base labels h.h_count)
+       | Span s ->
+         type_header (base ^ "_seconds_sum") "counter";
+         Buffer.add_string buf
+           (Printf.sprintf "%s_seconds_sum%s %s\n" base labels (fmt_float s.s_seconds));
+         type_header (base ^ "_alloc_bytes_sum") "counter";
+         Buffer.add_string buf
+           (Printf.sprintf "%s_alloc_bytes_sum%s %s\n" base labels (fmt_float s.s_alloc));
+         type_header (base ^ "_count") "counter";
+         Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" base labels s.s_count))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dump_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) ->
+       let line =
+         match m with
+         | Counter c ->
+           Printf.sprintf {|{"metric":"%s","type":"counter","value":%d}|}
+             (json_escape name) c.c_value
+         | Gauge g ->
+           Printf.sprintf {|{"metric":"%s","type":"gauge","value":%d}|}
+             (json_escape name) g.g_value
+         | Histogram h ->
+           let buckets =
+             String.concat ","
+               (List.init (Array.length h.bounds)
+                  (fun i -> Printf.sprintf {|{"le":%d,"count":%d}|} h.bounds.(i) h.counts.(i))
+                @ [ Printf.sprintf {|{"le":"+Inf","count":%d}|} h.counts.(Array.length h.bounds) ])
+           in
+           Printf.sprintf
+             {|{"metric":"%s","type":"histogram","sum":%d,"count":%d,"buckets":[%s]}|}
+             (json_escape name) h.h_sum h.h_count buckets
+         | Span s ->
+           Printf.sprintf
+             {|{"metric":"%s","type":"span","count":%d,"seconds":%s,"alloc_bytes":%s}|}
+             (json_escape name) s.s_count (fmt_float s.s_seconds) (fmt_float s.s_alloc)
+       in
+       Buffer.add_string buf line;
+       Buffer.add_char buf '\n')
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let save ~path =
+  let is_json =
+    Filename.check_suffix path ".json" || Filename.check_suffix path ".jsonl"
+  in
+  let oc = open_out path in
+  output_string oc (if is_json then dump_jsonl () else render_prometheus ());
+  close_out oc
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+       match m with
+       | Counter c -> c.c_value <- 0
+       | Gauge g -> g.g_value <- 0
+       | Histogram h ->
+         Array.fill h.counts 0 (Array.length h.counts) 0;
+         h.h_sum <- 0;
+         h.h_count <- 0
+       | Span s ->
+         s.s_count <- 0;
+         s.s_seconds <- 0.0;
+         s.s_alloc <- 0.0;
+         s.open_at <- -1.0)
+    registry

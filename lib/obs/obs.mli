@@ -1,0 +1,110 @@
+(** [bbx_obs]: low-overhead metrics for the streaming DPI path.
+
+    A process-wide registry of named counters, gauges, fixed-bucket
+    histograms and span timers.  The design rule is that the {e hot path}
+    (one bump per token or per tree lookup) costs one flag load, one
+    branch and one integer store — no closures, no allocation, no hashing.
+    All hashing happens once, at registration time, which handlers do at
+    module-initialisation or connection-setup time and cache in a slot.
+
+    Metrics are cumulative since process start (or the last {!reset}).
+    The whole registry renders to Prometheus text exposition
+    ({!render_prometheus}) or JSONL ({!dump_jsonl}).
+
+    Naming scheme: [bbx_<subsystem>_<quantity>[_<unit>]], with Prometheus
+    label syntax baked into the name string where a dimension is needed
+    (e.g. [bbx_tokenizer_tokens_total{kind="window"}]).  Counters end in
+    [_total], gauges are bare, histograms get [_bucket]/[_sum]/[_count]
+    expansions, spans expand to [_seconds_sum], [_alloc_bytes_sum] and
+    [_count]. *)
+
+(** {1 Master switch} *)
+
+(** [set_enabled b] flips instrumentation globally.  Defaults to [true];
+    the environment variable [BLINDBOX_OBS=0] turns it off at startup.
+    With instrumentation off every hot-path operation is a single
+    load-and-branch. *)
+val set_enabled : bool -> unit
+
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter name] registers (or retrieves — registration is idempotent by
+    name) a monotonic counter slot. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+(** [histogram name ~buckets] — [buckets] are ascending upper bounds; an
+    implicit [+Inf] bucket is appended.  Re-registering an existing name
+    returns the existing histogram (its buckets win). *)
+val histogram : string -> buckets:int array -> histogram
+
+(** [observe h v] bumps the first bucket with bound [>= v] ([+Inf] when
+    none), plus the running sum and count. *)
+val observe : histogram -> int -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+(** {1 Spans}
+
+    A span accumulates wall-clock seconds, GC-allocated bytes and an entry
+    count across [enter]/[exit] pairs.  Spans are not reentrant: the open
+    timestamp lives in the span slot itself so that entering costs no
+    allocation. *)
+
+type span
+
+val span : string -> span
+
+(** [span_enter sp] records the open timestamp and GC mark; a second
+    [span_enter] before [span_exit] restarts the span. *)
+val span_enter : span -> unit
+
+(** [span_exit sp] accumulates elapsed seconds and allocated bytes since
+    the matching {!span_enter}; a no-op if the span is not open. *)
+val span_exit : span -> unit
+
+(** [time sp f] = [span_enter sp; f ()] with [span_exit] on both return
+    and raise.  Allocates a closure — setup paths only, not per-token. *)
+val time : span -> (unit -> 'a) -> 'a
+
+val span_count : span -> int
+val span_seconds : span -> float
+val span_alloc_bytes : span -> float
+
+(** {1 Exposition} *)
+
+(** Prometheus text exposition (sorted by metric name, with [# TYPE]
+    headers). *)
+val render_prometheus : unit -> string
+
+(** One JSON object per line: [{"metric":...,"type":...,"value":...}] for
+    counters/gauges, richer objects for histograms and spans. *)
+val dump_jsonl : unit -> string
+
+(** [save ~path] writes {!dump_jsonl} when [path] ends in [.json]/[.jsonl],
+    {!render_prometheus} otherwise. *)
+val save : path:string -> unit
+
+(** [reset ()] zeroes every registered metric (registrations, slots and
+    cached handles stay valid). *)
+val reset : unit -> unit

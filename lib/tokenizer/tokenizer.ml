@@ -1,3 +1,13 @@
+module Obs = Bbx_obs.Obs
+
+(* Emission accounting per tokenizer kind.  Counts are accumulated in the
+   fold's own accumulator walk and added once per fold call, so the
+   per-token cost of instrumentation is zero. *)
+let obs_window_tokens = Obs.counter {|bbx_tokenizer_tokens_total{kind="window"}|}
+let obs_delim_tokens = Obs.counter {|bbx_tokenizer_tokens_total{kind="delimiter"}|}
+let obs_short_tokens = Obs.counter {|bbx_tokenizer_tokens_total{kind="short_unit"}|}
+let obs_bytes = Obs.counter "bbx_tokenizer_payload_bytes_total"
+
 type token = { content : string; offset : int }
 
 let token_len = 8
@@ -23,6 +33,8 @@ let fold_window s ~init ~f =
   for off = 0 to n - token_len do
     acc := f !acc ~off ~len:token_len
   done;
+  Obs.add obs_window_tokens (max 0 (n - token_len + 1));
+  Obs.add obs_bytes n;
   !acc
 
 let window s =
@@ -102,10 +114,17 @@ let delimiter_plan ~short_units s =
 let fold_delimiter ?(short_units = false) s ~init ~f =
   let emit, shorts = delimiter_plan ~short_units s in
   let acc = ref init in
+  let full = ref 0 in
   for off = 0 to Array.length emit - 1 do
-    if emit.(off) then acc := f !acc ~off ~len:token_len
+    if emit.(off) then begin
+      incr full;
+      acc := f !acc ~off ~len:token_len
+    end
   done;
   List.iter (fun (off, len) -> acc := f !acc ~off ~len) shorts;
+  Obs.add obs_delim_tokens !full;
+  Obs.add obs_short_tokens (List.length shorts);
+  Obs.add obs_bytes (String.length s);
   !acc
 
 let slice_token s ~off ~len =

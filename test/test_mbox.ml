@@ -219,6 +219,121 @@ let middlebox_tests =
         Alcotest.(check int) "second" 0 (List.length v2));
   ]
 
+(* ---------- middlebox stats accounting ---------- *)
+
+let stats_tests =
+  let rules =
+    [ Rule.make ~sid:1 [ Rule.make_content "alertkw1" ];
+      Rule.make ~sid:2 [ Rule.make_content "otherkw2" ];
+      Rule.make ~action:Rule.Drop ~sid:3 [ Rule.make_content "dropkw33" ] ]
+  in
+  let key_for conn = key_of_secret (Printf.sprintf "stats-conn-%d" conn) in
+  let register mb conn =
+    Middlebox.register mb ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc (key_for conn))
+  in
+  let check_stats msg (expect : Middlebox.stats) (got : Middlebox.stats) =
+    Alcotest.(check int) (msg ^ ": connections") expect.Middlebox.connections got.Middlebox.connections;
+    Alcotest.(check int) (msg ^ ": tokens") expect.Middlebox.total_tokens got.Middlebox.total_tokens;
+    Alcotest.(check int) (msg ^ ": hits") expect.Middlebox.total_keyword_hits got.Middlebox.total_keyword_hits;
+    Alcotest.(check int) (msg ^ ": alerts") expect.Middlebox.alerts got.Middlebox.alerts;
+    Alcotest.(check int) (msg ^ ": blocked") expect.Middlebox.blocked got.Middlebox.blocked
+  in
+  [ Alcotest.test_case "list and wire paths account identically" `Quick (fun () ->
+        let traffic =
+          [ "x=alertkw1&noise=1"; "benign hello world"; "y=otherkw2 z=alertkw1";
+            "more benign filler"; "q=dropkw33" ]
+        in
+        let mb_list = Middlebox.create ~mode:Exact ~rules in
+        let mb_wire = Middlebox.create ~mode:Exact ~rules in
+        register mb_list 1;
+        register mb_wire 1;
+        let s_list = sender_create Exact (key_for 1) ~salt0:0 in
+        let s_wire = sender_create Exact (key_for 1) ~salt0:0 in
+        List.iter
+          (fun payload ->
+             let toks = sender_encrypt s_list (delimiter payload) in
+             let wire = encode_tokens (sender_encrypt s_wire (delimiter payload)) in
+             let run_list () = Middlebox.process mb_list ~conn_id:1 toks in
+             let run_wire () = Middlebox.process_wire mb_wire ~conn_id:1 wire in
+             match (run_list (), run_wire ()) with
+             | v1, v2 -> Alcotest.(check int) "same verdicts" (List.length v1) (List.length v2)
+             | exception Invalid_argument _ ->
+               (* blocked on both paths or the test is broken; assert parity *)
+               Alcotest.(check bool) "wire also blocked" true
+                 (match run_wire () with exception Invalid_argument _ -> true | _ -> false))
+          traffic;
+        check_stats "parity" (Middlebox.stats mb_list) (Middlebox.stats mb_wire);
+        Alcotest.(check bool) "hits non-zero" true
+          ((Middlebox.stats mb_list).Middlebox.total_keyword_hits > 0));
+    Alcotest.test_case "repeated alerts counted once per rule per connection" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        let s = sender_create Exact (key_for 1) ~salt0:0 in
+        let send payload = Middlebox.process mb ~conn_id:1 (sender_encrypt s (delimiter payload)) in
+        ignore (send "a=alertkw1" : Engine.verdict list);
+        ignore (send "b=alertkw1" : Engine.verdict list);
+        ignore (send "c=alertkw1" : Engine.verdict list);
+        let st = Middlebox.stats mb in
+        Alcotest.(check int) "one alert" 1 st.Middlebox.alerts;
+        (* every occurrence still counts as a keyword hit *)
+        Alcotest.(check int) "three hits" 3 st.Middlebox.total_keyword_hits);
+    Alcotest.test_case "flow stats track per-connection activity" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        register mb 2;
+        let s1 = sender_create Exact (key_for 1) ~salt0:0 in
+        let t1 = sender_encrypt s1 (delimiter "x=alertkw1 pad") in
+        ignore (Middlebox.process mb ~conn_id:1 t1 : Engine.verdict list);
+        let f1 = Middlebox.flow_stats mb ~conn_id:1 in
+        let f2 = Middlebox.flow_stats mb ~conn_id:2 in
+        Alcotest.(check int) "conn 1 tokens" (List.length t1) f1.Middlebox.flow_tokens;
+        Alcotest.(check int) "conn 1 hits" 1 f1.Middlebox.flow_hits;
+        Alcotest.(check int) "conn 1 verdicts" 1 f1.Middlebox.flow_verdicts;
+        Alcotest.(check bool) "conn 1 not blocked" false f1.Middlebox.flow_blocked;
+        Alcotest.(check int) "conn 2 idle" 0 f2.Middlebox.flow_tokens;
+        let total =
+          Middlebox.fold_flows mb ~init:0 ~f:(fun acc _ f -> acc + f.Middlebox.flow_tokens)
+        in
+        Alcotest.(check int) "fold sums tokens" (List.length t1) total);
+    Alcotest.test_case "blocked connections accounted exactly once" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        register mb 2;
+        let s1 = sender_create Exact (key_for 1) ~salt0:0 in
+        ignore (Middlebox.process mb ~conn_id:1 (sender_encrypt s1 (delimiter "q=dropkw33"))
+                : Engine.verdict list);
+        let st = Middlebox.stats mb in
+        Alcotest.(check int) "blocked 1" 1 st.Middlebox.blocked;
+        Alcotest.(check bool) "flow blocked" true
+          (Middlebox.flow_stats mb ~conn_id:1).Middlebox.flow_blocked;
+        (* the blocked count survives further traffic on other connections *)
+        let s2 = sender_create Exact (key_for 2) ~salt0:0 in
+        ignore (Middlebox.process mb ~conn_id:2 (sender_encrypt s2 (delimiter "benign"))
+                : Engine.verdict list);
+        Alcotest.(check int) "still 1" 1 (Middlebox.stats mb).Middlebox.blocked);
+    Alcotest.test_case "unregister drops the connection but keeps totals" `Quick (fun () ->
+        let mb = Middlebox.create ~mode:Exact ~rules in
+        register mb 1;
+        let s = sender_create Exact (key_for 1) ~salt0:0 in
+        let toks = sender_encrypt s (delimiter "x=alertkw1") in
+        ignore (Middlebox.process mb ~conn_id:1 toks : Engine.verdict list);
+        let before = Middlebox.stats mb in
+        Middlebox.unregister mb ~conn_id:1;
+        let after = Middlebox.stats mb in
+        Alcotest.(check int) "0 connections" 0 after.Middlebox.connections;
+        Alcotest.(check int) "tokens kept" before.Middlebox.total_tokens after.Middlebox.total_tokens;
+        Alcotest.(check int) "hits kept" before.Middlebox.total_keyword_hits after.Middlebox.total_keyword_hits;
+        Alcotest.(check int) "alerts kept" before.Middlebox.alerts after.Middlebox.alerts;
+        Alcotest.(check bool) "flow stats gone" true
+          (match Middlebox.flow_stats mb ~conn_id:1 with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        (* re-registering restarts the flow from zero *)
+        register mb 1;
+        Alcotest.(check int) "fresh flow" 0
+          (Middlebox.flow_stats mb ~conn_id:1).Middlebox.flow_tokens);
+  ]
+
 (* ---------- probable-cause analysis scripts ---------- *)
 
 let script_tests =
@@ -267,4 +382,5 @@ let () =
   Alcotest.run "mbox"
     [ ("engine", engine_tests);
       ("middlebox", middlebox_tests);
+      ("stats", stats_tests);
       ("scripts", script_tests) ]

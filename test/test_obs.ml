@@ -1,0 +1,164 @@
+(* bbx_obs unit tests: registration semantics, the enabled switch, bucket
+   placement, span accumulation and both exposition formats. *)
+
+module Obs = Bbx_obs.Obs
+
+(* Each test names its metrics uniquely (the registry is process-wide),
+   and re-enables instrumentation in case an earlier test disabled it. *)
+let fresh =
+  let n = ref 0 in
+  fun base ->
+    incr n;
+    Printf.sprintf "test_%s_%d" base !n
+
+let counter_tests =
+  [ Alcotest.test_case "incr and add accumulate" `Quick (fun () ->
+        Obs.set_enabled true;
+        let c = Obs.counter (fresh "counter") in
+        Obs.incr c;
+        Obs.add c 41;
+        Alcotest.(check int) "42" 42 (Obs.counter_value c));
+    Alcotest.test_case "registration is idempotent by name" `Quick (fun () ->
+        Obs.set_enabled true;
+        let name = fresh "counter" in
+        let a = Obs.counter name in
+        let b = Obs.counter name in
+        Obs.incr a;
+        Obs.incr b;
+        Alcotest.(check int) "same slot" 2 (Obs.counter_value a));
+    Alcotest.test_case "name clash across types rejected" `Quick (fun () ->
+        let name = fresh "clash" in
+        let _ = Obs.counter name in
+        Alcotest.(check bool) "raises" true
+          (match Obs.gauge name with exception Invalid_argument _ -> true | _ -> false));
+    Alcotest.test_case "disabled: bumps are dropped" `Quick (fun () ->
+        let c = Obs.counter (fresh "counter") in
+        Obs.set_enabled false;
+        Obs.incr c;
+        Obs.add c 10;
+        Obs.set_enabled true;
+        Alcotest.(check int) "still 0" 0 (Obs.counter_value c);
+        Obs.incr c;
+        Alcotest.(check int) "counts again" 1 (Obs.counter_value c));
+    Alcotest.test_case "reset zeroes but keeps handles live" `Quick (fun () ->
+        Obs.set_enabled true;
+        let c = Obs.counter (fresh "counter") in
+        Obs.add c 7;
+        Obs.reset ();
+        Alcotest.(check int) "zeroed" 0 (Obs.counter_value c);
+        Obs.incr c;
+        Alcotest.(check int) "live" 1 (Obs.counter_value c));
+  ]
+
+let gauge_tests =
+  [ Alcotest.test_case "set overwrites" `Quick (fun () ->
+        Obs.set_enabled true;
+        let g = Obs.gauge (fresh "gauge") in
+        Obs.set_gauge g 5;
+        Obs.set_gauge g 3;
+        Alcotest.(check int) "3" 3 (Obs.gauge_value g));
+  ]
+
+let histogram_tests =
+  [ Alcotest.test_case "values land in the right buckets" `Quick (fun () ->
+        Obs.set_enabled true;
+        let h = Obs.histogram (fresh "hist") ~buckets:[| 10; 100 |] in
+        List.iter (Obs.observe h) [ 1; 10; 11; 1000 ];
+        Alcotest.(check int) "count" 4 (Obs.histogram_count h);
+        Alcotest.(check int) "sum" 1022 (Obs.histogram_sum h));
+    Alcotest.test_case "non-ascending buckets rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Obs.histogram (fresh "hist") ~buckets:[| 5; 5 |] with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+let span_tests =
+  [ Alcotest.test_case "span accumulates time and count" `Quick (fun () ->
+        Obs.set_enabled true;
+        let s = Obs.span (fresh "span") in
+        for _ = 1 to 3 do
+          Obs.span_enter s;
+          ignore (Sys.opaque_identity (String.make 1024 'x') : string);
+          Obs.span_exit s
+        done;
+        Alcotest.(check int) "3 entries" 3 (Obs.span_count s);
+        Alcotest.(check bool) "time >= 0" true (Obs.span_seconds s >= 0.0);
+        Alcotest.(check bool) "alloc > 0" true (Obs.span_alloc_bytes s > 0.0));
+    Alcotest.test_case "exit without enter is a no-op" `Quick (fun () ->
+        Obs.set_enabled true;
+        let s = Obs.span (fresh "span") in
+        Obs.span_exit s;
+        Alcotest.(check int) "0" 0 (Obs.span_count s));
+    Alcotest.test_case "time restores on raise" `Quick (fun () ->
+        Obs.set_enabled true;
+        let s = Obs.span (fresh "span") in
+        (try Obs.time s (fun () -> failwith "boom") with Failure _ -> ());
+        Alcotest.(check int) "recorded" 1 (Obs.span_count s));
+  ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let exposition_tests =
+  [ Alcotest.test_case "prometheus exposition carries values and types" `Quick (fun () ->
+        Obs.set_enabled true;
+        let name = fresh "prom" in
+        let c = Obs.counter name in
+        Obs.add c 17;
+        let out = Obs.render_prometheus () in
+        Alcotest.(check bool) "TYPE line" true (contains out ("# TYPE " ^ name ^ " counter"));
+        Alcotest.(check bool) "value line" true (contains out (name ^ " 17")));
+    Alcotest.test_case "labelled names render with label syntax" `Quick (fun () ->
+        Obs.set_enabled true;
+        let name = fresh "labelled" in
+        let c = Obs.counter (Printf.sprintf {|%s{kind="x"}|} name) in
+        Obs.incr c;
+        let out = Obs.render_prometheus () in
+        Alcotest.(check bool) "TYPE on base name" true
+          (contains out ("# TYPE " ^ name ^ " counter"));
+        Alcotest.(check bool) "labels kept" true
+          (contains out (Printf.sprintf {|%s{kind="x"} 1|} name)));
+    Alcotest.test_case "histogram renders cumulative buckets" `Quick (fun () ->
+        Obs.set_enabled true;
+        let name = fresh "promhist" in
+        let h = Obs.histogram name ~buckets:[| 10; 100 |] in
+        List.iter (Obs.observe h) [ 1; 10; 11; 1000 ];
+        let out = Obs.render_prometheus () in
+        Alcotest.(check bool) "le=10 cum 2" true (contains out (name ^ {|_bucket{le="10"} 2|}));
+        Alcotest.(check bool) "le=100 cum 3" true (contains out (name ^ {|_bucket{le="100"} 3|}));
+        Alcotest.(check bool) "+Inf cum 4" true (contains out (name ^ {|_bucket{le="+Inf"} 4|}));
+        Alcotest.(check bool) "sum" true (contains out (name ^ "_sum 1022"));
+        Alcotest.(check bool) "count" true (contains out (name ^ "_count 4")));
+    Alcotest.test_case "jsonl has one parseable-looking line per metric" `Quick (fun () ->
+        Obs.set_enabled true;
+        let name = fresh "jsonl" in
+        let c = Obs.counter name in
+        Obs.add c 3;
+        let lines = String.split_on_char '\n' (Obs.dump_jsonl ()) in
+        let line = List.find (fun l -> contains l name) lines in
+        Alcotest.(check bool) "object shape" true
+          (contains line (Printf.sprintf {|{"metric":"%s","type":"counter","value":3}|} name)));
+    Alcotest.test_case "save picks format from extension" `Quick (fun () ->
+        Obs.set_enabled true;
+        let c = Obs.counter (fresh "save") in
+        Obs.incr c;
+        let json = Filename.temp_file "obs" ".json" in
+        let prom = Filename.temp_file "obs" ".prom" in
+        Obs.save ~path:json;
+        Obs.save ~path:prom;
+        let read p = let ic = open_in p in let s = really_input_string ic (in_channel_length ic) in close_in ic; s in
+        Alcotest.(check bool) "jsonl body" true (contains (read json) {|"type":"counter"|});
+        Alcotest.(check bool) "prom body" true (contains (read prom) "# TYPE");
+        Sys.remove json; Sys.remove prom);
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [ ("counters", counter_tests);
+      ("gauges", gauge_tests);
+      ("histograms", histogram_tests);
+      ("spans", span_tests);
+      ("exposition", exposition_tests) ]
