@@ -127,8 +127,16 @@ let tokenize_cmd =
 
 (* ---- inspect ---- *)
 
+let print_alert v =
+  Printf.printf "ALERT   sid:%d %s (%s)\n%!"
+    (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0)
+    (Option.value v.Bbx_mbox.Engine.rule.Rule.msg ~default:"")
+    (match v.Bbx_mbox.Engine.via with
+     | `Exact_match -> "exact match"
+     | `Probable_cause -> "probable cause")
+
 let inspect_cmd =
-  let run rules_path probable window metrics =
+  let run rules_path probable window domains metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match Parser.parse_ruleset (read_file rules_path) with
@@ -143,39 +151,64 @@ let inspect_cmd =
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
         tokenization = (if window then Session.Window else Session.Delimiter) }
     in
-    let session, stats = Session.establish ~config ~rules () in
-    Printf.printf "# connection up: %d rules, %d chunks\n%!"
-      (List.length rules) stats.Session.chunk_count;
-    (try
-       while true do
-         let line = input_line stdin in
-         let d = Session.send session line in
-         if d.Session.verdicts = [] then
-           Printf.printf "clean   (%d tokens, %d token bytes)\n%!"
-             d.Session.token_count d.Session.token_bytes
-         else
-           List.iter
-             (fun v ->
-                Printf.printf "ALERT   sid:%d %s (%s)\n%!"
-                  (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0)
-                  (Option.value v.Bbx_mbox.Engine.rule.Rule.msg ~default:"")
-                  (match v.Bbx_mbox.Engine.via with
-                   | `Exact_match -> "exact match"
-                   | `Probable_cause -> "probable cause"))
-             d.Session.verdicts
-       done
-     with End_of_file -> ());
-    match Session.mb_recovered_key session with
-    | Some _ -> Printf.printf "# middlebox recovered the session key (probable cause fired)\n"
-    | None -> Printf.printf "# middlebox never held the session key\n"
+    if domains > 0 then begin
+      (* sharded middlebox: the connection lives on a pool worker domain.
+         Verdicts are detection-stage only (the pool keeps no SSL stream,
+         so probable-cause decryption / pcre evaluation does not run). *)
+      let fleet = Session.Fleet.establish ~config ~domains ~conns:1 ~rules () in
+      Printf.printf "# sharded middlebox up: %d rules, %d worker domain(s)\n%!"
+        (List.length rules) (Session.Fleet.domains fleet);
+      if probable then
+        Printf.printf
+          "# note: sharded mode reports detection-stage verdicts only\n%!";
+      (try
+         while true do
+           let line = input_line stdin in
+           let seq = Session.Fleet.submit fleet ~conn:0 line in
+           let got = ref false in
+           Session.Fleet.drain fleet ~f:(fun ~seq:s ~conn_id:_ verdicts ->
+               if s = seq then begin
+                 got := true;
+                 if verdicts = [] then Printf.printf "clean\n%!"
+                 else List.iter print_alert verdicts
+               end);
+           if not !got then Printf.printf "dropped (connection blocked)\n%!"
+         done
+       with End_of_file -> ());
+      Session.Fleet.shutdown fleet
+    end
+    else begin
+      let session, stats = Session.establish ~config ~rules () in
+      Printf.printf "# connection up: %d rules, %d chunks\n%!"
+        (List.length rules) stats.Session.chunk_count;
+      (try
+         while true do
+           let line = input_line stdin in
+           let d = Session.send session line in
+           if d.Session.verdicts = [] then
+             Printf.printf "clean   (%d tokens, %d token bytes)\n%!"
+               d.Session.token_count d.Session.token_bytes
+           else List.iter print_alert d.Session.verdicts
+         done
+       with End_of_file -> ());
+      match Session.mb_recovered_key session with
+      | Some _ -> Printf.printf "# middlebox recovered the session key (probable cause fired)\n"
+      | None -> Printf.printf "# middlebox never held the session key\n"
+    end
   in
   let rules = Arg.(required & pos 0 (some file) None & info [] ~docv:"RULES" ~doc:"Rules file.") in
   let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
   let window = Arg.(value & flag & info [ "window" ] ~doc:"Window tokenization.") in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+           ~doc:"Run the middlebox sharded across $(docv) OCaml domains \
+                 (0 = sequential in-process connection, the default).")
+  in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
-    Term.(const run $ rules $ probable $ window $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ domains $ metrics_arg)
 
 (* ---- stats ---- *)
 
@@ -185,7 +218,7 @@ let inspect_cmd =
    payloads carrying actual rule keywords, so hit/match counters are
    non-zero in both Exact and Probable modes. *)
 let stats_cmd =
-  let run rules_path probable window sends format metrics =
+  let run rules_path probable window sends domains conns format metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -203,7 +236,6 @@ let stats_cmd =
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
         tokenization = (if window then Session.Window else Session.Delimiter) }
     in
-    let session, _ = Session.establish ~config ~rules () in
     (* one keyword per rule woven into otherwise benign traffic *)
     let keywords =
       List.filter_map
@@ -211,18 +243,31 @@ let stats_cmd =
         rules
     in
     let drbg = Bbx_crypto.Drbg.create "blindbox-stats-trace" in
-    for i = 1 to sends do
+    let payload_for i =
       let benign = Bbx_net.Page.gen_html drbg ~bytes:512 in
-      let payload =
-        match keywords with
-        | [] -> benign
-        | kws ->
-          let kw = List.nth kws (i mod List.length kws) in
-          Printf.sprintf "GET /trace-%d?q=%s HTTP/1.1\r\n%s" i kw benign
-      in
-      (try ignore (Session.send session payload : Session.delivery)
-       with Session.Connection_blocked -> ())
-    done;
+      match keywords with
+      | [] -> benign
+      | kws ->
+        let kw = List.nth kws (i mod List.length kws) in
+        Printf.sprintf "GET /trace-%d?q=%s HTTP/1.1\r\n%s" i kw benign
+    in
+    if domains > 0 then begin
+      (* same trace, spread round-robin over [conns] connections through a
+         domain-sharded middlebox *)
+      let fleet = Session.Fleet.establish ~config ~domains ~conns ~rules () in
+      for i = 1 to sends do
+        ignore (Session.Fleet.submit fleet ~conn:(i mod conns) (payload_for i) : int)
+      done;
+      Session.Fleet.drain fleet ~f:(fun ~seq:_ ~conn_id:_ _ -> ());
+      Session.Fleet.shutdown fleet
+    end
+    else begin
+      let session, _ = Session.establish ~config ~rules () in
+      for i = 1 to sends do
+        (try ignore (Session.send session (payload_for i) : Session.delivery)
+         with Session.Connection_blocked -> ())
+      done
+    end;
     match format with
     | `Prometheus -> print_string (Obs.render_prometheus ())
     | `Jsonl -> print_string (Obs.dump_jsonl ())
@@ -237,6 +282,17 @@ let stats_cmd =
   let sends =
     Arg.(value & opt int 20 & info [ "sends" ] ~doc:"Number of payloads in the sample trace.")
   in
+  let domains =
+    Arg.(value & opt int 0
+         & info [ "domains" ] ~docv:"N"
+           ~doc:"Drive the trace through a middlebox sharded across $(docv) \
+                 OCaml domains (0 = one sequential connection, the default).")
+  in
+  let conns =
+    Arg.(value & opt int 4
+         & info [ "conns" ] ~docv:"C"
+           ~doc:"Connections to spread the trace over in sharded mode.")
+  in
   let format =
     Arg.(value
          & opt (enum [ ("prometheus", `Prometheus); ("jsonl", `Jsonl) ]) `Prometheus
@@ -245,7 +301,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Drive a sample trace through a BlindBox connection and render the metric registry")
-    Term.(const run $ rules $ probable $ window $ sends $ format $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ format $ metrics_arg)
 
 let () =
   let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in

@@ -67,7 +67,7 @@ type t = {
   reader : Record.t;
   dpi_mirror : Dpienc.sender;       (* for token validation, §3.4 *)
   mutable receiver_stream_off : int;
-  mutable reported : int list;      (* rule indices already reported in a delivery *)
+  reported : (int, unit) Hashtbl.t; (* rule indices already reported in a delivery *)
   mutable is_blocked : bool;        (* a drop-action rule fired *)
   dir : string;                     (* record-layer direction label *)
   mutable chunks_cache : string array; (* for resumption tickets *)
@@ -106,7 +106,7 @@ let make_session ?rg config keys ~rules ~chunks ~encs ~label =
       Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
         ~salt0:config.salt0;
     receiver_stream_off = 0;
-    reported = [];
+    reported = Hashtbl.create 8;
     is_blocked = false;
     dir;
     chunks_cache = chunks;
@@ -314,9 +314,11 @@ let deliver t ~record ~wire ~token_count =
   let all = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine in
   (* report each rule once, on the send that first triggered it *)
   let fresh =
-    List.filter (fun v -> not (List.mem v.Bbx_mbox.Engine.rule_idx t.reported)) all
+    List.filter
+      (fun v -> not (Hashtbl.mem t.reported v.Bbx_mbox.Engine.rule_idx))
+      all
   in
-  t.reported <- List.map (fun v -> v.Bbx_mbox.Engine.rule_idx) fresh @ t.reported;
+  List.iter (fun v -> Hashtbl.replace t.reported v.Bbx_mbox.Engine.rule_idx ()) fresh;
   if List.exists
       (fun v -> v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
       all
@@ -448,4 +450,104 @@ module Duplex = struct
     send t.s2c payload
 
   let blocked t = t.c2s.is_blocked || t.s2c.is_blocked
+end
+
+
+(* ---------- many connections through a sharded middlebox ---------- *)
+
+module Fleet = struct
+  (* Sender-side state for one monitored connection.  The middlebox half
+     (engine, salt counters, block flag) lives inside the shard pool, on
+     whichever worker domain owns the connection. *)
+  type conn = {
+    fc_id : int;
+    fc_keys : Handshake.keys;
+    fc_sender : Dpienc.sender;
+    mutable fc_off : int;
+    mutable fc_bytes_since_reset : int;
+  }
+
+  type fleet = {
+    fl_config : config;
+    fl_pool : Bbx_mbox.Shardpool.t;
+    fl_conns : (int, conn) Hashtbl.t;
+  }
+
+  let establish ?(config = default_config) ?(seed = "blindbox-fleet") ?domains
+      ~conns ~rules () =
+    if conns < 1 then invalid_arg "Fleet.establish: conns must be >= 1";
+    Obs.span_enter obs_setup;
+    let pool = Bbx_mbox.Shardpool.create ?domains ~mode:config.mode ~rules () in
+    let t = { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns } in
+    (try
+       for i = 0 to conns - 1 do
+         (* each connection runs its own handshake, so per-connection keys
+            mean per-connection encrypted rules — exactly as in [establish] *)
+         let keys = run_handshake (Printf.sprintf "%s#%d" seed i) in
+         let chunks, encs, _ = prepare_rules config keys rules in
+         let enc_chunk =
+           let tbl = Hashtbl.create (Array.length chunks) in
+           Array.iteri (fun j c -> Hashtbl.replace tbl c encs.(j)) chunks;
+           fun chunk -> Hashtbl.find tbl chunk
+         in
+         Bbx_mbox.Shardpool.register pool ~conn_id:i ~salt0:config.salt0 ~enc_chunk;
+         Hashtbl.add t.fl_conns i
+           { fc_id = i;
+             fc_keys = keys;
+             fc_sender =
+               Dpienc.sender_create config.mode
+                 (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
+             fc_off = 0;
+             fc_bytes_since_reset = 0 }
+       done
+     with e ->
+       Bbx_mbox.Shardpool.shutdown pool;
+       raise e);
+    Obs.span_exit obs_setup;
+    t
+
+  let get t conn =
+    match Hashtbl.find_opt t.fl_conns conn with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Fleet: unknown connection %d" conn)
+
+  let submit t ~conn payload =
+    let c = get t conn in
+    let buf = Buffer.create (wire_buf_estimate t.fl_config payload) in
+    let k_ssl =
+      match t.fl_config.mode with
+      | Dpienc.Probable -> Some c.fc_keys.Handshake.k_ssl
+      | Dpienc.Exact -> None
+    in
+    ignore
+      (Dpienc.sender_encrypt_into c.fc_sender ?k_ssl ~base:c.fc_off
+         ~tokenization:(dpienc_tokenization t.fl_config) payload buf : int);
+    c.fc_off <- c.fc_off + String.length payload;
+    Obs.incr obs_sends;
+    Obs.add obs_payload_bytes (String.length payload);
+    let seq = Bbx_mbox.Shardpool.submit t.fl_pool ~conn_id:conn (Buffer.contents buf) in
+    (* Salt resets ride the same mailbox as deliveries, so the engine's
+       counters move exactly when the sender's do. *)
+    c.fc_bytes_since_reset <- c.fc_bytes_since_reset + String.length payload;
+    if t.fl_config.reset_period > 0
+       && c.fc_bytes_since_reset >= t.fl_config.reset_period
+    then begin
+      c.fc_bytes_since_reset <- 0;
+      Obs.incr obs_resets;
+      let salt0 = Dpienc.sender_reset c.fc_sender in
+      Bbx_mbox.Shardpool.reset_conn t.fl_pool ~conn_id:conn ~salt0
+    end;
+    seq
+
+  let drain t ~f = Bbx_mbox.Shardpool.drain t.fl_pool ~f
+
+  let blocked t ~conn = Bbx_mbox.Shardpool.is_blocked t.fl_pool ~conn_id:conn
+
+  let stats t = Bbx_mbox.Shardpool.stats t.fl_pool
+
+  let flow_stats t ~conn = Bbx_mbox.Shardpool.flow_stats t.fl_pool ~conn_id:conn
+
+  let domains t = Bbx_mbox.Shardpool.domains t.fl_pool
+
+  let shutdown t = Bbx_mbox.Shardpool.shutdown t.fl_pool
 end

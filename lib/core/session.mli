@@ -146,3 +146,59 @@ module Duplex : sig
 
   val blocked : duplex -> bool
 end
+
+
+(** Many sender/middlebox connections multiplexed through one
+    domain-sharded middlebox ({!Bbx_mbox.Shardpool}).
+
+    Each connection runs its own handshake and rule preparation (seeded
+    [seed ^ "#i"]) and keeps its DPIEnc sender state on the submitting
+    side; the middlebox half lives on whichever pool worker domain owns
+    the connection.  {!Fleet.submit} encrypts a payload and enqueues the
+    wire delivery without waiting; {!Fleet.drain} collects verdicts in
+    submission order.
+
+    Unlike {!send}, a fleet has no in-process receiver and the middlebox
+    does not record the SSL stream: verdicts are detection-stage only (no
+    probable-cause pcre evaluation), and receiver-side token validation
+    does not run. *)
+module Fleet : sig
+  type fleet
+
+  (** [establish ?config ?seed ?domains ~conns ~rules ()] — sets up
+      [conns] connections (ids [0..conns-1]) over a pool of [domains]
+      workers (default: {!Bbx_mbox.Shardpool.create}'s default). *)
+  val establish :
+    ?config:config ->
+    ?seed:string ->
+    ?domains:int ->
+    conns:int ->
+    rules:Bbx_rules.Rule.t list ->
+    unit ->
+    fleet
+
+  (** [submit t ~conn payload] tokenizes + DPIEnc-encrypts [payload] on
+      the calling domain and enqueues the wire delivery; returns its
+      submission ticket.  Handles periodic salt resets exactly like
+      {!send}.  Deliveries submitted after the connection blocks are
+      dropped by the pool (no verdict callback). *)
+  val submit : fleet -> conn:int -> string -> int
+
+  (** [drain t ~f] — see {!Bbx_mbox.Shardpool.drain}. *)
+  val drain :
+    fleet -> f:(seq:int -> conn_id:int -> Bbx_mbox.Engine.verdict list -> unit) -> unit
+
+  (** [blocked t ~conn] — quiesces the owning worker first. *)
+  val blocked : fleet -> conn:int -> bool
+
+  (** Aggregate middlebox statistics over all shards. *)
+  val stats : fleet -> Bbx_mbox.Middlebox.stats
+
+  val flow_stats : fleet -> conn:int -> Bbx_mbox.Middlebox.flow_stats
+
+  (** Number of pool worker domains. *)
+  val domains : fleet -> int
+
+  (** Stop and join the pool's worker domains (idempotent). *)
+  val shutdown : fleet -> unit
+end

@@ -17,8 +17,6 @@ let obs_matches = Obs.counter "bbx_detect_matches_total"
 let obs_tree_height = Obs.gauge "bbx_detect_tree_height"
 let obs_keywords = Obs.gauge "bbx_detect_keywords"
 let sample_shift = 6
-let probe_steps = ref 0
-let probe_tick = ref 0
 
 type keyword_id = int
 
@@ -34,6 +32,10 @@ type kw_state = {
    the rest are capacity (filled with an arbitrary live element).
    [add_keyword] amortises to O(1) instead of the old O(n) Array.append
    per call. *)
+(* [probe_tick]/[probe_steps] are the sampling state for the comparison-
+   depth estimator.  They live on [t] (not at module level) so that trees
+   owned by different domains — one per Shardpool shard — never share
+   mutable detection-path state. *)
 type t = {
   mode : Dpienc.mode;
   stride : int;
@@ -41,6 +43,8 @@ type t = {
   mutable keywords : kw_state array;
   mutable kw_count : int;
   mutable tree : keyword_id Avl.t;
+  mutable probe_tick : int;
+  probe_steps : int ref;
 }
 
 let current_salt t kw = t.salt0 + (t.stride * kw.count)
@@ -64,7 +68,8 @@ let create ~mode ~salt0 encs =
   in
   let t =
     { mode; stride = Dpienc.salt_stride mode; salt0; keywords;
-      kw_count = Array.length keywords; tree = Avl.empty }
+      kw_count = Array.length keywords; tree = Avl.empty;
+      probe_tick = 0; probe_steps = ref 0 }
   in
   rebuild t;
   t
@@ -75,13 +80,13 @@ let create ~mode ~salt0 encs =
 let process_token t ~cipher ~offset =
   let found =
     if Obs.enabled () then begin
-      let k = !probe_tick + 1 in
-      probe_tick := k;
+      let k = t.probe_tick + 1 in
+      t.probe_tick <- k;
       if k land ((1 lsl sample_shift) - 1) = 0 then begin
-        probe_steps := 0;
-        let r = Avl.find_probe cipher ~steps:probe_steps t.tree in
+        t.probe_steps := 0;
+        let r = Avl.find_probe cipher ~steps:t.probe_steps t.tree in
         Obs.incr obs_probes;
-        Obs.add obs_comparisons !probe_steps;
+        Obs.add obs_comparisons !(t.probe_steps);
         r
       end
       else Avl.find_opt cipher t.tree

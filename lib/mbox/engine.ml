@@ -25,6 +25,7 @@ type t = {
   mode : Dpienc.mode;
   mutable rules : Rule.t array;
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
+  chunk_ids : (string, int) Hashtbl.t;         (* chunk bytes -> chunk_id *)
   detect : Bbx_detect.Detect.t;
   hits : (int, hit_set) Hashtbl.t;             (* chunk_id -> stream offsets *)
   mutable hit_count : int;                     (* monotonic, survives [reset] *)
@@ -52,9 +53,12 @@ let distinct_chunks rules =
 let create ~mode ~salt0 ~rules ~enc_chunk =
   let chunks = distinct_chunks rules in
   let encs = Array.map enc_chunk chunks in
+  let chunk_ids = Hashtbl.create (max 16 (Array.length chunks)) in
+  Array.iteri (fun i c -> Hashtbl.replace chunk_ids c i) chunks;
   { mode;
     rules = Array.of_list rules;
     chunks;
+    chunk_ids;
     detect = Bbx_detect.Detect.create ~mode ~salt0 encs;
     hits = Hashtbl.create 256;
     hit_count = 0;
@@ -114,15 +118,12 @@ let recovered_key t = t.recovered
    every one of its chunks matched at the right relative position.
    Membership tests go through each chunk's offset hash-set, so a rule
    with [r] extra chunks costs O(starts * r) lookups, not a scan of the
-   full hit history per start. *)
+   full hit history per start.  The chunk->id table lives on [t]
+   (maintained by [create]/[add_rules]) instead of being rebuilt on every
+   [verdicts] call. *)
 let content_candidates t =
-  let chunk_id =
-    let tbl = Hashtbl.create (Array.length t.chunks) in
-    Array.iteri (fun i c -> Hashtbl.replace tbl c i) t.chunks;
-    fun c -> Hashtbl.find_opt tbl c
-  in
   let hit_set chunk =
-    match chunk_id chunk with
+    match Hashtbl.find_opt t.chunk_ids chunk with
     | None -> None
     | Some id -> Hashtbl.find_opt t.hits id
   in
@@ -168,22 +169,28 @@ let verdicts ?plaintext t =
 (* Rule update on a live connection: only chunks not already covered go
    through (the caller's) rule preparation. *)
 let add_rules t ~rules ~enc_chunk =
-  let known = Hashtbl.create (Array.length t.chunks) in
-  Array.iter (fun c -> Hashtbl.replace known c ()) t.chunks;
   let fresh =
     Array.to_list (distinct_chunks rules)
-    |> List.filter (fun c -> not (Hashtbl.mem known c))
+    |> List.filter (fun c -> not (Hashtbl.mem t.chunk_ids c))
   in
   List.iteri
     (fun i chunk ->
        let id = Bbx_detect.Detect.add_keyword t.detect (enc_chunk chunk) in
-       assert (id = Array.length t.chunks + i))
+       assert (id = Array.length t.chunks + i);
+       Hashtbl.replace t.chunk_ids chunk id)
     fresh;
   (* one append for the whole batch, not one O(n) copy per chunk *)
   t.chunks <- Array.append t.chunks (Array.of_list fresh);
   t.rules <- Array.append t.rules (Array.of_list rules);
   List.length fresh
 
+(* A salt reset rotates the token encryption only.  Per-chunk hit
+   evidence is cleared (post-reset offsets would be incomparable with
+   pre-reset ones anyway), but two pieces of state deliberately survive:
+   [recovered] — probable cause is a connection-lifetime fact; once the
+   middlebox has lawfully recovered [k_ssl] a salt rotation does not
+   un-recover it — and [hit_count], the monotonic obs-visible hit
+   accounting that callers delta across deliveries. *)
 let reset t ~salt0 =
   Bbx_detect.Detect.reset t.detect ~salt0;
   Hashtbl.reset t.hits

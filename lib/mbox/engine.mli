@@ -75,7 +75,11 @@ val verdicts : ?plaintext:string -> t -> verdict list
     added. *)
 val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string) -> int
 
-(** [reset t ~salt0] forwards the sender's periodic salt reset. *)
+(** [reset t ~salt0] forwards the sender's periodic salt reset.  Per-chunk
+    hit evidence ({!keyword_hits}, and hence {!verdicts} derived from it)
+    is cleared; {!hit_count} (monotonic accounting) and {!recovered_key}
+    (probable cause is a connection-lifetime fact — a salt rotation does
+    not un-recover [k_ssl]) deliberately survive. *)
 val reset : t -> salt0:int -> unit
 
 (** Distinct chunk count (tree size). *)

@@ -1,18 +1,12 @@
-module Obs = Bbx_obs.Obs
+(* The historical sequential middlebox API: exactly one {!Shard}, owned
+   by the caller.  All detection logic lives in [Shard]; keeping this
+   front a pure delegation is what guarantees the sequential path stays
+   byte-identical to pre-shardpool behaviour (differential-tested against
+   [Shardpool] in test/test_shardpool.ml). *)
 
-(* Aggregate middlebox accounting, mirrored into the process-wide obs
-   registry so `blindbox stats` / bench snapshots see middlebox activity
-   without holding a reference to the box. *)
-let obs_tokens = Obs.counter "bbx_mbox_tokens_total"
-let obs_hits = Obs.counter "bbx_mbox_keyword_hits_total"
-let obs_alerts = Obs.counter "bbx_mbox_alerts_total"
-let obs_blocked = Obs.counter "bbx_mbox_blocked_total"
-let obs_deliveries = Obs.counter "bbx_mbox_deliveries_total"
-let obs_connections = Obs.gauge "bbx_mbox_connections"
+type conn_id = Shard.conn_id
 
-type conn_id = int
-
-type stats = {
+type stats = Shard.stats = {
   connections : int;
   total_tokens : int;
   total_keyword_hits : int;
@@ -20,114 +14,22 @@ type stats = {
   blocked : int;
 }
 
-type flow_stats = {
+type flow_stats = Shard.flow_stats = {
   flow_tokens : int;
   flow_hits : int;
   flow_verdicts : int;
   flow_blocked : bool;
 }
 
-type conn = {
-  engine : Engine.t;
-  mutable conn_blocked : bool;
-  mutable reported : int list;
-  mutable conn_tokens : int;
-  mutable conn_verdicts : int;
-}
+type t = Shard.t
 
-type t = {
-  mode : Bbx_dpienc.Dpienc.mode;
-  rules : Bbx_rules.Rule.t list;
-  conns : (conn_id, conn) Hashtbl.t;
-  mutable total_tokens : int;
-  mutable total_keyword_hits : int;
-  mutable alerts : int;
-  mutable blocked_count : int;
-}
-
-let create ~mode ~rules =
-  { mode; rules; conns = Hashtbl.create 64;
-    total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
-
-let register t ~conn_id ~salt0 ~enc_chunk =
-  if Hashtbl.mem t.conns conn_id then
-    invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
-  let engine = Engine.create ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk in
-  Hashtbl.add t.conns conn_id
-    { engine; conn_blocked = false; reported = []; conn_tokens = 0; conn_verdicts = 0 };
-  Obs.set_gauge obs_connections (Hashtbl.length t.conns)
-
-let get t conn_id =
-  match Hashtbl.find_opt t.conns conn_id with
-  | Some c -> c
-  | None -> invalid_arg (Printf.sprintf "Middlebox: unknown connection %d" conn_id)
-
-(* [inject] runs the engine over this delivery's tokens and returns how
-   many there were — the list and wire entry points only differ here.
-   Keyword-hit accounting uses [Engine.hit_count] deltas: the old
-   [List.length (Engine.keyword_hits ...)] bracketing folded and sorted
-   the whole hit history twice per delivery, turning long-lived noisy
-   connections O(hits^2). *)
-let process_common t ~conn_id inject =
-  let c = get t conn_id in
-  if c.conn_blocked then
-    invalid_arg (Printf.sprintf "Middlebox.process: connection %d is blocked" conn_id);
-  let hits_before = Engine.hit_count c.engine in
-  let tokens = inject c.engine in
-  t.total_tokens <- t.total_tokens + tokens;
-  c.conn_tokens <- c.conn_tokens + tokens;
-  let new_hits = Engine.hit_count c.engine - hits_before in
-  t.total_keyword_hits <- t.total_keyword_hits + new_hits;
-  let all = Engine.verdicts c.engine in
-  let fresh = List.filter (fun v -> not (List.mem v.Engine.rule_idx c.reported)) all in
-  c.reported <- List.map (fun v -> v.Engine.rule_idx) fresh @ c.reported;
-  let n_fresh = List.length fresh in
-  t.alerts <- t.alerts + n_fresh;
-  c.conn_verdicts <- c.conn_verdicts + n_fresh;
-  Obs.incr obs_deliveries;
-  Obs.add obs_tokens tokens;
-  Obs.add obs_hits new_hits;
-  Obs.add obs_alerts n_fresh;
-  if List.exists
-      (fun v -> v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
-      fresh
-  then begin
-    c.conn_blocked <- true;
-    t.blocked_count <- t.blocked_count + 1;
-    Obs.incr obs_blocked
-  end;
-  fresh
-
-let process t ~conn_id tokens =
-  process_common t ~conn_id (fun engine ->
-      Engine.process engine tokens;
-      List.length tokens)
-
-let process_wire t ~conn_id wire =
-  process_common t ~conn_id (fun engine -> Engine.process_wire engine wire)
-
-let is_blocked t ~conn_id = (get t conn_id).conn_blocked
-
-let unregister t ~conn_id =
-  Hashtbl.remove t.conns conn_id;
-  Obs.set_gauge obs_connections (Hashtbl.length t.conns)
-
-let engine t ~conn_id = (get t conn_id).engine
-
-let stats t =
-  { connections = Hashtbl.length t.conns;
-    total_tokens = t.total_tokens;
-    total_keyword_hits = t.total_keyword_hits;
-    alerts = t.alerts;
-    blocked = t.blocked_count }
-
-let flow_stats_of c =
-  { flow_tokens = c.conn_tokens;
-    flow_hits = Engine.hit_count c.engine;
-    flow_verdicts = c.conn_verdicts;
-    flow_blocked = c.conn_blocked }
-
-let flow_stats t ~conn_id = flow_stats_of (get t conn_id)
-
-let fold_flows t ~init ~f =
-  Hashtbl.fold (fun conn_id c acc -> f acc conn_id (flow_stats_of c)) t.conns init
+let create = Shard.create
+let register = Shard.register
+let process = Shard.process
+let process_wire = Shard.process_wire
+let is_blocked = Shard.is_blocked
+let unregister = Shard.unregister
+let engine = Shard.engine
+let stats = Shard.stats
+let flow_stats = Shard.flow_stats
+let fold_flows = Shard.fold_flows

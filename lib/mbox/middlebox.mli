@@ -4,11 +4,17 @@
     ruleset, many sender/receiver pairs.  Each connection gets its own
     {!Engine} (per-connection keys mean per-connection encrypted rules and
     counters); the middlebox multiplexes them by connection id and keeps
-    the aggregate statistics an operator would act on. *)
+    the aggregate statistics an operator would act on.
+
+    Since the sharding refactor this module is a thin sequential front
+    over exactly one {!Shard} (the per-shard core); {!Shardpool} runs many
+    shards across OCaml domains behind the same connection-level
+    semantics.  The sequential API below is unchanged and its verdicts
+    stay byte-identical. *)
 
 type conn_id = int
 
-type stats = {
+type stats = Shard.stats = {
   connections : int;        (** currently registered *)
   total_tokens : int;       (** encrypted tokens inspected *)
   total_keyword_hits : int;
@@ -18,7 +24,7 @@ type stats = {
 
 (** Per-connection flow statistics (what a NetFlow-style export would
     carry for one monitored connection). *)
-type flow_stats = {
+type flow_stats = Shard.flow_stats = {
   flow_tokens : int;        (** encrypted tokens inspected on this flow *)
   flow_hits : int;          (** keyword hits (monotonic, survives engine resets) *)
   flow_verdicts : int;      (** fresh rule verdicts reported *)

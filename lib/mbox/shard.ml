@@ -1,0 +1,152 @@
+module Obs = Bbx_obs.Obs
+
+(* Aggregate middlebox accounting, mirrored into the process-wide obs
+   registry so `blindbox stats` / bench snapshots see middlebox activity
+   without holding a reference to the box.  The connection gauge is
+   maintained by deltas ([add_gauge]) so shards on different domains sum
+   into one aggregate instead of clobbering each other. *)
+let obs_tokens = Obs.counter "bbx_mbox_tokens_total"
+let obs_hits = Obs.counter "bbx_mbox_keyword_hits_total"
+let obs_alerts = Obs.counter "bbx_mbox_alerts_total"
+let obs_blocked = Obs.counter "bbx_mbox_blocked_total"
+let obs_deliveries = Obs.counter "bbx_mbox_deliveries_total"
+let obs_connections = Obs.gauge "bbx_mbox_connections"
+
+type conn_id = int
+
+type stats = {
+  connections : int;
+  total_tokens : int;
+  total_keyword_hits : int;
+  alerts : int;
+  blocked : int;
+}
+
+type flow_stats = {
+  flow_tokens : int;
+  flow_hits : int;
+  flow_verdicts : int;
+  flow_blocked : bool;
+}
+
+type conn = {
+  engine : Engine.t;
+  mutable conn_blocked : bool;
+  reported : (int, unit) Hashtbl.t;   (* rule indices already reported *)
+  mutable conn_tokens : int;
+  mutable conn_verdicts : int;
+}
+
+type t = {
+  mode : Bbx_dpienc.Dpienc.mode;
+  rules : Bbx_rules.Rule.t list;
+  conns : (conn_id, conn) Hashtbl.t;
+  mutable total_tokens : int;
+  mutable total_keyword_hits : int;
+  mutable alerts : int;
+  mutable blocked_count : int;
+}
+
+let create ~mode ~rules =
+  { mode; rules; conns = Hashtbl.create 64;
+    total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
+
+let register t ~conn_id ~salt0 ~enc_chunk =
+  if Hashtbl.mem t.conns conn_id then
+    invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
+  let engine = Engine.create ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk in
+  Hashtbl.add t.conns conn_id
+    { engine; conn_blocked = false; reported = Hashtbl.create 8;
+      conn_tokens = 0; conn_verdicts = 0 };
+  Obs.add_gauge obs_connections 1
+
+let get t conn_id =
+  match Hashtbl.find_opt t.conns conn_id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Middlebox: unknown connection %d" conn_id)
+
+(* [inject] runs the engine over this delivery's tokens and returns how
+   many there were — the list and wire entry points only differ here.
+   Keyword-hit accounting uses [Engine.hit_count] deltas: the old
+   [List.length (Engine.keyword_hits ...)] bracketing folded and sorted
+   the whole hit history twice per delivery, turning long-lived noisy
+   connections O(hits^2).  The reported-rule set is a hash table for the
+   same reason: a [List.mem] scan per verdict was O(alerts^2) on
+   long-lived connections. *)
+let process_common t ~conn_id inject =
+  let c = get t conn_id in
+  if c.conn_blocked then
+    invalid_arg (Printf.sprintf "Middlebox.process: connection %d is blocked" conn_id);
+  let hits_before = Engine.hit_count c.engine in
+  let tokens = inject c.engine in
+  t.total_tokens <- t.total_tokens + tokens;
+  c.conn_tokens <- c.conn_tokens + tokens;
+  let new_hits = Engine.hit_count c.engine - hits_before in
+  t.total_keyword_hits <- t.total_keyword_hits + new_hits;
+  let all = Engine.verdicts c.engine in
+  let fresh = List.filter (fun v -> not (Hashtbl.mem c.reported v.Engine.rule_idx)) all in
+  List.iter (fun v -> Hashtbl.replace c.reported v.Engine.rule_idx ()) fresh;
+  let n_fresh = List.length fresh in
+  t.alerts <- t.alerts + n_fresh;
+  c.conn_verdicts <- c.conn_verdicts + n_fresh;
+  Obs.incr obs_deliveries;
+  Obs.add obs_tokens tokens;
+  Obs.add obs_hits new_hits;
+  Obs.add obs_alerts n_fresh;
+  if List.exists
+      (fun v -> v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
+      fresh
+  then begin
+    c.conn_blocked <- true;
+    t.blocked_count <- t.blocked_count + 1;
+    Obs.incr obs_blocked
+  end;
+  fresh
+
+let process t ~conn_id tokens =
+  process_common t ~conn_id (fun engine ->
+      Engine.process engine tokens;
+      List.length tokens)
+
+let process_wire t ~conn_id wire =
+  process_common t ~conn_id (fun engine -> Engine.process_wire engine wire)
+
+let is_blocked t ~conn_id = (get t conn_id).conn_blocked
+
+let unregister t ~conn_id =
+  if Hashtbl.mem t.conns conn_id then begin
+    Hashtbl.remove t.conns conn_id;
+    Obs.add_gauge obs_connections (-1)
+  end
+
+let engine t ~conn_id = (get t conn_id).engine
+
+let reset_conn t ~conn_id ~salt0 = Engine.reset (get t conn_id).engine ~salt0
+
+let stats t =
+  { connections = Hashtbl.length t.conns;
+    total_tokens = t.total_tokens;
+    total_keyword_hits = t.total_keyword_hits;
+    alerts = t.alerts;
+    blocked = t.blocked_count }
+
+let merge_stats a b =
+  { connections = a.connections + b.connections;
+    total_tokens = a.total_tokens + b.total_tokens;
+    total_keyword_hits = a.total_keyword_hits + b.total_keyword_hits;
+    alerts = a.alerts + b.alerts;
+    blocked = a.blocked + b.blocked }
+
+let empty_stats =
+  { connections = 0; total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked = 0 }
+
+let flow_stats_of c =
+  { flow_tokens = c.conn_tokens;
+    flow_hits = Engine.hit_count c.engine;
+    flow_verdicts = c.conn_verdicts;
+    flow_blocked = c.conn_blocked }
+
+let flow_stats t ~conn_id = flow_stats_of (get t conn_id)
+
+let fold_flows t ~init ~f =
+  Hashtbl.fold (fun conn_id c acc -> f acc conn_id (flow_stats_of c)) t.conns init

@@ -1,0 +1,71 @@
+(** The per-shard middlebox core: many monitored connections, one owner.
+
+    This is the sequential heart of the middlebox tier.  {!Middlebox}
+    wraps exactly one shard behind the historical API; {!Shardpool} owns
+    one shard per worker domain and feeds each through a mailbox.
+
+    {b Ownership}: a shard is single-owner mutable state — every
+    connection table, engine and counter in it may be touched by at most
+    one domain at a time.  {!Shardpool} enforces this by construction
+    (only the worker domain that owns a shard executes its messages, and
+    the front reads shard state only after quiescing the worker under the
+    shard mutex).  Nothing in this module locks. *)
+
+type conn_id = int
+
+type stats = {
+  connections : int;        (** currently registered *)
+  total_tokens : int;       (** encrypted tokens inspected *)
+  total_keyword_hits : int;
+  alerts : int;             (** rule verdicts across all connections *)
+  blocked : int;            (** connections torn down by drop rules *)
+}
+
+(** Per-connection flow statistics (what a NetFlow-style export would
+    carry for one monitored connection). *)
+type flow_stats = {
+  flow_tokens : int;        (** encrypted tokens inspected on this flow *)
+  flow_hits : int;          (** keyword hits (monotonic, survives engine resets) *)
+  flow_verdicts : int;      (** fresh rule verdicts reported *)
+  flow_blocked : bool;
+}
+
+type t
+
+val create : mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> t
+
+(** [register t ~conn_id ~salt0 ~enc_chunk] — raises [Invalid_argument]
+    on duplicate ids.  [enc_chunk] is consulted on the calling (owning)
+    domain. *)
+val register :
+  t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [process t ~conn_id tokens] inspects a batch and returns the new rule
+    verdicts.  Raises [Invalid_argument] on blocked or unknown ids. *)
+val process : t -> conn_id:conn_id -> Bbx_dpienc.Dpienc.enc_token list -> Engine.verdict list
+
+(** [process_wire t ~conn_id wire] — same, straight off the wire encoding. *)
+val process_wire : t -> conn_id:conn_id -> string -> Engine.verdict list
+
+val is_blocked : t -> conn_id:conn_id -> bool
+
+(** [unregister t ~conn_id] — connection teardown (idempotent). *)
+val unregister : t -> conn_id:conn_id -> unit
+
+(** [engine t ~conn_id] — direct access for probable-cause key recovery. *)
+val engine : t -> conn_id:conn_id -> Engine.t
+
+(** [reset_conn t ~conn_id ~salt0] forwards a sender salt reset to the
+    connection's engine. *)
+val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
+
+val stats : t -> stats
+
+(** [merge_stats a b] — field-wise sum, for aggregating shards. *)
+val merge_stats : stats -> stats -> stats
+
+val empty_stats : stats
+
+val flow_stats : t -> conn_id:conn_id -> flow_stats
+
+val fold_flows : t -> init:'a -> f:('a -> conn_id -> flow_stats -> 'a) -> 'a

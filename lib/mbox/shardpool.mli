@@ -1,0 +1,111 @@
+(** A middlebox sharded across OCaml domains.
+
+    One worker domain per shard, each owning a private {!Shard} — its own
+    per-connection detection engines and connection table, no shared
+    mutable detection state.  The front feeds workers through per-shard
+    bounded mailboxes and routes every message for a connection to the
+    shard [conn_id mod domains], so a connection's deliveries (and salt
+    resets) execute in submission order on one domain and its per-token
+    salt counters stay in lock-step with the sender.
+
+    Two usage styles:
+
+    - {b Synchronous}: {!process_wire} behaves exactly like
+      {!Middlebox.process_wire} — submit one delivery, wait, return its
+      verdicts (differential-tested to be byte-identical).
+    - {b Pipelined}: {!submit} many deliveries (possibly for many
+      connections, fanning out across domains), then {!drain} once.
+      [drain] quiesces every worker and replays completed verdicts in
+      global submission order, so callbacks are deterministic regardless
+      of how shards interleaved.
+
+    Deliveries submitted to a connection after one of its drop-rules
+    fired are silently dropped by the worker (counted in
+    [bbx_shardpool_dropped_total]); the synchronous path converts that
+    drop into the [Invalid_argument] the sequential middlebox raises.
+
+    Reads ({!stats}, {!flow_stats}, {!fold_flows}, {!is_blocked}) quiesce
+    the relevant workers first, so they observe everything submitted
+    before the call.
+
+    A pool holds OS threads: always {!shutdown} it (or use
+    {!with_pool}). *)
+
+type conn_id = Shard.conn_id
+
+type stats = Shard.stats
+
+type t
+
+(** [create ?domains ?capacity ?batch_max ~mode ~rules ()] spawns
+    [domains] worker domains (default: [recommended_domain_count - 1],
+    at least 1).  [capacity] bounds each mailbox (submitting past it
+    blocks until the worker catches up); [batch_max] caps how many
+    messages a worker dequeues per lock acquisition. *)
+val create :
+  ?domains:int ->
+  ?capacity:int ->
+  ?batch_max:int ->
+  mode:Bbx_dpienc.Dpienc.mode ->
+  rules:Bbx_rules.Rule.t list ->
+  unit ->
+  t
+
+(** Number of worker domains (= shards). *)
+val domains : t -> int
+
+(** [register t ~conn_id ~salt0 ~enc_chunk] — as {!Middlebox.register};
+    raises [Invalid_argument] on duplicate ids.  [enc_chunk] runs on the
+    owning worker domain and must not share mutable state with other
+    connections' oracles. *)
+val register :
+  t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [submit t ~conn_id wire] enqueues one wire delivery and returns its
+    submission ticket (a global sequence number, strictly increasing).
+    Raises [Invalid_argument] on unknown connections.  Results are
+    collected by {!drain}. *)
+val submit : t -> conn_id:conn_id -> string -> int
+
+(** [drain t ~f] waits for all pending work, then calls
+    [f ~seq ~conn_id verdicts] once per completed delivery in submission
+    ([seq]) order.  Dropped deliveries (blocked connections) get no
+    callback.  Re-raises the first exception a worker hit, if any. *)
+val drain : t -> f:(seq:int -> conn_id:conn_id -> Engine.verdict list -> unit) -> unit
+
+(** [process_wire t ~conn_id wire] — synchronous single delivery with
+    {!Middlebox.process_wire} semantics (raises [Invalid_argument] on
+    blocked/unknown connections).  Raises if async submissions are
+    pending; drain first. *)
+val process_wire : t -> conn_id:conn_id -> string -> Engine.verdict list
+
+(** [reset_conn t ~conn_id ~salt0] enqueues a salt reset; it takes effect
+    after every delivery submitted before it (mailbox FIFO), matching the
+    sender-side reset point. *)
+val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
+
+(** [unregister t ~conn_id] — idempotent teardown. *)
+val unregister : t -> conn_id:conn_id -> unit
+
+val is_blocked : t -> conn_id:conn_id -> bool
+
+(** Aggregate statistics summed over all shards (quiesces first). *)
+val stats : t -> stats
+
+val flow_stats : t -> conn_id:conn_id -> Shard.flow_stats
+
+val fold_flows : t -> init:'a -> f:('a -> conn_id -> Shard.flow_stats -> 'a) -> 'a
+
+(** [shutdown t] drains remaining mailboxes, stops and joins every worker
+    domain.  Idempotent; the pool is unusable afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ... f] — {!create}, run [f], always {!shutdown}. *)
+val with_pool :
+  ?domains:int ->
+  ?capacity:int ->
+  ?batch_max:int ->
+  mode:Bbx_dpienc.Dpienc.mode ->
+  rules:Bbx_rules.Rule.t list ->
+  (t -> 'a) ->
+  'a

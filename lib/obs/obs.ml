@@ -1,27 +1,33 @@
-(* Process-wide metric registry.  Slots are plain mutable records the
-   instrumented modules obtain once (at init or connection setup) and bump
-   directly; the registry only exists for registration-by-name and for
-   rendering.  The hot path is [if !on then slot.value <- slot.value + n]. *)
+(* Process-wide metric registry.  Slots are records the instrumented
+   modules obtain once (at init or connection setup) and bump directly;
+   the registry only exists for registration-by-name and for rendering.
+
+   Counters, gauges and histogram cells are [Atomic.t] so that shard
+   workers on different domains (lib/mbox/shardpool.ml) can bump the same
+   slot without losing increments.  The hot path is still one flag load,
+   one branch and one fetch-and-add — no locks, no allocation.  Spans
+   keep plain mutable fields: they bracket setup-path work and are
+   documented single-domain (see obs.mli). *)
 
 let on =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "BLINDBOX_OBS" with
      | Some ("0" | "false" | "off") -> false
      | _ -> true)
 
-let set_enabled b = on := b
-let enabled () = !on
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_cell : int Atomic.t }
 
-type gauge = { g_name : string; mutable g_value : int }
+type gauge = { g_name : string; g_cell : int Atomic.t }
 
 type histogram = {
   h_name : string;
   bounds : int array;          (* ascending upper bounds; +Inf implicit *)
-  counts : int array;          (* length = Array.length bounds + 1 *)
-  mutable h_sum : int;
-  mutable h_count : int;
+  counts : int Atomic.t array; (* length = Array.length bounds + 1 *)
+  h_sum : int Atomic.t;
+  h_count : int Atomic.t;
 }
 
 type span = {
@@ -39,9 +45,18 @@ type metric =
   | Histogram of histogram
   | Span of span
 
+(* Registration and rendering are cold paths; a mutex makes them safe to
+   call from any domain (worker domains never register, but nothing should
+   break if one does). *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let register name mk unwrap =
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
     (match unwrap m with
@@ -54,25 +69,26 @@ let register name mk unwrap =
 let counter name =
   register name
     (fun () ->
-       let c = { c_name = name; c_value = 0 } in
+       let c = { c_name = name; c_cell = Atomic.make 0 } in
        Hashtbl.add registry name (Counter c);
        c)
     (function Counter c -> Some c | _ -> None)
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = if Atomic.get on then Atomic.incr c.c_cell
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_cell n : int)
+let counter_value c = Atomic.get c.c_cell
 
 let gauge name =
   register name
     (fun () ->
-       let g = { g_name = name; g_value = 0 } in
+       let g = { g_name = name; g_cell = Atomic.make 0 } in
        Hashtbl.add registry name (Gauge g);
        g)
     (function Gauge g -> Some g | _ -> None)
 
-let set_gauge g v = if !on then g.g_value <- v
-let gauge_value g = g.g_value
+let set_gauge g v = if Atomic.get on then Atomic.set g.g_cell v
+let add_gauge g n = if Atomic.get on then ignore (Atomic.fetch_and_add g.g_cell n : int)
+let gauge_value g = Atomic.get g.g_cell
 
 let histogram name ~buckets =
   register name
@@ -83,25 +99,26 @@ let histogram name ~buckets =
              invalid_arg "Obs.histogram: buckets must be strictly ascending")
          bounds;
        let h =
-         { h_name = name; bounds; counts = Array.make (Array.length bounds + 1) 0;
-           h_sum = 0; h_count = 0 }
+         { h_name = name; bounds;
+           counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+           h_sum = Atomic.make 0; h_count = Atomic.make 0 }
        in
        Hashtbl.add registry name (Histogram h);
        h)
     (function Histogram h -> Some h | _ -> None)
 
 let observe h v =
-  if !on then begin
+  if Atomic.get on then begin
     let n = Array.length h.bounds in
     let i = ref 0 in
     while !i < n && h.bounds.(!i) < v do Stdlib.incr i done;
-    h.counts.(!i) <- h.counts.(!i) + 1;
-    h.h_sum <- h.h_sum + v;
-    h.h_count <- h.h_count + 1
+    Atomic.incr h.counts.(!i);
+    ignore (Atomic.fetch_and_add h.h_sum v : int);
+    Atomic.incr h.h_count
   end
 
-let histogram_count h = h.h_count
-let histogram_sum h = h.h_sum
+let histogram_count h = Atomic.get h.h_count
+let histogram_sum h = Atomic.get h.h_sum
 
 let span name =
   register name
@@ -115,13 +132,13 @@ let span name =
     (function Span s -> Some s | _ -> None)
 
 let span_enter s =
-  if !on then begin
+  if Atomic.get on then begin
     s.open_alloc <- Gc.allocated_bytes ();
     s.open_at <- Unix.gettimeofday ()
   end
 
 let span_exit s =
-  if !on && s.open_at >= 0.0 then begin
+  if Atomic.get on && s.open_at >= 0.0 then begin
     s.s_seconds <- s.s_seconds +. (Unix.gettimeofday () -. s.open_at);
     s.s_alloc <- s.s_alloc +. (Gc.allocated_bytes () -. s.open_alloc);
     s.s_count <- s.s_count + 1;
@@ -148,7 +165,7 @@ let split_labels name =
   | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
 
 let sorted_metrics () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  with_registry (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let fmt_float f =
@@ -176,25 +193,25 @@ let render_prometheus () =
        match m with
        | Counter c ->
          type_header base "counter";
-         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels c.c_value)
+         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels (Atomic.get c.c_cell))
        | Gauge g ->
          type_header base "gauge";
-         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels g.g_value)
+         Buffer.add_string buf (Printf.sprintf "%s%s %d\n" base labels (Atomic.get g.g_cell))
        | Histogram h ->
          type_header base "histogram";
          let cum = ref 0 in
          Array.iteri
            (fun i bound ->
-              cum := !cum + h.counts.(i);
+              cum := !cum + Atomic.get h.counts.(i);
               Buffer.add_string buf
                 (Printf.sprintf "%s_bucket%s %d\n" base
                    (with_label labels (Printf.sprintf "le=\"%d\"" bound)) !cum))
            h.bounds;
-         cum := !cum + h.counts.(Array.length h.bounds);
+         cum := !cum + Atomic.get h.counts.(Array.length h.bounds);
          Buffer.add_string buf
            (Printf.sprintf "%s_bucket%s %d\n" base (with_label labels "le=\"+Inf\"") !cum);
-         Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" base labels h.h_sum);
-         Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" base labels h.h_count)
+         Buffer.add_string buf (Printf.sprintf "%s_sum%s %d\n" base labels (Atomic.get h.h_sum));
+         Buffer.add_string buf (Printf.sprintf "%s_count%s %d\n" base labels (Atomic.get h.h_count))
        | Span s ->
          type_header (base ^ "_seconds_sum") "counter";
          Buffer.add_string buf
@@ -228,20 +245,23 @@ let dump_jsonl () =
          match m with
          | Counter c ->
            Printf.sprintf {|{"metric":"%s","type":"counter","value":%d}|}
-             (json_escape name) c.c_value
+             (json_escape name) (Atomic.get c.c_cell)
          | Gauge g ->
            Printf.sprintf {|{"metric":"%s","type":"gauge","value":%d}|}
-             (json_escape name) g.g_value
+             (json_escape name) (Atomic.get g.g_cell)
          | Histogram h ->
            let buckets =
              String.concat ","
                (List.init (Array.length h.bounds)
-                  (fun i -> Printf.sprintf {|{"le":%d,"count":%d}|} h.bounds.(i) h.counts.(i))
-                @ [ Printf.sprintf {|{"le":"+Inf","count":%d}|} h.counts.(Array.length h.bounds) ])
+                  (fun i ->
+                     Printf.sprintf {|{"le":%d,"count":%d}|} h.bounds.(i)
+                       (Atomic.get h.counts.(i)))
+                @ [ Printf.sprintf {|{"le":"+Inf","count":%d}|}
+                      (Atomic.get h.counts.(Array.length h.bounds)) ])
            in
            Printf.sprintf
              {|{"metric":"%s","type":"histogram","sum":%d,"count":%d,"buckets":[%s]}|}
-             (json_escape name) h.h_sum h.h_count buckets
+             (json_escape name) (Atomic.get h.h_sum) (Atomic.get h.h_count) buckets
          | Span s ->
            Printf.sprintf
              {|{"metric":"%s","type":"span","count":%d,"seconds":%s,"alloc_bytes":%s}|}
@@ -261,15 +281,16 @@ let save ~path =
   close_out oc
 
 let reset () =
+  with_registry @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
        match m with
-       | Counter c -> c.c_value <- 0
-       | Gauge g -> g.g_value <- 0
+       | Counter c -> Atomic.set c.c_cell 0
+       | Gauge g -> Atomic.set g.g_cell 0
        | Histogram h ->
-         Array.fill h.counts 0 (Array.length h.counts) 0;
-         h.h_sum <- 0;
-         h.h_count <- 0
+         Array.iter (fun cell -> Atomic.set cell 0) h.counts;
+         Atomic.set h.h_sum 0;
+         Atomic.set h.h_count 0
        | Span s ->
          s.s_count <- 0;
          s.s_seconds <- 0.0;

@@ -11,6 +11,13 @@
     The whole registry renders to Prometheus text exposition
     ({!render_prometheus}) or JSONL ({!dump_jsonl}).
 
+    {b Domain safety}: counters, gauges and histograms are [Atomic]-backed
+    — concurrent bumps from any number of OCaml domains (e.g. the
+    {!Bbx_mbox.Shardpool} workers) lose no increments, and registration
+    plus exposition are mutex-protected.  Spans keep plain mutable fields:
+    they bracket setup-path work on the connection-owning domain and must
+    not be entered concurrently from several domains.
+
     Naming scheme: [bbx_<subsystem>_<quantity>[_<unit>]], with Prometheus
     label syntax baked into the name string where a dimension is needed
     (e.g. [bbx_tokenizer_tokens_total{kind="window"}]).  Counters end in
@@ -46,6 +53,13 @@ type gauge
 
 val gauge : string -> gauge
 val set_gauge : gauge -> int -> unit
+
+(** [add_gauge g n] bumps the gauge by [n] (which may be negative).  The
+    delta form is the domain-safe way to maintain an aggregate gauge from
+    several shards — concurrent [set_gauge] calls would clobber each
+    other. *)
+val add_gauge : gauge -> int -> unit
+
 val gauge_value : gauge -> int
 
 (** {1 Histograms} *)

@@ -134,6 +134,33 @@ let engine_tests =
         Engine.process e (encrypt_payload s "q=evilword");
         Alcotest.(check int) "hit after reset" 1 (List.length (Engine.keyword_hits e));
         Alcotest.(check int) "verdict" 1 (List.length (Engine.verdicts e)));
+    Alcotest.test_case "reset preserves recovered key and monotonic hits" `Quick (fun () ->
+        (* Engine.reset clears salt counters and the per-rule match state,
+           but deliberately keeps [recovered_key] (probable cause already
+           fired; forgetting it would un-ring the bell) and the monotonic
+           [hit_count] that flow stats report. *)
+        let r = rule_of_string
+            "alert tcp any any -> any any (content:\"userquery\"; pcre:\"/userquery=[0-9]+'/\"; sid:9;)" in
+        let e = mk_engine ~mode:Probable [ r ] in
+        let s = sender ~mode:Probable () in
+        let k_ssl = String.make 16 'S' in
+        let payload = "GET /?userquery=42' HTTP/1.1" in
+        Engine.process e (encrypt_payload ~k_ssl s payload);
+        Alcotest.(check (option string)) "key recovered" (Some k_ssl) (Engine.recovered_key e);
+        let hits_before = Engine.hit_count e in
+        Alcotest.(check bool) "hits seen" true (hits_before > 0);
+        let new_salt0 = sender_reset s in
+        Engine.reset e ~salt0:new_salt0;
+        Alcotest.(check (option string)) "key survives reset" (Some k_ssl)
+          (Engine.recovered_key e);
+        Alcotest.(check int) "hit_count survives reset" hits_before (Engine.hit_count e);
+        Alcotest.(check int) "hit list cleared" 0 (List.length (Engine.keyword_hits e));
+        (* matching still works after the reset: the same keyword refires *)
+        Engine.process e (encrypt_payload ~k_ssl s payload);
+        Alcotest.(check bool) "rematch counted" true (Engine.hit_count e > hits_before);
+        (match Engine.verdicts ~plaintext:payload e with
+         | [ v ] -> Alcotest.(check bool) "probable cause" true (v.Engine.via = `Probable_cause)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs))));
     Alcotest.test_case "keyword hits carry stream offsets" `Quick (fun () ->
         let rules = [ Rule.make [ Rule.make_content "evilword" ] ] in
         let e = mk_engine rules in

@@ -57,6 +57,38 @@ let gauge_tests =
         Obs.set_gauge g 5;
         Obs.set_gauge g 3;
         Alcotest.(check int) "3" 3 (Obs.gauge_value g));
+    Alcotest.test_case "add_gauge accumulates deltas" `Quick (fun () ->
+        Obs.set_enabled true;
+        let g = Obs.gauge (fresh "gauge") in
+        Obs.add_gauge g 5;
+        Obs.add_gauge g (-2);
+        Alcotest.(check int) "3" 3 (Obs.gauge_value g));
+  ]
+
+(* Metric bumps must be domain-safe: concurrent increments from several
+   domains may not lose updates (middlebox shards on separate domains
+   share these process-wide slots). *)
+let concurrency_tests =
+  [ Alcotest.test_case "bumps from 4 domains lose nothing" `Quick (fun () ->
+        Obs.set_enabled true;
+        let c = Obs.counter (fresh "mt_counter") in
+        let g = Obs.gauge (fresh "mt_gauge") in
+        let h = Obs.histogram (fresh "mt_hist") ~buckets:[| 10; 100 |] in
+        let n_domains = 4 and iters = 50_000 in
+        let work () =
+          for i = 1 to iters do
+            Obs.incr c;
+            Obs.add_gauge g 1;
+            Obs.add_gauge g (-1);
+            Obs.observe h (i land 127)
+          done
+        in
+        let ds = List.init n_domains (fun _ -> Domain.spawn work) in
+        List.iter Domain.join ds;
+        Alcotest.(check int) "counter exact" (n_domains * iters) (Obs.counter_value c);
+        Alcotest.(check int) "gauge deltas cancel" 0 (Obs.gauge_value g);
+        Alcotest.(check int) "histogram count exact" (n_domains * iters)
+          (Obs.histogram_count h));
   ]
 
 let histogram_tests =
@@ -159,6 +191,7 @@ let () =
   Alcotest.run "obs"
     [ ("counters", counter_tests);
       ("gauges", gauge_tests);
+      ("concurrency", concurrency_tests);
       ("histograms", histogram_tests);
       ("spans", span_tests);
       ("exposition", exposition_tests) ]

@@ -1,0 +1,231 @@
+(* Shardpool tests: unit coverage of the pool API plus a qcheck
+   differential — the same random interleaved multi-connection delivery
+   trace through the sequential Middlebox and through Shardpool at 1, 2
+   and 4 worker domains must produce identical per-delivery verdicts,
+   aggregate stats, flow stats and blocked flags.  Connection routing is
+   by id and each connection's deliveries stay FIFO on one shard, so
+   parallelism must not be observable in the results. *)
+
+open Bbx_dpienc.Dpienc
+open Bbx_mbox
+open Bbx_tokenizer.Tokenizer
+
+let rules =
+  [ Bbx_rules.Rule.make ~sid:1 [ Bbx_rules.Rule.make_content "alertkw1" ];
+    Bbx_rules.Rule.make ~sid:2 [ Bbx_rules.Rule.make_content "otherkw2" ];
+    Bbx_rules.Rule.make ~action:Bbx_rules.Rule.Drop ~sid:3
+      [ Bbx_rules.Rule.make_content "dropkw33" ] ]
+
+let key_for conn = key_of_secret (Printf.sprintf "pool-conn-%d" conn)
+
+let register_pool pool conn =
+  Shardpool.register pool ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc (key_for conn))
+
+let register_seq mb conn =
+  Middlebox.register mb ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc (key_for conn))
+
+(* List.map with a guaranteed left-to-right application order (the tests
+   map side-effecting functions — sender encryption, submissions,
+   sequential processing — where order is the point). *)
+let map_in_order f l = List.rev (List.fold_left (fun acc x -> f x :: acc) [] l)
+
+(* Wires for one connection's deliveries, in order (each advances the
+   sender's salt counters, so the list is computed once and replayed
+   verbatim against every middlebox variant). *)
+let wires_for conn payloads =
+  let s = sender_create Exact (key_for conn) ~salt0:0 in
+  map_in_order (fun p -> encode_tokens (sender_encrypt s (delimiter p))) payloads
+
+let with_pool ~domains f = Shardpool.with_pool ~domains ~mode:Exact ~rules f
+
+(* ---------- unit tests ---------- *)
+
+let unit_tests =
+  [ Alcotest.test_case "sync process_wire matches Middlebox semantics" `Quick (fun () ->
+        with_pool ~domains:2 @@ fun pool ->
+        register_pool pool 1;
+        register_pool pool 2;
+        let w1 = wires_for 1 [ "x=alertkw1"; "q=dropkw33"; "after" ] in
+        let w2 = wires_for 2 [ "benign hello" ] in
+        (match (w1, w2) with
+         | [ a; d; after ], [ b ] ->
+           Alcotest.(check int) "alert" 1
+             (List.length (Shardpool.process_wire pool ~conn_id:1 a));
+           Alcotest.(check int) "clean" 0
+             (List.length (Shardpool.process_wire pool ~conn_id:2 b));
+           ignore (Shardpool.process_wire pool ~conn_id:1 d : Engine.verdict list);
+           Alcotest.(check bool) "blocked" true (Shardpool.is_blocked pool ~conn_id:1);
+           Alcotest.(check bool) "blocked conn raises" true
+             (match Shardpool.process_wire pool ~conn_id:1 after with
+              | exception Invalid_argument _ -> true
+              | _ -> false)
+         | _ -> Alcotest.fail "wire setup");
+        Alcotest.(check int) "blocked count" 1 (Shardpool.stats pool).Shard.blocked);
+    Alcotest.test_case "drain replays verdicts in submission order" `Quick (fun () ->
+        with_pool ~domains:4 @@ fun pool ->
+        let conns = [ 0; 1; 2; 3; 4; 5 ] in
+        List.iter (register_pool pool) conns;
+        let seqs =
+          List.concat_map
+            (fun conn ->
+               map_in_order
+                 (fun w -> Shardpool.submit pool ~conn_id:conn w)
+                 (wires_for conn [ "x=alertkw1"; "benign" ]))
+            conns
+        in
+        let seen = ref [] in
+        Shardpool.drain pool ~f:(fun ~seq ~conn_id:_ _ -> seen := seq :: !seen);
+        Alcotest.(check (list int)) "all seqs, ascending" seqs (List.rev !seen));
+    Alcotest.test_case "deliveries after a drop rule are dropped silently" `Quick (fun () ->
+        with_pool ~domains:1 @@ fun pool ->
+        register_pool pool 7;
+        let wires = wires_for 7 [ "q=dropkw33"; "late one"; "even later" ] in
+        let seqs = map_in_order (Shardpool.submit pool ~conn_id:7) wires in
+        let got = ref [] in
+        Shardpool.drain pool ~f:(fun ~seq ~conn_id:_ _ -> got := seq :: !got);
+        (* only the blocking delivery itself reports *)
+        Alcotest.(check (list int)) "one callback" [ List.hd seqs ] (List.rev !got);
+        Alcotest.(check bool) "blocked" true (Shardpool.is_blocked pool ~conn_id:7));
+    Alcotest.test_case "registration rules match Middlebox" `Quick (fun () ->
+        with_pool ~domains:2 @@ fun pool ->
+        register_pool pool 1;
+        Alcotest.(check bool) "duplicate raises" true
+          (match register_pool pool 1 with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Alcotest.(check bool) "unknown submit raises" true
+          (match Shardpool.submit pool ~conn_id:99 "" with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Shardpool.unregister pool ~conn_id:1;
+        Shardpool.unregister pool ~conn_id:1;  (* idempotent *)
+        register_pool pool 1;                  (* id reusable *)
+        Alcotest.(check int) "one connection" 1 (Shardpool.stats pool).Shard.connections);
+    Alcotest.test_case "worker exceptions surface at drain" `Quick (fun () ->
+        let pool = Shardpool.create ~domains:2 ~mode:Exact ~rules () in
+        Fun.protect ~finally:(fun () -> Shardpool.shutdown pool) @@ fun () ->
+        Shardpool.register pool ~conn_id:1 ~salt0:0
+          ~enc_chunk:(fun _ -> failwith "oracle exploded");
+        Alcotest.(check bool) "raises" true
+          (match Shardpool.drain pool ~f:(fun ~seq:_ ~conn_id:_ _ -> ()) with
+           | exception Failure _ -> true
+           | _ -> false));
+    Alcotest.test_case "shutdown is idempotent and poisons the pool" `Quick (fun () ->
+        let pool = Shardpool.create ~domains:2 ~mode:Exact ~rules () in
+        Shardpool.shutdown pool;
+        Shardpool.shutdown pool;
+        Alcotest.(check bool) "use after shutdown raises" true
+          (match register_pool pool 1 with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
+(* ---------- differential: pool vs sequential middlebox ---------- *)
+
+let payload_pool =
+  [| "GET /index.html HTTP/1.1";
+     "x=alertkw1&noise=1";
+     "benign hello world";
+     "y=otherkw2 z=alertkw1";
+     "more benign filler text";
+     "q=dropkw33";
+     "tail traffic after things" |]
+
+(* A trace is a list of (conn, payload index) deliveries.  Per-connection
+   wires are pre-encrypted in that connection's delivery order and shared
+   by the sequential run and every pool run. *)
+let wires_of_trace trace =
+  let per_conn = Hashtbl.create 8 in
+  List.iter
+    (fun (conn, p) ->
+       let l = Option.value (Hashtbl.find_opt per_conn conn) ~default:[] in
+       Hashtbl.replace per_conn conn (payload_pool.(p) :: l))
+    trace;
+  let streams = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun conn payloads ->
+       Hashtbl.replace streams conn (ref (wires_for conn (List.rev payloads))))
+    per_conn;
+  map_in_order
+    (fun (conn, _) ->
+       let s = Hashtbl.find streams conn in
+       match !s with
+       | w :: rest ->
+         s := rest;
+         (conn, w)
+       | [] -> assert false)
+    trace
+
+let conns_of_trace trace = List.sort_uniq compare (List.map fst trace)
+
+(* verdict lists compared by (rule index, via) *)
+let obs_of_verdicts vs = List.map (fun v -> (v.Engine.rule_idx, v.Engine.via)) vs
+
+let run_sequential trace =
+  let mb = Middlebox.create ~mode:Exact ~rules in
+  List.iter (register_seq mb) (conns_of_trace trace);
+  let results =
+    map_in_order
+      (fun (conn, wire) ->
+         match Middlebox.process_wire mb ~conn_id:conn wire with
+         | vs -> Some (obs_of_verdicts vs)
+         | exception Invalid_argument _ -> None)
+      (wires_of_trace trace)
+  in
+  let flows =
+    List.map
+      (fun conn ->
+         (conn, Middlebox.flow_stats mb ~conn_id:conn, Middlebox.is_blocked mb ~conn_id:conn))
+      (conns_of_trace trace)
+  in
+  (results, Middlebox.stats mb, flows)
+
+let run_pool ~domains trace =
+  with_pool ~domains @@ fun pool ->
+  List.iter (register_pool pool) (conns_of_trace trace);
+  let seqs =
+    map_in_order (fun (conn, wire) -> Shardpool.submit pool ~conn_id:conn wire)
+      (wires_of_trace trace)
+  in
+  let by_seq = Hashtbl.create 64 in
+  Shardpool.drain pool ~f:(fun ~seq ~conn_id:_ vs ->
+      Hashtbl.replace by_seq seq (obs_of_verdicts vs));
+  let results = List.map (Hashtbl.find_opt by_seq) seqs in
+  let flows =
+    List.map
+      (fun conn ->
+         (conn, Shardpool.flow_stats pool ~conn_id:conn, Shardpool.is_blocked pool ~conn_id:conn))
+      (conns_of_trace trace)
+  in
+  (results, Shardpool.stats pool, flows)
+
+let arb_trace =
+  let print trace =
+    String.concat ";" (List.map (fun (c, p) -> Printf.sprintf "%d:%d" c p) trace)
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      let* n_conns = int_range 1 6 in
+      let* len = int_range 1 30 in
+      list_size (return len)
+        (let* c = int_range 0 (n_conns - 1) in
+         let* p = int_range 0 (Array.length payload_pool - 1) in
+         (* scattered, non-dense ids so routing exercises the modulo *)
+         return (3 + (c * 5), p)))
+
+let diff_tests =
+  let prop domains =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:(Printf.sprintf "pool@%d matches sequential middlebox" domains)
+         ~count:10 arb_trace
+         (fun trace ->
+            let r_seq, s_seq, f_seq = run_sequential trace in
+            let r_pool, s_pool, f_pool = run_pool ~domains trace in
+            r_seq = r_pool && s_seq = s_pool && f_seq = f_pool))
+  in
+  [ prop 1; prop 2; prop 4 ]
+
+let () =
+  Alcotest.run "shardpool"
+    [ ("unit", unit_tests); ("differential", diff_tests) ]
