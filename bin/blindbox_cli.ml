@@ -136,7 +136,7 @@ let print_alert v =
      | `Probable_cause -> "probable cause")
 
 let inspect_cmd =
-  let run rules_path probable window domains metrics =
+  let run rules_path probable window domains garbled setup_domains metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match Parser.parse_ruleset (read_file rules_path) with
@@ -149,7 +149,9 @@ let inspect_cmd =
     let config =
       { Session.default_config with
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
-        tokenization = (if window then Session.Window else Session.Delimiter) }
+        tokenization = (if window then Session.Window else Session.Delimiter);
+        rule_prep = (if garbled then Session.Garbled else Session.Direct);
+        setup_domains = max 1 setup_domains }
     in
     if domains > 0 then begin
       (* sharded middlebox: the connection lives on a pool worker domain.
@@ -205,10 +207,25 @@ let inspect_cmd =
            ~doc:"Run the middlebox sharded across $(docv) OCaml domains \
                  (0 = sequential in-process connection, the default).")
   in
+  let garbled =
+    Arg.(value & flag
+         & info [ "garbled-setup" ]
+           ~doc:"Run real obfuscated rule encryption (garbled circuits + OT) \
+                 during connection setup instead of the trusted-simulation \
+                 shortcut.  Expect roughly a second per distinct chunk.")
+  in
+  let setup_domains =
+    Arg.(value & opt int 1
+         & info [ "setup-domains" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel stages of rule preparation \
+                 (garbling, equality check, circuit evaluation); only \
+                 meaningful with $(b,--garbled-setup).  Output is \
+                 byte-identical at any count.")
+  in
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
-    Term.(const run $ rules $ probable $ window $ domains $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ domains $ garbled $ setup_domains $ metrics_arg)
 
 (* ---- stats ---- *)
 
@@ -218,7 +235,7 @@ let inspect_cmd =
    payloads carrying actual rule keywords, so hit/match counters are
    non-zero in both Exact and Probable modes. *)
 let stats_cmd =
-  let run rules_path probable window sends domains conns format metrics =
+  let run rules_path probable window sends domains conns garbled setup_domains format metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -234,7 +251,9 @@ let stats_cmd =
     let config =
       { Session.default_config with
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
-        tokenization = (if window then Session.Window else Session.Delimiter) }
+        tokenization = (if window then Session.Window else Session.Delimiter);
+        rule_prep = (if garbled then Session.Garbled else Session.Direct);
+        setup_domains = max 1 setup_domains }
     in
     (* one keyword per rule woven into otherwise benign traffic *)
     let keywords =
@@ -293,6 +312,20 @@ let stats_cmd =
          & info [ "conns" ] ~docv:"C"
            ~doc:"Connections to spread the trace over in sharded mode.")
   in
+  let garbled =
+    Arg.(value & flag
+         & info [ "garbled-setup" ]
+           ~doc:"Run real obfuscated rule encryption during setup so the \
+                 bbx_ruleprep_* counters (circuits, circuit bytes, OT bytes, \
+                 garble/eval seconds) are populated.  Expect roughly a second \
+                 per distinct chunk; pair with a small $(b,--rules) file.")
+  in
+  let setup_domains =
+    Arg.(value & opt int 1
+         & info [ "setup-domains" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel stages of rule preparation; \
+                 only meaningful with $(b,--garbled-setup).")
+  in
   let format =
     Arg.(value
          & opt (enum [ ("prometheus", `Prometheus); ("jsonl", `Jsonl) ]) `Prometheus
@@ -301,7 +334,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Drive a sample trace through a BlindBox connection and render the metric registry")
-    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ format $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ garbled $ setup_domains $ format $ metrics_arg)
 
 let () =
   let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in

@@ -18,14 +18,38 @@
     Rule authenticity: RG signs each chunk with {!Bbx_sig.Rsa}; the
     middlebox's signatures are verified against RG's public key before any
     labels are transferred.  Unlike the paper, the check runs outside the
-    garbled circuit (DESIGN.md §2, substitution 3). *)
+    garbled circuit (DESIGN.md §2, substitution 3).
+
+    {b Parallel setup}: every chunk's garbling DRBG is derived from
+    [(generation, chunk index)] alone, so the per-chunk stages (sender
+    garbling, receiver re-derivation + equality check, circuit
+    evaluation) are embarrassingly parallel.  With [?domains > 1] they
+    run on a {!Bbx_exec.Pool} of worker domains and the output is
+    byte-identical to the sequential path at any domain count.
+
+    {b Incremental setup}: {!update} re-prepares only the delta of a rule
+    update — retained chunks keep their encryptions, fresh chunks are
+    garbled under the next generation label (circuits are never reused
+    across evaluator inputs, so update randomness never collides with any
+    earlier round's). *)
 
 type stats = {
   circuits : int;
   circuit_bytes : int;       (** serialized garbled-circuit bytes shipped *)
   ot_bytes : int;            (** OT transcript bytes *)
-  garble_seconds : float;    (** endpoint-side garbling time (one endpoint) *)
-  eval_seconds : float;      (** middlebox evaluation time *)
+  garble_seconds : float;    (** endpoint-side garbling time (one endpoint);
+                                 0.0 when observability is disabled *)
+  eval_seconds : float;      (** middlebox evaluation time; 0.0 when
+                                 observability is disabled *)
+}
+
+(** A completed preparation round: the prepared chunk set, each chunk's
+    [AES_k(chunk)], and the generation counter namespacing the next
+    update's garbling randomness. *)
+type prepared = {
+  chunks : string array;
+  encs : string array;       (** [encs.(i) = AES_k(chunks.(i))] *)
+  generation : int;
 }
 
 (** [prepare ~k ~k_rand ~chunks ~signatures ~rg_key ()] returns
@@ -34,9 +58,12 @@ type stats = {
     chunk is not token-sized.  [generation] namespaces the garbling
     randomness: every preparation round (initial setup, each rule update)
     must use a distinct generation, because garbled-circuit security
-    forbids evaluating one circuit on two inputs. *)
+    forbids evaluating one circuit on two inputs.  [domains] (default 1 =
+    fully sequential) runs the per-chunk stages on that many worker
+    domains; the output is byte-identical at any count. *)
 val prepare :
   ?generation:string ->
+  ?domains:int ->
   k:string ->
   k_rand:string ->
   chunks:string array ->
@@ -48,7 +75,8 @@ val prepare :
 (** [prepare_unchecked ~k ~k_rand ~chunks] — same without RG signatures
     (for benches isolating the crypto cost). *)
 val prepare_unchecked :
-  ?generation:string -> k:string -> k_rand:string -> chunks:string array -> unit ->
+  ?generation:string -> ?domains:int -> k:string -> k_rand:string ->
+  chunks:string array -> unit ->
   string array * stats
 
 (** [prepare_distrusting ~k ~k_rand_sender ~k_rand_receiver ~chunks] runs
@@ -59,6 +87,44 @@ val prepare_unchecked :
 val prepare_distrusting :
   k:string -> k_rand_sender:string -> k_rand_receiver:string -> chunks:string array ->
   string array * stats
+
+(** [prepared ~chunks ~encs] packages an initial preparation round (e.g.
+    the output of {!prepare}) at generation 0, ready for {!update}. *)
+val prepared : chunks:string array -> encs:string array -> prepared
+
+(** [lookup prep] — an [enc_chunk] oracle over the prepared set (raises
+    [Not_found] on unprepared chunks). *)
+val lookup : prepared -> string -> string
+
+(** [update ~k ~k_rand ~prev ~add ~remove ()] applies a rule-update delta
+    to a previous preparation: chunks in [remove] are dropped, chunks in
+    [add] not already retained are garbled from scratch — under the next
+    generation label, so no circuit randomness is ever shared with an
+    earlier round — and everything else keeps its existing encryption.
+    Returns the new {!prepared} (kept chunks first, fresh appended in
+    first-appearance order) and the stats of the delta preparation only
+    ([stats.circuits] = number of freshly garbled chunks).  When
+    [signatures]/[rg_key] are given (both or neither), the signatures
+    cover [add] position-wise and are verified first. *)
+val update :
+  ?domains:int ->
+  ?signatures:string array ->
+  ?rg_key:Bbx_sig.Rsa.public_key ->
+  k:string ->
+  k_rand:string ->
+  prev:prepared ->
+  add:string array ->
+  remove:string array ->
+  unit ->
+  prepared * stats
+
+(** [update_direct ~enc ~prev ~add ~remove] — the same delta bookkeeping
+    with a direct encryption oracle instead of the garbled exchange (the
+    {!Session.Direct} trusted-simulation mode).  The generation counter
+    still advances, keeping parity with the garbled path. *)
+val update_direct :
+  enc:(string -> string) -> prev:prepared -> add:string array -> remove:string array ->
+  prepared
 
 (** The circuit is built once per process (it does not depend on keys);
     rule preparation uses the tower-field AES circuit (9 000 AND gates,

@@ -37,11 +37,12 @@ type config = {
   rule_prep : rule_prep_mode;
   salt0 : int;
   reset_period : int;
+  setup_domains : int;
 }
 
 let default_config =
   { mode = Dpienc.Exact; tokenization = Delimiter; rule_prep = Direct;
-    salt0 = 0; reset_period = 1 lsl 20 }
+    salt0 = 0; reset_period = 1 lsl 20; setup_domains = 1 }
 
 type setup_stats = {
   chunk_count : int;
@@ -70,10 +71,9 @@ type t = {
   reported : (int, unit) Hashtbl.t; (* rule indices already reported in a delivery *)
   mutable is_blocked : bool;        (* a drop-action rule fired *)
   dir : string;                     (* record-layer direction label *)
-  mutable chunks_cache : string array; (* for resumption tickets *)
-  mutable encs_cache : string array;
+  mutable prep : Ruleprep.prepared; (* prepared chunk set: resumption tickets +
+                                       incremental updates (generation counter) *)
   rg : Bbx_sig.Rsa.keypair option;  (* retained for incremental rule prep *)
-  mutable rule_generation : int;    (* counts rule updates (fresh garbling namespace) *)
 }
 
 let direction = "sender->receiver"
@@ -81,12 +81,8 @@ let direction = "sender->receiver"
 (* Build the in-process trio (S, MB, R) from agreed keys and prepared
    encrypted rules.  [label] salts the record-layer direction so resumed
    connections never reuse a keystream. *)
-let make_session ?rg config keys ~rules ~chunks ~encs ~label =
-  let enc_chunk =
-    let tbl = Hashtbl.create (Array.length chunks) in
-    Array.iteri (fun i c -> Hashtbl.replace tbl c encs.(i)) chunks;
-    fun chunk -> Hashtbl.find tbl chunk
-  in
+let make_session ?rg config keys ~rules ~prep ~label =
+  let enc_chunk = Ruleprep.lookup prep in
   let engine =
     Bbx_mbox.Engine.create ~mode:config.mode ~salt0:config.salt0 ~rules ~enc_chunk
   in
@@ -109,10 +105,8 @@ let make_session ?rg config keys ~rules ~chunks ~encs ~label =
     reported = Hashtbl.create 8;
     is_blocked = false;
     dir;
-    chunks_cache = chunks;
-    encs_cache = encs;
-    rg;
-    rule_generation = 0 }
+    prep;
+    rg }
 
 let dpienc_tokenization config =
   match config.tokenization with
@@ -144,7 +138,10 @@ let run_handshake seed =
   Obs.span_exit obs_handshake;
   keys
 
-(* Shared rule preparation used by [establish] and [Duplex.establish]. *)
+(* Shared rule preparation used by [establish], [Duplex.establish] and
+   [Fleet.establish].  [config.setup_domains > 1] runs the garbled
+   stages on a worker-domain pool ({!Ruleprep}); the prepared output is
+   byte-identical at any domain count. *)
 let prepare_rules config ?rg keys rules =
   Obs.time obs_rule_prep @@ fun () ->
   let chunks = Bbx_mbox.Engine.distinct_chunks rules in
@@ -157,50 +154,50 @@ let prepare_rules config ?rg keys rules =
       let encs, stats =
         match rg with
         | None ->
-          Ruleprep.prepare_unchecked ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks ()
+          Ruleprep.prepare_unchecked ~domains:config.setup_domains
+            ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks ()
         | Some (kp : Bbx_sig.Rsa.keypair) ->
           let signatures = Array.map (Bbx_sig.Rsa.sign kp.Bbx_sig.Rsa.private_) chunks in
-          Ruleprep.prepare ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks
+          Ruleprep.prepare ~domains:config.setup_domains
+            ~k:keys.Handshake.k ~k_rand:keys.Handshake.k_rand ~chunks
             ~signatures ~rg_key:kp.Bbx_sig.Rsa.public ()
       in
       (encs, Some stats)
   in
-  (chunks, encs, rule_prep_stats)
+  (Ruleprep.prepared ~chunks ~encs, rule_prep_stats)
 
 let establish ?(config = default_config) ?(seed = "blindbox-session") ?rg ~rules () =
   Obs.span_enter obs_setup;
   let t0 = Unix.gettimeofday () in
   let keys = run_handshake seed in
-  let chunks, encs, rule_prep_stats = prepare_rules config ?rg keys rules in
-  let t = make_session ?rg config keys ~rules ~chunks ~encs ~label:"" in
+  let prep, rule_prep_stats = prepare_rules config ?rg keys rules in
+  let t = make_session ?rg config keys ~rules ~prep ~label:"" in
   Obs.span_exit obs_setup;
   ( t,
-    { chunk_count = Array.length chunks;
+    { chunk_count = Array.length prep.Ruleprep.chunks;
       rule_prep_stats;
       setup_seconds = Unix.gettimeofday () -. t0 } )
 
 type ticket = {
   tk_keys : Handshake.keys;
   tk_config : config;
-  tk_chunks : string array;
-  tk_encs : string array;
+  tk_prep : Ruleprep.prepared;
   mutable tk_uses : int;
 }
 
 let resumption_ticket t =
   { tk_keys = t.keys;
     tk_config = t.config;
-    tk_chunks = t.chunks_cache;
-    tk_encs = t.encs_cache;
+    tk_prep = t.prep;
     tk_uses = 0 }
 
 let resume ?config ticket ~rules () =
   let config = Option.value config ~default:ticket.tk_config in
   let chunks = Bbx_mbox.Engine.distinct_chunks rules in
-  if chunks <> ticket.tk_chunks then
+  if chunks <> ticket.tk_prep.Ruleprep.chunks then
     invalid_arg "Session.resume: ruleset differs from the ticket's";
   ticket.tk_uses <- ticket.tk_uses + 1;
-  make_session config ticket.tk_keys ~rules ~chunks:ticket.tk_chunks ~encs:ticket.tk_encs
+  make_session config ticket.tk_keys ~rules ~prep:ticket.tk_prep
     ~label:(Printf.sprintf "#resume-%d" ticket.tk_uses)
 
 type delivery = {
@@ -340,59 +337,68 @@ let deliver t ~record ~wire ~token_count =
     token_count }
 
 (* Rule update on a live connection (§2.3: RG ships new signatures to its
-   middlebox customers): only the chunks not already prepared pay the
-   obfuscated-rule-encryption cost. *)
-let add_rules t rules =
-  let known = Hashtbl.create (Array.length t.chunks_cache) in
-  Array.iter (fun c -> Hashtbl.replace known c ()) t.chunks_cache;
-  let fresh_chunks =
-    Array.of_list
-      (List.filter
-         (fun c -> not (Hashtbl.mem known c))
-         (Array.to_list (Bbx_mbox.Engine.distinct_chunks rules)))
-  in
-  let fresh_encs, stats =
+   middlebox customers): rules named by [remove_sids] are retired, [rules]
+   are added, and only chunks not already prepared pay the
+   obfuscated-rule-encryption cost ({!Ruleprep.update} garbles the delta
+   under a fresh generation). *)
+let update_rules t ?(remove_sids = []) rules =
+  (* 1. the middlebox drops the retired rules; chunks no retained rule
+     needs leave the detection tree, and the reported-rule set is
+     remapped across the rule-index shift *)
+  let removed_chunks, remap = Bbx_mbox.Engine.remove_rules t.engine ~sids:remove_sids in
+  if remove_sids <> [] then begin
+    let old_idxs = Hashtbl.fold (fun idx () acc -> idx :: acc) t.reported [] in
+    Hashtbl.reset t.reported;
+    List.iter
+      (fun idx ->
+         match remap.(idx) with
+         | -1 -> ()
+         | idx' -> Hashtbl.replace t.reported idx' ())
+      old_idxs
+  end;
+  (* 2. the endpoints re-prepare only the delta *)
+  let add_chunks = Bbx_mbox.Engine.distinct_chunks rules in
+  let remove = Array.of_list removed_chunks in
+  let prep, stats =
     match t.config.rule_prep with
     | Direct ->
       let key = Dpienc.key_of_secret t.keys.Handshake.k in
-      (Array.map (Dpienc.token_enc key) fresh_chunks, None)
+      (Ruleprep.update_direct ~enc:(Dpienc.token_enc key) ~prev:t.prep
+         ~add:add_chunks ~remove,
+       None)
     | Garbled ->
-      (* preparation runs for the fresh chunks only, on a fresh garbling
-         generation (circuits are never reused across inputs) *)
-      t.rule_generation <- t.rule_generation + 1;
-      let generation = Printf.sprintf "update-%d" t.rule_generation in
-      let encs, st =
+      let signatures, rg_key =
         match t.rg with
-        | None ->
-          Ruleprep.prepare_unchecked ~generation ~k:t.keys.Handshake.k
-            ~k_rand:t.keys.Handshake.k_rand ~chunks:fresh_chunks ()
+        | None -> (None, None)
         | Some kp ->
-          let signatures =
-            Array.map (Bbx_sig.Rsa.sign kp.Bbx_sig.Rsa.private_) fresh_chunks
-          in
-          Ruleprep.prepare ~generation ~k:t.keys.Handshake.k
-            ~k_rand:t.keys.Handshake.k_rand ~chunks:fresh_chunks ~signatures
-            ~rg_key:kp.Bbx_sig.Rsa.public ()
+          ( Some (Array.map (Bbx_sig.Rsa.sign kp.Bbx_sig.Rsa.private_) add_chunks),
+            Some kp.Bbx_sig.Rsa.public )
       in
-      (encs, Some st)
+      let prep, st =
+        Ruleprep.update ~domains:t.config.setup_domains ?signatures ?rg_key
+          ~k:t.keys.Handshake.k ~k_rand:t.keys.Handshake.k_rand ~prev:t.prep
+          ~add:add_chunks ~remove ()
+      in
+      (prep, Some st)
   in
-  let tbl = Hashtbl.create (Array.length fresh_chunks) in
-  Array.iteri (fun i c -> Hashtbl.replace tbl c fresh_encs.(i)) fresh_chunks;
+  t.prep <- prep;
+  (* 3. the middlebox extends its tree with the new rules' fresh chunks *)
   let added =
-    Bbx_mbox.Engine.add_rules t.engine ~rules ~enc_chunk:(fun c -> Hashtbl.find tbl c)
+    Bbx_mbox.Engine.add_rules t.engine ~rules ~enc_chunk:(Ruleprep.lookup prep)
   in
-  t.chunks_cache <- Array.append t.chunks_cache fresh_chunks;
-  t.encs_cache <- Array.append t.encs_cache fresh_encs;
   (* A rule update forces a salt reset: the sender may already have
      emitted the new keywords' token values under earlier salts, and the
-     middlebox has no way to know their counts.  Resetting puts every
-     counter — old and new — back in lock-step. *)
+     middlebox has no way to know their counts (removal additionally
+     rebuilds the tree, restarting retained counters).  Resetting puts
+     every counter — old and new — back in lock-step. *)
   t.bytes_since_reset <- 0;
   let new_salt0 = Dpienc.sender_reset t.dpi_sender in
   Bbx_mbox.Engine.reset t.engine ~salt0:new_salt0;
   let mirror_salt0 = Dpienc.sender_reset t.dpi_mirror in
   assert (mirror_salt0 = new_salt0);
   (added, stats)
+
+let add_rules t rules = update_rules t rules
 
 let send t payload =
   let record, wire, token_count = sender_encrypt t ~tokenized:true payload in
@@ -432,12 +438,12 @@ module Duplex = struct
     let keys = run_handshake seed in
     (* one rule preparation covers the chunks of the whole ruleset; each
        direction's engine then loads only the rules that apply to it *)
-    let chunks, encs, rule_prep_stats = prepare_rules config ?rg keys rules in
+    let prep, rule_prep_stats = prepare_rules config ?rg keys rules in
     let mk direction label =
-      make_session ?rg config keys ~rules:(rules_for direction rules) ~chunks ~encs ~label
+      make_session ?rg config keys ~rules:(rules_for direction rules) ~prep ~label
     in
     ( { c2s = mk `From_client "/c2s"; s2c = mk `From_server "/s2c" },
-      { chunk_count = Array.length chunks;
+      { chunk_count = Array.length prep.Ruleprep.chunks;
         rule_prep_stats;
         setup_seconds = Unix.gettimeofday () -. t0 } )
 
@@ -465,12 +471,15 @@ module Fleet = struct
     fc_sender : Dpienc.sender;
     mutable fc_off : int;
     mutable fc_bytes_since_reset : int;
+    mutable fc_prep : Ruleprep.prepared;  (* per-connection keys mean
+                                             per-connection prepared rules *)
   }
 
   type fleet = {
     fl_config : config;
     fl_pool : Bbx_mbox.Shardpool.t;
     fl_conns : (int, conn) Hashtbl.t;
+    mutable fl_rules : Bbx_rules.Rule.t list;  (* current fleet-wide ruleset *)
   }
 
   let establish ?(config = default_config) ?(seed = "blindbox-fleet") ?domains
@@ -478,19 +487,18 @@ module Fleet = struct
     if conns < 1 then invalid_arg "Fleet.establish: conns must be >= 1";
     Obs.span_enter obs_setup;
     let pool = Bbx_mbox.Shardpool.create ?domains ~mode:config.mode ~rules () in
-    let t = { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns } in
+    let t =
+      { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns;
+        fl_rules = rules }
+    in
     (try
        for i = 0 to conns - 1 do
          (* each connection runs its own handshake, so per-connection keys
             mean per-connection encrypted rules — exactly as in [establish] *)
          let keys = run_handshake (Printf.sprintf "%s#%d" seed i) in
-         let chunks, encs, _ = prepare_rules config keys rules in
-         let enc_chunk =
-           let tbl = Hashtbl.create (Array.length chunks) in
-           Array.iteri (fun j c -> Hashtbl.replace tbl c encs.(j)) chunks;
-           fun chunk -> Hashtbl.find tbl chunk
-         in
-         Bbx_mbox.Shardpool.register pool ~conn_id:i ~salt0:config.salt0 ~enc_chunk;
+         let prep, _ = prepare_rules config keys rules in
+         Bbx_mbox.Shardpool.register pool ~conn_id:i ~salt0:config.salt0
+           ~enc_chunk:(Ruleprep.lookup prep);
          Hashtbl.add t.fl_conns i
            { fc_id = i;
              fc_keys = keys;
@@ -498,7 +506,8 @@ module Fleet = struct
                Dpienc.sender_create config.mode
                  (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
              fc_off = 0;
-             fc_bytes_since_reset = 0 }
+             fc_bytes_since_reset = 0;
+             fc_prep = prep }
        done
      with e ->
        Bbx_mbox.Shardpool.shutdown pool;
@@ -538,6 +547,53 @@ module Fleet = struct
       Bbx_mbox.Shardpool.reset_conn t.fl_pool ~conn_id:conn ~salt0
     end;
     seq
+
+  (* Fleet-wide rule update: the delta is computed once front-side (chunk
+     need is rule-derived, identical for every connection), then each
+     connection re-prepares it under its own keys and ships the update
+     through its shard mailbox.  The update message and the salt reset
+     that follows ride the same per-connection FIFO as deliveries, so the
+     engine's counters move exactly when the sender's do. *)
+  let update_rules t ?(remove_sids = []) add =
+    let keep r =
+      match r.Bbx_rules.Rule.sid with
+      | Some s -> not (List.mem s remove_sids)
+      | None -> true
+    in
+    let new_rules = List.filter keep t.fl_rules @ add in
+    let old_needed = Bbx_mbox.Engine.distinct_chunks t.fl_rules in
+    let new_needed = Bbx_mbox.Engine.distinct_chunks new_rules in
+    let still = Hashtbl.create (max 16 (Array.length new_needed)) in
+    Array.iter (fun c -> Hashtbl.replace still c ()) new_needed;
+    let remove =
+      Array.of_list
+        (List.filter (fun c -> not (Hashtbl.mem still c)) (Array.to_list old_needed))
+    in
+    Hashtbl.iter
+      (fun conn_id c ->
+         let prep =
+           match t.fl_config.rule_prep with
+           | Direct ->
+             let key = Dpienc.key_of_secret c.fc_keys.Handshake.k in
+             Ruleprep.update_direct ~enc:(Dpienc.token_enc key) ~prev:c.fc_prep
+               ~add:new_needed ~remove
+           | Garbled ->
+             fst
+               (Ruleprep.update ~domains:t.fl_config.setup_domains
+                  ~k:c.fc_keys.Handshake.k ~k_rand:c.fc_keys.Handshake.k_rand
+                  ~prev:c.fc_prep ~add:new_needed ~remove ())
+         in
+         c.fc_prep <- prep;
+         Bbx_mbox.Shardpool.update_rules t.fl_pool ~conn_id ~remove_sids ~add
+           ~rules:new_rules ~enc_chunk:(Ruleprep.lookup prep);
+         (* forced salt reset, as after any rule update (see [update_rules]
+            on a single session) *)
+         c.fc_bytes_since_reset <- 0;
+         Obs.incr obs_resets;
+         let salt0 = Dpienc.sender_reset c.fc_sender in
+         Bbx_mbox.Shardpool.reset_conn t.fl_pool ~conn_id ~salt0)
+      t.fl_conns;
+    t.fl_rules <- new_rules
 
   let drain t ~f = Bbx_mbox.Shardpool.drain t.fl_pool ~f
 

@@ -30,6 +30,10 @@ type config = {
   rule_prep : rule_prep_mode;
   salt0 : int;
   reset_period : int;  (** bytes between salt-counter resets; 0 = never *)
+  setup_domains : int;
+  (** worker domains for the parallel stages of obfuscated rule
+      encryption ({!Ruleprep}); 1 = fully sequential.  Output is
+      byte-identical at any count. *)
 }
 
 val default_config : config
@@ -79,9 +83,19 @@ val resume : ?config:config -> ticket -> rules:Bbx_rules.Rule.t list -> unit -> 
 (** [blocked t] — has the middlebox blocked this connection? *)
 val blocked : t -> bool
 
-(** [add_rules t rules] ships a rule update onto the live connection:
-    obfuscated rule encryption runs only for chunks not already prepared.
-    Returns [(fresh_chunks, rule_prep_stats)]. *)
+(** [update_rules t ?remove_sids rules] ships a rule update onto the live
+    connection without a re-handshake: rules whose sid appears in
+    [remove_sids] are withdrawn from the middlebox, [rules] are added, and
+    obfuscated rule encryption runs only for chunks not already prepared
+    (under a fresh garbling generation — see {!Ruleprep.update}).  The
+    update ends with a forced salt reset so both sides stay in lock-step
+    across the engine rebuild.  Returns the number of rules added and the
+    stats of the delta preparation ([None] in [Direct] mode). *)
+val update_rules :
+  t -> ?remove_sids:int list -> Bbx_rules.Rule.t list ->
+  int * Ruleprep.stats option
+
+(** [add_rules t rules] = [update_rules t rules] (pure addition). *)
 val add_rules : t -> Bbx_rules.Rule.t list -> int * Ruleprep.stats option
 
 type delivery = {
@@ -187,6 +201,13 @@ module Fleet : sig
   (** [drain t ~f] — see {!Bbx_mbox.Shardpool.drain}. *)
   val drain :
     fleet -> f:(seq:int -> conn_id:int -> Bbx_mbox.Engine.verdict list -> unit) -> unit
+
+  (** [update_rules t ?remove_sids rules] applies a rule update to every
+      live connection in the fleet: each connection re-runs (incremental)
+      rule preparation under its own keys, ships the new encryptions to
+      its shard through the per-connection FIFO mailbox, and finishes
+      with a forced salt reset — no re-handshake, no reconnection. *)
+  val update_rules : fleet -> ?remove_sids:int list -> Bbx_rules.Rule.t list -> unit
 
   (** [blocked t ~conn] — quiesces the owning worker first. *)
   val blocked : fleet -> conn:int -> bool

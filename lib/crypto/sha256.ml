@@ -28,15 +28,17 @@ type ctx = {
   buf : Bytes.t;            (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int;      (* total bytes hashed *)
+  w : int array;            (* per-block message schedule scratch; per-context
+                               so hashing is safe from concurrent domains *)
 }
 
-let init () = { h = Array.copy h0; buf = Bytes.create 64; buf_len = 0; total = 0 }
+let init () =
+  { h = Array.copy h0; buf = Bytes.create 64; buf_len = 0; total = 0;
+    w = Array.make 64 0 }
 
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
-let w = Array.make 64 0 (* per-block message schedule; contexts are not thread-shared *)
-
-let compress h block off =
+let compress ~w h block off =
   for t = 0 to 15 do
     let i = off + 4 * t in
     w.(t) <-
@@ -84,13 +86,13 @@ let update ctx s =
     ctx.buf_len <- ctx.buf_len + take;
     pos := take;
     if ctx.buf_len = 64 then begin
-      compress ctx.h ctx.buf 0;
+      compress ~w:ctx.w ctx.h ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
   while len - !pos >= 64 do
     Bytes.blit_string s !pos ctx.buf 0 64;
-    compress ctx.h ctx.buf 0;
+    compress ~w:ctx.w ctx.h ctx.buf 0;
     pos := !pos + 64
   done;
   if !pos < len then begin

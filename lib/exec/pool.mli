@@ -1,0 +1,117 @@
+(** A reusable pool of worker domains with bounded, batched mailboxes.
+
+    This is the generic half of the middlebox shard pool: [N] worker
+    domains, each owning a private piece of mutable state ['s] that only
+    it ever touches, fed through a per-worker bounded FIFO mailbox.  The
+    concurrency contract is inherited wholesale from the shard pool
+    (DESIGN.md §8):
+
+    - every task sent to worker [i] runs on worker [i]'s domain, in the
+      order it was enqueued (per-worker FIFO);
+    - the front reads a worker's state only after {e quiescing} it —
+      waiting under the worker's mutex until its mailbox is empty and no
+      batch is in flight — so the mutex acquisition orders the worker's
+      writes before the front's reads;
+    - worker-side exceptions are sticky: the first one is kept and
+      re-raised on the front at the next {!drain} or {!map} barrier.
+
+    Two task flavours:
+
+    - {!exec}: fire-and-forget state mutation (registration, resets,
+      teardown in the shard pool);
+    - {!submit}: ticketed work carrying a globally ordered sequence
+      number; completed results are collected by {!drain} in submission
+      order, so callers observe a deterministic serialisation no matter
+      how the workers interleaved.
+
+    {!map} layers a deterministic parallel array construction on top:
+    independent per-index tasks are dealt round-robin across workers and
+    the call returns only after every worker has quiesced.  The shard
+    pool uses the mailbox surface; rule preparation
+    ({!Blindbox.Ruleprep}) uses [map] for its embarrassingly parallel
+    garbling stages.
+
+    A pool holds OS threads: always {!shutdown} it (or use
+    {!with_pool}). *)
+
+(** A pool whose workers each own one ['s] and whose ticketed tasks
+    produce ['r] results. *)
+type ('s, 'r) t
+
+(** [default_domains ()] — [recommended_domain_count - 1] (leaving a core
+    for the submitting front), at least 1. *)
+val default_domains : unit -> int
+
+(** [create ?domains ?capacity ?batch_max ~state ()] spawns [domains]
+    worker domains (default {!default_domains}), worker [i] owning
+    [state i] — called on the front domain before the worker starts, so
+    it may capture anything.  [capacity] bounds each mailbox (enqueueing
+    past it blocks until the worker catches up); [batch_max] caps how
+    many tasks a worker dequeues per lock acquisition. *)
+val create :
+  ?domains:int -> ?capacity:int -> ?batch_max:int -> state:(int -> 's) -> unit ->
+  ('s, 'r) t
+
+(** Number of worker domains. *)
+val domains : ('s, 'r) t -> int
+
+(** [live t] — [false] once {!shutdown} has run. *)
+val live : ('s, 'r) t -> bool
+
+(** [exec t ~worker f] enqueues the fire-and-forget task [f] on
+    [worker]'s mailbox.  Raises [Invalid_argument] on a bad index or a
+    shut-down pool. *)
+val exec : ('s, 'r) t -> worker:int -> ('s -> unit) -> unit
+
+(** [submit t ~worker task] enqueues a ticketed task and returns its
+    ticket (a global sequence number, strictly increasing across the
+    pool).  A task returning [Some r] surfaces [(seq, r)] at the next
+    {!drain}; [None] means the task chose to drop its result (no drain
+    callback — the shard pool uses this for deliveries to blocked
+    connections). *)
+val submit : ('s, 'r) t -> worker:int -> ('s -> 'r option) -> int
+
+(** Tickets submitted and not yet drained. *)
+val pending : ('s, 'r) t -> int
+
+(** [drain t ~f] quiesces every worker, re-raises the first worker-side
+    exception if any, then calls [f ~seq r] once per completed ticketed
+    task in ticket order and resets {!pending} to 0. *)
+val drain : ('s, 'r) t -> f:(seq:int -> 'r -> unit) -> unit
+
+(** [drain_list t] — {!drain} into a ticket-ordered [(seq, result)]
+    list. *)
+val drain_list : ('s, 'r) t -> (int * 'r) list
+
+(** [quiesce t ~worker f] waits until [worker]'s mailbox is empty and no
+    batch is in flight, then runs [f state] on the {e front} domain while
+    still holding the worker's mutex (so [f] may freely read — or, with
+    care, write — the worker's state; keep it short, the worker is
+    stalled meanwhile).  Does not re-raise sticky worker failures. *)
+val quiesce : ('s, 'r) t -> worker:int -> ('s -> 'a) -> 'a
+
+(** [fold_workers t ~init ~f] — {!quiesce}-protected left fold over every
+    worker's state, in worker order. *)
+val fold_workers : ('s, 'r) t -> init:'a -> f:('a -> 's -> 'a) -> 'a
+
+(** [barrier t] waits for every worker to quiesce, then re-raises the
+    first sticky worker-side exception, if any. *)
+val barrier : ('s, 'r) t -> unit
+
+(** [map t ~n ~f] builds [[| f 0 s; ...; f (n-1) s |]] with the calls
+    dealt round-robin across the workers ([f i] runs on worker
+    [i mod domains], against that worker's state), then {!barrier}s.
+    Tasks must be independent — there is no ordering between distinct
+    indices beyond per-worker FIFO.  If any task raised, the barrier
+    re-raises it; the call also waits out (and runs after) whatever was
+    already queued on the mailboxes. *)
+val map : ('s, 'r) t -> n:int -> f:(int -> 's -> 'a) -> 'a array
+
+(** [shutdown t] waits for the mailboxes to empty, stops and joins every
+    worker domain.  Idempotent; the pool is unusable afterwards. *)
+val shutdown : ('s, 'r) t -> unit
+
+(** [with_pool ... f] — {!create}, run [f], always {!shutdown}. *)
+val with_pool :
+  ?domains:int -> ?capacity:int -> ?batch_max:int -> state:(int -> 's) ->
+  (('s, 'r) t -> 'a) -> 'a

@@ -25,8 +25,11 @@ type t = {
   mode : Dpienc.mode;
   mutable rules : Rule.t array;
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
+  mutable encs : string array;                 (* chunk_id -> AES_k(chunk), kept for
+                                                  tree rebuilds on rule removal *)
   chunk_ids : (string, int) Hashtbl.t;         (* chunk bytes -> chunk_id *)
-  detect : Bbx_detect.Detect.t;
+  mutable detect : Bbx_detect.Detect.t;
+  mutable salt0 : int;                         (* current salt epoch *)
   hits : (int, hit_set) Hashtbl.t;             (* chunk_id -> stream offsets *)
   mutable hit_count : int;                     (* monotonic, survives [reset] *)
   mutable recovered : string option;
@@ -58,8 +61,10 @@ let create ~mode ~salt0 ~rules ~enc_chunk =
   { mode;
     rules = Array.of_list rules;
     chunks;
+    encs;
     chunk_ids;
     detect = Bbx_detect.Detect.create ~mode ~salt0 encs;
+    salt0;
     hits = Hashtbl.create 256;
     hit_count = 0;
     recovered = None }
@@ -173,16 +178,68 @@ let add_rules t ~rules ~enc_chunk =
     Array.to_list (distinct_chunks rules)
     |> List.filter (fun c -> not (Hashtbl.mem t.chunk_ids c))
   in
-  List.iteri
-    (fun i chunk ->
-       let id = Bbx_detect.Detect.add_keyword t.detect (enc_chunk chunk) in
-       assert (id = Array.length t.chunks + i);
-       Hashtbl.replace t.chunk_ids chunk id)
-    fresh;
+  let fresh_encs =
+    List.mapi
+      (fun i chunk ->
+         let enc = enc_chunk chunk in
+         let id = Bbx_detect.Detect.add_keyword t.detect enc in
+         assert (id = Array.length t.chunks + i);
+         Hashtbl.replace t.chunk_ids chunk id;
+         enc)
+      fresh
+  in
   (* one append for the whole batch, not one O(n) copy per chunk *)
   t.chunks <- Array.append t.chunks (Array.of_list fresh);
+  t.encs <- Array.append t.encs (Array.of_list fresh_encs);
   t.rules <- Array.append t.rules (Array.of_list rules);
   List.length fresh
+
+(* Removing rules shifts [verdict.rule_idx] values, so callers keeping
+   per-rule state (the reported-rule hash sets) remap through the returned
+   index map.  Chunks no longer needed by any retained rule leave the
+   detection tree entirely — the tree is rebuilt from the kept encryptions
+   under the current salt epoch, which restarts the retained keywords'
+   salt counters; callers must follow with a sender-synchronised salt
+   reset (Session/Fleet force one after every rule update anyway). *)
+let remove_rules t ~sids =
+  if sids = [] then ([], [||])
+  else begin
+    let drop = Hashtbl.create (List.length sids) in
+    List.iter (fun s -> Hashtbl.replace drop s ()) sids;
+    let keep_rule r =
+      match r.Rule.sid with Some s -> not (Hashtbl.mem drop s) | None -> true
+    in
+    let remap = Array.make (Array.length t.rules) (-1) in
+    let kept = ref [] and next = ref 0 in
+    Array.iteri
+      (fun i r ->
+         if keep_rule r then begin
+           remap.(i) <- !next;
+           incr next;
+           kept := r :: !kept
+         end)
+      t.rules;
+    let kept = Array.of_list (List.rev !kept) in
+    let needed = Hashtbl.create 64 in
+    Array.iter (fun c -> Hashtbl.replace needed c ()) (distinct_chunks (Array.to_list kept));
+    let removed = ref [] and kept_chunks = ref [] and kept_encs = ref [] in
+    Array.iteri
+      (fun i c ->
+         if Hashtbl.mem needed c then begin
+           kept_chunks := c :: !kept_chunks;
+           kept_encs := t.encs.(i) :: !kept_encs
+         end
+         else removed := c :: !removed)
+      t.chunks;
+    t.rules <- kept;
+    t.chunks <- Array.of_list (List.rev !kept_chunks);
+    t.encs <- Array.of_list (List.rev !kept_encs);
+    Hashtbl.reset t.chunk_ids;
+    Array.iteri (fun i c -> Hashtbl.replace t.chunk_ids c i) t.chunks;
+    t.detect <- Bbx_detect.Detect.create ~mode:t.mode ~salt0:t.salt0 t.encs;
+    Hashtbl.reset t.hits;
+    (List.rev !removed, remap)
+  end
 
 (* A salt reset rotates the token encryption only.  Per-chunk hit
    evidence is cleared (post-reset offsets would be incomparable with
@@ -192,6 +249,7 @@ let add_rules t ~rules ~enc_chunk =
    un-recover it — and [hit_count], the monotonic obs-visible hit
    accounting that callers delta across deliveries. *)
 let reset t ~salt0 =
+  t.salt0 <- salt0;
   Bbx_detect.Detect.reset t.detect ~salt0;
   Hashtbl.reset t.hits
 

@@ -75,6 +75,19 @@ val verdicts : ?plaintext:string -> t -> verdict list
     added. *)
 val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string) -> int
 
+(** [remove_rules t ~sids] drops every rule whose [sid] is in [sids] (an
+    RG update retired them).  Returns [(orphans, remap)]: [orphans] are
+    the chunks no retained rule needs (gone from the detection tree — a
+    payload carrying only removed keywords no longer registers hits), and
+    [remap] maps each old [verdict.rule_idx] to its new index, or [-1]
+    for removed rules, so callers can rewrite per-rule-index state.
+    The detection tree is rebuilt from the retained chunks' cached
+    encryptions under the current salt epoch, restarting their salt
+    counters and clearing hit evidence — follow with a sender-side salt
+    reset, exactly as after {!add_rules} (Session/Fleet force one).
+    [~sids:[]] is a no-op returning [([], [||])]. *)
+val remove_rules : t -> sids:int list -> string list * int array
+
 (** [reset t ~salt0] forwards the sender's periodic salt reset.  Per-chunk
     hit evidence ({!keyword_hits}, and hence {!verdicts} derived from it)
     is cleared; {!hit_count} (monotonic accounting) and {!recovered_key}

@@ -39,7 +39,7 @@ type conn = {
 
 type t = {
   mode : Bbx_dpienc.Dpienc.mode;
-  rules : Bbx_rules.Rule.t list;
+  mutable rules : Bbx_rules.Rule.t list;   (* current ruleset for new registrations *)
   conns : (conn_id, conn) Hashtbl.t;
   mutable total_tokens : int;
   mutable total_keyword_hits : int;
@@ -122,6 +122,27 @@ let unregister t ~conn_id =
 let engine t ~conn_id = (get t conn_id).engine
 
 let reset_conn t ~conn_id ~salt0 = Engine.reset (get t conn_id).engine ~salt0
+
+(* Rule update for one connection: retire [remove_sids], extend with
+   [add], and adopt [rules] (the full post-update ruleset) for future
+   registrations.  The engine's index remap is applied to the
+   reported-rule set so "report each rule once" survives the rule_idx
+   shift that removal causes. *)
+let update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
+  let c = get t conn_id in
+  let _orphans, remap = Engine.remove_rules c.engine ~sids:remove_sids in
+  if remove_sids <> [] then begin
+    let old_idxs = Hashtbl.fold (fun idx () acc -> idx :: acc) c.reported [] in
+    Hashtbl.reset c.reported;
+    List.iter
+      (fun idx ->
+         match remap.(idx) with
+         | -1 -> ()
+         | idx' -> Hashtbl.replace c.reported idx' ())
+      old_idxs
+  end;
+  ignore (Engine.add_rules c.engine ~rules:add ~enc_chunk : int);
+  t.rules <- rules
 
 let stats t =
   { connections = Hashtbl.length t.conns;

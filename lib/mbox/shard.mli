@@ -59,6 +59,23 @@ val engine : t -> conn_id:conn_id -> Engine.t
     connection's engine. *)
 val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
 
+(** [update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk] applies
+    a rule update to one connection's engine: rules with a sid in
+    [remove_sids] are retired ({!Engine.remove_rules} — the connection's
+    reported-rule set is remapped across the index shift), [add] rules
+    are appended ({!Engine.add_rules}, consulting [enc_chunk] for fresh
+    chunks), and [rules] — the full post-update ruleset — becomes the
+    shard's ruleset for future registrations.  Follow with
+    {!reset_conn}, as after any rule update. *)
+val update_rules :
+  t ->
+  conn_id:conn_id ->
+  remove_sids:int list ->
+  add:Bbx_rules.Rule.t list ->
+  rules:Bbx_rules.Rule.t list ->
+  enc_chunk:(string -> string) ->
+  unit
+
 val stats : t -> stats
 
 (** [merge_stats a b] — field-wise sum, for aggregating shards. *)

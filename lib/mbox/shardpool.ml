@@ -1,163 +1,60 @@
 module Obs = Bbx_obs.Obs
+module Pool = Bbx_exec.Pool
 
 let obs_submitted = Obs.counter "bbx_shardpool_submitted_total"
 let obs_dropped = Obs.counter "bbx_shardpool_dropped_total"
-let obs_batches = Obs.counter "bbx_shardpool_batches_total"
 let obs_domains = Obs.gauge "bbx_shardpool_domains"
 
 type conn_id = Shard.conn_id
 
 type stats = Shard.stats
 
-(* Everything a worker may be asked to do goes through its mailbox, in
-   FIFO order — including registration, salt resets and teardown.  That
-   single rule is the whole concurrency story: a connection's engine is
-   only ever touched by the worker domain owning its shard, and the
-   per-connection salt counters advance in exactly the order the front
-   submitted deliveries. *)
-type msg =
-  | Register of { conn_id : conn_id; salt0 : int; enc_chunk : string -> string }
-  | Deliver of { seq : int; conn_id : conn_id; wire : string }
-  | Reset of { conn_id : conn_id; salt0 : int }
-  | Unregister of { conn_id : conn_id }
-
 type result = {
-  r_seq : int;
   r_conn : conn_id;
   r_verdicts : Engine.verdict list;
 }
 
-type shard = {
-  core : Shard.t;
-  lock : Mutex.t;
-  nonempty : Condition.t;          (* worker waits for work *)
-  space : Condition.t;             (* front waits for mailbox capacity *)
-  idle : Condition.t;              (* front waits for quiescence *)
-  queue : msg Queue.t;
-  mutable busy : bool;             (* worker is processing a batch *)
-  mutable stopping : bool;
-  mutable out : result list;       (* completed deliveries, newest first *)
-  mutable failed : exn option;     (* first worker-side exception, sticky *)
-}
-
+(* The shard pool is a thin routing layer over the generic domain pool
+   ({!Bbx_exec.Pool}): worker [i] owns one {!Shard}, every message for a
+   connection goes to worker [conn_id mod domains], and the pool's
+   per-worker FIFO mailboxes guarantee a connection's deliveries (and
+   salt resets, registrations, rule updates) execute in submission order
+   on one domain — so its per-token salt counters stay in lock-step with
+   the sender. *)
 type t = {
-  shards : shard array;
-  workers : unit Domain.t array;
-  capacity : int;
-  batch_max : int;
-  mutable seq : int;               (* next submission ticket *)
-  mutable pending : int;           (* submissions not yet drained *)
+  pool : (Shard.t, result) Pool.t;
   registered : (conn_id, unit) Hashtbl.t;  (* front-side duplicate/unknown guard *)
-  mutable live : bool;
 }
 
 (* Connection routing: dense conn ids spread perfectly evenly (important
    for scaling), arbitrary ids still land deterministically. *)
-let shard_index t conn_id = (conn_id land max_int) mod Array.length t.shards
+let shard_index t conn_id = (conn_id land max_int) mod Pool.domains t.pool
 
-let shard_of t conn_id = t.shards.(shard_index t conn_id)
+let default_domains = Pool.default_domains
 
-(* ---- worker ---- *)
-
-let exec_msg core msg acc =
-  match msg with
-  | Register { conn_id; salt0; enc_chunk } ->
-    Shard.register core ~conn_id ~salt0 ~enc_chunk
-  | Deliver { seq; conn_id; wire } ->
-    if Shard.is_blocked core ~conn_id then Obs.incr obs_dropped
-    else begin
-      let verdicts = Shard.process_wire core ~conn_id wire in
-      acc := { r_seq = seq; r_conn = conn_id; r_verdicts = verdicts } :: !acc
-    end
-  | Reset { conn_id; salt0 } -> Shard.reset_conn core ~conn_id ~salt0
-  | Unregister { conn_id } -> Shard.unregister core ~conn_id
-
-(* One worker per shard: splice out up to [batch_max] messages under the
-   lock, process them without it, publish results, repeat.  Quiescence
-   ([idle]) means "mailbox empty and no batch in flight" — the front uses
-   it for [drain]/[stats] and all other reads of shard state. *)
-let worker_loop batch_max sh =
-  let batch = Queue.create () in
-  Mutex.lock sh.lock;
-  let rec loop () =
-    if Queue.is_empty sh.queue then begin
-      sh.busy <- false;
-      Condition.broadcast sh.idle;
-      if sh.stopping then Mutex.unlock sh.lock
-      else begin
-        Condition.wait sh.nonempty sh.lock;
-        loop ()
-      end
-    end
-    else begin
-      sh.busy <- true;
-      let n = ref 0 in
-      while !n < batch_max && not (Queue.is_empty sh.queue) do
-        Queue.add (Queue.pop sh.queue) batch;
-        incr n
-      done;
-      Condition.broadcast sh.space;
-      Mutex.unlock sh.lock;
-      let acc = ref [] in
-      Queue.iter
-        (fun msg ->
-           try exec_msg sh.core msg acc
-           with e -> if sh.failed = None then sh.failed <- Some e)
-        batch;
-      Queue.clear batch;
-      Obs.incr obs_batches;
-      Mutex.lock sh.lock;
-      sh.out <- !acc @ sh.out;
-      loop ()
-    end
-  in
-  loop ()
-
-(* ---- front ---- *)
-
-let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
-
-let create ?domains ?(capacity = 1024) ?(batch_max = 64) ~mode ~rules () =
+let create ?domains ?capacity ?batch_max ~mode ~rules () =
   let n = match domains with Some n -> n | None -> default_domains () in
   if n < 1 then invalid_arg "Shardpool.create: domains must be >= 1";
-  if capacity < 1 then invalid_arg "Shardpool.create: capacity must be >= 1";
-  if batch_max < 1 then invalid_arg "Shardpool.create: batch_max must be >= 1";
-  let shards =
-    Array.init n (fun _ ->
-        { core = Shard.create ~mode ~rules;
-          lock = Mutex.create ();
-          nonempty = Condition.create ();
-          space = Condition.create ();
-          idle = Condition.create ();
-          queue = Queue.create ();
-          busy = false;
-          stopping = false;
-          out = [];
-          failed = None })
+  let pool =
+    Pool.create ~domains:n ?capacity ?batch_max
+      ~state:(fun _ -> Shard.create ~mode ~rules) ()
   in
-  let workers = Array.map (fun sh -> Domain.spawn (fun () -> worker_loop batch_max sh)) shards in
   Obs.set_gauge obs_domains n;
-  { shards; workers; capacity; batch_max; seq = 0; pending = 0;
-    registered = Hashtbl.create 64; live = true }
+  { pool; registered = Hashtbl.create 64 }
 
-let domains t = Array.length t.shards
+let domains t = Pool.domains t.pool
 
 let check_live t op =
-  if not t.live then invalid_arg (Printf.sprintf "Shardpool.%s: pool is shut down" op)
-
-let push t sh msg =
-  Mutex.lock sh.lock;
-  while Queue.length sh.queue >= t.capacity do Condition.wait sh.space sh.lock done;
-  Queue.add msg sh.queue;
-  Condition.signal sh.nonempty;
-  Mutex.unlock sh.lock
+  if not (Pool.live t.pool) then
+    invalid_arg (Printf.sprintf "Shardpool.%s: pool is shut down" op)
 
 let register t ~conn_id ~salt0 ~enc_chunk =
   check_live t "register";
   if Hashtbl.mem t.registered conn_id then
     invalid_arg (Printf.sprintf "Shardpool.register: connection %d exists" conn_id);
   Hashtbl.add t.registered conn_id ();
-  push t (shard_of t conn_id) (Register { conn_id; salt0; enc_chunk })
+  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.register core ~conn_id ~salt0 ~enc_chunk)
 
 let check_known t conn_id op =
   if not (Hashtbl.mem t.registered conn_id) then
@@ -166,63 +63,47 @@ let check_known t conn_id op =
 let submit t ~conn_id wire =
   check_live t "submit";
   check_known t conn_id "submit";
-  let seq = t.seq in
-  t.seq <- seq + 1;
-  t.pending <- t.pending + 1;
-  push t (shard_of t conn_id) (Deliver { seq; conn_id; wire });
+  let seq =
+    Pool.submit t.pool ~worker:(shard_index t conn_id) (fun core ->
+        if Shard.is_blocked core ~conn_id then begin
+          Obs.incr obs_dropped;
+          None
+        end
+        else Some { r_conn = conn_id; r_verdicts = Shard.process_wire core ~conn_id wire })
+  in
   Obs.incr obs_submitted;
   seq
 
 let reset_conn t ~conn_id ~salt0 =
   check_live t "reset_conn";
   check_known t conn_id "reset_conn";
-  push t (shard_of t conn_id) (Reset { conn_id; salt0 })
+  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.reset_conn core ~conn_id ~salt0)
+
+let update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
+  check_live t "update_rules";
+  check_known t conn_id "update_rules";
+  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.update_rules core ~conn_id ~remove_sids ~add ~rules ~enc_chunk)
 
 let unregister t ~conn_id =
   check_live t "unregister";
   if Hashtbl.mem t.registered conn_id then begin
     Hashtbl.remove t.registered conn_id;
-    push t (shard_of t conn_id) (Unregister { conn_id })
+    Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+        Shard.unregister core ~conn_id)
   end
 
-(* Block until the shard's mailbox is empty and its worker idle, then run
-   [f] while still holding the lock: the mutex acquisition orders the
-   worker's writes before the front's reads, so [f] may freely read the
-   shard core. *)
-let quiesce sh f =
-  Mutex.lock sh.lock;
-  while not (Queue.is_empty sh.queue && not sh.busy) do
-    Condition.wait sh.idle sh.lock
-  done;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) (fun () -> f ())
-
-let check_failed t =
-  Array.iter (fun sh -> match sh.failed with Some e -> raise e | None -> ()) t.shards
-
-let drain_results t =
-  check_live t "drain";
-  let results =
-    Array.fold_left
-      (fun acc sh ->
-         quiesce sh (fun () ->
-             let out = sh.out in
-             sh.out <- [];
-             List.rev_append out acc))
-      [] t.shards
-  in
-  check_failed t;
-  t.pending <- 0;
-  List.sort (fun a b -> compare a.r_seq b.r_seq) results
-
 let drain t ~f =
-  List.iter (fun r -> f ~seq:r.r_seq ~conn_id:r.r_conn r.r_verdicts) (drain_results t)
+  check_live t "drain";
+  Pool.drain t.pool ~f:(fun ~seq r -> f ~seq ~conn_id:r.r_conn r.r_verdicts)
 
 let process_wire t ~conn_id wire =
   check_live t "process_wire";
-  if t.pending > 0 then
+  if Pool.pending t.pool > 0 then
     invalid_arg "Shardpool.process_wire: async submissions pending (drain first)";
   let seq = submit t ~conn_id wire in
-  match List.find_opt (fun r -> r.r_seq = seq) (drain_results t) with
+  match List.assoc_opt seq (Pool.drain_list t.pool) with
   | Some r -> r.r_verdicts
   | None ->
     (* the worker dropped the delivery: connection already blocked *)
@@ -230,35 +111,26 @@ let process_wire t ~conn_id wire =
 
 let is_blocked t ~conn_id =
   check_live t "is_blocked";
-  quiesce (shard_of t conn_id) (fun () -> Shard.is_blocked (shard_of t conn_id).core ~conn_id)
+  Pool.quiesce t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.is_blocked core ~conn_id)
 
 let stats t =
   check_live t "stats";
-  Array.fold_left
-    (fun acc sh -> Shard.merge_stats acc (quiesce sh (fun () -> Shard.stats sh.core)))
-    Shard.empty_stats t.shards
+  Pool.fold_workers t.pool ~init:Shard.empty_stats ~f:(fun acc core ->
+      Shard.merge_stats acc (Shard.stats core))
 
 let flow_stats t ~conn_id =
   check_live t "flow_stats";
-  quiesce (shard_of t conn_id) (fun () -> Shard.flow_stats (shard_of t conn_id).core ~conn_id)
+  Pool.quiesce t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.flow_stats core ~conn_id)
 
 let fold_flows t ~init ~f =
   check_live t "fold_flows";
-  Array.fold_left
-    (fun acc sh -> quiesce sh (fun () -> Shard.fold_flows sh.core ~init:acc ~f))
-    init t.shards
+  Pool.fold_workers t.pool ~init ~f:(fun acc core -> Shard.fold_flows core ~init:acc ~f)
 
 let shutdown t =
-  if t.live then begin
-    t.live <- false;
-    Array.iter
-      (fun sh ->
-         Mutex.lock sh.lock;
-         sh.stopping <- true;
-         Condition.signal sh.nonempty;
-         Mutex.unlock sh.lock)
-      t.shards;
-    Array.iter Domain.join t.workers;
+  if Pool.live t.pool then begin
+    Pool.shutdown t.pool;
     Obs.set_gauge obs_domains 0
   end
 

@@ -1,12 +1,13 @@
 (** A middlebox sharded across OCaml domains.
 
-    One worker domain per shard, each owning a private {!Shard} — its own
-    per-connection detection engines and connection table, no shared
-    mutable detection state.  The front feeds workers through per-shard
-    bounded mailboxes and routes every message for a connection to the
-    shard [conn_id mod domains], so a connection's deliveries (and salt
-    resets) execute in submission order on one domain and its per-token
-    salt counters stay in lock-step with the sender.
+    A thin routing layer over {!Bbx_exec.Pool}: one worker domain per
+    shard, each owning a private {!Shard} — its own per-connection
+    detection engines and connection table, no shared mutable detection
+    state.  The front feeds workers through the pool's per-worker bounded
+    mailboxes and routes every message for a connection to the shard
+    [conn_id mod domains], so a connection's deliveries (and salt resets,
+    rule updates) execute in submission order on one domain and its
+    per-token salt counters stay in lock-step with the sender.
 
     Two usage styles:
 
@@ -83,6 +84,22 @@ val process_wire : t -> conn_id:conn_id -> string -> Engine.verdict list
     after every delivery submitted before it (mailbox FIFO), matching the
     sender-side reset point. *)
 val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
+
+(** [update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk]
+    enqueues a rule update for one connection (see
+    {!Shard.update_rules}); like a salt reset it takes effect after every
+    delivery submitted before it, so the caller can follow it with
+    {!reset_conn} and keep sender and engine in lock-step.  [enc_chunk]
+    runs on the owning worker domain and must not share mutable state
+    with other connections' oracles. *)
+val update_rules :
+  t ->
+  conn_id:conn_id ->
+  remove_sids:int list ->
+  add:Bbx_rules.Rule.t list ->
+  rules:Bbx_rules.Rule.t list ->
+  enc_chunk:(string -> string) ->
+  unit
 
 (** [unregister t ~conn_id] — idempotent teardown. *)
 val unregister : t -> conn_id:conn_id -> unit

@@ -1,0 +1,151 @@
+(* Bbx_exec.Pool tests: the generic domain-pool executor extracted from
+   the middlebox shard pool.  Unit coverage of the mailbox surface (exec
+   FIFO, ticketed submit + ordered drain, quiesce, sticky failures,
+   idempotent shutdown) plus qcheck determinism checks for [map] at
+   several domain counts. *)
+
+module Pool = Bbx_exec.Pool
+
+let with_counters ~domains f =
+  Pool.with_pool ~domains ~state:(fun i -> (i, ref 0)) f
+
+let unit_tests =
+  [ Alcotest.test_case "exec runs FIFO per worker, quiesce reads the result" `Quick
+      (fun () ->
+        with_counters ~domains:2 @@ fun pool ->
+        for k = 1 to 100 do
+          Pool.exec pool ~worker:(k mod 2) (fun (_, c) -> c := (10 * !c) + k mod 7)
+        done;
+        (* replay the same fold sequentially per worker *)
+        let expect w =
+          let c = ref 0 in
+          for k = 1 to 100 do
+            if k mod 2 = w then c := (10 * !c) + k mod 7
+          done;
+          !c
+        in
+        Alcotest.(check int) "worker 0" (expect 0)
+          (Pool.quiesce pool ~worker:0 (fun (_, c) -> !c));
+        Alcotest.(check int) "worker 1" (expect 1)
+          (Pool.quiesce pool ~worker:1 (fun (_, c) -> !c)));
+    Alcotest.test_case "drain returns ticketed results in submission order" `Quick
+      (fun () ->
+        with_counters ~domains:3 @@ fun pool ->
+        let tickets =
+          List.init 50 (fun k -> Pool.submit pool ~worker:(k mod 3) (fun _ -> Some (k * k)))
+        in
+        Alcotest.(check int) "pending" 50 (Pool.pending pool);
+        let seen = ref [] in
+        Pool.drain pool ~f:(fun ~seq r -> seen := (seq, r) :: !seen);
+        let seen = List.rev !seen in
+        Alcotest.(check (list int)) "seqs in submission order" tickets (List.map fst seen);
+        Alcotest.(check (list int)) "results follow tickets"
+          (List.init 50 (fun k -> k * k))
+          (List.map snd seen);
+        Alcotest.(check int) "pending reset" 0 (Pool.pending pool));
+    Alcotest.test_case "submit returning None produces no drain callback" `Quick
+      (fun () ->
+        with_counters ~domains:2 @@ fun pool ->
+        ignore (Pool.submit pool ~worker:0 (fun _ -> None) : int);
+        let t = Pool.submit pool ~worker:1 (fun _ -> Some "kept") in
+        Alcotest.(check (list (pair int string))) "only the Some survives"
+          [ (t, "kept") ] (Pool.drain_list pool));
+    Alcotest.test_case "worker exception is sticky and re-raised at drain" `Quick
+      (fun () ->
+        let pool = Pool.create ~domains:2 ~state:(fun i -> (i, ref 0)) () in
+        Fun.protect ~finally:(fun () -> try Pool.shutdown pool with _ -> ()) @@ fun () ->
+        Pool.exec pool ~worker:0 (fun _ -> failwith "boom");
+        Alcotest.(check bool) "drain re-raises" true
+          (match Pool.drain_list pool with
+           | exception Failure msg -> msg = "boom"
+           | _ -> false));
+    Alcotest.test_case "map failure surfaces at the barrier" `Quick (fun () ->
+        with_counters ~domains:2 @@ fun pool ->
+        Alcotest.(check bool) "barrier re-raises" true
+          (match Pool.map pool ~n:8 ~f:(fun i _ -> if i = 5 then failwith "mapboom" else i) with
+           | exception Failure msg -> msg = "mapboom"
+           | _ -> false));
+    Alcotest.test_case "fold_workers visits workers in order" `Quick (fun () ->
+        with_counters ~domains:4 @@ fun pool ->
+        Alcotest.(check (list int)) "worker ids" [ 0; 1; 2; 3 ]
+          (List.rev (Pool.fold_workers pool ~init:[] ~f:(fun acc (i, _) -> i :: acc))));
+    Alcotest.test_case "shutdown is idempotent; use-after-shutdown raises" `Quick
+      (fun () ->
+        let pool = Pool.create ~domains:2 ~state:(fun i -> (i, ref 0)) () in
+        Alcotest.(check bool) "live" true (Pool.live pool);
+        Pool.shutdown pool;
+        Pool.shutdown pool;
+        Alcotest.(check bool) "dead" false (Pool.live pool);
+        Alcotest.(check bool) "exec raises" true
+          (match Pool.exec pool ~worker:0 (fun _ -> ()) with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Alcotest.(check bool) "submit raises" true
+          (match Pool.submit pool ~worker:0 (fun _ -> Some 0) with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "bad worker index raises" `Quick (fun () ->
+        with_counters ~domains:2 @@ fun pool ->
+        Alcotest.(check bool) "raises" true
+          (match Pool.exec pool ~worker:2 (fun _ -> ()) with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "tiny capacity still completes (backpressure blocks, not drops)"
+      `Quick (fun () ->
+        Pool.with_pool ~domains:1 ~capacity:2 ~batch_max:1 ~state:(fun i -> (i, ref 0))
+        @@ fun pool ->
+        for _ = 1 to 64 do
+          Pool.exec pool ~worker:0 (fun (_, c) -> incr c)
+        done;
+        Alcotest.(check int) "all tasks ran" 64
+          (Pool.quiesce pool ~worker:0 (fun (_, c) -> !c)))
+  ]
+
+(* [map] must equal sequential [Array.init] at any domain count: results
+   land in per-index slots, so scheduling cannot reorder them. *)
+let map_differential =
+  QCheck.Test.make ~name:"Pool.map equals Array.init at 1/2/4 domains" ~count:20
+    QCheck.(pair (int_bound 60) (int_bound 1000))
+    (fun (n, salt) ->
+      let f i = Printf.sprintf "%d-%d" (i * 31 + salt) (i land 7) in
+      let expect = Array.init n f in
+      List.for_all
+        (fun domains ->
+          with_counters ~domains (fun pool ->
+              Pool.map pool ~n ~f:(fun i _ -> f i) = expect))
+        [ 1; 2; 4 ])
+
+(* Interleaving exec / submit / map / drain arbitrarily must preserve the
+   ticket ordering of drained results and the per-worker FIFO of execs. *)
+let mixed_differential =
+  QCheck.Test.make ~name:"interleaved exec/submit/drain keeps ticket order" ~count:20
+    QCheck.(list_of_size Gen.(int_bound 40) (int_bound 5))
+    (fun ops ->
+      with_counters ~domains:2 @@ fun pool ->
+      let submitted = ref [] and drained = ref [] in
+      List.iteri
+        (fun k op ->
+          match op with
+          | 0 | 1 | 2 ->
+            let t = Pool.submit pool ~worker:(op mod 2) (fun _ -> Some k) in
+            submitted := (t, k) :: !submitted
+          | 3 -> Pool.exec pool ~worker:(k mod 2) (fun (_, c) -> incr c)
+          | _ ->
+            Pool.drain pool ~f:(fun ~seq r -> drained := (seq, r) :: !drained);
+            submitted := [])
+        ops;
+      Pool.drain pool ~f:(fun ~seq r -> drained := (seq, r) :: !drained);
+      (* drained seqs strictly increase overall (tickets are global) *)
+      let seqs = List.rev_map fst !drained in
+      let rec sorted = function
+        | a :: (b :: _ as tl) -> a < b && sorted tl
+        | _ -> true
+      in
+      sorted seqs)
+
+let () =
+  Alcotest.run "exec"
+    [ ("pool", unit_tests);
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest [ map_differential; mixed_differential ] )
+    ]

@@ -1,0 +1,139 @@
+(* Ruleprep tests: parallel setup must be byte-identical to sequential at
+   any domain count (every chunk's garbling DRBG derives from
+   (generation, index) alone), and incremental [update] must agree with a
+   from-scratch preparation of the union ruleset (AES_k(chunk) depends
+   only on k and the chunk, not on which generation garbled it).
+
+   Garbled preparation costs roughly a second per chunk, so every test
+   touching real circuits keeps the chunk count tiny and runs as `Slow. *)
+
+open Blindbox
+
+let chunk s =
+  if String.length s > 8 then invalid_arg "chunk";
+  s ^ String.make (8 - String.length s) '_'
+
+let prep_seq ~k ~k_rand chunks =
+  fst (Ruleprep.prepare_unchecked ~k ~k_rand ~chunks ())
+
+(* ---------- fast bookkeeping tests (no circuits) ---------- *)
+
+let direct_enc c = "enc:" ^ c
+
+let bookkeeping_tests =
+  [ Alcotest.test_case "prepared + lookup" `Quick (fun () ->
+        let chunks = [| chunk "aa"; chunk "bb" |] in
+        let p = Ruleprep.prepared ~chunks ~encs:[| "ea"; "eb" |] in
+        let look = Ruleprep.lookup p in
+        Alcotest.(check string) "hit" "eb" (look (chunk "bb"));
+        Alcotest.(check int) "generation 0" 0 p.Ruleprep.generation;
+        Alcotest.(check bool) "miss raises" true
+          (match look (chunk "zz") with exception Not_found -> true | _ -> false));
+    Alcotest.test_case "prepared validates lengths" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (match Ruleprep.prepared ~chunks:[| chunk "aa" |] ~encs:[||] with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "update_direct applies the delta" `Quick (fun () ->
+        let p0 =
+          Ruleprep.prepared
+            ~chunks:[| chunk "aa"; chunk "bb"; chunk "cc" |]
+            ~encs:(Array.map direct_enc [| chunk "aa"; chunk "bb"; chunk "cc" |])
+        in
+        let p1 =
+          Ruleprep.update_direct ~enc:direct_enc ~prev:p0
+            ~add:[| chunk "dd"; chunk "bb"; chunk "dd" |]
+            ~remove:[| chunk "cc" |]
+        in
+        Alcotest.(check (array string)) "kept first, fresh deduped after"
+          [| chunk "aa"; chunk "bb"; chunk "dd" |] p1.Ruleprep.chunks;
+        Alcotest.(check (array string)) "encs follow"
+          (Array.map direct_enc [| chunk "aa"; chunk "bb"; chunk "dd" |])
+          p1.Ruleprep.encs;
+        Alcotest.(check int) "generation bumped" 1 p1.Ruleprep.generation;
+        Alcotest.(check bool) "removed chunk gone" true
+          (match Ruleprep.lookup p1 (chunk "cc") with
+           | exception Not_found -> true
+           | _ -> false));
+    Alcotest.test_case "update requires signatures and rg_key together" `Quick
+      (fun () ->
+        let p0 = Ruleprep.prepared ~chunks:[||] ~encs:[||] in
+        Alcotest.(check bool) "raises" true
+          (match
+             Ruleprep.update ~signatures:[||] ~k:"k" ~k_rand:"kr" ~prev:p0
+               ~add:[||] ~remove:[||] ()
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false))
+  ]
+
+(* ---------- real-circuit tests ---------- *)
+
+let circuit_tests =
+  [ Alcotest.test_case "update equals from-scratch prepare of the union" `Slow
+      (fun () ->
+        let k = "union-key" and k_rand = "union-seed" in
+        let c0 = chunk "base" and c1 = chunk "added" in
+        let encs0 = prep_seq ~k ~k_rand [| c0 |] in
+        let prev = Ruleprep.prepared ~chunks:[| c0 |] ~encs:encs0 in
+        let p1, stats =
+          Ruleprep.update ~k ~k_rand ~prev ~add:[| c1 |] ~remove:[||] ()
+        in
+        Alcotest.(check int) "only the delta was garbled" 1 stats.Ruleprep.circuits;
+        (* the union, prepared from scratch, must agree chunk-by-chunk:
+           AES_k(chunk) is independent of the garbling generation *)
+        let union = prep_seq ~k ~k_rand [| c0; c1 |] in
+        let look = Ruleprep.lookup p1 in
+        Alcotest.(check string) "kept chunk enc" union.(0) (look c0);
+        Alcotest.(check string) "fresh chunk enc" union.(1) (look c1);
+        Alcotest.(check int) "generation bumped" 1 p1.Ruleprep.generation);
+    Alcotest.test_case "update drops removed chunks" `Slow (fun () ->
+        let k = "rm-key" and k_rand = "rm-seed" in
+        let c0 = chunk "keep" and c1 = chunk "drop" in
+        let encs = prep_seq ~k ~k_rand [| c0; c1 |] in
+        let prev = Ruleprep.prepared ~chunks:[| c0; c1 |] ~encs in
+        let p1, stats =
+          Ruleprep.update ~k ~k_rand ~prev ~add:[||] ~remove:[| c1 |] ()
+        in
+        Alcotest.(check int) "nothing fresh to garble" 0 stats.Ruleprep.circuits;
+        Alcotest.(check (array string)) "kept only" [| c0 |] p1.Ruleprep.chunks;
+        Alcotest.(check string) "kept enc unchanged" encs.(0) p1.Ruleprep.encs.(0))
+  ]
+
+(* Parallel preparation is byte-identical to sequential at every domain
+   count: chunk i's DRBG depends only on (generation, i). *)
+let parallel_differential =
+  QCheck.Test.make ~name:"prepare at 1/2/4 domains is byte-identical" ~count:2
+    QCheck.(pair small_printable_string (int_bound 1))
+    (fun (seed, extra) ->
+      let chunks = Array.init (1 + extra) (fun i -> chunk (Printf.sprintf "c%d" i)) in
+      let k = "par-key-" ^ seed and k_rand = "par-seed-" ^ seed in
+      let expect = prep_seq ~k ~k_rand chunks in
+      List.for_all
+        (fun domains ->
+          fst (Ruleprep.prepare_unchecked ~domains ~k ~k_rand ~chunks ()) = expect)
+        [ 2; 4 ])
+
+let parallel_update_differential =
+  QCheck.Test.make ~name:"parallel update equals sequential update" ~count:2
+    QCheck.small_printable_string
+    (fun seed ->
+      let k = "pu-key-" ^ seed and k_rand = "pu-seed-" ^ seed in
+      let c0 = chunk "have" and c1 = chunk "new" in
+      let prev =
+        Ruleprep.prepared ~chunks:[| c0 |] ~encs:(prep_seq ~k ~k_rand [| c0 |])
+      in
+      let seq, _ = Ruleprep.update ~k ~k_rand ~prev ~add:[| c1 |] ~remove:[||] () in
+      let par, _ =
+        Ruleprep.update ~domains:2 ~k ~k_rand ~prev ~add:[| c1 |] ~remove:[||] ()
+      in
+      seq.Ruleprep.chunks = par.Ruleprep.chunks && seq.Ruleprep.encs = par.Ruleprep.encs)
+
+let () =
+  Alcotest.run "ruleprep"
+    [ ("bookkeeping", bookkeeping_tests);
+      ("circuits", circuit_tests);
+      ( "parallel",
+        List.map QCheck_alcotest.to_alcotest
+          [ parallel_differential; parallel_update_differential ] )
+    ]

@@ -161,6 +161,45 @@ let session_tests =
             [ Rule.make ~sid:51 [ Rule.make_content "attackkw"; Rule.make_content "otherkey" ] ]
         in
         Alcotest.(check int) "only the new keyword" 1 fresh);
+    Alcotest.test_case "rule removal stops detection, keeps the rest" `Quick (fun () ->
+        let rules =
+          [ Rule.make ~sid:60 [ Rule.make_content "oldrule1" ];
+            Rule.make ~sid:61 [ Rule.make_content "survivor" ] ]
+        in
+        let t, _ = establish ~config:cfg_exact rules in
+        let d0 = Session.send t "q=oldrule1" in
+        Alcotest.(check int) "fires before removal" 1 (List.length d0.Session.verdicts);
+        let added, _ = Session.update_rules t ~remove_sids:[ 60 ] [] in
+        Alcotest.(check int) "nothing added" 0 added;
+        let d1 = Session.send t "q=oldrule1 again" in
+        Alcotest.(check int) "removed rule silent" 0 (List.length d1.Session.verdicts);
+        (* the surviving rule's verdict bookkeeping survived the index
+           remap: it fires once, and only once per connection *)
+        let d2 = Session.send t "q=survivor" in
+        Alcotest.(check int) "survivor fires" 1 (List.length d2.Session.verdicts);
+        let d3 = Session.send t "q=survivor again" in
+        Alcotest.(check int) "still deduped" 0 (List.length d3.Session.verdicts));
+    Alcotest.test_case "removal after a verdict keeps dedup for survivors" `Quick
+      (fun () ->
+        let rules =
+          [ Rule.make ~sid:62 [ Rule.make_content "firstone" ];
+            Rule.make ~sid:63 [ Rule.make_content "secondkw" ] ]
+        in
+        let t, _ = establish ~config:cfg_exact rules in
+        (* the survivor fires *before* the removal shifts its index *)
+        let d0 = Session.send t "q=secondkw" in
+        Alcotest.(check int) "fires" 1 (List.length d0.Session.verdicts);
+        ignore (Session.update_rules t ~remove_sids:[ 62 ] []);
+        let d1 = Session.send t "q=secondkw again" in
+        Alcotest.(check int) "no duplicate verdict after remap" 0
+          (List.length d1.Session.verdicts);
+        (* and a rule added in the same update is live *)
+        let added, _ =
+          Session.update_rules t [ Rule.make ~sid:64 [ Rule.make_content "thirdkww" ] ]
+        in
+        Alcotest.(check int) "one added" 1 added;
+        let d2 = Session.send t "q=thirdkww" in
+        Alcotest.(check int) "new rule fires" 1 (List.length d2.Session.verdicts));
     Alcotest.test_case "window tokenization catches mid-word keywords" `Quick (fun () ->
         let cfg_window = { cfg_exact with Session.tokenization = Session.Window } in
         let t, _ = establish ~config:cfg_window rules_basic in
@@ -217,6 +256,54 @@ let duplex_tests =
         let r1 = Session.Duplex.client_send d "identical words" in
         let r2 = Session.Duplex.server_send d "identical words" in
         Alcotest.(check string) "both delivered" r1.Session.plaintext r2.Session.plaintext);
+  ]
+
+(* Fleet-wide rule updates: every live connection of a sharded middlebox
+   picks up the new ruleset through its mailbox, no re-handshake. *)
+let fleet_tests =
+  [ Alcotest.test_case "fleet update reaches every live connection" `Quick (fun () ->
+        let rules = [ Rule.make ~sid:70 [ Rule.make_content "fleetkw1" ] ] in
+        let fleet =
+          Session.Fleet.establish ~config:cfg_exact ~domains:2 ~conns:2 ~rules ()
+        in
+        Fun.protect ~finally:(fun () -> Session.Fleet.shutdown fleet) @@ fun () ->
+        let verdicts_of conn payload =
+          let t = Session.Fleet.submit fleet ~conn payload in
+          let got = ref (-1) in
+          Session.Fleet.drain fleet ~f:(fun ~seq ~conn_id:_ vs ->
+              if seq = t then got := List.length vs);
+          !got
+        in
+        (* unknown keyword flows through on both connections *)
+        Alcotest.(check int) "conn 0 before" 0 (verdicts_of 0 "q=addedkw2");
+        Alcotest.(check int) "conn 1 before" 0 (verdicts_of 1 "q=addedkw2");
+        Session.Fleet.update_rules fleet
+          [ Rule.make ~sid:71 [ Rule.make_content "addedkw2" ] ];
+        Alcotest.(check int) "conn 0 after" 1 (verdicts_of 0 "q=addedkw2");
+        Alcotest.(check int) "conn 1 after" 1 (verdicts_of 1 "q=addedkw2");
+        (* the original rule still works *)
+        Alcotest.(check int) "old rule intact" 1 (verdicts_of 0 "q=fleetkw1"));
+    Alcotest.test_case "fleet removal withdraws a rule everywhere" `Quick (fun () ->
+        let rules =
+          [ Rule.make ~sid:72 [ Rule.make_content "remove77" ];
+            Rule.make ~sid:73 [ Rule.make_content "keeper88" ] ]
+        in
+        let fleet =
+          Session.Fleet.establish ~config:cfg_exact ~domains:2 ~conns:2 ~rules ()
+        in
+        Fun.protect ~finally:(fun () -> Session.Fleet.shutdown fleet) @@ fun () ->
+        let verdicts_of conn payload =
+          let t = Session.Fleet.submit fleet ~conn payload in
+          let got = ref (-1) in
+          Session.Fleet.drain fleet ~f:(fun ~seq ~conn_id:_ vs ->
+              if seq = t then got := List.length vs);
+          !got
+        in
+        Alcotest.(check int) "fires before" 1 (verdicts_of 0 "q=remove77");
+        Session.Fleet.update_rules fleet ~remove_sids:[ 72 ] [];
+        Alcotest.(check int) "silent after on conn 0" 0 (verdicts_of 0 "q=remove77 x");
+        Alcotest.(check int) "silent after on conn 1" 0 (verdicts_of 1 "q=remove77 y");
+        Alcotest.(check int) "survivor fires" 1 (verdicts_of 1 "q=keeper88"));
   ]
 
 (* The real rule-preparation pipeline: garbled AES circuits + OT.  Slow
@@ -284,4 +371,5 @@ let () =
   Alcotest.run "session"
     [ ("end-to-end", session_tests);
       ("duplex", duplex_tests);
+      ("fleet-updates", fleet_tests);
       ("garbled-rule-prep", garbled_tests) ]
