@@ -21,7 +21,7 @@ let run () =
     (fun n ->
        let kws = Array.init n (fun _ -> Drbg.bytes drbg 8) in
        let encs = Array.map (Dpienc.token_enc dpi) kws in
-       let det = Bbx_detect.Detect.create ~mode:Dpienc.Exact ~salt0:0 encs in
+       let det = Bbx_detect.Detect.create ~index:Bbx_detect.Detect.Avl ~mode:Dpienc.Exact ~salt0:0 encs in
        let miss = { Dpienc.cipher = 0x9999999999; embed = None; offset = 0 } in
        let tree_ns = Bench_util.bechamel_ns ~name:"tree" (fun () -> Bbx_detect.Detect.process det miss) in
        (* linear scan over the same precomputed per-keyword ciphertexts *)
@@ -48,7 +48,7 @@ let run () =
   let n_kw = 10_000 in
   let kws2 = Array.init n_kw (fun _ -> Drbg.bytes drbg 8) in
   let encs2 = Array.map (Dpienc.token_enc dpi) kws2 in
-  let det2 = Bbx_detect.Detect.create ~mode:Dpienc.Exact ~salt0:0 encs2 in
+  let det2 = Bbx_detect.Detect.create ~index:Bbx_detect.Detect.Avl ~mode:Dpienc.Exact ~salt0:0 encs2 in
   let miss2 = { Dpienc.cipher = 0x7777777777; embed = None; offset = 0 } in
   let dpienc_ns = Bench_util.bechamel_ns ~name:"dpienc" (fun () -> Bbx_detect.Detect.process det2 miss2) in
   let table = Hashtbl.create n_kw in

@@ -47,7 +47,7 @@ let run () =
        in
        (* BlindBox over the encrypted token stream *)
        let engine =
-         Bbx_mbox.Engine.create ~mode:Dpienc.Exact ~salt0:0 ~rules ~enc_chunk
+         Bbx_mbox.Engine.create ~mode:Dpienc.Exact ~salt0:0 ~rules ~enc_chunk ()
        in
        let sender = Dpienc.sender_create Dpienc.Exact dpi_key ~salt0:0 in
        let buf = Buffer.create 4096 in

@@ -4,8 +4,8 @@
 
    Usage: dune exec bench/main.exe [experiment ...] [--smoke] [--metrics FILE]
    Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
-                setup ablation pipeline obs-overhead parallel setup-parallel
-                all (default: all)
+                setup ablation detect pipeline obs-overhead parallel
+                setup-parallel all (default: all)
 
    After the requested experiments run, the full bbx_obs metric registry is
    written to BENCH_obs.json (override with --metrics FILE) so every bench
@@ -23,6 +23,7 @@ let experiments =
     ("throughput", "Sec 7.2.3: middlebox throughput, BlindBox vs Snort-like baseline", Throughput.run);
     ("setup", "Sec 7.2.2: connection setup scaling with ruleset size", Setup_bench.run);
     ("ablation", "Ablations: tree vs scan, DPIEnc vs deterministic, tokenizers, OT", Ablation.run);
+    ("detect", "Detection index: flat open-addressing hash vs AVL tree (2x miss gate)", Detect.run);
     ("pipeline", "Token pipeline: legacy list path vs streaming path", Pipeline.run);
     ("obs-overhead", "Observability: instrumented vs uninstrumented hot path (<=5% gate)", Obs_overhead.run);
     ("parallel", "Middlebox scaling across OCaml domains (Shardpool at 1/2/4 workers)", Parallel.run);

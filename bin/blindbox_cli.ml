@@ -135,8 +135,19 @@ let print_alert v =
      | `Exact_match -> "exact match"
      | `Probable_cause -> "probable cause")
 
+(* shared --detect-index argument: cipher-index backend for the middlebox
+   engines (hash = flat open-addressing index, avl = reference tree) *)
+let detect_index_arg =
+  Arg.(value
+       & opt (enum [ ("hash", Bbx_detect.Detect.Hash); ("avl", Bbx_detect.Detect.Avl) ])
+         Bbx_detect.Detect.Hash
+       & info [ "detect-index" ] ~docv:"BACKEND"
+         ~doc:"Cipher-index backend for detection: $(b,hash) (flat \
+               open-addressing index, the default) or $(b,avl) (the \
+               reference balanced tree).  Both produce identical verdicts.")
+
 let inspect_cmd =
-  let run rules_path probable window domains garbled setup_domains metrics =
+  let run rules_path probable window domains garbled setup_domains detect_index metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match Parser.parse_ruleset (read_file rules_path) with
@@ -151,7 +162,8 @@ let inspect_cmd =
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
         tokenization = (if window then Session.Window else Session.Delimiter);
         rule_prep = (if garbled then Session.Garbled else Session.Direct);
-        setup_domains = max 1 setup_domains }
+        setup_domains = max 1 setup_domains;
+        detect_index }
     in
     if domains > 0 then begin
       (* sharded middlebox: the connection lives on a pool worker domain.
@@ -225,7 +237,7 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
-    Term.(const run $ rules $ probable $ window $ domains $ garbled $ setup_domains $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ domains $ garbled $ setup_domains $ detect_index_arg $ metrics_arg)
 
 (* ---- stats ---- *)
 
@@ -235,7 +247,7 @@ let inspect_cmd =
    payloads carrying actual rule keywords, so hit/match counters are
    non-zero in both Exact and Probable modes. *)
 let stats_cmd =
-  let run rules_path probable window sends domains conns garbled setup_domains format metrics =
+  let run rules_path probable window sends domains conns garbled setup_domains detect_index format metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -253,7 +265,8 @@ let stats_cmd =
         Session.mode = (if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact);
         tokenization = (if window then Session.Window else Session.Delimiter);
         rule_prep = (if garbled then Session.Garbled else Session.Direct);
-        setup_domains = max 1 setup_domains }
+        setup_domains = max 1 setup_domains;
+        detect_index }
     in
     (* one keyword per rule woven into otherwise benign traffic *)
     let keywords =
@@ -334,7 +347,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Drive a sample trace through a BlindBox connection and render the metric registry")
-    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ garbled $ setup_domains $ format $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ garbled $ setup_domains $ detect_index_arg $ format $ metrics_arg)
 
 let () =
   let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in

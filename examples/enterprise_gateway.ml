@@ -33,7 +33,7 @@ let employee name =
   { name; key; sender = sender_create Exact key ~salt0:0 }
 
 let () =
-  let mb = Middlebox.create ~mode:Exact ~rules in
+  let mb = Middlebox.create ~mode:Exact ~rules () in
   let staff = List.map employee [ "alice"; "bob"; "carol"; "dave" ] in
   List.iteri
     (fun i e ->

@@ -38,11 +38,13 @@ type config = {
   salt0 : int;
   reset_period : int;
   setup_domains : int;
+  detect_index : Bbx_detect.Detect.index_backend;
 }
 
 let default_config =
   { mode = Dpienc.Exact; tokenization = Delimiter; rule_prep = Direct;
-    salt0 = 0; reset_period = 1 lsl 20; setup_domains = 1 }
+    salt0 = 0; reset_period = 1 lsl 20; setup_domains = 1;
+    detect_index = Bbx_detect.Detect.Hash }
 
 type setup_stats = {
   chunk_count : int;
@@ -84,7 +86,8 @@ let direction = "sender->receiver"
 let make_session ?rg config keys ~rules ~prep ~label =
   let enc_chunk = Ruleprep.lookup prep in
   let engine =
-    Bbx_mbox.Engine.create ~mode:config.mode ~salt0:config.salt0 ~rules ~enc_chunk
+    Bbx_mbox.Engine.create ~index:config.detect_index ~mode:config.mode
+      ~salt0:config.salt0 ~rules ~enc_chunk ()
   in
   let dir = direction ^ label in
   { config;
@@ -486,7 +489,10 @@ module Fleet = struct
       ~conns ~rules () =
     if conns < 1 then invalid_arg "Fleet.establish: conns must be >= 1";
     Obs.span_enter obs_setup;
-    let pool = Bbx_mbox.Shardpool.create ?domains ~mode:config.mode ~rules () in
+    let pool =
+      Bbx_mbox.Shardpool.create ?domains ~index:config.detect_index
+        ~mode:config.mode ~rules ()
+    in
     let t =
       { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns;
         fl_rules = rules }

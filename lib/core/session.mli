@@ -34,6 +34,10 @@ type config = {
   (** worker domains for the parallel stages of obfuscated rule
       encryption ({!Ruleprep}); 1 = fully sequential.  Output is
       byte-identical at any count. *)
+  detect_index : Bbx_detect.Detect.index_backend;
+  (** cipher-index backend for the middlebox engines (default
+      {!Bbx_detect.Detect.Hash}; [Avl] is the reference tree).  Both
+      produce identical events. *)
 }
 
 val default_config : config

@@ -212,10 +212,47 @@ let decrypt_block key src =
   decrypt_state key st;
   String.init 16 (fun i -> Char.chr st.(i))
 
-let encrypt_block_into key ~src ~src_off ~dst ~dst_off =
-  let st = Array.init 16 (fun i -> Char.code (Bytes.get src (src_off + i))) in
-  encrypt_state key st;
-  for i = 0 to 15 do Bytes.set dst (dst_off + i) (Char.chr st.(i)) done
+(* Allocation-free block path: the state lives in four packed 32-bit
+   columns threaded through a top-level tail recursion (like [u64_rounds]
+   below, but storing all 16 output bytes).  Bounds are checked once per
+   call; the per-byte accesses below are then in range by construction. *)
+let[@inline] load_col src off =
+  Char.code (Bytes.unsafe_get src off)
+  lor (Char.code (Bytes.unsafe_get src (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get src (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get src (off + 3)) lsl 24)
+
+let[@inline] store_col_bytes dst off v =
+  Bytes.unsafe_set dst off (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set dst (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set dst (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set dst (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff))
+
+let rec block_rounds_into w round x0 x1 x2 x3 dst dst_off =
+  if round > 9 then begin
+    store_col_bytes dst dst_off (tfinal w 0 x0 x1 x2 x3);
+    store_col_bytes dst (dst_off + 4) (tfinal w 1 x1 x2 x3 x0);
+    store_col_bytes dst (dst_off + 8) (tfinal w 2 x2 x3 x0 x1);
+    store_col_bytes dst (dst_off + 12) (tfinal w 3 x3 x0 x1 x2)
+  end
+  else
+    block_rounds_into w (round + 1)
+      (tround w round 0 x0 x1 x2 x3)
+      (tround w round 1 x1 x2 x3 x0)
+      (tround w round 2 x2 x3 x0 x1)
+      (tround w round 3 x3 x0 x1 x2)
+      dst dst_off
+
+let encrypt_block_into { enc = w } ~src ~src_off ~dst ~dst_off =
+  if src_off < 0 || src_off + 16 > Bytes.length src
+     || dst_off < 0 || dst_off + 16 > Bytes.length dst
+  then invalid_arg "Aes.encrypt_block_into: out of bounds";
+  block_rounds_into w 1
+    (load_col src src_off lxor rk w 0 0)
+    (load_col src (src_off + 4) lxor rk w 0 1)
+    (load_col src (src_off + 8) lxor rk w 0 2)
+    (load_col src (src_off + 12) lxor rk w 0 3)
+    dst dst_off
 
 let ctr_transform key ~nonce data =
   if String.length nonce <> 16 then invalid_arg "Aes.ctr_transform: nonce must be 16 bytes";
@@ -267,3 +304,15 @@ let encrypt_u64 { enc = w } v =
   u64_rounds w 1 (rk w 0 0) (rk w 0 1)
     (bswap32 ((v lsr 32) land 0xffffffff) lxor rk w 0 2)
     (bswap32 (v land 0xffffffff) lxor rk w 0 3)
+
+(* Same input block as [encrypt_u64] — 0^8 || BE64(v) — but all 16 output
+   bytes, written straight into [dst].  This is the Probable-mode embed
+   mask AES_tkey(salt+1): the sender XORs k_ssl over it in place, so the
+   per-token embed costs zero heap allocation. *)
+let encrypt_u64_into { enc = w } v ~dst ~dst_off =
+  if dst_off < 0 || dst_off + 16 > Bytes.length dst then
+    invalid_arg "Aes.encrypt_u64_into: out of bounds";
+  block_rounds_into w 1 (rk w 0 0) (rk w 0 1)
+    (bswap32 ((v lsr 32) land 0xffffffff) lxor rk w 0 2)
+    (bswap32 (v land 0xffffffff) lxor rk w 0 3)
+    dst dst_off

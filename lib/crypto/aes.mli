@@ -41,5 +41,12 @@ val ctr_transform : key -> nonce:string -> string -> string
     performs no string allocation beyond one scratch block. *)
 val encrypt_u64 : key -> int -> int
 
+(** [encrypt_u64_into key v ~dst ~dst_off] encrypts the same block as
+    {!encrypt_u64} but writes all 16 output bytes into [dst] at
+    [dst_off], allocating nothing.  This is DPIEnc's Probable-mode embed
+    mask [AES_tkey(salt+1)] produced straight into the sender's scratch
+    buffer.  Raises [Invalid_argument] if the range is out of bounds. *)
+val encrypt_u64_into : key -> int -> dst:Bytes.t -> dst_off:int -> unit
+
 (** The forward S-box, exposed for the AES boolean circuit tests. *)
 val sbox : int array

@@ -1,0 +1,137 @@
+(* Two parallel int arrays, linear probing, backward-shift deletion.
+   [ids.(i) = -1] marks an empty slot; [keys.(i)] is meaningful only when
+   its slot is live.  Capacity is a power of two and the load factor is
+   kept <= 1/2, so expected probe lengths stay O(1) even though DPIEnc
+   ciphers churn (every match deletes one key and inserts another).
+
+   The hot-path loops are top-level tail recursions over immediate ints —
+   no refs, no closures — so [find]/[insert]/[remove] allocate nothing. *)
+
+type t = {
+  mutable keys : int array;
+  mutable ids : int array;
+  mutable mask : int;    (* capacity - 1 *)
+  mutable shift : int;   (* 62 - log2 capacity: Fibonacci-hash top bits *)
+  mutable count : int;
+}
+
+let min_capacity = 16
+
+(* Fibonacci hashing (multiplier = 2^63 / golden ratio, truncated to
+   OCaml's 63-bit int): ciphers are AES outputs (uniform), but the tests —
+   and any future non-cipher key — may not be; one multiply spreads any
+   key over the top bits, which the shift then maps onto [0, capacity). *)
+let[@inline] slot t key = ((key * 0x4F1BBCDCBFA53E0B) land max_int) lsr t.shift
+
+let log2 c =
+  let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+  go 0 c
+
+let alloc t cap =
+  t.keys <- Array.make cap 0;
+  t.ids <- Array.make cap (-1);
+  t.mask <- cap - 1;
+  t.shift <- 62 - log2 cap;
+  t.count <- 0
+
+let create ?(capacity = 0) () =
+  let rec pow2 c n = if c >= n then c else pow2 (c * 2) n in
+  let cap = pow2 min_capacity (2 * capacity) in
+  let t = { keys = [||]; ids = [||]; mask = 0; shift = 0; count = 0 } in
+  alloc t cap;
+  t
+
+let size t = t.count
+let capacity t = Array.length t.ids
+
+let rec find_from keys ids mask key i =
+  let id = Array.unsafe_get ids i in
+  if id < 0 then -1
+  else if Array.unsafe_get keys i = key then id
+  else find_from keys ids mask key ((i + 1) land mask)
+
+let find t key = find_from t.keys t.ids t.mask key (slot t key)
+
+let rec find_probe_from keys ids mask key i ~steps =
+  steps := !steps + 1;
+  let id = Array.unsafe_get ids i in
+  if id < 0 then -1
+  else if Array.unsafe_get keys i = key then id
+  else find_probe_from keys ids mask key ((i + 1) land mask) ~steps
+
+let find_probe t key ~steps =
+  find_probe_from t.keys t.ids t.mask key (slot t key) ~steps
+
+let mem t key = find t key >= 0
+
+let rec insert_from t key id i =
+  let cur = Array.unsafe_get t.ids i in
+  if cur < 0 then begin
+    Array.unsafe_set t.keys i key;
+    Array.unsafe_set t.ids i id;
+    t.count <- t.count + 1
+  end
+  else if Array.unsafe_get t.keys i = key then Array.unsafe_set t.ids i id
+  else insert_from t key id ((i + 1) land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_ids = t.ids in
+  alloc t (2 * Array.length old_ids);
+  Array.iteri
+    (fun i id -> if id >= 0 then insert_from t old_keys.(i) id (slot t old_keys.(i)))
+    old_ids
+
+let insert t key id =
+  if id < 0 then invalid_arg "Cindex.insert: id must be >= 0";
+  if 2 * (t.count + 1) > Array.length t.ids then grow t;
+  insert_from t key id (slot t key)
+
+let rec slot_of_key keys ids mask key i =
+  if Array.unsafe_get ids i < 0 then -1
+  else if Array.unsafe_get keys i = key then i
+  else slot_of_key keys ids mask key ((i + 1) land mask)
+
+(* Backward-shift deletion: walk forward from the hole; any entry whose
+   home slot does not lie (cyclically) strictly after the hole can slide
+   back into it, re-opening the hole at its old position.  Stops at the
+   first empty slot, leaving no tombstone behind. *)
+let rec backshift t keys ids mask hole j =
+  let j = (j + 1) land mask in
+  if Array.unsafe_get ids j < 0 then Array.unsafe_set ids hole (-1)
+  else begin
+    let home = slot t (Array.unsafe_get keys j) in
+    if (j - home) land mask >= (j - hole) land mask then begin
+      Array.unsafe_set keys hole (Array.unsafe_get keys j);
+      Array.unsafe_set ids hole (Array.unsafe_get ids j);
+      backshift t keys ids mask j j
+    end
+    else backshift t keys ids mask hole j
+  end
+
+let remove t key =
+  let i = slot_of_key t.keys t.ids t.mask key (slot t key) in
+  if i >= 0 then begin
+    t.count <- t.count - 1;
+    backshift t t.keys t.ids t.mask i i
+  end
+
+let clear t =
+  Array.fill t.ids 0 (Array.length t.ids) (-1);
+  t.count <- 0
+
+let iter t ~f =
+  Array.iteri (fun i id -> if id >= 0 then f ~key:t.keys.(i) ~id) t.ids
+
+let check_invariants t =
+  let live = ref 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun i id ->
+       if id >= 0 then begin
+         incr live;
+         (* reachable: probing from the home slot finds this exact key
+            before any empty slot *)
+         if find t t.keys.(i) < 0 then ok := false
+       end)
+    t.ids;
+  !ok && !live = t.count && 2 * t.count <= Array.length t.ids

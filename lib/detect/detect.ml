@@ -1,24 +1,29 @@
 open Bbx_dpienc
 module Obs = Bbx_obs.Obs
 
-(* Tree-lookup accounting (§3.2's O(log n) claim, measured).  Lookups are
-   added in bulk per batch/stream, and comparison depth is *sampled*: one
-   lookup in [1 lsl sample_shift] goes through [Avl.find_probe] (counting
-   nodes visited into a preallocated cell) while the rest take the plain
-   [find_opt] path — average depth is [comparisons / probes].  An exact
-   per-token count costs ~7% throughput (it fails the obs-overhead gate);
-   the sampled estimator is statistically identical on any real stream and
-   keeps the hot path at one branch + one increment.  Tree shape is
-   sampled as gauges once per [process_stream] call. *)
+(* Lookup accounting (§3.2's per-token cost, measured).  Lookups are added
+   in bulk per batch/stream, and the probe length of one lookup in
+   [1 lsl sample_shift] is observed into the [bbx_detect_probe_len]
+   histogram — for the AVL backend that is the comparison depth (the
+   paper's O(log n)), for the hash backend the linear-probe scan length
+   (expected O(1) at load factor <= 1/2).  An exact per-token count costs
+   ~7% throughput (it fails the obs-overhead gate); the sampled estimator
+   is statistically identical on any real stream and keeps the hot path at
+   one branch + one increment.  Index shape is sampled as gauges once per
+   [process_stream] call. *)
 let obs_lookups = Obs.counter "bbx_detect_lookups_total"
-let obs_comparisons = Obs.counter "bbx_detect_comparisons_sampled_total"
-let obs_probes = Obs.counter "bbx_detect_probes_sampled_total"
+let obs_probe_len =
+  Obs.histogram "bbx_detect_probe_len"
+    ~buckets:[| 1; 2; 3; 4; 6; 8; 12; 16; 24; 32 |]
 let obs_matches = Obs.counter "bbx_detect_matches_total"
 let obs_tree_height = Obs.gauge "bbx_detect_tree_height"
+let obs_index_capacity = Obs.gauge "bbx_detect_index_capacity"
 let obs_keywords = Obs.gauge "bbx_detect_keywords"
 let sample_shift = 6
 
 type keyword_id = int
+
+type index_backend = Hash | Avl
 
 type event = { kw_id : keyword_id; offset : int; salt : int }
 
@@ -28,12 +33,21 @@ type kw_state = {
   mutable current_cipher : int;
 }
 
+(* The cipher -> keyword_id map, in one of two shapes: [Flat] is the flat
+   open-addressing index (the default — contiguous memory, in-place
+   re-keying), [Tree] the original AVL (kept as the differential oracle
+   and for the §3.2 log-n ablation).  Both implement identical map
+   semantics: insert replaces, remove of an absent key is a no-op. *)
+type index =
+  | Flat of Cindex.t
+  | Tree of { mutable tree : keyword_id Avl.t }
+
 (* [keywords] is a growable store: the first [kw_count] slots are live,
    the rest are capacity (filled with an arbitrary live element).
    [add_keyword] amortises to O(1) instead of the old O(n) Array.append
    per call. *)
-(* [probe_tick]/[probe_steps] are the sampling state for the comparison-
-   depth estimator.  They live on [t] (not at module level) so that trees
+(* [probe_tick]/[probe_steps] are the sampling state for the probe-length
+   estimator.  They live on [t] (not at module level) so that indices
    owned by different domains — one per Shardpool shard — never share
    mutable detection-path state. *)
 type t = {
@@ -42,23 +56,32 @@ type t = {
   mutable salt0 : int;
   mutable keywords : kw_state array;
   mutable kw_count : int;
-  mutable tree : keyword_id Avl.t;
+  index : index;
   mutable probe_tick : int;
   probe_steps : int ref;
 }
+
+let backend t = match t.index with Flat _ -> Hash | Tree _ -> Avl
 
 let current_salt t kw = t.salt0 + (t.stride * kw.count)
 
 let iter_keywords t f =
   for id = 0 to t.kw_count - 1 do f id t.keywords.(id) done
 
+let index_insert t cipher id =
+  match t.index with
+  | Flat c -> Cindex.insert c cipher id
+  | Tree tr -> tr.tree <- Avl.insert cipher id tr.tree
+
 let rebuild t =
-  t.tree <- Avl.empty;
+  (match t.index with
+   | Flat c -> Cindex.clear c
+   | Tree tr -> tr.tree <- Avl.empty);
   iter_keywords t (fun id kw ->
       kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-      t.tree <- Avl.insert kw.current_cipher id t.tree)
+      index_insert t kw.current_cipher id)
 
-let create ~mode ~salt0 encs =
+let create ?(index = Hash) ~mode ~salt0 encs =
   if mode = Dpienc.Probable && salt0 land 1 <> 0 then
     invalid_arg "Detect.create: salt0 must be even";
   let keywords =
@@ -66,17 +89,38 @@ let create ~mode ~salt0 encs =
       (fun enc -> { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 })
       encs
   in
+  let index =
+    match index with
+    | Hash -> Flat (Cindex.create ~capacity:(Array.length keywords) ())
+    | Avl -> Tree { tree = Avl.empty }
+  in
   let t =
     { mode; stride = Dpienc.salt_stride mode; salt0; keywords;
-      kw_count = Array.length keywords; tree = Avl.empty;
+      kw_count = Array.length keywords; index;
       probe_tick = 0; probe_steps = ref 0 }
   in
   rebuild t;
   t
 
-(* Streaming core: one tree lookup per token; on a match the keyword's
-   node is re-keyed to its next-salt ciphertext in a single traversal
-   (Avl.replace) instead of remove + insert. *)
+(* Plain lookup, unified to an id (>= 0) or -1: the hash path returns the
+   id directly; the AVL path unwraps its option (the [Some] block is the
+   tree path's only per-match allocation here). *)
+let[@inline] lookup t cipher =
+  match t.index with
+  | Flat c -> Cindex.find c cipher
+  | Tree tr ->
+    (match Avl.find_opt cipher tr.tree with None -> -1 | Some id -> id)
+
+let lookup_probe t cipher ~steps =
+  match t.index with
+  | Flat c -> Cindex.find_probe c cipher ~steps
+  | Tree tr ->
+    (match Avl.find_probe cipher ~steps tr.tree with None -> -1 | Some id -> id)
+
+(* Streaming core: one index lookup per token; on a match the keyword is
+   re-keyed to its next-salt ciphertext — in place for the hash index
+   (remove + insert over contiguous slots, zero allocation), via
+   [Avl.replace] (single traversal, path copy) for the tree. *)
 let process_token t ~cipher ~offset =
   let found =
     if Obs.enabled () then begin
@@ -84,37 +128,47 @@ let process_token t ~cipher ~offset =
       t.probe_tick <- k;
       if k land ((1 lsl sample_shift) - 1) = 0 then begin
         t.probe_steps := 0;
-        let r = Avl.find_probe cipher ~steps:t.probe_steps t.tree in
-        Obs.incr obs_probes;
-        Obs.add obs_comparisons !(t.probe_steps);
+        let r = lookup_probe t cipher ~steps:t.probe_steps in
+        Obs.observe obs_probe_len !(t.probe_steps);
         r
       end
-      else Avl.find_opt cipher t.tree
+      else lookup t cipher
     end
-    else Avl.find_opt cipher t.tree
+    else lookup t cipher
   in
-  match found with
-  | None -> None
-  | Some kw_id ->
+  if found < 0 then None
+  else begin
     Obs.incr obs_matches;
-    let kw = t.keywords.(kw_id) in
+    let kw = t.keywords.(found) in
     let salt = current_salt t kw in
     kw.count <- kw.count + 1;
     let next = Dpienc.encrypt kw.tkey ~salt:(current_salt t kw) in
-    t.tree <- Avl.replace ~old_key:kw.current_cipher next kw_id t.tree;
+    (match t.index with
+     | Flat c ->
+       Cindex.remove c kw.current_cipher;
+       Cindex.insert c next found
+     | Tree tr ->
+       tr.tree <- Avl.replace ~old_key:kw.current_cipher next found tr.tree);
     kw.current_cipher <- next;
-    Some { kw_id; offset; salt }
+    Some { kw_id = found; offset; salt }
+  end
 
 let process t (tok : Dpienc.enc_token) =
   Obs.incr obs_lookups;
   process_token t ~cipher:tok.Dpienc.cipher ~offset:tok.Dpienc.offset
 
+(* One traversal: the filter_map visit also counts the tokens, so the
+   lookups delta is added once without a second [List.length] pass. *)
 let process_batch t toks =
-  List.filter_map
-    (fun tok -> process_token t ~cipher:tok.Dpienc.cipher ~offset:tok.Dpienc.offset)
-    toks
-  |> fun evs ->
-  Obs.add obs_lookups (List.length toks);
+  let n = ref 0 in
+  let evs =
+    List.filter_map
+      (fun tok ->
+         incr n;
+         process_token t ~cipher:tok.Dpienc.cipher ~offset:tok.Dpienc.offset)
+      toks
+  in
+  Obs.add obs_lookups !n;
   evs
 
 (* Walk a wire-encoded token stream without materialising enc_token
@@ -129,7 +183,9 @@ let process_stream t wire ~f =
       | Some ev -> f ev ~embed_pos);
   (* bulk/per-delivery accounting, not per token (all O(1)) *)
   Obs.add obs_lookups !count;
-  Obs.set_gauge obs_tree_height (Avl.height t.tree);
+  (match t.index with
+   | Tree tr -> Obs.set_gauge obs_tree_height (Avl.height tr.tree)
+   | Flat c -> Obs.set_gauge obs_index_capacity (Cindex.capacity c));
   Obs.set_gauge obs_keywords t.kw_count;
   !count
 
@@ -159,9 +215,11 @@ let add_keyword t enc =
   t.keywords.(id) <- kw;
   t.kw_count <- id + 1;
   kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-  t.tree <- Avl.insert kw.current_cipher id t.tree;
+  index_insert t kw.current_cipher id;
   id
 
-let size t = Avl.size t.tree
+let size t =
+  match t.index with Flat c -> Cindex.size c | Tree tr -> Avl.size tr.tree
 
-let tree_height t = Avl.height t.tree
+let tree_height t =
+  match t.index with Flat _ -> 0 | Tree tr -> Avl.height tr.tree

@@ -2,14 +2,27 @@
 
     The middlebox holds, for each distinct rule-keyword token, the value
     [AES_k(token)] obtained through obfuscated rule encryption (never the
-    key [k] itself).  It keeps a per-keyword occurrence counter and an AVL
-    tree mapping each keyword's {e current} ciphertext
+    key [k] itself).  It keeps a per-keyword occurrence counter and an
+    index mapping each keyword's {e current} ciphertext
     [Enc_k(salt0 + stride * ct, token)] to the keyword.  Processing a
-    traffic token is one tree lookup; on a match the keyword's node is
-    re-encrypted under the next salt and swapped in the tree, keeping
-    sender and middlebox counters in lock-step. *)
+    traffic token is one index lookup; on a match the keyword is
+    re-encrypted under the next salt and re-keyed in the index, keeping
+    sender and middlebox counters in lock-step.
+
+    Two index backends implement the same map semantics: {!Hash} (the
+    default) is a flat open-addressing table over the 40-bit ciphertexts
+    ({!Cindex}) — one multiplicative hash plus a short contiguous scan per
+    token, in-place re-keying with zero allocation; {!Avl} is the original
+    balanced tree, kept as the reference oracle for differential testing
+    and for measuring the paper's O(log n) bound.  Both produce
+    event-for-event identical output (verified by [test_detect_index]). *)
 
 type keyword_id = int
+
+(** Which cipher-to-keyword index {!create} builds.  [Hash] is the flat
+    open-addressing index (default, fast path); [Avl] the balanced-tree
+    reference. *)
+type index_backend = Hash | Avl
 
 (** A keyword match observed in the encrypted stream. *)
 type event = {
@@ -20,14 +33,20 @@ type event = {
 
 type t
 
-(** [create ~mode ~salt0 keywords] — [keywords] are the encrypted rule
-    tokens [AES_k(token)] (16 bytes each); keyword ids are their indices.
-    Duplicate encrypted values are allowed but only the last one's id is
-    reported (callers dedup by token value). *)
-val create : mode:Bbx_dpienc.Dpienc.mode -> salt0:int -> string array -> t
+(** [create ?index ~mode ~salt0 keywords] — [keywords] are the encrypted
+    rule tokens [AES_k(token)] (16 bytes each); keyword ids are their
+    indices.  Duplicate encrypted values are allowed but only the last
+    one's id is reported (callers dedup by token value); both backends
+    implement this identically.  [index] defaults to {!Hash}. *)
+val create :
+  ?index:index_backend ->
+  mode:Bbx_dpienc.Dpienc.mode -> salt0:int -> string array -> t
+
+(** The backend [t] was created with. *)
+val backend : t -> index_backend
 
 (** [process t tok] looks the token up and returns the match, if any.
-    Matching updates the keyword's counter and tree node. *)
+    Matching updates the keyword's counter and index entry. *)
 val process : t -> Bbx_dpienc.Dpienc.enc_token -> event option
 
 (** [process_batch t toks] processes in order and returns all events. *)
@@ -58,11 +77,13 @@ val recover_key : t -> event:event -> embed:string -> string
 val add_keyword : t -> string -> keyword_id
 
 (** [reset t ~salt0] handles the sender's periodic counter reset: clears
-    all counters and rebuilds the tree under the new initial salt. *)
+    all counters and rebuilds the index under the new initial salt. *)
 val reset : t -> salt0:int -> unit
 
-(** Number of distinct tree entries (= number of keywords). *)
+(** Number of distinct index entries (= number of keywords, minus any
+    duplicate-cipher collisions). *)
 val size : t -> int
 
-(** Height of the search tree (for the log-vs-linear ablation bench). *)
+(** Height of the search tree when the backend is {!Avl} (for the
+    log-vs-linear ablation bench); [0] for {!Hash}. *)
 val tree_height : t -> int

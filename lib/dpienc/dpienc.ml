@@ -43,6 +43,20 @@ let encrypt tk ~salt = Aes.encrypt_u64 tk salt land rs_mask
 
 let encrypt_full tk ~salt = Aes.encrypt_block tk (salt_pad ^ Util.u64_be salt)
 
+(* [encrypt_full] xor k_ssl, written straight into [dst]: the mask block
+   0^8 || BE64(salt) is produced by [Aes.encrypt_u64_into] (which bounds-
+   checks the 16-byte range once) and k_ssl is folded over it in place. *)
+let embed_into tk ~salt ~k_ssl ~dst ~dst_off =
+  if String.length k_ssl <> 16 then
+    invalid_arg "Dpienc.embed_into: k_ssl must be 16 bytes";
+  Aes.encrypt_u64_into tk salt ~dst ~dst_off;
+  for i = 0 to 15 do
+    Bytes.unsafe_set dst (dst_off + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (dst_off + i))
+          lxor Char.code (String.unsafe_get k_ssl i)))
+  done
+
 type mode = Exact | Probable
 
 let salt_stride = function Exact -> 1 | Probable -> 2
@@ -52,6 +66,13 @@ type enc_token = {
   embed : string option;
   offset : int;
 }
+
+(* Wire record sizes (defined ahead of the sender, whose scratch buffer is
+   sized by the larger one): per token a flag byte, 5-byte big-endian
+   cipher, 4-byte big-endian stream offset, then the 16-byte embed iff the
+   flag is 1 — 10 bytes in Exact mode, 26 in Probable. *)
+let exact_record_bytes = 10
+let probable_record_bytes = 26
 
 type counter_entry = { mutable count : int; tkey : token_key }
 
@@ -89,6 +110,7 @@ type sender = {
   mutable salt0 : int;
   counters : counter_entry Counter_tbl.t;
   probe : Slice_key.t;  (* reused for lookups; never stored *)
+  scratch : Bytes.t;    (* one wire record, rebuilt in place per token *)
   mutable max_count : int;
 }
 
@@ -98,6 +120,7 @@ let sender_create mode key ~salt0 =
   { mode; key; salt0;
     counters = Counter_tbl.create 4096;
     probe = { Slice_key.src = ""; off = 0; len = 0 };
+    scratch = Bytes.create probable_record_bytes;
     max_count = 0 }
 
 let sender_salt0 s = s.salt0
@@ -165,42 +188,42 @@ let sender_reset s =
 
 (* ---- wire format ----
 
-   Per token: 1 flag byte, 5-byte big-endian cipher, 4-byte big-endian
-   stream offset, then the 16-byte embed iff the flag is 1 — 10 bytes in
-   Exact mode, 26 in Probable. *)
+   Record sizes are defined above the sender type.  Records are built in a
+   fixed-size scratch [Bytes.t] and appended with one [Buffer.add_subbytes]
+   — the old per-character [Buffer.add_char] loops paid a bounds check and
+   a potential resize per byte.  The writers are unsafe because every call
+   site writes a statically in-range span of its (private, fixed-size)
+   scratch. *)
 
-let exact_record_bytes = 10
-let probable_record_bytes = 26
-
-let add_cipher buf cipher =
-  for i = 4 downto 0 do
-    Buffer.add_char buf (Char.chr ((cipher lsr (8 * i)) land 0xff))
-  done
-
-let add_u32 buf v =
-  for i = 3 downto 0 do
-    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
-  done
+let[@inline] put_record_head b flag cipher stream_off =
+  Bytes.unsafe_set b 0 flag;
+  Bytes.unsafe_set b 1 (Char.unsafe_chr ((cipher lsr 32) land 0xff));
+  Bytes.unsafe_set b 2 (Char.unsafe_chr ((cipher lsr 24) land 0xff));
+  Bytes.unsafe_set b 3 (Char.unsafe_chr ((cipher lsr 16) land 0xff));
+  Bytes.unsafe_set b 4 (Char.unsafe_chr ((cipher lsr 8) land 0xff));
+  Bytes.unsafe_set b 5 (Char.unsafe_chr (cipher land 0xff));
+  Bytes.unsafe_set b 6 (Char.unsafe_chr ((stream_off lsr 24) land 0xff));
+  Bytes.unsafe_set b 7 (Char.unsafe_chr ((stream_off lsr 16) land 0xff));
+  Bytes.unsafe_set b 8 (Char.unsafe_chr ((stream_off lsr 8) land 0xff));
+  Bytes.unsafe_set b 9 (Char.unsafe_chr (stream_off land 0xff))
 
 (* Streaming serialisation of one token slice: counter lookup, DPIEnc,
-   wire bytes — no intermediate token or enc_token records. *)
+   wire bytes — no intermediate token or enc_token records, and (with the
+   embed mask written in place by [embed_into]) no per-token heap
+   allocation at all. *)
 let encrypt_slice_into s ~k_ssl ~src ~off ~len ~stream_off buf =
   let entry = entry_for s src off len in
   let salt = next_salt s entry in
   let cipher = encrypt entry.tkey ~salt in
-  (match k_ssl with
-   | None ->
-     Buffer.add_char buf '\000';
-     add_cipher buf cipher;
-     add_u32 buf stream_off
-   | Some k ->
-     Buffer.add_char buf '\001';
-     add_cipher buf cipher;
-     add_u32 buf stream_off;
-     let mask = encrypt_full entry.tkey ~salt:(salt + 1) in
-     for i = 0 to 15 do
-       Buffer.add_char buf (Char.chr (Char.code mask.[i] lxor Char.code k.[i]))
-     done)
+  let scratch = s.scratch in
+  match k_ssl with
+  | None ->
+    put_record_head scratch '\000' cipher stream_off;
+    Buffer.add_subbytes buf scratch 0 exact_record_bytes
+  | Some k ->
+    put_record_head scratch '\001' cipher stream_off;
+    embed_into entry.tkey ~salt:(salt + 1) ~k_ssl:k ~dst:scratch ~dst_off:10;
+    Buffer.add_subbytes buf scratch 0 probable_record_bytes
 
 type tokenization = Window | Delimiter of { short_units : bool }
 
@@ -231,36 +254,45 @@ let encode_tokens toks =
     | _ -> exact_record_bytes
   in
   let buf = Buffer.create (per_token * List.length toks) in
+  let scratch = Bytes.create exact_record_bytes in
   List.iter
     (fun { cipher; embed; offset } ->
-       Buffer.add_char buf (if embed = None then '\000' else '\001');
-       add_cipher buf cipher;
-       add_u32 buf offset;
+       put_record_head scratch (if embed = None then '\000' else '\001') cipher offset;
+       Buffer.add_subbytes buf scratch 0 exact_record_bytes;
        match embed with None -> () | Some e -> Buffer.add_string buf e)
     toks;
   Buffer.contents buf
 
+let[@inline] u8 s i = Char.code (String.unsafe_get s i)
+
 (* Streaming decode: one callback per record, no list, no substrings.
    [embed_pos] is the byte position of the 16-byte embed inside [s], or
-   [-1] when the record carries none. *)
+   [-1] when the record carries none.  The truncation check at the top of
+   each iteration covers the whole 10-byte record head, so the field reads
+   use unsafe indexing. *)
 let decode_iter s ~f =
   let n = String.length s in
   let pos = ref 0 in
   while !pos < n do
     let p = !pos in
     if p + exact_record_bytes > n then invalid_arg "Dpienc.decode_tokens: truncated";
-    let has_embed = s.[p] = '\001' in
-    let cipher = ref 0 in
-    for i = 0 to 4 do cipher := (!cipher lsl 8) lor Char.code s.[p + 1 + i] done;
-    let offset = Util.read_u32_be s (p + 6) in
+    let has_embed = String.unsafe_get s p = '\001' in
+    let cipher =
+      (u8 s (p + 1) lsl 32) lor (u8 s (p + 2) lsl 24) lor (u8 s (p + 3) lsl 16)
+      lor (u8 s (p + 4) lsl 8) lor u8 s (p + 5)
+    in
+    let offset =
+      (u8 s (p + 6) lsl 24) lor (u8 s (p + 7) lsl 16) lor (u8 s (p + 8) lsl 8)
+      lor u8 s (p + 9)
+    in
     let p = p + exact_record_bytes in
     if has_embed then begin
       if p + 16 > n then invalid_arg "Dpienc.decode_tokens: truncated embed";
-      f ~cipher:!cipher ~offset ~embed_pos:p;
+      f ~cipher ~offset ~embed_pos:p;
       pos := p + 16
     end
     else begin
-      f ~cipher:!cipher ~offset ~embed_pos:(-1);
+      f ~cipher ~offset ~embed_pos:(-1);
       pos := p
     end
   done

@@ -52,6 +52,14 @@ val encrypt : token_key -> salt:int -> int
     probable-cause mask. *)
 val encrypt_full : token_key -> salt:int -> string
 
+(** [embed_into tk ~salt ~k_ssl ~dst ~dst_off] writes the probable-cause
+    embedding [c2 = AES_tk(salt) XOR k_ssl] (16 bytes) into [dst] at
+    [dst_off] without allocating — the mask never materialises as a
+    string.  Raises [Invalid_argument] if [k_ssl] is not 16 bytes or the
+    destination range is out of bounds. *)
+val embed_into :
+  token_key -> salt:int -> k_ssl:string -> dst:Bytes.t -> dst_off:int -> unit
+
 type mode = Exact | Probable
 
 (** An encrypted token on the wire. *)

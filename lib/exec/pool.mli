@@ -4,7 +4,7 @@
     domains, each owning a private piece of mutable state ['s] that only
     it ever touches, fed through a per-worker bounded FIFO mailbox.  The
     concurrency contract is inherited wholesale from the shard pool
-    (DESIGN.md §8):
+    (DESIGN.md §9):
 
     - every task sent to worker [i] runs on worker [i]'s domain, in the
       order it was enqueued (per-worker FIFO);

@@ -23,6 +23,8 @@ type hit_set = {
 
 type t = {
   mode : Dpienc.mode;
+  index : Bbx_detect.Detect.index_backend;         (* backend for every
+                                                      detect (re)build *)
   mutable rules : Rule.t array;
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
   mutable encs : string array;                 (* chunk_id -> AES_k(chunk), kept for
@@ -53,17 +55,18 @@ let distinct_chunks rules =
     rules;
   Array.of_list (List.rev !order)
 
-let create ~mode ~salt0 ~rules ~enc_chunk =
+let create ?(index = Bbx_detect.Detect.Hash) ~mode ~salt0 ~rules ~enc_chunk () =
   let chunks = distinct_chunks rules in
   let encs = Array.map enc_chunk chunks in
   let chunk_ids = Hashtbl.create (max 16 (Array.length chunks)) in
   Array.iteri (fun i c -> Hashtbl.replace chunk_ids c i) chunks;
   { mode;
+    index;
     rules = Array.of_list rules;
     chunks;
     encs;
     chunk_ids;
-    detect = Bbx_detect.Detect.create ~mode ~salt0 encs;
+    detect = Bbx_detect.Detect.create ~index ~mode ~salt0 encs;
     salt0;
     hits = Hashtbl.create 256;
     hit_count = 0;
@@ -236,7 +239,7 @@ let remove_rules t ~sids =
     t.encs <- Array.of_list (List.rev !kept_encs);
     Hashtbl.reset t.chunk_ids;
     Array.iteri (fun i c -> Hashtbl.replace t.chunk_ids c i) t.chunks;
-    t.detect <- Bbx_detect.Detect.create ~mode:t.mode ~salt0:t.salt0 t.encs;
+    t.detect <- Bbx_detect.Detect.create ~index:t.index ~mode:t.mode ~salt0:t.salt0 t.encs;
     Hashtbl.reset t.hits;
     (List.rev !removed, remap)
   end

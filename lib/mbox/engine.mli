@@ -32,13 +32,17 @@ type t
     obfuscated rule encryption must cover. *)
 val distinct_chunks : Bbx_rules.Rule.t list -> string array
 
-(** [create ~mode ~salt0 ~rules ~enc_chunk] — [enc_chunk] is consulted once
-    per distinct chunk at construction time. *)
+(** [create ?index ~mode ~salt0 ~rules ~enc_chunk] — [enc_chunk] is
+    consulted once per distinct chunk at construction time.  [index]
+    (default {!Bbx_detect.Detect.Hash}) selects the cipher-index backend
+    and is remembered for detection-state rebuilds ({!remove_rules}). *)
 val create :
+  ?index:Bbx_detect.Detect.index_backend ->
   mode:Bbx_dpienc.Dpienc.mode ->
   salt0:int ->
   rules:Bbx_rules.Rule.t list ->
   enc_chunk:(string -> string) ->
+  unit ->
   t
 
 (** [process t tokens] feeds encrypted tokens in stream order. *)

@@ -33,10 +33,13 @@ type flow_stats = Shard.flow_stats = {
 
 type t
 
-(** [create ~mode ~rules] — the ruleset is fixed for the box's lifetime
-    (rule updates in deployments mean re-running rule preparation per
-    connection anyway). *)
-val create : mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> t
+(** [create ?index ~mode ~rules] — the ruleset is fixed for the box's
+    lifetime (rule updates in deployments mean re-running rule preparation
+    per connection anyway).  [index] (default {!Bbx_detect.Detect.Hash})
+    selects the cipher-index backend for every engine. *)
+val create :
+  ?index:Bbx_detect.Detect.index_backend ->
+  mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
 (** [register t ~conn_id ~salt0 ~enc_chunk] — called at connection setup,
     after obfuscated rule encryption yields this connection's [enc_chunk]

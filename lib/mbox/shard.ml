@@ -39,6 +39,7 @@ type conn = {
 
 type t = {
   mode : Bbx_dpienc.Dpienc.mode;
+  index : Bbx_detect.Detect.index_backend;  (* cipher-index backend for new engines *)
   mutable rules : Bbx_rules.Rule.t list;   (* current ruleset for new registrations *)
   conns : (conn_id, conn) Hashtbl.t;
   mutable total_tokens : int;
@@ -47,14 +48,14 @@ type t = {
   mutable blocked_count : int;
 }
 
-let create ~mode ~rules =
-  { mode; rules; conns = Hashtbl.create 64;
+let create ?(index = Bbx_detect.Detect.Hash) ~mode ~rules () =
+  { mode; index; rules; conns = Hashtbl.create 64;
     total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
 
 let register t ~conn_id ~salt0 ~enc_chunk =
   if Hashtbl.mem t.conns conn_id then
     invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
-  let engine = Engine.create ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk in
+  let engine = Engine.create ~index:t.index ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk () in
   Hashtbl.add t.conns conn_id
     { engine; conn_blocked = false; reported = Hashtbl.create 8;
       conn_tokens = 0; conn_verdicts = 0 };

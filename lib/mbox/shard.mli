@@ -32,7 +32,12 @@ type flow_stats = {
 
 type t
 
-val create : mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> t
+(** [create ?index ~mode ~rules] — [index] (default
+    {!Bbx_detect.Detect.Hash}) is the cipher-index backend used by every
+    engine this shard registers. *)
+val create :
+  ?index:Bbx_detect.Detect.index_backend ->
+  mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
 (** [register t ~conn_id ~salt0 ~enc_chunk] — raises [Invalid_argument]
     on duplicate ids.  [enc_chunk] is consulted on the calling (owning)

@@ -32,12 +32,12 @@ let shard_index t conn_id = (conn_id land max_int) mod Pool.domains t.pool
 
 let default_domains = Pool.default_domains
 
-let create ?domains ?capacity ?batch_max ~mode ~rules () =
+let create ?domains ?capacity ?batch_max ?index ~mode ~rules () =
   let n = match domains with Some n -> n | None -> default_domains () in
   if n < 1 then invalid_arg "Shardpool.create: domains must be >= 1";
   let pool =
     Pool.create ~domains:n ?capacity ?batch_max
-      ~state:(fun _ -> Shard.create ~mode ~rules) ()
+      ~state:(fun _ -> Shard.create ?index ~mode ~rules ()) ()
   in
   Obs.set_gauge obs_domains n;
   { pool; registered = Hashtbl.create 64 }
@@ -134,6 +134,6 @@ let shutdown t =
     Obs.set_gauge obs_domains 0
   end
 
-let with_pool ?domains ?capacity ?batch_max ~mode ~rules f =
-  let t = create ?domains ?capacity ?batch_max ~mode ~rules () in
+let with_pool ?domains ?capacity ?batch_max ?index ~mode ~rules f =
+  let t = create ?domains ?capacity ?batch_max ?index ~mode ~rules () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -38,15 +38,18 @@ type stats = Shard.stats
 
 type t
 
-(** [create ?domains ?capacity ?batch_max ~mode ~rules ()] spawns
+(** [create ?domains ?capacity ?batch_max ?index ~mode ~rules ()] spawns
     [domains] worker domains (default: [recommended_domain_count - 1],
     at least 1).  [capacity] bounds each mailbox (submitting past it
     blocks until the worker catches up); [batch_max] caps how many
-    messages a worker dequeues per lock acquisition. *)
+    messages a worker dequeues per lock acquisition.  [index] (default
+    {!Bbx_detect.Detect.Hash}) selects the cipher-index backend every
+    shard builds its engines with. *)
 val create :
   ?domains:int ->
   ?capacity:int ->
   ?batch_max:int ->
+  ?index:Bbx_detect.Detect.index_backend ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   unit ->
@@ -122,6 +125,7 @@ val with_pool :
   ?domains:int ->
   ?capacity:int ->
   ?batch_max:int ->
+  ?index:Bbx_detect.Detect.index_backend ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   (t -> 'a) ->

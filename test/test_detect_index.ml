@@ -1,0 +1,351 @@
+(* Differential tests for the flat open-addressing cipher index.
+
+   Three layers of the same claim — the Hash backend is observationally
+   identical to the AVL reference:
+
+   - [Cindex] against a stdlib [Hashtbl] under random insert/remove/clear
+     sequences drawn from a tiny key space (forced probe chains and
+     backward-shift deletions), with [check_invariants] after every op;
+   - [Detect] with [Hash] against [Detect] with [Avl]: same encrypted
+     keyword set (duplicate ciphers included), same token streams, both
+     modes, interleaved [add_keyword]/[reset] — event-for-event equal,
+     and [recover_key] byte-equal in probable-cause mode;
+   - the same random multi-connection trace through [Shardpool ~index:Hash]
+     at 1/2/4 domains and the sequential [Middlebox ~index:Avl]. *)
+
+open Bbx_detect
+open Bbx_dpienc.Dpienc
+open Bbx_tokenizer.Tokenizer
+
+(* ---------- Cindex vs Hashtbl ---------- *)
+
+type cop = Insert of int * int | Remove of int | Clear
+
+let arb_cops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 400)
+        (frequency
+           [ (6, map2 (fun k v -> Insert (k, v)) (int_bound 60) (int_bound 1000));
+             (3, map (fun k -> Remove k) (int_bound 60));
+             (1, return Clear) ]))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | Insert (k, v) -> Printf.sprintf "i%d=%d" k v
+           | Remove k -> Printf.sprintf "r%d" k
+           | Clear -> "c")
+         ops)
+  in
+  QCheck.make ~print gen
+
+let cindex_agrees ops =
+  let c = Cindex.create ~capacity:4 () in
+  let h = Hashtbl.create 16 in
+  List.for_all
+    (fun op ->
+       (match op with
+        | Insert (k, v) ->
+          Cindex.insert c k v;
+          Hashtbl.replace h k v
+        | Remove k ->
+          Cindex.remove c k;
+          Hashtbl.remove h k
+        | Clear ->
+          Cindex.clear c;
+          Hashtbl.reset h);
+       Cindex.check_invariants c
+       && Cindex.size c = Hashtbl.length h
+       && Hashtbl.fold (fun k v ok -> ok && Cindex.find c k = v) h true
+       (* a key outside the op range is never present *)
+       && Cindex.find c 1_000_003 = -1)
+    ops
+
+let cindex_tests =
+  let prop name ?(count = 200) arb f =
+    QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+  in
+  [ prop "matches Hashtbl under random ops (forced collisions)" arb_cops
+      cindex_agrees;
+    prop "find_probe agrees with find and counts >= 1 step"
+      QCheck.(list_of_size (QCheck.Gen.int_range 1 80) (int_bound 40))
+      (fun keys ->
+        let c = Cindex.create () in
+        List.iteri (fun i k -> Cindex.insert c k i) keys;
+        List.for_all
+          (fun k ->
+            let steps = ref 0 in
+            Cindex.find_probe c k ~steps = Cindex.find c k && !steps >= 1)
+          (List.init 60 Fun.id));
+    Alcotest.test_case "grows past any initial capacity" `Quick (fun () ->
+        let c = Cindex.create ~capacity:1 () in
+        for i = 0 to 999 do
+          Cindex.insert c (i * 7919) i
+        done;
+        Alcotest.(check int) "size" 1000 (Cindex.size c);
+        Alcotest.(check bool) "invariants" true (Cindex.check_invariants c);
+        for i = 0 to 999 do
+          Alcotest.(check int) "find" i (Cindex.find c (i * 7919))
+        done);
+    Alcotest.test_case "insert replaces, remove is idempotent" `Quick (fun () ->
+        let c = Cindex.create () in
+        Cindex.insert c 5 1;
+        Cindex.insert c 5 2;
+        Alcotest.(check int) "last id wins" 2 (Cindex.find c 5);
+        Alcotest.(check int) "one entry" 1 (Cindex.size c);
+        Cindex.remove c 5;
+        Cindex.remove c 5;
+        Alcotest.(check int) "gone" (-1) (Cindex.find c 5);
+        Alcotest.(check int) "empty" 0 (Cindex.size c));
+  ]
+
+(* ---------- Detect: Hash vs Avl ---------- *)
+
+let key = key_of_secret "index-diff-k"
+let t8 = pad_short
+
+let word_pool =
+  [| "atk"; "mal"; "worm"; "ok"; "fine"; "noise"; "benign"; "xyz" |]
+
+(* keyword sets may repeat a word: both backends must keep only the last
+   id for a duplicated cipher *)
+let arb_scenario =
+  let gen =
+    QCheck.Gen.(
+      let* mode = oneofl [ Exact; Probable ] in
+      let* kws = list_size (int_range 1 6) (int_bound 4) in
+      let* ops =
+        list_size (int_range 1 12)
+          (frequency
+             [ (6,
+                map
+                  (fun ws -> `Stream ws)
+                  (list_size (int_range 0 12)
+                     (int_bound (Array.length word_pool - 1))));
+               (2, map (fun w -> `Add w) (int_bound (Array.length word_pool - 1)));
+               (1, map (fun n -> `Reset (2 * n)) (int_bound 50)) ])
+      in
+      return (mode, kws, ops))
+  in
+  let print (mode, kws, ops) =
+    Printf.sprintf "%s kws=[%s] ops=[%s]"
+      (match mode with Exact -> "exact" | Probable -> "probable")
+      (String.concat "," (List.map string_of_int kws))
+      (String.concat ";"
+         (List.map
+            (function
+              | `Stream ws ->
+                "s:" ^ String.concat "," (List.map string_of_int ws)
+              | `Add w -> Printf.sprintf "a%d" w
+              | `Reset n -> Printf.sprintf "r%d" n)
+            ops))
+  in
+  QCheck.make ~print gen
+
+let k_ssl = String.init 16 (fun i -> Char.chr (0x40 + i))
+
+(* Replay one scenario against a detector; returns the observed events
+   (full records) and every recovered key, in order. *)
+let replay det mode kws ops =
+  ignore (kws : int list);
+  let sender = ref (sender_create mode key ~salt0:0) in
+  let events = ref [] and keys = ref [] in
+  List.iter
+    (function
+      | `Stream ws ->
+        let toks =
+          sender_encrypt !sender
+            ?k_ssl:(if mode = Probable then Some k_ssl else None)
+            (List.mapi
+               (fun i w -> { content = t8 word_pool.(w); offset = 8 * i })
+               ws)
+        in
+        let wire = encode_tokens toks in
+        ignore
+          (Detect.process_stream det wire ~f:(fun ev ~embed_pos ->
+               events := ev :: !events;
+               if embed_pos >= 0 then
+                 keys :=
+                   Detect.recover_key det ~event:ev
+                     ~embed:(String.sub wire embed_pos 16)
+                   :: !keys)
+            : int)
+      | `Add w -> ignore (Detect.add_keyword det (token_enc key (t8 word_pool.(w))) : int)
+      | `Reset salt0 ->
+        Detect.reset det ~salt0;
+        sender := sender_create mode key ~salt0)
+    ops;
+  (List.rev !events, List.rev !keys)
+
+let detect_diff_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"Hash and Avl emit identical events and recovered keys"
+         ~count:300 arb_scenario
+         (fun (mode, kws, ops) ->
+           let encs =
+             Array.of_list
+               (List.map (fun w -> token_enc key (t8 word_pool.(w))) kws)
+           in
+           let mk index = Detect.create ~index ~mode ~salt0:0 encs in
+           let d_hash = mk Detect.Hash and d_avl = mk Detect.Avl in
+           let ev_h, keys_h = replay d_hash mode kws ops in
+           let ev_a, keys_a = replay d_avl mode kws ops in
+           ev_h = ev_a && keys_h = keys_a
+           && Detect.size d_hash = Detect.size d_avl
+           && List.for_all (String.equal k_ssl) keys_h));
+    Alcotest.test_case "duplicate cipher: last id wins on both backends" `Quick
+      (fun () ->
+        let enc = token_enc key (t8 "twice") in
+        let mk index =
+          Detect.create ~index ~mode:Exact ~salt0:0 [| enc; enc |]
+        in
+        let check d =
+          Alcotest.(check int) "one entry" 1 (Detect.size d);
+          let s = sender_create Exact key ~salt0:0 in
+          let toks = sender_encrypt s [ { content = t8 "twice"; offset = 0 } ] in
+          match Detect.process_batch d toks with
+          | [ ev ] -> Alcotest.(check int) "last id" 1 ev.Detect.kw_id
+          | evs ->
+            Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs))
+        in
+        check (mk Detect.Hash);
+        check (mk Detect.Avl));
+    Alcotest.test_case "backend accessor and tree_height" `Quick (fun () ->
+        let encs = [| token_enc key (t8 "a"); token_enc key (t8 "b") |] in
+        let h = Detect.create ~index:Detect.Hash ~mode:Exact ~salt0:0 encs in
+        let a = Detect.create ~index:Detect.Avl ~mode:Exact ~salt0:0 encs in
+        Alcotest.(check bool) "hash" true (Detect.backend h = Detect.Hash);
+        Alcotest.(check bool) "avl" true (Detect.backend a = Detect.Avl);
+        Alcotest.(check int) "hash height is 0" 0 (Detect.tree_height h);
+        Alcotest.(check bool) "avl height > 0" true (Detect.tree_height a > 0));
+  ]
+
+(* ---------- Shardpool with the Hash index vs sequential Avl ---------- *)
+
+open Bbx_mbox
+
+let rules =
+  [ Bbx_rules.Rule.make ~sid:1 [ Bbx_rules.Rule.make_content "alertkw1" ];
+    Bbx_rules.Rule.make ~sid:2 [ Bbx_rules.Rule.make_content "otherkw2" ];
+    Bbx_rules.Rule.make ~action:Bbx_rules.Rule.Drop ~sid:3
+      [ Bbx_rules.Rule.make_content "dropkw33" ] ]
+
+let key_for conn = key_of_secret (Printf.sprintf "idx-conn-%d" conn)
+
+let map_in_order f l = List.rev (List.fold_left (fun acc x -> f x :: acc) [] l)
+
+let payload_pool =
+  [| "GET /index.html HTTP/1.1";
+     "x=alertkw1&noise=1";
+     "benign hello world";
+     "y=otherkw2 z=alertkw1";
+     "q=dropkw33";
+     "tail traffic after things" |]
+
+let wires_for conn payloads =
+  let s = sender_create Exact (key_for conn) ~salt0:0 in
+  map_in_order (fun p -> encode_tokens (sender_encrypt s (delimiter p))) payloads
+
+let wires_of_trace trace =
+  let per_conn = Hashtbl.create 8 in
+  List.iter
+    (fun (conn, p) ->
+       let l = Option.value (Hashtbl.find_opt per_conn conn) ~default:[] in
+       Hashtbl.replace per_conn conn (payload_pool.(p) :: l))
+    trace;
+  let streams = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun conn payloads ->
+       Hashtbl.replace streams conn (ref (wires_for conn (List.rev payloads))))
+    per_conn;
+  map_in_order
+    (fun (conn, _) ->
+       let s = Hashtbl.find streams conn in
+       match !s with
+       | w :: rest ->
+         s := rest;
+         (conn, w)
+       | [] -> assert false)
+    trace
+
+let conns_of_trace trace = List.sort_uniq compare (List.map fst trace)
+
+let obs_of_verdicts vs = List.map (fun v -> (v.Engine.rule_idx, v.Engine.via)) vs
+
+let run_sequential_avl trace =
+  let mb = Middlebox.create ~index:Detect.Avl ~mode:Exact ~rules () in
+  List.iter
+    (fun conn ->
+       Middlebox.register mb ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc (key_for conn)))
+    (conns_of_trace trace);
+  let results =
+    map_in_order
+      (fun (conn, wire) ->
+         match Middlebox.process_wire mb ~conn_id:conn wire with
+         | vs -> Some (obs_of_verdicts vs)
+         | exception Invalid_argument _ -> None)
+      (wires_of_trace trace)
+  in
+  let flows =
+    List.map
+      (fun conn ->
+         (conn, Middlebox.flow_stats mb ~conn_id:conn, Middlebox.is_blocked mb ~conn_id:conn))
+      (conns_of_trace trace)
+  in
+  (results, Middlebox.stats mb, flows)
+
+let run_pool_hash ~domains trace =
+  Shardpool.with_pool ~domains ~index:Detect.Hash ~mode:Exact ~rules
+  @@ fun pool ->
+  List.iter
+    (fun conn ->
+       Shardpool.register pool ~conn_id:conn ~salt0:0 ~enc_chunk:(token_enc (key_for conn)))
+    (conns_of_trace trace);
+  let seqs =
+    map_in_order (fun (conn, wire) -> Shardpool.submit pool ~conn_id:conn wire)
+      (wires_of_trace trace)
+  in
+  let by_seq = Hashtbl.create 64 in
+  Shardpool.drain pool ~f:(fun ~seq ~conn_id:_ vs ->
+      Hashtbl.replace by_seq seq (obs_of_verdicts vs));
+  let results = List.map (Hashtbl.find_opt by_seq) seqs in
+  let flows =
+    List.map
+      (fun conn ->
+         (conn, Shardpool.flow_stats pool ~conn_id:conn, Shardpool.is_blocked pool ~conn_id:conn))
+      (conns_of_trace trace)
+  in
+  (results, Shardpool.stats pool, flows)
+
+let arb_trace =
+  let print trace =
+    String.concat ";" (List.map (fun (c, p) -> Printf.sprintf "%d:%d" c p) trace)
+  in
+  QCheck.make ~print
+    QCheck.Gen.(
+      let* n_conns = int_range 1 5 in
+      let* len = int_range 1 25 in
+      list_size (return len)
+        (let* c = int_range 0 (n_conns - 1) in
+         let* p = int_range 0 (Array.length payload_pool - 1) in
+         return (3 + (c * 5), p)))
+
+let pool_diff_tests =
+  let prop domains =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:(Printf.sprintf "pool(Hash)@%d matches sequential Avl middlebox" domains)
+         ~count:8 arb_trace
+         (fun trace ->
+            run_sequential_avl trace = run_pool_hash ~domains trace))
+  in
+  [ prop 1; prop 2; prop 4 ]
+
+let () =
+  Alcotest.run "detect_index"
+    [ ("cindex", cindex_tests);
+      ("detect-differential", detect_diff_tests);
+      ("shardpool-differential", pool_diff_tests) ]

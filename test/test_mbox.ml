@@ -6,7 +6,7 @@ open Bbx_tokenizer.Tokenizer
 let key = key_of_secret "mbox-k"
 let enc_chunk chunk = token_enc key chunk
 
-let mk_engine ?(mode = Exact) rules = Engine.create ~mode ~salt0:0 ~rules ~enc_chunk
+let mk_engine ?(mode = Exact) rules = Engine.create ~mode ~salt0:0 ~rules ~enc_chunk ()
 
 let sender ?(mode = Exact) () = sender_create mode key ~salt0:0
 
@@ -192,7 +192,7 @@ let middlebox_tests =
     sender_encrypt s (delimiter payload)
   in
   [ Alcotest.test_case "connections are isolated" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         register mb 2;
         (* conn 1 attacks; conn 2 stays clean *)
@@ -205,13 +205,13 @@ let middlebox_tests =
         Alcotest.(check int) "1 alert" 1 st.Middlebox.alerts);
     Alcotest.test_case "cross-connection tokens never match" `Quick (fun () ->
         (* per-connection keys: conn 2's attack tokens are noise to conn 1 *)
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         let foreign = tokens 2 "x=alertkw1" in
         Alcotest.(check int) "no match" 0
           (List.length (Middlebox.process mb ~conn_id:1 foreign)));
     Alcotest.test_case "drop rule blocks only that connection" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         register mb 2;
         let _ = Middlebox.process mb ~conn_id:1 (tokens 1 "x=dropkw22") in
@@ -223,18 +223,18 @@ let middlebox_tests =
            | _ -> false);
         Alcotest.(check int) "blocked count" 1 (Middlebox.stats mb).Middlebox.blocked);
     Alcotest.test_case "duplicate registration rejected" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         Alcotest.(check bool) "raises" true
           (match register mb 1 with exception Invalid_argument _ -> true | _ -> false));
     Alcotest.test_case "unregister frees the id" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         Middlebox.unregister mb ~conn_id:1;
         Alcotest.(check int) "0 conns" 0 (Middlebox.stats mb).Middlebox.connections;
         register mb 1 (* re-usable *));
     Alcotest.test_case "verdicts reported once per connection" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         let v1 = Middlebox.process mb ~conn_id:1 (tokens 1 "x=alertkw1") in
         (* same rule again in later traffic: no duplicate report *)
@@ -270,8 +270,8 @@ let stats_tests =
           [ "x=alertkw1&noise=1"; "benign hello world"; "y=otherkw2 z=alertkw1";
             "more benign filler"; "q=dropkw33" ]
         in
-        let mb_list = Middlebox.create ~mode:Exact ~rules in
-        let mb_wire = Middlebox.create ~mode:Exact ~rules in
+        let mb_list = Middlebox.create ~mode:Exact ~rules () in
+        let mb_wire = Middlebox.create ~mode:Exact ~rules () in
         register mb_list 1;
         register mb_wire 1;
         let s_list = sender_create Exact (key_for 1) ~salt0:0 in
@@ -293,7 +293,7 @@ let stats_tests =
         Alcotest.(check bool) "hits non-zero" true
           ((Middlebox.stats mb_list).Middlebox.total_keyword_hits > 0));
     Alcotest.test_case "repeated alerts counted once per rule per connection" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         let s = sender_create Exact (key_for 1) ~salt0:0 in
         let send payload = Middlebox.process mb ~conn_id:1 (sender_encrypt s (delimiter payload)) in
@@ -305,7 +305,7 @@ let stats_tests =
         (* every occurrence still counts as a keyword hit *)
         Alcotest.(check int) "three hits" 3 st.Middlebox.total_keyword_hits);
     Alcotest.test_case "flow stats track per-connection activity" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         register mb 2;
         let s1 = sender_create Exact (key_for 1) ~salt0:0 in
@@ -323,7 +323,7 @@ let stats_tests =
         in
         Alcotest.(check int) "fold sums tokens" (List.length t1) total);
     Alcotest.test_case "blocked connections accounted exactly once" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         register mb 2;
         let s1 = sender_create Exact (key_for 1) ~salt0:0 in
@@ -339,7 +339,7 @@ let stats_tests =
                 : Engine.verdict list);
         Alcotest.(check int) "still 1" 1 (Middlebox.stats mb).Middlebox.blocked);
     Alcotest.test_case "unregister drops the connection but keeps totals" `Quick (fun () ->
-        let mb = Middlebox.create ~mode:Exact ~rules in
+        let mb = Middlebox.create ~mode:Exact ~rules () in
         register mb 1;
         let s = sender_create Exact (key_for 1) ~salt0:0 in
         let toks = sender_encrypt s (delimiter "x=alertkw1") in

@@ -105,8 +105,8 @@ let engine_tests =
           | [] -> Alcotest.fail "ruleset has no keywords"
         in
         let payload = "GET /index.html?q=" ^ kw ^ " HTTP/1.1\r\nHost: a.example\r\n\r\n" in
-        let e_list = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk in
-        let e_wire = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk in
+        let e_list = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk () in
+        let e_wire = Bbx_mbox.Engine.create ~mode:Exact ~salt0:0 ~rules ~enc_chunk () in
         let s1 = sender_create Exact key ~salt0:0 in
         let s2 = sender_create Exact key ~salt0:0 in
         Bbx_mbox.Engine.process e_list (sender_encrypt s1 (delimiter payload));

@@ -162,7 +162,7 @@ let conns_of_trace trace = List.sort_uniq compare (List.map fst trace)
 let obs_of_verdicts vs = List.map (fun v -> (v.Engine.rule_idx, v.Engine.via)) vs
 
 let run_sequential trace =
-  let mb = Middlebox.create ~mode:Exact ~rules in
+  let mb = Middlebox.create ~mode:Exact ~rules () in
   List.iter (register_seq mb) (conns_of_trace trace);
   let results =
     map_in_order
