@@ -1,0 +1,109 @@
+(* blindboxd end-to-end bench: a fresh daemon on a temp Unix-domain
+   socket per concurrency level, driven closed-loop by the Loadgen over
+   real sockets — so the measured path is the deployed one: framing,
+   kernel socket hops, the select front, shard-pool hand-off, detection,
+   verdict framing back.
+
+   Correctness gates always run: every frame must come back, nothing may
+   be dropped, and the client's count of inspected tokens must equal the
+   daemon's aggregate (socket transport cannot change detection).
+   Latency/throughput expectations are only meaningful with real
+   parallelism, so on a 1-core host they are skipped with a note (the
+   standing CI caveat, see ROADMAP.md).
+
+   Results land in BENCH_daemon.json for the CI artifact: p50/p95/p99
+   round-trip latency and tokens/s per concurrency level. *)
+
+module Daemon = Bbx_daemon.Daemon
+module Loadgen = Bbx_daemon.Loadgen
+module Client = Bbx_daemon.Client
+
+let temp_endpoint tag =
+  Daemon.Unix_path
+    (Filename.concat (Filename.get_temp_dir_name ())
+       (Printf.sprintf "bbxd-bench-%d-%s.sock" (Unix.getpid ()) tag))
+
+(* one fresh daemon + one loadgen run; returns (report, daemon_tokens) *)
+let run_level ~rules ~domains ~conns ~sends =
+  let endpoint = temp_endpoint (string_of_int conns) in
+  let handle = Daemon.start (Daemon.config ~domains ~endpoint ~rules ()) in
+  Fun.protect ~finally:(fun () -> Daemon.stop handle) @@ fun () ->
+  let report =
+    Loadgen.run
+      (Loadgen.cfg ~conns ~sends ~payload_bytes:1024 ~hit_rate:0.02
+         ~seed:"bench-daemon" endpoint)
+  in
+  let t = Client.connect endpoint in
+  let stats =
+    Fun.protect ~finally:(fun () -> Client.close t) (fun () -> Client.stats t)
+  in
+  (report, stats.Bbx_wire.Wire.s_total_tokens)
+
+let run () =
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  Bench_util.section
+    (if smoke then "blindboxd over Unix sockets (smoke)"
+     else "blindboxd over Unix sockets: loadgen at 1/2/4/8 connections");
+  let cores = Domain.recommended_domain_count () in
+  let rules = Bbx_rules.Datasets.generate Bbx_rules.Datasets.Emerging_threats ~n:50 in
+  let sends = if smoke then 100 else 400 in
+  let levels = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let domains = if cores >= 4 then 2 else 1 in
+  Printf.printf
+    "  workload: %d frames/conn of 1024 plaintext bytes, %d rules, %d pool domain(s), %d cores\n%!"
+    sends (List.length rules) domains cores;
+
+  let results =
+    List.map
+      (fun conns ->
+        let r, daemon_tokens = run_level ~rules ~domains ~conns ~sends in
+        Printf.printf
+          "  %d conn(s): %7.0f frames/s  %9.0f tokens/s  rtt p50/p95/p99 %5.0f/%5.0f/%5.0f us\n%!"
+          conns r.Loadgen.rp_sends_per_s r.Loadgen.rp_tokens_per_s
+          r.Loadgen.rp_rtt_p50_us r.Loadgen.rp_rtt_p95_us r.Loadgen.rp_rtt_p99_us;
+        (* correctness gates: full delivery + token parity, every level *)
+        if r.Loadgen.rp_sends <> conns * sends then begin
+          Printf.printf "  FAIL: %d of %d frames answered\n" r.Loadgen.rp_sends
+            (conns * sends);
+          exit 1
+        end;
+        if r.Loadgen.rp_dropped <> 0 then begin
+          Printf.printf "  FAIL: %d frames dropped\n" r.Loadgen.rp_dropped;
+          exit 1
+        end;
+        if r.Loadgen.rp_tokens <> daemon_tokens then begin
+          Printf.printf
+            "  FAIL: token parity broken (client inspected %d, daemon counted %d)\n"
+            r.Loadgen.rp_tokens daemon_tokens;
+          exit 1
+        end;
+        (conns, r))
+      levels
+  in
+  Printf.printf "  token parity client/daemon holds at every level\n";
+
+  (* scaling expectation needs real cores; the CI host has one *)
+  (match (results, List.rev results) with
+   | (1, r1) :: _, (cmax, rmax) :: _ when cmax > 1 ->
+     if cores < 2 then
+       Bench_util.note
+         "%d core(s): concurrency throughput gate skipped (needs >= 2)" cores
+     else if rmax.Loadgen.rp_tokens_per_s < 0.8 *. r1.Loadgen.rp_tokens_per_s
+     then begin
+       Printf.printf
+         "  FAIL: tokens/s collapsed under concurrency (%d conns: %.0f vs 1 conn: %.0f)\n"
+         cmax rmax.Loadgen.rp_tokens_per_s r1.Loadgen.rp_tokens_per_s;
+       exit 1
+     end
+     else
+       Printf.printf "  throughput holds up under concurrency (>= 0.8x of 1 conn)\n"
+   | _ -> ());
+
+  let oc = open_out "BENCH_daemon.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"daemon\",\"smoke\":%b,\"cores\":%d,\"pool_domains\":%d,\"sends_per_conn\":%d,\"levels\":[%s]}\n"
+    smoke cores domains sends
+    (String.concat ","
+       (List.map (fun (_, r) -> Loadgen.report_json r) results));
+  close_out oc;
+  Printf.printf "  wrote BENCH_daemon.json\n"

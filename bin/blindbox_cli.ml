@@ -6,6 +6,9 @@
      tokenize   show the tokens the sender would emit for a payload
      inspect    run payloads through a full in-process BlindBox connection
      stats      drive a sample trace and render the bbx_obs metric registry
+                (or, with --socket, query a running blindboxd)
+     serve      run blindboxd: the middlebox as a network daemon
+     loadgen    drive a running blindboxd with N concurrent senders
 
    Every subcommand takes [--metrics FILE] to dump the metric registry on
    exit (JSONL for .json/.jsonl paths, Prometheus text otherwise). *)
@@ -169,27 +172,26 @@ let inspect_cmd =
       (* sharded middlebox: the connection lives on a pool worker domain.
          Verdicts are detection-stage only (the pool keeps no SSL stream,
          so probable-cause decryption / pcre evaluation does not run). *)
-      let fleet = Session.Fleet.establish ~config ~domains ~conns:1 ~rules () in
+      Session.Fleet.with_fleet ~config ~domains ~conns:1 ~rules @@ fun fleet ->
       Printf.printf "# sharded middlebox up: %d rules, %d worker domain(s)\n%!"
         (List.length rules) (Session.Fleet.domains fleet);
       if probable then
         Printf.printf
           "# note: sharded mode reports detection-stage verdicts only\n%!";
-      (try
-         while true do
-           let line = input_line stdin in
-           let seq = Session.Fleet.submit fleet ~conn:0 line in
-           let got = ref false in
-           Session.Fleet.drain fleet ~f:(fun ~seq:s ~conn_id:_ verdicts ->
-               if s = seq then begin
-                 got := true;
-                 if verdicts = [] then Printf.printf "clean\n%!"
-                 else List.iter print_alert verdicts
-               end);
-           if not !got then Printf.printf "dropped (connection blocked)\n%!"
-         done
-       with End_of_file -> ());
-      Session.Fleet.shutdown fleet
+      try
+        while true do
+          let line = input_line stdin in
+          let seq = Session.Fleet.submit fleet ~conn:0 line in
+          let got = ref false in
+          Session.Fleet.drain fleet ~f:(fun ~seq:s ~conn_id:_ verdicts ->
+              if s = seq then begin
+                got := true;
+                if verdicts = [] then Printf.printf "clean\n%!"
+                else List.iter print_alert verdicts
+              end);
+          if not !got then Printf.printf "dropped (connection blocked)\n%!"
+        done
+      with End_of_file -> ()
     end
     else begin
       let session, stats = Session.establish ~config ~rules () in
@@ -246,9 +248,32 @@ let inspect_cmd =
    render the registry.  The trace mixes benign HTML-ish lines with
    payloads carrying actual rule keywords, so hit/match counters are
    non-zero in both Exact and Probable modes. *)
+(* shared --socket argument for the daemon-aware subcommands *)
+let endpoint_conv =
+  Arg.conv
+    ( (fun s -> Ok (Bbx_daemon.Daemon.endpoint_of_string s)),
+      fun fmt e ->
+        Format.pp_print_string fmt (Bbx_daemon.Daemon.endpoint_to_string e) )
+
 let stats_cmd =
-  let run rules_path probable window sends domains conns garbled setup_domains detect_index format metrics =
+  let run socket rules_path probable window sends domains conns garbled setup_domains detect_index format metrics =
     with_metrics metrics @@ fun () ->
+    match socket with
+    | Some endpoint ->
+      (* query a running blindboxd instead of driving a local trace *)
+      let client = Bbx_daemon.Client.connect endpoint in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> Bbx_daemon.Client.close client)
+          (fun () -> Bbx_daemon.Client.stats client)
+      in
+      let open Bbx_wire.Wire in
+      Printf.printf "connections         %d\n" s.s_connections;
+      Printf.printf "total tokens        %d\n" s.s_total_tokens;
+      Printf.printf "total keyword hits  %d\n" s.s_total_keyword_hits;
+      Printf.printf "alerts              %d\n" s.s_alerts;
+      Printf.printf "blocked             %d\n" s.s_blocked
+    | None ->
     let rules =
       match rules_path with
       | Some path ->
@@ -286,12 +311,11 @@ let stats_cmd =
     if domains > 0 then begin
       (* same trace, spread round-robin over [conns] connections through a
          domain-sharded middlebox *)
-      let fleet = Session.Fleet.establish ~config ~domains ~conns ~rules () in
+      Session.Fleet.with_fleet ~config ~domains ~conns ~rules @@ fun fleet ->
       for i = 1 to sends do
         ignore (Session.Fleet.submit fleet ~conn:(i mod conns) (payload_for i) : int)
       done;
-      Session.Fleet.drain fleet ~f:(fun ~seq:_ ~conn_id:_ _ -> ());
-      Session.Fleet.shutdown fleet
+      Session.Fleet.drain fleet ~f:(fun ~seq:_ ~conn_id:_ _ -> ())
     end
     else begin
       let session, _ = Session.establish ~config ~rules () in
@@ -344,11 +368,124 @@ let stats_cmd =
          & opt (enum [ ("prometheus", `Prometheus); ("jsonl", `Jsonl) ]) `Prometheus
          & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: prometheus or jsonl.")
   in
+  let socket =
+    Arg.(value & opt (some endpoint_conv) None
+         & info [ "socket" ] ~docv:"ENDPOINT"
+           ~doc:"Query a running blindboxd at $(docv) (a Unix-socket path \
+                 or tcp:HOST:PORT) instead of driving a local trace.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Drive a sample trace through a BlindBox connection and render the metric registry")
-    Term.(const run $ rules $ probable $ window $ sends $ domains $ conns $ garbled $ setup_domains $ detect_index_arg $ format $ metrics_arg)
+    Term.(const run $ socket $ rules $ probable $ window $ sends $ domains $ conns $ garbled $ setup_domains $ detect_index_arg $ format $ metrics_arg)
+
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run socket rules_path probable domains detect_index high_water metrics =
+    with_metrics metrics @@ fun () ->
+    let rules =
+      match rules_path with
+      | Some path ->
+        (match Parser.parse_ruleset (read_file path) with
+         | exception Parser.Syntax_error msg ->
+           Printf.eprintf "parse error: %s\n" msg;
+           exit 1
+         | rules -> rules)
+      | None -> Datasets.generate Datasets.Emerging_threats ~n:50
+    in
+    let endpoint = Bbx_daemon.Daemon.endpoint_of_string socket in
+    let mode =
+      if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact
+    in
+    let cfg =
+      Bbx_daemon.Daemon.config ~mode ?domains ~index:detect_index ~high_water
+        ~endpoint ~rules ()
+    in
+    let stopping = Atomic.make false in
+    let on_signal _ = Atomic.set stopping true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Printf.printf "# blindboxd listening on %s (%d rules, %s mode)\n%!"
+      (Bbx_daemon.Daemon.endpoint_to_string endpoint)
+      (List.length rules)
+      (if probable then "probable-cause" else "exact");
+    Bbx_daemon.Daemon.run ~stop:(fun () -> Atomic.get stopping) cfg;
+    Printf.printf "# blindboxd stopped\n%!"
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ENDPOINT"
+           ~doc:"Where to listen: a Unix-socket path or tcp:HOST:PORT.")
+  in
+  let rules =
+    Arg.(value & opt (some file) None
+         & info [ "rules" ] ~docv:"RULES"
+           ~doc:"Snort-dialect rules file (default: 50 synthetic Emerging-Threats rules).")
+  in
+  let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N" ~doc:"Shard-pool worker domains.")
+  in
+  let high_water =
+    Arg.(value & opt int (1 lsl 20)
+         & info [ "high-water" ] ~docv:"BYTES"
+           ~doc:"Per-connection output-buffer bytes before reads from a \
+                 slow consumer pause.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run blindboxd: the BlindBox middlebox as a network daemon")
+    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ high_water $ metrics_arg)
+
+(* ---- loadgen ---- *)
+
+let loadgen_cmd =
+  let run socket conns sends rate inflight payload_bytes hit_rate probable seed json metrics =
+    with_metrics metrics @@ fun () ->
+    let mode =
+      if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact
+    in
+    let cfg =
+      Bbx_daemon.Loadgen.cfg ~conns ~sends ~rate ~inflight ~payload_bytes
+        ~hit_rate ~mode ~seed
+        (Bbx_daemon.Daemon.endpoint_of_string socket)
+    in
+    let report = Bbx_daemon.Loadgen.run cfg in
+    if json then print_endline (Bbx_daemon.Loadgen.report_json report)
+    else Bbx_daemon.Loadgen.print_report stdout report
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ENDPOINT"
+           ~doc:"Daemon endpoint: a Unix-socket path or tcp:HOST:PORT.")
+  in
+  let conns = Arg.(value & opt int 4 & info [ "conns" ] ~doc:"Concurrent connections.") in
+  let sends = Arg.(value & opt int 200 & info [ "sends" ] ~doc:"TOKEN_STREAM frames per connection.") in
+  let rate =
+    Arg.(value & opt float 0.
+         & info [ "rate" ] ~docv:"FPS"
+           ~doc:"Aggregate target rate in frames/s (0 = closed loop, the default).")
+  in
+  let inflight = Arg.(value & opt int 4 & info [ "inflight" ] ~doc:"Max outstanding frames per connection.") in
+  let payload_bytes = Arg.(value & opt int 1024 & info [ "payload-bytes" ] ~doc:"Plaintext bytes per frame.") in
+  let hit_rate =
+    Arg.(value & opt float 0.02
+         & info [ "hit-rate" ] ~doc:"Fraction of frames carrying an alert-rule keyword.")
+  in
+  let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
+  let seed = Arg.(value & opt string "loadgen" & info [ "seed" ] ~doc:"Payload/handshake seed.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running blindboxd with N concurrent senders and report latency")
+    Term.(const run $ socket $ conns $ sends $ rate $ inflight $ payload_bytes $ hit_rate $ probable $ seed $ json $ metrics_arg)
 
 let () =
   let info = Cmd.info "blindbox" ~version:"1.0.0" ~doc:"Deep packet inspection over encrypted traffic" in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd; stats_cmd;
+            serve_cmd; loadgen_cmd ]))

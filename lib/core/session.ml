@@ -612,4 +612,8 @@ module Fleet = struct
   let domains t = Bbx_mbox.Shardpool.domains t.fl_pool
 
   let shutdown t = Bbx_mbox.Shardpool.shutdown t.fl_pool
+
+  let with_fleet ?config ?seed ?domains ~conns ~rules f =
+    let fleet = establish ?config ?seed ?domains ~conns ~rules () in
+    Fun.protect ~finally:(fun () -> shutdown fleet) (fun () -> f fleet)
 end

@@ -226,4 +226,16 @@ module Fleet : sig
 
   (** Stop and join the pool's worker domains (idempotent). *)
   val shutdown : fleet -> unit
+
+  (** [with_fleet ?config ?seed ?domains ~conns ~rules f] — {!establish},
+      run [f], and {!shutdown} even when [f] raises, so worker domains
+      never outlive an exception. *)
+  val with_fleet :
+    ?config:config ->
+    ?seed:string ->
+    ?domains:int ->
+    conns:int ->
+    rules:Bbx_rules.Rule.t list ->
+    (fleet -> 'a) ->
+    'a
 end

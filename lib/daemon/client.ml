@@ -1,0 +1,152 @@
+module Wire = Bbx_wire.Wire
+module Sockio = Bbx_wire.Sockio
+module Dpienc = Bbx_dpienc.Dpienc
+module Engine = Bbx_mbox.Engine
+module Rule = Bbx_rules.Rule
+module Parser = Bbx_rules.Parser
+module Handshake = Bbx_tls.Handshake
+module Drbg = Bbx_crypto.Drbg
+
+exception Server_error of { code : int; message : string }
+exception Protocol_error of string
+
+type t = {
+  fd : Unix.file_descr;
+  framer : Wire.Framer.t;
+  scratch : Bytes.t;
+  mutable open_ : bool;
+}
+
+let connect endpoint =
+  { fd = Daemon.connect endpoint;
+    framer = Wire.Framer.create ();
+    scratch = Bytes.create 65536;
+    open_ = true }
+
+let send t msg = Sockio.write_string t.fd (Wire.encode_frame_string msg)
+
+let rec recv t =
+  match Wire.Framer.next t.framer with
+  | Some payload -> begin
+      match Wire.decode payload with
+      | Wire.Error { code; message } -> raise (Server_error { code; message })
+      | msg -> msg
+    end
+  | None ->
+    let n = Sockio.read t.fd t.scratch 0 (Bytes.length t.scratch) in
+    if n = 0 then raise End_of_file;
+    Wire.Framer.feed t.framer t.scratch 0 n;
+    recv t
+
+let protocol_error what msg =
+  raise
+    (Protocol_error
+       (Printf.sprintf "expected %s, got message type %d" what
+          (match msg with
+           | Wire.Hello _ -> 1
+           | Wire.Hello_ok _ -> 2
+           | Wire.Rule_setup _ -> 3
+           | Wire.Setup_ok -> 4
+           | Wire.Token_stream _ -> 5
+           | Wire.Verdict _ -> 6
+           | Wire.Salt_reset _ -> 7
+           | Wire.Rule_update _ -> 8
+           | Wire.Update_ok _ -> 9
+           | Wire.Stats_req -> 10
+           | Wire.Stats _ -> 11
+           | Wire.Bye -> 12
+           | Wire.Error _ -> 13)))
+
+let hello t ~mode ~salt0 =
+  send t (Wire.Hello { version = Wire.version; mode; salt0 });
+  match recv t with
+  | Wire.Hello_ok { conn_id; mode = mode'; rules_text } ->
+    if mode' <> mode then raise (Protocol_error "daemon mode differs from HELLO");
+    (conn_id, Parser.parse_ruleset rules_text)
+  | msg -> protocol_error "HELLO_OK" msg
+
+let rule_setup t ~pairs =
+  send t (Wire.Rule_setup { pairs });
+  match recv t with
+  | Wire.Setup_ok -> ()
+  | msg -> protocol_error "SETUP_OK" msg
+
+let send_records t ~seq records = send t (Wire.Token_stream { seq; records })
+
+let recv_verdict t =
+  match recv t with
+  | Wire.Verdict { seq; status; verdicts } -> (seq, status, verdicts)
+  | msg -> protocol_error "VERDICT" msg
+
+let salt_reset t ~salt0 = send t (Wire.Salt_reset { salt0 })
+
+let update_rules t ~remove_sids ~add ~pairs =
+  send t
+    (Wire.Rule_update
+       { remove_sids; add_text = String.concat "\n" (List.map Rule.to_string add); pairs });
+  (* verdicts for deliveries submitted before the update may land before
+     the ack; hand them back rather than dropping them on the floor *)
+  let rec await acc =
+    match recv t with
+    | Wire.Update_ok { added } -> (added, List.rev acc)
+    | Wire.Verdict { seq; status; verdicts } -> await ((seq, status, verdicts) :: acc)
+    | msg -> protocol_error "UPDATE_OK" msg
+  in
+  await []
+
+let stats t =
+  send t Wire.Stats_req;
+  match recv t with
+  | Wire.Stats s -> s
+  | msg -> protocol_error "STATS" msg
+
+let fd t = t.fd
+let framer t = t.framer
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (try send t Wire.Bye with _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ---------- batteries-included setup ---------- *)
+
+type session = {
+  sc_client : t;
+  sc_conn_id : int;
+  sc_rules : Rule.t list;
+  sc_key : Dpienc.key;
+  sc_k_ssl : string;
+}
+
+let pairs_for ~key rules =
+  let chunks = Engine.distinct_chunks rules in
+  Array.map (fun c -> (c, Dpienc.token_enc key c)) chunks
+
+(* The S/R handshake runs between the two endpoints; the daemon plays
+   only the middlebox, so for a synthetic client both ends live here. *)
+let handshake seed =
+  let st, client_share = Handshake.initiate (Drbg.create (seed ^ "/client")) in
+  let keys_r, server_share =
+    Handshake.respond (Drbg.create (seed ^ "/server")) ~peer_share:client_share
+  in
+  let keys = Handshake.complete st ~peer_share:server_share in
+  assert (keys = keys_r);
+  keys
+
+let establish endpoint ~mode ~salt0 ~seed =
+  let t = connect endpoint in
+  match
+    let conn_id, rules = hello t ~mode ~salt0 in
+    let keys = handshake seed in
+    let key = Dpienc.key_of_secret keys.Handshake.k in
+    rule_setup t ~pairs:(pairs_for ~key rules);
+    { sc_client = t;
+      sc_conn_id = conn_id;
+      sc_rules = rules;
+      sc_key = key;
+      sc_k_ssl = keys.Handshake.k_ssl }
+  with
+  | session -> session
+  | exception e -> close t; raise e

@@ -1,0 +1,506 @@
+module Wire = Bbx_wire.Wire
+module Sockio = Bbx_wire.Sockio
+module Dpienc = Bbx_dpienc.Dpienc
+module Shardpool = Bbx_mbox.Shardpool
+module Engine = Bbx_mbox.Engine
+module Rule = Bbx_rules.Rule
+module Parser = Bbx_rules.Parser
+module Obs = Bbx_obs.Obs
+
+let obs_conns = Obs.gauge "bbx_daemon_connections"
+let obs_accepted = Obs.counter "bbx_daemon_accepted_total"
+let obs_frames_in = Obs.counter "bbx_daemon_frames_in_total"
+let obs_frames_out = Obs.counter "bbx_daemon_frames_out_total"
+let obs_bytes_in = Obs.counter "bbx_daemon_bytes_in_total"
+let obs_bytes_out = Obs.counter "bbx_daemon_bytes_out_total"
+let obs_deliveries = Obs.counter "bbx_daemon_deliveries_total"
+let obs_errors = Obs.counter "bbx_daemon_error_frames_total"
+let obs_paused = Obs.counter "bbx_daemon_read_pauses_total"
+
+type endpoint = Unix_path of string | Tcp of string * int
+
+let endpoint_of_string s =
+  if String.length s > 4 && String.sub s 0 4 = "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None -> invalid_arg "Daemon.endpoint_of_string: tcp:HOST:PORT"
+    | Some i ->
+      let host = String.sub rest 0 i in
+      let port =
+        match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+        | Some p when p > 0 && p < 65536 -> p
+        | _ -> invalid_arg "Daemon.endpoint_of_string: bad port"
+      in
+      Tcp (host, port)
+  end
+  else Unix_path s
+
+let endpoint_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+type config = {
+  endpoint : endpoint;
+  mode : Dpienc.mode;
+  rules : Rule.t list;
+  domains : int option;
+  index : Bbx_detect.Detect.index_backend;
+  high_water : int;
+}
+
+let config ?(mode = Dpienc.Exact) ?domains ?(index = Bbx_detect.Detect.Hash)
+    ?(high_water = 1 lsl 20) ~endpoint ~rules () =
+  { endpoint; mode; rules; domains; index; high_water }
+
+(* ---------- per-connection state ---------- *)
+
+type conn_state =
+  | Awaiting_hello
+  | Awaiting_setup of { salt0 : int }
+  | Streaming
+
+type client = {
+  fd : Unix.file_descr;
+  framer : Wire.Framer.t;
+  outq : string Queue.t;         (* frames awaiting the socket *)
+  mutable outq_head_off : int;   (* written prefix of the head frame *)
+  mutable outq_bytes : int;
+  mutable state : conn_state;
+  mutable conn_id : int;         (* -1 until HELLO *)
+  mutable registered : bool;     (* conn_id live in the shard pool *)
+  mutable rules : Rule.t list;   (* this connection's current ruleset *)
+  mutable closing : bool;        (* flush pending output, then close *)
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  pool : Shardpool.t;
+  listen_fd : Unix.file_descr;
+  clients : (Unix.file_descr, client) Hashtbl.t;
+  (* deliveries in flight: pool ticket -> reply routing, in submission
+     order (drain replays completed tickets in this same order; tickets
+     missing from the drain were dropped on a blocked connection) *)
+  pending : (int * client * int) Queue.t;
+  rules_text : string;
+  needed_chunks : string array;  (* distinct chunks of the base ruleset *)
+  mutable next_conn_id : int;
+  scratch : Bytes.t;
+}
+
+(* ---------- socket plumbing ---------- *)
+
+let listen_socket endpoint =
+  match endpoint with
+  | Unix_path path ->
+    if Sys.file_exists path then begin
+      match (Unix.stat path).Unix.st_kind with
+      | Unix.S_SOCK -> Unix.unlink path
+      | _ -> failwith (Printf.sprintf "blindboxd: %s exists and is not a socket" path)
+    end;
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 128
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception _ ->
+        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+         with Not_found -> failwith (Printf.sprintf "blindboxd: unknown host %s" host))
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 128
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+
+(* Nagle would add up to an RTT of delay to every small frame; the
+   protocol is request/response, so turn it off (no-op on Unix-domain
+   sockets, where the option does not exist). *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let connect endpoint =
+  Sockio.ignore_sigpipe ();
+  match endpoint with
+  | Unix_path path ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Sockio.retry (fun () -> Unix.connect fd (Unix.ADDR_UNIX path))
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Sockio.retry (fun () -> Unix.connect fd (Unix.ADDR_INET (addr, port)));
+       set_nodelay fd
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+
+(* ---------- record-stream validation ----------
+
+   TOKEN_STREAM bodies are inspected on worker domains, where an
+   exception is sticky and would poison the pool; the front therefore
+   rejects anything the workers' decoder might choke on — truncated
+   records, unknown flag bytes, embeds inconsistent with the daemon's
+   mode — before submitting. *)
+
+let records_valid ~mode s =
+  let exact = Dpienc.exact_record_bytes in
+  let want_embed = mode = Dpienc.Probable in
+  let n = String.length s in
+  let pos = ref 0 and ok = ref true in
+  while !ok && !pos < n do
+    if !pos + exact > n then ok := false
+    else
+      match s.[!pos] with
+      | '\000' when not want_embed -> pos := !pos + exact
+      | '\001' when want_embed ->
+        if !pos + exact + 16 > n then ok := false else pos := !pos + exact + 16
+      | _ -> ok := false
+  done;
+  !ok
+
+(* ---------- output ---------- *)
+
+let enqueue _t cl msg =
+  if not (cl.closed || cl.closing) then begin
+    let s = Wire.encode_frame_string msg in
+    Queue.add s cl.outq;
+    cl.outq_bytes <- cl.outq_bytes + String.length s;
+    Obs.incr obs_frames_out
+  end
+
+let close_client t cl =
+  if not cl.closed then begin
+    cl.closed <- true;
+    Hashtbl.remove t.clients cl.fd;
+    (try Unix.close cl.fd with Unix.Unix_error _ -> ());
+    if cl.registered then begin
+      cl.registered <- false;
+      (* per-worker FIFO: deliveries submitted before this unregister
+         still run first, so in-flight work is never orphaned mid-shard *)
+      Shardpool.unregister t.pool ~conn_id:cl.conn_id
+    end;
+    Obs.add_gauge obs_conns (-1)
+  end
+
+let error_close t cl code fmt =
+  Printf.ksprintf
+    (fun message ->
+       Obs.incr obs_errors;
+       enqueue t cl (Wire.Error { code; message });
+       cl.closing <- true)
+    fmt
+
+(* Flush as much queued output as the socket accepts; close on a dead
+   peer.  Returns [true] while the client is still open. *)
+let flush_out t cl =
+  if cl.closed then false
+  else begin
+    let progress = ref true in
+    (try
+       while !progress && not (Queue.is_empty cl.outq) do
+         let head = Queue.peek cl.outq in
+         let len = String.length head - cl.outq_head_off in
+         let n =
+           Sockio.retry (fun () ->
+               Unix.write_substring cl.fd head cl.outq_head_off len)
+         in
+         Obs.add obs_bytes_out n;
+         cl.outq_bytes <- cl.outq_bytes - n;
+         if n = len then begin
+           ignore (Queue.pop cl.outq : string);
+           cl.outq_head_off <- 0
+         end
+         else begin
+           cl.outq_head_off <- cl.outq_head_off + n;
+           progress := false
+         end
+       done
+     with
+     | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+     | Unix.Unix_error _ -> close_client t cl);
+    if (not cl.closed) && cl.closing && Queue.is_empty cl.outq then close_client t cl;
+    not cl.closed
+  end
+
+(* ---------- frame handling ---------- *)
+
+let verdicts_to_wire vs =
+  List.map
+    (fun v ->
+       { Wire.v_sid = Option.value v.Engine.rule.Rule.sid ~default:0;
+         v_via = v.Engine.via;
+         v_msg = Option.value v.Engine.rule.Rule.msg ~default:"" })
+    vs
+
+let stats_to_wire (s : Bbx_mbox.Shard.stats) =
+  { Wire.s_connections = s.Bbx_mbox.Shard.connections;
+    s_total_tokens = s.Bbx_mbox.Shard.total_tokens;
+    s_total_keyword_hits = s.Bbx_mbox.Shard.total_keyword_hits;
+    s_alerts = s.Bbx_mbox.Shard.alerts;
+    s_blocked = s.Bbx_mbox.Shard.blocked }
+
+(* Does [pairs] cover every chunk in [needed]?  Builds the lookup table
+   the engine's [enc_chunk] oracle reads from. *)
+let enc_table_for ~needed pairs =
+  let tbl = Hashtbl.create (max 16 (Array.length pairs)) in
+  Array.iter (fun (chunk, enc) -> Hashtbl.replace tbl chunk enc) pairs;
+  let missing = Array.exists (fun c -> not (Hashtbl.mem tbl c)) needed in
+  if missing then None else Some tbl
+
+let handle_msg t cl msg =
+  match (msg, cl.state) with
+  | Wire.Hello { version; mode; salt0 }, Awaiting_hello ->
+    if version <> Wire.version then
+      error_close t cl Wire.err_version "unsupported protocol version %d" version
+    else if mode <> t.cfg.mode then
+      error_close t cl Wire.err_version "mode mismatch: daemon runs %s"
+        (match t.cfg.mode with Dpienc.Exact -> "exact" | Dpienc.Probable -> "probable")
+    else if salt0 < 0 || (t.cfg.mode = Dpienc.Probable && salt0 land 1 = 1) then
+      error_close t cl Wire.err_protocol "bad salt0 %d" salt0
+    else begin
+      cl.conn_id <- t.next_conn_id;
+      t.next_conn_id <- t.next_conn_id + 1;
+      cl.state <- Awaiting_setup { salt0 };
+      enqueue t cl
+        (Wire.Hello_ok { conn_id = cl.conn_id; mode = t.cfg.mode; rules_text = t.rules_text })
+    end
+  | Wire.Rule_setup { pairs }, Awaiting_setup { salt0 } -> begin
+      match enc_table_for ~needed:t.needed_chunks pairs with
+      | None ->
+        error_close t cl Wire.err_setup
+          "rule setup does not cover the ruleset's %d chunks"
+          (Array.length t.needed_chunks)
+      | Some tbl ->
+        Shardpool.register t.pool ~conn_id:cl.conn_id ~salt0
+          ~enc_chunk:(Hashtbl.find tbl);
+        cl.registered <- true;
+        cl.state <- Streaming;
+        enqueue t cl Wire.Setup_ok
+    end
+  | Wire.Token_stream { seq; records }, Streaming ->
+    if not (records_valid ~mode:t.cfg.mode records) then
+      error_close t cl Wire.err_malformed "unparseable token records"
+    else begin
+      (* a full shard mailbox blocks here: that is the backpressure *)
+      let ticket = Shardpool.submit t.pool ~conn_id:cl.conn_id records in
+      Queue.add (ticket, cl, seq) t.pending;
+      Obs.incr obs_deliveries
+    end
+  | Wire.Salt_reset { salt0 }, Streaming ->
+    if salt0 < 0 || (t.cfg.mode = Dpienc.Probable && salt0 land 1 = 1) then
+      error_close t cl Wire.err_protocol "bad salt0 %d" salt0
+    else Shardpool.reset_conn t.pool ~conn_id:cl.conn_id ~salt0
+  | Wire.Rule_update { remove_sids; add_text; pairs }, Streaming -> begin
+      match Parser.parse_ruleset add_text with
+      | exception Parser.Syntax_error m ->
+        error_close t cl Wire.err_setup "rule update parse error: %s" m
+      | add ->
+        let keep r =
+          match r.Rule.sid with
+          | Some s -> not (List.mem s remove_sids)
+          | None -> true
+        in
+        let new_rules = List.filter keep cl.rules @ add in
+        (match enc_table_for ~needed:(Engine.distinct_chunks new_rules) pairs with
+         | None ->
+           error_close t cl Wire.err_setup
+             "rule update does not cover the post-update chunk set"
+         | Some tbl ->
+           Shardpool.update_rules t.pool ~conn_id:cl.conn_id ~remove_sids ~add
+             ~rules:new_rules ~enc_chunk:(Hashtbl.find tbl);
+           cl.rules <- new_rules;
+           enqueue t cl (Wire.Update_ok { added = List.length add }))
+    end
+  | Wire.Stats_req, _ ->
+    (* honoured in any state so a monitoring client needs no handshake *)
+    enqueue t cl (Wire.Stats (stats_to_wire (Shardpool.stats t.pool)))
+  | Wire.Bye, _ -> cl.closing <- true
+  | ( Wire.(
+        ( Hello _ | Hello_ok _ | Rule_setup _ | Setup_ok | Token_stream _
+        | Verdict _ | Salt_reset _ | Rule_update _ | Update_ok _ | Stats _
+        | Error _ )),
+      _ ) ->
+    error_close t cl Wire.err_protocol "message illegal in this connection state"
+
+let handle_readable t cl =
+  match Sockio.retry (fun () -> Unix.read cl.fd t.scratch 0 (Bytes.length t.scratch)) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_client t cl
+  | 0 -> close_client t cl
+  | n -> begin
+      Obs.add obs_bytes_in n;
+      match
+        Wire.Framer.feed cl.framer t.scratch 0 n;
+        let continue = ref true in
+        while !continue && not (cl.closed || cl.closing) do
+          match Wire.Framer.next cl.framer with
+          | None -> continue := false
+          | Some payload ->
+            Obs.incr obs_frames_in;
+            handle_msg t cl (Wire.decode payload)
+        done
+      with
+      | () -> ()
+      | exception Wire.Malformed m -> error_close t cl Wire.err_malformed "%s" m
+    end
+
+(* Drain the shard pool and turn completed deliveries into VERDICT
+   frames; tickets the drain never mentions were dropped on a blocked
+   connection.  Replaying [t.pending] in queue order preserves each
+   connection's submission order. *)
+let flush_pool t =
+  if not (Queue.is_empty t.pending) then begin
+    let results = Hashtbl.create (Queue.length t.pending) in
+    Shardpool.drain t.pool ~f:(fun ~seq ~conn_id:_ verdicts ->
+        Hashtbl.replace results seq verdicts);
+    while not (Queue.is_empty t.pending) do
+      let ticket, cl, seq = Queue.pop t.pending in
+      if not cl.closed then
+        match Hashtbl.find_opt results ticket with
+        | Some [] -> enqueue t cl (Wire.Verdict { seq; status = Wire.Clean; verdicts = [] })
+        | Some vs ->
+          enqueue t cl
+            (Wire.Verdict { seq; status = Wire.Alerts; verdicts = verdicts_to_wire vs })
+        | None ->
+          enqueue t cl (Wire.Verdict { seq; status = Wire.Dropped; verdicts = [] })
+    done
+  end
+
+let accept_ready t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      set_nodelay fd;
+      let cl =
+        { fd;
+          framer = Wire.Framer.create ();
+          outq = Queue.create ();
+          outq_head_off = 0;
+          outq_bytes = 0;
+          state = Awaiting_hello;
+          conn_id = -1;
+          registered = false;
+          rules = t.cfg.rules;
+          closing = false;
+          closed = false }
+      in
+      Hashtbl.replace t.clients fd cl;
+      Obs.incr obs_accepted;
+      Obs.add_gauge obs_conns 1
+  done
+
+let serve_loop t stop =
+  while not (stop ()) do
+    let reads = ref [ t.listen_fd ] and writes = ref [] in
+    Hashtbl.iter
+      (fun fd cl ->
+         (* flow control: a reply backlog past the high-water mark pauses
+            reads from this peer until it drains what we already owe it *)
+         if not cl.closing then begin
+           if cl.outq_bytes <= t.cfg.high_water then reads := fd :: !reads
+           else Obs.incr obs_paused
+         end;
+         if not (Queue.is_empty cl.outq) then writes := fd :: !writes)
+      t.clients;
+    let readable, writable =
+      match Unix.select !reads !writes [] 0.05 with
+      | r, w, _ -> (r, w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    in
+    List.iter
+      (fun fd ->
+         if fd = t.listen_fd then accept_ready t
+         else
+           match Hashtbl.find_opt t.clients fd with
+           | Some cl -> handle_readable t cl
+           | None -> ())
+      readable;
+    flush_pool t;
+    List.iter
+      (fun fd ->
+         match Hashtbl.find_opt t.clients fd with
+         | Some cl -> ignore (flush_out t cl : bool)
+         | None -> ())
+      writable;
+    (* error replies enqueued this round for clients that were not in the
+       write set get a first flush attempt immediately *)
+    Hashtbl.iter
+      (fun _ cl ->
+         if (cl.closing || not (Queue.is_empty cl.outq)) && not (List.mem cl.fd writable)
+         then ignore (flush_out t cl : bool))
+      (Hashtbl.copy t.clients)
+  done
+
+let init cfg =
+  Sockio.ignore_sigpipe ();
+  let pool =
+    Shardpool.create ?domains:cfg.domains ~index:cfg.index ~mode:cfg.mode
+      ~rules:cfg.rules ()
+  in
+  let listen_fd =
+    try listen_socket cfg.endpoint
+    with e -> Shardpool.shutdown pool; raise e
+  in
+  Unix.set_nonblock listen_fd;
+  { cfg;
+    pool;
+    listen_fd;
+    clients = Hashtbl.create 64;
+    pending = Queue.create ();
+    rules_text = String.concat "\n" (List.map Rule.to_string cfg.rules);
+    needed_chunks = Engine.distinct_chunks cfg.rules;
+    next_conn_id = 0;
+    scratch = Bytes.create 65536 }
+
+let teardown t =
+  Hashtbl.iter (fun _ cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) t.clients;
+  Hashtbl.reset t.clients;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.endpoint with
+   | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+   | Tcp _ -> ());
+  Shardpool.shutdown t.pool
+
+let run ?(stop = fun () -> false) cfg =
+  let t = init cfg in
+  Fun.protect ~finally:(fun () -> teardown t) (fun () -> serve_loop t stop)
+
+type handle = {
+  h_stop : bool Atomic.t;
+  h_domain : unit Domain.t;
+}
+
+let start cfg =
+  (* bind on the caller's domain so a client may connect the moment
+     [start] returns — the backlog holds it until the loop first runs *)
+  let t = init cfg in
+  let h_stop = Atomic.make false in
+  let h_domain =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> teardown t)
+          (fun () -> serve_loop t (fun () -> Atomic.get h_stop)))
+  in
+  { h_stop; h_domain }
+
+let stop h =
+  Atomic.set h.h_stop true;
+  Domain.join h.h_domain

@@ -1,0 +1,83 @@
+(** [blindboxd]: the BlindBox middlebox as a standalone network daemon.
+
+    One process, one ruleset, one {!Bbx_mbox.Shardpool}; many client
+    connections multiplexed onto it over a Unix-domain socket (or TCP)
+    speaking the {!Bbx_wire.Wire} framing.  Each accepted socket carries
+    exactly one monitored BlindBox connection: the client runs the
+    endpoint half (handshake between S and R happens {e off-box} — the
+    middlebox never sees a key), ships its per-connection obfuscated rule
+    encryptions in [RULE_SETUP], then streams {!Bbx_dpienc.Dpienc}
+    records in [TOKEN_STREAM] frames and reads [VERDICT] replies.
+
+    {b Event loop.}  A single front domain owns every socket: a
+    [select]-based loop accepts, reads frames, routes control messages,
+    and submits deliveries to the shard pool (worker domains do the
+    actual detection).  After each read sweep the loop drains the pool
+    and turns completed deliveries into [VERDICT] frames in global
+    submission order — per-connection reply order therefore matches
+    per-connection submission order.
+
+    {b Backpressure.}  Two bounded buffers flow-control a connection:
+    the pool's per-worker mailboxes block the submitting front when a
+    shard falls behind, and a per-connection output buffer beyond
+    [high_water] bytes pauses {e reads} from that socket until the peer
+    has drained its replies — a slow reader throttles itself, never the
+    daemon's memory.
+
+    {b Isolation.}  A malformed frame, an illegal message for the
+    connection's state, or an unparseable token stream answers with an
+    [ERROR] frame and closes that one connection; other connections and
+    the daemon itself are unaffected. *)
+
+(** Where the daemon listens / the client connects. *)
+type endpoint =
+  | Unix_path of string        (** Unix-domain socket path *)
+  | Tcp of string * int        (** host, port *)
+
+(** ["tcp:HOST:PORT"] becomes {!Tcp}; anything else is a {!Unix_path}. *)
+val endpoint_of_string : string -> endpoint
+
+val endpoint_to_string : endpoint -> string
+
+type config = {
+  endpoint : endpoint;
+  mode : Bbx_dpienc.Dpienc.mode;
+  rules : Bbx_rules.Rule.t list;
+  domains : int option;           (** shard-pool workers (None = default) *)
+  index : Bbx_detect.Detect.index_backend;
+  high_water : int;               (** per-connection output-buffer bytes
+                                      before reads from it pause *)
+}
+
+(** [config ~endpoint ~rules ()] with [Exact] mode, default domains,
+    [Hash] index and a 1 MiB high-water mark. *)
+val config :
+  ?mode:Bbx_dpienc.Dpienc.mode ->
+  ?domains:int ->
+  ?index:Bbx_detect.Detect.index_backend ->
+  ?high_water:int ->
+  endpoint:endpoint ->
+  rules:Bbx_rules.Rule.t list ->
+  unit ->
+  config
+
+(** [connect endpoint] — a blocking client socket to a daemon (used by
+    {!Client} and {!Loadgen}); sets [TCP_NODELAY] on TCP and turns
+    SIGPIPE off process-wide. *)
+val connect : endpoint -> Unix.file_descr
+
+(** [run ?stop cfg] binds the endpoint and serves until [stop ()] turns
+    true (checked a few times a second; default: serve forever).  Always
+    shuts the shard pool down, closes every socket and unlinks a
+    Unix-domain path on the way out, including on exceptions. *)
+val run : ?stop:(unit -> bool) -> config -> unit
+
+(** In-process daemon for tests, benches and examples: {!start} binds
+    the endpoint synchronously (a client may connect as soon as it
+    returns) and runs the event loop on a fresh domain; {!stop} signals
+    it and joins. *)
+type handle
+
+val start : config -> handle
+
+val stop : handle -> unit

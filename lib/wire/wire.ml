@@ -1,0 +1,406 @@
+module Dpienc = Bbx_dpienc.Dpienc
+module Tokenizer = Bbx_tokenizer.Tokenizer
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let max_frame_bytes = 16 * 1024 * 1024
+
+let version = 1
+
+let chunk_len = Tokenizer.token_len
+let enc_len = 16
+
+type verdict = {
+  v_sid : int;
+  v_via : [ `Exact_match | `Probable_cause ];
+  v_msg : string;
+}
+
+type status = Clean | Alerts | Dropped
+
+type stats = {
+  s_connections : int;
+  s_total_tokens : int;
+  s_total_keyword_hits : int;
+  s_alerts : int;
+  s_blocked : int;
+}
+
+type msg =
+  | Hello of { version : int; mode : Dpienc.mode; salt0 : int }
+  | Hello_ok of { conn_id : int; mode : Dpienc.mode; rules_text : string }
+  | Rule_setup of { pairs : (string * string) array }
+  | Setup_ok
+  | Token_stream of { seq : int; records : string }
+  | Verdict of { seq : int; status : status; verdicts : verdict list }
+  | Salt_reset of { salt0 : int }
+  | Rule_update of {
+      remove_sids : int list;
+      add_text : string;
+      pairs : (string * string) array;
+    }
+  | Update_ok of { added : int }
+  | Stats_req
+  | Stats of stats
+  | Bye
+  | Error of { code : int; message : string }
+
+let err_malformed = 1
+let err_protocol = 2
+let err_version = 3
+let err_setup = 4
+let err_internal = 5
+
+(* type bytes *)
+let t_hello = 1
+let t_hello_ok = 2
+let t_rule_setup = 3
+let t_setup_ok = 4
+let t_token_stream = 5
+let t_verdict = 6
+let t_salt_reset = 7
+let t_rule_update = 8
+let t_update_ok = 9
+let t_stats_req = 10
+let t_stats = 11
+let t_bye = 12
+let t_error = 13
+
+let mode_byte = function Dpienc.Exact -> 0 | Dpienc.Probable -> 1
+
+let mode_of_byte = function
+  | 0 -> Dpienc.Exact
+  | 1 -> Dpienc.Probable
+  | b -> malformed "bad mode byte %d" b
+
+let via_byte = function `Exact_match -> 0 | `Probable_cause -> 1
+
+let via_of_byte = function
+  | 0 -> `Exact_match
+  | 1 -> `Probable_cause
+  | b -> malformed "bad via byte %d" b
+
+let status_byte = function Clean -> 0 | Alerts -> 1 | Dropped -> 2
+
+let status_of_byte = function
+  | 0 -> Clean
+  | 1 -> Alerts
+  | 2 -> Dropped
+  | b -> malformed "bad status byte %d" b
+
+(* ---------- writer ---------- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  if v < 0 || v > 0xffff then invalid_arg "Wire.put_u16";
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Wire.put_u32";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_i64 buf v =
+  let v64 = Int64.of_int v in
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v64 (8 * i)) 0xffL)))
+  done
+
+let put_str16 buf s =
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_str32 buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_pairs buf pairs =
+  put_u32 buf (Array.length pairs);
+  Array.iter
+    (fun (chunk, enc) ->
+       if String.length chunk <> chunk_len then
+         invalid_arg "Wire: rule chunk must be token_len bytes";
+       if String.length enc <> enc_len then
+         invalid_arg "Wire: rule encryption must be 16 bytes";
+       Buffer.add_string buf chunk;
+       Buffer.add_string buf enc)
+    pairs
+
+(* ---------- reader ---------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.src then
+    malformed "truncated frame (need %d bytes at %d of %d)" n c.pos
+      (String.length c.src)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u16 c =
+  need c 2;
+  let v = (Char.code c.src.[c.pos] lsl 8) lor Char.code c.src.[c.pos + 1] in
+  c.pos <- c.pos + 2;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v =
+    (Char.code c.src.[c.pos] lsl 24)
+    lor (Char.code c.src.[c.pos + 1] lsl 16)
+    lor (Char.code c.src.[c.pos + 2] lsl 8)
+    lor Char.code c.src.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.src.[c.pos]));
+    c.pos <- c.pos + 1
+  done;
+  (* salts are OCaml ints on both sides; 63 bits is plenty *)
+  Int64.to_int !v
+
+let get_bytes c n =
+  need c n;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_str16 c = get_bytes c (get_u16 c)
+
+let get_str32 c = get_bytes c (get_u32 c)
+
+let get_rest c =
+  let s = String.sub c.src c.pos (String.length c.src - c.pos) in
+  c.pos <- String.length c.src;
+  s
+
+let get_pairs c =
+  let n = get_u32 c in
+  (* each pair is chunk_len + enc_len bytes: reject counts the body cannot
+     hold before allocating the array *)
+  if n * (chunk_len + enc_len) > String.length c.src - c.pos then
+    malformed "rule table count %d exceeds frame body" n;
+  Array.init n (fun _ ->
+      let chunk = get_bytes c chunk_len in
+      let enc = get_bytes c enc_len in
+      (chunk, enc))
+
+let finish c msg_name =
+  if c.pos <> String.length c.src then
+    malformed "%s: %d trailing bytes" msg_name (String.length c.src - c.pos)
+
+(* ---------- codec ---------- *)
+
+let encode_payload buf = function
+  | Hello { version; mode; salt0 } ->
+    put_u8 buf t_hello;
+    put_u8 buf version;
+    put_u8 buf (mode_byte mode);
+    put_i64 buf salt0
+  | Hello_ok { conn_id; mode; rules_text } ->
+    put_u8 buf t_hello_ok;
+    put_u32 buf conn_id;
+    put_u8 buf (mode_byte mode);
+    Buffer.add_string buf rules_text
+  | Rule_setup { pairs } ->
+    put_u8 buf t_rule_setup;
+    put_pairs buf pairs
+  | Setup_ok -> put_u8 buf t_setup_ok
+  | Token_stream { seq; records } ->
+    put_u8 buf t_token_stream;
+    put_u32 buf seq;
+    Buffer.add_string buf records
+  | Verdict { seq; status; verdicts } ->
+    put_u8 buf t_verdict;
+    put_u32 buf seq;
+    put_u8 buf (status_byte status);
+    put_u16 buf (List.length verdicts);
+    List.iter
+      (fun v ->
+         put_u32 buf v.v_sid;
+         put_u8 buf (via_byte v.v_via);
+         put_str16 buf v.v_msg)
+      verdicts
+  | Salt_reset { salt0 } ->
+    put_u8 buf t_salt_reset;
+    put_i64 buf salt0
+  | Rule_update { remove_sids; add_text; pairs } ->
+    put_u8 buf t_rule_update;
+    put_u16 buf (List.length remove_sids);
+    List.iter (put_u32 buf) remove_sids;
+    put_str32 buf add_text;
+    put_pairs buf pairs
+  | Update_ok { added } ->
+    put_u8 buf t_update_ok;
+    put_u32 buf added
+  | Stats_req -> put_u8 buf t_stats_req
+  | Stats s ->
+    put_u8 buf t_stats;
+    put_i64 buf s.s_connections;
+    put_i64 buf s.s_total_tokens;
+    put_i64 buf s.s_total_keyword_hits;
+    put_i64 buf s.s_alerts;
+    put_i64 buf s.s_blocked
+  | Bye -> put_u8 buf t_bye
+  | Error { code; message } ->
+    put_u8 buf t_error;
+    put_u16 buf code;
+    put_str16 buf message
+
+let encode_frame buf msg =
+  let body = Buffer.create 64 in
+  encode_payload body msg;
+  let n = Buffer.length body in
+  if n > max_frame_bytes then invalid_arg "Wire.encode_frame: frame too large";
+  put_u32 buf n;
+  Buffer.add_buffer buf body
+
+let encode_frame_string msg =
+  let buf = Buffer.create 64 in
+  encode_frame buf msg;
+  Buffer.contents buf
+
+let decode payload =
+  if String.length payload = 0 then malformed "empty frame";
+  let c = { src = payload; pos = 0 } in
+  let ty = get_u8 c in
+  let msg =
+    if ty = t_hello then begin
+      let version = get_u8 c in
+      let mode = mode_of_byte (get_u8 c) in
+      let salt0 = get_i64 c in
+      Hello { version; mode; salt0 }
+    end
+    else if ty = t_hello_ok then begin
+      let conn_id = get_u32 c in
+      let mode = mode_of_byte (get_u8 c) in
+      let rules_text = get_rest c in
+      Hello_ok { conn_id; mode; rules_text }
+    end
+    else if ty = t_rule_setup then Rule_setup { pairs = get_pairs c }
+    else if ty = t_setup_ok then Setup_ok
+    else if ty = t_token_stream then begin
+      let seq = get_u32 c in
+      let records = get_rest c in
+      Token_stream { seq; records }
+    end
+    else if ty = t_verdict then begin
+      let seq = get_u32 c in
+      let status = status_of_byte (get_u8 c) in
+      let n = get_u16 c in
+      let verdicts =
+        List.init n (fun _ ->
+            let v_sid = get_u32 c in
+            let v_via = via_of_byte (get_u8 c) in
+            let v_msg = get_str16 c in
+            { v_sid; v_via; v_msg })
+      in
+      Verdict { seq; status; verdicts }
+    end
+    else if ty = t_salt_reset then Salt_reset { salt0 = get_i64 c }
+    else if ty = t_rule_update then begin
+      let n = get_u16 c in
+      let remove_sids = List.init n (fun _ -> get_u32 c) in
+      let add_text = get_str32 c in
+      let pairs = get_pairs c in
+      Rule_update { remove_sids; add_text; pairs }
+    end
+    else if ty = t_update_ok then Update_ok { added = get_u32 c }
+    else if ty = t_stats_req then Stats_req
+    else if ty = t_stats then begin
+      let s_connections = get_i64 c in
+      let s_total_tokens = get_i64 c in
+      let s_total_keyword_hits = get_i64 c in
+      let s_alerts = get_i64 c in
+      let s_blocked = get_i64 c in
+      Stats { s_connections; s_total_tokens; s_total_keyword_hits; s_alerts; s_blocked }
+    end
+    else if ty = t_bye then Bye
+    else if ty = t_error then begin
+      let code = get_u16 c in
+      let message = get_str16 c in
+      Error { code; message }
+    end
+    else malformed "unknown message type %d" ty
+  in
+  finish c "frame";
+  msg
+
+(* ---------- incremental framer ---------- *)
+
+module Framer = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable len : int;  (* valid bytes in [buf] *)
+    mutable pos : int;  (* consumed prefix *)
+    max_frame : int;
+  }
+
+  let create ?(max_frame = max_frame_bytes) () =
+    { buf = Bytes.create 4096; len = 0; pos = 0; max_frame }
+
+  let compact t =
+    if t.pos > 0 then begin
+      let live = t.len - t.pos in
+      Bytes.blit t.buf t.pos t.buf 0 live;
+      t.len <- live;
+      t.pos <- 0
+    end
+
+  let feed t src off n =
+    if off < 0 || n < 0 || off + n > Bytes.length src then
+      invalid_arg "Framer.feed";
+    if t.len + n > Bytes.length t.buf then begin
+      compact t;
+      if t.len + n > Bytes.length t.buf then begin
+        let cap = ref (max 4096 (Bytes.length t.buf)) in
+        while t.len + n > !cap do cap := !cap * 2 done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit t.buf 0 bigger 0 t.len;
+        t.buf <- bigger
+      end
+    end;
+    Bytes.blit src off t.buf t.len n;
+    t.len <- t.len + n
+
+  let buffered t = t.len - t.pos
+
+  let peek_len t =
+    let b i = Char.code (Bytes.get t.buf (t.pos + i)) in
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+  let next t =
+    if t.len - t.pos < 4 then None
+    else begin
+      let n = peek_len t in
+      if n <= 0 then malformed "frame length %d" n;
+      if n > t.max_frame then
+        malformed "frame length %d exceeds limit %d" n t.max_frame;
+      if t.len - t.pos < 4 + n then None
+      else begin
+        let payload = Bytes.sub_string t.buf (t.pos + 4) n in
+        t.pos <- t.pos + 4 + n;
+        if t.pos = t.len then begin
+          t.pos <- 0;
+          t.len <- 0
+        end;
+        Some payload
+      end
+    end
+end

@@ -1,0 +1,135 @@
+(** The blindboxd wire protocol: a compact length-prefixed binary framing
+    of the BlindBox connection lifecycle.
+
+    Every frame on the socket is
+
+    {v u32_be payload_length | payload v}
+
+    where [payload.[0]] is the message type byte and the rest is the
+    message body ({!decode} / {!encode} work on whole payloads; the
+    4-byte length prefix is handled by {!encode_frame} on the way out and
+    {!Framer} on the way in).  All integers are big-endian and unsigned
+    unless noted.  A connection's lifecycle is
+
+    {v client                         server (blindboxd)
+       HELLO{version,mode,salt0}  ->
+                                  <-  HELLO_OK{conn_id,mode,rules text}
+       RULE_SETUP{chunk,enc pairs}->
+                                  <-  SETUP_OK
+       TOKEN_STREAM{seq,records}  ->
+                                  <-  VERDICT{seq,status,verdicts}
+       SALT_RESET{salt0}          ->                       (no reply)
+       RULE_UPDATE{...}           ->
+                                  <-  UPDATE_OK{added}
+       STATS_REQ                  ->
+                                  <-  STATS{...}
+       BYE                        ->                       (server closes) v}
+
+    [RULE_SETUP] carries the per-connection obfuscated rule encryptions
+    — the [(chunk, AES_k(chunk))] pairs {!Blindbox.Ruleprep} produces on
+    the endpoint — so the middlebox never holds [k].  [TOKEN_STREAM]
+    bodies are the existing {!Bbx_dpienc.Dpienc} 10/26-byte records,
+    verbatim.  [STATS_REQ] is honoured in any connection state, so a
+    monitoring client can query a daemon without a handshake.
+
+    Anything the decoder cannot parse raises {!Malformed}; servers answer
+    with an [ERROR] frame and close that one connection. *)
+
+(** Raised on any frame the decoder rejects: bad length, unknown type
+    byte, truncated body, trailing bytes, or an over-limit frame. *)
+exception Malformed of string
+
+(** Hard upper bound on a frame payload (16 MiB): anything longer is
+    rejected before buffering, so a garbage length prefix cannot make the
+    server allocate unboundedly. *)
+val max_frame_bytes : int
+
+(** Protocol version spoken by this implementation. *)
+val version : int
+
+(** One rule-level verdict as reported over the wire. *)
+type verdict = {
+  v_sid : int;                               (** rule sid (0 when absent) *)
+  v_via : [ `Exact_match | `Probable_cause ];
+  v_msg : string;                            (** rule msg (may be empty) *)
+}
+
+(** Reply status of a [VERDICT] frame. *)
+type status =
+  | Clean    (** delivery inspected, no new rule verdicts *)
+  | Alerts   (** delivery inspected, fresh verdicts attached *)
+  | Dropped  (** the connection is blocked; the delivery was not inspected *)
+
+(** Aggregate middlebox statistics (mirrors {!Bbx_mbox.Shard.stats}). *)
+type stats = {
+  s_connections : int;
+  s_total_tokens : int;
+  s_total_keyword_hits : int;
+  s_alerts : int;
+  s_blocked : int;
+}
+
+type msg =
+  | Hello of { version : int; mode : Bbx_dpienc.Dpienc.mode; salt0 : int }
+  | Hello_ok of { conn_id : int; mode : Bbx_dpienc.Dpienc.mode; rules_text : string }
+  | Rule_setup of { pairs : (string * string) array }
+      (** [(chunk, enc)] pairs: chunk is [Tokenizer.token_len] bytes, enc
+          is the 16-byte [AES_k(chunk)] *)
+  | Setup_ok
+  | Token_stream of { seq : int; records : string }
+      (** [records] is a {!Bbx_dpienc.Dpienc} wire encoding, verbatim *)
+  | Verdict of { seq : int; status : status; verdicts : verdict list }
+  | Salt_reset of { salt0 : int }
+  | Rule_update of {
+      remove_sids : int list;
+      add_text : string;                  (** added rules, Snort syntax *)
+      pairs : (string * string) array;    (** full post-update enc table *)
+    }
+  | Update_ok of { added : int }
+  | Stats_req
+  | Stats of stats
+  | Bye
+  | Error of { code : int; message : string }
+
+(** [ERROR] codes: unparseable frame, message illegal in this connection
+    state, version/mode mismatch at HELLO, rule setup/update rejected,
+    server-side failure. *)
+
+val err_malformed : int
+
+val err_protocol : int
+
+val err_version : int
+
+val err_setup : int
+
+val err_internal : int
+
+(** [encode_frame buf msg] appends the framed encoding (length prefix
+    included) to [buf]. *)
+val encode_frame : Buffer.t -> msg -> unit
+
+(** [encode_frame_string msg] — the framed encoding as a fresh string. *)
+val encode_frame_string : msg -> string
+
+(** [decode payload] parses one frame payload (without its length
+    prefix).  Raises {!Malformed}. *)
+val decode : string -> msg
+
+(** Incremental frame extraction from a byte stream: {!Framer.feed}
+    whatever the socket produced, then {!Framer.next} until it returns
+    [None].  Raises {!Malformed} as soon as a length prefix exceeds
+    {!max_frame_bytes} (without waiting for the body). *)
+module Framer : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+
+  val feed : t -> bytes -> int -> int -> unit
+
+  (** Next complete frame payload, length prefix stripped. *)
+  val next : t -> string option
+
+  (** Bytes buffered but not yet returned as frames. *)
+  val buffered : t -> int
+end

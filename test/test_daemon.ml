@@ -1,0 +1,297 @@
+(* blindboxd loopback tests.
+
+   The core is a differential: the same pre-encrypted wire deliveries go
+   through a daemon over a real Unix-domain socket and through an
+   in-process reference middlebox under the same connection key, and the
+   two must agree verdict for verdict — including blocked-connection
+   semantics (the daemon answers [Dropped] where the in-process API
+   raises [Invalid_argument]) and a mid-stream rule update + salt reset.
+   The rest is hardening: malformed frames must kill at most their own
+   connection, never the daemon. *)
+
+module Daemon = Bbx_daemon.Daemon
+module Client = Bbx_daemon.Client
+module Loadgen = Bbx_daemon.Loadgen
+module Wire = Bbx_wire.Wire
+module Dpienc = Bbx_dpienc.Dpienc
+module Rule = Bbx_rules.Rule
+module Middlebox = Bbx_mbox.Middlebox
+module Shardpool = Bbx_mbox.Shardpool
+
+let rules =
+  [ Rule.make ~sid:1 ~msg:"kw one" [ Rule.make_content "alertkw1" ];
+    Rule.make ~sid:2 [ Rule.make_content "otherkw2" ];
+    Rule.make ~action:Rule.Drop ~sid:3 [ Rule.make_content "dropkw33" ] ]
+
+let temp_endpoint =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Daemon.Unix_path
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "bbxd-test-%d-%d.sock" (Unix.getpid ()) !n))
+
+let with_daemon ?(rules = rules) ?(mode = Dpienc.Exact) ?(domains = 2) f =
+  let endpoint = temp_endpoint () in
+  let handle = Daemon.start (Daemon.config ~mode ~domains ~endpoint ~rules ()) in
+  Fun.protect ~finally:(fun () -> Daemon.stop handle) (fun () -> f endpoint)
+
+(* (sid, via) pairs, the daemon's view and the engine's view *)
+let wire_sigs verdicts =
+  List.map (fun v -> (v.Wire.v_sid, v.Wire.v_via)) verdicts
+
+let engine_sigs verdicts =
+  List.map
+    (fun v ->
+      (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0,
+       v.Bbx_mbox.Engine.via))
+    verdicts
+
+let sig_list = Alcotest.(list (pair int (testable
+  (fun fmt v -> Format.pp_print_string fmt
+     (match v with `Exact_match -> "exact" | `Probable_cause -> "probable"))
+  ( = ))))
+
+(* pre-encrypt one connection's deliveries so the identical wire bytes
+   replay against both middleboxes *)
+let wires_for sender payloads =
+  List.rev
+    (List.fold_left
+       (fun acc p -> Dpienc.encode_tokens (Dpienc.sender_encrypt sender (Bbx_tokenizer.Tokenizer.delimiter p)) :: acc)
+       [] payloads)
+
+let differential_vs_middlebox () =
+  with_daemon @@ fun endpoint ->
+  let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"diff" in
+  Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+  @@ fun () ->
+  let reference = Middlebox.create ~mode:Dpienc.Exact ~rules () in
+  Middlebox.register reference ~conn_id:0 ~salt0:0
+    ~enc_chunk:(Dpienc.token_enc s.Client.sc_key);
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  let payloads =
+    [ "GET / HTTP/1.1 benign";
+      "q=alertkw1 in the middle";
+      "alertkw1 twice alertkw1 and otherkw2";
+      "still benign traffic";
+      "now trip the drop rule dropkw33 here";   (* blocks the connection *)
+      "after the block: alertkw1";               (* daemon: Dropped *)
+      "and again" ]
+  in
+  let wires = wires_for sender payloads in
+  List.iteri
+    (fun i wire ->
+      Client.send_records s.Client.sc_client ~seq:i wire;
+      let seq, status, verdicts = Client.recv_verdict s.Client.sc_client in
+      Alcotest.(check int) "seq echo" i seq;
+      match Middlebox.process_wire reference ~conn_id:0 wire with
+      | ref_verdicts ->
+        Alcotest.(check bool) "not dropped" true (status <> Wire.Dropped);
+        Alcotest.check sig_list
+          (Printf.sprintf "verdicts for delivery %d" i)
+          (engine_sigs ref_verdicts) (wire_sigs verdicts)
+      | exception Invalid_argument _ ->
+        (* in-process: blocked connections raise; daemon: Dropped *)
+        Alcotest.(check bool)
+          (Printf.sprintf "delivery %d dropped on both" i)
+          true (status = Wire.Dropped && verdicts = []))
+    wires;
+  Alcotest.(check bool) "reference blocked" true
+    (Middlebox.is_blocked reference ~conn_id:0);
+  (* aggregate stats agree field for field *)
+  let ms = Middlebox.stats reference in
+  let ds = Client.stats s.Client.sc_client in
+  Alcotest.(check int) "tokens" ms.Middlebox.total_tokens ds.Wire.s_total_tokens;
+  Alcotest.(check int) "hits" ms.Middlebox.total_keyword_hits ds.Wire.s_total_keyword_hits;
+  Alcotest.(check int) "alerts" ms.Middlebox.alerts ds.Wire.s_alerts;
+  Alcotest.(check int) "blocked" ms.Middlebox.blocked ds.Wire.s_blocked
+
+(* Mid-stream rule update + salt reset, against a 1-domain Shardpool
+   reference (Middlebox's ruleset is fixed; Shardpool.process_wire has
+   identical per-delivery semantics and supports live updates). *)
+let differential_update_and_reset () =
+  with_daemon @@ fun endpoint ->
+  let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"upd" in
+  Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+  @@ fun () ->
+  Shardpool.with_pool ~domains:1 ~mode:Dpienc.Exact ~rules
+  @@ fun reference ->
+  Shardpool.register reference ~conn_id:0 ~salt0:0
+    ~enc_chunk:(Dpienc.token_enc s.Client.sc_key);
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  let both i wire =
+    Client.send_records s.Client.sc_client ~seq:i wire;
+    let _, _, verdicts = Client.recv_verdict s.Client.sc_client in
+    let ref_verdicts = Shardpool.process_wire reference ~conn_id:0 wire in
+    Alcotest.check sig_list
+      (Printf.sprintf "verdicts for delivery %d" i)
+      (engine_sigs ref_verdicts) (wire_sigs verdicts)
+  in
+  List.iteri both (wires_for sender [ "hello alertkw1"; "and otherkw2 too" ]);
+  (* live update: drop sid 2, add sid 4; then reset salts on both sides *)
+  let added_rule = Rule.make ~sid:4 [ Rule.make_content "newkw444" ] in
+  let new_rules =
+    List.filter (fun r -> r.Rule.sid <> Some 2) rules @ [ added_rule ]
+  in
+  let added, outstanding =
+    Client.update_rules s.Client.sc_client ~remove_sids:[ 2 ]
+      ~add:[ added_rule ]
+      ~pairs:(Client.pairs_for ~key:s.Client.sc_key new_rules)
+  in
+  Alcotest.(check int) "added" 1 added;
+  Alcotest.(check int) "no outstanding verdicts" 0 (List.length outstanding);
+  Shardpool.update_rules reference ~conn_id:0 ~remove_sids:[ 2 ]
+    ~add:[ added_rule ] ~rules:new_rules
+    ~enc_chunk:(Dpienc.token_enc s.Client.sc_key);
+  let salt0' = Dpienc.sender_reset sender in
+  Client.salt_reset s.Client.sc_client ~salt0:salt0';
+  Shardpool.reset_conn reference ~conn_id:0 ~salt0:salt0';
+  List.iteri
+    (fun i w -> both (100 + i) w)
+    (wires_for sender
+       [ "newkw444 must now alert";
+         "otherkw2 must now be clean";
+         "alertkw1 still alerts" ])
+
+(* Two clients; one dies mid-stream, the other must be unaffected. *)
+let isolation () =
+  with_daemon @@ fun endpoint ->
+  let a = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"a" in
+  let b = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"b" in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close a.Client.sc_client;
+      Client.close b.Client.sc_client)
+  @@ fun () ->
+  let sender_b = Dpienc.sender_create Dpienc.Exact b.Client.sc_key ~salt0:0 in
+  (* a sends garbage records — its connection must die with an ERROR *)
+  Client.send_records a.Client.sc_client ~seq:0 "garbage that is no record";
+  Alcotest.(check bool) "a killed" true
+    (match Client.recv_verdict a.Client.sc_client with
+     | exception Client.Server_error _ -> true
+     | exception End_of_file -> true
+     | _ -> false);
+  (* b still works end to end *)
+  List.iteri
+    (fun i wire ->
+      Client.send_records b.Client.sc_client ~seq:i wire;
+      let _, status, verdicts = Client.recv_verdict b.Client.sc_client in
+      if i = 0 then
+        Alcotest.(check bool) "b alerts" true
+          (status = Wire.Alerts && wire_sigs verdicts = [ (1, `Exact_match) ])
+      else Alcotest.(check bool) "b clean" true (status = Wire.Clean))
+    (wires_for sender_b [ "alertkw1 here"; "benign" ])
+
+(* Malformed-frame fuzz: every one of these byte strings goes to a fresh
+   connection; the daemon must answer with an ERROR frame (or close that
+   socket) and still serve a healthy client afterwards. *)
+let malformed_fuzz () =
+  with_daemon @@ fun endpoint ->
+  let oversized =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 0x7FFFFFFFl;
+    Bytes.to_string b
+  in
+  let frame_of_payload p =
+    let b = Buffer.create 16 in
+    let len = Bytes.create 4 in
+    Bytes.set_int32_be len 0 (Int32.of_int (String.length p));
+    Buffer.add_bytes b len; Buffer.add_string b p;
+    Buffer.contents b
+  in
+  let drbg = Bbx_crypto.Drbg.create "daemon-fuzz" in
+  let cases =
+    [ "";                                        (* close without a byte *)
+      "\x00";                                    (* truncated length *)
+      "\x00\x00\x00\x00";                        (* zero-length payload *)
+      oversized;                                 (* 2 GiB length prefix *)
+      frame_of_payload "\x63";                   (* unknown type byte *)
+      frame_of_payload "\x05\x00\x00\x00\x01";   (* truncated TOKEN_STREAM *)
+      frame_of_payload "\x01\x01\x07\x00\x00\x00\x00"; (* bad HELLO mode *)
+      (* TOKEN_STREAM before HELLO: well-formed, illegal state *)
+      String.sub (Wire.encode_frame_string (Wire.Token_stream { seq = 0; records = "" })) 0 9
+      ^ "";
+      Wire.encode_frame_string (Wire.Token_stream { seq = 0; records = "" });
+      Wire.encode_frame_string Wire.Setup_ok;    (* server-only message *)
+      Wire.encode_frame_string
+        (Wire.Hello { version = 99; mode = Dpienc.Exact; salt0 = 0 }) ]
+    @ List.init 12 (fun i ->
+          Bbx_crypto.Drbg.bytes drbg (8 + (i * 13)))  (* raw random bytes *)
+  in
+  List.iter
+    (fun bytes ->
+      let t = Client.connect endpoint in
+      let fd = Client.fd t in
+      (try
+         if String.length bytes > 0 then
+           ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+         (* half-close so the daemon sees EOF even when the bytes alone
+            don't provoke a reply (e.g. a truncated length prefix) *)
+         Unix.shutdown fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error _ -> ());
+      (* daemon must reply ERROR or close; it must never hang or crash *)
+      Alcotest.(check bool) "connection rejected" true
+        (match Client.recv_verdict t with
+         | exception Client.Server_error _ -> true
+         | exception End_of_file -> true
+         | exception Client.Protocol_error _ -> true
+         | _ -> false);
+      Client.close t)
+    cases;
+  (* the daemon survived all of it *)
+  let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"ok" in
+  Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+  @@ fun () ->
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  List.iteri
+    (fun i wire ->
+      Client.send_records s.Client.sc_client ~seq:i wire;
+      let _, status, _ = Client.recv_verdict s.Client.sc_client in
+      Alcotest.(check bool) "healthy after fuzz" true (status <> Wire.Dropped))
+    (wires_for sender [ "alertkw1"; "benign" ])
+
+(* the loadgen's own pipeline over a real daemon, exact + probable *)
+let loadgen_smoke mode () =
+  with_daemon ~mode @@ fun endpoint ->
+  let report =
+    Loadgen.run
+      (Loadgen.cfg ~conns:3 ~sends:20 ~payload_bytes:256 ~hit_rate:0.1 ~mode
+         ~seed:"lg-test" endpoint)
+  in
+  Alcotest.(check int) "all frames answered" 60 report.Loadgen.rp_sends;
+  Alcotest.(check int) "nothing dropped" 0 report.Loadgen.rp_dropped;
+  (* 10% of 20 sends per conn = 2 alert frames per conn *)
+  Alcotest.(check int) "alert frames" 6 report.Loadgen.rp_alert_frames;
+  Alcotest.(check bool) "tokens flowed" true (report.Loadgen.rp_tokens > 0);
+  (* client-side inspected tokens equal the daemon's aggregate *)
+  let t = Client.connect endpoint in
+  let stats = Fun.protect ~finally:(fun () -> Client.close t)
+      (fun () -> Client.stats t) in
+  Alcotest.(check int) "token parity" report.Loadgen.rp_tokens
+    stats.Wire.s_total_tokens
+
+let stop_unlinks_socket () =
+  let endpoint = temp_endpoint () in
+  let path = match endpoint with Daemon.Unix_path p -> p | _ -> assert false in
+  let handle = Daemon.start (Daemon.config ~endpoint ~rules ()) in
+  Alcotest.(check bool) "socket exists" true (Sys.file_exists path);
+  Daemon.stop handle;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path)
+
+let () =
+  Alcotest.run "daemon"
+    [ ( "loopback",
+        [ Alcotest.test_case "differential vs Middlebox.process_wire" `Quick
+            differential_vs_middlebox;
+          Alcotest.test_case "differential: live rule update + salt reset" `Quick
+            differential_update_and_reset;
+          Alcotest.test_case "stop unlinks the socket" `Quick stop_unlinks_socket ] );
+      ( "hardening",
+        [ Alcotest.test_case "a poisoned connection leaves others alone" `Quick
+            isolation;
+          Alcotest.test_case "malformed-frame fuzz never kills the daemon" `Quick
+            malformed_fuzz ] );
+      ( "loadgen",
+        [ Alcotest.test_case "exact mode" `Quick (loadgen_smoke Dpienc.Exact);
+          Alcotest.test_case "probable-cause mode" `Quick
+            (loadgen_smoke Dpienc.Probable) ] ) ]
