@@ -53,6 +53,13 @@ let run () =
     "  workload: %d frames/conn of 1024 plaintext bytes, %d rules, %d pool domain(s), %d cores\n%!"
     sends (List.length rules) domains cores;
 
+  (* metrics on, so the daemon-side stage histograms populate and the
+     loadgen's METRICS_REQ snapshots yield queue-wait/service
+     percentiles; the obs-overhead gate bounds the tax at <= 5%, and
+     every level pays it equally, so the scaling gate stays fair *)
+  let obs_was = Bbx_obs.Obs.enabled () in
+  Bbx_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Bbx_obs.Obs.set_enabled obs_was) @@ fun () ->
   let results =
     List.map
       (fun conns ->
@@ -61,6 +68,13 @@ let run () =
           "  %d conn(s): %7.0f frames/s  %9.0f tokens/s  rtt p50/p95/p99 %5.0f/%5.0f/%5.0f us\n%!"
           conns r.Loadgen.rp_sends_per_s r.Loadgen.rp_tokens_per_s
           r.Loadgen.rp_rtt_p50_us r.Loadgen.rp_rtt_p95_us r.Loadgen.rp_rtt_p99_us;
+        if r.Loadgen.rp_qwait_p99_us > 0.0 || r.Loadgen.rp_service_p99_us > 0.0
+        then
+          Printf.printf
+            "            queue-wait p50/p95/p99 %5.0f/%5.0f/%5.0f us  service %5.0f/%5.0f/%5.0f us\n%!"
+            r.Loadgen.rp_qwait_p50_us r.Loadgen.rp_qwait_p95_us
+            r.Loadgen.rp_qwait_p99_us r.Loadgen.rp_service_p50_us
+            r.Loadgen.rp_service_p95_us r.Loadgen.rp_service_p99_us;
         (* correctness gates: full delivery + token parity, every level *)
         if r.Loadgen.rp_sends <> conns * sends then begin
           Printf.printf "  FAIL: %d of %d frames answered\n" r.Loadgen.rp_sends

@@ -4,8 +4,8 @@
 
    Usage: dune exec bench/main.exe [experiment ...] [--smoke] [--metrics FILE]
    Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
-                setup ablation detect pipeline obs-overhead parallel
-                setup-parallel daemon all (default: all)
+                setup ablation detect pipeline obs-overhead trace-overhead
+                parallel setup-parallel daemon all (default: all)
 
    After the requested experiments run, the full bbx_obs metric registry is
    written to BENCH_obs.json (override with --metrics FILE) so every bench
@@ -26,6 +26,7 @@ let experiments =
     ("detect", "Detection index: flat open-addressing hash vs AVL tree (2x miss gate)", Detect.run);
     ("pipeline", "Token pipeline: legacy list path vs streaming path", Pipeline.run);
     ("obs-overhead", "Observability: instrumented vs uninstrumented hot path (<=5% gate)", Obs_overhead.run);
+    ("trace-overhead", "Flight recorder: tracing on vs off through blindboxd (<=5% gate)", Obs_overhead.run_trace);
     ("parallel", "Middlebox scaling across OCaml domains (Shardpool at 1/2/4 workers)", Parallel.run);
     ("setup-parallel", "Rule-setup scaling across OCaml domains (Ruleprep at 1/2/4 workers)", Setup_parallel.run);
     ("daemon", "blindboxd end to end: loadgen over Unix sockets at 1/2/4/8 connections", Daemon_bench.run);

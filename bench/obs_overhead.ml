@@ -18,6 +18,7 @@ open Bbx_dpienc
 open Bbx_rules
 
 module Obs = Bbx_obs.Obs
+module Trace = Bbx_obs.Trace
 
 let packet_bytes = 1500
 let max_overhead = 0.05
@@ -100,6 +101,141 @@ let run () =
     (100.0 *. max_overhead);
   if overhead > max_overhead then begin
     Printf.printf "  FAIL: observability overhead exceeds the %.0f%% budget\n"
+      (100.0 *. max_overhead);
+    exit 1
+  end
+
+(* ---------- flight-recorder overhead ---------- *)
+
+(* Same contract, for Obs.Trace: disabled [Trace.record] must stay a
+   load-and-branch (in particular it must NOT read the clock), and
+   enabling tracing through the full daemon (loadgen over a real socket,
+   every pipeline stage recording events) may cost at most
+   [max_overhead] of end-to-end throughput. *)
+
+module Daemon = Bbx_daemon.Daemon
+module Loadgen = Bbx_daemon.Loadgen
+
+let run_trace () =
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  Bench_util.section
+    (if smoke then "Trace overhead (smoke)"
+     else "Trace overhead: flight recorder on vs off through blindboxd");
+
+  (* 1. micro gate: a disabled record is a branch, not a clock read.
+     The threshold is relative to an actual clock read on this host, so
+     the gate is robust to slow CI hardware: if [record] accidentally
+     grew a [gettimeofday], the ratio lands near 1 and fails. *)
+  let ph = Trace.phase "bench_micro" in
+  let was_trace = Trace.enabled () in
+  Trace.set_enabled false;
+  let disabled_ns =
+    Bench_util.bechamel_ns ~name:"trace-record-disabled" (fun () ->
+        Trace.record ph ~id:0 ~conn:0 ~start_ns:0 ~dur_ns:0)
+  in
+  let clock_ns =
+    Bench_util.bechamel_ns ~name:"trace-now-ns" (fun () ->
+        ignore (Trace.now_ns () : int))
+  in
+  Trace.set_enabled was_trace;
+  Printf.printf "  disabled Trace.record: %5.1f ns/call   (clock read: %5.1f ns)\n"
+    disabled_ns clock_ns;
+  let micro_ok = disabled_ns <= 5.0 || disabled_ns < 0.5 *. clock_ns in
+  if not micro_ok then begin
+    Printf.printf
+      "  FAIL: disabled Trace.record costs %.1f ns (budget: 5 ns or half a clock read)\n"
+      disabled_ns;
+    exit 1
+  end;
+
+  (* 2. end-to-end: one in-process daemon on a temp Unix socket, driven
+     closed-loop by the loadgen; the trace switch flips between runs so
+     both configurations hit the same daemon, same rules, same engine
+     state.  Best-of interleaved rounds, re-measured on a miss, exactly
+     like the Obs gate above. *)
+  let rules = Datasets.generate Datasets.Emerging_threats ~n:50 in
+  let endpoint =
+    Daemon.Unix_path
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "bbxd-trace-%d.sock" (Unix.getpid ())))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let domains = if cores >= 4 then 2 else 1 in
+  (* closed-loop socket ping-pong on a single core is pure scheduler
+     rhythm — loadgen, select front and shard worker time-slice one CPU
+     and a nanosecond-scale perturbation can shift the batching pattern
+     by double digits either way.  The throughput gate therefore needs
+     real parallelism, like the daemon bench's scaling gate (the
+     standing CI caveat, see ROADMAP.md); the micro gate above is the
+     regression catcher that runs everywhere. *)
+  let gate_enforced = cores >= 2 in
+  let conns = 2 in
+  let sends = if smoke then 100 else 300 in
+  Printf.printf "  workload: %d conns x %d frames of 1024 bytes, %d rules, %d pool domain(s)\n%!"
+    conns sends (List.length rules) domains;
+  let handle = Daemon.start (Daemon.config ~domains ~endpoint ~rules ()) in
+  let best_on, best_off, overhead, attempts =
+    Fun.protect
+      ~finally:(fun () ->
+        Daemon.stop handle;
+        Trace.set_enabled was_trace)
+    @@ fun () ->
+    let one enabled =
+      Trace.set_enabled enabled;
+      let r =
+        Loadgen.run
+          (Loadgen.cfg ~conns ~sends ~payload_bytes:1024 ~hit_rate:0.02
+             ~seed:"trace-overhead" endpoint)
+      in
+      Trace.set_enabled was_trace;
+      r.Loadgen.rp_tokens_per_s
+    in
+    (* untimed warm pass with tracing on: rings allocated, code paths hot *)
+    ignore (one true : float);
+    let rounds = if smoke then 3 else 5 in
+    let measure () =
+      let best_off = ref 0.0 and best_on = ref 0.0 in
+      for round = 1 to rounds do
+        let on_first = round land 1 = 0 in
+        let a = one on_first in
+        let b = one (not on_first) in
+        let t_on, t_off = if on_first then (a, b) else (b, a) in
+        best_on := Float.max !best_on t_on;
+        best_off := Float.max !best_off t_off
+      done;
+      (!best_on, !best_off)
+    in
+    let max_attempts = 3 in
+    let rec attempt n =
+      let best_on, best_off = measure () in
+      let overhead = (best_off -. best_on) /. best_off in
+      Printf.printf "  trace off: %9.0f tokens/s\n" best_off;
+      Printf.printf "  trace on:  %9.0f tokens/s\n" best_on;
+      Printf.printf "  overhead: %+.2f%% throughput\n" (100.0 *. overhead);
+      if gate_enforced && overhead > max_overhead && n < max_attempts then begin
+        Printf.printf "  over budget; re-measuring (attempt %d/%d)\n" (n + 1)
+          max_attempts;
+        attempt (n + 1)
+      end
+      else (best_on, best_off, overhead, n)
+    in
+    attempt 1
+  in
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\"experiment\":\"trace-overhead\",\"smoke\":%b,\"cores\":%d,\"gate_enforced\":%b,\"record_disabled_ns\":%.2f,\"clock_ns\":%.2f,\"tokens_per_s_off\":%.0f,\"tokens_per_s_on\":%.0f,\"overhead\":%.4f,\"attempts\":%d,\"max_overhead\":%.2f}\n"
+    smoke cores gate_enforced disabled_ns clock_ns best_off best_on overhead attempts
+    max_overhead;
+  close_out oc;
+  Printf.printf "  wrote BENCH_trace.json\n";
+  Bench_util.note "acceptance: tracing may cost at most %.0f%% end-to-end throughput"
+    (100.0 *. max_overhead);
+  if not gate_enforced then
+    Bench_util.note
+      "%d core(s): end-to-end trace gate skipped (needs >= 2; micro gate enforced)"
+      cores
+  else if overhead > max_overhead then begin
+    Printf.printf "  FAIL: trace overhead exceeds the %.0f%% budget\n"
       (100.0 *. max_overhead);
     exit 1
   end

@@ -262,17 +262,53 @@ let stats_cmd =
     | Some endpoint ->
       (* query a running blindboxd instead of driving a local trace *)
       let client = Bbx_daemon.Client.connect endpoint in
-      let s =
+      let s, daemon_metrics =
         Fun.protect
           ~finally:(fun () -> Bbx_daemon.Client.close client)
-          (fun () -> Bbx_daemon.Client.stats client)
+          (fun () ->
+             let s = Bbx_daemon.Client.stats client in
+             (* METRICS_REQ postdates the stats record: an old daemon
+                answers ERROR (and closes this connection), so degrade to
+                the fixed record alone *)
+             let m =
+               match Bbx_daemon.Client.metrics client Bbx_wire.Wire.Prometheus with
+               | body -> Some body
+               | exception Bbx_daemon.Client.Server_error _ -> None
+               | exception Bbx_daemon.Client.Protocol_error _ -> None
+               | exception End_of_file -> None
+             in
+             (s, m))
       in
       let open Bbx_wire.Wire in
       Printf.printf "connections         %d\n" s.s_connections;
       Printf.printf "total tokens        %d\n" s.s_total_tokens;
       Printf.printf "total keyword hits  %d\n" s.s_total_keyword_hits;
       Printf.printf "alerts              %d\n" s.s_alerts;
-      Printf.printf "blocked             %d\n" s.s_blocked
+      Printf.printf "blocked             %d\n" s.s_blocked;
+      (match daemon_metrics with
+       | None ->
+         Printf.printf "# daemon predates METRICS_REQ; pipeline counters unavailable\n"
+       | Some body ->
+         (* the daemon-side pipeline slice of the registry *)
+         let wanted line =
+           let has_prefix p =
+             String.length line >= String.length p && String.sub line 0 (String.length p) = p
+           in
+           (* histograms render a dozen bucket lines each; keep _sum/_count *)
+           let is_bucket =
+             match String.index_opt line '{' with
+             | Some i -> i >= 7 && String.sub line (i - 7) 7 = "_bucket"
+             | None -> false
+           in
+           (has_prefix "bbx_daemon_" || has_prefix "bbx_shard" || has_prefix "bbx_exec_"
+            || has_prefix "# TYPE bbx_daemon_" || has_prefix "# TYPE bbx_shard"
+            || has_prefix "# TYPE bbx_exec_")
+           && not is_bucket
+         in
+         Printf.printf "-- daemon pipeline metrics --\n";
+         List.iter
+           (fun line -> if line <> "" && wanted line then print_endline line)
+           (String.split_on_char '\n' body))
     | None ->
     let rules =
       match rules_path with
@@ -382,7 +418,8 @@ let stats_cmd =
 (* ---- serve ---- *)
 
 let serve_cmd =
-  let run socket rules_path probable domains detect_index high_water metrics =
+  let run socket rules_path probable domains detect_index high_water
+      metrics_port trace_out metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -398,9 +435,12 @@ let serve_cmd =
     let mode =
       if probable then Bbx_dpienc.Dpienc.Probable else Bbx_dpienc.Dpienc.Exact
     in
+    let metrics_ep =
+      Option.map (fun p -> Bbx_daemon.Daemon.Tcp ("127.0.0.1", p)) metrics_port
+    in
     let cfg =
       Bbx_daemon.Daemon.config ~mode ?domains ~index:detect_index ~high_water
-        ~endpoint ~rules ()
+        ?metrics:metrics_ep ?trace_out ~endpoint ~rules ()
     in
     let stopping = Atomic.make false in
     let on_signal _ = Atomic.set stopping true in
@@ -410,6 +450,12 @@ let serve_cmd =
       (Bbx_daemon.Daemon.endpoint_to_string endpoint)
       (List.length rules)
       (if probable then "probable-cause" else "exact");
+    (match metrics_port with
+     | Some p -> Printf.printf "# metrics on http://127.0.0.1:%d/metrics\n%!" p
+     | None -> ());
+    (match trace_out with
+     | Some f -> Printf.printf "# flight recorder on; dumping to %s at exit\n%!" f
+     | None -> ());
     Bbx_daemon.Daemon.run ~stop:(fun () -> Atomic.get stopping) cfg;
     Printf.printf "# blindboxd stopped\n%!"
   in
@@ -434,10 +480,77 @@ let serve_cmd =
            ~doc:"Per-connection output-buffer bytes before reads from a \
                  slow consumer pause.")
   in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+           ~doc:"Serve live metrics over HTTP/1.0 on 127.0.0.1:$(docv): \
+                 GET /metrics (Prometheus text), /metrics.jsonl (JSONL), \
+                 /trace (Chrome trace-event JSON).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Enable the flight recorder and dump its window to $(docv) \
+                 at shutdown (JSONL when $(docv) ends in .jsonl, Chrome \
+                 trace-event JSON otherwise).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run blindboxd: the BlindBox middlebox as a network daemon")
-    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ high_water $ metrics_arg)
+    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ high_water $ metrics_port $ trace_out $ metrics_arg)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run socket out scope metrics =
+    with_metrics metrics @@ fun () ->
+    let endpoint = Bbx_daemon.Daemon.endpoint_of_string socket in
+    let client = Bbx_daemon.Client.connect endpoint in
+    let body =
+      Fun.protect
+        ~finally:(fun () -> Bbx_daemon.Client.close client)
+        (fun () ->
+           match Bbx_daemon.Client.metrics client scope with
+           | body -> body
+           | exception Bbx_daemon.Client.Server_error { code; message } ->
+             Printf.eprintf
+               "daemon error %d: %s (daemon predates METRICS_REQ?)\n" code message;
+             exit 1)
+    in
+    match out with
+    | None -> print_string body
+    | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Printf.eprintf "# wrote %d bytes to %s\n" (String.length body) path
+  in
+  let socket =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ENDPOINT"
+           ~doc:"Daemon endpoint: a Unix-socket path or tcp:HOST:PORT.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let scope =
+    Arg.(value
+         & opt
+             (enum
+                [ ("chrome", Bbx_wire.Wire.Trace);
+                  ("prometheus", Bbx_wire.Wire.Prometheus);
+                  ("jsonl", Bbx_wire.Wire.Jsonl) ])
+             Bbx_wire.Wire.Trace
+         & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"$(b,chrome) (flight-recorder window as Chrome trace-event \
+                 JSON, the default — load in chrome://tracing or Perfetto), \
+                 or the metric registry as $(b,prometheus)/$(b,jsonl).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Capture a running blindboxd's flight-recorder window (or metric registry)")
+    Term.(const run $ socket $ out $ scope $ metrics_arg)
 
 (* ---- loadgen ---- *)
 
@@ -488,4 +601,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd; stats_cmd;
-            serve_cmd; loadgen_cmd ]))
+            serve_cmd; loadgen_cmd; trace_cmd ]))

@@ -55,10 +55,12 @@ let protocol_error what msg =
            | Wire.Stats_req -> 10
            | Wire.Stats _ -> 11
            | Wire.Bye -> 12
-           | Wire.Error _ -> 13)))
+           | Wire.Error _ -> 13
+           | Wire.Metrics_req _ -> 14
+           | Wire.Metrics _ -> 15)))
 
-let hello t ~mode ~salt0 =
-  send t (Wire.Hello { version = Wire.version; mode; salt0 });
+let hello ?(features = 0) t ~mode ~salt0 =
+  send t (Wire.Hello { version = Wire.version; mode; salt0; features });
   match recv t with
   | Wire.Hello_ok { conn_id; mode = mode'; rules_text } ->
     if mode' <> mode then raise (Protocol_error "daemon mode differs from HELLO");
@@ -99,6 +101,14 @@ let stats t =
   match recv t with
   | Wire.Stats s -> s
   | msg -> protocol_error "STATS" msg
+
+let metrics t scope =
+  send t (Wire.Metrics_req { scope });
+  match recv t with
+  | Wire.Metrics { scope = scope'; body } ->
+    if scope' <> scope then raise (Protocol_error "METRICS scope differs from request");
+    body
+  | msg -> protocol_error "METRICS" msg
 
 let fd t = t.fd
 let framer t = t.framer

@@ -20,9 +20,13 @@ type t
 (** [connect endpoint] — raw transport, no handshake yet. *)
 val connect : Daemon.endpoint -> t
 
-(** [hello t ~mode ~salt0] — returns the assigned connection id and the
-    daemon's ruleset. *)
-val hello : t -> mode:Bbx_dpienc.Dpienc.mode -> salt0:int -> int * Bbx_rules.Rule.t list
+(** [hello ?features t ~mode ~salt0] — returns the assigned connection id
+    and the daemon's ruleset.  [features] (default [0]) are the HELLO
+    feature bits; [0] encodes as the legacy body, so old daemons keep
+    accepting it. *)
+val hello :
+  ?features:int -> t -> mode:Bbx_dpienc.Dpienc.mode -> salt0:int ->
+  int * Bbx_rules.Rule.t list
 
 (** [rule_setup t ~pairs] ships the [(chunk, enc)] table and waits for
     [SETUP_OK]. *)
@@ -51,6 +55,13 @@ val update_rules :
 
 (** [stats t] — works on a fresh connection without any handshake. *)
 val stats : t -> Bbx_wire.Wire.stats
+
+(** [metrics t scope] — the daemon's full metric registry (or trace
+    window) in the requested rendering; like {!stats} it needs no
+    handshake.  An old daemon that predates [METRICS_REQ] answers
+    [ERROR{err_malformed}], surfaced as {!Server_error} — callers
+    wanting graceful fallback catch it. *)
+val metrics : t -> Bbx_wire.Wire.metrics_scope -> string
 
 val close : t -> unit
 

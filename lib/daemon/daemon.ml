@@ -6,6 +6,7 @@ module Engine = Bbx_mbox.Engine
 module Rule = Bbx_rules.Rule
 module Parser = Bbx_rules.Parser
 module Obs = Bbx_obs.Obs
+module Trace = Bbx_obs.Trace
 
 let obs_conns = Obs.gauge "bbx_daemon_connections"
 let obs_accepted = Obs.counter "bbx_daemon_accepted_total"
@@ -16,6 +17,33 @@ let obs_bytes_out = Obs.counter "bbx_daemon_bytes_out_total"
 let obs_deliveries = Obs.counter "bbx_daemon_deliveries_total"
 let obs_errors = Obs.counter "bbx_daemon_error_frames_total"
 let obs_paused = Obs.counter "bbx_daemon_read_pauses_total"
+
+(* Front-loop pipeline stages, microseconds.  Together with Shardpool's
+   queue_wait/service pair these decompose a frame's daemon residency:
+   read (decode) -> validate -> queue wait -> shard service -> write
+   (output-queue residency incl. the socket write). *)
+let us_buckets =
+  [| 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000; 25000;
+     50000; 100000; 250000; 1000000 |]
+
+let obs_read_us = Obs.histogram "bbx_daemon_read_us" ~buckets:us_buckets
+let obs_validate_us = Obs.histogram "bbx_daemon_validate_us" ~buckets:us_buckets
+let obs_write_us = Obs.histogram "bbx_daemon_write_us" ~buckets:us_buckets
+
+(* Event-loop health: the busy part of each iteration (select return to
+   iteration end) plus a counter of iterations past the stall bound —
+   a stalled front loop is invisible in per-frame latency but starves
+   every connection at once. *)
+let obs_loop_us = Obs.histogram "bbx_daemon_loop_us" ~buckets:us_buckets
+let obs_loop_stalls = Obs.counter "bbx_daemon_loop_stalls_total"
+
+let loop_stall_us = 100_000
+
+let ph_read = Trace.phase "read"
+let ph_validate = Trace.phase "validate"
+let ph_write = Trace.phase "write"
+
+let timing_on () = Obs.enabled () || Trace.enabled ()
 
 type endpoint = Unix_path of string | Tcp of string * int
 
@@ -46,11 +74,13 @@ type config = {
   domains : int option;
   index : Bbx_detect.Detect.index_backend;
   high_water : int;
+  metrics : endpoint option;
+  trace_out : string option;
 }
 
 let config ?(mode = Dpienc.Exact) ?domains ?(index = Bbx_detect.Detect.Hash)
-    ?(high_water = 1 lsl 20) ~endpoint ~rules () =
-  { endpoint; mode; rules; domains; index; high_water }
+    ?(high_water = 1 lsl 20) ?metrics ?trace_out ~endpoint ~rules () =
+  { endpoint; mode; rules; domains; index; high_water; metrics; trace_out }
 
 (* ---------- per-connection state ---------- *)
 
@@ -62,7 +92,10 @@ type conn_state =
 type client = {
   fd : Unix.file_descr;
   framer : Wire.Framer.t;
-  outq : string Queue.t;         (* frames awaiting the socket *)
+  (* frames awaiting the socket, each with the frame id it answers (the
+     wire seq; -1 for control replies) and its enqueue timestamp so the
+     write phase covers output-queue residency plus the socket write *)
+  outq : (string * int * int) Queue.t;
   mutable outq_head_off : int;   (* written prefix of the head frame *)
   mutable outq_bytes : int;
   mutable state : conn_state;
@@ -86,6 +119,10 @@ type t = {
   needed_chunks : string array;  (* distinct chunks of the base ruleset *)
   mutable next_conn_id : int;
   scratch : Bytes.t;
+  (* live scrape plane: a second listener speaking just enough HTTP/1.0
+     for GET /metrics; requests buffer here until the blank line *)
+  metrics_fd : Unix.file_descr option;
+  http : (Unix.file_descr, Buffer.t) Hashtbl.t;
 }
 
 (* ---------- socket plumbing ---------- *)
@@ -173,10 +210,11 @@ let records_valid ~mode s =
 
 (* ---------- output ---------- *)
 
-let enqueue _t cl msg =
+let enqueue ?(seq = -1) _t cl msg =
   if not (cl.closed || cl.closing) then begin
     let s = Wire.encode_frame_string msg in
-    Queue.add s cl.outq;
+    let enq_ns = if timing_on () then Trace.now_ns () else -1 in
+    Queue.add (s, seq, enq_ns) cl.outq;
     cl.outq_bytes <- cl.outq_bytes + String.length s;
     Obs.incr obs_frames_out
   end
@@ -211,7 +249,7 @@ let flush_out t cl =
     let progress = ref true in
     (try
        while !progress && not (Queue.is_empty cl.outq) do
-         let head = Queue.peek cl.outq in
+         let head, seq, enq_ns = Queue.peek cl.outq in
          let len = String.length head - cl.outq_head_off in
          let n =
            Sockio.retry (fun () ->
@@ -220,8 +258,14 @@ let flush_out t cl =
          Obs.add obs_bytes_out n;
          cl.outq_bytes <- cl.outq_bytes - n;
          if n = len then begin
-           ignore (Queue.pop cl.outq : string);
-           cl.outq_head_off <- 0
+           ignore (Queue.pop cl.outq : string * int * int);
+           cl.outq_head_off <- 0;
+           if enq_ns >= 0 then begin
+             let now = Trace.now_ns () in
+             Obs.observe obs_write_us ((now - enq_ns) / 1000);
+             Trace.record ph_write ~id:seq ~conn:cl.conn_id ~start_ns:enq_ns
+               ~dur_ns:(now - enq_ns)
+           end
          end
          else begin
            cl.outq_head_off <- cl.outq_head_off + n;
@@ -262,7 +306,7 @@ let enc_table_for ~needed pairs =
 
 let handle_msg t cl msg =
   match (msg, cl.state) with
-  | Wire.Hello { version; mode; salt0 }, Awaiting_hello ->
+  | Wire.Hello { version; mode; salt0; features = _ }, Awaiting_hello ->
     if version <> Wire.version then
       error_close t cl Wire.err_version "unsupported protocol version %d" version
     else if mode <> t.cfg.mode then
@@ -291,11 +335,20 @@ let handle_msg t cl msg =
         enqueue t cl Wire.Setup_ok
     end
   | Wire.Token_stream { seq; records }, Streaming ->
-    if not (records_valid ~mode:t.cfg.mode records) then
+    let timing = timing_on () in
+    let t0 = if timing then Trace.now_ns () else 0 in
+    let valid = records_valid ~mode:t.cfg.mode records in
+    if timing then begin
+      let now = Trace.now_ns () in
+      Obs.observe obs_validate_us ((now - t0) / 1000);
+      Trace.record ph_validate ~id:seq ~conn:cl.conn_id ~start_ns:t0
+        ~dur_ns:(now - t0)
+    end;
+    if not valid then
       error_close t cl Wire.err_malformed "unparseable token records"
     else begin
       (* a full shard mailbox blocks here: that is the backpressure *)
-      let ticket = Shardpool.submit t.pool ~conn_id:cl.conn_id records in
+      let ticket = Shardpool.submit ~tag:seq t.pool ~conn_id:cl.conn_id records in
       Queue.add (ticket, cl, seq) t.pending;
       Obs.incr obs_deliveries
     end
@@ -327,11 +380,20 @@ let handle_msg t cl msg =
   | Wire.Stats_req, _ ->
     (* honoured in any state so a monitoring client needs no handshake *)
     enqueue t cl (Wire.Stats (stats_to_wire (Shardpool.stats t.pool)))
+  | Wire.Metrics_req { scope }, _ ->
+    (* like STATS_REQ: any state, so monitoring needs no handshake *)
+    let body =
+      match scope with
+      | Wire.Prometheus -> Obs.render_prometheus ()
+      | Wire.Jsonl -> Obs.dump_jsonl ()
+      | Wire.Trace -> Trace.dump_chrome ()
+    in
+    enqueue t cl (Wire.Metrics { scope; body })
   | Wire.Bye, _ -> cl.closing <- true
   | ( Wire.(
         ( Hello _ | Hello_ok _ | Rule_setup _ | Setup_ok | Token_stream _
         | Verdict _ | Salt_reset _ | Rule_update _ | Update_ok _ | Stats _
-        | Error _ )),
+        | Error _ | Metrics _ )),
       _ ) ->
     error_close t cl Wire.err_protocol "message illegal in this connection state"
 
@@ -350,7 +412,19 @@ let handle_readable t cl =
           | None -> continue := false
           | Some payload ->
             Obs.incr obs_frames_in;
-            handle_msg t cl (Wire.decode payload)
+            let timing = timing_on () in
+            let t0 = if timing then Trace.now_ns () else 0 in
+            let msg = Wire.decode payload in
+            if timing then begin
+              let id =
+                match msg with Wire.Token_stream { seq; _ } -> seq | _ -> -1
+              in
+              let now = Trace.now_ns () in
+              Obs.observe obs_read_us ((now - t0) / 1000);
+              Trace.record ph_read ~id ~conn:cl.conn_id ~start_ns:t0
+                ~dur_ns:(now - t0)
+            end;
+            handle_msg t cl msg
         done
       with
       | () -> ()
@@ -370,14 +444,85 @@ let flush_pool t =
       let ticket, cl, seq = Queue.pop t.pending in
       if not cl.closed then
         match Hashtbl.find_opt results ticket with
-        | Some [] -> enqueue t cl (Wire.Verdict { seq; status = Wire.Clean; verdicts = [] })
+        | Some [] ->
+          enqueue ~seq t cl (Wire.Verdict { seq; status = Wire.Clean; verdicts = [] })
         | Some vs ->
-          enqueue t cl
+          enqueue ~seq t cl
             (Wire.Verdict { seq; status = Wire.Alerts; verdicts = verdicts_to_wire vs })
         | None ->
-          enqueue t cl (Wire.Verdict { seq; status = Wire.Dropped; verdicts = [] })
+          enqueue ~seq t cl (Wire.Verdict { seq; status = Wire.Dropped; verdicts = [] })
     done
   end
+
+(* ---------- HTTP scrape plane ----------
+
+   Just enough HTTP/1.0 for a scraper: buffer until the request's blank
+   line (or EOF, or an 8 KiB bound), answer one GET, close.  The response
+   write is blocking — bodies are a few KiB going to a scraper that just
+   asked for them, so the simplicity beats another write-side state
+   machine on the hot loop. *)
+
+let http_max_request = 8192
+
+let http_request_path req =
+  match String.index_opt req ' ' with
+  | None -> ""
+  | Some i ->
+    (match String.index_from_opt req (i + 1) ' ' with
+     | None -> ""
+     | Some j -> String.sub req (i + 1) (j - i - 1))
+
+let http_close t fd =
+  Hashtbl.remove t.http fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let http_respond t fd req =
+  let status, ctype, body =
+    match http_request_path req with
+    | "/metrics" -> ("200 OK", "text/plain; version=0.0.4", Obs.render_prometheus ())
+    | "/metrics.json" | "/metrics.jsonl" -> ("200 OK", "application/json", Obs.dump_jsonl ())
+    | "/trace" -> ("200 OK", "application/json", Trace.dump_chrome ())
+    | p -> ("404 Not Found", "text/plain", Printf.sprintf "no route %s\n" p)
+  in
+  (try
+     Unix.clear_nonblock fd;
+     Sockio.write_string fd
+       (Printf.sprintf
+          "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+          status ctype (String.length body));
+     Sockio.write_string fd body
+   with Unix.Unix_error _ -> ());
+  http_close t fd
+
+let http_accept_ready t mfd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true mfd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+    | fd, _addr ->
+      Unix.set_nonblock fd;
+      Hashtbl.replace t.http fd (Buffer.create 256)
+  done
+
+let http_readable t fd buf =
+  match Sockio.retry (fun () -> Unix.read fd t.scratch 0 (Bytes.length t.scratch)) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> http_close t fd
+  | 0 ->
+    (* peer stopped sending before the blank line: answer what we have *)
+    http_respond t fd (Buffer.contents buf)
+  | n ->
+    Buffer.add_subbytes buf t.scratch 0 n;
+    let req = Buffer.contents buf in
+    let complete =
+      let len = String.length req in
+      let rec go i = i + 4 <= len && (String.sub req i 4 = "\r\n\r\n" || go (i + 1)) in
+      go 0
+    in
+    if complete || Buffer.length buf > http_max_request then http_respond t fd req
 
 let accept_ready t =
   let continue = ref true in
@@ -410,6 +555,8 @@ let accept_ready t =
 let serve_loop t stop =
   while not (stop ()) do
     let reads = ref [ t.listen_fd ] and writes = ref [] in
+    (match t.metrics_fd with Some fd -> reads := fd :: !reads | None -> ());
+    Hashtbl.iter (fun fd _ -> reads := fd :: !reads) t.http;
     Hashtbl.iter
       (fun fd cl ->
          (* flow control: a reply backlog past the high-water mark pauses
@@ -425,13 +572,22 @@ let serve_loop t stop =
       | r, w, _ -> (r, w)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
     in
+    (* the busy part of the iteration starts once select returns *)
+    let timing = timing_on () in
+    let t_busy = if timing then Trace.now_ns () else 0 in
     List.iter
       (fun fd ->
          if fd = t.listen_fd then accept_ready t
          else
            match Hashtbl.find_opt t.clients fd with
            | Some cl -> handle_readable t cl
-           | None -> ())
+           | None ->
+             (match t.metrics_fd with
+              | Some mfd when fd = mfd -> http_accept_ready t mfd
+              | _ ->
+                (match Hashtbl.find_opt t.http fd with
+                 | Some buf -> http_readable t fd buf
+                 | None -> ())))
       readable;
     flush_pool t;
     List.iter
@@ -446,11 +602,17 @@ let serve_loop t stop =
       (fun _ cl ->
          if (cl.closing || not (Queue.is_empty cl.outq)) && not (List.mem cl.fd writable)
          then ignore (flush_out t cl : bool))
-      (Hashtbl.copy t.clients)
+      (Hashtbl.copy t.clients);
+    if timing then begin
+      let busy_us = (Trace.now_ns () - t_busy) / 1000 in
+      Obs.observe obs_loop_us busy_us;
+      if busy_us > loop_stall_us then Obs.incr obs_loop_stalls
+    end
   done
 
 let init cfg =
   Sockio.ignore_sigpipe ();
+  if cfg.trace_out <> None then Trace.set_enabled true;
   let pool =
     Shardpool.create ?domains:cfg.domains ~index:cfg.index ~mode:cfg.mode
       ~rules:cfg.rules ()
@@ -460,6 +622,20 @@ let init cfg =
     with e -> Shardpool.shutdown pool; raise e
   in
   Unix.set_nonblock listen_fd;
+  let metrics_fd =
+    match cfg.metrics with
+    | None -> None
+    | Some ep ->
+      let fd =
+        try listen_socket ep
+        with e ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Shardpool.shutdown pool;
+          raise e
+      in
+      Unix.set_nonblock fd;
+      Some fd
+  in
   { cfg;
     pool;
     listen_fd;
@@ -468,16 +644,29 @@ let init cfg =
     rules_text = String.concat "\n" (List.map Rule.to_string cfg.rules);
     needed_chunks = Engine.distinct_chunks cfg.rules;
     next_conn_id = 0;
-    scratch = Bytes.create 65536 }
+    scratch = Bytes.create 65536;
+    metrics_fd;
+    http = Hashtbl.create 8 }
 
 let teardown t =
   Hashtbl.iter (fun _ cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) t.clients;
   Hashtbl.reset t.clients;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) t.http;
+  Hashtbl.reset t.http;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (match t.cfg.endpoint with
-   | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-   | Tcp _ -> ());
-  Shardpool.shutdown t.pool
+  (match t.metrics_fd with
+   | Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ())
+   | None -> ());
+  let unlink_unix = function
+    | Unix_path path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ()
+  in
+  unlink_unix t.cfg.endpoint;
+  (match t.cfg.metrics with Some ep -> unlink_unix ep | None -> ());
+  Shardpool.shutdown t.pool;
+  (* dump the flight-recorder window after the pool joined: every worker's
+     ring is quiescent, so the capture is exact *)
+  (match t.cfg.trace_out with Some path -> Trace.save ~path | None -> ())
 
 let run ?(stop = fun () -> false) cfg =
   let t = init cfg in

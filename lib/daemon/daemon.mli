@@ -27,7 +27,21 @@
     {b Isolation.}  A malformed frame, an illegal message for the
     connection's state, or an unparseable token stream answers with an
     [ERROR] frame and closes that one connection; other connections and
-    the daemon itself are unaffected. *)
+    the daemon itself are unaffected.
+
+    {b Observability.}  Every frame is timed through five pipeline
+    stages — decode ([bbx_daemon_read_us]), record validation
+    ([bbx_daemon_validate_us]), mailbox wait ([bbx_daemon_queue_wait_us]),
+    shard inspection ([bbx_shard_service_us]) and output-queue residency
+    including the socket write ([bbx_daemon_write_us]) — plus an
+    event-loop busy histogram ([bbx_daemon_loop_us]) with a stall counter.
+    With {!Bbx_obs.Trace} recording (enable via [trace_out], the
+    [BLINDBOX_TRACE] env var, or [Trace.set_enabled]) each stage also
+    lands in the flight recorder keyed by [(conn_id, seq)], so a dump
+    decomposes one frame's round trip stage by stage.  Live scraping:
+    [METRICS_REQ] over the wire (any connection state), or plain HTTP/1.0
+    on the optional [metrics] endpoint — [GET /metrics] (Prometheus),
+    [/metrics.jsonl] (JSONL), [/trace] (Chrome trace JSON). *)
 
 (** Where the daemon listens / the client connects. *)
 type endpoint =
@@ -47,15 +61,21 @@ type config = {
   index : Bbx_detect.Detect.index_backend;
   high_water : int;               (** per-connection output-buffer bytes
                                       before reads from it pause *)
+  metrics : endpoint option;      (** HTTP/1.0 [GET /metrics] listener *)
+  trace_out : string option;      (** enable the flight recorder and dump
+                                      it here on teardown ([.jsonl] =
+                                      JSONL, else Chrome trace JSON) *)
 }
 
 (** [config ~endpoint ~rules ()] with [Exact] mode, default domains,
-    [Hash] index and a 1 MiB high-water mark. *)
+    [Hash] index, a 1 MiB high-water mark, and no metrics/trace plane. *)
 val config :
   ?mode:Bbx_dpienc.Dpienc.mode ->
   ?domains:int ->
   ?index:Bbx_detect.Detect.index_backend ->
   ?high_water:int ->
+  ?metrics:endpoint ->
+  ?trace_out:string ->
   endpoint:endpoint ->
   rules:Bbx_rules.Rule.t list ->
   unit ->

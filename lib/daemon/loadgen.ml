@@ -49,6 +49,12 @@ type report = {
   rp_rtt_p99_us : float;
   rp_rtt_mean_us : float;
   rp_rtt_max_us : float;
+  rp_qwait_p50_us : float;
+  rp_qwait_p95_us : float;
+  rp_qwait_p99_us : float;
+  rp_service_p50_us : float;
+  rp_service_p95_us : float;
+  rp_service_p99_us : float;
 }
 
 let rtt_hist =
@@ -288,6 +294,95 @@ let stream cfg conns =
   Array.iter (fun c -> Unix.clear_nonblock c.c_fd) conns;
   (totals, !rtts, elapsed)
 
+(* ---------- daemon-side phase breakdown ----------
+
+   The daemon exposes bbx_daemon_queue_wait_us / bbx_shard_service_us over
+   METRICS_REQ.  Snapshot both histograms before and after the streaming
+   phase and diff the bucket counts: the registry is cumulative (and, for
+   in-process daemons, shared with our own metrics), so only the interval
+   delta describes this run.  Parsing is a hand-rolled scanner keyed to
+   Obs.dump_jsonl's exact emitter — no JSON dependency. *)
+
+let parse_int_at s pos =
+  let n = String.length s in
+  let j = ref pos in
+  while !j < n && (match s.[!j] with '0' .. '9' | '-' -> true | _ -> false) do
+    Stdlib.incr j
+  done;
+  if !j = pos then None
+  else Some (int_of_string (String.sub s pos (!j - pos)), !j)
+
+let find_sub s pat from =
+  let n = String.length s and pl = String.length pat in
+  let rec go i =
+    if i + pl > n then None
+    else if String.sub s i pl = pat then Some (i + pl)
+    else go (i + 1)
+  in
+  go from
+
+(* [(finite bounds, all counts incl. +Inf)] for one histogram line. *)
+let hist_snapshot body name =
+  let prefix = Printf.sprintf {|{"metric":"%s","type":"histogram"|} name in
+  match
+    List.find_opt
+      (fun l -> String.length l >= String.length prefix
+                && String.sub l 0 (String.length prefix) = prefix)
+      (String.split_on_char '\n' body)
+  with
+  | None -> None
+  | Some line ->
+    let bounds = ref [] and counts = ref [] in
+    let rec loop from =
+      match find_sub line {|{"le":|} from with
+      | None -> ()
+      | Some p ->
+        let bound =
+          if p < String.length line && line.[p] = '"' then None (* "+Inf" *)
+          else Option.map fst (parse_int_at line p)
+        in
+        (match find_sub line {|"count":|} p with
+         | None -> ()
+         | Some q ->
+           (match parse_int_at line q with
+            | None -> ()
+            | Some (c, q') ->
+              (match bound with Some b -> bounds := b :: !bounds | None -> ());
+              counts := c :: !counts;
+              loop q'))
+    in
+    loop 0;
+    if !counts = [] then None
+    else
+      Some (Array.of_list (List.rev !bounds), Array.of_list (List.rev !counts))
+
+(* A dedicated monitoring connection (like STATS_REQ, no handshake
+   needed): an old daemon answers ERROR and closes it, which costs us the
+   breakdown — zeros in the report — but never touches a streaming
+   connection. *)
+let fetch_phase_snaps endpoint =
+  match Client.connect endpoint with
+  | exception (Unix.Unix_error _ | Failure _) -> None
+  | mon ->
+    Fun.protect
+      ~finally:(fun () -> Client.close mon)
+      (fun () ->
+         match Client.metrics mon Wire.Jsonl with
+         | body -> begin
+             match
+               ( hist_snapshot body "bbx_daemon_queue_wait_us",
+                 hist_snapshot body "bbx_shard_service_us" )
+             with
+             | Some q, Some s -> Some (q, s)
+             | _ -> None
+           end
+         | exception (Client.Server_error _ | Client.Protocol_error _) -> None
+         | exception (End_of_file | Unix.Unix_error _ | Wire.Malformed _) -> None)
+
+let diff_counts before after =
+  if Array.length before <> Array.length after then after
+  else Array.mapi (fun i a -> max 0 (a - before.(i))) after
+
 (* ---------- reporting ---------- *)
 
 let percentile sorted q =
@@ -301,7 +396,18 @@ let run cfg =
     ~finally:(fun () ->
       Array.iter (fun c -> Client.close c.c_client) conns)
     (fun () ->
+      let snaps_before = fetch_phase_snaps cfg.lg_endpoint in
       let totals, rtts, elapsed = stream cfg conns in
+      let snaps_after = fetch_phase_snaps cfg.lg_endpoint in
+      let phase_pct which q =
+        match (snaps_before, snaps_after) with
+        | Some (qb, sb), Some (qa, sa) ->
+          let (bounds, cb), (_, ca) =
+            match which with `Queue -> (qb, qa) | `Service -> (sb, sa)
+          in
+          Obs.percentile_of_counts ~bounds ~counts:(diff_counts cb ca) q
+        | _ -> 0.0
+      in
       let samples = Array.of_list rtts in
       Array.sort compare samples;
       let sum = Array.fold_left ( +. ) 0. samples in
@@ -321,15 +427,23 @@ let run cfg =
         rp_rtt_p95_us = percentile samples 0.95;
         rp_rtt_p99_us = percentile samples 0.99;
         rp_rtt_mean_us = (if n = 0 then 0. else sum /. float_of_int n);
-        rp_rtt_max_us = (if n = 0 then 0. else samples.(n - 1)) })
+        rp_rtt_max_us = (if n = 0 then 0. else samples.(n - 1));
+        rp_qwait_p50_us = phase_pct `Queue 0.50;
+        rp_qwait_p95_us = phase_pct `Queue 0.95;
+        rp_qwait_p99_us = phase_pct `Queue 0.99;
+        rp_service_p50_us = phase_pct `Service 0.50;
+        rp_service_p95_us = phase_pct `Service 0.95;
+        rp_service_p99_us = phase_pct `Service 0.99 })
 
 let report_json r =
   Printf.sprintf
-    {|{"conns": %d, "sends": %d, "clean": %d, "alert_frames": %d, "alerts": %d, "dropped": %d, "tokens": %d, "elapsed_s": %.6f, "sends_per_s": %.1f, "tokens_per_s": %.1f, "rtt_p50_us": %.1f, "rtt_p95_us": %.1f, "rtt_p99_us": %.1f, "rtt_mean_us": %.1f, "rtt_max_us": %.1f}|}
+    {|{"conns": %d, "sends": %d, "clean": %d, "alert_frames": %d, "alerts": %d, "dropped": %d, "tokens": %d, "elapsed_s": %.6f, "sends_per_s": %.1f, "tokens_per_s": %.1f, "rtt_p50_us": %.1f, "rtt_p95_us": %.1f, "rtt_p99_us": %.1f, "rtt_mean_us": %.1f, "rtt_max_us": %.1f, "qwait_p50_us": %.1f, "qwait_p95_us": %.1f, "qwait_p99_us": %.1f, "service_p50_us": %.1f, "service_p95_us": %.1f, "service_p99_us": %.1f}|}
     r.rp_conns r.rp_sends r.rp_clean r.rp_alert_frames r.rp_alerts
     r.rp_dropped r.rp_tokens r.rp_elapsed_s r.rp_sends_per_s
     r.rp_tokens_per_s r.rp_rtt_p50_us r.rp_rtt_p95_us r.rp_rtt_p99_us
-    r.rp_rtt_mean_us r.rp_rtt_max_us
+    r.rp_rtt_mean_us r.rp_rtt_max_us r.rp_qwait_p50_us r.rp_qwait_p95_us
+    r.rp_qwait_p99_us r.rp_service_p50_us r.rp_service_p95_us
+    r.rp_service_p99_us
 
 let print_report oc r =
   Printf.fprintf oc "connections        %d\n" r.rp_conns;
@@ -343,4 +457,10 @@ let print_report oc r =
   Printf.fprintf oc "rtt p50/p95/p99    %.0f / %.0f / %.0f us\n"
     r.rp_rtt_p50_us r.rp_rtt_p95_us r.rp_rtt_p99_us;
   Printf.fprintf oc "rtt mean/max       %.0f / %.0f us\n"
-    r.rp_rtt_mean_us r.rp_rtt_max_us
+    r.rp_rtt_mean_us r.rp_rtt_max_us;
+  if r.rp_qwait_p50_us > 0. || r.rp_service_p50_us > 0. then begin
+    Printf.fprintf oc "queue wait p50/p95/p99  %.0f / %.0f / %.0f us (daemon-side, bucket upper bounds)\n"
+      r.rp_qwait_p50_us r.rp_qwait_p95_us r.rp_qwait_p99_us;
+    Printf.fprintf oc "shard service p50/p95/p99  %.0f / %.0f / %.0f us\n"
+      r.rp_service_p50_us r.rp_service_p95_us r.rp_service_p99_us
+  end

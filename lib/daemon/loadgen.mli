@@ -56,6 +56,18 @@ type report = {
   rp_rtt_p99_us : float;
   rp_rtt_mean_us : float;
   rp_rtt_max_us : float;
+  rp_qwait_p50_us : float;    (** daemon-side mailbox wait for this run's
+                                  interval, estimated from the
+                                  [bbx_daemon_queue_wait_us] bucket delta
+                                  fetched over [METRICS_REQ] (bucket
+                                  upper bounds; [0.] when the daemon
+                                  predates the message) *)
+  rp_qwait_p95_us : float;
+  rp_qwait_p99_us : float;
+  rp_service_p50_us : float;  (** shard inspection time, same method
+                                  ([bbx_shard_service_us]) *)
+  rp_service_p95_us : float;
+  rp_service_p99_us : float;
 }
 
 (** [run cfg] drives the full load and returns the report.  Connections

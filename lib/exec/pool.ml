@@ -1,4 +1,5 @@
 module Obs = Bbx_obs.Obs
+module Trace = Bbx_obs.Trace
 
 (* Pool-level metrics use the delta gauge form: several pools may be live
    at once (the middlebox shard pool plus a rule-preparation pool), so
@@ -7,13 +8,25 @@ let obs_tasks = Obs.counter "bbx_exec_tasks_total"
 let obs_batches = Obs.counter "bbx_exec_batches_total"
 let obs_domains = Obs.gauge "bbx_exec_domains"
 
+(* Mailbox residency (enqueue -> batch splice), microseconds.  The
+   timestamp rides in the message so it costs one clock read at push and
+   one per drained batch; with both Obs and Trace disabled the sentinel
+   [-1] skips the clock entirely. *)
+let obs_queue_wait =
+  Obs.histogram "bbx_exec_queue_wait_us"
+    ~buckets:[| 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000;
+                25000; 50000; 100000; 250000; 1000000 |]
+
+let stamp_ns () =
+  if Obs.enabled () || Trace.enabled () then Trace.now_ns () else -1
+
 (* Everything a worker may be asked to do goes through its mailbox, in
    FIFO order.  That single rule is the whole concurrency story: a
    worker's state is only ever touched by the domain owning it (plus the
    front under {!quiesce}, while the worker provably holds no batch). *)
 type ('s, 'r) msg =
-  | Exec of ('s -> unit)
-  | Ticketed of { seq : int; task : 's -> 'r option }
+  | Exec of { f : 's -> unit; enq_ns : int }
+  | Ticketed of { seq : int; task : 's -> 'r option; enq_ns : int }
 
 type ('s, 'r) worker = {
   state : 's;
@@ -41,11 +54,14 @@ type ('s, 'r) t = {
 
 let exec_msg state msg acc =
   match msg with
-  | Exec f -> f state
-  | Ticketed { seq; task } ->
+  | Exec { f; _ } -> f state
+  | Ticketed { seq; task; _ } ->
     (match task state with
      | None -> ()
      | Some r -> acc := (seq, r) :: !acc)
+
+let msg_enq_ns = function
+  | Exec { enq_ns; _ } | Ticketed { enq_ns; _ } -> enq_ns
 
 (* One domain per worker: splice out up to [batch_max] messages under the
    lock, process them without it, publish results, repeat.  Quiescence
@@ -74,8 +90,16 @@ let worker_loop batch_max w =
       Condition.broadcast w.space;
       Mutex.unlock w.lock;
       let acc = ref [] in
+      (* one clock read covers the whole spliced batch: every message in
+         it became runnable at the same moment *)
+      let t_deq = ref (-1) in
       Queue.iter
         (fun msg ->
+           let enq = msg_enq_ns msg in
+           if enq >= 0 then begin
+             if !t_deq < 0 then t_deq := Trace.now_ns ();
+             Obs.observe obs_queue_wait ((!t_deq - enq) / 1000)
+           end;
            try exec_msg w.state msg acc
            with e -> if w.failed = None then w.failed <- Some e)
         batch;
@@ -136,7 +160,7 @@ let push t w msg =
 
 let exec t ~worker f =
   check_live t "exec";
-  push t (worker_of t worker "exec") (Exec f)
+  push t (worker_of t worker "exec") (Exec { f; enq_ns = stamp_ns () })
 
 let submit t ~worker task =
   check_live t "submit";
@@ -144,7 +168,7 @@ let submit t ~worker task =
   let seq = t.seq in
   t.seq <- seq + 1;
   t.pending <- t.pending + 1;
-  push t w (Ticketed { seq; task });
+  push t w (Ticketed { seq; task; enq_ns = stamp_ns () });
   seq
 
 let pending t = t.pending

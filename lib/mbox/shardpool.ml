@@ -1,9 +1,24 @@
 module Obs = Bbx_obs.Obs
+module Trace = Bbx_obs.Trace
 module Pool = Bbx_exec.Pool
 
 let obs_submitted = Obs.counter "bbx_shardpool_submitted_total"
 let obs_dropped = Obs.counter "bbx_shardpool_dropped_total"
 let obs_domains = Obs.gauge "bbx_shardpool_domains"
+
+(* Per-delivery pipeline stages, microseconds: submit -> worker dequeue
+   (queue wait) and the Shard inspection itself (service).  These are the
+   daemon-facing names the ROADMAP's queue-wait-vs-service question needs;
+   the generic mailbox residency is bbx_exec_queue_wait_us in Pool. *)
+let us_buckets =
+  [| 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000; 25000;
+     50000; 100000; 250000; 1000000 |]
+
+let obs_queue_wait = Obs.histogram "bbx_daemon_queue_wait_us" ~buckets:us_buckets
+let obs_service = Obs.histogram "bbx_shard_service_us" ~buckets:us_buckets
+
+let ph_queue = Trace.phase "queue_wait"
+let ph_service = Trace.phase "service"
 
 type conn_id = Shard.conn_id
 
@@ -60,16 +75,38 @@ let check_known t conn_id op =
   if not (Hashtbl.mem t.registered conn_id) then
     invalid_arg (Printf.sprintf "Shardpool.%s: unknown connection %d" op conn_id)
 
-let submit t ~conn_id wire =
+let submit ?(tag = -1) t ~conn_id wire =
   check_live t "submit";
   check_known t conn_id "submit";
+  (* [timing] is decided at submit time and captured by the closure, so a
+     worker never reads the Obs/Trace switches mid-batch; [tag] is the
+     caller's frame id (the wire seq for daemon deliveries) and keys the
+     per-frame trace events together with [conn_id]. *)
+  let timing = Obs.enabled () || Trace.enabled () in
+  let t_sub = if timing then Trace.now_ns () else -1 in
   let seq =
     Pool.submit t.pool ~worker:(shard_index t conn_id) (fun core ->
-        if Shard.is_blocked core ~conn_id then begin
-          Obs.incr obs_dropped;
-          None
-        end
-        else Some { r_conn = conn_id; r_verdicts = Shard.process_wire core ~conn_id wire })
+        let t_deq = if timing then Trace.now_ns () else -1 in
+        if timing then begin
+          Obs.observe obs_queue_wait ((t_deq - t_sub) / 1000);
+          Trace.record ph_queue ~id:tag ~conn:conn_id ~start_ns:t_sub
+            ~dur_ns:(t_deq - t_sub)
+        end;
+        let r =
+          if Shard.is_blocked core ~conn_id then begin
+            Obs.incr obs_dropped;
+            None
+          end
+          else
+            Some { r_conn = conn_id; r_verdicts = Shard.process_wire core ~conn_id wire }
+        in
+        if timing then begin
+          let t_done = Trace.now_ns () in
+          Obs.observe obs_service ((t_done - t_deq) / 1000);
+          Trace.record ph_service ~id:tag ~conn:conn_id ~start_ns:t_deq
+            ~dur_ns:(t_done - t_deq)
+        end;
+        r)
   in
   Obs.incr obs_submitted;
   seq

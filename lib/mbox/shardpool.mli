@@ -65,11 +65,18 @@ val domains : t -> int
 val register :
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
 
-(** [submit t ~conn_id wire] enqueues one wire delivery and returns its
-    submission ticket (a global sequence number, strictly increasing).
+(** [submit ?tag t ~conn_id wire] enqueues one wire delivery and returns
+    its submission ticket (a global sequence number, strictly increasing).
     Raises [Invalid_argument] on unknown connections.  Results are
-    collected by {!drain}. *)
-val submit : t -> conn_id:conn_id -> string -> int
+    collected by {!drain}.
+
+    Each delivery is timed through two stages — submit-to-dequeue
+    ([bbx_daemon_queue_wait_us]) and shard inspection
+    ([bbx_shard_service_us]) — and, when {!Bbx_obs.Trace} is recording,
+    emits [queue_wait]/[service] flight-recorder events keyed by
+    [(conn_id, tag)].  [tag] is the caller's frame id (the daemon passes
+    the wire seq; default [-1] = untagged). *)
+val submit : ?tag:int -> t -> conn_id:conn_id -> string -> int
 
 (** [drain t ~f] waits for all pending work, then calls
     [f ~seq ~conn_id verdicts] once per completed delivery in submission

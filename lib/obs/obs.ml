@@ -35,7 +35,8 @@ type span = {
   mutable s_count : int;
   mutable s_seconds : float;
   mutable s_alloc : float;     (* GC-allocated bytes across all entries *)
-  mutable open_at : float;     (* < 0.0 when the span is closed *)
+  s_owner : int Atomic.t;      (* domain holding the span open; -1 = closed *)
+  mutable open_at : float;
   mutable open_alloc : float;
 }
 
@@ -119,30 +120,70 @@ let observe h v =
 
 let histogram_count h = Atomic.get h.h_count
 let histogram_sum h = Atomic.get h.h_sum
+let histogram_bounds h = Array.copy h.bounds
+let histogram_bucket_counts h = Array.map Atomic.get h.counts
+
+(* Upper-bound percentile estimate: the first bucket bound whose cumulative
+   count reaches the quantile (the +Inf bucket reports the last finite
+   bound — a floor, but the histogram holds no finer information). *)
+let percentile_of_counts ~bounds ~counts q =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let target = q *. float_of_int total in
+    let cum = ref 0 and i = ref 0 and result = ref nan in
+    while Float.is_nan !result && !i < Array.length counts do
+      cum := !cum + counts.(!i);
+      if float_of_int !cum >= target then
+        result :=
+          (if !i < Array.length bounds then float_of_int bounds.(!i)
+           else if Array.length bounds = 0 then 0.0
+           else float_of_int bounds.(Array.length bounds - 1));
+      Stdlib.incr i
+    done;
+    if Float.is_nan !result then 0.0 else !result
+  end
+
+let histogram_percentile h q =
+  percentile_of_counts ~bounds:h.bounds ~counts:(Array.map Atomic.get h.counts) q
 
 let span name =
   register name
     (fun () ->
        let s =
          { s_name = name; s_count = 0; s_seconds = 0.0; s_alloc = 0.0;
-           open_at = -1.0; open_alloc = 0.0 }
+           s_owner = Atomic.make (-1); open_at = -1.0; open_alloc = 0.0 }
        in
        Hashtbl.add registry name (Span s);
        s)
     (function Span s -> Some s | _ -> None)
 
+(* A concurrent [span_enter] from a second domain while the span is open
+   must not corrupt the accumulators: the opening domain takes ownership
+   with a CAS, a losing domain drops its entry and bumps this counter
+   instead.  Plain mutable fields stay safe because only the owning
+   domain ever touches them between the CAS and the releasing exit. *)
+let span_conflicts = counter "bbx_obs_span_conflicts_total"
+
 let span_enter s =
   if Atomic.get on then begin
-    s.open_alloc <- Gc.allocated_bytes ();
-    s.open_at <- Unix.gettimeofday ()
+    let me = (Domain.self () :> int) in
+    let cur = Atomic.get s.s_owner in
+    if cur = me || (cur = -1 && Atomic.compare_and_set s.s_owner (-1) me) then begin
+      (* re-enter on the owning domain restarts the span *)
+      s.open_alloc <- Gc.allocated_bytes ();
+      s.open_at <- Unix.gettimeofday ()
+    end
+    else incr span_conflicts
   end
 
 let span_exit s =
-  if Atomic.get on && s.open_at >= 0.0 then begin
+  if Atomic.get on && Atomic.get s.s_owner = (Domain.self () :> int) then begin
     s.s_seconds <- s.s_seconds +. (Unix.gettimeofday () -. s.open_at);
     s.s_alloc <- s.s_alloc +. (Gc.allocated_bytes () -. s.open_alloc);
     s.s_count <- s.s_count + 1;
-    s.open_at <- -1.0
+    s.open_at <- -1.0;
+    Atomic.set s.s_owner (-1)
   end
 
 let time s f =
@@ -295,5 +336,6 @@ let reset () =
          s.s_count <- 0;
          s.s_seconds <- 0.0;
          s.s_alloc <- 0.0;
-         s.open_at <- -1.0)
+         s.open_at <- -1.0;
+         Atomic.set s.s_owner (-1))
     registry

@@ -14,9 +14,12 @@
     {b Domain safety}: counters, gauges and histograms are [Atomic]-backed
     — concurrent bumps from any number of OCaml domains (e.g. the
     {!Bbx_mbox.Shardpool} workers) lose no increments, and registration
-    plus exposition are mutex-protected.  Spans keep plain mutable fields:
-    they bracket setup-path work on the connection-owning domain and must
-    not be entered concurrently from several domains.
+    plus exposition are mutex-protected.  Spans accumulate in plain
+    mutable fields but are guarded by an atomic owner slot: {!span_enter}
+    takes ownership with a compare-and-set, so a concurrent enter from a
+    second domain while the span is open is {e dropped} (counted in
+    [bbx_obs_span_conflicts_total]) instead of corrupting the
+    accumulators, and only the owning domain's {!span_exit} accumulates.
 
     Naming scheme: [bbx_<subsystem>_<quantity>[_<unit>]], with Prometheus
     label syntax baked into the name string where a dimension is needed
@@ -78,6 +81,27 @@ val observe : histogram -> int -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> int
 
+(** Snapshot of the finite upper bounds (ascending, [+Inf] excluded). *)
+val histogram_bounds : histogram -> int array
+
+(** Snapshot of per-bucket (non-cumulative) counts; length
+    [Array.length (histogram_bounds h) + 1], last cell is [+Inf]. *)
+val histogram_bucket_counts : histogram -> int array
+
+(** [percentile_of_counts ~bounds ~counts q] estimates the [q]-quantile
+    ([0 < q <= 1]) from a bucket snapshot shaped like
+    {!histogram_bounds}/{!histogram_bucket_counts}: it returns the first
+    bucket bound whose cumulative count reaches the quantile — an upper
+    bound, except for mass in the [+Inf] bucket which reports the last
+    finite bound (a floor; the histogram holds no finer information).
+    [0.0] when the counts are all zero.  Taking snapshots as arrays lets
+    callers diff two snapshots to get interval percentiles. *)
+val percentile_of_counts : bounds:int array -> counts:int array -> float -> float
+
+(** [histogram_percentile h q] = {!percentile_of_counts} over the live
+    cells of [h]. *)
+val histogram_percentile : histogram -> float -> float
+
 (** {1 Spans}
 
     A span accumulates wall-clock seconds, GC-allocated bytes and an entry
@@ -89,12 +113,16 @@ type span
 
 val span : string -> span
 
-(** [span_enter sp] records the open timestamp and GC mark; a second
-    [span_enter] before [span_exit] restarts the span. *)
+(** [span_enter sp] records the open timestamp and GC mark and takes
+    ownership of the span for the calling domain; a second [span_enter]
+    from the {e same} domain before [span_exit] restarts the span, while
+    one from another domain is dropped and counted in
+    [bbx_obs_span_conflicts_total]. *)
 val span_enter : span -> unit
 
 (** [span_exit sp] accumulates elapsed seconds and allocated bytes since
-    the matching {!span_enter}; a no-op if the span is not open. *)
+    the matching {!span_enter} and releases ownership; a no-op if the
+    span is not open or owned by another domain. *)
 val span_exit : span -> unit
 
 (** [time sp f] = [span_enter sp; f ()] with [span_exit] on both return

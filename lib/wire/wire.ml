@@ -28,8 +28,13 @@ type stats = {
   s_blocked : int;
 }
 
+(* HELLO feature bits *)
+let feature_metrics = 1
+
+type metrics_scope = Prometheus | Jsonl | Trace
+
 type msg =
-  | Hello of { version : int; mode : Dpienc.mode; salt0 : int }
+  | Hello of { version : int; mode : Dpienc.mode; salt0 : int; features : int }
   | Hello_ok of { conn_id : int; mode : Dpienc.mode; rules_text : string }
   | Rule_setup of { pairs : (string * string) array }
   | Setup_ok
@@ -46,6 +51,8 @@ type msg =
   | Stats of stats
   | Bye
   | Error of { code : int; message : string }
+  | Metrics_req of { scope : metrics_scope }
+  | Metrics of { scope : metrics_scope; body : string }
 
 let err_malformed = 1
 let err_protocol = 2
@@ -67,6 +74,8 @@ let t_stats_req = 10
 let t_stats = 11
 let t_bye = 12
 let t_error = 13
+let t_metrics_req = 14
+let t_metrics = 15
 
 let mode_byte = function Dpienc.Exact -> 0 | Dpienc.Probable -> 1
 
@@ -89,6 +98,14 @@ let status_of_byte = function
   | 1 -> Alerts
   | 2 -> Dropped
   | b -> malformed "bad status byte %d" b
+
+let scope_byte = function Prometheus -> 0 | Jsonl -> 1 | Trace -> 2
+
+let scope_of_byte = function
+  | 0 -> Prometheus
+  | 1 -> Jsonl
+  | 2 -> Trace
+  | b -> malformed "bad metrics scope byte %d" b
 
 (* ---------- writer ---------- *)
 
@@ -208,11 +225,15 @@ let finish c msg_name =
 (* ---------- codec ---------- *)
 
 let encode_payload buf = function
-  | Hello { version; mode; salt0 } ->
+  | Hello { version; mode; salt0; features } ->
     put_u8 buf t_hello;
     put_u8 buf version;
     put_u8 buf (mode_byte mode);
-    put_i64 buf salt0
+    put_i64 buf salt0;
+    (* the features byte is a trailing extension: [features = 0] encodes
+       as the legacy 11-byte body, so a new client with no feature needs
+       stays acceptable to a pre-features daemon *)
+    if features <> 0 then put_u8 buf features
   | Hello_ok { conn_id; mode; rules_text } ->
     put_u8 buf t_hello_ok;
     put_u32 buf conn_id;
@@ -262,6 +283,13 @@ let encode_payload buf = function
     put_u8 buf t_error;
     put_u16 buf code;
     put_str16 buf message
+  | Metrics_req { scope } ->
+    put_u8 buf t_metrics_req;
+    put_u8 buf (scope_byte scope)
+  | Metrics { scope; body } ->
+    put_u8 buf t_metrics;
+    put_u8 buf (scope_byte scope);
+    Buffer.add_string buf body
 
 let encode_frame buf msg =
   let body = Buffer.create 64 in
@@ -285,7 +313,8 @@ let decode payload =
       let version = get_u8 c in
       let mode = mode_of_byte (get_u8 c) in
       let salt0 = get_i64 c in
-      Hello { version; mode; salt0 }
+      let features = if c.pos < String.length c.src then get_u8 c else 0 in
+      Hello { version; mode; salt0; features }
     end
     else if ty = t_hello_ok then begin
       let conn_id = get_u32 c in
@@ -332,6 +361,12 @@ let decode payload =
       Stats { s_connections; s_total_tokens; s_total_keyword_hits; s_alerts; s_blocked }
     end
     else if ty = t_bye then Bye
+    else if ty = t_metrics_req then Metrics_req { scope = scope_of_byte (get_u8 c) }
+    else if ty = t_metrics then begin
+      let scope = scope_of_byte (get_u8 c) in
+      let body = get_rest c in
+      Metrics { scope; body }
+    end
     else if ty = t_error then begin
       let code = get_u16 c in
       let message = get_str16 c in

@@ -32,6 +32,17 @@
     verbatim.  [STATS_REQ] is honoured in any connection state, so a
     monitoring client can query a daemon without a handshake.
 
+    {b Feature negotiation}: [HELLO] may carry one trailing feature-bits
+    byte.  [features = 0] encodes as the legacy 11-byte body, so old
+    daemons keep accepting new clients with no feature needs; a daemon
+    that parses the byte implicitly supports every feature it echoes no
+    error for.  [METRICS_REQ]/[METRICS] ({!feature_metrics}) expose the
+    full {!Bbx_obs} registry — Prometheus text, JSONL, or a flight-recorder
+    trace window — from a running daemon; like [STATS_REQ] it is honoured
+    in any connection state.  Against an old daemon a [METRICS_REQ] draws
+    an [ERROR{err_malformed}] (unknown type byte), which clients treat as
+    "not supported".
+
     Anything the decoder cannot parse raises {!Malformed}; servers answer
     with an [ERROR] frame and close that one connection. *)
 
@@ -69,8 +80,23 @@ type stats = {
   s_blocked : int;
 }
 
+(** Feature bit advertised in the [HELLO] trailing byte: the client
+    understands [METRICS]/[METRICS_REQ]. *)
+val feature_metrics : int
+
+(** What a [METRICS_REQ] asks for: the metric registry as Prometheus text
+    ({!Bbx_obs.Obs.render_prometheus}) or JSONL ({!Bbx_obs.Obs.dump_jsonl}),
+    or the flight-recorder window as Chrome-trace JSON
+    ({!Bbx_obs.Trace.dump_chrome}). *)
+type metrics_scope = Prometheus | Jsonl | Trace
+
 type msg =
-  | Hello of { version : int; mode : Bbx_dpienc.Dpienc.mode; salt0 : int }
+  | Hello of {
+      version : int;
+      mode : Bbx_dpienc.Dpienc.mode;
+      salt0 : int;
+      features : int;  (** feature bits; [0] encodes as the legacy body *)
+    }
   | Hello_ok of { conn_id : int; mode : Bbx_dpienc.Dpienc.mode; rules_text : string }
   | Rule_setup of { pairs : (string * string) array }
       (** [(chunk, enc)] pairs: chunk is [Tokenizer.token_len] bytes, enc
@@ -90,6 +116,9 @@ type msg =
   | Stats of stats
   | Bye
   | Error of { code : int; message : string }
+  | Metrics_req of { scope : metrics_scope }
+  | Metrics of { scope : metrics_scope; body : string }
+      (** [body] is the rendered registry/trace, verbatim (rest of frame) *)
 
 (** [ERROR] codes: unparseable frame, message illegal in this connection
     state, version/mode mismatch at HELLO, rule setup/update rejected,

@@ -214,7 +214,7 @@ let malformed_fuzz () =
       Wire.encode_frame_string (Wire.Token_stream { seq = 0; records = "" });
       Wire.encode_frame_string Wire.Setup_ok;    (* server-only message *)
       Wire.encode_frame_string
-        (Wire.Hello { version = 99; mode = Dpienc.Exact; salt0 = 0 }) ]
+        (Wire.Hello { version = 99; mode = Dpienc.Exact; salt0 = 0; features = 0 }) ]
     @ List.init 12 (fun i ->
           Bbx_crypto.Drbg.bytes drbg (8 + (i * 13)))  (* raw random bytes *)
   in
@@ -270,6 +270,168 @@ let loadgen_smoke mode () =
   Alcotest.(check int) "token parity" report.Loadgen.rp_tokens
     stats.Wire.s_total_tokens
 
+(* ---------- observability plane ---------- *)
+
+module Trace = Bbx_obs.Trace
+
+(* METRICS_REQ works on a fresh connection without any handshake, like
+   STATS_REQ, and each scope renders the registry in its format. *)
+let metrics_over_wire () =
+  with_daemon @@ fun endpoint ->
+  (* push one inspected frame through so the pipeline metrics exist *)
+  let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"met" in
+  Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+  @@ fun () ->
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  List.iteri
+    (fun i wire ->
+      Client.send_records s.Client.sc_client ~seq:i wire;
+      ignore (Client.recv_verdict s.Client.sc_client))
+    (wires_for sender [ "alertkw1 lives here"; "benign" ]);
+  let t = Client.connect endpoint in
+  Fun.protect ~finally:(fun () -> Client.close t)
+  @@ fun () ->
+  let prom = Client.metrics t Wire.Prometheus in
+  Alcotest.(check bool) "prometheus has stage histogram" true
+    (let sub = "# TYPE bbx_daemon_queue_wait_us histogram" in
+     let rec find i =
+       i + String.length sub <= String.length prom
+       && (String.sub prom i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  let jsonl = Client.metrics t Wire.Jsonl in
+  String.split_on_char '\n' jsonl
+  |> List.iter (fun line ->
+         if line <> "" then
+           Alcotest.(check bool) "jsonl line is an object" true
+             (line.[0] = '{' && line.[String.length line - 1] = '}'));
+  let trace = Client.metrics t Wire.Trace in
+  Alcotest.(check bool) "trace scope is chrome json" true
+    (String.length trace >= 15 && String.sub trace 0 15 = "{\"traceEvents\":")
+
+(* The flight recorder must decompose each frame's round trip into the
+   five pipeline phases, all keyed by (conn, seq), with the phase
+   durations summing to no more than the client-observed RTT (plus
+   scheduling slack — phases exclude select sleeps, so less is fine). *)
+let trace_decomposition () =
+  Trace.reset ();
+  let was = Trace.enabled () in
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled was)
+  @@ fun () ->
+  let endpoint = temp_endpoint () in
+  let trace_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bbxd-test-%d.trace.json" (Unix.getpid ()))
+  in
+  let handle =
+    Daemon.start (Daemon.config ~endpoint ~rules ~trace_out:trace_path ())
+  in
+  let n = 5 in
+  let rtts = Array.make n 0.0 in
+  let conn_id =
+    Fun.protect
+      ~finally:(fun () -> Daemon.stop handle)
+      (fun () ->
+        let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"tr" in
+        Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+        @@ fun () ->
+        let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+        List.iteri
+          (fun i wire ->
+            let t0 = Unix.gettimeofday () in
+            Client.send_records s.Client.sc_client ~seq:i wire;
+            ignore (Client.recv_verdict s.Client.sc_client);
+            rtts.(i) <- Unix.gettimeofday () -. t0)
+          (wires_for sender
+             (List.init n (fun i -> Printf.sprintf "payload %d alertkw1" i)));
+        s.Client.sc_conn_id)
+  in
+  (* daemon stopped: every domain joined, rings quiescent and complete *)
+  let evs = Trace.events () in
+  let expected = [ "read"; "validate"; "queue_wait"; "service"; "write" ] in
+  for seq = 0 to n - 1 do
+    let mine =
+      List.filter (fun e -> e.Trace.e_id = seq && e.Trace.e_conn = conn_id) evs
+    in
+    List.iter
+      (fun ph ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seq %d has phase %s" seq ph)
+          true
+          (List.exists (fun e -> Trace.phase_name e.Trace.e_phase = ph) mine))
+      expected;
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "duration non-negative" true (e.Trace.e_dur_ns >= 0))
+      mine;
+    let sum_ns =
+      List.fold_left
+        (fun acc e ->
+          if List.mem (Trace.phase_name e.Trace.e_phase) expected then
+            acc + e.Trace.e_dur_ns
+          else acc)
+        0 mine
+    in
+    let rtt_ns = rtts.(seq) *. 1e9 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seq %d phases sum within RTT (sum %d ns, rtt %.0f ns)"
+         seq sum_ns rtt_ns)
+      true
+      (float_of_int sum_ns <= (rtt_ns *. 1.5) +. 2e6)
+  done;
+  (* --trace-out wrote a Chrome trace on teardown *)
+  let ic = open_in trace_path in
+  let head = really_input_string ic (min 15 (in_channel_length ic)) in
+  close_in ic;
+  Sys.remove trace_path;
+  Alcotest.(check string) "trace file is chrome json" "{\"traceEvents\":" head
+
+(* GET /metrics over the plain-HTTP scrape plane *)
+let http_scrape () =
+  let port = 35000 + (Unix.getpid () mod 20000) in
+  let endpoint = temp_endpoint () in
+  let handle =
+    Daemon.start
+      (Daemon.config ~endpoint ~rules ~metrics:(Daemon.Tcp ("127.0.0.1", port)) ())
+  in
+  Fun.protect ~finally:(fun () -> Daemon.stop handle)
+  @@ fun () ->
+  let get path =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+    ignore (Unix.write_substring fd req 0 (String.length req));
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+      end
+    in
+    drain ();
+    Buffer.contents buf
+  in
+  let resp = get "/metrics" in
+  Alcotest.(check bool) "200 with prometheus body" true
+    (String.length resp > 17
+     && String.sub resp 0 15 = "HTTP/1.0 200 OK"
+     && (let has_sub sub =
+           let rec find i =
+             i + String.length sub <= String.length resp
+             && (String.sub resp i (String.length sub) = sub || find (i + 1))
+           in
+           find 0
+         in
+         has_sub "bbx_" && has_sub "Content-Length:"));
+  let missing = get "/nope" in
+  Alcotest.(check bool) "404 for unknown path" true
+    (String.length missing > 16 && String.sub missing 0 16 = "HTTP/1.0 404 Not")
+
 let stop_unlinks_socket () =
   let endpoint = temp_endpoint () in
   let path = match endpoint with Daemon.Unix_path p -> p | _ -> assert false in
@@ -294,4 +456,10 @@ let () =
       ( "loadgen",
         [ Alcotest.test_case "exact mode" `Quick (loadgen_smoke Dpienc.Exact);
           Alcotest.test_case "probable-cause mode" `Quick
-            (loadgen_smoke Dpienc.Probable) ] ) ]
+            (loadgen_smoke Dpienc.Probable) ] );
+      ( "observability",
+        [ Alcotest.test_case "METRICS_REQ over the wire, all scopes" `Quick
+            metrics_over_wire;
+          Alcotest.test_case "flight recorder decomposes frame RTT" `Quick
+            trace_decomposition;
+          Alcotest.test_case "HTTP GET /metrics scrape plane" `Quick http_scrape ] ) ]

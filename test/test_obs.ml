@@ -127,6 +127,46 @@ let span_tests =
         let s = Obs.span (fresh "span") in
         (try Obs.time s (fun () -> failwith "boom") with Failure _ -> ());
         Alcotest.(check int) "recorded" 1 (Obs.span_count s));
+    Alcotest.test_case "cross-domain enter is rejected, not corrupting" `Quick (fun () ->
+        Obs.set_enabled true;
+        let s = Obs.span (fresh "guarded") in
+        let conflicts () =
+          Obs.counter_value (Obs.counter "bbx_obs_span_conflicts_total")
+        in
+        let before = conflicts () in
+        Obs.span_enter s;
+        (* another domain fights over the open span: its enter must lose
+           the owner CAS and its exit must be a no-op *)
+        let d =
+          Domain.spawn (fun () ->
+              Obs.span_enter s;
+              Obs.span_exit s)
+        in
+        Domain.join d;
+        Obs.span_exit s;
+        Alcotest.(check int) "exactly the owner's interval" 1 (Obs.span_count s);
+        Alcotest.(check bool) "conflict counted" true (conflicts () > before);
+        Alcotest.(check bool) "time sane" true
+          (Obs.span_seconds s >= 0.0 && Obs.span_seconds s < 60.0));
+    Alcotest.test_case "4 domains hammering one span never corrupt it" `Quick (fun () ->
+        Obs.set_enabled true;
+        let s = Obs.span (fresh "hammer") in
+        let iters = 10_000 in
+        let ds =
+          List.init 4 (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to iters do
+                    Obs.span_enter s;
+                    Obs.span_exit s
+                  done))
+        in
+        List.iter Domain.join ds;
+        Alcotest.(check bool) "count within attempts" true
+          (Obs.span_count s > 0 && Obs.span_count s <= 4 * iters);
+        Alcotest.(check bool) "seconds finite and sane" true
+          (Float.is_finite (Obs.span_seconds s)
+           && Obs.span_seconds s >= 0.0
+           && Obs.span_seconds s < 60.0));
   ]
 
 let contains hay needle =
@@ -187,6 +227,251 @@ let exposition_tests =
         Sys.remove json; Sys.remove prom);
   ]
 
+(* ---------- qcheck: the expositions stay machine-parseable ----------
+
+   Random batches of metrics (every kind, occasionally labelled) land in
+   the registry; afterwards [render_prometheus] must satisfy the format's
+   structural invariants and every [dump_jsonl] line must be a valid JSON
+   object.  The registry is process-wide and append-only across qcheck
+   iterations — which is the point: validity must hold for the whole
+   accumulated registry, not a curated one. *)
+
+(* minimal JSON validity checker: objects, arrays, strings (with the
+   escapes the emitter produces), numbers, true/false/null *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t') -> incr pos; skip_ws ()
+    | _ -> ()
+  in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then (pos := !pos + l; true)
+    else false
+  in
+  let string_body () =
+    (* opening quote consumed *)
+    let rec go () =
+      match peek () with
+      | None -> false
+      | Some '"' -> incr pos; true
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos; go ()
+         | Some 'u' ->
+           incr pos;
+           let ok = ref true in
+           for _ = 1 to 4 do
+             (match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+              | _ -> ok := false)
+           done;
+           !ok && go ()
+         | _ -> false)
+      | Some c when Char.code c < 0x20 -> false
+      | Some _ -> incr pos; go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d = ref 0 in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' -> incr d; incr pos; go ()
+        | _ -> ()
+      in
+      go (); !d > 0
+    in
+    if not (digits ()) then false
+    else begin
+      (if peek () = Some '.' then begin incr pos; ignore (digits () : bool) end);
+      (match peek () with
+       | Some ('e' | 'E') ->
+         incr pos;
+         (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+         ignore (digits () : bool)
+       | _ -> ());
+      !pos > start
+    end
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> incr pos; members true
+    | Some '[' -> incr pos; elements true
+    | Some '"' -> incr pos; string_body ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> false
+  and members first =
+    skip_ws ();
+    match peek () with
+    | Some '}' -> incr pos; true
+    | _ ->
+      (if first then true
+       else if peek () = Some ',' then (incr pos; skip_ws (); true)
+       else false)
+      && peek () = Some '"'
+      && (incr pos; string_body ())
+      && (skip_ws ();
+          peek () = Some ':' && (incr pos; value () && members false))
+  and elements first =
+    skip_ws ();
+    match peek () with
+    | Some ']' -> incr pos; true
+    | _ ->
+      (if first then true
+       else if peek () = Some ',' then (incr pos; true)
+       else false)
+      && value ()
+      && elements false
+  in
+  value () && (skip_ws (); !pos = n)
+
+(* structural invariants of the Prometheus text format over the whole
+   exposition: line shapes, non-decreasing TYPE bases, and histogram
+   family consistency for unlabelled histograms *)
+let validate_prometheus out =
+  let lines = List.filter (( <> ) "") (String.split_on_char '\n' out) in
+  let sample_re line =
+    (* name[{labels}] SP value *)
+    match String.rindex_opt line ' ' with
+    | None -> None
+    | Some sp ->
+      let name = String.sub line 0 sp in
+      let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+      (match float_of_string_opt v with
+       | Some f -> Some (name, f)
+       | None -> None)
+  in
+  let type_bases = ref [] in
+  let hist_bases = ref [] in
+  let samples = ref [] in
+  let shape_ok =
+    List.for_all
+      (fun line ->
+        if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' line with
+          | [ "#"; "TYPE"; base; kind ] ->
+            type_bases := base :: !type_bases;
+            if kind = "histogram" then hist_bases := base :: !hist_bases;
+            List.mem kind [ "counter"; "gauge"; "histogram" ]
+          | _ -> false
+        end
+        else
+          match sample_re line with
+          | Some (name, v) ->
+            samples := (name, v) :: !samples;
+            true
+          | None -> false)
+      lines
+  in
+  let bases = List.rev !type_bases in
+  (* span metrics derive three families (_seconds_sum, _alloc_bytes_sum,
+     _count) emitted at the parent metric's position in the sorted walk,
+     so sortedness holds for the normalized (suffix-stripped) bases *)
+  let normalize b =
+    List.fold_left
+      (fun b suf -> if Filename.check_suffix b suf then Filename.chop_suffix b suf else b)
+      b
+      [ "_seconds_sum"; "_alloc_bytes_sum"; "_count" ]
+  in
+  let normalized = List.map normalize bases in
+  let sorted_ok = List.sort compare normalized = normalized in
+  let samples = List.rev !samples in
+  let find name = List.assoc_opt name samples in
+  let hist_ok =
+    List.for_all
+      (fun base ->
+        (* only unlabelled histograms are checked in depth *)
+        let prefix = base ^ "_bucket{le=\"" in
+        let buckets =
+          List.filter_map
+            (fun (name, v) ->
+              if
+                String.length name > String.length prefix
+                && String.sub name 0 (String.length prefix) = prefix
+              then
+                let le =
+                  String.sub name (String.length prefix)
+                    (String.length name - String.length prefix - 2)
+                in
+                Some (le, v)
+              else None)
+            samples
+        in
+        match buckets with
+        | [] -> true (* labelled family; shape already checked *)
+        | _ ->
+          let les = List.map fst buckets in
+          let counts = List.map snd buckets in
+          let finite, inf = List.partition (( <> ) "+Inf") les in
+          let le_values = List.filter_map float_of_string_opt finite in
+          let ascending l = List.sort compare l = l && List.length (List.sort_uniq compare l) = List.length l in
+          inf = [ "+Inf" ]
+          && List.length le_values = List.length finite
+          && ascending le_values
+          && List.sort compare counts = counts  (* cumulative *)
+          && (match (find (base ^ "_count"), List.rev counts) with
+              | Some c, total :: _ -> c = total
+              | _ -> false)
+          && find (base ^ "_sum") <> None)
+      (List.rev !hist_bases)
+  in
+  shape_ok && sorted_ok && hist_ok
+
+let gen_spec =
+  QCheck.Gen.(
+    oneof
+      [ map (fun v -> `Counter v) (int_bound 1_000_000);
+        map (fun v -> `Labelled v) (int_bound 1000);
+        map (fun v -> `Gauge (v - 500)) (int_bound 1000);
+        map (fun vs -> `Hist vs) (list_size (int_bound 20) (int_bound 100_000));
+        map (fun k -> `Span k) (int_bound 3) ])
+
+let apply_spec spec =
+  match spec with
+  | `Counter v -> Obs.add (Obs.counter (fresh "qc_counter")) v
+  | `Labelled v ->
+    Obs.add (Obs.counter (Printf.sprintf {|%s{kind="q"}|} (fresh "qc_lab"))) v
+  | `Gauge v -> Obs.set_gauge (Obs.gauge (fresh "qc_gauge")) v
+  | `Hist vs ->
+    let h = Obs.histogram (fresh "qc_hist") ~buckets:[| 10; 100; 1000 |] in
+    List.iter (Obs.observe h) vs
+  | `Span k ->
+    let s = Obs.span (fresh "qc_span") in
+    for _ = 1 to k do
+      Obs.span_enter s;
+      Obs.span_exit s
+    done
+
+let qcheck_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:50
+         ~name:"prometheus exposition stays structurally valid"
+         QCheck.(make Gen.(list_size (int_bound 6) gen_spec))
+         (fun specs ->
+           Obs.set_enabled true;
+           List.iter apply_spec specs;
+           validate_prometheus (Obs.render_prometheus ())));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:50 ~name:"every jsonl line is a valid JSON object"
+         QCheck.(make Gen.(list_size (int_bound 6) gen_spec))
+         (fun specs ->
+           Obs.set_enabled true;
+           List.iter apply_spec specs;
+           String.split_on_char '\n' (Obs.dump_jsonl ())
+           |> List.for_all (fun line -> line = "" || json_valid line))) ]
+
 let () =
   Alcotest.run "obs"
     [ ("counters", counter_tests);
@@ -194,4 +479,5 @@ let () =
       ("concurrency", concurrency_tests);
       ("histograms", histogram_tests);
       ("spans", span_tests);
-      ("exposition", exposition_tests) ]
+      ("exposition", exposition_tests);
+      ("qcheck", qcheck_tests) ]

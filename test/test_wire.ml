@@ -12,8 +12,14 @@ let chunk c = String.make token_len c
 let enc16 c = String.make 16 c
 
 let samples : Wire.msg list =
-  [ Wire.Hello { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 42 };
-    Wire.Hello { version = 7; mode = Bbx_dpienc.Dpienc.Probable; salt0 = 0 };
+  [ Wire.Hello
+      { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 42; features = 0 };
+    Wire.Hello { version = 7; mode = Bbx_dpienc.Dpienc.Probable; salt0 = 0; features = 0 };
+    Wire.Hello
+      { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 1;
+        features = Wire.feature_metrics };
+    Wire.Hello
+      { version = Wire.version; mode = Bbx_dpienc.Dpienc.Probable; salt0 = 2; features = 255 };
     Wire.Hello_ok { conn_id = 12345; mode = Bbx_dpienc.Dpienc.Exact;
                     rules_text = "alert tcp any any -> any any (content:\"attackkw\"; sid:1;)" };
     Wire.Rule_setup { pairs = [||] };
@@ -39,7 +45,13 @@ let samples : Wire.msg list =
       { s_connections = 1; s_total_tokens = 999999; s_total_keyword_hits = 5;
         s_alerts = 2; s_blocked = 1 };
     Wire.Bye;
-    Wire.Error { code = Wire.err_protocol; message = "nope" } ]
+    Wire.Error { code = Wire.err_protocol; message = "nope" };
+    Wire.Metrics_req { scope = Wire.Prometheus };
+    Wire.Metrics_req { scope = Wire.Jsonl };
+    Wire.Metrics_req { scope = Wire.Trace };
+    Wire.Metrics { scope = Wire.Prometheus; body = "bbx_x_total 1\n" };
+    Wire.Metrics { scope = Wire.Jsonl; body = "" };
+    Wire.Metrics { scope = Wire.Trace; body = "{\"traceEvents\":[]}" } ]
 
 (* strip the 4-byte length prefix *)
 let payload_of msg =
@@ -120,9 +132,10 @@ let unit_tests =
         List.iter
           (fun msg ->
             match msg with
-            (* rules_text / records are rest-encoded: any suffix length is
-               a valid (different) message, so skip the mutation checks *)
-            | Wire.Hello_ok _ | Wire.Token_stream _ -> ()
+            (* rules_text / records / metrics bodies are rest-encoded and
+               HELLO's features byte is optional: any suffix length is a
+               valid (different) message, so skip the mutation checks *)
+            | Wire.Hello_ok _ | Wire.Token_stream _ | Wire.Hello _ | Wire.Metrics _ -> ()
             | _ ->
               let p = payload_of msg in
               if String.length p > 1 then
@@ -131,13 +144,44 @@ let unit_tests =
           samples;
         (* bad enum bytes inside otherwise-valid messages *)
         let hello = Bytes.of_string (payload_of
-          (Wire.Hello { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 0 })) in
+          (Wire.Hello
+             { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 0;
+               features = 0 })) in
         Bytes.set hello 2 '\x07';      (* mode byte *)
         rejects "bad mode byte" (Bytes.to_string hello);
+        let mreq = Bytes.of_string (payload_of (Wire.Metrics_req { scope = Wire.Prometheus })) in
+        Bytes.set mreq 1 '\x07';       (* scope byte *)
+        rejects "bad metrics scope byte" (Bytes.to_string mreq);
         let verdict = Bytes.of_string (payload_of
           (Wire.Verdict { seq = 1; status = Wire.Clean; verdicts = [] })) in
         Bytes.set verdict 5 '\x09';    (* status byte *)
         rejects "bad status byte" (Bytes.to_string verdict));
+    Alcotest.test_case "hello feature negotiation stays wire-compatible" `Quick (fun () ->
+        (* features = 0 must encode as the legacy 11-byte body, so old
+           daemons keep accepting new clients *)
+        let legacy =
+          payload_of
+            (Wire.Hello
+               { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 9;
+                 features = 0 })
+        in
+        Alcotest.(check int) "legacy body length" 11 (String.length legacy);
+        (* and a legacy 11-byte body must decode to features = 0, so new
+           daemons keep accepting old clients *)
+        Alcotest.(check bool) "legacy decodes features=0" true
+          (Wire.decode legacy
+           = Wire.Hello
+               { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 9;
+                 features = 0 });
+        let featured =
+          payload_of
+            (Wire.Hello
+               { version = Wire.version; mode = Bbx_dpienc.Dpienc.Exact; salt0 = 9;
+                 features = Wire.feature_metrics })
+        in
+        Alcotest.(check int) "featured body length" 12 (String.length featured);
+        rejects "hello with two trailing bytes" (featured ^ "\x00");
+        rejects "hello truncated below legacy" (String.sub legacy 0 10));
     Alcotest.test_case "rule_setup enforces pair lengths at encode" `Quick (fun () ->
         Alcotest.(check bool) "short chunk" true
           (match Wire.encode_frame_string (Wire.Rule_setup { pairs = [| ("ab", enc16 'x') |] }) with
@@ -162,10 +206,19 @@ let gen_msg =
   QCheck.Gen.(
     oneof
       [ map3
-          (fun v m s -> Wire.Hello { version = v; mode = m; salt0 = s })
+          (fun v (m, f) s -> Wire.Hello { version = v; mode = m; salt0 = s; features = f })
           (int_bound 255)
-          (oneofl [ Bbx_dpienc.Dpienc.Exact; Bbx_dpienc.Dpienc.Probable ])
+          (pair
+             (oneofl [ Bbx_dpienc.Dpienc.Exact; Bbx_dpienc.Dpienc.Probable ])
+             (int_bound 255))
           (int_bound 0xFFFFFF);
+        map
+          (fun scope -> Wire.Metrics_req { scope })
+          (oneofl [ Wire.Prometheus; Wire.Jsonl; Wire.Trace ]);
+        map2
+          (fun scope body -> Wire.Metrics { scope; body })
+          (oneofl [ Wire.Prometheus; Wire.Jsonl; Wire.Trace ])
+          (string_size (int_bound 200));
         map
           (fun pairs -> Wire.Rule_setup { pairs })
           (array_size (int_bound 20)
