@@ -3,7 +3,7 @@
    EXPERIMENTS.md for recorded paper-vs-measured results.
 
    Usage: dune exec bench/main.exe [experiment ...] [--smoke] [--metrics FILE]
-   Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy throughput
+   Experiments: table1 table2 fig3 fig4 fig5 fig6 accuracy tiered throughput
                 setup ablation detect pipeline obs-overhead trace-overhead
                 parallel setup-parallel daemon all (default: all)
 
@@ -20,6 +20,7 @@ let experiments =
     ("fig5", "Fig 5: bandwidth overhead across the top-50 corpus", Figs.run_fig5);
     ("fig6", "Fig 6: CDF of transmitted-byte ratios (vs plaintext and gzip)", Figs.run_fig6);
     ("accuracy", "Sec 7.1: detection accuracy vs Snort on an ICTF-like trace", Accuracy.run);
+    ("tiered", "Tiered engine: verdict parity vs the plaintext oracle at tiers 1/2/3", Tiered.run);
     ("throughput", "Sec 7.2.3: middlebox throughput, BlindBox vs Snort-like baseline", Throughput.run);
     ("setup", "Sec 7.2.2: connection setup scaling with ruleset size", Setup_bench.run);
     ("ablation", "Ablations: tree vs scan, DPIEnc vs deterministic, tokenizers, OT", Ablation.run);

@@ -131,12 +131,46 @@ let tokenize_cmd =
 (* ---- inspect ---- *)
 
 let print_alert v =
-  Printf.printf "ALERT   sid:%d %s (%s)\n%!"
+  Printf.printf "ALERT   sid:%d %s (%s, %s)\n%!"
     (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0)
     (Option.value v.Bbx_mbox.Engine.rule.Rule.msg ~default:"")
     (match v.Bbx_mbox.Engine.via with
      | `Exact_match -> "exact match"
      | `Probable_cause -> "probable cause")
+    (Bbx_mbox.Engine.detail_name v.Bbx_mbox.Engine.detail)
+
+(* shared tier/budget arguments: which BlindBox protocol the middlebox
+   engines may escalate to, and the per-flow Protocol III budget *)
+let tier_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("1", Classify.Protocol_I);
+                ("2", Classify.Protocol_II);
+                ("3", Classify.Protocol_III) ])
+           Classify.Protocol_III
+       & info [ "tier" ] ~docv:"N"
+         ~doc:"Highest BlindBox protocol the middlebox engines execute: \
+               $(b,1) (exact keyword match only), $(b,2) (+ composite \
+               multi-keyword/offset rules), $(b,3) (+ full regex rules over \
+               the probable-cause-recovered stream, the default).  Rules \
+               needing a higher protocol than $(docv) are ignored.")
+
+let budget_bytes_arg =
+  Arg.(value & opt int Bbx_mbox.Engine.default_budget.Bbx_mbox.Engine.max_plain_bytes
+       & info [ "budget-bytes" ] ~docv:"BYTES"
+         ~doc:"Per-flow cap on recovered plaintext retained for Protocol III \
+               escalation (0 = unlimited).  A flow past its budget is flagged \
+               (budget-exceeded verdict), not matched.")
+
+let budget_ms_arg =
+  Arg.(value & opt int 0
+       & info [ "budget-ms" ] ~docv:"MS"
+         ~doc:"Per-flow cap on regex-confirmation scan time in milliseconds \
+               (0 = unlimited, the default).")
+
+let budget_of ~budget_bytes ~budget_ms =
+  { Bbx_mbox.Engine.max_plain_bytes = budget_bytes; max_scan_ms = budget_ms }
 
 (* shared --detect-index argument: cipher-index backend for the middlebox
    engines (hash = flat open-addressing index, avl = reference tree) *)
@@ -150,7 +184,8 @@ let detect_index_arg =
                reference balanced tree).  Both produce identical verdicts.")
 
 let inspect_cmd =
-  let run rules_path probable window domains garbled setup_domains detect_index metrics =
+  let run rules_path probable window domains garbled setup_domains detect_index
+      tier budget_bytes budget_ms metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match Parser.parse_ruleset (read_file rules_path) with
@@ -166,18 +201,17 @@ let inspect_cmd =
         tokenization = (if window then Session.Window else Session.Delimiter);
         rule_prep = (if garbled then Session.Garbled else Session.Direct);
         setup_domains = max 1 setup_domains;
-        detect_index }
+        detect_index;
+        tier;
+        tier_budget = budget_of ~budget_bytes ~budget_ms }
     in
     if domains > 0 then begin
-      (* sharded middlebox: the connection lives on a pool worker domain.
-         Verdicts are detection-stage only (the pool keeps no SSL stream,
-         so probable-cause decryption / pcre evaluation does not run). *)
+      (* sharded middlebox: the connection lives on a pool worker domain;
+         in Probable mode at tier 3 the submitting side also ships the
+         sealed record stream, so probable-cause escalation runs there *)
       Session.Fleet.with_fleet ~config ~domains ~conns:1 ~rules @@ fun fleet ->
       Printf.printf "# sharded middlebox up: %d rules, %d worker domain(s)\n%!"
         (List.length rules) (Session.Fleet.domains fleet);
-      if probable then
-        Printf.printf
-          "# note: sharded mode reports detection-stage verdicts only\n%!";
       try
         while true do
           let line = input_line stdin in
@@ -239,7 +273,7 @@ let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect"
        ~doc:"Run stdin lines through a sender->middlebox->receiver BlindBox connection")
-    Term.(const run $ rules $ probable $ window $ domains $ garbled $ setup_domains $ detect_index_arg $ metrics_arg)
+    Term.(const run $ rules $ probable $ window $ domains $ garbled $ setup_domains $ detect_index_arg $ tier_arg $ budget_bytes_arg $ budget_ms_arg $ metrics_arg)
 
 (* ---- stats ---- *)
 
@@ -301,8 +335,9 @@ let stats_cmd =
              | None -> false
            in
            (has_prefix "bbx_daemon_" || has_prefix "bbx_shard" || has_prefix "bbx_exec_"
+            || has_prefix "bbx_tier_"
             || has_prefix "# TYPE bbx_daemon_" || has_prefix "# TYPE bbx_shard"
-            || has_prefix "# TYPE bbx_exec_")
+            || has_prefix "# TYPE bbx_exec_" || has_prefix "# TYPE bbx_tier_")
            && not is_bucket
          in
          Printf.printf "-- daemon pipeline metrics --\n";
@@ -418,8 +453,8 @@ let stats_cmd =
 (* ---- serve ---- *)
 
 let serve_cmd =
-  let run socket rules_path probable domains detect_index high_water
-      metrics_port trace_out metrics =
+  let run socket rules_path probable domains detect_index tier budget_bytes
+      budget_ms high_water metrics_port trace_out metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -439,17 +474,19 @@ let serve_cmd =
       Option.map (fun p -> Bbx_daemon.Daemon.Tcp ("127.0.0.1", p)) metrics_port
     in
     let cfg =
-      Bbx_daemon.Daemon.config ~mode ?domains ~index:detect_index ~high_water
+      Bbx_daemon.Daemon.config ~mode ?domains ~index:detect_index ~tier
+        ~budget:(budget_of ~budget_bytes ~budget_ms) ~high_water
         ?metrics:metrics_ep ?trace_out ~endpoint ~rules ()
     in
     let stopping = Atomic.make false in
     let on_signal _ = Atomic.set stopping true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-    Printf.printf "# blindboxd listening on %s (%d rules, %s mode)\n%!"
+    Printf.printf "# blindboxd listening on %s (%d rules, %s mode, tier %d)\n%!"
       (Bbx_daemon.Daemon.endpoint_to_string endpoint)
       (List.length rules)
-      (if probable then "probable-cause" else "exact");
+      (if probable then "probable-cause" else "exact")
+      (Classify.rank tier);
     (match metrics_port with
      | Some p -> Printf.printf "# metrics on http://127.0.0.1:%d/metrics\n%!" p
      | None -> ());
@@ -497,7 +534,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run blindboxd: the BlindBox middlebox as a network daemon")
-    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ high_water $ metrics_port $ trace_out $ metrics_arg)
+    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ tier_arg $ budget_bytes_arg $ budget_ms_arg $ high_water $ metrics_port $ trace_out $ metrics_arg)
 
 (* ---- trace ---- *)
 

@@ -39,12 +39,16 @@ type config = {
   reset_period : int;
   setup_domains : int;
   detect_index : Bbx_detect.Detect.index_backend;
+  tier : Bbx_rules.Classify.protocol_class;
+  tier_budget : Bbx_mbox.Engine.budget;
 }
 
 let default_config =
   { mode = Dpienc.Exact; tokenization = Delimiter; rule_prep = Direct;
     salt0 = 0; reset_period = 1 lsl 20; setup_domains = 1;
-    detect_index = Bbx_detect.Detect.Hash }
+    detect_index = Bbx_detect.Detect.Hash;
+    tier = Bbx_rules.Classify.Protocol_III;
+    tier_budget = Bbx_mbox.Engine.default_budget }
 
 type setup_stats = {
   chunk_count : int;
@@ -64,8 +68,8 @@ type t = {
   mutable sender_stream_off : int;
   mutable bytes_since_reset : int;
   (* middlebox *)
-  engine : Bbx_mbox.Engine.t;
-  mutable mb_records : string list; (* newest first *)
+  engine : Bbx_mbox.Engine.t;       (* retains + decrypts the record stream
+                                       itself (Engine.record_stream) *)
   (* receiver side *)
   reader : Record.t;
   dpi_mirror : Dpienc.sender;       (* for token validation, §3.4 *)
@@ -85,11 +89,12 @@ let direction = "sender->receiver"
    connections never reuse a keystream. *)
 let make_session ?rg config keys ~rules ~prep ~label =
   let enc_chunk = Ruleprep.lookup prep in
+  let dir = direction ^ label in
   let engine =
-    Bbx_mbox.Engine.create ~index:config.detect_index ~mode:config.mode
+    Bbx_mbox.Engine.create ~index:config.detect_index ~tier:config.tier
+      ~budget:config.tier_budget ~direction:dir ~mode:config.mode
       ~salt0:config.salt0 ~rules ~enc_chunk ()
   in
-  let dir = direction ^ label in
   { config;
     keys;
     writer = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
@@ -99,7 +104,6 @@ let make_session ?rg config keys ~rules ~prep ~label =
     sender_stream_off = 0;
     bytes_since_reset = 0;
     engine;
-    mb_records = [];
     reader = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
     dpi_mirror =
       Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
@@ -218,21 +222,13 @@ let k_ssl_opt t =
 
 let mb_recovered_key t = Bbx_mbox.Engine.recovered_key t.engine
 
-let mb_decrypted_stream t =
-  match mb_recovered_key t with
-  | None -> None
-  | Some k_ssl ->
-    let frames = Ssldump.decrypt_records ~k_ssl ~direction:t.dir (List.rev t.mb_records) in
-    (* strip the per-record frame tag before the regexp stage *)
-    Some
-      (String.concat ""
-         (List.map
-            (fun f -> if f = "" then f else String.sub f 1 (String.length f - 1))
-            frames))
+let mb_decrypted_stream t = Bbx_mbox.Engine.decrypted_stream t.engine
 
 let mb_keyword_hits t = Bbx_mbox.Engine.keyword_hits t.engine
 
-let mb_verdicts t = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine
+let mb_verdicts t = Bbx_mbox.Engine.verdicts t.engine
+
+let mb_escalation t = Bbx_mbox.Engine.escalation t.engine
 
 (* Sender-side encryption of one payload: SSL record + encrypted tokens,
    the latter tokenized+encrypted+serialised in one streaming pass
@@ -294,10 +290,12 @@ let blocked t = t.is_blocked
 let deliver t ~record ~wire ~token_count =
   if t.is_blocked then raise Connection_blocked;
   Obs.span_enter obs_deliver;
-  (* middlebox: inspect the token stream straight off the wire bytes,
-     record the SSL stream, forward both *)
+  (* middlebox: retain the SSL record (for probable-cause escalation),
+     inspect the token stream straight off the wire bytes, forward both.
+     The record goes first: the escalation pump decrypts strictly in
+     stream order. *)
+  Bbx_mbox.Engine.record_stream t.engine record;
   let _ : int = Bbx_mbox.Engine.process_wire t.engine wire in
-  t.mb_records <- record :: t.mb_records;
   (* receiver *)
   let framed = Record.open_ t.reader record in
   if String.length framed = 0 then raise (Evasion_detected "empty frame");
@@ -311,7 +309,7 @@ let deliver t ~record ~wire ~token_count =
   receiver_validate t ~tokenized plaintext wire;
   if not tokenized && wire <> "" then
     raise (Evasion_detected "tokens attached to a binary frame");
-  let all = Bbx_mbox.Engine.verdicts ?plaintext:(mb_decrypted_stream t) t.engine in
+  let all = Bbx_mbox.Engine.verdicts t.engine in
   (* report each rule once, on the send that first triggered it *)
   let fresh =
     List.filter
@@ -319,8 +317,11 @@ let deliver t ~record ~wire ~token_count =
       all
   in
   List.iter (fun v -> Hashtbl.replace t.reported v.Bbx_mbox.Engine.rule_idx ()) fresh;
+  (* budget-exceeded is a flag, not a match: it never blocks *)
   if List.exists
-      (fun v -> v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
+      (fun v ->
+         v.Bbx_mbox.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop
+         && v.Bbx_mbox.Engine.detail <> `Budget_exceeded)
       all
   then begin
     if not t.is_blocked then Obs.incr obs_blocked;
@@ -472,6 +473,8 @@ module Fleet = struct
     fc_id : int;
     fc_keys : Handshake.keys;
     fc_sender : Dpienc.sender;
+    fc_writer : Record.t option;          (* record layer, when the middlebox
+                                             tier retains the stream *)
     mutable fc_off : int;
     mutable fc_bytes_since_reset : int;
     mutable fc_prep : Ruleprep.prepared;  (* per-connection keys mean
@@ -491,7 +494,13 @@ module Fleet = struct
     Obs.span_enter obs_setup;
     let pool =
       Bbx_mbox.Shardpool.create ?domains ~index:config.detect_index
-        ~mode:config.mode ~rules ()
+        ~tier:config.tier ~budget:config.tier_budget ~mode:config.mode ~rules ()
+    in
+    (* Ship the sealed record stream only when the middlebox tier can use
+       it (Protocol III escalation over recovered plaintext). *)
+    let ship_records =
+      config.mode = Dpienc.Probable
+      && Bbx_rules.Classify.rank config.tier >= 3
     in
     let t =
       { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns;
@@ -503,7 +512,7 @@ module Fleet = struct
             mean per-connection encrypted rules — exactly as in [establish] *)
          let keys = run_handshake (Printf.sprintf "%s#%d" seed i) in
          let prep, _ = prepare_rules config keys rules in
-         Bbx_mbox.Shardpool.register pool ~conn_id:i ~salt0:config.salt0
+         Bbx_mbox.Shardpool.register pool ~direction ~conn_id:i ~salt0:config.salt0
            ~enc_chunk:(Ruleprep.lookup prep);
          Hashtbl.add t.fl_conns i
            { fc_id = i;
@@ -511,6 +520,10 @@ module Fleet = struct
              fc_sender =
                Dpienc.sender_create config.mode
                  (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
+             fc_writer =
+               (if ship_records then
+                  Some (Record.create ~key:keys.Handshake.k_ssl ~direction)
+                else None);
              fc_off = 0;
              fc_bytes_since_reset = 0;
              fc_prep = prep }
@@ -540,6 +553,13 @@ module Fleet = struct
     c.fc_off <- c.fc_off + String.length payload;
     Obs.incr obs_sends;
     Obs.add obs_payload_bytes (String.length payload);
+    (* Record first, tokens second: both ride the same per-connection FIFO
+       mailbox, and the escalation pump decrypts in stream order. *)
+    (match c.fc_writer with
+     | Some w ->
+       Bbx_mbox.Shardpool.record_stream t.fl_pool ~conn_id:conn
+         (Record.seal w ("T" ^ payload))
+     | None -> ());
     let seq = Bbx_mbox.Shardpool.submit t.fl_pool ~conn_id:conn (Buffer.contents buf) in
     (* Salt resets ride the same mailbox as deliveries, so the engine's
        counters move exactly when the sender's do. *)

@@ -38,6 +38,12 @@ type config = {
   (** cipher-index backend for the middlebox engines (default
       {!Bbx_detect.Detect.Hash}; [Avl] is the reference tree).  Both
       produce identical events. *)
+  tier : Bbx_rules.Classify.protocol_class;
+  (** highest BlindBox protocol the middlebox engines execute (default
+      [Protocol_III]); rules needing a higher protocol are ignored. *)
+  tier_budget : Bbx_mbox.Engine.budget;
+  (** per-flow Protocol III escalation budget (default
+      {!Bbx_mbox.Engine.default_budget}). *)
 }
 
 val default_config : config
@@ -138,6 +144,10 @@ val mb_keyword_hits : t -> (string * int) list
 (** All rule verdicts for the connection so far (cumulative). *)
 val mb_verdicts : t -> Bbx_mbox.Engine.verdict list
 
+(** Where the middlebox's escalation state machine sits for this
+    connection (see {!Bbx_mbox.Engine.escalation}). *)
+val mb_escalation : t -> [ `Idle | `Gated | `Unlocked | `Exhausted ]
+
 
 (** Bidirectional connections: requests and responses are separate
     BlindBox streams through the same middlebox, sharing one handshake and
@@ -176,10 +186,12 @@ end
     wire delivery without waiting; {!Fleet.drain} collects verdicts in
     submission order.
 
-    Unlike {!send}, a fleet has no in-process receiver and the middlebox
-    does not record the SSL stream: verdicts are detection-stage only (no
-    probable-cause pcre evaluation), and receiver-side token validation
-    does not run. *)
+    Unlike {!send}, a fleet has no in-process receiver, so receiver-side
+    token validation does not run.  In [Probable] mode at tier
+    [Protocol_III] the sender does seal and ship the SSL record stream
+    alongside the tokens ({!Bbx_mbox.Shardpool.record_stream}), so the
+    middlebox runs full probable-cause escalation — regex confirmation
+    over the recovered plaintext — exactly as in {!send}. *)
 module Fleet : sig
   type fleet
 

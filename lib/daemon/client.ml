@@ -57,7 +57,9 @@ let protocol_error what msg =
            | Wire.Bye -> 12
            | Wire.Error _ -> 13
            | Wire.Metrics_req _ -> 14
-           | Wire.Metrics _ -> 15)))
+           | Wire.Metrics _ -> 15
+           | Wire.Record_stream _ -> 16
+           | Wire.Verdict_tiered _ -> 17)))
 
 let hello ?(features = 0) t ~mode ~salt0 =
   send t (Wire.Hello { version = Wire.version; mode; salt0; features });
@@ -75,9 +77,15 @@ let rule_setup t ~pairs =
 
 let send_records t ~seq records = send t (Wire.Token_stream { seq; records })
 
+let send_record t ~seq record = send t (Wire.Record_stream { seq; record })
+
+(* VERDICT_TIERED is VERDICT plus the explicit detail byte; decoding the
+   legacy frame already fills v_detail (inferred from via), so callers
+   see one shape either way. *)
 let recv_verdict t =
   match recv t with
-  | Wire.Verdict { seq; status; verdicts } -> (seq, status, verdicts)
+  | Wire.Verdict { seq; status; verdicts }
+  | Wire.Verdict_tiered { seq; status; verdicts } -> (seq, status, verdicts)
   | msg -> protocol_error "VERDICT" msg
 
 let salt_reset t ~salt0 = send t (Wire.Salt_reset { salt0 })
@@ -91,7 +99,9 @@ let update_rules t ~remove_sids ~add ~pairs =
   let rec await acc =
     match recv t with
     | Wire.Update_ok { added } -> (added, List.rev acc)
-    | Wire.Verdict { seq; status; verdicts } -> await ((seq, status, verdicts) :: acc)
+    | Wire.Verdict { seq; status; verdicts }
+    | Wire.Verdict_tiered { seq; status; verdicts } ->
+      await ((seq, status, verdicts) :: acc)
     | msg -> protocol_error "UPDATE_OK" msg
   in
   await []
@@ -128,6 +138,7 @@ type session = {
   sc_rules : Rule.t list;
   sc_key : Dpienc.key;
   sc_k_ssl : string;
+  sc_features : int;
 }
 
 let pairs_for ~key rules =
@@ -145,10 +156,10 @@ let handshake seed =
   assert (keys = keys_r);
   keys
 
-let establish endpoint ~mode ~salt0 ~seed =
+let establish ?(features = 0) endpoint ~mode ~salt0 ~seed =
   let t = connect endpoint in
   match
-    let conn_id, rules = hello t ~mode ~salt0 in
+    let conn_id, rules = hello ~features t ~mode ~salt0 in
     let keys = handshake seed in
     let key = Dpienc.key_of_secret keys.Handshake.k in
     rule_setup t ~pairs:(pairs_for ~key rules);
@@ -156,7 +167,8 @@ let establish endpoint ~mode ~salt0 ~seed =
       sc_conn_id = conn_id;
       sc_rules = rules;
       sc_key = key;
-      sc_k_ssl = keys.Handshake.k_ssl }
+      sc_k_ssl = keys.Handshake.k_ssl;
+      sc_features = features }
   with
   | session -> session
   | exception e -> close t; raise e

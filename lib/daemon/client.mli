@@ -36,7 +36,17 @@ val rule_setup : t -> pairs:(string * string) array -> unit
     for the verdict — pair with {!recv_verdict}). *)
 val send_records : t -> seq:int -> string -> unit
 
-(** [recv_verdict t] — next VERDICT frame. *)
+(** [send_record t ~seq record] frames one RECORD_STREAM: one sealed SSL
+    record of the connection's stream, shipped before the TOKEN_STREAM
+    carrying the matching tokens (no reply; draws no verdict).  Only
+    meaningful against a daemon in [Probable] mode with a tiered-aware
+    client ({!Bbx_wire.Wire.feature_tiered}); an old daemon answers
+    [ERROR{err_malformed}] like it does for [METRICS_REQ]. *)
+val send_record : t -> seq:int -> string -> unit
+
+(** [recv_verdict t] — next VERDICT or VERDICT_TIERED frame (both carry
+    the same verdict record; the legacy frame's detail is inferred from
+    its via). *)
 val recv_verdict : t -> int * Bbx_wire.Wire.status * Bbx_wire.Wire.verdict list
 
 (** [salt_reset t ~salt0] — fire-and-forget (FIFO with deliveries). *)
@@ -90,9 +100,11 @@ type session = {
   sc_rules : Bbx_rules.Rule.t list;  (** ruleset announced by the daemon *)
   sc_key : Bbx_dpienc.Dpienc.key;    (** DPIEnc key (sender side) *)
   sc_k_ssl : string;                 (** record-layer key, 16 bytes *)
+  sc_features : int;                 (** feature bits sent in HELLO *)
 }
 
 val establish :
+  ?features:int ->
   Daemon.endpoint ->
   mode:Bbx_dpienc.Dpienc.mode ->
   salt0:int ->

@@ -73,14 +73,18 @@ type config = {
   rules : Rule.t list;
   domains : int option;
   index : Bbx_detect.Detect.index_backend;
+  tier : Bbx_rules.Classify.protocol_class;
+  budget : Engine.budget;
   high_water : int;
   metrics : endpoint option;
   trace_out : string option;
 }
 
 let config ?(mode = Dpienc.Exact) ?domains ?(index = Bbx_detect.Detect.Hash)
+    ?(tier = Bbx_rules.Classify.Protocol_III) ?(budget = Engine.default_budget)
     ?(high_water = 1 lsl 20) ?metrics ?trace_out ~endpoint ~rules () =
-  { endpoint; mode; rules; domains; index; high_water; metrics; trace_out }
+  { endpoint; mode; rules; domains; index; tier; budget; high_water; metrics;
+    trace_out }
 
 (* ---------- per-connection state ---------- *)
 
@@ -100,6 +104,7 @@ type client = {
   mutable outq_bytes : int;
   mutable state : conn_state;
   mutable conn_id : int;         (* -1 until HELLO *)
+  mutable features : int;        (* HELLO feature bits; 0 for old clients *)
   mutable registered : bool;     (* conn_id live in the shard pool *)
   mutable rules : Rule.t list;   (* this connection's current ruleset *)
   mutable closing : bool;        (* flush pending output, then close *)
@@ -286,6 +291,7 @@ let verdicts_to_wire vs =
     (fun v ->
        { Wire.v_sid = Option.value v.Engine.rule.Rule.sid ~default:0;
          v_via = v.Engine.via;
+         v_detail = v.Engine.detail;
          v_msg = Option.value v.Engine.rule.Rule.msg ~default:"" })
     vs
 
@@ -306,7 +312,7 @@ let enc_table_for ~needed pairs =
 
 let handle_msg t cl msg =
   match (msg, cl.state) with
-  | Wire.Hello { version; mode; salt0; features = _ }, Awaiting_hello ->
+  | Wire.Hello { version; mode; salt0; features }, Awaiting_hello ->
     if version <> Wire.version then
       error_close t cl Wire.err_version "unsupported protocol version %d" version
     else if mode <> t.cfg.mode then
@@ -317,6 +323,7 @@ let handle_msg t cl msg =
     else begin
       cl.conn_id <- t.next_conn_id;
       t.next_conn_id <- t.next_conn_id + 1;
+      cl.features <- features;
       cl.state <- Awaiting_setup { salt0 };
       enqueue t cl
         (Wire.Hello_ok { conn_id = cl.conn_id; mode = t.cfg.mode; rules_text = t.rules_text })
@@ -352,6 +359,13 @@ let handle_msg t cl msg =
       Queue.add (ticket, cl, seq) t.pending;
       Obs.incr obs_deliveries
     end
+  | Wire.Record_stream { seq = _; record }, Streaming ->
+    (* no front-side validation needed: the record is opaque sealed bytes
+       and the engine degrades (exhausts the flow) rather than raising on
+       anything it cannot open, so workers cannot be poisoned.  Shares the
+       connection's FIFO mailbox with TOKEN_STREAM, so records always
+       reach the engine before the delivery that carries their tokens. *)
+    Shardpool.record_stream t.pool ~conn_id:cl.conn_id record
   | Wire.Salt_reset { salt0 }, Streaming ->
     if salt0 < 0 || (t.cfg.mode = Dpienc.Probable && salt0 land 1 = 1) then
       error_close t cl Wire.err_protocol "bad salt0 %d" salt0
@@ -392,8 +406,8 @@ let handle_msg t cl msg =
   | Wire.Bye, _ -> cl.closing <- true
   | ( Wire.(
         ( Hello _ | Hello_ok _ | Rule_setup _ | Setup_ok | Token_stream _
-        | Verdict _ | Salt_reset _ | Rule_update _ | Update_ok _ | Stats _
-        | Error _ | Metrics _ )),
+        | Verdict _ | Verdict_tiered _ | Salt_reset _ | Rule_update _
+        | Update_ok _ | Stats _ | Error _ | Metrics _ | Record_stream _ )),
       _ ) ->
     error_close t cl Wire.err_protocol "message illegal in this connection state"
 
@@ -442,15 +456,23 @@ let flush_pool t =
         Hashtbl.replace results seq verdicts);
     while not (Queue.is_empty t.pending) do
       let ticket, cl, seq = Queue.pop t.pending in
-      if not cl.closed then
+      if not cl.closed then begin
+        (* clients that advertised the tiered extension get the explicit
+           detail byte; everyone else keeps the legacy frame *)
+        let verdict_msg ~status ~verdicts =
+          if cl.features land Wire.feature_tiered <> 0 then
+            Wire.Verdict_tiered { seq; status; verdicts }
+          else Wire.Verdict { seq; status; verdicts }
+        in
         match Hashtbl.find_opt results ticket with
         | Some [] ->
-          enqueue ~seq t cl (Wire.Verdict { seq; status = Wire.Clean; verdicts = [] })
+          enqueue ~seq t cl (verdict_msg ~status:Wire.Clean ~verdicts:[])
         | Some vs ->
           enqueue ~seq t cl
-            (Wire.Verdict { seq; status = Wire.Alerts; verdicts = verdicts_to_wire vs })
+            (verdict_msg ~status:Wire.Alerts ~verdicts:(verdicts_to_wire vs))
         | None ->
-          enqueue ~seq t cl (Wire.Verdict { seq; status = Wire.Dropped; verdicts = [] })
+          enqueue ~seq t cl (verdict_msg ~status:Wire.Dropped ~verdicts:[])
+      end
     done
   end
 
@@ -542,6 +564,7 @@ let accept_ready t =
           outq_bytes = 0;
           state = Awaiting_hello;
           conn_id = -1;
+          features = 0;
           registered = false;
           rules = t.cfg.rules;
           closing = false;
@@ -614,8 +637,8 @@ let init cfg =
   Sockio.ignore_sigpipe ();
   if cfg.trace_out <> None then Trace.set_enabled true;
   let pool =
-    Shardpool.create ?domains:cfg.domains ~index:cfg.index ~mode:cfg.mode
-      ~rules:cfg.rules ()
+    Shardpool.create ?domains:cfg.domains ~index:cfg.index ~tier:cfg.tier
+      ~budget:cfg.budget ~mode:cfg.mode ~rules:cfg.rules ()
   in
   let listen_fd =
     try listen_socket cfg.endpoint

@@ -8,6 +8,12 @@
     middlebox never sees a key), ships its per-connection obfuscated rule
     encryptions in [RULE_SETUP], then streams {!Bbx_dpienc.Dpienc}
     records in [TOKEN_STREAM] frames and reads [VERDICT] replies.
+    Clients that advertise {!Bbx_wire.Wire.feature_tiered} in [HELLO]
+    may additionally ship their sealed SSL stream in [RECORD_STREAM]
+    frames — fuel for Protocol III probable-cause escalation on the
+    daemon's engines — and get their verdicts as [VERDICT_TIERED],
+    which carries the per-verdict tier detail byte; everyone else keeps
+    legacy [VERDICT] frames.
 
     {b Event loop.}  A single front domain owns every socket: a
     [select]-based loop accepts, reads frames, routes control messages,
@@ -59,6 +65,11 @@ type config = {
   rules : Bbx_rules.Rule.t list;
   domains : int option;           (** shard-pool workers (None = default) *)
   index : Bbx_detect.Detect.index_backend;
+  tier : Bbx_rules.Classify.protocol_class;
+  (** highest BlindBox protocol the engines execute (default
+      [Protocol_III]; see {!Bbx_mbox.Engine.create}) *)
+  budget : Bbx_mbox.Engine.budget;
+  (** per-flow Protocol III escalation budget *)
   high_water : int;               (** per-connection output-buffer bytes
                                       before reads from it pause *)
   metrics : endpoint option;      (** HTTP/1.0 [GET /metrics] listener *)
@@ -68,11 +79,14 @@ type config = {
 }
 
 (** [config ~endpoint ~rules ()] with [Exact] mode, default domains,
-    [Hash] index, a 1 MiB high-water mark, and no metrics/trace plane. *)
+    [Hash] index, [Protocol_III] tier under the default escalation budget,
+    a 1 MiB high-water mark, and no metrics/trace plane. *)
 val config :
   ?mode:Bbx_dpienc.Dpienc.mode ->
   ?domains:int ->
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:Bbx_mbox.Engine.budget ->
   ?high_water:int ->
   ?metrics:endpoint ->
   ?trace_out:string ->

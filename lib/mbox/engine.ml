@@ -5,12 +5,31 @@ module Obs = Bbx_obs.Obs
 
 let obs_hits = Obs.counter "bbx_engine_keyword_hits_total"
 let obs_recoveries = Obs.counter "bbx_engine_key_recoveries_total"
+let obs_escalations = Obs.counter "bbx_tier_escalations_total"
+let obs_plain_bytes = Obs.counter "bbx_tier_plain_bytes_total"
+let obs_confirms = Obs.counter "bbx_tier_regex_confirms_total"
+let obs_exhausted = Obs.counter "bbx_tier_budget_exhausted_total"
+let obs_flagged = Obs.counter "bbx_tier_flagged_total"
+let obs_dropped = Obs.counter "bbx_tier_records_dropped_total"
+
+type detail = [ `Exact_hit | `Composite_match | `Regex_match | `Budget_exceeded ]
+
+let detail_name = function
+  | `Exact_hit -> "exact-hit"
+  | `Composite_match -> "composite-match"
+  | `Regex_match -> "regex-match"
+  | `Budget_exceeded -> "budget-exceeded"
 
 type verdict = {
   rule_idx : int;
   rule : Rule.t;
   via : [ `Exact_match | `Probable_cause ];
+  detail : detail;
 }
+
+type budget = { max_plain_bytes : int; max_scan_ms : int }
+
+let default_budget = { max_plain_bytes = 1 lsl 22; max_scan_ms = 0 }
 
 (* Per-chunk hit evidence, kept in two shapes: the offset list (newest
    first) feeds [keyword_hits]'s ordered report, the hash-set gives
@@ -21,11 +40,28 @@ type hit_set = {
   seen : (int, unit) Hashtbl.t;
 }
 
+(* The Aho-Corasick prefilter over the recovered plaintext: one automaton
+   for all distinct (lowercased) content patterns of decrypt-tier rules.
+   A Protocol III rule only pays a [Classify.matches_plaintext] confirm
+   once every one of its patterns has appeared somewhere in the stream —
+   a necessary condition for the full rule to match, so the filter can
+   never suppress a true verdict. *)
+type prefilter = {
+  ac : Bbx_ac.Aho_corasick.t;
+  maxlen : int;                       (* longest pattern, for scan overlap *)
+  seen_pat : Bytes.t;                 (* pattern id -> seen in stream? *)
+}
+
 type t = {
   mode : Dpienc.mode;
   index : Bbx_detect.Detect.index_backend;         (* backend for every
                                                       detect (re)build *)
+  tier : Classify.protocol_class;              (* highest protocol executed *)
+  budget : budget;
+  direction : string;                          (* record-layer direction of
+                                                  the inspected stream *)
   mutable rules : Rule.t array;
+  mutable classes : Classify.protocol_class array; (* rule_idx -> class *)
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
   mutable encs : string array;                 (* chunk_id -> AES_k(chunk), kept for
                                                   tree rebuilds on rule removal *)
@@ -35,6 +71,26 @@ type t = {
   hits : (int, hit_set) Hashtbl.t;             (* chunk_id -> stream offsets *)
   mutable hit_count : int;                     (* monotonic, survives [reset] *)
   mutable recovered : string option;
+  (* --- escalation state (all of it survives [reset]: probable cause and
+     everything derived from it are connection-lifetime facts) --- *)
+  decided : (int, detail) Hashtbl.t;           (* rule_idx -> final verdict *)
+  gate_seen : (int, unit) Hashtbl.t;           (* rule_idx -> keyword gate
+                                                  passed at some point *)
+  mutable pending : string list;               (* sealed records, newest first,
+                                                  awaiting key recovery *)
+  mutable pending_est : int;                   (* estimated plaintext bytes in
+                                                  [pending] *)
+  mutable reader : Bbx_tls.Record.t option;    (* record-layer state, created
+                                                  at recovery *)
+  plain : Buffer.t;                            (* recovered plaintext so far *)
+  mutable plain_cache : string option;
+  mutable prefilter : prefilter option;
+  mutable rule_needs : int list array;         (* rule_idx -> prefilter pattern
+                                                  ids it must see ([] = none) *)
+  mutable ac_scanned : int;                    (* [plain] prefix already swept *)
+  mutable scan_ns : int;                       (* cumulative confirm time *)
+  mutable exhausted : bool;                    (* sticky: budget blown or
+                                                  record stream undecryptable *)
 }
 
 let distinct_chunks rules =
@@ -55,22 +111,87 @@ let distinct_chunks rules =
     rules;
   Array.of_list (List.rev !order)
 
-let create ?(index = Bbx_detect.Detect.Hash) ~mode ~salt0 ~rules ~enc_chunk () =
+(* (Re)build the Protocol III prefilter from the current rule array.
+   Resets the scan cursor so the next pump re-sweeps the whole stream
+   against the new automaton. *)
+let rebuild_prefilter t =
+  t.classes <- Array.map Classify.classify t.rules;
+  let pat_ids = Hashtbl.create 64 in
+  let pats = ref [] in
+  let id_of p =
+    let p = String.lowercase_ascii p in
+    match Hashtbl.find_opt pat_ids p with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length pat_ids in
+      Hashtbl.replace pat_ids p id;
+      pats := p :: !pats;
+      id
+  in
+  t.rule_needs <-
+    Array.mapi
+      (fun i r ->
+         if t.classes.(i) <> Classify.Protocol_III then []
+         else
+           List.sort_uniq compare
+             (List.map (fun (c : Rule.content) -> id_of c.Rule.pattern) r.Rule.contents))
+      t.rules;
+  let pats = Array.of_list (List.rev !pats) in
+  t.prefilter <-
+    (if Array.length pats = 0 then None
+     else
+       Some
+         { ac = Bbx_ac.Aho_corasick.build pats;
+           maxlen = Array.fold_left (fun m p -> max m (String.length p)) 0 pats;
+           seen_pat = Bytes.make (Array.length pats) '\000' });
+  t.ac_scanned <- 0
+
+let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Classify.Protocol_III)
+    ?(budget = default_budget) ?(direction = "client->server") ~mode ~salt0
+    ~rules ~enc_chunk () =
   let chunks = distinct_chunks rules in
   let encs = Array.map enc_chunk chunks in
   let chunk_ids = Hashtbl.create (max 16 (Array.length chunks)) in
   Array.iteri (fun i c -> Hashtbl.replace chunk_ids c i) chunks;
-  { mode;
-    index;
-    rules = Array.of_list rules;
-    chunks;
-    encs;
-    chunk_ids;
-    detect = Bbx_detect.Detect.create ~index ~mode ~salt0 encs;
-    salt0;
-    hits = Hashtbl.create 256;
-    hit_count = 0;
-    recovered = None }
+  let t =
+    { mode;
+      index;
+      tier;
+      budget;
+      direction;
+      rules = Array.of_list rules;
+      classes = [||];
+      chunks;
+      encs;
+      chunk_ids;
+      detect = Bbx_detect.Detect.create ~index ~mode ~salt0 encs;
+      salt0;
+      hits = Hashtbl.create 256;
+      hit_count = 0;
+      recovered = None;
+      decided = Hashtbl.create 16;
+      gate_seen = Hashtbl.create 16;
+      pending = [];
+      pending_est = 0;
+      reader = None;
+      plain = Buffer.create 256;
+      plain_cache = None;
+      prefilter = None;
+      rule_needs = [||];
+      ac_scanned = 0;
+      scan_ns = 0;
+      exhausted = false }
+  in
+  rebuild_prefilter t;
+  t
+
+let tier t = t.tier
+
+let mark_exhausted t =
+  if not t.exhausted then begin
+    t.exhausted <- true;
+    Obs.incr obs_exhausted
+  end
 
 let record_hit t chunk_id offset =
   t.hit_count <- t.hit_count + 1;
@@ -122,6 +243,133 @@ let hit_count t = t.hit_count
 
 let recovered_key t = t.recovered
 
+(* ---------- Protocol III escalation: record retention + decryption ---- *)
+
+let wants_records t =
+  t.mode = Dpienc.Probable && Classify.rank t.tier >= 3
+
+let record_stream t record =
+  if wants_records t then begin
+    if t.exhausted then Obs.incr obs_dropped
+    else begin
+      (* Conservative plaintext estimate: record minus framing/MAC and the
+         1-byte frame tag.  The byte budget applies to retained-but-sealed
+         records too, or a never-escalating flow would buffer unboundedly. *)
+      let est = max 0 (String.length record - Bbx_tls.Record.overhead - 1) in
+      if t.budget.max_plain_bytes > 0
+      && Buffer.length t.plain + t.pending_est + est > t.budget.max_plain_bytes
+      then begin
+        (* Dropping a sealed record breaks the strict record-layer ordering
+           for everything after it, so exhaustion is final. *)
+        mark_exhausted t;
+        Obs.incr obs_dropped
+      end
+      else begin
+        t.pending <- record :: t.pending;
+        t.pending_est <- t.pending_est + est
+      end
+    end
+  end
+
+let plain_str t =
+  match t.plain_cache with
+  | Some s -> s
+  | None ->
+    let s = Buffer.contents t.plain in
+    t.plain_cache <- Some s;
+    s
+
+(* Sweep the not-yet-scanned suffix of [plain] through the prefilter
+   automaton, with maxlen-1 bytes of overlap so matches spanning the old
+   boundary are still seen (double counting is harmless: [seen_pat] is a
+   bitmap). *)
+let prefilter_scan t =
+  match t.prefilter with
+  | None -> ()
+  | Some pf ->
+    let total = Buffer.length t.plain in
+    if t.ac_scanned < total then begin
+      let start = max 0 (t.ac_scanned - (pf.maxlen - 1)) in
+      let seg = String.lowercase_ascii (Buffer.sub t.plain start (total - start)) in
+      List.iter
+        (fun (pid, _) -> Bytes.set pf.seen_pat pid '\001')
+        (Bbx_ac.Aho_corasick.search pf.ac seg);
+      t.ac_scanned <- total
+    end
+
+let prefilter_candidate t rule_idx =
+  match t.rule_needs.(rule_idx) with
+  | [] -> true
+  | ids ->
+    (match t.prefilter with
+     | None -> true
+     | Some pf -> List.for_all (fun id -> Bytes.get pf.seen_pat id = '\001') ids)
+
+(* Decrypt everything retained once [k_ssl] is recovered.  Record-layer
+   decryption is strictly in-order from sequence 0, so any failure
+   (tampering, a gap) makes the rest of the stream unrecoverable: degrade
+   to exhausted — "flagged, not matched" — instead of raising on what may
+   be a worker domain. *)
+let pump t =
+  if wants_records t && t.recovered <> None && t.pending <> [] then begin
+    let reader =
+      match t.reader with
+      | Some r -> r
+      | None ->
+        let key = Option.get t.recovered in
+        let r = Bbx_tls.Record.create ~key ~direction:t.direction in
+        t.reader <- Some r;
+        Obs.incr obs_escalations;
+        r
+    in
+    let batch = List.rev t.pending in
+    t.pending <- [];
+    t.pending_est <- 0;
+    List.iter
+      (fun sealed ->
+         if t.exhausted then Obs.incr obs_dropped
+         else
+           match Bbx_tls.Record.open_ reader sealed with
+           | exception _ -> mark_exhausted t
+           | pt ->
+             (* strip the sender's 1-byte frame tag *)
+             let body =
+               if String.length pt > 0 then String.sub pt 1 (String.length pt - 1)
+               else ""
+             in
+             Buffer.add_string t.plain body;
+             t.plain_cache <- None;
+             Obs.add obs_plain_bytes (String.length body);
+             if t.budget.max_plain_bytes > 0
+             && Buffer.length t.plain > t.budget.max_plain_bytes
+             then mark_exhausted t)
+      batch;
+    prefilter_scan t
+  end
+
+let decrypted_stream t =
+  pump t;
+  if t.recovered = None || not (wants_records t) then None else Some (plain_str t)
+
+let escalation t =
+  if t.exhausted then `Exhausted
+  else if t.recovered <> None then `Unlocked
+  else if t.hit_count > 0 then `Gated
+  else `Idle
+
+(* Run the full-rule reference evaluation over the recovered stream,
+   charging the time against the scan budget when one is configured. *)
+let confirm t rule =
+  Obs.incr obs_confirms;
+  if t.budget.max_scan_ms <= 0 then Classify.matches_plaintext rule (plain_str t)
+  else begin
+    let t0 = Bbx_obs.Trace.now_ns () in
+    let r = Classify.matches_plaintext rule (plain_str t) in
+    t.scan_ns <- t.scan_ns + (Bbx_obs.Trace.now_ns () - t0);
+    if t.scan_ns > t.budget.max_scan_ms * 1_000_000 then mark_exhausted t;
+    r
+  end
+
 (* Candidate start positions for a content pattern: stream offsets where
    every one of its chunks matched at the right relative position.
    Membership tests go through each chunk's offset hash-set, so a rule
@@ -156,21 +404,65 @@ let content_candidates t =
            starts)
 
 let verdicts ?plaintext t =
+  pump t;
   let candidates = content_candidates t in
+  let tier_rank = Classify.rank t.tier in
   let out = ref [] in
+  let emit rule_idx rule detail =
+    let via =
+      match detail with
+      | `Exact_hit | `Composite_match -> `Exact_match
+      | `Regex_match | `Budget_exceeded -> `Probable_cause
+    in
+    out := { rule_idx; rule; via; detail } :: !out
+  in
+  let decide rule_idx rule detail =
+    Hashtbl.replace t.decided rule_idx detail;
+    emit rule_idx rule detail
+  in
   Array.iteri
     (fun rule_idx rule ->
-       match rule.Rule.pcre with
-       | None ->
-         if rule.Rule.contents <> []
-         && Classify.contents_satisfiable ~candidates rule.Rule.contents then
-           out := { rule_idx; rule; via = `Exact_match } :: !out
-       | Some _ ->
-         (* Protocol III rule: needs the decrypted stream. *)
-         (match plaintext with
-          | Some payload when Classify.matches_plaintext rule payload ->
-            out := { rule_idx; rule; via = `Probable_cause } :: !out
-          | _ -> ()))
+       let cls = t.classes.(rule_idx) in
+       if Classify.rank cls <= tier_rank then begin
+         match Hashtbl.find_opt t.decided rule_idx with
+         | Some detail -> emit rule_idx rule detail
+         | None ->
+           match cls with
+           | Classify.Protocol_I ->
+             if rule.Rule.contents <> []
+             && Classify.contents_satisfiable ~candidates rule.Rule.contents
+             then decide rule_idx rule `Exact_hit
+           | Classify.Protocol_II ->
+             if rule.Rule.contents <> []
+             && Classify.contents_satisfiable ~candidates rule.Rule.contents
+             then decide rule_idx rule `Composite_match
+           | Classify.Protocol_III ->
+             (* Sticky keyword gate: the encrypted-side evidence that makes
+                this rule worth escalating — its contents seen in order on
+                the token stream, or (for pure-pcre rules) any probable
+                cause on the flow. *)
+             if not (Hashtbl.mem t.gate_seen rule_idx) then begin
+               let gated =
+                 if rule.Rule.contents = [] then t.recovered <> None
+                 else Classify.contents_satisfiable ~candidates rule.Rule.contents
+               in
+               if gated then Hashtbl.replace t.gate_seen rule_idx ()
+             end;
+             (match plaintext with
+              | Some payload ->
+                (* Legacy caller-supplied plaintext takes precedence over
+                   the recovered stream. *)
+                if Classify.matches_plaintext rule payload then
+                  decide rule_idx rule `Regex_match
+              | None ->
+                if t.recovered <> None && not t.exhausted
+                && prefilter_candidate t rule_idx && confirm t rule
+                then decide rule_idx rule `Regex_match
+                else if t.exhausted && Hashtbl.mem t.gate_seen rule_idx then begin
+                  Obs.incr obs_flagged;
+                  decide rule_idx rule `Budget_exceeded
+                end)
+       end)
     t.rules;
   List.rev !out
 
@@ -195,6 +487,7 @@ let add_rules t ~rules ~enc_chunk =
   t.chunks <- Array.append t.chunks (Array.of_list fresh);
   t.encs <- Array.append t.encs (Array.of_list fresh_encs);
   t.rules <- Array.append t.rules (Array.of_list rules);
+  rebuild_prefilter t;
   List.length fresh
 
 (* Removing rules shifts [verdict.rule_idx] values, so callers keeping
@@ -241,15 +534,31 @@ let remove_rules t ~sids =
     Array.iteri (fun i c -> Hashtbl.replace t.chunk_ids c i) t.chunks;
     t.detect <- Bbx_detect.Detect.create ~index:t.index ~mode:t.mode ~salt0:t.salt0 t.encs;
     Hashtbl.reset t.hits;
+    (* Escalation state is keyed by rule index: rewrite it through the
+       remap (dropped rules lose their entries). *)
+    let rekey tbl =
+      let moved = Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl [] in
+      Hashtbl.reset tbl;
+      List.iter
+        (fun (i, v) ->
+           if i < Array.length remap && remap.(i) >= 0 then
+             Hashtbl.replace tbl remap.(i) v)
+        moved
+    in
+    rekey t.decided;
+    rekey t.gate_seen;
+    rebuild_prefilter t;
     (List.rev !removed, remap)
   end
 
 (* A salt reset rotates the token encryption only.  Per-chunk hit
    evidence is cleared (post-reset offsets would be incomparable with
-   pre-reset ones anyway), but two pieces of state deliberately survive:
-   [recovered] — probable cause is a connection-lifetime fact; once the
-   middlebox has lawfully recovered [k_ssl] a salt rotation does not
-   un-recover it — and [hit_count], the monotonic obs-visible hit
+   pre-reset ones anyway), but the escalation state deliberately
+   survives: [recovered] — probable cause is a connection-lifetime fact;
+   once the middlebox has lawfully recovered [k_ssl] a salt rotation does
+   not un-recover it — plus everything downstream of it ([decided]
+   verdicts, the sticky keyword gates, the retained/decrypted stream and
+   the budget accounting) and [hit_count], the monotonic obs-visible hit
    accounting that callers delta across deliveries. *)
 let reset t ~salt0 =
   t.salt0 <- salt0;

@@ -6,7 +6,8 @@
     {!Blindbox.Session}); tests may pass the direct encryption.
 
     Keyword-level matches come from {!Bbx_detect.Detect}; this module
-    lifts them to rule-level verdicts:
+    lifts them to rule-level verdicts through a tiered escalation state
+    machine:
 
     - {b Protocol I}: a rule fires when its single keyword's chunks all
       match at consistent offsets;
@@ -15,15 +16,39 @@
       backtracking semantics as the plaintext reference
       ({!Bbx_rules.Classify.matches_plaintext});
     - {b Protocol III}: when a suspicious keyword matches, the engine
-      recovers [k_ssl] from the paired ciphertext (probable cause); the
-      caller decrypts the recorded stream and passes the plaintext back so
-      pcre rules can run. *)
+      recovers [k_ssl] from the paired ciphertext (probable cause),
+      decrypts the retained record stream ({!record_stream}) and runs an
+      Aho-Corasick prefilter plus full-rule regex confirmation over the
+      recovered plaintext, under per-flow byte/time budgets.  Budget
+      exhaustion degrades to a [`Budget_exceeded] verdict ("flagged, not
+      matched") for every rule whose encrypted-side keyword gate fired.
+
+    The engine runs at a configurable {!tier}: rules requiring a higher
+    protocol than the configured tier are ignored entirely. *)
+
+(** How a verdict was reached — the wire-visible detail. *)
+type detail = [ `Exact_hit | `Composite_match | `Regex_match | `Budget_exceeded ]
+
+(** Stable short name per detail: ["exact-hit"], ["composite-match"],
+    ["regex-match"], ["budget-exceeded"]. *)
+val detail_name : detail -> string
 
 type verdict = {
   rule_idx : int;
   rule : Bbx_rules.Rule.t;
   via : [ `Exact_match | `Probable_cause ];
+  detail : detail;
 }
+
+(** Per-flow escalation budgets.  [max_plain_bytes] caps retained +
+    decrypted stream bytes, [max_scan_ms] caps cumulative regex-confirm
+    time; [0] means unlimited for either.  Exceeding a budget is sticky
+    (record-layer decryption is strictly in-order, so a dropped record
+    makes the rest of the stream unrecoverable). *)
+type budget = { max_plain_bytes : int; max_scan_ms : int }
+
+(** 4 MiB of plaintext, no time cap. *)
+val default_budget : budget
 
 type t
 
@@ -32,18 +57,29 @@ type t
     obfuscated rule encryption must cover. *)
 val distinct_chunks : Bbx_rules.Rule.t list -> string array
 
-(** [create ?index ~mode ~salt0 ~rules ~enc_chunk] — [enc_chunk] is
-    consulted once per distinct chunk at construction time.  [index]
-    (default {!Bbx_detect.Detect.Hash}) selects the cipher-index backend
-    and is remembered for detection-state rebuilds ({!remove_rules}). *)
+(** [create ?index ?tier ?budget ?direction ~mode ~salt0 ~rules ~enc_chunk]
+    — [enc_chunk] is consulted once per distinct chunk at construction
+    time.  [index] (default {!Bbx_detect.Detect.Hash}) selects the
+    cipher-index backend and is remembered for detection-state rebuilds
+    ({!remove_rules}).  [tier] (default [Protocol_III]) is the highest
+    protocol this engine executes; [budget] bounds Protocol III work;
+    [direction] (default ["client->server"]) is the record-layer direction
+    of the inspected stream, needed to decrypt records shipped via
+    {!record_stream}. *)
 val create :
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:budget ->
+  ?direction:string ->
   mode:Bbx_dpienc.Dpienc.mode ->
   salt0:int ->
   rules:Bbx_rules.Rule.t list ->
   enc_chunk:(string -> string) ->
   unit ->
   t
+
+(** The tier this engine was configured with. *)
+val tier : t -> Bbx_rules.Classify.protocol_class
 
 (** [process t tokens] feeds encrypted tokens in stream order. *)
 val process : t -> Bbx_dpienc.Dpienc.enc_token list -> unit
@@ -52,6 +88,14 @@ val process : t -> Bbx_dpienc.Dpienc.enc_token list -> unit
     {!Bbx_dpienc.Dpienc.sender_encrypt_into}/[encode_tokens]) without
     materialising a token list; returns the number of tokens processed. *)
 val process_wire : t -> string -> int
+
+(** [record_stream t record] retains one sealed SSL record of the
+    inspected stream (in order, including its 1-byte frame tag inside)
+    for probable-cause decryption.  A no-op unless the engine is in
+    [Probable] mode at tier [Protocol_III].  Records beyond the byte
+    budget are dropped (counted in [bbx_tier_records_dropped_total]) and
+    the flow degrades to exhausted. *)
+val record_stream : t -> string -> unit
 
 (** [keyword_hits t] — keyword-level (chunk, stream offset) matches so far
     (the quantity behind the paper's 97.1% keyword-recall number). *)
@@ -67,10 +111,25 @@ val hit_count : t -> int
     rule has matched in [Probable] mode. *)
 val recovered_key : t -> string option
 
-(** [verdicts ?plaintext t] evaluates rules.  Protocol I/II rules are
-    decided from the encrypted-side events alone; Protocol III rules are
-    evaluated on [plaintext] when provided (pass the stream decrypted under
-    {!recovered_key}). *)
+(** [decrypted_stream t] — the plaintext recovered so far from records
+    shipped via {!record_stream} ([None] until {!recovered_key} is, or
+    when the engine does not retain records). *)
+val decrypted_stream : t -> string option
+
+(** Where the flow sits in the escalation state machine: [`Idle] (no
+    keyword evidence), [`Gated] (keyword hits but no key), [`Unlocked]
+    ([k_ssl] recovered, stream decryptable), [`Exhausted] (budget blown or
+    stream undecryptable — sticky). *)
+val escalation : t -> [ `Idle | `Gated | `Unlocked | `Exhausted ]
+
+(** [verdicts ?plaintext t] evaluates rules at the configured tier.
+    Protocol I/II rules are decided from the encrypted-side events alone;
+    Protocol III rules are confirmed against the probable-cause-recovered
+    stream (or against [plaintext] when the caller passes it, taking
+    precedence).  Decisions are sticky: once a rule has fired (or been
+    budget-flagged) it is re-emitted by every later call, across salt
+    resets — callers dedup by [rule_idx], which Shard/Session already
+    do. *)
 val verdicts : ?plaintext:string -> t -> verdict list
 
 (** [add_rules t ~rules ~enc_chunk] extends a live connection with new
@@ -85,6 +144,8 @@ val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string)
     payload carrying only removed keywords no longer registers hits), and
     [remap] maps each old [verdict.rule_idx] to its new index, or [-1]
     for removed rules, so callers can rewrite per-rule-index state.
+    The engine's own per-rule escalation state (sticky decisions, keyword
+    gates) is remapped internally.
     The detection tree is rebuilt from the retained chunks' cached
     encryptions under the current salt epoch, restarting their salt
     counters and clearing hit evidence — follow with a sender-side salt
@@ -93,10 +154,12 @@ val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string)
 val remove_rules : t -> sids:int list -> string list * int array
 
 (** [reset t ~salt0] forwards the sender's periodic salt reset.  Per-chunk
-    hit evidence ({!keyword_hits}, and hence {!verdicts} derived from it)
-    is cleared; {!hit_count} (monotonic accounting) and {!recovered_key}
+    hit evidence ({!keyword_hits}, and fresh {!verdicts} derived from it)
+    is cleared; {!hit_count} (monotonic accounting), {!recovered_key}
     (probable cause is a connection-lifetime fact — a salt rotation does
-    not un-recover [k_ssl]) deliberately survive. *)
+    not un-recover [k_ssl]) and the whole escalation state downstream of
+    it (sticky decisions, keyword gates, the retained/decrypted stream,
+    budget accounting) deliberately survive. *)
 val reset : t -> salt0:int -> unit
 
 (** Distinct chunk count (tree size). *)

@@ -25,6 +25,7 @@ type t = Shard.t
 
 let create = Shard.create
 let register = Shard.register
+let record_stream = Shard.record_stream
 let process = Shard.process
 let process_wire = Shard.process_wire
 let is_blocked = Shard.is_blocked

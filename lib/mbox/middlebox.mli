@@ -33,19 +33,31 @@ type flow_stats = Shard.flow_stats = {
 
 type t
 
-(** [create ?index ~mode ~rules] — the ruleset is fixed for the box's
-    lifetime (rule updates in deployments mean re-running rule preparation
-    per connection anyway).  [index] (default {!Bbx_detect.Detect.Hash})
-    selects the cipher-index backend for every engine. *)
+(** [create ?index ?tier ?budget ~mode ~rules] — the ruleset is fixed for
+    the box's lifetime (rule updates in deployments mean re-running rule
+    preparation per connection anyway).  [index] (default
+    {!Bbx_detect.Detect.Hash}) selects the cipher-index backend for every
+    engine; [tier] (default [Protocol_III]) and [budget] configure each
+    engine's escalation behaviour (see {!Engine.create}). *)
 val create :
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
-(** [register t ~conn_id ~salt0 ~enc_chunk] — called at connection setup,
-    after obfuscated rule encryption yields this connection's [enc_chunk]
-    oracle.  Raises [Invalid_argument] on duplicate ids. *)
+(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — called at
+    connection setup, after obfuscated rule encryption yields this
+    connection's [enc_chunk] oracle.  Raises [Invalid_argument] on
+    duplicate ids. *)
 val register :
+  ?direction:string ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [record_stream t ~conn_id record] retains one sealed SSL record of
+    the connection's stream for Protocol III probable-cause escalation
+    (see {!Engine.record_stream}).  Feed records in stream order, before
+    the delivery carrying the matching tokens. *)
+val record_stream : t -> conn_id:conn_id -> string -> unit
 
 (** [process t ~conn_id tokens] inspects a batch for one connection and
     returns the new rule verdicts (empty list when clean).  Connections

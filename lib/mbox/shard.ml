@@ -40,6 +40,8 @@ type conn = {
 type t = {
   mode : Bbx_dpienc.Dpienc.mode;
   index : Bbx_detect.Detect.index_backend;  (* cipher-index backend for new engines *)
+  tier : Bbx_rules.Classify.protocol_class; (* highest protocol new engines run *)
+  budget : Engine.budget;                   (* Protocol III escalation budget *)
   mutable rules : Bbx_rules.Rule.t list;   (* current ruleset for new registrations *)
   conns : (conn_id, conn) Hashtbl.t;
   mutable total_tokens : int;
@@ -48,14 +50,18 @@ type t = {
   mutable blocked_count : int;
 }
 
-let create ?(index = Bbx_detect.Detect.Hash) ~mode ~rules () =
-  { mode; index; rules; conns = Hashtbl.create 64;
+let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Bbx_rules.Classify.Protocol_III)
+    ?(budget = Engine.default_budget) ~mode ~rules () =
+  { mode; index; tier; budget; rules; conns = Hashtbl.create 64;
     total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
 
-let register t ~conn_id ~salt0 ~enc_chunk =
+let register ?direction t ~conn_id ~salt0 ~enc_chunk =
   if Hashtbl.mem t.conns conn_id then
     invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
-  let engine = Engine.create ~index:t.index ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk () in
+  let engine =
+    Engine.create ~index:t.index ~tier:t.tier ~budget:t.budget ?direction
+      ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk ()
+  in
   Hashtbl.add t.conns conn_id
     { engine; conn_blocked = false; reported = Hashtbl.create 8;
       conn_tokens = 0; conn_verdicts = 0 };
@@ -94,8 +100,12 @@ let process_common t ~conn_id inject =
   Obs.add obs_tokens tokens;
   Obs.add obs_hits new_hits;
   Obs.add obs_alerts n_fresh;
+  (* A budget-exceeded verdict is a flag, not a match: it must never tear
+     the connection down, even under a drop rule. *)
   if List.exists
-      (fun v -> v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop)
+      (fun v ->
+         v.Engine.rule.Bbx_rules.Rule.action = Bbx_rules.Rule.Drop
+         && v.Engine.detail <> `Budget_exceeded)
       fresh
   then begin
     c.conn_blocked <- true;
@@ -111,6 +121,13 @@ let process t ~conn_id tokens =
 
 let process_wire t ~conn_id wire =
   process_common t ~conn_id (fun engine -> Engine.process_wire engine wire)
+
+(* Retain one sealed record of the inspected stream for probable-cause
+   decryption.  Blocked connections carry no further traffic; records for
+   them are silently ignored (the flow is already torn down). *)
+let record_stream t ~conn_id record =
+  let c = get t conn_id in
+  if not c.conn_blocked then Engine.record_stream c.engine record
 
 let is_blocked t ~conn_id = (get t conn_id).conn_blocked
 

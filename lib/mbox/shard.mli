@@ -32,18 +32,29 @@ type flow_stats = {
 
 type t
 
-(** [create ?index ~mode ~rules] — [index] (default
+(** [create ?index ?tier ?budget ~mode ~rules] — [index] (default
     {!Bbx_detect.Detect.Hash}) is the cipher-index backend used by every
-    engine this shard registers. *)
+    engine this shard registers; [tier] (default [Protocol_III]) and
+    [budget] (default {!Engine.default_budget}) configure every engine's
+    escalation behaviour. *)
 val create :
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
-(** [register t ~conn_id ~salt0 ~enc_chunk] — raises [Invalid_argument]
-    on duplicate ids.  [enc_chunk] is consulted on the calling (owning)
-    domain. *)
+(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — raises
+    [Invalid_argument] on duplicate ids.  [enc_chunk] is consulted on the
+    calling (owning) domain.  [direction] is the record-layer direction of
+    the inspected stream (see {!Engine.create}). *)
 val register :
+  ?direction:string ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [record_stream t ~conn_id record] retains one sealed SSL record for
+    probable-cause escalation ({!Engine.record_stream}).  Ignored on
+    blocked connections; raises [Invalid_argument] on unknown ids. *)
+val record_stream : t -> conn_id:conn_id -> string -> unit
 
 (** [process t ~conn_id tokens] inspects a batch and returns the new rule
     verdicts.  Raises [Invalid_argument] on blocked or unknown ids. *)

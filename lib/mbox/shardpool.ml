@@ -47,12 +47,12 @@ let shard_index t conn_id = (conn_id land max_int) mod Pool.domains t.pool
 
 let default_domains = Pool.default_domains
 
-let create ?domains ?capacity ?batch_max ?index ~mode ~rules () =
+let create ?domains ?capacity ?batch_max ?index ?tier ?budget ~mode ~rules () =
   let n = match domains with Some n -> n | None -> default_domains () in
   if n < 1 then invalid_arg "Shardpool.create: domains must be >= 1";
   let pool =
     Pool.create ~domains:n ?capacity ?batch_max
-      ~state:(fun _ -> Shard.create ?index ~mode ~rules ()) ()
+      ~state:(fun _ -> Shard.create ?index ?tier ?budget ~mode ~rules ()) ()
   in
   Obs.set_gauge obs_domains n;
   { pool; registered = Hashtbl.create 64 }
@@ -63,17 +63,27 @@ let check_live t op =
   if not (Pool.live t.pool) then
     invalid_arg (Printf.sprintf "Shardpool.%s: pool is shut down" op)
 
-let register t ~conn_id ~salt0 ~enc_chunk =
+let register ?direction t ~conn_id ~salt0 ~enc_chunk =
   check_live t "register";
   if Hashtbl.mem t.registered conn_id then
     invalid_arg (Printf.sprintf "Shardpool.register: connection %d exists" conn_id);
   Hashtbl.add t.registered conn_id ();
   Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
-      Shard.register core ~conn_id ~salt0 ~enc_chunk)
+      Shard.register ?direction core ~conn_id ~salt0 ~enc_chunk)
 
 let check_known t conn_id op =
   if not (Hashtbl.mem t.registered conn_id) then
     invalid_arg (Printf.sprintf "Shardpool.%s: unknown connection %d" op conn_id)
+
+(* Record retention rides the same per-worker FIFO mailbox as deliveries,
+   so a record frame submitted before its token frames is guaranteed to
+   reach the engine first — ordering matters because the record layer
+   decrypts strictly in sequence. *)
+let record_stream t ~conn_id record =
+  check_live t "record_stream";
+  check_known t conn_id "record_stream";
+  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+      Shard.record_stream core ~conn_id record)
 
 let submit ?(tag = -1) t ~conn_id wire =
   check_live t "submit";
@@ -171,6 +181,6 @@ let shutdown t =
     Obs.set_gauge obs_domains 0
   end
 
-let with_pool ?domains ?capacity ?batch_max ?index ~mode ~rules f =
-  let t = create ?domains ?capacity ?batch_max ?index ~mode ~rules () in
+let with_pool ?domains ?capacity ?batch_max ?index ?tier ?budget ~mode ~rules f =
+  let t = create ?domains ?capacity ?batch_max ?index ?tier ?budget ~mode ~rules () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -44,12 +44,15 @@ type t
     blocks until the worker catches up); [batch_max] caps how many
     messages a worker dequeues per lock acquisition.  [index] (default
     {!Bbx_detect.Detect.Hash}) selects the cipher-index backend every
-    shard builds its engines with. *)
+    shard builds its engines with; [tier]/[budget] configure every
+    engine's escalation behaviour (see {!Shard.create}). *)
 val create :
   ?domains:int ->
   ?capacity:int ->
   ?batch_max:int ->
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   unit ->
@@ -58,12 +61,20 @@ val create :
 (** Number of worker domains (= shards). *)
 val domains : t -> int
 
-(** [register t ~conn_id ~salt0 ~enc_chunk] — as {!Middlebox.register};
-    raises [Invalid_argument] on duplicate ids.  [enc_chunk] runs on the
-    owning worker domain and must not share mutable state with other
-    connections' oracles. *)
+(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — as
+    {!Middlebox.register}; raises [Invalid_argument] on duplicate ids.
+    [enc_chunk] runs on the owning worker domain and must not share
+    mutable state with other connections' oracles. *)
 val register :
+  ?direction:string ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
+
+(** [record_stream t ~conn_id record] enqueues one sealed SSL record for
+    probable-cause retention ({!Shard.record_stream}).  It rides the same
+    per-worker FIFO as {!submit}, so submit a connection's record before
+    the delivery carrying its tokens and the engine sees them in that
+    order. *)
+val record_stream : t -> conn_id:conn_id -> string -> unit
 
 (** [submit ?tag t ~conn_id wire] enqueues one wire delivery and returns
     its submission ticket (a global sequence number, strictly increasing).
@@ -133,6 +144,8 @@ val with_pool :
   ?capacity:int ->
   ?batch_max:int ->
   ?index:Bbx_detect.Detect.index_backend ->
+  ?tier:Bbx_rules.Classify.protocol_class ->
+  ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   (t -> 'a) ->

@@ -11,7 +11,42 @@ let classify (r : Rule.t) =
 
 let rank = function Protocol_I -> 1 | Protocol_II -> 2 | Protocol_III -> 3
 
+let of_rank = function
+  | 1 -> Some Protocol_I
+  | 2 -> Some Protocol_II
+  | 3 -> Some Protocol_III
+  | _ -> None
+
+let class_name = function
+  | Protocol_I -> "exact"
+  | Protocol_II -> "composite"
+  | Protocol_III -> "decrypt"
+
 let supported_by cls r = rank (classify r) <= rank cls
+
+type tiers = {
+  exact : (int * Rule.t) list;
+  composite : (int * Rule.t) list;
+  decrypt : (int * Rule.t) list;
+}
+
+(* Route a parsed ruleset into its three executable tiers, keeping each
+   rule's original index (the engine's verdict [rule_idx] space). *)
+let partition rules =
+  let exact = ref [] and composite = ref [] and decrypt = ref [] in
+  List.iteri
+    (fun i r ->
+       let cell =
+         match classify r with
+         | Protocol_I -> exact
+         | Protocol_II -> composite
+         | Protocol_III -> decrypt
+       in
+       cell := (i, r) :: !cell)
+    rules;
+  { exact = List.rev !exact;
+    composite = List.rev !composite;
+    decrypt = List.rev !decrypt }
 
 let fractions rules =
   let n = float_of_int (max 1 (List.length rules)) in

@@ -9,9 +9,33 @@ type protocol_class =
 
 val classify : Rule.t -> protocol_class
 
+(** [rank cls] — 1/2/3; the tier order ([Protocol_I] weakest). *)
+val rank : protocol_class -> int
+
+(** [of_rank n] — inverse of {!rank} ([None] outside 1..3). *)
+val of_rank : int -> protocol_class option
+
+(** Short stable name per tier: ["exact"], ["composite"], ["decrypt"]. *)
+val class_name : protocol_class -> string
+
 (** [supported_by cls rule]: can a middlebox running protocol [cls]
     implement [rule]?  (III supports everything, II supports I and II...) *)
 val supported_by : protocol_class -> Rule.t -> bool
+
+(** A ruleset routed into its three executable tiers, each rule tagged
+    with its original list index (the engine's verdict [rule_idx]
+    space): exact-match-only (Protocol I, stays on the encrypted token
+    path), keyword-gated composite (Protocol II, the
+    {!contents_satisfiable} solver over encrypted keyword events) and
+    decrypt-required (Protocol III, regex over the probable-cause
+    recovered stream). *)
+type tiers = {
+  exact : (int * Rule.t) list;
+  composite : (int * Rule.t) list;
+  decrypt : (int * Rule.t) list;
+}
+
+val partition : Rule.t list -> tiers
 
 (** [fractions rules] is the Table 1 row for a ruleset: fraction of rules
     supported by Protocols I, II and III. *)

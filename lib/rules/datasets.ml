@@ -110,6 +110,71 @@ let class_iii_rule ds drbg sid =
   let pcre = pcre_templates.(Drbg.uniform drbg (Array.length pcre_templates)) in
   { base with Rule.pcre = Some pcre }
 
+(* ---------- real-shape mixed ruleset (tiered-engine corpus) ----------
+
+   Unlike the per-dataset generators above (whose class mix pins a Table 1
+   row), [real_shape] produces one ruleset mixing all three protocol
+   classes with nocase contents and pcre options, shaped like a small
+   production IDS set.  Every pcre it emits has a known witness string
+   ([pcre_witness]) so corpus generators can plant a match without
+   solving the regex. *)
+
+let real_shape_mix = (0.20, 0.50)  (* class I, class II-only; rest carry a pcre *)
+
+let pcre_witnessed =
+  [| ("/union.+select/i", "union all select");
+     ("/cmd\\.exe/i", "cmd.exe");
+     ("/[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}/", "10.22.33.44");
+     ("/passwd|shadow/", "passwd");
+     ("/%u[0-9a-f]{4}/i", "%u9090");
+     ("/(script|iframe|object)/i", "iframe");
+     ("/user-agent[^\\n]{0,10}(bot|crawl)/i", "user-agent: bot");
+     ("/id=[0-9]+('|%27)/", "id=123'");
+     ("/eval\\(.{0,30}base64/i", "eval(b64 base64") |]
+
+let pcre_witness p =
+  Array.fold_left
+    (fun acc (tpl, w) -> if tpl = p then Some w else acc)
+    None pcre_witnessed
+
+(* A content with the same positional-modifier shape as [class_ii_rule]
+   (first content may be offset/depth-anchored, later ones
+   distance/within-chained) plus a nocase flag on roughly a quarter. *)
+let real_shape_content drbg i =
+  let kw = keyword drbg in
+  let nocase = Drbg.uniform drbg 4 = 0 in
+  if i = 0 && Drbg.uniform drbg 2 = 0 then
+    Rule.make_content ~nocase ~offset:(Drbg.uniform drbg 20)
+      ~depth:(String.length kw + 2 + Drbg.uniform drbg 10) kw
+  else if i > 0 && Drbg.uniform drbg 3 = 0 then
+    Rule.make_content ~nocase ~distance:(Drbg.uniform drbg 10)
+      ~within:(String.length kw + 5 + Drbg.uniform drbg 40) kw
+  else Rule.make_content ~nocase kw
+
+let real_shape ?(seed = "blindbox-real-shape") ~n () =
+  let drbg = Drbg.create seed in
+  let f1, f2 = real_shape_mix in
+  List.init n (fun i ->
+      let sid = 2_000_000 + i in
+      let u = (float_of_int i +. 0.5) /. float_of_int n in
+      if u < f1 then
+        Rule.make ~msg:(Printf.sprintf "real-shape exact sig %d" sid) ~sid
+          [ Rule.make_content (keyword drbg) ]
+      else if u < f1 +. f2 then begin
+        let n_contents = 2 + Drbg.uniform drbg 3 in
+        Rule.make ~msg:(Printf.sprintf "real-shape composite sig %d" sid) ~sid
+          (List.init n_contents (real_shape_content drbg))
+      end
+      else begin
+        let n_contents = 1 + Drbg.uniform drbg 3 in
+        let pcre, _ = pcre_witnessed.(Drbg.uniform drbg (Array.length pcre_witnessed)) in
+        let base =
+          Rule.make ~msg:(Printf.sprintf "real-shape decrypt sig %d" sid) ~sid
+            (List.init n_contents (real_shape_content drbg))
+        in
+        { base with Rule.pcre = Some pcre }
+      end)
+
 let generate ?(seed = "blindbox-dataset") ds ~n =
   let drbg = Drbg.create (seed ^ "/" ^ name ds) in
   let f1, f2 = class_mix ds in

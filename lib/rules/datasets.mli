@@ -32,3 +32,22 @@ val generate : ?seed:string -> t -> n:int -> Rule.t list
 (** [distinct_keywords rules] — all distinct content patterns (the paper's
     "a typical 3000 rule IDS rule set contains between 9-10k keywords"). *)
 val distinct_keywords : Rule.t list -> string list
+
+(** [real_shape ?seed ~n ()] — one mixed ruleset shaped like a small
+    production IDS set rather than a single Table 1 row: 20% Protocol I
+    (single unconstrained content), 50% Protocol II (2-4 contents with
+    offset/depth/distance/within and nocase sprinkled in), 30% Protocol
+    III (contents plus a pcre).  Every pcre emitted has a known witness
+    (see {!pcre_witness}), so corpus generators can plant a regex match
+    without solving the pattern.  Deterministic in [seed]; does not
+    perturb {!generate}'s DRBG streams. *)
+val real_shape : ?seed:string -> n:int -> unit -> Rule.t list
+
+(** The Protocol I / Protocol II-only fractions {!real_shape} is built
+    to, in {!Classify.fractions} terms (the rest carry a pcre). *)
+val real_shape_mix : float * float
+
+(** [pcre_witness p] — a string matching pcre template [p] anywhere
+    mid-stream, for the templates {!real_shape} draws from ([None] for
+    unknown templates). *)
+val pcre_witness : string -> string option

@@ -12,9 +12,12 @@ let version = 1
 let chunk_len = Tokenizer.token_len
 let enc_len = 16
 
+type detail = [ `Exact_hit | `Composite_match | `Regex_match | `Budget_exceeded ]
+
 type verdict = {
   v_sid : int;
   v_via : [ `Exact_match | `Probable_cause ];
+  v_detail : detail;
   v_msg : string;
 }
 
@@ -30,6 +33,7 @@ type stats = {
 
 (* HELLO feature bits *)
 let feature_metrics = 1
+let feature_tiered = 2
 
 type metrics_scope = Prometheus | Jsonl | Trace
 
@@ -53,6 +57,8 @@ type msg =
   | Error of { code : int; message : string }
   | Metrics_req of { scope : metrics_scope }
   | Metrics of { scope : metrics_scope; body : string }
+  | Record_stream of { seq : int; record : string }
+  | Verdict_tiered of { seq : int; status : status; verdicts : verdict list }
 
 let err_malformed = 1
 let err_protocol = 2
@@ -76,6 +82,8 @@ let t_bye = 12
 let t_error = 13
 let t_metrics_req = 14
 let t_metrics = 15
+let t_record_stream = 16
+let t_verdict_tiered = 17
 
 let mode_byte = function Dpienc.Exact -> 0 | Dpienc.Probable -> 1
 
@@ -90,6 +98,25 @@ let via_of_byte = function
   | 0 -> `Exact_match
   | 1 -> `Probable_cause
   | b -> malformed "bad via byte %d" b
+
+let detail_byte = function
+  | `Exact_hit -> 0
+  | `Composite_match -> 1
+  | `Regex_match -> 2
+  | `Budget_exceeded -> 3
+
+let detail_of_byte = function
+  | 0 -> `Exact_hit
+  | 1 -> `Composite_match
+  | 2 -> `Regex_match
+  | 3 -> `Budget_exceeded
+  | b -> malformed "bad detail byte %d" b
+
+(* What a legacy (detail-less) VERDICT entry implies: exact-path verdicts
+   are at least an exact hit, probable-cause ones a regex match. *)
+let detail_of_via = function
+  | `Exact_match -> `Exact_hit
+  | `Probable_cause -> `Regex_match
 
 let status_byte = function Clean -> 0 | Alerts -> 1 | Dropped -> 2
 
@@ -290,6 +317,22 @@ let encode_payload buf = function
     put_u8 buf t_metrics;
     put_u8 buf (scope_byte scope);
     Buffer.add_string buf body
+  | Record_stream { seq; record } ->
+    put_u8 buf t_record_stream;
+    put_u32 buf seq;
+    Buffer.add_string buf record
+  | Verdict_tiered { seq; status; verdicts } ->
+    put_u8 buf t_verdict_tiered;
+    put_u32 buf seq;
+    put_u8 buf (status_byte status);
+    put_u16 buf (List.length verdicts);
+    List.iter
+      (fun v ->
+         put_u32 buf v.v_sid;
+         put_u8 buf (via_byte v.v_via);
+         put_u8 buf (detail_byte v.v_detail);
+         put_str16 buf v.v_msg)
+      verdicts
 
 let encode_frame buf msg =
   let body = Buffer.create 64 in
@@ -338,7 +381,7 @@ let decode payload =
             let v_sid = get_u32 c in
             let v_via = via_of_byte (get_u8 c) in
             let v_msg = get_str16 c in
-            { v_sid; v_via; v_msg })
+            { v_sid; v_via; v_detail = detail_of_via v_via; v_msg })
       in
       Verdict { seq; status; verdicts }
     end
@@ -366,6 +409,25 @@ let decode payload =
       let scope = scope_of_byte (get_u8 c) in
       let body = get_rest c in
       Metrics { scope; body }
+    end
+    else if ty = t_record_stream then begin
+      let seq = get_u32 c in
+      let record = get_rest c in
+      Record_stream { seq; record }
+    end
+    else if ty = t_verdict_tiered then begin
+      let seq = get_u32 c in
+      let status = status_of_byte (get_u8 c) in
+      let n = get_u16 c in
+      let verdicts =
+        List.init n (fun _ ->
+            let v_sid = get_u32 c in
+            let v_via = via_of_byte (get_u8 c) in
+            let v_detail = detail_of_byte (get_u8 c) in
+            let v_msg = get_str16 c in
+            { v_sid; v_via; v_detail; v_msg })
+      in
+      Verdict_tiered { seq; status; verdicts }
     end
     else if ty = t_error then begin
       let code = get_u16 c in

@@ -41,7 +41,13 @@
     trace window — from a running daemon; like [STATS_REQ] it is honoured
     in any connection state.  Against an old daemon a [METRICS_REQ] draws
     an [ERROR{err_malformed}] (unknown type byte), which clients treat as
-    "not supported".
+    "not supported".  [RECORD_STREAM]/[VERDICT_TIERED] ({!feature_tiered})
+    carry the tiered-inspection extension: a client that advertised the
+    bit may ship sealed SSL records ahead of each token delivery (so the
+    daemon's engines can run Protocol III probable-cause escalation) and
+    receives its verdicts as [VERDICT_TIERED] — identical to [VERDICT]
+    plus one {!detail} byte per verdict.  Clients that did not advertise
+    it keep receiving legacy [VERDICT] frames.
 
     Anything the decoder cannot parse raises {!Malformed}; servers answer
     with an [ERROR] frame and close that one connection. *)
@@ -58,12 +64,25 @@ val max_frame_bytes : int
 (** Protocol version spoken by this implementation. *)
 val version : int
 
+(** How a verdict was reached (the tiered engine's
+    {!Bbx_mbox.Engine.detail}): Protocol I exact hit, Protocol II
+    composite match, Protocol III regex confirmation over the recovered
+    stream, or escalation-budget exhaustion ("flagged, not matched"). *)
+type detail = [ `Exact_hit | `Composite_match | `Regex_match | `Budget_exceeded ]
+
 (** One rule-level verdict as reported over the wire. *)
 type verdict = {
   v_sid : int;                               (** rule sid (0 when absent) *)
   v_via : [ `Exact_match | `Probable_cause ];
+  v_detail : detail;
+  (** carried explicitly by [VERDICT_TIERED]; inferred from [v_via] when
+      decoding a legacy [VERDICT] ([`Exact_match] -> [`Exact_hit],
+      [`Probable_cause] -> [`Regex_match]) *)
   v_msg : string;                            (** rule msg (may be empty) *)
 }
+
+(** The legacy-inference mapping above, exposed for encoders. *)
+val detail_of_via : [ `Exact_match | `Probable_cause ] -> detail
 
 (** Reply status of a [VERDICT] frame. *)
 type status =
@@ -83,6 +102,12 @@ type stats = {
 (** Feature bit advertised in the [HELLO] trailing byte: the client
     understands [METRICS]/[METRICS_REQ]. *)
 val feature_metrics : int
+
+(** Feature bit advertised in the [HELLO] trailing byte: the client
+    speaks the tiered-inspection extension — it may ship [RECORD_STREAM]
+    frames and wants its verdicts as [VERDICT_TIERED] (explicit detail
+    byte) instead of legacy [VERDICT]. *)
+val feature_tiered : int
 
 (** What a [METRICS_REQ] asks for: the metric registry as Prometheus text
     ({!Bbx_obs.Obs.render_prometheus}) or JSONL ({!Bbx_obs.Obs.dump_jsonl}),
@@ -119,6 +144,15 @@ type msg =
   | Metrics_req of { scope : metrics_scope }
   | Metrics of { scope : metrics_scope; body : string }
       (** [body] is the rendered registry/trace, verbatim (rest of frame) *)
+  | Record_stream of { seq : int; record : string }
+      (** one sealed SSL record of the connection's stream, shipped ahead
+          of the [TOKEN_STREAM] carrying the matching tokens so the
+          middlebox can run Protocol III probable-cause escalation
+          ({!feature_tiered}).  No reply; an old daemon answers
+          [ERROR{err_malformed}] (unknown type byte), like [METRICS_REQ]. *)
+  | Verdict_tiered of { seq : int; status : status; verdicts : verdict list }
+      (** [VERDICT] with an explicit per-verdict {!detail} byte; sent in
+          place of [VERDICT] to clients that advertised {!feature_tiered}. *)
 
 (** [ERROR] codes: unparseable frame, message illegal in this connection
     state, version/mode mismatch at HELLO, rule setup/update rejected,

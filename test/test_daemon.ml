@@ -31,9 +31,11 @@ let temp_endpoint =
       (Filename.concat (Filename.get_temp_dir_name ())
          (Printf.sprintf "bbxd-test-%d-%d.sock" (Unix.getpid ()) !n))
 
-let with_daemon ?(rules = rules) ?(mode = Dpienc.Exact) ?(domains = 2) f =
+let with_daemon ?(rules = rules) ?(mode = Dpienc.Exact) ?(domains = 2) ?tier f =
   let endpoint = temp_endpoint () in
-  let handle = Daemon.start (Daemon.config ~mode ~domains ~endpoint ~rules ()) in
+  let handle =
+    Daemon.start (Daemon.config ~mode ~domains ~endpoint ~rules ?tier ())
+  in
   Fun.protect ~finally:(fun () -> Daemon.stop handle) (fun () -> f endpoint)
 
 (* (sid, via) pairs, the daemon's view and the engine's view *)
@@ -152,6 +154,133 @@ let differential_update_and_reset () =
        [ "newkw444 must now alert";
          "otherkw2 must now be clean";
          "alertkw1 still alerts" ])
+
+(* ---------- tiered escalation over the wire ----------
+
+   A feature_tiered client ships each delivery's sealed SSL record
+   (RECORD_STREAM) before its token stream and gets VERDICT_TIERED
+   frames back, whose detail byte says which protocol fired.  The same
+   deliveries replay against an in-process Middlebox at the same tier,
+   and a legacy client (features = 0) on the same daemon must keep
+   getting legacy VERDICT frames with via-inferred details. *)
+
+module Classify = Bbx_rules.Classify
+module Record = Bbx_tls.Record
+
+let tiered_rules =
+  [ Rule.make ~sid:1 ~msg:"exact" [ Rule.make_content "alertkw1" ];
+    Rule.make ~sid:2 ~msg:"composite"
+      [ Rule.make_content "firstkey"; Rule.make_content "secondkey" ];
+    Bbx_rules.Parser.parse_rule
+      "alert tcp any any -> any any (msg:\"decrypt\"; content:\"userquery\"; \
+       pcre:\"/userquery=[0-9]+'/\"; sid:3;)" ]
+
+let tiered_payloads =
+  [ "x=alertkw1 benign";
+    "y=firstkey then z=secondkey";
+    "GET /?userquery=42' HTTP/1.1";
+    "plain benign traffic" ]
+
+let detail_testable =
+  Alcotest.testable
+    (fun fmt d -> Format.pp_print_string fmt (Bbx_mbox.Engine.detail_name d))
+    ( = )
+
+let detail_list = Alcotest.(list (pair int detail_testable))
+
+let wire_details verdicts =
+  List.map (fun v -> (v.Wire.v_sid, v.Wire.v_detail)) verdicts
+
+let engine_details verdicts =
+  List.map
+    (fun v ->
+      (Option.value v.Bbx_mbox.Engine.rule.Rule.sid ~default:0,
+       v.Bbx_mbox.Engine.detail))
+    verdicts
+
+let tiered_differential () =
+  List.iter
+    (fun tier ->
+      with_daemon ~rules:tiered_rules ~mode:Dpienc.Probable ~tier
+      @@ fun endpoint ->
+      let s =
+        Client.establish ~features:Wire.feature_tiered endpoint
+          ~mode:Dpienc.Probable ~salt0:0
+          ~seed:(Printf.sprintf "tiered-%d" (Classify.rank tier))
+      in
+      Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+      @@ fun () ->
+      let reference =
+        Middlebox.create ~tier ~mode:Dpienc.Probable ~rules:tiered_rules ()
+      in
+      Middlebox.register reference ~conn_id:0 ~salt0:0
+        ~enc_chunk:(Dpienc.token_enc s.Client.sc_key);
+      let sender = Dpienc.sender_create Dpienc.Probable s.Client.sc_key ~salt0:0 in
+      (* two same-keyed writers so daemon and reference each get a
+         well-sequenced copy of the record stream *)
+      let writer_d = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" in
+      let writer_r = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" in
+      let all = ref [] in
+      List.iteri
+        (fun i payload ->
+          let wire =
+            Dpienc.encode_tokens
+              (Dpienc.sender_encrypt sender ~k_ssl:s.Client.sc_k_ssl
+                 (Bbx_tokenizer.Tokenizer.delimiter payload))
+          in
+          (* record first, tokens second: same FIFO, stream order *)
+          Client.send_record s.Client.sc_client ~seq:i
+            (Record.seal writer_d ("T" ^ payload));
+          Client.send_records s.Client.sc_client ~seq:i wire;
+          let seq, _status, verdicts = Client.recv_verdict s.Client.sc_client in
+          Alcotest.(check int) "seq echo" i seq;
+          Middlebox.record_stream reference ~conn_id:0
+            (Record.seal writer_r ("T" ^ payload));
+          let ref_verdicts = Middlebox.process_wire reference ~conn_id:0 wire in
+          Alcotest.check detail_list
+            (Printf.sprintf "tier %d delivery %d" (Classify.rank tier) i)
+            (engine_details ref_verdicts)
+            (wire_details verdicts);
+          all := !all @ wire_details verdicts)
+        tiered_payloads;
+      (* absolute expectation per tier, not just reference parity *)
+      let expected =
+        match Classify.rank tier with
+        | 1 -> [ (1, `Exact_hit) ]
+        | 2 -> [ (1, `Exact_hit); (2, `Composite_match) ]
+        | _ -> [ (1, `Exact_hit); (2, `Composite_match); (3, `Regex_match) ]
+      in
+      Alcotest.check detail_list
+        (Printf.sprintf "tier %d fired classes" (Classify.rank tier))
+        expected
+        (List.sort compare !all))
+    [ Classify.Protocol_I; Classify.Protocol_II; Classify.Protocol_III ]
+
+(* A features=0 client on the same daemon: verdicts arrive as legacy
+   VERDICT frames, so the decoded detail is via-inferred — the composite
+   rule reads back as [`Exact_hit], never [`Composite_match], which is
+   exactly what distinguishes the frame types on the client side. *)
+let tiered_legacy_fallback () =
+  with_daemon ~rules:tiered_rules ~mode:Dpienc.Probable @@ fun endpoint ->
+  let s = Client.establish endpoint ~mode:Dpienc.Probable ~salt0:0 ~seed:"leg" in
+  Fun.protect ~finally:(fun () -> Client.close s.Client.sc_client)
+  @@ fun () ->
+  Alcotest.(check int) "legacy HELLO carries no feature bits" 0
+    s.Client.sc_features;
+  let sender = Dpienc.sender_create Dpienc.Probable s.Client.sc_key ~salt0:0 in
+  let all = ref [] in
+  List.iteri
+    (fun i payload ->
+      Client.send_records s.Client.sc_client ~seq:i
+        (Dpienc.encode_tokens
+           (Dpienc.sender_encrypt sender ~k_ssl:s.Client.sc_k_ssl
+              (Bbx_tokenizer.Tokenizer.delimiter payload)));
+      let _, _, verdicts = Client.recv_verdict s.Client.sc_client in
+      all := !all @ wire_details verdicts)
+    [ "x=alertkw1 benign"; "y=firstkey then z=secondkey" ];
+  Alcotest.check detail_list "details inferred from via, not carried"
+    [ (1, `Exact_hit); (2, `Exact_hit) ]
+    (List.sort compare !all)
 
 (* Two clients; one dies mid-stream, the other must be unaffected. *)
 let isolation () =
@@ -447,6 +576,10 @@ let () =
             differential_vs_middlebox;
           Alcotest.test_case "differential: live rule update + salt reset" `Quick
             differential_update_and_reset;
+          Alcotest.test_case "tiered differential: detail bytes at tiers 1/2/3"
+            `Quick tiered_differential;
+          Alcotest.test_case "legacy client falls back to VERDICT frames" `Quick
+            tiered_legacy_fallback;
           Alcotest.test_case "stop unlinks the socket" `Quick stop_unlinks_socket ] );
       ( "hardening",
         [ Alcotest.test_case "a poisoned connection leaves others alone" `Quick

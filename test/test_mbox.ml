@@ -17,6 +17,8 @@ let encrypt_payload ?k_ssl s payload =
 
 let rule_of_string = Parser.parse_rule
 
+module Record = Bbx_tls.Record
+
 let engine_tests =
   [ Alcotest.test_case "distinct chunks dedup across rules" `Quick (fun () ->
         let rules =
@@ -361,6 +363,143 @@ let stats_tests =
           (Middlebox.flow_stats mb ~conn_id:1).Middlebox.flow_tokens);
   ]
 
+(* ---------- tiered escalation over recovered record streams ---------- *)
+
+let tiered_tests =
+  let k_ssl = String.make 16 'K' in
+  let pcre_rule sid =
+    rule_of_string
+      (Printf.sprintf
+         "alert tcp any any -> any any (content:\"userquery\"; \
+          pcre:\"/userquery=[0-9]+'/\"; sid:%d;)"
+         sid)
+  in
+  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" in
+  (* Ship one delivery the way Session does: the sealed record first (the
+     escalation pump decrypts in stream order), then the token stream. *)
+  let deliver e s writer payload =
+    Engine.record_stream e (Record.seal writer ("T" ^ payload));
+    Engine.process e (encrypt_payload ~k_ssl s payload)
+  in
+  [ Alcotest.test_case "records escalate to a regex verdict, no caller plaintext"
+      `Quick (fun () ->
+        let e = mk_engine ~mode:Probable [ pcre_rule 31 ] in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        let payload = "GET /?userquery=42' HTTP/1.1" in
+        deliver e s writer payload;
+        Alcotest.(check bool) "unlocked" true (Engine.escalation e = `Unlocked);
+        Alcotest.(check (option string)) "stream recovered" (Some payload)
+          (Engine.decrypted_stream e);
+        (match Engine.verdicts e with
+         | [ v ] ->
+           Alcotest.(check bool) "probable cause" true (v.Engine.via = `Probable_cause);
+           Alcotest.(check string) "regex-match detail" "regex-match"
+             (Engine.detail_name v.Engine.detail)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs))));
+    Alcotest.test_case "budget exhaustion flags, never matches" `Quick (fun () ->
+        let budget = { Engine.max_plain_bytes = 32; max_scan_ms = 0 } in
+        let e =
+          Engine.create ~budget ~mode:Probable ~salt0:0
+            ~rules:[ pcre_rule 32 ] ~enc_chunk ()
+        in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        let payload = "GET /?userquery=42' HTTP/1.1 " ^ String.make 400 'z' in
+        deliver e s writer payload;
+        Alcotest.(check bool) "exhausted" true (Engine.escalation e = `Exhausted);
+        (match Engine.verdicts e with
+         | [ v ] ->
+           Alcotest.(check string) "flagged, not matched" "budget-exceeded"
+             (Engine.detail_name v.Engine.detail)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs))));
+    Alcotest.test_case "escalated state survives reset" `Quick (fun () ->
+        let e = mk_engine ~mode:Probable [ pcre_rule 33 ] in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        let p1 = "GET /?userquery=42' HTTP/1.1" in
+        deliver e s writer p1;
+        Alcotest.(check int) "verdict before reset" 1
+          (List.length (Engine.verdicts e));
+        let new_salt0 = sender_reset s in
+        Engine.reset e ~salt0:new_salt0;
+        (* the whole escalation state downstream of probable cause is a
+           connection-lifetime fact: a salt rotation must not forget it *)
+        Alcotest.(check (option string)) "key survives" (Some k_ssl)
+          (Engine.recovered_key e);
+        Alcotest.(check bool) "still unlocked" true (Engine.escalation e = `Unlocked);
+        Alcotest.(check (option string)) "stream survives" (Some p1)
+          (Engine.decrypted_stream e);
+        (match Engine.verdicts e with
+         | [ v ] ->
+           Alcotest.(check string) "sticky decision re-emitted" "regex-match"
+             (Engine.detail_name v.Engine.detail)
+         | vs -> Alcotest.fail (Printf.sprintf "expected 1 verdict, got %d" (List.length vs)));
+        (* the record layer keeps decrypting across the reset: sequence
+           numbers continue, so a post-reset record still opens *)
+        let p2 = " and more userquery=7' data" in
+        deliver e s writer p2;
+        Alcotest.(check (option string)) "stream extends" (Some (p1 ^ p2))
+          (Engine.decrypted_stream e));
+    Alcotest.test_case "tier gates which rules execute" `Quick (fun () ->
+        let rules =
+          [ rule_of_string
+              "alert tcp any any -> any any (content:\"alertkw1\"; sid:41;)";
+            rule_of_string
+              "alert tcp any any -> any any (content:\"firstkey\"; content:\"secondkey\"; sid:42;)";
+            pcre_rule 43 ]
+        in
+        let payload = "x=alertkw1 y=firstkey z=secondkey GET /?userquery=42' q" in
+        let run tier =
+          let e =
+            Engine.create ~tier ~mode:Probable ~salt0:0 ~rules ~enc_chunk ()
+          in
+          let s = sender ~mode:Probable () in
+          let writer = mk_writer () in
+          deliver e s writer payload;
+          ( List.sort_uniq compare
+              (List.map
+                 (fun v -> Option.value v.Engine.rule.Rule.sid ~default:0)
+                 (Engine.verdicts e)),
+            e )
+        in
+        let sids1, e1 = run Classify.Protocol_I in
+        Alcotest.(check (list int)) "tier 1: exact only" [ 41 ] sids1;
+        Alcotest.(check bool) "tier getter" true
+          (Engine.tier e1 = Classify.Protocol_I);
+        let sids2, e2 = run Classify.Protocol_II in
+        Alcotest.(check (list int)) "tier 2: no decrypt rules" [ 41; 42 ] sids2;
+        (* below tier 3 the engine never retains records *)
+        Alcotest.(check (option string)) "no stream at tier 2" None
+          (Engine.decrypted_stream e2);
+        let sids3, _ = run Classify.Protocol_III in
+        Alcotest.(check (list int)) "tier 3: everything" [ 41; 42; 43 ] sids3);
+    Alcotest.test_case "verdict details name the protocol that fired" `Quick
+      (fun () ->
+        let rules =
+          [ rule_of_string
+              "alert tcp any any -> any any (content:\"alertkw1\"; sid:51;)";
+            rule_of_string
+              "alert tcp any any -> any any (content:\"firstkey\"; content:\"secondkey\"; sid:52;)";
+            pcre_rule 53 ]
+        in
+        let e = mk_engine ~mode:Probable rules in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        deliver e s writer "x=alertkw1 y=firstkey z=secondkey GET /?userquery=42' q";
+        let details =
+          List.sort compare
+            (List.map
+               (fun v ->
+                  ( Option.value v.Engine.rule.Rule.sid ~default:0,
+                    Engine.detail_name v.Engine.detail ))
+               (Engine.verdicts e))
+        in
+        Alcotest.(check (list (pair int string))) "per-class details"
+          [ (51, "exact-hit"); (52, "composite-match"); (53, "regex-match") ]
+          details);
+  ]
+
 (* ---------- probable-cause analysis scripts ---------- *)
 
 let script_tests =
@@ -408,6 +547,7 @@ let script_tests =
 let () =
   Alcotest.run "mbox"
     [ ("engine", engine_tests);
+      ("tiered", tiered_tests);
       ("middlebox", middlebox_tests);
       ("stats", stats_tests);
       ("scripts", script_tests) ]

@@ -153,10 +153,157 @@ let dataset_tests =
             (kws >= 7000 && kws <= 12000));
     ]
 
+(* ---------- real-shape mixed ruleset (tiered-engine corpus) ---------- *)
+
+let real_shape_tests =
+  let rules = Datasets.real_shape ~n:200 () in
+  [ Alcotest.test_case "class mix pinned to real_shape_mix" `Quick (fun () ->
+        let f1, f2, f3 = Classify.fractions rules in
+        let m1, m2 = Datasets.real_shape_mix in
+        (* fractions are cumulative (II supports I, III supports all) *)
+        let close a b = Float.abs (a -. b) <= 0.01 in
+        Alcotest.(check bool) (Printf.sprintf "I: got %.3f want %.3f" f1 m1)
+          true (close f1 m1);
+        Alcotest.(check bool)
+          (Printf.sprintf "II: got %.3f want %.3f" f2 (m1 +. m2))
+          true (close f2 (m1 +. m2));
+        Alcotest.(check bool) (Printf.sprintf "III: got %.3f want 1.0" f3)
+          true (close f3 1.0));
+    Alcotest.test_case "deterministic given seed" `Quick (fun () ->
+        let a = Datasets.real_shape ~seed:"s" ~n:50 () in
+        let b = Datasets.real_shape ~seed:"s" ~n:50 () in
+        Alcotest.(check (list string)) "same"
+          (List.map Rule.to_string a) (List.map Rule.to_string b));
+    Alcotest.test_case "rules re-parse with class preserved" `Quick (fun () ->
+        List.iter
+          (fun r ->
+             let r2 = Parser.parse_rule (Rule.to_string r) in
+             Alcotest.(check string) "round trip" (Rule.to_string r)
+               (Rule.to_string r2);
+             Alcotest.(check bool) "class preserved" true
+               (Classify.classify r = Classify.classify r2))
+          rules);
+    Alcotest.test_case "every pcre ships a witness that matches it" `Quick
+      (fun () ->
+        let seen = ref 0 in
+        List.iter
+          (fun r ->
+             match r.Rule.pcre with
+             | None -> ()
+             | Some p ->
+               incr seen;
+               (match Datasets.pcre_witness p with
+                | None -> Alcotest.fail ("no witness for pcre " ^ p)
+                | Some w ->
+                  (* witness must match mid-stream, not only anchored *)
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s matches its witness %S" p w)
+                    true
+                    (Bbx_regex.Regex.matches (Bbx_regex.Regex.parse_pcre p)
+                       ("GET /?q=" ^ w ^ " HTTP/1.1"))))
+          rules;
+        Alcotest.(check bool) "decrypt-class rules present" true (!seen > 0));
+  ]
+
+(* ---------- differential: backtracking solver vs exhaustive tuples ----------
+
+   [Classify.contents_satisfiable] prunes with incremental backtracking;
+   the reference below enumerates every full tuple of candidate positions
+   (cartesian product) and checks the constraint chain on each, so any
+   pruning bug shows up as a disagreement.  Inputs stay tiny (payload
+   <= 24 bytes, <= 3 one/two-byte contents) to keep the product small. *)
+
+let reference_satisfiable ~candidates contents =
+  let rec tuples = function
+    | [] -> [ [] ]
+    | l :: rest ->
+      List.concat_map (fun q -> List.map (fun t -> q :: t) (tuples rest)) l
+  in
+  let rec chain_ok cs qs prev_end =
+    match (cs, qs) with
+    | [], [] -> true
+    | (c : Rule.content) :: cs', q :: qs' ->
+      let len = String.length c.Rule.pattern in
+      let abs_ok =
+        (match c.Rule.offset with None -> true | Some o -> q >= o)
+        && (match c.Rule.depth with
+            | None -> true
+            | Some d -> q + len <= Option.value c.Rule.offset ~default:0 + d)
+      in
+      let rel_ok =
+        match (c.Rule.distance, c.Rule.within) with
+        | None, None -> true
+        | dist, w ->
+          (match prev_end with
+           | None -> true (* relative modifier on the first content: no anchor *)
+           | Some pe ->
+             let dist = Option.value dist ~default:0 in
+             q >= pe + dist
+             && (match w with None -> true | Some w -> q + len <= pe + dist + w))
+      in
+      abs_ok && rel_ok && chain_ok cs' qs' (Some (q + len))
+    | _ -> false
+  in
+  List.exists
+    (fun qs -> chain_ok contents qs None)
+    (tuples (List.map candidates contents))
+
+let gen_case =
+  let open QCheck.Gen in
+  let gen_char = oneofl [ 'a'; 'b'; 'A'; ' ' ] in
+  let gen_payload = map (fun l -> String.init (List.length l) (List.nth l))
+      (list_size (int_bound 24) gen_char) in
+  let gen_pattern =
+    map (fun l -> String.init (List.length l) (List.nth l))
+      (list_size (int_range 1 2) (oneofl [ 'a'; 'b' ]))
+  in
+  let gen_opt g = oneof [ return None; map Option.some g ] in
+  let gen_content =
+    gen_pattern >>= fun pattern ->
+    bool >>= fun nocase ->
+    gen_opt (int_bound 5) >>= fun offset ->
+    gen_opt (int_range 1 6) >>= fun depth ->
+    gen_opt (int_bound 4) >>= fun distance ->
+    gen_opt (int_range 1 8) >>= fun within ->
+    return (Rule.make_content ~nocase ?offset ?depth ?distance ?within pattern)
+  in
+  pair (list_size (int_range 1 3) gen_content) gen_payload
+
+let print_case (contents, payload) =
+  Printf.sprintf "rule: %s payload: %S"
+    (Rule.to_string (Rule.make contents)) payload
+
+let differential_tests =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500
+         ~name:"solver agrees with exhaustive tuple enumeration"
+         (QCheck.make ~print:print_case gen_case)
+         (fun (contents, payload) ->
+            let candidates (c : Rule.content) =
+              Classify.keyword_match_positions ~nocase:c.Rule.nocase
+                c.Rule.pattern payload
+            in
+            Classify.contents_satisfiable ~candidates contents
+            = reference_satisfiable ~candidates contents));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500
+         ~name:"matches_plaintext is the solver on pcre-free rules"
+         (QCheck.make ~print:print_case gen_case)
+         (fun (contents, payload) ->
+            let candidates (c : Rule.content) =
+              Classify.keyword_match_positions ~nocase:c.Rule.nocase
+                c.Rule.pattern payload
+            in
+            Classify.matches_plaintext (Rule.make contents) payload
+            = Classify.contents_satisfiable ~candidates contents));
+  ]
+
 let () =
   Alcotest.run "rules"
     [ ("parser", parser_tests);
       ("classify", classify_tests);
       ("plaintext-eval", eval_tests);
       ("datasets", dataset_tests);
+      ("real-shape", real_shape_tests);
+      ("differential", differential_tests);
     ]

@@ -28,12 +28,30 @@ let samples : Wire.msg list =
     Wire.Token_stream { seq = 0; records = "" };
     Wire.Token_stream { seq = max_int land 0xFFFFFFFF; records = String.init 30 Char.chr };
     Wire.Verdict { seq = 9; status = Wire.Clean; verdicts = [] };
+    (* legacy VERDICT carries no detail byte: it only roundtrips when
+       each detail is exactly what decode infers from the via *)
     Wire.Verdict
       { seq = 10; status = Wire.Alerts;
         verdicts =
-          [ { Wire.v_sid = 1; v_via = `Exact_match; v_msg = "hit" };
-            { Wire.v_sid = 0; v_via = `Probable_cause; v_msg = "" } ] };
+          [ { Wire.v_sid = 1; v_via = `Exact_match; v_detail = `Exact_hit;
+              v_msg = "hit" };
+            { Wire.v_sid = 0; v_via = `Probable_cause; v_detail = `Regex_match;
+              v_msg = "" } ] };
     Wire.Verdict { seq = 11; status = Wire.Dropped; verdicts = [] };
+    Wire.Verdict_tiered { seq = 12; status = Wire.Clean; verdicts = [] };
+    (* VERDICT_TIERED carries the detail explicitly, so details the legacy
+       frame cannot express roundtrip here *)
+    Wire.Verdict_tiered
+      { seq = 13; status = Wire.Alerts;
+        verdicts =
+          [ { Wire.v_sid = 7; v_via = `Exact_match; v_detail = `Composite_match;
+              v_msg = "composite" };
+            { Wire.v_sid = 8; v_via = `Probable_cause; v_detail = `Budget_exceeded;
+              v_msg = "flagged" };
+            { Wire.v_sid = 9; v_via = `Probable_cause; v_detail = `Regex_match;
+              v_msg = "" } ] };
+    Wire.Record_stream { seq = 0; record = "" };
+    Wire.Record_stream { seq = 77; record = String.init 45 Char.chr };
     Wire.Salt_reset { salt0 = 1 lsl 30 };
     Wire.Rule_update
       { remove_sids = [ 3; 1; 4 ]; add_text = "alert tcp ...";
@@ -132,10 +150,12 @@ let unit_tests =
         List.iter
           (fun msg ->
             match msg with
-            (* rules_text / records / metrics bodies are rest-encoded and
-               HELLO's features byte is optional: any suffix length is a
-               valid (different) message, so skip the mutation checks *)
-            | Wire.Hello_ok _ | Wire.Token_stream _ | Wire.Hello _ | Wire.Metrics _ -> ()
+            (* rules_text / records / metrics / record bodies are
+               rest-encoded and HELLO's features byte is optional: any
+               suffix length is a valid (different) message, so skip the
+               mutation checks *)
+            | Wire.Hello_ok _ | Wire.Token_stream _ | Wire.Hello _
+            | Wire.Metrics _ | Wire.Record_stream _ -> ()
             | _ ->
               let p = payload_of msg in
               if String.length p > 1 then
@@ -155,7 +175,33 @@ let unit_tests =
         let verdict = Bytes.of_string (payload_of
           (Wire.Verdict { seq = 1; status = Wire.Clean; verdicts = [] })) in
         Bytes.set verdict 5 '\x09';    (* status byte *)
-        rejects "bad status byte" (Bytes.to_string verdict));
+        rejects "bad status byte" (Bytes.to_string verdict);
+        let vt = Bytes.of_string (payload_of
+          (Wire.Verdict_tiered
+             { seq = 1; status = Wire.Alerts;
+               verdicts =
+                 [ { Wire.v_sid = 1; v_via = `Exact_match;
+                     v_detail = `Exact_hit; v_msg = "" } ] })) in
+        (* per-verdict layout: u32 sid, via byte, detail byte, str16 msg *)
+        Bytes.set vt (5 + 1 + 2 + 4 + 1) '\x09';
+        rejects "bad detail byte" (Bytes.to_string vt));
+    Alcotest.test_case "legacy VERDICT infers detail from via" `Quick (fun () ->
+        (* the legacy frame drops the detail byte on encode; decode must
+           restore the canonical via->detail mapping, so a tiered verdict
+           downgraded to VERDICT comes back with the inferred detail *)
+        let downgraded =
+          Wire.Verdict
+            { seq = 3; status = Wire.Alerts;
+              verdicts =
+                [ { Wire.v_sid = 8; v_via = `Probable_cause;
+                    v_detail = `Budget_exceeded; v_msg = "m" } ] }
+        in
+        match roundtrip downgraded with
+        | Wire.Verdict { verdicts = [ v ]; _ } ->
+          Alcotest.(check bool) "via preserved" true (v.Wire.v_via = `Probable_cause);
+          Alcotest.(check bool) "detail inferred from via" true
+            (v.Wire.v_detail = Wire.detail_of_via `Probable_cause)
+        | _ -> Alcotest.fail "expected VERDICT with one verdict");
     Alcotest.test_case "hello feature negotiation stays wire-compatible" `Quick (fun () ->
         (* features = 0 must encode as the legacy 11-byte body, so old
            daemons keep accepting new clients *)
@@ -194,13 +240,28 @@ let unit_tests =
 
 (* ---------- qcheck ---------- *)
 
+(* legacy VERDICT drops the detail byte, so its verdicts only roundtrip
+   with the canonical via->detail inference baked in *)
 let gen_verdict =
   QCheck.Gen.(
     map3
-      (fun sid via msg -> { Wire.v_sid = sid; v_via = via; v_msg = msg })
+      (fun sid via msg ->
+        { Wire.v_sid = sid; v_via = via; v_detail = Wire.detail_of_via via;
+          v_msg = msg })
       (int_bound 0xFFFF)
       (oneofl [ `Exact_match; `Probable_cause ])
       (string_size (int_bound 40)))
+
+(* VERDICT_TIERED carries the detail explicitly: any combination goes *)
+let gen_verdict_tiered =
+  QCheck.Gen.(
+    map2
+      (fun (sid, via) (detail, msg) ->
+        { Wire.v_sid = sid; v_via = via; v_detail = detail; v_msg = msg })
+      (pair (int_bound 0xFFFF) (oneofl [ `Exact_match; `Probable_cause ]))
+      (pair
+         (oneofl [ `Exact_hit; `Composite_match; `Regex_match; `Budget_exceeded ])
+         (string_size (int_bound 40))))
 
 let gen_msg =
   QCheck.Gen.(
@@ -232,6 +293,15 @@ let gen_msg =
           (int_bound 0xFFFFFF)
           (oneofl [ Wire.Clean; Wire.Alerts; Wire.Dropped ])
           (list_size (int_bound 8) gen_verdict);
+        map3
+          (fun seq status verdicts -> Wire.Verdict_tiered { seq; status; verdicts })
+          (int_bound 0xFFFFFF)
+          (oneofl [ Wire.Clean; Wire.Alerts; Wire.Dropped ])
+          (list_size (int_bound 8) gen_verdict_tiered);
+        map2
+          (fun seq record -> Wire.Record_stream { seq; record })
+          (int_bound 0xFFFFFF)
+          (string_size (int_bound 200));
         map2
           (fun sids text ->
             Wire.Rule_update { remove_sids = sids; add_text = text; pairs = [||] })
