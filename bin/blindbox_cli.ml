@@ -9,6 +9,7 @@
                 (or, with --socket, query a running blindboxd)
      serve      run blindboxd: the middlebox as a network daemon
      loadgen    drive a running blindboxd with N concurrent senders
+     migrate    move a live monitored connection between two daemons
 
    Every subcommand takes [--metrics FILE] to dump the metric registry on
    exit (JSONL for .json/.jsonl paths, Prometheus text otherwise). *)
@@ -454,7 +455,7 @@ let stats_cmd =
 
 let serve_cmd =
   let run socket rules_path probable domains detect_index tier budget_bytes
-      budget_ms high_water metrics_port trace_out metrics =
+      budget_ms high_water rebalance metrics_port trace_out metrics =
     with_metrics metrics @@ fun () ->
     let rules =
       match rules_path with
@@ -476,7 +477,8 @@ let serve_cmd =
     let cfg =
       Bbx_daemon.Daemon.config ~mode ?domains ~index:detect_index ~tier
         ~budget:(budget_of ~budget_bytes ~budget_ms) ~high_water
-        ?metrics:metrics_ep ?trace_out ~endpoint ~rules ()
+        ?rebalance_every:rebalance ?metrics:metrics_ep ?trace_out ~endpoint
+        ~rules ()
     in
     let stopping = Atomic.make false in
     let on_signal _ = Atomic.set stopping true in
@@ -517,6 +519,13 @@ let serve_cmd =
            ~doc:"Per-connection output-buffer bytes before reads from a \
                  slow consumer pause.")
   in
+  let rebalance =
+    Arg.(value & opt (some float) None
+         & info [ "rebalance" ] ~docv:"SECS"
+           ~doc:"Rebalance monitored connections across shard domains every \
+                 $(docv) seconds (live migration through each connection's \
+                 FIFO mailbox; verdicts are unaffected).  Off by default.")
+  in
   let metrics_port =
     Arg.(value & opt (some int) None
          & info [ "metrics-port" ] ~docv:"PORT"
@@ -534,7 +543,7 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run blindboxd: the BlindBox middlebox as a network daemon")
-    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ tier_arg $ budget_bytes_arg $ budget_ms_arg $ high_water $ metrics_port $ trace_out $ metrics_arg)
+    Term.(const run $ socket $ rules $ probable $ domains $ detect_index_arg $ tier_arg $ budget_bytes_arg $ budget_ms_arg $ high_water $ rebalance $ metrics_port $ trace_out $ metrics_arg)
 
 (* ---- trace ---- *)
 
@@ -589,6 +598,102 @@ let trace_cmd =
        ~doc:"Capture a running blindboxd's flight-recorder window (or metric registry)")
     Term.(const run $ socket $ out $ scope $ metrics_arg)
 
+(* ---- migrate ---- *)
+
+(* Live-migration demo: stream stdin lines through a monitored connection
+   on SRC, move the connection to DST halfway (export -> import, engine
+   state and all), and keep streaming — sender-side keys and salt
+   counters carry over untouched.  Sticky verdicts from the first half
+   re-report identically on DST, demonstrating state continuity. *)
+let migrate_cmd =
+  let run src dst probable seed metrics =
+    with_metrics metrics @@ fun () ->
+    let module Client = Bbx_daemon.Client in
+    let module Dpienc = Bbx_dpienc.Dpienc in
+    let module Wire = Bbx_wire.Wire in
+    let mode = if probable then Dpienc.Probable else Dpienc.Exact in
+    let features =
+      Wire.feature_migrate lor (if probable then Wire.feature_tiered else 0)
+    in
+    let lines = ref [] in
+    (try
+       while true do lines := input_line stdin :: !lines done
+     with End_of_file -> ());
+    let lines = Array.of_list (List.rev !lines) in
+    let n = Array.length lines in
+    if n = 0 then begin
+      Printf.eprintf "migrate: no stdin lines to stream\n";
+      exit 1
+    end;
+    let s =
+      Client.establish ~features
+        (Bbx_daemon.Daemon.endpoint_of_string src) ~mode ~salt0:0 ~seed
+    in
+    let sender = Dpienc.sender_create mode s.Client.sc_key ~salt0:0 in
+    let writer =
+      if probable then
+        Some (Bbx_tls.Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server")
+      else None
+    in
+    let k_ssl = if probable then Some s.Client.sc_k_ssl else None in
+    let base = ref 0 in
+    let send_line s i line =
+      let buf = Buffer.create (4 * String.length line) in
+      ignore
+        (Dpienc.sender_encrypt_into sender ?k_ssl ~base:!base
+           ~tokenization:(Dpienc.Delimiter { short_units = false }) line buf
+         : int);
+      base := !base + String.length line;
+      (match writer with
+       | Some w ->
+         Client.send_record s.Client.sc_client ~seq:i
+           (Bbx_tls.Record.seal w ("T" ^ line))
+       | None -> ());
+      Client.send_records s.Client.sc_client ~seq:i (Buffer.contents buf);
+      let _seq, status, verdicts = Client.recv_verdict s.Client.sc_client in
+      (match status with
+       | Wire.Clean -> Printf.printf "clean   #%d\n%!" i
+       | Wire.Dropped -> Printf.printf "dropped #%d (connection blocked)\n%!" i
+       | Wire.Alerts ->
+         List.iter
+           (fun v ->
+              Printf.printf "ALERT   #%d sid:%d %s\n%!" i v.Wire.v_sid v.Wire.v_msg)
+           verdicts)
+    in
+    let half = (n + 1) / 2 in
+    Printf.printf "# streaming %d/%d lines to %s\n%!" half n src;
+    for i = 0 to half - 1 do send_line s i lines.(i) done;
+    let s, pending = Client.migrate s (Bbx_daemon.Daemon.endpoint_of_string dst) in
+    List.iter
+      (fun (seq, _status, vs) ->
+         List.iter
+           (fun v ->
+              Printf.printf "ALERT   #%d sid:%d %s (in flight at export)\n%!"
+                seq v.Wire.v_sid v.Wire.v_msg)
+           vs)
+      pending;
+    Printf.printf "# migrated connection to %s (conn_id %d there)\n%!" dst
+      s.Client.sc_conn_id;
+    for i = half to n - 1 do send_line s i lines.(i) done;
+    Client.close s.Client.sc_client;
+    Printf.printf "# done: %d lines, migrated after %d\n%!" n half
+  in
+  let src =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SRC" ~doc:"Source daemon endpoint.")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"DST" ~doc:"Destination daemon endpoint.")
+  in
+  let probable = Arg.(value & flag & info [ "probable-cause" ] ~doc:"Protocol III mode.") in
+  let seed = Arg.(value & opt string "blindbox-migrate" & info [ "seed" ] ~doc:"Handshake seed.") in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Stream stdin through a monitored connection, live-migrating it \
+             between two blindboxd daemons halfway")
+    Term.(const run $ src $ dst $ probable $ seed $ metrics_arg)
+
 (* ---- loadgen ---- *)
 
 let loadgen_cmd =
@@ -638,4 +743,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ classify_cmd; generate_cmd; tokenize_cmd; inspect_cmd; stats_cmd;
-            serve_cmd; loadgen_cmd; trace_cmd ]))
+            serve_cmd; loadgen_cmd; trace_cmd; migrate_cmd ]))

@@ -103,3 +103,13 @@ let count_matches t payload =
 
 let pattern_count t = t.n_patterns
 let node_count t = Array.length t.next
+
+let footprint_bytes t =
+  let word = Sys.word_size / 8 in
+  let nodes = Array.length t.next in
+  (* dense 256-way row + header per node, plus the output lists (3 words
+     per cons cell) *)
+  let outputs =
+    Array.fold_left (fun acc l -> acc + (3 * List.length l)) 0 t.outputs
+  in
+  (nodes * 258 + outputs + 8) * word

@@ -466,27 +466,79 @@ end
 (* ---------- many connections through a sharded middlebox ---------- *)
 
 module Fleet = struct
-  (* Sender-side state for one monitored connection.  The middlebox half
-     (engine, salt counters, block flag) lives inside the shard pool, on
-     whichever worker domain owns the connection. *)
+  (* A fleet is one tenant: ONE handshake agrees the tenant keys, so one
+     rule preparation (AES_k over the distinct chunks) and one expanded
+     detection keyset are valid for every connection — registration cost
+     per connection is O(1) in ruleset size instead of re-running the
+     handshake + prep per connection.  Each connection still gets its own
+     record-layer key, derived as KDF(k_ssl, "fleet-conn-<i>"), so sealed
+     streams (and the key probable cause recovers) stay per-connection.
+
+     Privacy trade-off, documented: sharing the token key [k] across a
+     tenant's connections means identical keywords produce correlatable
+     token values {e across} that tenant's flows (within a salt window),
+     not just within one flow.  Connections of different tenants (fleets)
+     remain uncorrelatable, as do record streams. *)
+
+  (* Sender-side state for one monitored connection — deliberately flat
+     (six fields, no per-connection closures, keys or rule tables).  The
+     middlebox half (engine, salt counters, block flag) lives inside the
+     shard pool, on whichever worker domain owns the connection. *)
   type conn = {
     fc_id : int;
-    fc_keys : Handshake.keys;
+    fc_k_ssl : string;                    (* this connection's record key *)
     fc_sender : Dpienc.sender;
     fc_writer : Record.t option;          (* record layer, when the middlebox
                                              tier retains the stream *)
     mutable fc_off : int;
     mutable fc_bytes_since_reset : int;
-    mutable fc_prep : Ruleprep.prepared;  (* per-connection keys mean
-                                             per-connection prepared rules *)
   }
 
   type fleet = {
     fl_config : config;
     fl_pool : Bbx_mbox.Shardpool.t;
     fl_conns : (int, conn) Hashtbl.t;
+    fl_keys : Handshake.keys;                  (* tenant keys (one handshake) *)
+    fl_key : Dpienc.key;                       (* expanded token key, shared *)
     mutable fl_rules : Bbx_rules.Rule.t list;  (* current fleet-wide ruleset *)
+    mutable fl_prep : Ruleprep.prepared;       (* ONE shared preparation *)
+    mutable fl_enc : string -> string;         (* shared read-only chunk oracle *)
+    mutable fl_keyset : Bbx_detect.Detect.keyset; (* shared expanded AES keys *)
+    mutable fl_prefilter : Bbx_mbox.Engine.prefilter_prep;
+    (* shared Protocol III prefilter automaton (~2 KiB per trie node —
+       the dominant per-connection structure when not shared) *)
   }
+
+  let conn_k_ssl keys i =
+    Kdf.derive ~secret:keys.Handshake.k_ssl
+      ~label:(Printf.sprintf "fleet-conn-%d" i) 16
+
+  let make_conn t i =
+    let config = t.fl_config in
+    let ship_records =
+      config.mode = Dpienc.Probable
+      && Bbx_rules.Classify.rank config.tier >= 3
+    in
+    let k_ssl = conn_k_ssl t.fl_keys i in
+    { fc_id = i;
+      fc_k_ssl = k_ssl;
+      fc_sender = Dpienc.sender_create config.mode t.fl_key ~salt0:config.salt0;
+      fc_writer =
+        (if ship_records then Some (Record.create ~key:k_ssl ~direction)
+         else None);
+      fc_off = 0;
+      fc_bytes_since_reset = 0 }
+
+  let register_conn t i =
+    let c = make_conn t i in
+    (* The shared prep/keyset are immutable after publication, which is
+       what makes handing them to every worker domain safe; the engine
+       copies-on-write if a later rule update must extend them. *)
+    Bbx_mbox.Shardpool.register t.fl_pool ~direction
+      ~prepared:(t.fl_prep.Ruleprep.chunks, t.fl_prep.Ruleprep.encs)
+      ~keys:t.fl_keyset ~prefilter:t.fl_prefilter ~conn_id:i
+      ~salt0:t.fl_config.salt0 ~enc_chunk:t.fl_enc;
+    Hashtbl.add t.fl_conns i c
 
   let establish ?(config = default_config) ?(seed = "blindbox-fleet") ?domains
       ~conns ~rules () =
@@ -496,41 +548,30 @@ module Fleet = struct
       Bbx_mbox.Shardpool.create ?domains ~index:config.detect_index
         ~tier:config.tier ~budget:config.tier_budget ~mode:config.mode ~rules ()
     in
-    (* Ship the sealed record stream only when the middlebox tier can use
-       it (Protocol III escalation over recovered plaintext). *)
-    let ship_records =
-      config.mode = Dpienc.Probable
-      && Bbx_rules.Classify.rank config.tier >= 3
-    in
     let t =
-      { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns;
-        fl_rules = rules }
+      try
+        (* one handshake, one rule preparation for the whole fleet — the
+           [bbx_session_rule_prep] span fires exactly once here no matter
+           how many connections follow (the O(1)-setup gate in
+           bench/fleet.ml counts it) *)
+        let keys = run_handshake seed in
+        let prep, _ = prepare_rules config keys rules in
+        let t =
+          { fl_config = config; fl_pool = pool; fl_conns = Hashtbl.create conns;
+            fl_keys = keys;
+            fl_key = Dpienc.key_of_secret keys.Handshake.k;
+            fl_rules = rules;
+            fl_prep = prep;
+            fl_enc = Ruleprep.lookup prep;
+            fl_keyset = Bbx_detect.Detect.keyset prep.Ruleprep.encs;
+            fl_prefilter = Bbx_mbox.Engine.prepare_prefilter rules }
+        in
+        for i = 0 to conns - 1 do register_conn t i done;
+        t
+      with e ->
+        Bbx_mbox.Shardpool.shutdown pool;
+        raise e
     in
-    (try
-       for i = 0 to conns - 1 do
-         (* each connection runs its own handshake, so per-connection keys
-            mean per-connection encrypted rules — exactly as in [establish] *)
-         let keys = run_handshake (Printf.sprintf "%s#%d" seed i) in
-         let prep, _ = prepare_rules config keys rules in
-         Bbx_mbox.Shardpool.register pool ~direction ~conn_id:i ~salt0:config.salt0
-           ~enc_chunk:(Ruleprep.lookup prep);
-         Hashtbl.add t.fl_conns i
-           { fc_id = i;
-             fc_keys = keys;
-             fc_sender =
-               Dpienc.sender_create config.mode
-                 (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
-             fc_writer =
-               (if ship_records then
-                  Some (Record.create ~key:keys.Handshake.k_ssl ~direction)
-                else None);
-             fc_off = 0;
-             fc_bytes_since_reset = 0;
-             fc_prep = prep }
-       done
-     with e ->
-       Bbx_mbox.Shardpool.shutdown pool;
-       raise e);
     Obs.span_exit obs_setup;
     t
 
@@ -544,7 +585,7 @@ module Fleet = struct
     let buf = Buffer.create (wire_buf_estimate t.fl_config payload) in
     let k_ssl =
       match t.fl_config.mode with
-      | Dpienc.Probable -> Some c.fc_keys.Handshake.k_ssl
+      | Dpienc.Probable -> Some c.fc_k_ssl
       | Dpienc.Exact -> None
     in
     ignore
@@ -574,12 +615,13 @@ module Fleet = struct
     end;
     seq
 
-  (* Fleet-wide rule update: the delta is computed once front-side (chunk
-     need is rule-derived, identical for every connection), then each
-     connection re-prepares it under its own keys and ships the update
-     through its shard mailbox.  The update message and the salt reset
-     that follows ride the same per-connection FIFO as deliveries, so the
-     engine's counters move exactly when the sender's do. *)
+  (* Fleet-wide rule update: because the tenant shares one key, the delta
+     is prepared ONCE (one [Ruleprep.update] under the tenant keys, one
+     [bbx_session_rule_prep] span) and the resulting oracle is shipped to
+     every connection through its shard mailbox.  The update message and
+     the salt reset that follows ride the same per-connection FIFO as
+     deliveries, so the engine's counters move exactly when the sender's
+     do. *)
   let update_rules t ?(remove_sids = []) add =
     let keep r =
       match r.Bbx_rules.Rule.sid with
@@ -595,23 +637,27 @@ module Fleet = struct
       Array.of_list
         (List.filter (fun c -> not (Hashtbl.mem still c)) (Array.to_list old_needed))
     in
+    let prep =
+      Obs.time obs_rule_prep @@ fun () ->
+      match t.fl_config.rule_prep with
+      | Direct ->
+        let key = Dpienc.key_of_secret t.fl_keys.Handshake.k in
+        Ruleprep.update_direct ~enc:(Dpienc.token_enc key) ~prev:t.fl_prep
+          ~add:new_needed ~remove
+      | Garbled ->
+        fst
+          (Ruleprep.update ~domains:t.fl_config.setup_domains
+             ~k:t.fl_keys.Handshake.k ~k_rand:t.fl_keys.Handshake.k_rand
+             ~prev:t.fl_prep ~add:new_needed ~remove ())
+    in
+    t.fl_prep <- prep;
+    t.fl_enc <- Ruleprep.lookup prep;
+    t.fl_keyset <- Bbx_detect.Detect.keyset prep.Ruleprep.encs;
+    t.fl_prefilter <- Bbx_mbox.Engine.prepare_prefilter new_rules;
     Hashtbl.iter
       (fun conn_id c ->
-         let prep =
-           match t.fl_config.rule_prep with
-           | Direct ->
-             let key = Dpienc.key_of_secret c.fc_keys.Handshake.k in
-             Ruleprep.update_direct ~enc:(Dpienc.token_enc key) ~prev:c.fc_prep
-               ~add:new_needed ~remove
-           | Garbled ->
-             fst
-               (Ruleprep.update ~domains:t.fl_config.setup_domains
-                  ~k:c.fc_keys.Handshake.k ~k_rand:c.fc_keys.Handshake.k_rand
-                  ~prev:c.fc_prep ~add:new_needed ~remove ())
-         in
-         c.fc_prep <- prep;
-         Bbx_mbox.Shardpool.update_rules t.fl_pool ~conn_id ~remove_sids ~add
-           ~rules:new_rules ~enc_chunk:(Ruleprep.lookup prep);
+         Bbx_mbox.Shardpool.update_rules ~prefilter:t.fl_prefilter t.fl_pool
+           ~conn_id ~remove_sids ~add ~rules:new_rules ~enc_chunk:t.fl_enc;
          (* forced salt reset, as after any rule update (see [update_rules]
             on a single session) *)
          c.fc_bytes_since_reset <- 0;
@@ -622,6 +668,25 @@ module Fleet = struct
     t.fl_rules <- new_rules
 
   let drain t ~f = Bbx_mbox.Shardpool.drain t.fl_pool ~f
+
+  (* Single-connection teardown: sender state and middlebox state both go
+     (idempotent, like {!Bbx_mbox.Shardpool.unregister}).  The shared
+     prep/keyset stay — they belong to the fleet, not the connection. *)
+  let remove t ~conn =
+    if Hashtbl.mem t.fl_conns conn then begin
+      Hashtbl.remove t.fl_conns conn;
+      Bbx_mbox.Shardpool.unregister t.fl_pool ~conn_id:conn
+    end
+
+  let migrate t ~conn ~shard =
+    ignore (get t conn : conn);
+    Bbx_mbox.Shardpool.migrate t.fl_pool ~conn_id:conn ~shard
+
+  let conn_shard t ~conn = Bbx_mbox.Shardpool.conn_shard t.fl_pool ~conn_id:conn
+
+  let rebalance t = Bbx_mbox.Shardpool.rebalance t.fl_pool
+
+  let conn_bytes t = Bbx_mbox.Shardpool.footprint_bytes t.fl_pool
 
   let blocked t ~conn = Bbx_mbox.Shardpool.is_blocked t.fl_pool ~conn_id:conn
 

@@ -179,12 +179,19 @@ end
 (** Many sender/middlebox connections multiplexed through one
     domain-sharded middlebox ({!Bbx_mbox.Shardpool}).
 
-    Each connection runs its own handshake and rule preparation (seeded
-    [seed ^ "#i"]) and keeps its DPIEnc sender state on the submitting
-    side; the middlebox half lives on whichever pool worker domain owns
-    the connection.  {!Fleet.submit} encrypts a payload and enqueues the
-    wire delivery without waiting; {!Fleet.drain} collects verdicts in
-    submission order.
+    A fleet is one {e tenant}: a single handshake agrees the tenant keys,
+    one rule preparation and one expanded detection keyset are shared —
+    read-only — by every connection, and each connection derives its own
+    record-layer key ([KDF(k_ssl, "fleet-conn-<i>")]).  Setup is
+    therefore O(ruleset) once plus O(1) per connection, and steady-state
+    per-connection footprint is flat (no per-connection rule tables or
+    expanded key schedules).  The trade-off, inherent to key sharing: a
+    keyword produces correlatable token values across the {e same}
+    tenant's flows within a salt window.  Each connection keeps its
+    DPIEnc sender state on the submitting side; the middlebox half lives
+    on whichever pool worker domain owns the connection.  {!Fleet.submit}
+    encrypts a payload and enqueues the wire delivery without waiting;
+    {!Fleet.drain} collects verdicts in submission order.
 
     Unlike {!send}, a fleet has no in-process receiver, so receiver-side
     token validation does not run.  In [Probable] mode at tier
@@ -219,11 +226,34 @@ module Fleet : sig
     fleet -> f:(seq:int -> conn_id:int -> Bbx_mbox.Engine.verdict list -> unit) -> unit
 
   (** [update_rules t ?remove_sids rules] applies a rule update to every
-      live connection in the fleet: each connection re-runs (incremental)
-      rule preparation under its own keys, ships the new encryptions to
-      its shard through the per-connection FIFO mailbox, and finishes
+      live connection in the fleet: the delta is prepared {e once} under
+      the tenant keys (one incremental {!Ruleprep} run, regardless of
+      connection count), then every connection ships the new encryptions
+      to its shard through its per-connection FIFO mailbox and finishes
       with a forced salt reset — no re-handshake, no reconnection. *)
   val update_rules : fleet -> ?remove_sids:int list -> Bbx_rules.Rule.t list -> unit
+
+  (** [remove t ~conn] tears one connection down end to end — sender
+      state and the shard-side engine both go (idempotent).  The shared
+      tenant preparation stays. *)
+  val remove : fleet -> conn:int -> unit
+
+  (** [migrate t ~conn ~shard] re-pins a live connection onto another
+      pool shard (drain through the FIFO mailbox, serialise, resume) —
+      see {!Bbx_mbox.Shardpool.migrate}.  Verdicts and stats are
+      invariant under migration. *)
+  val migrate : fleet -> conn:int -> shard:int -> unit
+
+  (** The pool shard currently owning [conn]. *)
+  val conn_shard : fleet -> conn:int -> int
+
+  (** [rebalance t] — even out connections across shards; returns how
+      many moved ({!Bbx_mbox.Shardpool.rebalance}). *)
+  val rebalance : fleet -> int
+
+  (** Approximate resident bytes of all shard-side per-connection state
+      (refreshes the [bbx_conn_bytes] gauge). *)
+  val conn_bytes : fleet -> int
 
   (** [blocked t ~conn] — quiesces the owning worker first. *)
   val blocked : fleet -> conn:int -> bool

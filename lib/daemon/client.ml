@@ -59,7 +59,10 @@ let protocol_error what msg =
            | Wire.Metrics_req _ -> 14
            | Wire.Metrics _ -> 15
            | Wire.Record_stream _ -> 16
-           | Wire.Verdict_tiered _ -> 17)))
+           | Wire.Verdict_tiered _ -> 17
+           | Wire.Conn_export -> 18
+           | Wire.Conn_state _ -> 19
+           | Wire.Conn_import _ -> 20)))
 
 let hello ?(features = 0) t ~mode ~salt0 =
   send t (Wire.Hello { version = Wire.version; mode; salt0; features });
@@ -106,6 +109,27 @@ let update_rules t ~remove_sids ~add ~pairs =
   in
   await []
 
+(* Drain the connection off the daemon: verdicts still in flight arrive
+   before the CONN_STATE frame (the daemon flushes its pool first), so
+   the caller gets a complete verdict history plus the blob. *)
+let export_conn t =
+  send t Wire.Conn_export;
+  let rec await acc =
+    match recv t with
+    | Wire.Conn_state { state } -> (state, List.rev acc)
+    | Wire.Verdict { seq; status; verdicts }
+    | Wire.Verdict_tiered { seq; status; verdicts } ->
+      await ((seq, status, verdicts) :: acc)
+    | msg -> protocol_error "CONN_STATE" msg
+  in
+  await []
+
+let import_conn t ~state =
+  send t (Wire.Conn_import { state });
+  match recv t with
+  | Wire.Setup_ok -> ()
+  | msg -> protocol_error "SETUP_OK" msg
+
 let stats t =
   send t Wire.Stats_req;
   match recv t with
@@ -139,6 +163,7 @@ type session = {
   sc_key : Dpienc.key;
   sc_k_ssl : string;
   sc_features : int;
+  sc_mode : Dpienc.mode;
 }
 
 let pairs_for ~key rules =
@@ -168,7 +193,29 @@ let establish ?(features = 0) endpoint ~mode ~salt0 ~seed =
       sc_rules = rules;
       sc_key = key;
       sc_k_ssl = keys.Handshake.k_ssl;
-      sc_features = features }
+      sc_features = features;
+      sc_mode = mode }
   with
   | session -> session
+  | exception e -> close t; raise e
+
+(* Live migration, client-driven: drain + serialise on the source daemon,
+   close that socket, resume on [endpoint] by sending the blob where
+   RULE_SETUP would go.  Sender-side state (keys, salt counters) is
+   untouched — the engine snapshot already agrees with it — so the caller
+   keeps streaming with the same {!Bbx_dpienc.Dpienc.sender}.  Returns
+   the rebound session plus any verdicts that were still in flight on the
+   source. *)
+let migrate s endpoint =
+  let state, pending = export_conn s.sc_client in
+  close s.sc_client;
+  let t = connect endpoint in
+  match
+    (* salt0 = 0 satisfies HELLO in either mode; the snapshot's salt
+       epoch supersedes it *)
+    let conn_id, rules = hello ~features:s.sc_features t ~mode:s.sc_mode ~salt0:0 in
+    import_conn t ~state;
+    ({ s with sc_client = t; sc_conn_id = conn_id; sc_rules = rules }, pending)
+  with
+  | r -> r
   | exception e -> close t; raise e

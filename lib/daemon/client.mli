@@ -63,6 +63,17 @@ val update_rules :
   pairs:(string * string) array ->
   int * (int * Bbx_wire.Wire.status * Bbx_wire.Wire.verdict list) list
 
+(** [export_conn t] sends [CONN_EXPORT] and collects the reply: the
+    serialised connection blob, plus any verdicts that were still in
+    flight (the daemon flushes them before the [CONN_STATE] frame).  The
+    connection is gone from the daemon afterwards.  Requires
+    {!Bbx_wire.Wire.feature_migrate} in the HELLO features. *)
+val export_conn : t -> string * (int * Bbx_wire.Wire.status * Bbx_wire.Wire.verdict list) list
+
+(** [import_conn t ~state] resumes an exported connection on this daemon,
+    in place of {!rule_setup} (legal after HELLO); waits for [SETUP_OK]. *)
+val import_conn : t -> state:string -> unit
+
 (** [stats t] — works on a fresh connection without any handshake. *)
 val stats : t -> Bbx_wire.Wire.stats
 
@@ -101,6 +112,7 @@ type session = {
   sc_key : Bbx_dpienc.Dpienc.key;    (** DPIEnc key (sender side) *)
   sc_k_ssl : string;                 (** record-layer key, 16 bytes *)
   sc_features : int;                 (** feature bits sent in HELLO *)
+  sc_mode : Bbx_dpienc.Dpienc.mode;  (** mode agreed at HELLO *)
 }
 
 val establish :
@@ -110,6 +122,19 @@ val establish :
   salt0:int ->
   seed:string ->
   session
+
+(** [migrate s endpoint] moves a live session to another daemon: drains
+    and serialises the connection on the source ({!export_conn}), closes
+    that socket, reconnects to [endpoint] and resumes via {!import_conn}.
+    Sender-side key material and salt counters carry over unchanged — the
+    snapshot agrees with them — so the caller keeps streaming with the
+    same DPIEnc sender.  Returns the rebound session (fresh [sc_client]
+    and [sc_conn_id]) and the verdicts still in flight on the source.
+    Requires {!Bbx_wire.Wire.feature_migrate}. *)
+val migrate :
+  session ->
+  Daemon.endpoint ->
+  session * (int * Bbx_wire.Wire.status * Bbx_wire.Wire.verdict list) list
 
 (** [pairs_for ~key rules] — the RULE_SETUP table for [rules] under
     [key]: every distinct chunk paired with its direct encryption

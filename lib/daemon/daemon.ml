@@ -9,6 +9,10 @@ module Obs = Bbx_obs.Obs
 module Trace = Bbx_obs.Trace
 
 let obs_conns = Obs.gauge "bbx_daemon_connections"
+let obs_active = Obs.gauge "bbx_daemon_conns_active"
+let obs_exports = Obs.counter "bbx_daemon_conn_exports_total"
+let obs_imports = Obs.counter "bbx_daemon_conn_imports_total"
+let obs_rebalanced = Obs.counter "bbx_daemon_rebalanced_total"
 let obs_accepted = Obs.counter "bbx_daemon_accepted_total"
 let obs_frames_in = Obs.counter "bbx_daemon_frames_in_total"
 let obs_frames_out = Obs.counter "bbx_daemon_frames_out_total"
@@ -78,13 +82,15 @@ type config = {
   high_water : int;
   metrics : endpoint option;
   trace_out : string option;
+  rebalance_every : float option;
 }
 
 let config ?(mode = Dpienc.Exact) ?domains ?(index = Bbx_detect.Detect.Hash)
     ?(tier = Bbx_rules.Classify.Protocol_III) ?(budget = Engine.default_budget)
-    ?(high_water = 1 lsl 20) ?metrics ?trace_out ~endpoint ~rules () =
+    ?(high_water = 1 lsl 20) ?rebalance_every ?metrics ?trace_out ~endpoint
+    ~rules () =
   { endpoint; mode; rules; domains; index; tier; budget; high_water; metrics;
-    trace_out }
+    trace_out; rebalance_every }
 
 (* ---------- per-connection state ---------- *)
 
@@ -92,6 +98,7 @@ type conn_state =
   | Awaiting_hello
   | Awaiting_setup of { salt0 : int }
   | Streaming
+  | Drained     (* connection exported away; only control frames remain legal *)
 
 type client = {
   fd : Unix.file_descr;
@@ -123,6 +130,7 @@ type t = {
   rules_text : string;
   needed_chunks : string array;  (* distinct chunks of the base ruleset *)
   mutable next_conn_id : int;
+  mutable last_rebalance : float;
   scratch : Bytes.t;
   (* live scrape plane: a second listener speaking just enough HTTP/1.0
      for GET /metrics; requests buffer here until the blank line *)
@@ -233,7 +241,8 @@ let close_client t cl =
       cl.registered <- false;
       (* per-worker FIFO: deliveries submitted before this unregister
          still run first, so in-flight work is never orphaned mid-shard *)
-      Shardpool.unregister t.pool ~conn_id:cl.conn_id
+      Shardpool.unregister t.pool ~conn_id:cl.conn_id;
+      Obs.add_gauge obs_active (-1)
     end;
     Obs.add_gauge obs_conns (-1)
   end
@@ -302,6 +311,37 @@ let stats_to_wire (s : Bbx_mbox.Shard.stats) =
     s_alerts = s.Bbx_mbox.Shard.alerts;
     s_blocked = s.Bbx_mbox.Shard.blocked }
 
+(* Drain the shard pool and turn completed deliveries into VERDICT
+   frames; tickets the drain never mentions were dropped on a blocked
+   connection.  Replaying [t.pending] in queue order preserves each
+   connection's submission order. *)
+let flush_pool t =
+  if not (Queue.is_empty t.pending) then begin
+    let results = Hashtbl.create (Queue.length t.pending) in
+    Shardpool.drain t.pool ~f:(fun ~seq ~conn_id:_ verdicts ->
+        Hashtbl.replace results seq verdicts);
+    while not (Queue.is_empty t.pending) do
+      let ticket, cl, seq = Queue.pop t.pending in
+      if not cl.closed then begin
+        (* clients that advertised the tiered extension get the explicit
+           detail byte; everyone else keeps the legacy frame *)
+        let verdict_msg ~status ~verdicts =
+          if cl.features land Wire.feature_tiered <> 0 then
+            Wire.Verdict_tiered { seq; status; verdicts }
+          else Wire.Verdict { seq; status; verdicts }
+        in
+        match Hashtbl.find_opt results ticket with
+        | Some [] ->
+          enqueue ~seq t cl (verdict_msg ~status:Wire.Clean ~verdicts:[])
+        | Some vs ->
+          enqueue ~seq t cl
+            (verdict_msg ~status:Wire.Alerts ~verdicts:(verdicts_to_wire vs))
+        | None ->
+          enqueue ~seq t cl (verdict_msg ~status:Wire.Dropped ~verdicts:[])
+      end
+    done
+  end
+
 (* Does [pairs] cover every chunk in [needed]?  Builds the lookup table
    the engine's [enc_chunk] oracle reads from. *)
 let enc_table_for ~needed pairs =
@@ -339,7 +379,42 @@ let handle_msg t cl msg =
           ~enc_chunk:(Hashtbl.find tbl);
         cl.registered <- true;
         cl.state <- Streaming;
+        Obs.add_gauge obs_active 1;
         enqueue t cl Wire.Setup_ok
+    end
+  | Wire.Conn_import { state }, Awaiting_setup _ -> begin
+      (* takes RULE_SETUP's place: the snapshot already carries the
+         prepared rule encryptions and every counter (the HELLO salt0 is
+         superseded by the snapshot's salt epoch) *)
+      if cl.features land Wire.feature_migrate = 0 then
+        error_close t cl Wire.err_protocol "CONN_IMPORT without feature_migrate"
+      else
+        match Shardpool.import_conn t.pool ~conn_id:cl.conn_id state with
+        | () ->
+          cl.registered <- true;
+          cl.state <- Streaming;
+          Obs.incr obs_imports;
+          Obs.add_gauge obs_active 1;
+          enqueue t cl Wire.Setup_ok
+        | exception Invalid_argument m ->
+          (* import validates front-side, so a corrupt blob is rejected
+             here and never reaches a worker domain *)
+          error_close t cl Wire.err_setup "%s" m
+    end
+  | Wire.Conn_export, Streaming ->
+    if cl.features land Wire.feature_migrate = 0 then
+      error_close t cl Wire.err_protocol "CONN_EXPORT without feature_migrate"
+    else begin
+      (* reply every still-pending verdict first, so the client holds a
+         complete verdict history before the state frame; the export then
+         drains the connection through its FIFO mailbox *)
+      flush_pool t;
+      let state = Shardpool.export_conn t.pool ~conn_id:cl.conn_id in
+      cl.registered <- false;
+      cl.state <- Drained;
+      Obs.incr obs_exports;
+      Obs.add_gauge obs_active (-1);
+      enqueue t cl (Wire.Conn_state { state })
     end
   | Wire.Token_stream { seq; records }, Streaming ->
     let timing = timing_on () in
@@ -395,7 +470,10 @@ let handle_msg t cl msg =
     (* honoured in any state so a monitoring client needs no handshake *)
     enqueue t cl (Wire.Stats (stats_to_wire (Shardpool.stats t.pool)))
   | Wire.Metrics_req { scope }, _ ->
-    (* like STATS_REQ: any state, so monitoring needs no handshake *)
+    (* like STATS_REQ: any state, so monitoring needs no handshake.  The
+       per-connection footprint gauge is refreshed on scrape (it requires
+       quiescing the shards, too costly to keep continuously fresh). *)
+    ignore (Shardpool.footprint_bytes t.pool : int);
     let body =
       match scope with
       | Wire.Prometheus -> Obs.render_prometheus ()
@@ -407,7 +485,8 @@ let handle_msg t cl msg =
   | ( Wire.(
         ( Hello _ | Hello_ok _ | Rule_setup _ | Setup_ok | Token_stream _
         | Verdict _ | Verdict_tiered _ | Salt_reset _ | Rule_update _
-        | Update_ok _ | Stats _ | Error _ | Metrics _ | Record_stream _ )),
+        | Update_ok _ | Stats _ | Error _ | Metrics _ | Record_stream _
+        | Conn_export | Conn_state _ | Conn_import _ )),
       _ ) ->
     error_close t cl Wire.err_protocol "message illegal in this connection state"
 
@@ -445,37 +524,6 @@ let handle_readable t cl =
       | exception Wire.Malformed m -> error_close t cl Wire.err_malformed "%s" m
     end
 
-(* Drain the shard pool and turn completed deliveries into VERDICT
-   frames; tickets the drain never mentions were dropped on a blocked
-   connection.  Replaying [t.pending] in queue order preserves each
-   connection's submission order. *)
-let flush_pool t =
-  if not (Queue.is_empty t.pending) then begin
-    let results = Hashtbl.create (Queue.length t.pending) in
-    Shardpool.drain t.pool ~f:(fun ~seq ~conn_id:_ verdicts ->
-        Hashtbl.replace results seq verdicts);
-    while not (Queue.is_empty t.pending) do
-      let ticket, cl, seq = Queue.pop t.pending in
-      if not cl.closed then begin
-        (* clients that advertised the tiered extension get the explicit
-           detail byte; everyone else keeps the legacy frame *)
-        let verdict_msg ~status ~verdicts =
-          if cl.features land Wire.feature_tiered <> 0 then
-            Wire.Verdict_tiered { seq; status; verdicts }
-          else Wire.Verdict { seq; status; verdicts }
-        in
-        match Hashtbl.find_opt results ticket with
-        | Some [] ->
-          enqueue ~seq t cl (verdict_msg ~status:Wire.Clean ~verdicts:[])
-        | Some vs ->
-          enqueue ~seq t cl
-            (verdict_msg ~status:Wire.Alerts ~verdicts:(verdicts_to_wire vs))
-        | None ->
-          enqueue ~seq t cl (verdict_msg ~status:Wire.Dropped ~verdicts:[])
-      end
-    done
-  end
-
 (* ---------- HTTP scrape plane ----------
 
    Just enough HTTP/1.0 for a scraper: buffer until the request's blank
@@ -501,7 +549,9 @@ let http_close t fd =
 let http_respond t fd req =
   let status, ctype, body =
     match http_request_path req with
-    | "/metrics" -> ("200 OK", "text/plain; version=0.0.4", Obs.render_prometheus ())
+    | "/metrics" ->
+      ignore (Shardpool.footprint_bytes t.pool : int);
+      ("200 OK", "text/plain; version=0.0.4", Obs.render_prometheus ())
     | "/metrics.json" | "/metrics.jsonl" -> ("200 OK", "application/json", Obs.dump_jsonl ())
     | "/trace" -> ("200 OK", "application/json", Trace.dump_chrome ())
     | p -> ("404 Not Found", "text/plain", Printf.sprintf "no route %s\n" p)
@@ -613,6 +663,17 @@ let serve_loop t stop =
                  | None -> ())))
       readable;
     flush_pool t;
+    (match t.cfg.rebalance_every with
+     | Some period ->
+       let now = Unix.gettimeofday () in
+       if now -. t.last_rebalance >= period then begin
+         t.last_rebalance <- now;
+         (* pending is empty (flush_pool just drained), so migration's
+            quiesce-per-move cost hits no in-flight delivery *)
+         let moved = Shardpool.rebalance t.pool in
+         if moved > 0 then Obs.add obs_rebalanced moved
+       end
+     | None -> ());
     List.iter
       (fun fd ->
          match Hashtbl.find_opt t.clients fd with
@@ -667,6 +728,7 @@ let init cfg =
     rules_text = String.concat "\n" (List.map Rule.to_string cfg.rules);
     needed_chunks = Engine.distinct_chunks cfg.rules;
     next_conn_id = 0;
+    last_rebalance = Unix.gettimeofday ();
     scratch = Bytes.create 65536;
     metrics_fd;
     http = Hashtbl.create 8 }

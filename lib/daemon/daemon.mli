@@ -76,6 +76,9 @@ type config = {
   trace_out : string option;      (** enable the flight recorder and dump
                                       it here on teardown ([.jsonl] =
                                       JSONL, else Chrome trace JSON) *)
+  rebalance_every : float option; (** seconds between shard rebalances
+                                      ({!Bbx_mbox.Shardpool.rebalance});
+                                      [None] (default) disables *)
 }
 
 (** [config ~endpoint ~rules ()] with [Exact] mode, default domains,
@@ -88,6 +91,7 @@ val config :
   ?tier:Bbx_rules.Classify.protocol_class ->
   ?budget:Bbx_mbox.Engine.budget ->
   ?high_water:int ->
+  ?rebalance_every:float ->
   ?metrics:endpoint ->
   ?trace_out:string ->
   endpoint:endpoint ->

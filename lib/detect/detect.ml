@@ -27,11 +27,17 @@ type index_backend = Hash | Avl
 
 type event = { kw_id : keyword_id; offset : int; salt : int }
 
-type kw_state = {
-  tkey : Dpienc.token_key;
-  mutable count : int;
-  mutable current_cipher : int;
-}
+(* An immutable array of expanded per-keyword token keys.  Expanding the
+   AES key schedule of every rule chunk is the dominant per-connection
+   setup cost and footprint at fleet scale, and the schedules depend only
+   on the encrypted chunk values — so one keyset per (tenant, rule
+   generation) is shared read-only by every connection's detector.  The
+   array is never written after [keyset] returns; cross-domain publication
+   happens through the shard pool's mailbox locks. *)
+type keyset = Dpienc.token_key array
+
+let keyset encs = Array.map Dpienc.token_key_of_enc encs
+let keyset_size = Array.length
 
 (* The cipher -> keyword_id map, in one of two shapes: [Flat] is the flat
    open-addressing index (the default — contiguous memory, in-place
@@ -42,10 +48,12 @@ type index =
   | Flat of Cindex.t
   | Tree of { mutable tree : keyword_id Avl.t }
 
-(* [keywords] is a growable store: the first [kw_count] slots are live,
-   the rest are capacity (filled with an arbitrary live element).
-   [add_keyword] amortises to O(1) instead of the old O(n) Array.append
-   per call. *)
+(* Per-keyword state lives in three parallel growable arrays — the first
+   [kw_count] slots are live, the rest capacity — instead of an array of
+   records: [counts] is the flat salt-counter table, [ciphers] the current
+   40-bit index key per keyword, [tkeys] the expanded AES schedules.
+   [tkeys] may alias a shared {!keyset} ([keys_shared]); it is then never
+   mutated in place — [add_keyword] copies before the first write. *)
 (* [probe_tick]/[probe_steps] are the sampling state for the probe-length
    estimator.  They live on [t] (not at module level) so that indices
    owned by different domains — one per Shardpool shard — never share
@@ -54,7 +62,10 @@ type t = {
   mode : Dpienc.mode;
   stride : int;
   mutable salt0 : int;
-  mutable keywords : kw_state array;
+  mutable tkeys : Dpienc.token_key array;
+  mutable keys_shared : bool;
+  mutable counts : int array;
+  mutable ciphers : int array;
   mutable kw_count : int;
   index : index;
   mutable probe_tick : int;
@@ -63,10 +74,7 @@ type t = {
 
 let backend t = match t.index with Flat _ -> Hash | Tree _ -> Avl
 
-let current_salt t kw = t.salt0 + (t.stride * kw.count)
-
-let iter_keywords t f =
-  for id = 0 to t.kw_count - 1 do f id t.keywords.(id) done
+let[@inline] current_salt t id = t.salt0 + (t.stride * t.counts.(id))
 
 let index_insert t cipher id =
   match t.index with
@@ -77,27 +85,33 @@ let rebuild t =
   (match t.index with
    | Flat c -> Cindex.clear c
    | Tree tr -> tr.tree <- Avl.empty);
-  iter_keywords t (fun id kw ->
-      kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-      index_insert t kw.current_cipher id)
+  for id = 0 to t.kw_count - 1 do
+    t.ciphers.(id) <- Dpienc.encrypt t.tkeys.(id) ~salt:(current_salt t id);
+    index_insert t t.ciphers.(id) id
+  done
 
-let create ?(index = Hash) ~mode ~salt0 encs =
+let create ?(index = Hash) ?keys ~mode ~salt0 encs =
   if mode = Dpienc.Probable && salt0 land 1 <> 0 then
     invalid_arg "Detect.create: salt0 must be even";
-  let keywords =
-    Array.map
-      (fun enc -> { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 })
-      encs
+  let n = Array.length encs in
+  let tkeys, keys_shared =
+    match keys with
+    | Some ks ->
+      if Array.length ks <> n then
+        invalid_arg "Detect.create: keyset size mismatch";
+      (ks, true)
+    | None -> (keyset encs, false)
   in
   let index =
     match index with
-    | Hash -> Flat (Cindex.create ~capacity:(Array.length keywords) ())
+    | Hash -> Flat (Cindex.create ~capacity:n ())
     | Avl -> Tree { tree = Avl.empty }
   in
   let t =
-    { mode; stride = Dpienc.salt_stride mode; salt0; keywords;
-      kw_count = Array.length keywords; index;
-      probe_tick = 0; probe_steps = ref 0 }
+    { mode; stride = Dpienc.salt_stride mode; salt0;
+      tkeys; keys_shared;
+      counts = Array.make n 0; ciphers = Array.make n 0; kw_count = n;
+      index; probe_tick = 0; probe_steps = ref 0 }
   in
   rebuild t;
   t
@@ -139,17 +153,16 @@ let process_token t ~cipher ~offset =
   if found < 0 then None
   else begin
     Obs.incr obs_matches;
-    let kw = t.keywords.(found) in
-    let salt = current_salt t kw in
-    kw.count <- kw.count + 1;
-    let next = Dpienc.encrypt kw.tkey ~salt:(current_salt t kw) in
+    let salt = current_salt t found in
+    t.counts.(found) <- t.counts.(found) + 1;
+    let next = Dpienc.encrypt t.tkeys.(found) ~salt:(current_salt t found) in
     (match t.index with
      | Flat c ->
-       Cindex.remove c kw.current_cipher;
+       Cindex.remove c t.ciphers.(found);
        Cindex.insert c next found
      | Tree tr ->
-       tr.tree <- Avl.replace ~old_key:kw.current_cipher next found tr.tree);
-    kw.current_cipher <- next;
+       tr.tree <- Avl.replace ~old_key:t.ciphers.(found) next found tr.tree);
+    t.ciphers.(found) <- next;
     Some { kw_id = found; offset; salt }
   end
 
@@ -193,29 +206,55 @@ let recover_key t ~event ~embed =
   if t.mode <> Dpienc.Probable then
     invalid_arg "Detect.recover_key: not in probable-cause mode";
   if String.length embed <> 16 then invalid_arg "Detect.recover_key: embed must be 16 bytes";
-  let kw = t.keywords.(event.kw_id) in
-  let mask = Dpienc.encrypt_full kw.tkey ~salt:(event.salt + 1) in
+  let mask = Dpienc.encrypt_full t.tkeys.(event.kw_id) ~salt:(event.salt + 1) in
   Bbx_crypto.Util.xor embed mask
 
 let reset t ~salt0 =
   if t.mode = Dpienc.Probable && salt0 land 1 <> 0 then
     invalid_arg "Detect.reset: salt0 must be even";
   t.salt0 <- salt0;
-  iter_keywords t (fun _ kw -> kw.count <- 0);
+  Array.fill t.counts 0 t.kw_count 0;
+  rebuild t
+
+(* Snapshot/restore of the per-connection half of the detector state: the
+   flat salt-counter table plus the base salt.  Keys, ciphers and the
+   index are all derivable from (encs, salt0, counts) — [restore_counts]
+   rebuilds them — so connection snapshots carry [kw_count] ints, not key
+   schedules. *)
+let salt_counts t = Array.sub t.counts 0 t.kw_count
+
+let restore_counts t ~salt0 counts =
+  if t.mode = Dpienc.Probable && salt0 land 1 <> 0 then
+    invalid_arg "Detect.restore_counts: salt0 must be even";
+  if Array.length counts <> t.kw_count then
+    invalid_arg "Detect.restore_counts: count table size mismatch";
+  Array.iter (fun c -> if c < 0 then
+                 invalid_arg "Detect.restore_counts: negative count") counts;
+  t.salt0 <- salt0;
+  Array.blit counts 0 t.counts 0 t.kw_count;
   rebuild t
 
 let add_keyword t enc =
-  let kw = { tkey = Dpienc.token_key_of_enc enc; count = 0; current_cipher = 0 } in
-  if t.kw_count = Array.length t.keywords then begin
-    let grown = Array.make (max 8 (2 * t.kw_count)) kw in
-    Array.blit t.keywords 0 grown 0 t.kw_count;
-    t.keywords <- grown
+  let tkey = Dpienc.token_key_of_enc enc in
+  if t.kw_count = Array.length t.tkeys || t.keys_shared then begin
+    (* grow (and, when [tkeys] aliases a shared keyset, unshare: the
+       shared array must never be written) *)
+    let cap = max 8 (max (2 * t.kw_count) (t.kw_count + 1)) in
+    let tkeys = Array.make cap tkey in
+    Array.blit t.tkeys 0 tkeys 0 t.kw_count;
+    let counts = Array.make cap 0 in
+    Array.blit t.counts 0 counts 0 t.kw_count;
+    let ciphers = Array.make cap 0 in
+    Array.blit t.ciphers 0 ciphers 0 t.kw_count;
+    t.tkeys <- tkeys; t.counts <- counts; t.ciphers <- ciphers;
+    t.keys_shared <- false
   end;
   let id = t.kw_count in
-  t.keywords.(id) <- kw;
+  t.tkeys.(id) <- tkey;
+  t.counts.(id) <- 0;
   t.kw_count <- id + 1;
-  kw.current_cipher <- Dpienc.encrypt kw.tkey ~salt:(current_salt t kw);
-  index_insert t kw.current_cipher id;
+  t.ciphers.(id) <- Dpienc.encrypt tkey ~salt:(current_salt t id);
+  index_insert t t.ciphers.(id) id;
   id
 
 let size t =
@@ -223,3 +262,24 @@ let size t =
 
 let tree_height t =
   match t.index with Flat _ -> 0 | Tree tr -> Avl.height tr.tree
+
+(* Approximate resident bytes of the per-connection half of the detector:
+   the counter/cipher arrays and the index.  Shared keysets are charged to
+   their owner (the fleet / rule generation), not to each connection;
+   private key schedules are charged here (~1.4 KB each: a 176-slot int
+   array plus headers). *)
+let word = Sys.word_size / 8
+
+let footprint_bytes t =
+  let cap = Array.length t.counts in
+  let arrays = 2 * (cap + 1) * word in
+  let index =
+    match t.index with
+    | Flat c -> 2 * (Cindex.capacity c + 1) * word
+    | Tree tr -> Avl.size tr.tree * 6 * word
+  in
+  let keys =
+    if t.keys_shared then 0
+    else t.kw_count * ((176 + 1) * word + 3 * word)
+  in
+  arrays + index + keys

@@ -33,13 +33,33 @@ type event = {
 
 type t
 
-(** [create ?index ~mode ~salt0 keywords] — [keywords] are the encrypted
-    rule tokens [AES_k(token)] (16 bytes each); keyword ids are their
-    indices.  Duplicate encrypted values are allowed but only the last
-    one's id is reported (callers dedup by token value); both backends
-    implement this identically.  [index] defaults to {!Hash}. *)
+(** An immutable array of expanded per-keyword AES key schedules.  Key
+    expansion is the dominant per-connection setup cost and footprint at
+    fleet scale, and the schedules depend only on the encrypted chunk
+    values — build one keyset per (tenant, rule generation) with
+    {!keyset} and pass it to every connection's {!create} via [?keys].
+    Never mutated after construction; safe to share across domains when
+    published through a synchronised channel (the shard pool's mailboxes
+    qualify). *)
+type keyset
+
+(** [keyset encs] expands the key schedule of each encrypted rule token
+    once. *)
+val keyset : string array -> keyset
+
+val keyset_size : keyset -> int
+
+(** [create ?index ?keys ~mode ~salt0 keywords] — [keywords] are the
+    encrypted rule tokens [AES_k(token)] (16 bytes each); keyword ids are
+    their indices.  Duplicate encrypted values are allowed but only the
+    last one's id is reported (callers dedup by token value); both
+    backends implement this identically.  [index] defaults to {!Hash}.
+    [keys], when given, must be [keyset keywords] (checked by length
+    only); the detector then borrows the shared schedules instead of
+    re-expanding them. *)
 val create :
   ?index:index_backend ->
+  ?keys:keyset ->
   mode:Bbx_dpienc.Dpienc.mode -> salt0:int -> string array -> t
 
 (** The backend [t] was created with. *)
@@ -79,6 +99,27 @@ val add_keyword : t -> string -> keyword_id
 (** [reset t ~salt0] handles the sender's periodic counter reset: clears
     all counters and rebuilds the index under the new initial salt. *)
 val reset : t -> salt0:int -> unit
+
+(** {1 Snapshot / restore}
+
+    The per-connection half of a detector is exactly (salt0, one int per
+    keyword): keys, current ciphertexts and the index are all derivable
+    from it plus the encrypted rule tokens.  Connection migration
+    serialises {!salt_counts} and rebuilds with {!restore_counts}. *)
+
+(** The live salt-counter table, one entry per keyword id. *)
+val salt_counts : t -> int array
+
+(** [restore_counts t ~salt0 counts] overwrites the counter table and
+    base salt, then rebuilds every current ciphertext and the index.
+    Raises [Invalid_argument] on a size mismatch, a negative count, or an
+    odd [salt0] in probable mode. *)
+val restore_counts : t -> salt0:int -> int array -> unit
+
+(** Approximate resident bytes of this detector's per-connection state
+    (counter/cipher arrays + index; private key schedules are included,
+    shared keysets are not — they are charged to their owner). *)
+val footprint_bytes : t -> int
 
 (** Number of distinct index entries (= number of keywords, minus any
     duplicate-cipher collisions). *)

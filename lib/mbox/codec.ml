@@ -1,0 +1,77 @@
+(* Minimal binary codec for middlebox-internal connection snapshots
+   (Engine.snapshot / Shard.export_conn).  Deliberately separate from
+   Bbx_wire: lib/mbox must not depend on the network protocol layer, and
+   snapshot blobs are opaque payloads to the wire anyway.  Big-endian,
+   length-prefixed strings, no framing — the enclosing transport frames. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Codec.put_u32: out of range";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_i64 b v =
+  let v = Int64.of_int v in
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_str32 b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+type cursor = { data : string; mutable pos : int }
+
+let cursor data = { data; pos = 0 }
+
+let need cur n =
+  if cur.pos + n > String.length cur.data then corrupt "truncated snapshot"
+
+let get_u8 cur =
+  need cur 1;
+  let v = Char.code cur.data.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let get_u32 cur =
+  need cur 4;
+  let b i = Char.code cur.data.[cur.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  cur.pos <- cur.pos + 4;
+  v
+
+let get_i64 cur =
+  need cur 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code cur.data.[cur.pos + i]))
+  done;
+  cur.pos <- cur.pos + 8;
+  let v = !v in
+  if Int64.compare v (Int64.of_int max_int) > 0
+     || Int64.compare v (Int64.of_int min_int) < 0
+  then corrupt "i64 out of native int range";
+  Int64.to_int v
+
+let get_bool cur = get_u8 cur <> 0
+
+let get_str32 cur =
+  let len = get_u32 cur in
+  need cur len;
+  let s = String.sub cur.data cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let finish cur =
+  if cur.pos <> String.length cur.data then corrupt "trailing bytes in snapshot"

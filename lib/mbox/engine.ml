@@ -31,14 +31,46 @@ type budget = { max_plain_bytes : int; max_scan_ms : int }
 
 let default_budget = { max_plain_bytes = 1 lsl 22; max_scan_ms = 0 }
 
-(* Per-chunk hit evidence, kept in two shapes: the offset list (newest
-   first) feeds [keyword_hits]'s ordered report, the hash-set gives
-   [content_candidates] O(1) membership instead of a [List.mem] scan that
-   was quadratic in hit count for multi-chunk content rules. *)
-type hit_set = {
-  mutable offsets : int list;
-  seen : (int, unit) Hashtbl.t;
+(* Per-chunk hit evidence: a growable int array of stream offsets in
+   arrival order.  Arrival order is ascending on any well-formed stream,
+   so membership ([content_candidates]) is a binary search; a client
+   sending non-monotonic offsets merely clears [sorted] and degrades that
+   chunk to a linear scan.  Replaces the previous offsets-list +
+   per-offset hash-set pair (~10 words per hit) with 1 word per hit. *)
+type hitvec = {
+  mutable ha : int array;
+  mutable hn : int;
+  mutable sorted : bool;
 }
+
+let hitvec () = { ha = [||]; hn = 0; sorted = true }
+
+let hitvec_push hv off =
+  if hv.hn = Array.length hv.ha then begin
+    let grown = Array.make (max 8 (2 * hv.hn)) 0 in
+    Array.blit hv.ha 0 grown 0 hv.hn;
+    hv.ha <- grown
+  end;
+  if hv.hn > 0 && off < hv.ha.(hv.hn - 1) then hv.sorted <- false;
+  hv.ha.(hv.hn) <- off;
+  hv.hn <- hv.hn + 1
+
+let hitvec_mem hv off =
+  if hv.sorted then begin
+    let lo = ref 0 and hi = ref hv.hn in
+    while !hi - !lo > 0 do
+      let mid = (!lo + !hi) / 2 in
+      if hv.ha.(mid) < off then lo := mid + 1 else hi := mid
+    done;
+    !lo < hv.hn && hv.ha.(!lo) = off
+  end
+  else begin
+    let found = ref false in
+    for i = 0 to hv.hn - 1 do
+      if hv.ha.(i) = off then found := true
+    done;
+    !found
+  end
 
 (* The Aho-Corasick prefilter over the recovered plaintext: one automaton
    for all distinct (lowercased) content patterns of decrypt-tier rules.
@@ -51,6 +83,37 @@ type prefilter = {
   maxlen : int;                       (* longest pattern, for scan overlap *)
   seen_pat : Bytes.t;                 (* pattern id -> seen in stream? *)
 }
+
+(* Everything the prefilter derives from the ruleset alone: protocol
+   classes, the automaton over Protocol III content patterns, and each
+   rule's pattern-id needs.  Immutable after construction — the search
+   loop never writes the automaton and the arrays are replaced wholesale,
+   never element-written — so one prep serves a whole fleet of engines
+   (the automaton's dense transition tables are ~2 KiB per trie node,
+   by far the largest per-connection structure when not shared). *)
+type prefilter_prep = {
+  pp_nrules : int;                            (* ruleset length, for validation *)
+  pp_classes : Classify.protocol_class array; (* rule_idx -> class *)
+  pp_rule_needs : int list array;             (* rule_idx -> pattern ids *)
+  pp_ac : (Bbx_ac.Aho_corasick.t * int) option;  (* automaton, longest pattern *)
+  pp_npats : int;
+}
+
+(* Per-rule escalation state is two byte tables indexed by rule_idx
+   (previously two hashtables): [decided] holds 0 for undecided or
+   [detail_byte + 1]; [gates] holds 0/1 for the sticky keyword gate. *)
+let detail_byte = function
+  | `Exact_hit -> 0
+  | `Composite_match -> 1
+  | `Regex_match -> 2
+  | `Budget_exceeded -> 3
+
+let detail_of_byte = function
+  | 0 -> `Exact_hit
+  | 1 -> `Composite_match
+  | 2 -> `Regex_match
+  | 3 -> `Budget_exceeded
+  | b -> invalid_arg (Printf.sprintf "Engine: bad detail byte %d" b)
 
 type t = {
   mode : Dpienc.mode;
@@ -68,13 +131,13 @@ type t = {
   chunk_ids : (string, int) Hashtbl.t;         (* chunk bytes -> chunk_id *)
   mutable detect : Bbx_detect.Detect.t;
   mutable salt0 : int;                         (* current salt epoch *)
-  hits : (int, hit_set) Hashtbl.t;             (* chunk_id -> stream offsets *)
+  mutable hits : hitvec array;                 (* chunk_id -> stream offsets *)
   mutable hit_count : int;                     (* monotonic, survives [reset] *)
   mutable recovered : string option;
   (* --- escalation state (all of it survives [reset]: probable cause and
      everything derived from it are connection-lifetime facts) --- *)
-  decided : (int, detail) Hashtbl.t;           (* rule_idx -> final verdict *)
-  gate_seen : (int, unit) Hashtbl.t;           (* rule_idx -> keyword gate
+  mutable decided : Bytes.t;                   (* rule_idx -> 0 | detail + 1 *)
+  mutable gates : Bytes.t;                     (* rule_idx -> keyword gate
                                                   passed at some point *)
   mutable pending : string list;               (* sealed records, newest first,
                                                   awaiting key recovery *)
@@ -85,6 +148,8 @@ type t = {
   plain : Buffer.t;                            (* recovered plaintext so far *)
   mutable plain_cache : string option;
   mutable prefilter : prefilter option;
+  mutable pf_shared : bool;                    (* automaton borrowed from a
+                                                  fleet-shared prep? *)
   mutable rule_needs : int list array;         (* rule_idx -> prefilter pattern
                                                   ids it must see ([] = none) *)
   mutable ac_scanned : int;                    (* [plain] prefix already swept *)
@@ -111,11 +176,10 @@ let distinct_chunks rules =
     rules;
   Array.of_list (List.rev !order)
 
-(* (Re)build the Protocol III prefilter from the current rule array.
-   Resets the scan cursor so the next pump re-sweeps the whole stream
-   against the new automaton. *)
-let rebuild_prefilter t =
-  t.classes <- Array.map Classify.classify t.rules;
+(* Compute the Protocol III prefilter prep from a rule array.  Pure:
+   the result is installable into any engine running this ruleset. *)
+let prepare_prefilter_arr rules =
+  let classes = Array.map Classify.classify rules in
   let pat_ids = Hashtbl.create 64 in
   let pats = ref [] in
   let id_of p =
@@ -128,64 +192,109 @@ let rebuild_prefilter t =
       pats := p :: !pats;
       id
   in
-  t.rule_needs <-
+  let rule_needs =
     Array.mapi
       (fun i r ->
-         if t.classes.(i) <> Classify.Protocol_III then []
+         if classes.(i) <> Classify.Protocol_III then []
          else
            List.sort_uniq compare
              (List.map (fun (c : Rule.content) -> id_of c.Rule.pattern) r.Rule.contents))
-      t.rules;
+      rules
+  in
   let pats = Array.of_list (List.rev !pats) in
+  { pp_nrules = Array.length rules;
+    pp_classes = classes;
+    pp_rule_needs = rule_needs;
+    pp_ac =
+      (if Array.length pats = 0 then None
+       else
+         Some
+           ( Bbx_ac.Aho_corasick.build pats,
+             Array.fold_left (fun m p -> max m (String.length p)) 0 pats ));
+    pp_npats = Array.length pats }
+
+let prepare_prefilter rules = prepare_prefilter_arr (Array.of_list rules)
+
+(* Install a prep into this engine.  [shared] records whether the
+   automaton is borrowed (fleet-owned) or this engine's own, which only
+   affects footprint accounting.  The [seen_pat] bitmap is always fresh
+   per connection.  Resets the scan cursor so the next pump re-sweeps the
+   whole stream against the new automaton. *)
+let install_prefilter t ~shared pp =
+  t.classes <- pp.pp_classes;
+  t.rule_needs <- pp.pp_rule_needs;
   t.prefilter <-
-    (if Array.length pats = 0 then None
-     else
-       Some
-         { ac = Bbx_ac.Aho_corasick.build pats;
-           maxlen = Array.fold_left (fun m p -> max m (String.length p)) 0 pats;
-           seen_pat = Bytes.make (Array.length pats) '\000' });
+    (match pp.pp_ac with
+     | None -> None
+     | Some (ac, maxlen) ->
+       Some { ac; maxlen; seen_pat = Bytes.make pp.pp_npats '\000' });
+  t.pf_shared <- shared;
   t.ac_scanned <- 0
 
+(* (Re)build the prefilter from the current rule array (rule updates,
+   restore): the engine owns the result. *)
+let rebuild_prefilter t =
+  install_prefilter t ~shared:false (prepare_prefilter_arr t.rules)
+
 let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Classify.Protocol_III)
-    ?(budget = default_budget) ?(direction = "client->server") ~mode ~salt0
-    ~rules ~enc_chunk () =
-  let chunks = distinct_chunks rules in
-  let encs = Array.map enc_chunk chunks in
+    ?(budget = default_budget) ?(direction = "client->server") ?prepared ?keys
+    ?prefilter ~mode ~salt0 ~rules ~enc_chunk () =
+  let chunks, encs =
+    match prepared with
+    | Some (chunks, encs) ->
+      (* shared prep: the caller guarantees [chunks = distinct_chunks rules]
+         and [encs.(i) = enc_chunk chunks.(i)] — both arrays are borrowed
+         read-only, so a fleet pays for them once, not per connection *)
+      if Array.length chunks <> Array.length encs then
+        invalid_arg "Engine.create: prepared chunk/enc length mismatch";
+      (chunks, encs)
+    | None ->
+      let chunks = distinct_chunks rules in
+      (chunks, Array.map enc_chunk chunks)
+  in
   let chunk_ids = Hashtbl.create (max 16 (Array.length chunks)) in
   Array.iteri (fun i c -> Hashtbl.replace chunk_ids c i) chunks;
+  let rules = Array.of_list rules in
   let t =
     { mode;
       index;
       tier;
       budget;
       direction;
-      rules = Array.of_list rules;
+      rules;
       classes = [||];
       chunks;
       encs;
       chunk_ids;
-      detect = Bbx_detect.Detect.create ~index ~mode ~salt0 encs;
+      detect = Bbx_detect.Detect.create ~index ?keys ~mode ~salt0 encs;
       salt0;
-      hits = Hashtbl.create 256;
+      hits = Array.init (Array.length chunks) (fun _ -> hitvec ());
       hit_count = 0;
       recovered = None;
-      decided = Hashtbl.create 16;
-      gate_seen = Hashtbl.create 16;
+      decided = Bytes.make (Array.length rules) '\000';
+      gates = Bytes.make (Array.length rules) '\000';
       pending = [];
       pending_est = 0;
       reader = None;
       plain = Buffer.create 256;
       plain_cache = None;
       prefilter = None;
+      pf_shared = false;
       rule_needs = [||];
       ac_scanned = 0;
       scan_ns = 0;
       exhausted = false }
   in
-  rebuild_prefilter t;
+  (match prefilter with
+   | Some pp ->
+     if pp.pp_nrules <> Array.length rules then
+       invalid_arg "Engine.create: shared prefilter rule count mismatch";
+     install_prefilter t ~shared:true pp
+   | None -> rebuild_prefilter t);
   t
 
 let tier t = t.tier
+let mode t = t.mode
 
 let mark_exhausted t =
   if not t.exhausted then begin
@@ -196,14 +305,7 @@ let mark_exhausted t =
 let record_hit t chunk_id offset =
   t.hit_count <- t.hit_count + 1;
   Obs.incr obs_hits;
-  match Hashtbl.find_opt t.hits chunk_id with
-  | Some hs ->
-    hs.offsets <- offset :: hs.offsets;
-    Hashtbl.replace hs.seen offset ()
-  | None ->
-    let hs = { offsets = [ offset ]; seen = Hashtbl.create 16 } in
-    Hashtbl.replace hs.seen offset ();
-    Hashtbl.add t.hits chunk_id hs
+  hitvec_push t.hits.(chunk_id) offset
 
 let handle_event t ev ~embed =
   record_hit t ev.Bbx_detect.Detect.kw_id ev.Bbx_detect.Detect.offset;
@@ -231,11 +333,14 @@ let process_wire t wire =
       handle_event t ev ~embed)
 
 let keyword_hits t =
-  Hashtbl.fold
-    (fun chunk_id hs acc ->
-       List.fold_left (fun acc off -> (t.chunks.(chunk_id), off) :: acc) acc hs.offsets)
-    t.hits []
-  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  let acc = ref [] in
+  for chunk_id = Array.length t.hits - 1 downto 0 do
+    let hv = t.hits.(chunk_id) in
+    for i = hv.hn - 1 downto 0 do
+      acc := (t.chunks.(chunk_id), hv.ha.(i)) :: !acc
+    done
+  done;
+  List.sort (fun (_, a) (_, b) -> compare a b) !acc
 
 (* Monotonic count of keyword hits ever recorded (not reset by [reset]):
    callers track deltas across deliveries without folding the history. *)
@@ -372,31 +477,36 @@ let confirm t rule =
 
 (* Candidate start positions for a content pattern: stream offsets where
    every one of its chunks matched at the right relative position.
-   Membership tests go through each chunk's offset hash-set, so a rule
-   with [r] extra chunks costs O(starts * r) lookups, not a scan of the
-   full hit history per start.  The chunk->id table lives on [t]
-   (maintained by [create]/[add_rules]) instead of being rebuilt on every
-   [verdicts] call. *)
+   Membership tests binary-search each chunk's sorted offset vector, so a
+   rule with [r] extra chunks costs O(starts * r * log hits) — no per-hit
+   hash-set needed.  The chunk->id table lives on [t] (maintained by
+   [create]/[add_rules]) instead of being rebuilt on every [verdicts]
+   call. *)
 let content_candidates t =
-  let hit_set chunk =
+  let hit_vec chunk =
     match Hashtbl.find_opt t.chunk_ids chunk with
     | None -> None
-    | Some id -> Hashtbl.find_opt t.hits id
+    | Some id ->
+      let hv = t.hits.(id) in
+      if hv.hn = 0 then None else Some hv
   in
   let hit_at chunk off =
-    match hit_set chunk with
+    match hit_vec chunk with
     | None -> false
-    | Some hs -> Hashtbl.mem hs.seen off
+    | Some hv -> hitvec_mem hv off
   in
   fun (c : Rule.content) ->
     match Tokenizer.keyword_chunks c.Rule.pattern with
     | [] -> []
     | (first_chunk, first_rel) :: rest ->
-      (match hit_set first_chunk with
+      (match hit_vec first_chunk with
        | None -> []
-       | Some hs ->
-         let starts = List.map (fun off -> off - first_rel) hs.offsets in
-         let starts = List.sort_uniq compare starts in
+       | Some hv ->
+         let starts = ref [] in
+         for i = hv.hn - 1 downto 0 do
+           starts := (hv.ha.(i) - first_rel) :: !starts
+         done;
+         let starts = List.sort_uniq compare !starts in
          List.filter
            (fun q ->
               q >= 0
@@ -417,16 +527,16 @@ let verdicts ?plaintext t =
     out := { rule_idx; rule; via; detail } :: !out
   in
   let decide rule_idx rule detail =
-    Hashtbl.replace t.decided rule_idx detail;
+    Bytes.set t.decided rule_idx (Char.chr (detail_byte detail + 1));
     emit rule_idx rule detail
   in
   Array.iteri
     (fun rule_idx rule ->
        let cls = t.classes.(rule_idx) in
        if Classify.rank cls <= tier_rank then begin
-         match Hashtbl.find_opt t.decided rule_idx with
-         | Some detail -> emit rule_idx rule detail
-         | None ->
+         match Char.code (Bytes.get t.decided rule_idx) with
+         | b when b > 0 -> emit rule_idx rule (detail_of_byte (b - 1))
+         | _ ->
            match cls with
            | Classify.Protocol_I ->
              if rule.Rule.contents <> []
@@ -441,12 +551,12 @@ let verdicts ?plaintext t =
                 this rule worth escalating — its contents seen in order on
                 the token stream, or (for pure-pcre rules) any probable
                 cause on the flow. *)
-             if not (Hashtbl.mem t.gate_seen rule_idx) then begin
+             if Bytes.get t.gates rule_idx = '\000' then begin
                let gated =
                  if rule.Rule.contents = [] then t.recovered <> None
                  else Classify.contents_satisfiable ~candidates rule.Rule.contents
                in
-               if gated then Hashtbl.replace t.gate_seen rule_idx ()
+               if gated then Bytes.set t.gates rule_idx '\001'
              end;
              (match plaintext with
               | Some payload ->
@@ -458,13 +568,22 @@ let verdicts ?plaintext t =
                 if t.recovered <> None && not t.exhausted
                 && prefilter_candidate t rule_idx && confirm t rule
                 then decide rule_idx rule `Regex_match
-                else if t.exhausted && Hashtbl.mem t.gate_seen rule_idx then begin
+                else if t.exhausted && Bytes.get t.gates rule_idx = '\001' then begin
                   Obs.incr obs_flagged;
                   decide rule_idx rule `Budget_exceeded
                 end)
        end)
     t.rules;
   List.rev !out
+
+(* Extend a byte table with zeroed slots for freshly appended rules. *)
+let extend_bytes b n =
+  if n <= Bytes.length b then b
+  else begin
+    let grown = Bytes.make n '\000' in
+    Bytes.blit b 0 grown 0 (Bytes.length b);
+    grown
+  end
 
 (* Rule update on a live connection: only chunks not already covered go
    through (the caller's) rule preparation. *)
@@ -486,12 +605,17 @@ let add_rules t ~rules ~enc_chunk =
   (* one append for the whole batch, not one O(n) copy per chunk *)
   t.chunks <- Array.append t.chunks (Array.of_list fresh);
   t.encs <- Array.append t.encs (Array.of_list fresh_encs);
+  t.hits <-
+    Array.append t.hits
+      (Array.init (List.length fresh) (fun _ -> hitvec ()));
   t.rules <- Array.append t.rules (Array.of_list rules);
+  t.decided <- extend_bytes t.decided (Array.length t.rules);
+  t.gates <- extend_bytes t.gates (Array.length t.rules);
   rebuild_prefilter t;
   List.length fresh
 
 (* Removing rules shifts [verdict.rule_idx] values, so callers keeping
-   per-rule state (the reported-rule hash sets) remap through the returned
+   per-rule state (the reported-rule bitsets) remap through the returned
    index map.  Chunks no longer needed by any retained rule leave the
    detection tree entirely — the tree is rebuilt from the kept encryptions
    under the current salt epoch, which restarts the retained keywords'
@@ -527,29 +651,37 @@ let remove_rules t ~sids =
          end
          else removed := c :: !removed)
       t.chunks;
+    let old_rules = Array.length t.rules in
     t.rules <- kept;
     t.chunks <- Array.of_list (List.rev !kept_chunks);
     t.encs <- Array.of_list (List.rev !kept_encs);
     Hashtbl.reset t.chunk_ids;
     Array.iteri (fun i c -> Hashtbl.replace t.chunk_ids c i) t.chunks;
     t.detect <- Bbx_detect.Detect.create ~index:t.index ~mode:t.mode ~salt0:t.salt0 t.encs;
-    Hashtbl.reset t.hits;
+    t.hits <- Array.init (Array.length t.chunks) (fun _ -> hitvec ());
     (* Escalation state is keyed by rule index: rewrite it through the
        remap (dropped rules lose their entries). *)
-    let rekey tbl =
-      let moved = Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl [] in
-      Hashtbl.reset tbl;
-      List.iter
-        (fun (i, v) ->
-           if i < Array.length remap && remap.(i) >= 0 then
-             Hashtbl.replace tbl remap.(i) v)
-        moved
+    let rekey b =
+      let b' = Bytes.make (Array.length kept) '\000' in
+      for i = 0 to old_rules - 1 do
+        if remap.(i) >= 0 then Bytes.set b' remap.(i) (Bytes.get b i)
+      done;
+      b'
     in
-    rekey t.decided;
-    rekey t.gate_seen;
+    t.decided <- rekey t.decided;
+    t.gates <- rekey t.gates;
     rebuild_prefilter t;
     (List.rev !removed, remap)
   end
+
+(* Swap in a shared prep after a rule update (the update itself rebuilt
+   an engine-owned one).  The sweep restart install_prefilter forces is
+   harmless here: every caller follows a rule update with a salt reset,
+   and [seen_pat] evidence is re-derived from the retained stream. *)
+let set_prefilter t pp =
+  if pp.pp_nrules <> Array.length t.rules then
+    invalid_arg "Engine.set_prefilter: shared prefilter rule count mismatch";
+  install_prefilter t ~shared:true pp
 
 (* A salt reset rotates the token encryption only.  Per-chunk hit
    evidence is cleared (post-reset offsets would be incomparable with
@@ -563,6 +695,254 @@ let remove_rules t ~sids =
 let reset t ~salt0 =
   t.salt0 <- salt0;
   Bbx_detect.Detect.reset t.detect ~salt0;
-  Hashtbl.reset t.hits
+  Array.iter (fun hv -> hv.hn <- 0; hv.sorted <- true) t.hits
 
 let chunk_count t = Bbx_detect.Detect.size t.detect
+
+(* ---------- footprint accounting -------------------------------------- *)
+
+let word = Sys.word_size / 8
+
+(* Approximate resident bytes of this connection's engine state.  Shared,
+   per-(tenant, generation) structures — a borrowed [?prepared] chunk/enc
+   pair, a shared detect keyset — are charged to their owner; everything
+   reported here is freed when the connection is removed.  String bytes
+   are rounded up to whole words + 1 header word. *)
+let str_bytes s = ((String.length s + word) / word + 1) * word
+
+let footprint_bytes t =
+  let hits =
+    Array.fold_left (fun a hv -> a + (Array.length hv.ha + 4) * word) 0 t.hits
+  in
+  let pending = List.fold_left (fun a r -> a + str_bytes r) 0 t.pending in
+  let tables =
+    Bytes.length t.decided + Bytes.length t.gates
+    + (Array.length t.classes + Array.length t.rule_needs + 2) * word
+  in
+  let chunk_ids = Hashtbl.length t.chunk_ids * 6 * word in
+  Bbx_detect.Detect.footprint_bytes t.detect
+  + hits + pending + tables + chunk_ids
+  + Buffer.length t.plain
+  + (match t.recovered with None -> 0 | Some k -> str_bytes k)
+  + (match t.prefilter with
+     | None -> 0
+     | Some pf ->
+       Bytes.length pf.seen_pat
+       (* a borrowed automaton is charged to the fleet that owns it *)
+       + (if t.pf_shared then 0 else Bbx_ac.Aho_corasick.footprint_bytes pf.ac))
+  + 32 * word
+
+(* ---------- snapshot / restore ---------------------------------------- *)
+
+(* Binary connection snapshot (format v1), self-contained: rules travel as
+   their text form (the same [Rule.to_string]/[Parser.parse_ruleset]
+   roundtrip the daemon already relies on), chunks and their encryptions
+   travel verbatim so restore needs no enc-chunk oracle, and every piece
+   of escalation state — salt counters, hit evidence, sticky decisions and
+   gates, recovered [k_ssl], sealed pending records, record-layer
+   sequence, recovered plaintext, prefilter progress, budget accounting —
+   is carried so a restored engine is observably identical to the
+   original.  [restore] raises [Invalid_argument] on any malformed or
+   inconsistent blob (callers validate front-side before handing state to
+   a worker domain). *)
+
+let snapshot_version = 1
+
+let snapshot t =
+  let b = Buffer.create 4096 in
+  Codec.put_u8 b snapshot_version;
+  Codec.put_u8 b (match t.mode with Dpienc.Exact -> 0 | Dpienc.Probable -> 1);
+  Codec.put_u8 b (match t.index with Bbx_detect.Detect.Hash -> 0 | Bbx_detect.Detect.Avl -> 1);
+  Codec.put_u8 b (Classify.rank t.tier);
+  Codec.put_i64 b t.budget.max_plain_bytes;
+  Codec.put_i64 b t.budget.max_scan_ms;
+  Codec.put_str32 b t.direction;
+  Codec.put_i64 b t.salt0;
+  Codec.put_str32 b
+    (String.concat "\n" (Array.to_list (Array.map Rule.to_string t.rules)));
+  Codec.put_u32 b (Array.length t.chunks);
+  Array.iteri
+    (fun i c ->
+       Codec.put_str32 b c;
+       Codec.put_str32 b t.encs.(i))
+    t.chunks;
+  let counts = Bbx_detect.Detect.salt_counts t.detect in
+  Codec.put_u32 b (Array.length counts);
+  Array.iter (Codec.put_i64 b) counts;
+  Codec.put_u32 b (Array.length t.hits);
+  Array.iter
+    (fun hv ->
+       Codec.put_u32 b hv.hn;
+       for i = 0 to hv.hn - 1 do Codec.put_i64 b hv.ha.(i) done)
+    t.hits;
+  Codec.put_i64 b t.hit_count;
+  (match t.recovered with
+   | None -> Codec.put_bool b false
+   | Some k -> Codec.put_bool b true; Codec.put_str32 b k);
+  Codec.put_str32 b (Bytes.to_string t.decided);
+  Codec.put_str32 b (Bytes.to_string t.gates);
+  let pending = List.rev t.pending in
+  Codec.put_u32 b (List.length pending);
+  List.iter (Codec.put_str32 b) pending;
+  Codec.put_i64 b t.pending_est;
+  (match t.reader with
+   | None -> Codec.put_bool b false
+   | Some r -> Codec.put_bool b true; Codec.put_i64 b (Bbx_tls.Record.seq r));
+  Codec.put_str32 b (plain_str t);
+  (match t.prefilter with
+   | None -> Codec.put_bool b false
+   | Some pf -> Codec.put_bool b true; Codec.put_str32 b (Bytes.to_string pf.seen_pat));
+  Codec.put_i64 b t.ac_scanned;
+  Codec.put_i64 b t.scan_ns;
+  Codec.put_bool b t.exhausted;
+  Buffer.contents b
+
+let fail fmt = Printf.ksprintf invalid_arg ("Engine.restore: " ^^ fmt)
+
+let restore blob =
+  match
+    let cur = Codec.cursor blob in
+    let version = Codec.get_u8 cur in
+    if version <> snapshot_version then fail "unknown snapshot version %d" version;
+    let mode =
+      match Codec.get_u8 cur with
+      | 0 -> Dpienc.Exact
+      | 1 -> Dpienc.Probable
+      | m -> fail "bad mode %d" m
+    in
+    let index =
+      match Codec.get_u8 cur with
+      | 0 -> Bbx_detect.Detect.Hash
+      | 1 -> Bbx_detect.Detect.Avl
+      | i -> fail "bad index backend %d" i
+    in
+    let tier =
+      match Classify.of_rank (Codec.get_u8 cur) with
+      | Some c -> c
+      | None -> fail "bad tier"
+    in
+    let max_plain_bytes = Codec.get_i64 cur in
+    let max_scan_ms = Codec.get_i64 cur in
+    let direction = Codec.get_str32 cur in
+    let salt0 = Codec.get_i64 cur in
+    let rules_text = Codec.get_str32 cur in
+    let rules =
+      try Parser.parse_ruleset rules_text
+      with Parser.Syntax_error msg -> fail "bad ruleset (%s)" msg
+    in
+    (* every counted element consumes at least [per] encoded bytes, so a
+       forged count beyond the blob's remainder is rejected before the
+       allocation it sizes *)
+    let guard_count n per =
+      if n * per > String.length blob - cur.Codec.pos then fail "count exceeds blob"
+    in
+    let n_chunks = Codec.get_u32 cur in
+    guard_count n_chunks 8;
+    let chunks = Array.make n_chunks "" in
+    let encs = Array.make n_chunks "" in
+    for i = 0 to n_chunks - 1 do
+      chunks.(i) <- Codec.get_str32 cur;
+      let e = Codec.get_str32 cur in
+      if String.length e <> 16 then fail "chunk encryption must be 16 bytes";
+      encs.(i) <- e
+    done;
+    let n_counts = Codec.get_u32 cur in
+    if n_counts <> n_chunks then fail "salt count table size mismatch";
+    (* explicit ascending loops: the cursor is stateful, and
+       [Array.init]/[List.init] do not guarantee evaluation order *)
+    guard_count n_counts 8;
+    let counts = Array.make n_counts 0 in
+    for i = 0 to n_counts - 1 do counts.(i) <- Codec.get_i64 cur done;
+    let n_hits = Codec.get_u32 cur in
+    if n_hits <> n_chunks then fail "hit table size mismatch";
+    let hits = Array.make n_hits (hitvec ()) in
+    for i = 0 to n_hits - 1 do
+      let k = Codec.get_u32 cur in
+      guard_count k 8;
+      let hv = { ha = Array.make k 0; hn = k; sorted = true } in
+      for j = 0 to k - 1 do
+        hv.ha.(j) <- Codec.get_i64 cur;
+        if j > 0 && hv.ha.(j) < hv.ha.(j - 1) then hv.sorted <- false
+      done;
+      hits.(i) <- hv
+    done;
+    let hit_count = Codec.get_i64 cur in
+    if hit_count < 0 then fail "negative hit count";
+    let recovered =
+      if Codec.get_bool cur then begin
+        let k = Codec.get_str32 cur in
+        if String.length k <> 16 then fail "recovered key must be 16 bytes";
+        if mode <> Dpienc.Probable then fail "recovered key in exact mode";
+        Some k
+      end
+      else None
+    in
+    let decided = Bytes.of_string (Codec.get_str32 cur) in
+    let gates = Bytes.of_string (Codec.get_str32 cur) in
+    let n_rules = List.length rules in
+    if Bytes.length decided <> n_rules || Bytes.length gates <> n_rules then
+      fail "per-rule table size mismatch";
+    Bytes.iter
+      (fun c -> if Char.code c > 4 then fail "bad decided byte") decided;
+    Bytes.iter
+      (fun c -> if Char.code c > 1 then fail "bad gate byte") gates;
+    let n_pending = Codec.get_u32 cur in
+    guard_count n_pending 4;
+    let pending = ref [] in
+    for _ = 1 to n_pending do pending := Codec.get_str32 cur :: !pending done;
+    let pending = List.rev !pending in
+    let pending_est = Codec.get_i64 cur in
+    if pending_est < 0 then fail "negative pending estimate";
+    let reader_seq = if Codec.get_bool cur then Some (Codec.get_i64 cur) else None in
+    (match reader_seq with
+     | Some s when s < 0 -> fail "negative record sequence"
+     | Some _ when recovered = None -> fail "record reader without recovered key"
+     | _ -> ());
+    let plain = Codec.get_str32 cur in
+    let seen_pat = if Codec.get_bool cur then Some (Codec.get_str32 cur) else None in
+    let ac_scanned = Codec.get_i64 cur in
+    if ac_scanned < 0 || ac_scanned > String.length plain then
+      fail "scan cursor out of range";
+    let scan_ns = Codec.get_i64 cur in
+    if scan_ns < 0 then fail "negative scan time";
+    let exhausted = Codec.get_bool cur in
+    Codec.finish cur;
+    let budget = { max_plain_bytes; max_scan_ms } in
+    let t =
+      create ~index ~tier ~budget ~direction ~prepared:(chunks, encs)
+        ~mode ~salt0:(if mode = Dpienc.Probable then salt0 land lnot 1 else salt0)
+        ~rules ~enc_chunk:(fun _ -> assert false) ()
+    in
+    (* [create] built the detector at a parity-safe salt; now install the
+       real per-connection counters (validates parity and table size). *)
+    Bbx_detect.Detect.restore_counts t.detect ~salt0 counts;
+    t.salt0 <- salt0;
+    t.hits <- hits;
+    t.hit_count <- hit_count;
+    t.recovered <- recovered;
+    t.decided <- decided;
+    t.gates <- gates;
+    t.pending <- List.rev pending;
+    t.pending_est <- pending_est;
+    (match reader_seq with
+     | None -> ()
+     | Some seq ->
+       let r = Bbx_tls.Record.create ~key:(Option.get recovered) ~direction in
+       Bbx_tls.Record.set_seq r seq;
+       t.reader <- Some r);
+    Buffer.add_string t.plain plain;
+    t.plain_cache <- None;
+    (match seen_pat, t.prefilter with
+     | Some sp, Some pf ->
+       if String.length sp <> Bytes.length pf.seen_pat then
+         fail "prefilter bitmap size mismatch";
+       Bytes.blit_string sp 0 pf.seen_pat 0 (String.length sp)
+     | Some _, None -> fail "prefilter bitmap without prefilter rules"
+     | None, _ -> ());
+    t.ac_scanned <- min ac_scanned (Buffer.length t.plain);
+    t.scan_ns <- scan_ns;
+    t.exhausted <- exhausted;
+    t
+  with
+  | t -> t
+  | exception Codec.Corrupt msg -> fail "%s" msg

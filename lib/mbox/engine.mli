@@ -57,20 +57,51 @@ type t
     obfuscated rule encryption must cover. *)
 val distinct_chunks : Bbx_rules.Rule.t list -> string array
 
-(** [create ?index ?tier ?budget ?direction ~mode ~salt0 ~rules ~enc_chunk]
-    — [enc_chunk] is consulted once per distinct chunk at construction
-    time.  [index] (default {!Bbx_detect.Detect.Hash}) selects the
-    cipher-index backend and is remembered for detection-state rebuilds
-    ({!remove_rules}).  [tier] (default [Protocol_III]) is the highest
-    protocol this engine executes; [budget] bounds Protocol III work;
-    [direction] (default ["client->server"]) is the record-layer direction
-    of the inspected stream, needed to decrypt records shipped via
-    {!record_stream}. *)
+(** A shared Protocol III prefilter preparation: the rule protocol
+    classes, the Aho-Corasick automaton over the decrypt-tier content
+    patterns, and the per-rule pattern-needs map — everything the
+    prefilter derives from the ruleset alone.  Immutable after
+    construction, so one prep serves every engine running the same
+    (tenant, generation) ruleset; without sharing, the automaton's dense
+    transition tables (~2 KiB per trie node) dominate per-connection
+    footprint. *)
+type prefilter_prep
+
+(** [prepare_prefilter rules] — compute once per (tenant, generation),
+    pass to every {!create}. *)
+val prepare_prefilter : Bbx_rules.Rule.t list -> prefilter_prep
+
+(** [create ?index ?tier ?budget ?direction ?prepared ?keys ~mode ~salt0
+    ~rules ~enc_chunk] — [enc_chunk] is consulted once per distinct chunk
+    at construction time.  [index] (default {!Bbx_detect.Detect.Hash})
+    selects the cipher-index backend and is remembered for
+    detection-state rebuilds ({!remove_rules}).  [tier] (default
+    [Protocol_III]) is the highest protocol this engine executes;
+    [budget] bounds Protocol III work; [direction] (default
+    ["client->server"]) is the record-layer direction of the inspected
+    stream, needed to decrypt records shipped via {!record_stream}.
+
+    At fleet scale the per-connection setup cost is chunk recomputation,
+    the [enc_chunk] calls, AES key expansion and the prefilter automaton
+    build: [prepared] (must equal
+    [(distinct_chunks rules, Array.map enc_chunk ...)] — borrowed
+    read-only, never mutated) skips the first two, [keys] (a shared
+    {!Bbx_detect.Detect.keyset} over the same encs) skips the third, and
+    [prefilter] (a shared {!prepare_prefilter} over the same rules —
+    raises [Invalid_argument] on a rule-count mismatch) skips the fourth.
+    With [prepared] and [keys], [enc_chunk] is not called at construction
+    (it is still used by later {!add_rules}).  Rule updates
+    ({!add_rules}/{!remove_rules}) rebuild an engine-owned prefilter —
+    pass the next generation's shared prep through the update path to
+    keep it shared. *)
 val create :
   ?index:Bbx_detect.Detect.index_backend ->
   ?tier:Bbx_rules.Classify.protocol_class ->
   ?budget:budget ->
   ?direction:string ->
+  ?prepared:string array * string array ->
+  ?keys:Bbx_detect.Detect.keyset ->
+  ?prefilter:prefilter_prep ->
   mode:Bbx_dpienc.Dpienc.mode ->
   salt0:int ->
   rules:Bbx_rules.Rule.t list ->
@@ -80,6 +111,9 @@ val create :
 
 (** The tier this engine was configured with. *)
 val tier : t -> Bbx_rules.Classify.protocol_class
+
+(** The DPIEnc mode this engine inspects. *)
+val mode : t -> Bbx_dpienc.Dpienc.mode
 
 (** [process t tokens] feeds encrypted tokens in stream order. *)
 val process : t -> Bbx_dpienc.Dpienc.enc_token list -> unit
@@ -153,6 +187,14 @@ val add_rules : t -> rules:Bbx_rules.Rule.t list -> enc_chunk:(string -> string)
     [~sids:[]] is a no-op returning [([], [||])]. *)
 val remove_rules : t -> sids:int list -> string list * int array
 
+(** [set_prefilter t pp] swaps in a shared prefilter prep for the
+    engine-owned one a rule update rebuilt ([pp] must cover the engine's
+    current post-update ruleset; raises [Invalid_argument] on a
+    rule-count mismatch).  Prefilter evidence is re-derived from the
+    retained stream on the next delivery, exactly as after the update
+    itself. *)
+val set_prefilter : t -> prefilter_prep -> unit
+
 (** [reset t ~salt0] forwards the sender's periodic salt reset.  Per-chunk
     hit evidence ({!keyword_hits}, and fresh {!verdicts} derived from it)
     is cleared; {!hit_count} (monotonic accounting), {!recovered_key}
@@ -164,3 +206,29 @@ val reset : t -> salt0:int -> unit
 
 (** Distinct chunk count (tree size). *)
 val chunk_count : t -> int
+
+(** Approximate resident bytes of this connection's engine state (the
+    [bbx_conn_bytes] accounting input).  Structures shared across a
+    fleet — borrowed [?prepared] arrays, shared keysets — are charged to
+    their owner, not here. *)
+val footprint_bytes : t -> int
+
+(** {1 Snapshot / restore (connection migration)}
+
+    A snapshot is a self-contained binary image of one connection's
+    inspection state: ruleset (as text), chunk encryptions, salt epoch
+    and per-keyword counters, hit evidence, sticky decisions and keyword
+    gates, recovered [k_ssl], sealed pending records, record-layer
+    sequence, recovered plaintext, prefilter progress and budget
+    accounting.  [restore (snapshot t)] yields an engine observably
+    identical to [t] — same future verdicts, stats and escalation
+    behaviour (pinned by the migration differential tests). *)
+
+(** Serialise the complete per-connection state (format v1). *)
+val snapshot : t -> string
+
+(** Rebuild an engine from {!snapshot} output.  Raises
+    [Invalid_argument] on any malformed, truncated or inconsistent blob
+    — callers must validate untrusted blobs on the front side (by calling
+    this) before handing state to a worker domain. *)
+val restore : string -> t

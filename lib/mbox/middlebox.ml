@@ -34,3 +34,16 @@ let engine = Shard.engine
 let stats = Shard.stats
 let flow_stats = Shard.flow_stats
 let fold_flows = Shard.fold_flows
+let export_conn = Shard.export_conn
+
+let import_conn t ~conn_id blob =
+  (* validate before install; a duplicate id is a caller error, same as
+     [register] *)
+  let c = Shard.parse_export ~mode:(Shard.mode t) blob in
+  (match Shard.flow_stats t ~conn_id with
+   | _ ->
+     invalid_arg (Printf.sprintf "Middlebox.import_conn: connection %d exists" conn_id)
+   | exception Invalid_argument _ -> ());
+  Shard.adopt t ~conn_id c
+
+let footprint_bytes = Shard.footprint_bytes

@@ -45,12 +45,17 @@ val create :
   ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
-(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — called at
-    connection setup, after obfuscated rule encryption yields this
-    connection's [enc_chunk] oracle.  Raises [Invalid_argument] on
+(** [register ?direction ?prepared ?keys ?prefilter t ~conn_id ~salt0
+    ~enc_chunk] — called at connection setup, after obfuscated rule
+    encryption yields this connection's [enc_chunk] oracle.
+    [prepared]/[keys]/[prefilter] share one rule preparation across
+    connections (see {!Engine.create}).  Raises [Invalid_argument] on
     duplicate ids. *)
 val register :
   ?direction:string ->
+  ?prepared:string array * string array ->
+  ?keys:Bbx_detect.Detect.keyset ->
+  ?prefilter:Engine.prefilter_prep ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
 
 (** [record_stream t ~conn_id record] retains one sealed SSL record of
@@ -87,3 +92,14 @@ val flow_stats : t -> conn_id:conn_id -> flow_stats
 (** [fold_flows t ~init ~f] folds over every registered connection's flow
     stats (iteration order unspecified). *)
 val fold_flows : t -> init:'a -> f:('a -> conn_id -> flow_stats -> 'a) -> 'a
+
+(** [export_conn t ~conn_id] serialises and removes one connection for
+    migration; [import_conn] validates and installs an exported blob
+    (raising [Invalid_argument] on malformed state, mode mismatch, or a
+    duplicate id).  See {!Shard.export_conn}/{!Shard.parse_export}. *)
+val export_conn : t -> conn_id:conn_id -> string
+
+val import_conn : t -> conn_id:conn_id -> string -> unit
+
+(** Approximate resident bytes of all per-connection state. *)
+val footprint_bytes : t -> int

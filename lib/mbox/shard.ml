@@ -32,7 +32,7 @@ type flow_stats = {
 type conn = {
   engine : Engine.t;
   mutable conn_blocked : bool;
-  reported : (int, unit) Hashtbl.t;   (* rule indices already reported *)
+  mutable reported : Bitset.t;        (* rule indices already reported *)
   mutable conn_tokens : int;
   mutable conn_verdicts : int;
 }
@@ -55,15 +55,17 @@ let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Bbx_rules.Classify.Protoco
   { mode; index; tier; budget; rules; conns = Hashtbl.create 64;
     total_tokens = 0; total_keyword_hits = 0; alerts = 0; blocked_count = 0 }
 
-let register ?direction t ~conn_id ~salt0 ~enc_chunk =
+let mode t = t.mode
+
+let register ?direction ?prepared ?keys ?prefilter t ~conn_id ~salt0 ~enc_chunk =
   if Hashtbl.mem t.conns conn_id then
     invalid_arg (Printf.sprintf "Middlebox.register: connection %d exists" conn_id);
   let engine =
     Engine.create ~index:t.index ~tier:t.tier ~budget:t.budget ?direction
-      ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk ()
+      ?prepared ?keys ?prefilter ~mode:t.mode ~salt0 ~rules:t.rules ~enc_chunk ()
   in
   Hashtbl.add t.conns conn_id
-    { engine; conn_blocked = false; reported = Hashtbl.create 8;
+    { engine; conn_blocked = false; reported = Bitset.create (List.length t.rules);
       conn_tokens = 0; conn_verdicts = 0 };
   Obs.add_gauge obs_connections 1
 
@@ -77,8 +79,9 @@ let get t conn_id =
    Keyword-hit accounting uses [Engine.hit_count] deltas: the old
    [List.length (Engine.keyword_hits ...)] bracketing folded and sorted
    the whole hit history twice per delivery, turning long-lived noisy
-   connections O(hits^2).  The reported-rule set is a hash table for the
-   same reason: a [List.mem] scan per verdict was O(alerts^2) on
+   connections O(hits^2).  The reported-rule set is a bitset for the
+   same reason (and for footprint: one bit per rule instead of ~6 words
+   per reported entry): a [List.mem] scan per verdict was O(alerts^2) on
    long-lived connections. *)
 let process_common t ~conn_id inject =
   let c = get t conn_id in
@@ -91,8 +94,8 @@ let process_common t ~conn_id inject =
   let new_hits = Engine.hit_count c.engine - hits_before in
   t.total_keyword_hits <- t.total_keyword_hits + new_hits;
   let all = Engine.verdicts c.engine in
-  let fresh = List.filter (fun v -> not (Hashtbl.mem c.reported v.Engine.rule_idx)) all in
-  List.iter (fun v -> Hashtbl.replace c.reported v.Engine.rule_idx ()) fresh;
+  let fresh = List.filter (fun v -> not (Bitset.mem c.reported v.Engine.rule_idx)) all in
+  List.iter (fun v -> Bitset.add c.reported v.Engine.rule_idx) fresh;
   let n_fresh = List.length fresh in
   t.alerts <- t.alerts + n_fresh;
   c.conn_verdicts <- c.conn_verdicts + n_fresh;
@@ -146,20 +149,15 @@ let reset_conn t ~conn_id ~salt0 = Engine.reset (get t conn_id).engine ~salt0
    registrations.  The engine's index remap is applied to the
    reported-rule set so "report each rule once" survives the rule_idx
    shift that removal causes. *)
-let update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
+let update_rules ?prefilter t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
   let c = get t conn_id in
   let _orphans, remap = Engine.remove_rules c.engine ~sids:remove_sids in
-  if remove_sids <> [] then begin
-    let old_idxs = Hashtbl.fold (fun idx () acc -> idx :: acc) c.reported [] in
-    Hashtbl.reset c.reported;
-    List.iter
-      (fun idx ->
-         match remap.(idx) with
-         | -1 -> ()
-         | idx' -> Hashtbl.replace c.reported idx' ())
-      old_idxs
-  end;
+  if remove_sids <> [] then
+    c.reported <- Bitset.remap c.reported remap ~size:(Array.length remap);
   ignore (Engine.add_rules c.engine ~rules:add ~enc_chunk : int);
+  (* the update rebuilt an engine-owned prefilter; swap the shared
+     next-generation prep back in so fleets stay flat *)
+  Option.iter (Engine.set_prefilter c.engine) prefilter;
   t.rules <- rules
 
 let stats t =
@@ -189,3 +187,74 @@ let flow_stats t ~conn_id = flow_stats_of (get t conn_id)
 
 let fold_flows t ~init ~f =
   Hashtbl.fold (fun conn_id c acc -> f acc conn_id (flow_stats_of c)) t.conns init
+
+(* ---------- connection export / import (migration) -------------------- *)
+
+(* A shard-level export carries the engine snapshot plus the wrapper
+   state {!Shardpool} and the daemon cannot reconstruct: the blocked
+   flag, the reported-rule bitset (so a migrated connection never
+   re-reports a verdict), and the flow counters.  Aggregate shard totals
+   deliberately stay where they accrued — migrating a connection moves
+   its future accounting, not its history, so summed stats across shards
+   match an unmigrated run. *)
+
+let export_version = 1
+
+type imported = conn
+
+let export_conn t ~conn_id =
+  let c = get t conn_id in
+  let b = Buffer.create 4096 in
+  Codec.put_u8 b export_version;
+  Codec.put_str32 b (Engine.snapshot c.engine);
+  Codec.put_bool b c.conn_blocked;
+  Codec.put_str32 b (Bitset.to_string c.reported);
+  Codec.put_i64 b c.conn_tokens;
+  Codec.put_i64 b c.conn_verdicts;
+  Hashtbl.remove t.conns conn_id;
+  Obs.add_gauge obs_connections (-1);
+  Buffer.contents b
+
+let parse_export ?mode blob =
+  match
+    let cur = Codec.cursor blob in
+    let version = Codec.get_u8 cur in
+    if version <> export_version then
+      invalid_arg (Printf.sprintf "Shard.parse_export: unknown version %d" version);
+    let engine = Engine.restore (Codec.get_str32 cur) in
+    (match mode with
+     | Some m when Engine.mode engine <> m ->
+       invalid_arg "Shard.parse_export: mode mismatch"
+     | _ -> ());
+    let conn_blocked = Codec.get_bool cur in
+    let reported = Bitset.of_string (Codec.get_str32 cur) in
+    let conn_tokens = Codec.get_i64 cur in
+    let conn_verdicts = Codec.get_i64 cur in
+    if conn_tokens < 0 || conn_verdicts < 0 then
+      invalid_arg "Shard.parse_export: negative flow counter";
+    Codec.finish cur;
+    { engine; conn_blocked; reported; conn_tokens; conn_verdicts }
+  with
+  | c -> c
+  | exception Codec.Corrupt msg ->
+    invalid_arg ("Shard.parse_export: " ^ msg)
+
+(* Infallible by design: validation happened in {!parse_export} on the
+   front side, so adopting on a worker domain cannot poison it.  The
+   shard's ruleset is not consulted — the imported engine carries its
+   own (possibly older-generation) ruleset until the next rule update. *)
+let adopt t ~conn_id c =
+  Hashtbl.replace t.conns conn_id c;
+  Obs.add_gauge obs_connections 1
+
+(* ---------- footprint accounting -------------------------------------- *)
+
+let conn_count t = Hashtbl.length t.conns
+
+let footprint_bytes t =
+  Hashtbl.fold
+    (fun _ c acc ->
+       acc + Engine.footprint_bytes c.engine
+       + Bitset.footprint_bytes c.reported
+       + 8 * (Sys.word_size / 8))
+    t.conns 0

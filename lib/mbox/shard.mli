@@ -43,12 +43,22 @@ val create :
   ?budget:Engine.budget ->
   mode:Bbx_dpienc.Dpienc.mode -> rules:Bbx_rules.Rule.t list -> unit -> t
 
-(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — raises
-    [Invalid_argument] on duplicate ids.  [enc_chunk] is consulted on the
-    calling (owning) domain.  [direction] is the record-layer direction of
-    the inspected stream (see {!Engine.create}). *)
+(** The DPIEnc mode this shard inspects. *)
+val mode : t -> Bbx_dpienc.Dpienc.mode
+
+(** [register ?direction ?prepared ?keys ?prefilter t ~conn_id ~salt0
+    ~enc_chunk] — raises [Invalid_argument] on duplicate ids.
+    [enc_chunk] is consulted on the calling (owning) domain.
+    [direction] is the record-layer direction of the inspected stream;
+    [prepared]/[keys]/[prefilter] are the shared per-(tenant, generation)
+    chunk/enc arrays, expanded keyset and prefilter prep that make
+    registration O(1) in ruleset size and keep per-connection footprint
+    flat (see {!Engine.create}). *)
 val register :
   ?direction:string ->
+  ?prepared:string array * string array ->
+  ?keys:Bbx_detect.Detect.keyset ->
+  ?prefilter:Engine.prefilter_prep ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
 
 (** [record_stream t ~conn_id record] retains one sealed SSL record for
@@ -75,15 +85,19 @@ val engine : t -> conn_id:conn_id -> Engine.t
     connection's engine. *)
 val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
 
-(** [update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk] applies
+(** [update_rules ?prefilter t ~conn_id ~remove_sids ~add ~rules
+    ~enc_chunk] applies
     a rule update to one connection's engine: rules with a sid in
     [remove_sids] are retired ({!Engine.remove_rules} — the connection's
     reported-rule set is remapped across the index shift), [add] rules
     are appended ({!Engine.add_rules}, consulting [enc_chunk] for fresh
     chunks), and [rules] — the full post-update ruleset — becomes the
-    shard's ruleset for future registrations.  Follow with
+    shard's ruleset for future registrations.  [prefilter] — the shared
+    prep for the post-update ruleset — replaces the engine-owned
+    prefilter the update rebuilt ({!Engine.set_prefilter}).  Follow with
     {!reset_conn}, as after any rule update. *)
 val update_rules :
+  ?prefilter:Engine.prefilter_prep ->
   t ->
   conn_id:conn_id ->
   remove_sids:int list ->
@@ -102,3 +116,37 @@ val empty_stats : stats
 val flow_stats : t -> conn_id:conn_id -> flow_stats
 
 val fold_flows : t -> init:'a -> f:('a -> conn_id -> flow_stats -> 'a) -> 'a
+
+(** {1 Connection export / import (migration)}
+
+    A connection can be drained from one shard and resumed on another —
+    same pool, another pool, or another daemon.  The blob wraps
+    {!Engine.snapshot} plus the shard-level wrapper state (blocked flag,
+    reported-rule bitset, flow counters).  Aggregate shard totals stay
+    where they accrued: migration moves a connection's future, not its
+    history, so stats summed across shards match an unmigrated run. *)
+
+(** [export_conn t ~conn_id] serialises and {e removes} the connection
+    (connection-gauge −1).  Raises [Invalid_argument] on unknown ids. *)
+val export_conn : t -> conn_id:conn_id -> string
+
+(** A parsed, fully validated export blob, ready to adopt. *)
+type imported
+
+(** [parse_export ?mode blob] validates and rebuilds the connection
+    state.  Raises [Invalid_argument] on any malformed blob, or when
+    [mode] is given and does not match the snapshot — call this on the
+    front side so worker domains only ever see valid state. *)
+val parse_export : ?mode:Bbx_dpienc.Dpienc.mode -> string -> imported
+
+(** [adopt t ~conn_id c] installs a parsed connection (gauge +1).
+    Infallible (replaces any existing [conn_id] — callers check for
+    duplicates before parsing). *)
+val adopt : t -> conn_id:conn_id -> imported -> unit
+
+(** Currently registered connections on this shard. *)
+val conn_count : t -> int
+
+(** Approximate resident bytes of all per-connection state on this shard
+    (the [bbx_conn_bytes] input; see {!Engine.footprint_bytes}). *)
+val footprint_bytes : t -> int

@@ -5,6 +5,8 @@ module Pool = Bbx_exec.Pool
 let obs_submitted = Obs.counter "bbx_shardpool_submitted_total"
 let obs_dropped = Obs.counter "bbx_shardpool_dropped_total"
 let obs_domains = Obs.gauge "bbx_shardpool_domains"
+let obs_conn_bytes = Obs.gauge "bbx_conn_bytes"
+let obs_migrations = Obs.counter "bbx_conn_migrations_total"
 
 (* Per-delivery pipeline stages, microseconds: submit -> worker dequeue
    (queue wait) and the Shard inspection itself (service).  These are the
@@ -38,12 +40,24 @@ type result = {
    the sender. *)
 type t = {
   pool : (Shard.t, result) Pool.t;
-  registered : (conn_id, unit) Hashtbl.t;  (* front-side duplicate/unknown guard *)
+  mode : Bbx_dpienc.Dpienc.mode;           (* for validating imported state *)
+  registered : (conn_id, int) Hashtbl.t;   (* front-side pin table:
+                                              conn_id -> owning shard (also
+                                              the duplicate/unknown guard) *)
 }
 
-(* Connection routing: dense conn ids spread perfectly evenly (important
-   for scaling), arbitrary ids still land deterministically. *)
-let shard_index t conn_id = (conn_id land max_int) mod Pool.domains t.pool
+(* Default placement: dense conn ids spread perfectly evenly (important
+   for scaling), arbitrary ids still land deterministically.  Migration
+   can re-pin a connection to any shard afterwards — routing always goes
+   through the pin table. *)
+let default_shard t conn_id = (conn_id land max_int) mod Pool.domains t.pool
+
+(* The owning shard of a registered connection. *)
+let shard_of t conn_id op =
+  match Hashtbl.find_opt t.registered conn_id with
+  | Some w -> w
+  | None ->
+    invalid_arg (Printf.sprintf "Shardpool.%s: unknown connection %d" op conn_id)
 
 let default_domains = Pool.default_domains
 
@@ -55,7 +69,7 @@ let create ?domains ?capacity ?batch_max ?index ?tier ?budget ~mode ~rules () =
       ~state:(fun _ -> Shard.create ?index ?tier ?budget ~mode ~rules ()) ()
   in
   Obs.set_gauge obs_domains n;
-  { pool; registered = Hashtbl.create 64 }
+  { pool; mode; registered = Hashtbl.create 64 }
 
 let domains t = Pool.domains t.pool
 
@@ -63,17 +77,15 @@ let check_live t op =
   if not (Pool.live t.pool) then
     invalid_arg (Printf.sprintf "Shardpool.%s: pool is shut down" op)
 
-let register ?direction t ~conn_id ~salt0 ~enc_chunk =
+let register ?direction ?prepared ?keys ?prefilter t ~conn_id ~salt0 ~enc_chunk =
   check_live t "register";
   if Hashtbl.mem t.registered conn_id then
     invalid_arg (Printf.sprintf "Shardpool.register: connection %d exists" conn_id);
-  Hashtbl.add t.registered conn_id ();
-  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
-      Shard.register ?direction core ~conn_id ~salt0 ~enc_chunk)
+  let worker = default_shard t conn_id in
+  Hashtbl.add t.registered conn_id worker;
+  Pool.exec t.pool ~worker (fun core ->
+      Shard.register ?direction ?prepared ?keys ?prefilter core ~conn_id ~salt0 ~enc_chunk)
 
-let check_known t conn_id op =
-  if not (Hashtbl.mem t.registered conn_id) then
-    invalid_arg (Printf.sprintf "Shardpool.%s: unknown connection %d" op conn_id)
 
 (* Record retention rides the same per-worker FIFO mailbox as deliveries,
    so a record frame submitted before its token frames is guaranteed to
@@ -81,13 +93,12 @@ let check_known t conn_id op =
    decrypts strictly in sequence. *)
 let record_stream t ~conn_id record =
   check_live t "record_stream";
-  check_known t conn_id "record_stream";
-  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+  Pool.exec t.pool ~worker:(shard_of t conn_id "record_stream") (fun core ->
       Shard.record_stream core ~conn_id record)
 
 let submit ?(tag = -1) t ~conn_id wire =
   check_live t "submit";
-  check_known t conn_id "submit";
+  let worker = shard_of t conn_id "submit" in
   (* [timing] is decided at submit time and captured by the closure, so a
      worker never reads the Obs/Trace switches mid-batch; [tag] is the
      caller's frame id (the wire seq for daemon deliveries) and keys the
@@ -95,7 +106,7 @@ let submit ?(tag = -1) t ~conn_id wire =
   let timing = Obs.enabled () || Trace.enabled () in
   let t_sub = if timing then Trace.now_ns () else -1 in
   let seq =
-    Pool.submit t.pool ~worker:(shard_index t conn_id) (fun core ->
+    Pool.submit t.pool ~worker (fun core ->
         let t_deq = if timing then Trace.now_ns () else -1 in
         if timing then begin
           Obs.observe obs_queue_wait ((t_deq - t_sub) / 1000);
@@ -123,23 +134,21 @@ let submit ?(tag = -1) t ~conn_id wire =
 
 let reset_conn t ~conn_id ~salt0 =
   check_live t "reset_conn";
-  check_known t conn_id "reset_conn";
-  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
+  Pool.exec t.pool ~worker:(shard_of t conn_id "reset_conn") (fun core ->
       Shard.reset_conn core ~conn_id ~salt0)
 
-let update_rules t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
+let update_rules ?prefilter t ~conn_id ~remove_sids ~add ~rules ~enc_chunk =
   check_live t "update_rules";
-  check_known t conn_id "update_rules";
-  Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
-      Shard.update_rules core ~conn_id ~remove_sids ~add ~rules ~enc_chunk)
+  Pool.exec t.pool ~worker:(shard_of t conn_id "update_rules") (fun core ->
+      Shard.update_rules ?prefilter core ~conn_id ~remove_sids ~add ~rules ~enc_chunk)
 
 let unregister t ~conn_id =
   check_live t "unregister";
-  if Hashtbl.mem t.registered conn_id then begin
+  match Hashtbl.find_opt t.registered conn_id with
+  | None -> ()
+  | Some worker ->
     Hashtbl.remove t.registered conn_id;
-    Pool.exec t.pool ~worker:(shard_index t conn_id) (fun core ->
-        Shard.unregister core ~conn_id)
-  end
+    Pool.exec t.pool ~worker (fun core -> Shard.unregister core ~conn_id)
 
 let drain t ~f =
   check_live t "drain";
@@ -158,7 +167,7 @@ let process_wire t ~conn_id wire =
 
 let is_blocked t ~conn_id =
   check_live t "is_blocked";
-  Pool.quiesce t.pool ~worker:(shard_index t conn_id) (fun core ->
+  Pool.quiesce t.pool ~worker:(shard_of t conn_id "is_blocked") (fun core ->
       Shard.is_blocked core ~conn_id)
 
 let stats t =
@@ -168,12 +177,108 @@ let stats t =
 
 let flow_stats t ~conn_id =
   check_live t "flow_stats";
-  Pool.quiesce t.pool ~worker:(shard_index t conn_id) (fun core ->
+  Pool.quiesce t.pool ~worker:(shard_of t conn_id "flow_stats") (fun core ->
       Shard.flow_stats core ~conn_id)
 
 let fold_flows t ~init ~f =
   check_live t "fold_flows";
   Pool.fold_workers t.pool ~init ~f:(fun acc core -> Shard.fold_flows core ~init:acc ~f)
+
+(* ---------- connection migration -------------------------------------- *)
+
+let conn_shard t ~conn_id =
+  check_live t "conn_shard";
+  shard_of t conn_id "conn_shard"
+
+let conns_per_shard t =
+  let counts = Array.make (Pool.domains t.pool) 0 in
+  Hashtbl.iter (fun _ w -> counts.(w) <- counts.(w) + 1) t.registered;
+  counts
+
+(* Draining through the FIFO mailbox: [Pool.quiesce] runs the export on
+   the owning worker only after every message submitted before it —
+   deliveries, record frames, salt resets — has executed, so the snapshot
+   reflects exactly the traffic submitted so far.  Results of those
+   deliveries stay in the pool's completion buffer and are still returned
+   by the next {!drain}. *)
+let export_conn t ~conn_id =
+  check_live t "export_conn";
+  let worker = shard_of t conn_id "export_conn" in
+  let blob =
+    Pool.quiesce t.pool ~worker (fun core -> Shard.export_conn core ~conn_id)
+  in
+  Hashtbl.remove t.registered conn_id;
+  blob
+
+let import_conn ?shard t ~conn_id blob =
+  check_live t "import_conn";
+  if Hashtbl.mem t.registered conn_id then
+    invalid_arg (Printf.sprintf "Shardpool.import_conn: connection %d exists" conn_id);
+  let worker = match shard with Some s -> s | None -> default_shard t conn_id in
+  if worker < 0 || worker >= Pool.domains t.pool then
+    invalid_arg (Printf.sprintf "Shardpool.import_conn: no shard %d" worker);
+  (* Parse and validate on the front side: a malformed blob raises here,
+     where the caller can reject it, never on a worker domain (a worker
+     exception poisons the pool). *)
+  let c = Shard.parse_export ~mode:t.mode blob in
+  Hashtbl.add t.registered conn_id worker;
+  Pool.exec t.pool ~worker (fun core -> Shard.adopt core ~conn_id c);
+  Obs.incr obs_migrations
+
+let migrate t ~conn_id ~shard =
+  check_live t "migrate";
+  if shard < 0 || shard >= Pool.domains t.pool then
+    invalid_arg (Printf.sprintf "Shardpool.migrate: no shard %d" shard);
+  if shard_of t conn_id "migrate" <> shard then begin
+    let blob = export_conn t ~conn_id in
+    import_conn ~shard t ~conn_id blob
+  end
+
+(* Even out the pin table: move connections from shards above the ceiling
+   target to shards below it.  Placement-only — verdicts, stats and wire
+   behaviour are invariant under migration (differential-tested), so
+   rebalancing is safe to run at any quiet moment.  Returns how many
+   connections moved. *)
+let rebalance t =
+  check_live t "rebalance";
+  let d = Pool.domains t.pool in
+  let counts = conns_per_shard t in
+  let total = Hashtbl.length t.registered in
+  let target = (total + d - 1) / d in
+  let moves = ref [] in
+  Hashtbl.iter
+    (fun conn_id w -> if counts.(w) > target then begin
+         counts.(w) <- counts.(w) - 1;
+         moves := conn_id :: !moves
+       end)
+    t.registered;
+  let moved = ref 0 in
+  List.iter
+    (fun conn_id ->
+       (* cheapest destination each time; [d] is small *)
+       let dest = ref 0 in
+       for w = 1 to d - 1 do
+         if counts.(w) < counts.(!dest) then dest := w
+       done;
+       if counts.(!dest) < target then begin
+         counts.(!dest) <- counts.(!dest) + 1;
+         migrate t ~conn_id ~shard:!dest;
+         incr moved
+       end)
+    !moves;
+  !moved
+
+(* ---------- footprint accounting -------------------------------------- *)
+
+(* Quiesces every worker; refreshes the [bbx_conn_bytes] gauge. *)
+let footprint_bytes t =
+  check_live t "footprint_bytes";
+  let bytes =
+    Pool.fold_workers t.pool ~init:0 ~f:(fun acc core ->
+        acc + Shard.footprint_bytes core)
+  in
+  Obs.set_gauge obs_conn_bytes bytes;
+  bytes
 
 let shutdown t =
   if Pool.live t.pool then begin

@@ -4,8 +4,9 @@
     shard, each owning a private {!Shard} — its own per-connection
     detection engines and connection table, no shared mutable detection
     state.  The front feeds workers through the pool's per-worker bounded
-    mailboxes and routes every message for a connection to the shard
-    [conn_id mod domains], so a connection's deliveries (and salt resets,
+    mailboxes and routes every message for a connection to its pinned
+    shard (default placement [conn_id mod domains]; {!migrate} can re-pin
+    a live connection), so a connection's deliveries (and salt resets,
     rule updates) execute in submission order on one domain and its
     per-token salt counters stay in lock-step with the sender.
 
@@ -61,12 +62,19 @@ val create :
 (** Number of worker domains (= shards). *)
 val domains : t -> int
 
-(** [register ?direction t ~conn_id ~salt0 ~enc_chunk] — as
-    {!Middlebox.register}; raises [Invalid_argument] on duplicate ids.
-    [enc_chunk] runs on the owning worker domain and must not share
-    mutable state with other connections' oracles. *)
+(** [register ?direction ?prepared ?keys ?prefilter t ~conn_id ~salt0
+    ~enc_chunk] — as {!Middlebox.register}; raises [Invalid_argument] on
+    duplicate ids.  [enc_chunk] runs on the owning worker domain and must
+    not share mutable state with other connections' oracles.
+    [prepared]/[keys]/[prefilter] share one immutable rule preparation,
+    expanded keyset and prefilter automaton across the fleet — safe
+    across domains precisely because they are never written after
+    publication (see {!Engine.create}). *)
 val register :
   ?direction:string ->
+  ?prepared:string array * string array ->
+  ?keys:Bbx_detect.Detect.keyset ->
+  ?prefilter:Engine.prefilter_prep ->
   t -> conn_id:conn_id -> salt0:int -> enc_chunk:(string -> string) -> unit
 
 (** [record_stream t ~conn_id record] enqueues one sealed SSL record for
@@ -114,6 +122,7 @@ val reset_conn : t -> conn_id:conn_id -> salt0:int -> unit
     runs on the owning worker domain and must not share mutable state
     with other connections' oracles. *)
 val update_rules :
+  ?prefilter:Engine.prefilter_prep ->
   t ->
   conn_id:conn_id ->
   remove_sids:int list ->
@@ -133,6 +142,50 @@ val stats : t -> stats
 val flow_stats : t -> conn_id:conn_id -> Shard.flow_stats
 
 val fold_flows : t -> init:'a -> f:('a -> conn_id -> Shard.flow_stats -> 'a) -> 'a
+
+(** {1 Connection migration}
+
+    A live connection can be drained off its shard and resumed elsewhere:
+    another shard of the same pool ({!migrate}), or another pool/daemon
+    entirely ({!export_conn} on the source, {!import_conn} on the
+    destination).  The blob is {!Shard.export_conn} output — engine
+    snapshot plus shard wrapper state — and a migrated connection is
+    observably identical to one that never moved (differential-tested:
+    same future verdicts, wire frames and summed stats). *)
+
+(** [export_conn t ~conn_id] quiesces the owning worker — draining every
+    message already submitted for the connection through its FIFO mailbox
+    — then serialises and removes the connection.  Results of deliveries
+    drained this way are still returned by the next {!drain}.  Raises
+    [Invalid_argument] on unknown ids. *)
+val export_conn : t -> conn_id:conn_id -> string
+
+(** [import_conn ?shard t ~conn_id blob] validates [blob] on the front
+    side ({!Shard.parse_export} — a malformed or mode-mismatched blob
+    raises [Invalid_argument] here and never reaches a worker) and
+    installs the connection on [shard] (default: the [conn_id]-hash
+    placement).  Raises on duplicate ids and out-of-range shards. *)
+val import_conn : ?shard:int -> t -> conn_id:conn_id -> string -> unit
+
+(** [migrate t ~conn_id ~shard] re-pins a live connection onto another
+    shard of this pool (export + import; no-op when already there). *)
+val migrate : t -> conn_id:conn_id -> shard:int -> unit
+
+(** The shard currently owning [conn_id].  Raises [Invalid_argument] on
+    unknown ids. *)
+val conn_shard : t -> conn_id:conn_id -> int
+
+(** Registered-connection count per shard (index = shard). *)
+val conns_per_shard : t -> int array
+
+(** [rebalance t] migrates connections from shards above the even-split
+    ceiling to shards below it and returns how many moved.  Placement
+    only — verdict streams and stats are invariant under migration. *)
+val rebalance : t -> int
+
+(** Approximate resident bytes of all per-connection state across every
+    shard (quiesces all workers; refreshes the [bbx_conn_bytes] gauge). *)
+val footprint_bytes : t -> int
 
 (** [shutdown t] drains remaining mailboxes, stops and joins every worker
     domain.  Idempotent; the pool is unusable afterwards. *)

@@ -17,6 +17,12 @@ let create ~key ~direction =
   let mac = Kdf.derive ~secret:key ~label:("record-mac:" ^ direction) 32 in
   { enc_key = Aes.expand_key enc; mac_key = mac; seq = 0 }
 
+let seq t = t.seq
+
+let set_seq t seq =
+  if seq < 0 then invalid_arg "Record.set_seq: negative sequence";
+  t.seq <- seq
+
 let nonce seq = String.make 4 '\000' ^ "rec:" ^ Util.u64_be seq
 
 let seal t plaintext =

@@ -24,3 +24,11 @@ val open_ : t -> string -> string
 
 (** Bytes of framing + MAC overhead per record. *)
 val overhead : int
+
+(** The next sequence number this state will seal or accept. *)
+val seq : t -> int
+
+(** [set_seq t n] resumes a migrated half-duplex state at sequence [n]
+    (snapshot/restore of record-layer continuity).  Raises
+    [Invalid_argument] if [n] is negative. *)
+val set_seq : t -> int -> unit

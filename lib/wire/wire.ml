@@ -34,6 +34,7 @@ type stats = {
 (* HELLO feature bits *)
 let feature_metrics = 1
 let feature_tiered = 2
+let feature_migrate = 4
 
 type metrics_scope = Prometheus | Jsonl | Trace
 
@@ -59,6 +60,9 @@ type msg =
   | Metrics of { scope : metrics_scope; body : string }
   | Record_stream of { seq : int; record : string }
   | Verdict_tiered of { seq : int; status : status; verdicts : verdict list }
+  | Conn_export
+  | Conn_state of { state : string }
+  | Conn_import of { state : string }
 
 let err_malformed = 1
 let err_protocol = 2
@@ -84,6 +88,9 @@ let t_metrics_req = 14
 let t_metrics = 15
 let t_record_stream = 16
 let t_verdict_tiered = 17
+let t_conn_export = 18
+let t_conn_state = 19
+let t_conn_import = 20
 
 let mode_byte = function Dpienc.Exact -> 0 | Dpienc.Probable -> 1
 
@@ -333,6 +340,13 @@ let encode_payload buf = function
          put_u8 buf (detail_byte v.v_detail);
          put_str16 buf v.v_msg)
       verdicts
+  | Conn_export -> put_u8 buf t_conn_export
+  | Conn_state { state } ->
+    put_u8 buf t_conn_state;
+    Buffer.add_string buf state
+  | Conn_import { state } ->
+    put_u8 buf t_conn_import;
+    Buffer.add_string buf state
 
 let encode_frame buf msg =
   let body = Buffer.create 64 in
@@ -429,6 +443,9 @@ let decode payload =
       in
       Verdict_tiered { seq; status; verdicts }
     end
+    else if ty = t_conn_export then Conn_export
+    else if ty = t_conn_state then Conn_state { state = get_rest c }
+    else if ty = t_conn_import then Conn_import { state = get_rest c }
     else if ty = t_error then begin
       let code = get_u16 c in
       let message = get_str16 c in

@@ -48,6 +48,12 @@
     receives its verdicts as [VERDICT_TIERED] — identical to [VERDICT]
     plus one {!detail} byte per verdict.  Clients that did not advertise
     it keep receiving legacy [VERDICT] frames.
+    [CONN_EXPORT]/[CONN_STATE]/[CONN_IMPORT] ({!feature_migrate}) carry
+    live connection migration: a streaming client asks the daemon to
+    drain and serialise its connection ([CONN_EXPORT] -> [CONN_STATE]),
+    then resumes it on another daemon by sending [CONN_IMPORT] in place
+    of [RULE_SETUP] — skipping rule setup entirely, since the snapshot
+    carries the prepared rule encryptions and every counter.
 
     Anything the decoder cannot parse raises {!Malformed}; servers answer
     with an [ERROR] frame and close that one connection. *)
@@ -109,6 +115,11 @@ val feature_metrics : int
     byte) instead of legacy [VERDICT]. *)
 val feature_tiered : int
 
+(** Feature bit advertised in the [HELLO] trailing byte: the client
+    speaks live connection migration ([CONN_EXPORT]/[CONN_STATE]/
+    [CONN_IMPORT]). *)
+val feature_migrate : int
+
 (** What a [METRICS_REQ] asks for: the metric registry as Prometheus text
     ({!Bbx_obs.Obs.render_prometheus}) or JSONL ({!Bbx_obs.Obs.dump_jsonl}),
     or the flight-recorder window as Chrome-trace JSON
@@ -153,6 +164,20 @@ type msg =
   | Verdict_tiered of { seq : int; status : status; verdicts : verdict list }
       (** [VERDICT] with an explicit per-verdict {!detail} byte; sent in
           place of [VERDICT] to clients that advertised {!feature_tiered}. *)
+  | Conn_export
+      (** drain my connection through its shard mailbox, serialise it and
+          send it back ({!feature_migrate}).  The daemon replies with any
+          still-pending [VERDICT]s, then one [CONN_STATE]; the connection
+          is gone from this daemon afterwards (further traffic frames
+          draw [ERROR{err_protocol}]). *)
+  | Conn_state of { state : string }
+      (** the serialised connection ({!Bbx_mbox.Shard.export_conn} blob,
+          rest of frame, verbatim) *)
+  | Conn_import of { state : string }
+      (** resume a previously exported connection on this daemon; legal
+          exactly where [RULE_SETUP] is (after [HELLO_OK]), replacing it.
+          The daemon validates the blob (mode must match, state must
+          parse) and replies [SETUP_OK], or [ERROR{err_setup}]. *)
 
 (** [ERROR] codes: unparseable frame, message illegal in this connection
     state, version/mode mismatch at HELLO, rule setup/update rejected,

@@ -399,6 +399,137 @@ let loadgen_smoke mode () =
   Alcotest.(check int) "token parity" report.Loadgen.rp_tokens
     stats.Wire.s_total_tokens
 
+(* ---------- live migration across daemons ---------- *)
+
+(* CONN_EXPORT / CONN_STATE / CONN_IMPORT over real sockets: a session
+   established on daemon A moves to daemon B mid-stream via
+   [Client.migrate].  The sender's key material and salt counters carry
+   over unchanged, the reported-verdict bitset travels with the snapshot
+   (no re-report on B), and history stays where it was earned — stats on
+   A are untouched by the move.  Both daemons live in this process, so
+   [bbx_daemon_conns_active] is the shared registry's view of the pair:
+   it must net out to the same value after export (-1) + import (+1). *)
+let migrate_between_daemons () =
+  let obs_active = Bbx_obs.Obs.gauge "bbx_daemon_conns_active" in
+  with_daemon @@ fun endpoint_a ->
+  with_daemon @@ fun endpoint_b ->
+  let base = Bbx_obs.Obs.gauge_value obs_active in
+  let s =
+    Client.establish ~features:Wire.feature_migrate endpoint_a
+      ~mode:Dpienc.Exact ~salt0:0 ~seed:"mig"
+  in
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  let wires =
+    wires_for sender
+      [ "before the move: alertkw1";
+        "after the move: alertkw1 again";   (* dedup evidence *)
+        "and a fresh rule otherkw2" ]
+  in
+  Alcotest.(check int) "one active conn" (base + 1)
+    (Bbx_obs.Obs.gauge_value obs_active);
+  Client.send_records s.Client.sc_client ~seq:0 (List.nth wires 0);
+  let _, status0, v0 = Client.recv_verdict s.Client.sc_client in
+  Alcotest.(check bool) "alert on A before the move" true
+    (status0 = Wire.Alerts && wire_sigs v0 = [ (1, `Exact_match) ]);
+  let stats_of endpoint =
+    let t = Client.connect endpoint in
+    Fun.protect ~finally:(fun () -> Client.close t) (fun () -> Client.stats t)
+  in
+  let stats_a0 = stats_of endpoint_a in
+  let s2, pending = Client.migrate s endpoint_b in
+  Fun.protect ~finally:(fun () -> Client.close s2.Client.sc_client)
+  @@ fun () ->
+  Alcotest.(check int) "no verdicts were in flight" 0 (List.length pending);
+  Alcotest.(check bool) "session rebound" true
+    (s2.Client.sc_key = s.Client.sc_key && s2.Client.sc_mode = Dpienc.Exact);
+  Alcotest.(check int) "gauge nets out across the pair" (base + 1)
+    (Bbx_obs.Obs.gauge_value obs_active);
+  (* the same sender keeps streaming against B: salt counters carried *)
+  Client.send_records s2.Client.sc_client ~seq:1 (List.nth wires 1);
+  let _, status1, v1 = Client.recv_verdict s2.Client.sc_client in
+  Alcotest.(check bool) "sid 1 not re-reported on B" true
+    (status1 = Wire.Clean && v1 = []);
+  Client.send_records s2.Client.sc_client ~seq:2 (List.nth wires 2);
+  let _, status2, v2 = Client.recv_verdict s2.Client.sc_client in
+  Alcotest.(check bool) "fresh rule still fires on B" true
+    (status2 = Wire.Alerts && wire_sigs v2 = [ (2, `Exact_match) ]);
+  (* migration moves the future, not the history *)
+  let stats_a1 = stats_of endpoint_a in
+  Alcotest.(check int) "A keeps its token history"
+    stats_a0.Wire.s_total_tokens stats_a1.Wire.s_total_tokens;
+  Alcotest.(check int) "A keeps its alert" 1 stats_a1.Wire.s_alerts;
+  let stats_b = stats_of endpoint_b in
+  Alcotest.(check bool) "B accrues only post-move tokens" true
+    (stats_b.Wire.s_total_tokens > 0);
+  Alcotest.(check int) "deduped re-report is not an alert on B" 1
+    stats_b.Wire.s_alerts
+
+(* CONN_EXPORT without feature_migrate in the HELLO is a protocol error
+   that kills only that connection — the daemon keeps serving. *)
+let export_requires_feature () =
+  with_daemon @@ fun endpoint ->
+  let s = Client.establish endpoint ~mode:Dpienc.Exact ~salt0:0 ~seed:"nof" in
+  Alcotest.(check bool) "export rejected without the feature bit" true
+    (match Client.export_conn s.Client.sc_client with
+     | exception Client.Server_error _ -> true
+     | exception End_of_file -> true
+     | _ -> false);
+  Client.close s.Client.sc_client;
+  let s2 =
+    Client.establish ~features:Wire.feature_migrate endpoint ~mode:Dpienc.Exact
+      ~salt0:0 ~seed:"yesf"
+  in
+  Fun.protect ~finally:(fun () -> Client.close s2.Client.sc_client)
+  @@ fun () ->
+  let sender = Dpienc.sender_create Dpienc.Exact s2.Client.sc_key ~salt0:0 in
+  List.iteri
+    (fun i wire ->
+      Client.send_records s2.Client.sc_client ~seq:i wire;
+      let _, status, verdicts = Client.recv_verdict s2.Client.sc_client in
+      Alcotest.(check bool) "daemon healthy after the rejection" true
+        (status = Wire.Alerts && wire_sigs verdicts = [ (1, `Exact_match) ]))
+    (wires_for sender [ "alertkw1 still inspected" ])
+
+(* A corrupted snapshot must be refused at CONN_IMPORT without harming
+   the daemon, and a genuine export must round-trip back into the same
+   daemon (self-migration: the degenerate rebalance case). *)
+let import_rejects_garbage () =
+  with_daemon @@ fun endpoint ->
+  let s =
+    Client.establish ~features:Wire.feature_migrate endpoint ~mode:Dpienc.Exact
+      ~salt0:0 ~seed:"self"
+  in
+  let sender = Dpienc.sender_create Dpienc.Exact s.Client.sc_key ~salt0:0 in
+  let wires = wires_for sender [ "alertkw1 first"; "then otherkw2" ] in
+  Client.send_records s.Client.sc_client ~seq:0 (List.nth wires 0);
+  ignore (Client.recv_verdict s.Client.sc_client);
+  let state, _pending = Client.export_conn s.Client.sc_client in
+  Client.close s.Client.sc_client;
+  (* truncated blob: refused with an ERROR, connection dies, daemon lives *)
+  let t = Client.connect endpoint in
+  Alcotest.(check bool) "garbage snapshot refused" true
+    (match
+       ignore
+         (Client.hello ~features:Wire.feature_migrate t ~mode:Dpienc.Exact
+            ~salt0:0);
+       Client.import_conn t ~state:(String.sub state 0 (String.length state / 2))
+     with
+     | exception Client.Server_error _ -> true
+     | exception End_of_file -> true
+     | _ -> false);
+  Client.close t;
+  (* the intact blob resumes on the very same daemon *)
+  let t2 = Client.connect endpoint in
+  Fun.protect ~finally:(fun () -> Client.close t2)
+  @@ fun () ->
+  ignore
+    (Client.hello ~features:Wire.feature_migrate t2 ~mode:Dpienc.Exact ~salt0:0);
+  Client.import_conn t2 ~state;
+  Client.send_records t2 ~seq:1 (List.nth wires 1);
+  let _, status, verdicts = Client.recv_verdict t2 in
+  Alcotest.(check bool) "resumed stream alerts on sid 2" true
+    (status = Wire.Alerts && wire_sigs verdicts = [ (2, `Exact_match) ])
+
 (* ---------- observability plane ---------- *)
 
 module Trace = Bbx_obs.Trace
@@ -590,6 +721,13 @@ let () =
         [ Alcotest.test_case "exact mode" `Quick (loadgen_smoke Dpienc.Exact);
           Alcotest.test_case "probable-cause mode" `Quick
             (loadgen_smoke Dpienc.Probable) ] );
+      ( "migration",
+        [ Alcotest.test_case "live migration between two daemons" `Quick
+            migrate_between_daemons;
+          Alcotest.test_case "CONN_EXPORT gated on feature_migrate" `Quick
+            export_requires_feature;
+          Alcotest.test_case "corrupt snapshot refused, intact one resumes"
+            `Quick import_rejects_garbage ] );
       ( "observability",
         [ Alcotest.test_case "METRICS_REQ over the wire, all scopes" `Quick
             metrics_over_wire;

@@ -544,10 +544,181 @@ let script_tests =
         Alcotest.(check bool) "nop-sled" true (List.mem "nop-sled" names));
   ]
 
+(* Snapshot/restore (connection migration) and the fleet-shared prefilter.
+   The contract under test: [restore (snapshot e)] is observably identical
+   to [e] — same verdicts now and on every future delivery — and a shared
+   prefilter prep changes footprint, never behaviour. *)
+let snapshot_tests =
+  let k_ssl = String.make 16 'K' in
+  let pcre_rule sid =
+    rule_of_string
+      (Printf.sprintf
+         "alert tcp any any -> any any (content:\"userquery\"; \
+          pcre:\"/userquery=[0-9]+'/\"; sid:%d;)"
+         sid)
+  in
+  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" in
+  let details e =
+    List.map (fun v -> (v.Engine.rule_idx, Engine.detail_name v.Engine.detail))
+      (Engine.verdicts e)
+  in
+  [ Alcotest.test_case "restore is observably identical (exact mode)" `Quick (fun () ->
+        let rules =
+          [ Rule.make ~sid:1 [ Rule.make_content "evilword" ];
+            Rule.make ~sid:2 [ Rule.make_content "otherkw2" ] ]
+        in
+        let e = mk_engine rules in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "x=evilword tail");
+        let r = Engine.restore (Engine.snapshot e) in
+        Alcotest.(check (list (pair int string))) "verdicts travel" (details e) (details r);
+        Alcotest.(check int) "hit count travels" (Engine.hit_count e) (Engine.hit_count r);
+        (* identical future: the same post-snapshot wires land the same *)
+        let toks = encrypt_payload s "y=otherkw2 and evilword again" in
+        Engine.process e toks;
+        Engine.process r toks;
+        Alcotest.(check (list (pair int string))) "future verdicts agree"
+          (details e) (details r);
+        Alcotest.(check int) "future hits agree" (Engine.hit_count e) (Engine.hit_count r);
+        (* and across a salt reset *)
+        let salt0 = sender_reset s in
+        Engine.reset e ~salt0;
+        Engine.reset r ~salt0;
+        let toks = encrypt_payload s "post-reset evilword" in
+        Engine.process e toks;
+        Engine.process r toks;
+        Alcotest.(check int) "post-reset hits agree" (Engine.hit_count e)
+          (Engine.hit_count r));
+    Alcotest.test_case "mid-escalation snapshot carries the sealed stream" `Quick
+      (fun () ->
+        let e = mk_engine ~mode:Probable [ pcre_rule 41 ] in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        let p1 = "GET /?userquery=42' HTTP/1.1" in
+        (* record shipped, tokens not yet processed: the snapshot must
+           carry the still-sealed pending record and the record-layer
+           sequence so escalation completes on the restored side *)
+        Engine.record_stream e (Record.seal writer ("T" ^ p1));
+        let r = Engine.restore (Engine.snapshot e) in
+        let toks = encrypt_payload ~k_ssl s p1 in
+        Engine.process e toks;
+        Engine.process r toks;
+        List.iter
+          (fun (name, x) ->
+             Alcotest.(check bool) (name ^ " unlocked") true
+               (Engine.escalation x = `Unlocked);
+             Alcotest.(check (option string)) (name ^ " stream") (Some p1)
+               (Engine.decrypted_stream x);
+             Alcotest.(check (list (pair int string))) (name ^ " verdicts")
+               [ (0, "regex-match") ] (details x))
+          [ ("original", e); ("restored", r) ]);
+    Alcotest.test_case "post-escalation snapshot keeps decrypting" `Quick (fun () ->
+        let e = mk_engine ~mode:Probable [ pcre_rule 42 ] in
+        let s = sender ~mode:Probable () in
+        let writer = mk_writer () in
+        let p1 = "GET /?userquery=42' HTTP/1.1" in
+        Engine.record_stream e (Record.seal writer ("T" ^ p1));
+        Engine.process e (encrypt_payload ~k_ssl s p1);
+        Alcotest.(check bool) "unlocked before" true (Engine.escalation e = `Unlocked);
+        let r = Engine.restore (Engine.snapshot e) in
+        Alcotest.(check (option string)) "key travels" (Some k_ssl)
+          (Engine.recovered_key r);
+        (* the record-layer sequence travels: the next sealed record still
+           opens on the restored engine *)
+        let p2 = " more userquery=7' data" in
+        Engine.record_stream r (Record.seal writer ("T" ^ p2));
+        Engine.process r (encrypt_payload ~k_ssl s p2);
+        Alcotest.(check (option string)) "stream extends after restore"
+          (Some (p1 ^ p2)) (Engine.decrypted_stream r));
+    Alcotest.test_case "malformed snapshots are rejected" `Quick (fun () ->
+        let e = mk_engine [ Rule.make ~sid:1 [ Rule.make_content "evilword" ] ] in
+        let s = sender () in
+        Engine.process e (encrypt_payload s "x=evilword");
+        let blob = Engine.snapshot e in
+        let rejects what b =
+          Alcotest.(check bool) what true
+            (match Engine.restore b with
+             | exception Invalid_argument _ -> true
+             | _ -> false)
+        in
+        rejects "empty" "";
+        rejects "truncated" (String.sub blob 0 (String.length blob - 1));
+        rejects "bad version" ("\xff" ^ String.sub blob 1 (String.length blob - 1));
+        rejects "trailing garbage" (blob ^ "x"));
+    Alcotest.test_case "middlebox export/import: reporting and blocking travel"
+      `Quick (fun () ->
+        let rules =
+          [ Rule.make ~sid:1 [ Rule.make_content "alertkw1" ];
+            Rule.make ~action:Rule.Drop ~sid:3 [ Rule.make_content "dropkw33" ] ]
+        in
+        let src = Middlebox.create ~mode:Exact ~rules () in
+        let s = sender () in
+        Middlebox.register src ~conn_id:5 ~salt0:0 ~enc_chunk;
+        Alcotest.(check int) "first report" 1
+          (List.length (Middlebox.process src ~conn_id:5 (encrypt_payload s "x=alertkw1")));
+        let blob = Middlebox.export_conn src ~conn_id:5 in
+        Alcotest.(check bool) "gone from source" true
+          (match Middlebox.flow_stats src ~conn_id:5 with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        Alcotest.(check int) "source totals stay" 1 (Middlebox.stats src).alerts;
+        let dst = Middlebox.create ~mode:Exact ~rules () in
+        Middlebox.import_conn dst ~conn_id:5 blob;
+        (* the reported-rule bitset travelled: no re-report of sid 1 *)
+        Alcotest.(check int) "no re-report after import" 0
+          (List.length (Middlebox.process dst ~conn_id:5 (encrypt_payload s "x=alertkw1 again")));
+        ignore (Middlebox.process dst ~conn_id:5 (encrypt_payload s "q=dropkw33")
+                : Engine.verdict list);
+        Alcotest.(check bool) "drop rule blocks after import" true
+          (Middlebox.is_blocked dst ~conn_id:5);
+        (* duplicate and mode-mismatch imports are rejected *)
+        Alcotest.(check bool) "duplicate id rejected" true
+          (match Middlebox.import_conn dst ~conn_id:5 blob with
+           | exception Invalid_argument _ -> true
+           | _ -> false);
+        let wrong = Middlebox.create ~mode:Probable ~rules () in
+        let blob2 = Middlebox.export_conn dst ~conn_id:5 in
+        Alcotest.(check bool) "mode mismatch rejected" true
+          (match Middlebox.import_conn wrong ~conn_id:5 blob2 with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+    Alcotest.test_case "shared prefilter: same verdicts, flat footprint" `Quick
+      (fun () ->
+        let rules = [ pcre_rule 51; Rule.make ~sid:52 [ Rule.make_content "evilword" ] ] in
+        let pp = Engine.prepare_prefilter rules in
+        let own = mk_engine ~mode:Probable rules in
+        let shared =
+          Engine.create ~prefilter:pp ~mode:Probable ~salt0:0 ~rules ~enc_chunk ()
+        in
+        Alcotest.(check bool) "borrowed automaton is charged to its owner" true
+          (Engine.footprint_bytes shared < Engine.footprint_bytes own);
+        let s = sender ~mode:Probable () in
+        let w_own = mk_writer () and w_shared = mk_writer () in
+        List.iter
+          (fun p ->
+             Engine.record_stream own (Record.seal w_own ("T" ^ p));
+             Engine.record_stream shared (Record.seal w_shared ("T" ^ p));
+             let toks = encrypt_payload ~k_ssl s p in
+             Engine.process own toks;
+             Engine.process shared toks;
+             Alcotest.(check (list (pair int string))) ("verdicts for " ^ p)
+               (details own) (details shared))
+          [ "benign first"; "x=evilword"; "GET /?userquery=42' HTTP/1.1" ];
+        (* a prep over a different ruleset must not install *)
+        let other = Engine.prepare_prefilter [ pcre_rule 51 ] in
+        Alcotest.(check bool) "rule count mismatch rejected" true
+          (match
+             Engine.create ~prefilter:other ~mode:Probable ~salt0:0 ~rules ~enc_chunk ()
+           with
+           | exception Invalid_argument _ -> true
+           | _ -> false));
+  ]
+
 let () =
   Alcotest.run "mbox"
     [ ("engine", engine_tests);
       ("tiered", tiered_tests);
       ("middlebox", middlebox_tests);
       ("stats", stats_tests);
+      ("snapshot", snapshot_tests);
       ("scripts", script_tests) ]

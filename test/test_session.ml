@@ -306,6 +306,77 @@ let fleet_tests =
         Alcotest.(check int) "survivor fires" 1 (verdicts_of 1 "q=keeper88"));
   ]
 
+(* Fleet-scale state: shared rule prep is O(1) in connection count,
+   single-connection removal returns memory gauges to baseline, and live
+   migration/rebalancing never changes verdicts or stats. *)
+let fleet_state_tests =
+  let obs_prep = Bbx_obs.Obs.span "bbx_session_rule_prep" in
+  let obs_conns = Bbx_obs.Obs.gauge "bbx_mbox_connections" in
+  let obs_bytes = Bbx_obs.Obs.gauge "bbx_conn_bytes" in
+  let verdicts_of fleet conn payload =
+    let t = Session.Fleet.submit fleet ~conn payload in
+    let got = ref (-1) in
+    Session.Fleet.drain fleet ~f:(fun ~seq ~conn_id:_ vs ->
+        if seq = t then got := List.length vs);
+    !got
+  in
+  [ Alcotest.test_case "establish runs rule prep once at any size" `Quick (fun () ->
+        List.iter
+          (fun conns ->
+             let before = Bbx_obs.Obs.span_count obs_prep in
+             Session.Fleet.with_fleet ~config:cfg_exact ~domains:2 ~conns
+               ~rules:rules_basic (fun fleet ->
+                 Alcotest.(check int)
+                   (Printf.sprintf "one prep for %d conns" conns)
+                   1
+                   (Bbx_obs.Obs.span_count obs_prep - before);
+                 (* every connection still detects *)
+                 Alcotest.(check int) "conn detects" 1
+                   (verdicts_of fleet (conns - 1) "q=attackkw")))
+          [ 1; 5 ]);
+    Alcotest.test_case "remove returns memory gauges to baseline" `Quick (fun () ->
+        let base = Bbx_obs.Obs.gauge_value obs_conns in
+        Session.Fleet.with_fleet ~config:cfg_exact ~domains:2 ~conns:4
+          ~rules:rules_basic (fun fleet ->
+            ignore (verdicts_of fleet 0 "traffic on conn 0" : int);
+            Alcotest.(check int) "gauge counts the fleet" (base + 4)
+              (Bbx_obs.Obs.gauge_value obs_conns);
+            Alcotest.(check bool) "fleet occupies bytes" true
+              (Session.Fleet.conn_bytes fleet > 0);
+            for conn = 0 to 3 do
+              Session.Fleet.remove fleet ~conn
+            done;
+            Session.Fleet.remove fleet ~conn:0;  (* idempotent *)
+            Alcotest.(check int) "connection gauge back to baseline" base
+              (Bbx_obs.Obs.gauge_value obs_conns);
+            Alcotest.(check int) "footprint back to zero" 0
+              (Session.Fleet.conn_bytes fleet);
+            Alcotest.(check int) "bbx_conn_bytes gauge refreshed" 0
+              (Bbx_obs.Obs.gauge_value obs_bytes);
+            Alcotest.(check bool) "removed conn unknown" true
+              (match Session.Fleet.submit fleet ~conn:1 "x" with
+               | exception Invalid_argument _ -> true
+               | _ -> false)));
+    Alcotest.test_case "migrate and rebalance preserve verdict accounting" `Quick
+      (fun () ->
+        Session.Fleet.with_fleet ~config:cfg_exact ~domains:2 ~conns:3
+          ~rules:rules_basic (fun fleet ->
+            Alcotest.(check int) "verdict before" 1 (verdicts_of fleet 0 "q=attackkw");
+            let from = Session.Fleet.conn_shard fleet ~conn:0 in
+            Session.Fleet.migrate fleet ~conn:0 ~shard:((from + 1) mod 2);
+            Alcotest.(check bool) "shard changed" true
+              (Session.Fleet.conn_shard fleet ~conn:0 <> from);
+            (* sticky dedup travelled: same keyword, no fresh verdict *)
+            Alcotest.(check int) "no re-report after migrate" 0
+              (verdicts_of fleet 0 "again q=attackkw");
+            ignore (Session.Fleet.rebalance fleet : int);
+            Alcotest.(check int) "still one alert" 1
+              (Session.Fleet.stats fleet).Bbx_mbox.Middlebox.alerts;
+            let fs = Session.Fleet.flow_stats fleet ~conn:0 in
+            Alcotest.(check int) "verdict count travelled" 1
+              fs.Bbx_mbox.Middlebox.flow_verdicts));
+  ]
+
 (* The real rule-preparation pipeline: garbled AES circuits + OT.  Slow
    (~1s per chunk), so rulesets are kept tiny. *)
 let garbled_tests =
@@ -372,4 +443,5 @@ let () =
     [ ("end-to-end", session_tests);
       ("duplex", duplex_tests);
       ("fleet-updates", fleet_tests);
+      ("fleet-state", fleet_state_tests);
       ("garbled-rule-prep", garbled_tests) ]

@@ -226,6 +226,164 @@ let diff_tests =
   in
   [ prop 1; prop 2; prop 4 ]
 
+(* ---------- migration: verdict/stats invariance ---------- *)
+
+(* Like [run_pool], but with live migrations injected: after every
+   [every]-th submission the delivering connection is moved to the next
+   shard (its pending deliveries drain through the FIFO mailbox first,
+   so mid-stream migration must be invisible in the results). *)
+let run_pool_migrating ~domains ~every trace =
+  with_pool ~domains @@ fun pool ->
+  List.iter (register_pool pool) (conns_of_trace trace);
+  let i = ref 0 in
+  let seqs =
+    map_in_order
+      (fun (conn, wire) ->
+         let seq = Shardpool.submit pool ~conn_id:conn wire in
+         incr i;
+         if !i mod every = 0 then
+           Shardpool.migrate pool ~conn_id:conn
+             ~shard:((Shardpool.conn_shard pool ~conn_id:conn + 1) mod domains);
+         seq)
+      (wires_of_trace trace)
+  in
+  let by_seq = Hashtbl.create 64 in
+  Shardpool.drain pool ~f:(fun ~seq ~conn_id:_ vs ->
+      Hashtbl.replace by_seq seq (obs_of_verdicts vs));
+  let results = List.map (Hashtbl.find_opt by_seq) seqs in
+  let flows =
+    List.map
+      (fun conn ->
+         (conn, Shardpool.flow_stats pool ~conn_id:conn, Shardpool.is_blocked pool ~conn_id:conn))
+      (conns_of_trace trace)
+  in
+  (results, Shardpool.stats pool, flows)
+
+let migration_diff_tests =
+  let prop (domains, every) =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:(Printf.sprintf "pool@%d migrating every %d matches sequential"
+                  domains every)
+         ~count:10 arb_trace
+         (fun trace ->
+            let r_seq, s_seq, f_seq = run_sequential trace in
+            let r_mig, s_mig, f_mig = run_pool_migrating ~domains ~every trace in
+            r_seq = r_mig && s_seq = s_mig && f_seq = f_mig))
+  in
+  List.map prop [ (2, 1); (2, 3); (4, 2) ]
+
+(* Probable-mode tier-3 rules for the escalation migration tests. *)
+let t3_rules =
+  [ Bbx_rules.Parser.parse_rule
+      "alert tcp any any -> any any (content:\"userquery\"; \
+       pcre:\"/userquery=[0-9]+'/\"; sid:9;)" ]
+
+let t3_details vs =
+  List.map (fun v -> (v.Engine.rule_idx, Engine.detail_name v.Engine.detail)) vs
+
+let migration_unit_tests =
+  [ Alcotest.test_case "mid-escalation tier-3 migration" `Quick (fun () ->
+        (* the sealed record is retained on shard A, the unlocking tokens
+           arrive on shard B: escalation state (pending records, record
+           sequence) must travel with the connection *)
+        let k_ssl = String.make 16 'S' in
+        let key = key_for 3 in
+        Shardpool.with_pool ~domains:2 ~mode:Probable ~rules:t3_rules @@ fun pool ->
+        Shardpool.register pool ~conn_id:3 ~salt0:0 ~enc_chunk:(token_enc key)
+          ~direction:"client->server";
+        let s = sender_create Probable key ~salt0:0 in
+        let writer = Bbx_tls.Record.create ~key:k_ssl ~direction:"client->server" in
+        let p = "GET /?userquery=42' HTTP/1.1" in
+        Shardpool.record_stream pool ~conn_id:3
+          (Bbx_tls.Record.seal writer ("T" ^ p));
+        let from = Shardpool.conn_shard pool ~conn_id:3 in
+        Shardpool.migrate pool ~conn_id:3 ~shard:((from + 1) mod 2);
+        Alcotest.(check bool) "shard changed" true
+          (Shardpool.conn_shard pool ~conn_id:3 <> from);
+        let wire = encode_tokens (sender_encrypt s ~k_ssl (delimiter p)) in
+        let vs = Shardpool.process_wire pool ~conn_id:3 wire in
+        Alcotest.(check (list (pair int string))) "regex verdict after migration"
+          [ (0, "regex-match") ] (t3_details vs));
+    Alcotest.test_case "migration between salt reset and next batch" `Quick (fun () ->
+        let key = key_for 4 in
+        let rules_kw = rules in
+        let mk_wires () =
+          let s = sender_create Exact key ~salt0:0 in
+          let w1 = encode_tokens (sender_encrypt s (delimiter "x=alertkw1")) in
+          let salt0 = sender_reset s in
+          let w2 = encode_tokens (sender_encrypt s (delimiter "y=otherkw2")) in
+          (w1, salt0, w2)
+        in
+        let w1, salt0, w2 = mk_wires () in
+        (* reference: never migrated *)
+        let mb = Middlebox.create ~mode:Exact ~rules:rules_kw () in
+        Middlebox.register mb ~conn_id:4 ~salt0:0 ~enc_chunk:(token_enc key);
+        let r1 = Middlebox.process_wire mb ~conn_id:4 w1 in
+        Middlebox.engine mb ~conn_id:4 |> fun e -> Engine.reset e ~salt0;
+        let r2 = Middlebox.process_wire mb ~conn_id:4 w2 in
+        (* subject: migrated in the reset window, before the next batch *)
+        Shardpool.with_pool ~domains:2 ~mode:Exact ~rules:rules_kw @@ fun pool ->
+        Shardpool.register pool ~conn_id:4 ~salt0:0 ~enc_chunk:(token_enc key);
+        let m1 = Shardpool.process_wire pool ~conn_id:4 w1 in
+        Shardpool.reset_conn pool ~conn_id:4 ~salt0;
+        Shardpool.migrate pool ~conn_id:4
+          ~shard:((Shardpool.conn_shard pool ~conn_id:4 + 1) mod 2);
+        let m2 = Shardpool.process_wire pool ~conn_id:4 w2 in
+        Alcotest.(check (list (pair int string))) "pre-reset batch"
+          (t3_details r1) (t3_details m1);
+        Alcotest.(check (list (pair int string))) "post-reset batch"
+          (t3_details r2) (t3_details m2));
+    Alcotest.test_case "rebalance evens out a skewed pool" `Quick (fun () ->
+        with_pool ~domains:4 @@ fun pool ->
+        let conns = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+        List.iter (register_pool pool) conns;
+        (* skew everything onto shard 0 *)
+        List.iter (fun c -> Shardpool.migrate pool ~conn_id:c ~shard:0) conns;
+        Alcotest.(check int) "skewed" 8 (Shardpool.conns_per_shard pool).(0);
+        let moved = Shardpool.rebalance pool in
+        Alcotest.(check bool) "some moved" true (moved > 0);
+        Array.iter
+          (fun n -> Alcotest.(check int) "even after rebalance" 2 n)
+          (Shardpool.conns_per_shard pool);
+        (* still routable and processable everywhere *)
+        List.iter
+          (fun c ->
+             ignore (Shardpool.flow_stats pool ~conn_id:c : Shard.flow_stats))
+          conns);
+    Alcotest.test_case "export removes, import restores, errors reject" `Quick
+      (fun () ->
+        with_pool ~domains:2 @@ fun pool ->
+        register_pool pool 6;
+        match wires_for 6 [ "x=alertkw1"; "x=alertkw1 again" ] with
+        | [ w1; w2 ] ->
+          Alcotest.(check int) "first report" 1
+            (List.length (Shardpool.process_wire pool ~conn_id:6 w1));
+          let blob = Shardpool.export_conn pool ~conn_id:6 in
+          Alcotest.(check bool) "unknown after export" true
+            (match Shardpool.submit pool ~conn_id:6 w2 with
+             | exception Invalid_argument _ -> true
+             | _ -> false);
+          Alcotest.(check bool) "corrupt blob rejected" true
+            (match Shardpool.import_conn pool ~conn_id:6 (blob ^ "x") with
+             | exception Invalid_argument _ -> true
+             | _ -> false);
+          Shardpool.import_conn pool ~conn_id:6 ~shard:1 blob;
+          Alcotest.(check int) "pinned to requested shard" 1
+            (Shardpool.conn_shard pool ~conn_id:6);
+          Alcotest.(check bool) "duplicate import rejected" true
+            (match Shardpool.import_conn pool ~conn_id:6 blob with
+             | exception Invalid_argument _ -> true
+             | _ -> false);
+          (* the reported-rule bitset travelled: same keyword, no re-report *)
+          Alcotest.(check int) "no re-report after import" 0
+            (List.length (Shardpool.process_wire pool ~conn_id:6 w2));
+          Alcotest.(check int) "one alert total" 1 (Shardpool.stats pool).Shard.alerts
+        | _ -> Alcotest.fail "wire setup");
+  ]
+
 let () =
   Alcotest.run "shardpool"
-    [ ("unit", unit_tests); ("differential", diff_tests) ]
+    [ ("unit", unit_tests);
+      ("differential", diff_tests);
+      ("migration", migration_unit_tests @ migration_diff_tests) ]

@@ -69,7 +69,11 @@ let samples : Wire.msg list =
     Wire.Metrics_req { scope = Wire.Trace };
     Wire.Metrics { scope = Wire.Prometheus; body = "bbx_x_total 1\n" };
     Wire.Metrics { scope = Wire.Jsonl; body = "" };
-    Wire.Metrics { scope = Wire.Trace; body = "{\"traceEvents\":[]}" } ]
+    Wire.Metrics { scope = Wire.Trace; body = "{\"traceEvents\":[]}" };
+    Wire.Conn_export;
+    Wire.Conn_state { state = "" };
+    Wire.Conn_state { state = String.init 64 Char.chr };
+    Wire.Conn_import { state = "opaque snapshot bytes \x00\xff" } ]
 
 (* strip the 4-byte length prefix *)
 let payload_of msg =
@@ -155,7 +159,8 @@ let unit_tests =
                suffix length is a valid (different) message, so skip the
                mutation checks *)
             | Wire.Hello_ok _ | Wire.Token_stream _ | Wire.Hello _
-            | Wire.Metrics _ | Wire.Record_stream _ -> ()
+            | Wire.Metrics _ | Wire.Record_stream _ | Wire.Conn_state _
+            | Wire.Conn_import _ -> ()
             | _ ->
               let p = payload_of msg in
               if String.length p > 1 then
