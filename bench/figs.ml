@@ -18,7 +18,7 @@ let sample_bytes = 128 * 1024
 let measure_cost_model () =
   let text = Page.gen_html (Drbg.create "figs-html") ~bytes:sample_bytes in
   let text = String.sub text 0 sample_bytes in
-  let writer = Bbx_tls.Record.create ~key:"figs" ~direction:"d" in
+  let writer = Bbx_tls.Record.create ~key:"figs" ~direction:"d" () in
   let tls_s = Bench_util.time_per ~min_time:0.5 (fun () -> ignore (Bbx_tls.Record.seal writer text)) in
   let dpi_key = Dpienc.key_of_secret "figs-k" in
   let toks = Tokenizer.delimiter text in

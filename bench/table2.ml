@@ -75,7 +75,7 @@ let run () =
     { label = "Encrypt (128 bits)"; vanilla = vanilla_block; fe = fe_token; song = song_token;
       blindbox = bb_token; paper = "13ns / 70ms / 2.7us / 69ns" };
 
-  let writer = Bbx_tls.Record.create ~key:"t2-rec" ~direction:"d" in
+  let writer = Bbx_tls.Record.create ~key:"t2-rec" ~direction:"d" () in
   let vanilla_packet = Bench_util.time_per (fun () -> ignore (Bbx_tls.Record.seal writer packet)) in
   let fe_packet = fe_token *. float_of_int tokens_per_packet in
   let song_packet =

@@ -41,6 +41,7 @@ type config = {
   detect_index : Bbx_detect.Detect.index_backend;
   tier : Bbx_rules.Classify.protocol_class;
   tier_budget : Bbx_mbox.Engine.budget;
+  aes_kernel : Dpienc.aes_kernel;
 }
 
 let default_config =
@@ -48,7 +49,8 @@ let default_config =
     salt0 = 0; reset_period = 1 lsl 20; setup_domains = 1;
     detect_index = Bbx_detect.Detect.Hash;
     tier = Bbx_rules.Classify.Protocol_III;
-    tier_budget = Bbx_mbox.Engine.default_budget }
+    tier_budget = Bbx_mbox.Engine.default_budget;
+    aes_kernel = Dpienc.Bitsliced }
 
 type setup_stats = {
   chunk_count : int;
@@ -90,24 +92,25 @@ let direction = "sender->receiver"
 let make_session ?rg config keys ~rules ~prep ~label =
   let enc_chunk = Ruleprep.lookup prep in
   let dir = direction ^ label in
+  let kernel = config.aes_kernel in
   let engine =
     Bbx_mbox.Engine.create ~index:config.detect_index ~tier:config.tier
-      ~budget:config.tier_budget ~direction:dir ~mode:config.mode
+      ~budget:config.tier_budget ~direction:dir ~kernel ~mode:config.mode
       ~salt0:config.salt0 ~rules ~enc_chunk ()
   in
   { config;
     keys;
-    writer = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
+    writer = Record.create ~kernel ~key:keys.Handshake.k_ssl ~direction:dir ();
     dpi_sender =
-      Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
-        ~salt0:config.salt0;
+      Dpienc.sender_create ~kernel config.mode
+        (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
     sender_stream_off = 0;
     bytes_since_reset = 0;
     engine;
-    reader = Record.create ~key:keys.Handshake.k_ssl ~direction:dir;
+    reader = Record.create ~kernel ~key:keys.Handshake.k_ssl ~direction:dir ();
     dpi_mirror =
-      Dpienc.sender_create config.mode (Dpienc.key_of_secret keys.Handshake.k)
-        ~salt0:config.salt0;
+      Dpienc.sender_create ~kernel config.mode
+        (Dpienc.key_of_secret keys.Handshake.k) ~salt0:config.salt0;
     receiver_stream_off = 0;
     reported = Hashtbl.create 8;
     is_blocked = false;
@@ -156,7 +159,12 @@ let prepare_rules config ?rg keys rules =
     match config.rule_prep with
     | Direct ->
       let key = Dpienc.key_of_secret keys.Handshake.k in
-      (Array.map (Dpienc.token_enc key) chunks, None)
+      let encs =
+        match config.aes_kernel with
+        | Dpienc.Scalar -> Array.map (Dpienc.token_enc key) chunks
+        | Dpienc.Bitsliced -> Dpienc.token_enc_batch key chunks
+      in
+      (encs, None)
     | Garbled ->
       let encs, stats =
         match rg with
@@ -522,9 +530,12 @@ module Fleet = struct
     let k_ssl = conn_k_ssl t.fl_keys i in
     { fc_id = i;
       fc_k_ssl = k_ssl;
-      fc_sender = Dpienc.sender_create config.mode t.fl_key ~salt0:config.salt0;
+      fc_sender =
+        Dpienc.sender_create ~kernel:config.aes_kernel config.mode t.fl_key
+          ~salt0:config.salt0;
       fc_writer =
-        (if ship_records then Some (Record.create ~key:k_ssl ~direction)
+        (if ship_records then
+           Some (Record.create ~kernel:config.aes_kernel ~key:k_ssl ~direction ())
          else None);
       fc_off = 0;
       fc_bytes_since_reset = 0 }
@@ -546,7 +557,8 @@ module Fleet = struct
     Obs.span_enter obs_setup;
     let pool =
       Bbx_mbox.Shardpool.create ?domains ~index:config.detect_index
-        ~tier:config.tier ~budget:config.tier_budget ~mode:config.mode ~rules ()
+        ~tier:config.tier ~budget:config.tier_budget ~kernel:config.aes_kernel
+        ~mode:config.mode ~rules ()
     in
     let t =
       try

@@ -44,6 +44,12 @@ type config = {
   tier_budget : Bbx_mbox.Engine.budget;
   (** per-flow Protocol III escalation budget (default
       {!Bbx_mbox.Engine.default_budget}). *)
+  aes_kernel : Bbx_dpienc.Dpienc.aes_kernel;
+  (** AES path for the hot loops (default [Bitsliced]): sender token
+      encryption, Direct rule prep, and tier-3 record decryption all
+      batch same-key AES through {!Bbx_crypto.Aes_bs}.  [Scalar] is the
+      single-block reference path — both produce byte-identical traffic
+      and events. *)
 }
 
 val default_config : config

@@ -50,3 +50,8 @@ val encrypt_u64_into : key -> int -> dst:Bytes.t -> dst_off:int -> unit
 
 (** The forward S-box, exposed for the AES boolean circuit tests. *)
 val sbox : int array
+
+(** [key_schedule key] — the 176 expanded round-key bytes (11 round keys in
+    byte order) as a fresh array.  The bitsliced kernel ({!Aes_bs}) spreads
+    these into per-bit broadcast masks. *)
+val key_schedule : key -> int array

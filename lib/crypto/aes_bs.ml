@@ -1,0 +1,558 @@
+(* Bitsliced AES-128: up to [width] = 63 blocks per call, one block per
+   bit of a native int.  The state is 128 bit-plane "lanes" — lane
+   [8*p + t] holds bit [t] of state byte [p] (bytes indexed [r + 4*c],
+   column-major, matching [Aes]) for every block in the batch, one block
+   per int bit.  SubBytes becomes a boolean circuit evaluated once on 8
+   lanes per byte position (all 63 blocks in parallel); ShiftRows is a
+   free renaming of byte positions folded into the MixColumns reads;
+   MixColumns is XORs plus a 3-XOR bit-plane relabeling for xtime; and
+   AddRoundKey XORs precomputed broadcast masks (0 or -1 per key bit) —
+   which is also why a batch shares ONE key: per-lane key material would
+   need a 1408-bit transpose per sweep, costing more than the cipher
+   itself (see DESIGN.md).
+
+   Blocks enter and leave through a staging buffer; the fill/drain
+   transpose works on groups of 7 blocks with a multiply-gather trick:
+   packing 7 same-position bytes little-endian into one word, the bits of
+   plane [t] sit at positions [8k + t]; after [(w lsr t) land
+   0x01010101010101], multiplying by [gather_mul] = sum of [2^(48-7k)]
+   sums shifted copies so bits [48..54] of the product are exactly the 7
+   plane bits, compacted.  No two partial products collide (8k1 - 7j1 =
+   8k2 - 7j2 forces k1 = k2 over 0..6), so there are no carries and the
+   trick is exact; [test_aes_bs] pins both directions bit-for-bit. *)
+
+let width = 63
+
+type batch = {
+  staging : Bytes.t;       (* width * 16 input block bytes *)
+  lanes : int array;       (* 128 bit-planes, one bit per block *)
+  planes : int array;      (* SubBytes output, ping-pong with [lanes] *)
+  out : Bytes.t;           (* width * 16 output block bytes *)
+  mutable n : int;         (* occupied lanes, 0 <= n <= width *)
+}
+
+let create_batch () = {
+  staging = Bytes.create (width * 16);
+  lanes = Array.make 128 0;
+  planes = Array.make 128 0;
+  out = Bytes.create (width * 16);
+  n = 0;
+}
+
+let reset b = b.n <- 0
+
+let length b = b.n
+
+(* A bitsliced key: 11 rounds x 128 broadcast masks, one per round-key
+   bit — 0 or -1 (all lanes).  ~11 KiB per key, built once per session /
+   rule key, never per sweep. *)
+type key = { masks : int array }
+
+let key_of_aes k =
+  let sched = Aes.key_schedule k in
+  let masks = Array.make (11 * 128) 0 in
+  for r = 0 to 10 do
+    for p = 0 to 15 do
+      let v = sched.((r * 16) + p) in
+      for t = 0 to 7 do
+        if (v lsr t) land 1 = 1 then masks.((r * 128) + (p * 8) + t) <- -1
+      done
+    done
+  done;
+  { masks }
+
+let expand s = key_of_aes (Aes.expand_key s)
+
+(* ---- batch fill helpers (staging writes; the transpose happens once in
+   [encrypt_blocks_into]) ---- *)
+
+let[@inline] check_slot i =
+  if i < 0 || i >= width then invalid_arg "Aes_bs: lane index out of range"
+
+let set_block b i src src_off =
+  check_slot i;
+  if src_off < 0 || src_off + 16 > String.length src then
+    invalid_arg "Aes_bs.set_block: out of bounds";
+  Bytes.blit_string src src_off b.staging (i * 16) 16;
+  if i >= b.n then b.n <- i + 1
+
+(* Token block [t || 0^(16-len)]: the [AES_k(t)] input of DPIEnc token
+   encryption, zero-padded exactly like [Dpienc.token_block]. *)
+let set_token_block b i src ~off ~len =
+  check_slot i;
+  if len < 0 || len > 16 || off < 0 || off + len > String.length src then
+    invalid_arg "Aes_bs.set_token_block: out of bounds";
+  let base = i * 16 in
+  Bytes.blit_string src off b.staging base len;
+  Bytes.fill b.staging (base + len) (16 - len) '\000';
+  if i >= b.n then b.n <- i + 1
+
+(* Salt block [0^8 || BE64(salt)]: the [AES_tkey(salt)] input of the
+   DPIEnc PRF, matching [Aes.encrypt_u64]. *)
+let set_salt_block b i salt =
+  check_slot i;
+  let base = i * 16 in
+  Bytes.fill b.staging base 8 '\000';
+  for j = 0 to 7 do
+    Bytes.unsafe_set b.staging (base + 8 + j)
+      (Char.unsafe_chr ((salt lsr (8 * (7 - j))) land 0xff))
+  done;
+  if i >= b.n then b.n <- i + 1
+
+(* ---- drain helpers ---- *)
+
+let get_block_into b i ~dst ~dst_off =
+  check_slot i;
+  if dst_off < 0 || dst_off + 16 > Bytes.length dst then
+    invalid_arg "Aes_bs.get_block_into: out of bounds";
+  Bytes.blit b.out (i * 16) dst dst_off 16
+
+let get_block b i =
+  check_slot i;
+  Bytes.sub_string b.out (i * 16) 16
+
+(* Low 40 bits of the big-endian first 8 output bytes — the DPIEnc
+   ciphertext [AES_tkey(salt) mod 2^40], matching
+   [Aes.encrypt_u64 _ land (2^40 - 1)]. *)
+let get_cipher40 b i =
+  check_slot i;
+  let base = i * 16 in
+  let u8 j = Char.code (Bytes.unsafe_get b.out (base + j)) in
+  (u8 3 lsl 32) lor (u8 4 lsl 24) lor (u8 5 lsl 16) lor (u8 6 lsl 8) lor u8 7
+
+(* ---- the transpose ---- *)
+
+let gather_mul =
+  (1 lsl 48) lor (1 lsl 41) lor (1 lsl 34) lor (1 lsl 27)
+  lor (1 lsl 20) lor (1 lsl 13) lor (1 lsl 6)
+
+let spread_mul =
+  (1 lsl 0) lor (1 lsl 7) lor (1 lsl 14) lor (1 lsl 21)
+  lor (1 lsl 28) lor (1 lsl 35) lor (1 lsl 42)
+
+let byte_mask7 = 0x01010101010101
+
+let fill b =
+  let n = b.n in
+  let lanes = b.lanes and st = b.staging in
+  Array.fill lanes 0 128 0;
+  let g = ref 0 in
+  while !g < n do
+    let cnt = min 7 (n - !g) in
+    let base_byte = !g * 16 in
+    for p = 0 to 15 do
+      let w = ref 0 in
+      for j = 0 to cnt - 1 do
+        w := !w lor (Char.code (Bytes.unsafe_get st (base_byte + (j * 16) + p)) lsl (8 * j))
+      done;
+      let w = !w in
+      let lane_base = p * 8 in
+      for t = 0 to 7 do
+        let x = (w lsr t) land byte_mask7 in
+        let bits = ((x * gather_mul) lsr 48) land 0x7f in
+        Array.unsafe_set lanes (lane_base + t)
+          (Array.unsafe_get lanes (lane_base + t) lor (bits lsl !g))
+      done
+    done;
+    g := !g + 7
+  done
+
+let drain b =
+  let n = b.n in
+  let lanes = b.lanes and ob = b.out in
+  let g = ref 0 in
+  while !g < n do
+    let cnt = min 7 (n - !g) in
+    let base_byte = !g * 16 in
+    for p = 0 to 15 do
+      let lane_base = p * 8 in
+      let acc = ref 0 in
+      for t = 0 to 7 do
+        let x = (Array.unsafe_get lanes (lane_base + t) lsr !g) land 0x7f in
+        acc := !acc lor (((x * spread_mul) land byte_mask7) lsl t)
+      done;
+      let acc = !acc in
+      for j = 0 to cnt - 1 do
+        Bytes.unsafe_set ob (base_byte + (j * 16) + p)
+          (Char.unsafe_chr ((acc lsr (8 * j)) land 0xff))
+      done
+    done;
+    g := !g + 7
+  done
+
+(* SubBytes on one byte position: 8 bit-plane lanes in, 8 out.  This is a
+   149-gate straight-line boolean circuit for the AES S-box over the nested
+   tower GF(((2^2)^2)^2) — the same composite-field algebra as
+   [Bbx_circuit.Aes_circuit.sbox_tower], taken one level deeper so the
+   GF(2^4) inversion reduces to a free GF(2^2) squaring.  The concrete
+   basis (GF(4) modulus N = y, GF(16) modulus v^2+v+N with the tower image
+   of lambda = 8, and gamma = 0x60 as the root of the AES modulus defining
+   the GF(256)->tower basis change) was chosen by exhaustive search over
+   all valid (N, lambda, gamma) triples for minimum gate count after
+   common-subexpression elimination and Paar-style greedy XOR factoring of
+   the two basis-change matrices.  [test_aes_bs] re-derives the tower
+   numerically and pins this circuit to [Aes.sbox] on all 256 inputs at
+   every lane.  [m] is the all-ones lane (the affine constant 0x63). *)
+let sbox_planes a ai b bi =
+  let m = -1 in
+  let x0 = Array.unsafe_get a (ai+0) in
+  let x1 = Array.unsafe_get a (ai+1) in
+  let x2 = Array.unsafe_get a (ai+2) in
+  let x3 = Array.unsafe_get a (ai+3) in
+  let x4 = Array.unsafe_get a (ai+4) in
+  let x5 = Array.unsafe_get a (ai+5) in
+  let x6 = Array.unsafe_get a (ai+6) in
+  let x7 = Array.unsafe_get a (ai+7) in
+  let t8 = x3 lxor x4 in
+  let t9 = x6 lxor t8 in
+  let t10 = x2 lxor t9 in
+  let t16 = x7 lxor t10 in
+  let t13 = x1 lxor x4 in
+  let t15 = x6 lxor x7 in
+  let t19 = t13 lxor t15 in
+  let t58 = t16 lxor t19 in
+  let t11 = x5 lxor x7 in
+  let t17 = t9 lxor t11 in
+  let t14 = x1 lxor x5 in
+  let t18 = t10 lxor t14 in
+  let t22 = t17 lxor t18 in
+  let t23 = t8 lxor t11 in
+  let t24 = t22 lxor t23 in
+  let t25 = t8 lxor t17 in
+  let t26 = t24 land t25 in
+  let t27 = t17 land t22 in
+  let t31 = t26 lxor t27 in
+  let t12 = x0 lxor t10 in
+  let t20 = t12 lxor t16 in
+  let t35 = t12 land t20 in
+  let t21 = x2 lxor t19 in
+  let t36 = x2 land t21 in
+  let t37 = t35 lxor t36 in
+  let t53 = t31 lxor t37 in
+  let t57 = t11 lxor t18 in
+  let t59 = t11 lxor t57 in
+  let t70 = t53 lxor t59 in
+  let t40 = t20 lxor t22 in
+  let t42 = t12 lxor t17 in
+  let t47 = t40 land t42 in
+  let t41 = t21 lxor t23 in
+  let t43 = x2 lxor t8 in
+  let t48 = t41 land t43 in
+  let t49 = t47 lxor t48 in
+  let t55 = t37 lxor t49 in
+  let t61 = t19 lxor t59 in
+  let t63 = t11 lxor t61 in
+  let t72 = t55 lxor t63 in
+  let t74 = t70 lxor t72 in
+  let t32 = t20 lxor t21 in
+  let t33 = x2 lxor t12 in
+  let t34 = t32 land t33 in
+  let t39 = t34 lxor t35 in
+  let t44 = t40 lxor t41 in
+  let t45 = t42 lxor t43 in
+  let t46 = t44 land t45 in
+  let t51 = t46 lxor t47 in
+  let t56 = t39 lxor t51 in
+  let t60 = t11 lxor t58 in
+  let t67 = t60 lxor t61 in
+  let t69 = t59 lxor t67 in
+  let t73 = t56 lxor t69 in
+  let t79 = t70 land t74 in
+  let t28 = t8 land t23 in
+  let t29 = t27 lxor t28 in
+  let t52 = t29 lxor t31 in
+  let t54 = t39 lxor t52 in
+  let t68 = t11 lxor t59 in
+  let t71 = t54 lxor t68 in
+  let t75 = t71 lxor t73 in
+  let t80 = t71 land t75 in
+  let t81 = t79 lxor t80 in
+  let t86 = t73 lxor t81 in
+  let t76 = t74 lxor t75 in
+  let t77 = t70 lxor t71 in
+  let t78 = t76 land t77 in
+  let t83 = t78 lxor t79 in
+  let t84 = t72 lxor t73 in
+  let t85 = t73 lxor t84 in
+  let t87 = t83 lxor t85 in
+  let t88 = t86 lxor t87 in
+  let t91 = t74 land t88 in
+  let t92 = t75 land t87 in
+  let t93 = t91 lxor t92 in
+  let t89 = t87 lxor t88 in
+  let t90 = t76 land t89 in
+  let t95 = t90 lxor t91 in
+  let t109 = t93 lxor t95 in
+  let t136 = t58 land t109 in
+  let t137 = t16 land t93 in
+  let t141 = t136 lxor t137 in
+  let t97 = t72 land t88 in
+  let t98 = t73 land t87 in
+  let t99 = t97 lxor t98 in
+  let t131 = t18 land t99 in
+  let t96 = t84 land t89 in
+  let t101 = t96 lxor t97 in
+  let t132 = t11 land t101 in
+  let t133 = t131 lxor t132 in
+  let t102 = t99 lxor t101 in
+  let t130 = t57 land t102 in
+  let t135 = t130 lxor t131 in
+  let t151 = t133 lxor t135 in
+  let t153 = t141 lxor t151 in
+  let t103 = t24 land t102 in
+  let t104 = t22 land t99 in
+  let t108 = t103 lxor t104 in
+  let t111 = t20 land t93 in
+  let t112 = t21 land t95 in
+  let t113 = t111 lxor t112 in
+  let t126 = t108 lxor t113 in
+  let t138 = t19 land t95 in
+  let t139 = t137 lxor t138 in
+  let t116 = t93 lxor t99 in
+  let t142 = t16 lxor t18 in
+  let t146 = t116 land t142 in
+  let t117 = t95 lxor t101 in
+  let t143 = t11 lxor t19 in
+  let t147 = t117 land t143 in
+  let t148 = t146 lxor t147 in
+  let t154 = t139 lxor t148 in
+  let t156 = t126 lxor t154 in
+  let t163 = t153 lxor t156 in
+  let t169 = t163 lxor m in
+  let t110 = t32 land t109 in
+  let t115 = t110 lxor t111 in
+  let t105 = t23 land t101 in
+  let t106 = t104 lxor t105 in
+  let t125 = t106 lxor t108 in
+  let t127 = t115 lxor t125 in
+  let t158 = t127 lxor t156 in
+  let t118 = t116 lxor t117 in
+  let t119 = t44 land t118 in
+  let t120 = t40 land t116 in
+  let t124 = t119 lxor t120 in
+  let t129 = t115 lxor t124 in
+  let t152 = t135 lxor t139 in
+  let t160 = t129 lxor t152 in
+  let t168 = t158 lxor t160 in
+  let t170 = t168 lxor m in
+  let t121 = t41 land t117 in
+  let t122 = t120 lxor t121 in
+  let t128 = t113 lxor t122 in
+  let t157 = t128 lxor t129 in
+  let t165 = t157 lxor t158 in
+  let t159 = t126 lxor t153 in
+  let t162 = t152 lxor t156 in
+  let t166 = t157 lxor t162 in
+  let t144 = t142 lxor t143 in
+  let t145 = t118 land t144 in
+  let t150 = t145 lxor t146 in
+  let t155 = t141 lxor t150 in
+  let t164 = t154 lxor t155 in
+  let t167 = t157 lxor t164 in
+  let t171 = t167 lxor m in
+  let t161 = t152 lxor t155 in
+  let t172 = t161 lxor m in
+  let o0 = t169 in
+  let o1 = t170 in
+  let o2 = t165 in
+  let o3 = t159 in
+  let o4 = t166 in
+  let o5 = t171 in
+  let o6 = t172 in
+  let o7 = t128 in
+  Array.unsafe_set b (bi+0) o0;
+  Array.unsafe_set b (bi+1) o1;
+  Array.unsafe_set b (bi+2) o2;
+  Array.unsafe_set b (bi+3) o3;
+  Array.unsafe_set b (bi+4) o4;
+  Array.unsafe_set b (bi+5) o5;
+  Array.unsafe_set b (bi+6) o6;
+  Array.unsafe_set b (bi+7) o7;
+  ()
+
+(* ShiftRows as a byte-position renaming: output position [r + 4c] reads
+   input position [r + 4*((c + r) mod 4)]. *)
+let sr_src =
+  Array.init 16 (fun p ->
+      let r = p land 3 and c = p lsr 2 in
+      r + (4 * ((c + r) land 3)))
+
+
+let encrypt_blocks_into (k : key) b =
+  if b.n = 0 then ()
+  else begin
+    fill b;
+    let a = b.lanes and t = b.planes in
+    let km = k.masks in
+    (* round 0: AddRoundKey *)
+    for l = 0 to 127 do
+      Array.unsafe_set a l (Array.unsafe_get a l lxor Array.unsafe_get km l)
+    done;
+    for r = 1 to 9 do
+      for p = 0 to 15 do
+        sbox_planes a (p * 8) t (p * 8)
+      done;
+      let kbase = r * 128 in
+      (* ShiftRows + MixColumns + AddRoundKey, one column at a time.
+         Per column with (shifted) input bytes a0..a3:
+         out_r = a_r ^ (a0^a1^a2^a3) ^ xtime(a_r ^ a_{r+1}), and xtime on
+         bit-planes is the relabeling y = [x7, x0^x7, x1, x2^x7, x3^x7,
+         x4, x5, x6]. *)
+      for c = 0 to 3 do
+        let p0 = Array.unsafe_get sr_src (4 * c) * 8
+        and p1 = Array.unsafe_get sr_src ((4 * c) + 1) * 8
+        and p2 = Array.unsafe_get sr_src ((4 * c) + 2) * 8
+        and p3 = Array.unsafe_get sr_src ((4 * c) + 3) * 8 in
+        let a00 = Array.unsafe_get t p0 and a01 = Array.unsafe_get t (p0+1)
+        and a02 = Array.unsafe_get t (p0+2) and a03 = Array.unsafe_get t (p0+3)
+        and a04 = Array.unsafe_get t (p0+4) and a05 = Array.unsafe_get t (p0+5)
+        and a06 = Array.unsafe_get t (p0+6) and a07 = Array.unsafe_get t (p0+7) in
+        let a10 = Array.unsafe_get t p1 and a11 = Array.unsafe_get t (p1+1)
+        and a12 = Array.unsafe_get t (p1+2) and a13 = Array.unsafe_get t (p1+3)
+        and a14 = Array.unsafe_get t (p1+4) and a15 = Array.unsafe_get t (p1+5)
+        and a16 = Array.unsafe_get t (p1+6) and a17 = Array.unsafe_get t (p1+7) in
+        let a20 = Array.unsafe_get t p2 and a21 = Array.unsafe_get t (p2+1)
+        and a22 = Array.unsafe_get t (p2+2) and a23 = Array.unsafe_get t (p2+3)
+        and a24 = Array.unsafe_get t (p2+4) and a25 = Array.unsafe_get t (p2+5)
+        and a26 = Array.unsafe_get t (p2+6) and a27 = Array.unsafe_get t (p2+7) in
+        let a30 = Array.unsafe_get t p3 and a31 = Array.unsafe_get t (p3+1)
+        and a32 = Array.unsafe_get t (p3+2) and a33 = Array.unsafe_get t (p3+3)
+        and a34 = Array.unsafe_get t (p3+4) and a35 = Array.unsafe_get t (p3+5)
+        and a36 = Array.unsafe_get t (p3+6) and a37 = Array.unsafe_get t (p3+7) in
+        let s0 = a00 lxor a10 and s1 = a01 lxor a11 and s2 = a02 lxor a12
+        and s3 = a03 lxor a13 and s4 = a04 lxor a14 and s5 = a05 lxor a15
+        and s6 = a06 lxor a16 and s7 = a07 lxor a17 in
+        let u0 = a20 lxor a30 and u1 = a21 lxor a31 and u2 = a22 lxor a32
+        and u3 = a23 lxor a33 and u4 = a24 lxor a34 and u5 = a25 lxor a35
+        and u6 = a26 lxor a36 and u7 = a27 lxor a37 in
+        let l0 = s0 lxor u0 and l1 = s1 lxor u1 and l2 = s2 lxor u2
+        and l3 = s3 lxor u3 and l4 = s4 lxor u4 and l5 = s5 lxor u5
+        and l6 = s6 lxor u6 and l7 = s7 lxor u7 in
+        let ob = 4 * c * 8 in
+        let kb = kbase + ob in
+        Array.unsafe_set a ob (s7 lxor a00 lxor l0 lxor Array.unsafe_get km kb);
+        Array.unsafe_set a (ob+1) (s0 lxor s7 lxor a01 lxor l1 lxor Array.unsafe_get km (kb+1));
+        Array.unsafe_set a (ob+2) (s1 lxor a02 lxor l2 lxor Array.unsafe_get km (kb+2));
+        Array.unsafe_set a (ob+3) (s2 lxor s7 lxor a03 lxor l3 lxor Array.unsafe_get km (kb+3));
+        Array.unsafe_set a (ob+4) (s3 lxor s7 lxor a04 lxor l4 lxor Array.unsafe_get km (kb+4));
+        Array.unsafe_set a (ob+5) (s4 lxor a05 lxor l5 lxor Array.unsafe_get km (kb+5));
+        Array.unsafe_set a (ob+6) (s5 lxor a06 lxor l6 lxor Array.unsafe_get km (kb+6));
+        Array.unsafe_set a (ob+7) (s6 lxor a07 lxor l7 lxor Array.unsafe_get km (kb+7));
+        let v0 = a10 lxor a20 and v1 = a11 lxor a21 and v2 = a12 lxor a22
+        and v3 = a13 lxor a23 and v4 = a14 lxor a24 and v5 = a15 lxor a25
+        and v6 = a16 lxor a26 and v7 = a17 lxor a27 in
+        let ob1 = ob + 8 in
+        let kb = kbase + ob1 in
+        Array.unsafe_set a ob1 (v7 lxor a10 lxor l0 lxor Array.unsafe_get km kb);
+        Array.unsafe_set a (ob1+1) (v0 lxor v7 lxor a11 lxor l1 lxor Array.unsafe_get km (kb+1));
+        Array.unsafe_set a (ob1+2) (v1 lxor a12 lxor l2 lxor Array.unsafe_get km (kb+2));
+        Array.unsafe_set a (ob1+3) (v2 lxor v7 lxor a13 lxor l3 lxor Array.unsafe_get km (kb+3));
+        Array.unsafe_set a (ob1+4) (v3 lxor v7 lxor a14 lxor l4 lxor Array.unsafe_get km (kb+4));
+        Array.unsafe_set a (ob1+5) (v4 lxor a15 lxor l5 lxor Array.unsafe_get km (kb+5));
+        Array.unsafe_set a (ob1+6) (v5 lxor a16 lxor l6 lxor Array.unsafe_get km (kb+6));
+        Array.unsafe_set a (ob1+7) (v6 lxor a17 lxor l7 lxor Array.unsafe_get km (kb+7));
+        let ob2 = ob + 16 in
+        let kb = kbase + ob2 in
+        Array.unsafe_set a ob2 (u7 lxor a20 lxor l0 lxor Array.unsafe_get km kb);
+        Array.unsafe_set a (ob2+1) (u0 lxor u7 lxor a21 lxor l1 lxor Array.unsafe_get km (kb+1));
+        Array.unsafe_set a (ob2+2) (u1 lxor a22 lxor l2 lxor Array.unsafe_get km (kb+2));
+        Array.unsafe_set a (ob2+3) (u2 lxor u7 lxor a23 lxor l3 lxor Array.unsafe_get km (kb+3));
+        Array.unsafe_set a (ob2+4) (u3 lxor u7 lxor a24 lxor l4 lxor Array.unsafe_get km (kb+4));
+        Array.unsafe_set a (ob2+5) (u4 lxor a25 lxor l5 lxor Array.unsafe_get km (kb+5));
+        Array.unsafe_set a (ob2+6) (u5 lxor a26 lxor l6 lxor Array.unsafe_get km (kb+6));
+        Array.unsafe_set a (ob2+7) (u6 lxor a27 lxor l7 lxor Array.unsafe_get km (kb+7));
+        let w0 = a30 lxor a00 and w1 = a31 lxor a01 and w2 = a32 lxor a02
+        and w3 = a33 lxor a03 and w4 = a34 lxor a04 and w5 = a35 lxor a05
+        and w6 = a36 lxor a06 and w7 = a37 lxor a07 in
+        let ob3 = ob + 24 in
+        let kb = kbase + ob3 in
+        Array.unsafe_set a ob3 (w7 lxor a30 lxor l0 lxor Array.unsafe_get km kb);
+        Array.unsafe_set a (ob3+1) (w0 lxor w7 lxor a31 lxor l1 lxor Array.unsafe_get km (kb+1));
+        Array.unsafe_set a (ob3+2) (w1 lxor a32 lxor l2 lxor Array.unsafe_get km (kb+2));
+        Array.unsafe_set a (ob3+3) (w2 lxor w7 lxor a33 lxor l3 lxor Array.unsafe_get km (kb+3));
+        Array.unsafe_set a (ob3+4) (w3 lxor w7 lxor a34 lxor l4 lxor Array.unsafe_get km (kb+4));
+        Array.unsafe_set a (ob3+5) (w4 lxor a35 lxor l5 lxor Array.unsafe_get km (kb+5));
+        Array.unsafe_set a (ob3+6) (w5 lxor a36 lxor l6 lxor Array.unsafe_get km (kb+6));
+        Array.unsafe_set a (ob3+7) (w6 lxor a37 lxor l7 lxor Array.unsafe_get km (kb+7))
+      done
+    done;
+    (* final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns *)
+    for p = 0 to 15 do
+      sbox_planes a (p * 8) t (p * 8)
+    done;
+    let kbase = 10 * 128 in
+    for p = 0 to 15 do
+      let src = Array.unsafe_get sr_src p * 8 and dst = p * 8 in
+      for bit = 0 to 7 do
+        Array.unsafe_set a (dst + bit)
+          (Array.unsafe_get t (src + bit)
+           lxor Array.unsafe_get km (kbase + dst + bit))
+      done
+    done;
+    drain b
+  end
+
+(* ---- CTR mode ----
+
+   The record layer encrypts every record of a stream under one key, and
+   CTR keystream blocks are independent — the ideal same-key batch.  This
+   mirrors [Aes.ctr_transform] exactly (low-64-bit big-endian counter
+   bump), pinned by differential tests across batch boundaries. *)
+
+let[@inline] bump_ctr ctr =
+  let rec go i =
+    if i >= 8 then begin
+      let v = (Char.code (Bytes.unsafe_get ctr i) + 1) land 0xff in
+      Bytes.unsafe_set ctr i (Char.unsafe_chr v);
+      if v = 0 then go (i - 1)
+    end
+  in
+  go 15
+
+let ctr_transform k b ~nonce data =
+  if String.length nonce <> 16 then
+    invalid_arg "Aes_bs.ctr_transform: nonce must be 16 bytes";
+  let len = String.length data in
+  let out = Bytes.of_string data in
+  let ctr = Bytes.of_string nonce in
+  let nblocks = (len + 15) / 16 in
+  let start = ref 0 in
+  while !start < nblocks do
+    let cnt = min width (nblocks - !start) in
+    reset b;
+    for i = 0 to cnt - 1 do
+      (* [set_block] blits before the counter is bumped again, so the
+         no-copy string view of [ctr] is safe *)
+      set_block b i (Bytes.unsafe_to_string ctr) 0;
+      bump_ctr ctr
+    done;
+    encrypt_blocks_into k b;
+    for i = 0 to cnt - 1 do
+      let off = (!start + i) * 16 in
+      let n = min 16 (len - off) in
+      let ks_base = i * 16 in
+      for j = 0 to n - 1 do
+        Bytes.unsafe_set out (off + j)
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get out (off + j))
+              lxor Char.code (Bytes.unsafe_get b.out (ks_base + j))))
+      done
+    done;
+    start := !start + cnt
+  done;
+  Bytes.unsafe_to_string out
+
+(* ---- kernel selection ----
+
+   The knob every batched call site threads through config/CLI
+   ([--aes-kernel]): [Scalar] keeps the T-table path as the differential
+   oracle, [Bitsliced] routes same-key batch work through this module. *)
+
+type kernel = Scalar | Bitsliced
+
+let kernel_to_string = function Scalar -> "scalar" | Bitsliced -> "bitsliced"
+
+let kernel_of_string = function
+  | "scalar" -> Some Scalar
+  | "bitsliced" -> Some Bitsliced
+  | _ -> None

@@ -1,0 +1,93 @@
+(** Bitsliced AES-128: encrypt up to {!width} blocks per call under one
+    key, one block per bit of a native int.
+
+    SubBytes runs as a verified 149-gate boolean circuit over the
+    GF(((2^2)^2)^2) tower (the same algebra as [Aes_circuit.sbox_tower]),
+    ShiftRows/MixColumns as lane renamings and XORs, AddRoundKey as XORs
+    with broadcast masks — so the whole batch costs one pass over 128
+    bit-planes.  A batch shares a single key by construction: per-lane
+    keys would require transposing 1408 bits of key material per sweep,
+    which costs as much as the cipher itself (DESIGN.md, "Bitsliced AES
+    kernel").  Callers with per-token keys (DPIEnc per-occurrence salts)
+    keep those on the scalar path and batch only the same-key work:
+    [AES_k(t)] token blocks on first sight, rule-prep chunk encryptions,
+    and salt-window sweeps under one recovered tkey.
+
+    Differentially pinned byte-for-byte against {!Aes.encrypt_block} at
+    every occupancy by [test_aes_bs]. *)
+
+(** Maximum blocks per batch (one per usable bit of a 63-bit int). *)
+val width : int
+
+(** Reusable scratch holding staged input blocks, the 128 bit-plane
+    state, and output blocks.  Create once, refill per sweep — no
+    allocation after creation. *)
+type batch
+
+val create_batch : unit -> batch
+
+(** [reset b] empties the batch (O(1); lane clearing happens on
+    encrypt). *)
+val reset : batch -> unit
+
+(** Number of occupied block slots. *)
+val length : batch -> int
+
+(** Bitsliced key: 11 x 128 broadcast round-key masks (~11 KiB).  Build
+    once per session/rule key, reuse across sweeps. *)
+type key
+
+(** [key_of_aes k] spreads an expanded scalar key schedule into
+    broadcast masks.  The scalar and bitsliced views of one key always
+    agree; keep the [Aes.key] for the scalar fallback paths. *)
+val key_of_aes : Aes.key -> key
+
+(** [expand s] = [key_of_aes (Aes.expand_key s)]. *)
+val expand : string -> key
+
+(** [set_block b i src src_off] stages the 16-byte block at [src_off]
+    into slot [i] (0-based).  Slots may be filled in any order; the
+    occupancy becomes [max] of [i+1] and the previous occupancy.
+    Raises [Invalid_argument] on bad slot or range. *)
+val set_block : batch -> int -> string -> int -> unit
+
+(** [set_token_block b i src ~off ~len] stages [src[off..off+len) ||
+    0^(16-len)] — the zero-padded token block of DPIEnc's [AES_k(t)]. *)
+val set_token_block : batch -> int -> string -> off:int -> len:int -> unit
+
+(** [set_salt_block b i salt] stages [0^8 || BE64(salt)] — the PRF input
+    of DPIEnc's [AES_tkey(salt)], matching {!Aes.encrypt_u64}. *)
+val set_salt_block : batch -> int -> int -> unit
+
+(** [encrypt_blocks_into k b] encrypts all staged blocks in place:
+    transpose in, 10 rounds over bit-planes, transpose out.  Outputs are
+    then read with the [get_*] drains.  Allocates nothing. *)
+val encrypt_blocks_into : key -> batch -> unit
+
+(** [get_block_into b i ~dst ~dst_off] copies slot [i]'s 16 ciphertext
+    bytes out. *)
+val get_block_into : batch -> int -> dst:Bytes.t -> dst_off:int -> unit
+
+(** [get_block b i] allocates slot [i]'s ciphertext (tests/cold paths). *)
+val get_block : batch -> int -> string
+
+(** [get_cipher40 b i] — low 40 bits of the big-endian first 8 output
+    bytes of slot [i]: DPIEnc's [AES_tkey(salt) mod 2^40], matching
+    [Aes.encrypt_u64 k salt land (2^40 - 1)]. *)
+val get_cipher40 : batch -> int -> int
+
+(** [ctr_transform k b ~nonce data] — AES-CTR keystream XOR, byte-identical
+    to {!Aes.ctr_transform} (16-byte initial counter block, low 64 bits
+    bumped big-endian per block), generating keystream {!width} blocks per
+    kernel call.  [b] is caller-owned scratch. *)
+val ctr_transform : key -> batch -> nonce:string -> string -> string
+
+(** The kernel knob threaded through config / CLI ([--aes-kernel]):
+    [Scalar] is the T-table path (kept as the differential oracle),
+    [Bitsliced] routes same-key batch work through this module. *)
+type kernel = Scalar | Bitsliced
+
+val kernel_to_string : kernel -> string
+
+(** Parses ["scalar"] / ["bitsliced"]; [None] otherwise. *)
+val kernel_of_string : string -> kernel option

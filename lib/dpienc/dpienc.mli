@@ -30,10 +30,23 @@ val key_of_secret : string -> key
     circuit. *)
 val raw_key_of_secret : string -> string
 
+(** The AES kernel knob (re-export of {!Bbx_crypto.Aes_bs.kernel}):
+    [Scalar] is the single-block T-table path, kept as the differential
+    oracle; [Bitsliced] routes same-key batch work — first-seen token
+    encryption on the sender, rule-prep chunk sweeps — through
+    {!Bbx_crypto.Aes_bs}.  Both produce byte-identical wire output. *)
+type aes_kernel = Bbx_crypto.Aes_bs.kernel = Scalar | Bitsliced
+
 (** [token_enc key t] is [AES_k(t)] for a [Tokenizer.token_len]-byte token —
     the "encrypted rule" the middlebox obtains through obfuscated rule
     encryption.  Raises [Invalid_argument] on wrong token length. *)
 val token_enc : key -> string -> string
+
+(** [token_enc_batch key toks] = [Array.map (token_enc key) toks], swept
+    through the bitsliced kernel [Aes_bs.width] blocks at a time (every
+    chunk of a ruleset is encrypted under the one session key — the
+    same-key batch that dominates rule preparation at fleet scale). *)
+val token_enc_batch : key -> string array -> string array
 
 (** A token key is the expanded [AES_{AES_k(t)}] cipher; building one is the
     expensive step so both sides cache it per token value. *)
@@ -72,9 +85,17 @@ type enc_token = {
 (** Sender-side encryptor with the counter table of §3.2. *)
 type sender
 
-(** [sender_create mode key ~salt0] — [salt0] must be even in probable-cause
-    mode (odd salts are reserved for the embedding ciphertext). *)
-val sender_create : mode -> key -> salt0:int -> sender
+(** [sender_create ?kernel mode key ~salt0] — [salt0] must be even in
+    probable-cause mode (odd salts are reserved for the embedding
+    ciphertext).  [kernel] (default [Scalar]) picks the hot-path
+    implementation: [Bitsliced] replaces the counter hashtable with a
+    packed open-addressing table (tokens as two 32-bit ints), defers
+    first-seen [AES_k(t)] into bitsliced same-key sweeps, and stages wire
+    records in a sweep buffer — byte-identical output, same counter
+    semantics, both modes. *)
+val sender_create : ?kernel:aes_kernel -> mode -> key -> salt0:int -> sender
+
+val sender_kernel : sender -> aes_kernel
 
 (** [sender_encrypt sender ?k_ssl tokens] encrypts a batch.  [k_ssl]
     (16 bytes) is required in [Probable] mode and ignored in [Exact]. *)

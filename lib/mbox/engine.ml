@@ -123,6 +123,8 @@ type t = {
   budget : budget;
   direction : string;                          (* record-layer direction of
                                                   the inspected stream *)
+  kernel : Dpienc.aes_kernel;                  (* AES path for tier-3 record
+                                                  decryption (CTR keystream) *)
   mutable rules : Rule.t array;
   mutable classes : Classify.protocol_class array; (* rule_idx -> class *)
   mutable chunks : string array;               (* chunk_id -> chunk bytes *)
@@ -237,8 +239,9 @@ let rebuild_prefilter t =
   install_prefilter t ~shared:false (prepare_prefilter_arr t.rules)
 
 let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Classify.Protocol_III)
-    ?(budget = default_budget) ?(direction = "client->server") ?prepared ?keys
-    ?prefilter ~mode ~salt0 ~rules ~enc_chunk () =
+    ?(budget = default_budget) ?(direction = "client->server")
+    ?(kernel = Dpienc.Scalar) ?prepared ?keys ?prefilter ~mode ~salt0 ~rules
+    ~enc_chunk () =
   let chunks, encs =
     match prepared with
     | Some (chunks, encs) ->
@@ -261,6 +264,7 @@ let create ?(index = Bbx_detect.Detect.Hash) ?(tier = Classify.Protocol_III)
       tier;
       budget;
       direction;
+      kernel;
       rules;
       classes = [||];
       chunks;
@@ -422,7 +426,9 @@ let pump t =
       | Some r -> r
       | None ->
         let key = Option.get t.recovered in
-        let r = Bbx_tls.Record.create ~key ~direction:t.direction in
+        let r =
+          Bbx_tls.Record.create ~kernel:t.kernel ~key ~direction:t.direction ()
+        in
         t.reader <- Some r;
         Obs.incr obs_escalations;
         r
@@ -799,7 +805,7 @@ let snapshot t =
 
 let fail fmt = Printf.ksprintf invalid_arg ("Engine.restore: " ^^ fmt)
 
-let restore blob =
+let restore ?(kernel = Dpienc.Scalar) blob =
   match
     let cur = Codec.cursor blob in
     let version = Codec.get_u8 cur in
@@ -909,7 +915,7 @@ let restore blob =
     Codec.finish cur;
     let budget = { max_plain_bytes; max_scan_ms } in
     let t =
-      create ~index ~tier ~budget ~direction ~prepared:(chunks, encs)
+      create ~index ~tier ~budget ~direction ~kernel ~prepared:(chunks, encs)
         ~mode ~salt0:(if mode = Dpienc.Probable then salt0 land lnot 1 else salt0)
         ~rules ~enc_chunk:(fun _ -> assert false) ()
     in
@@ -927,7 +933,9 @@ let restore blob =
     (match reader_seq with
      | None -> ()
      | Some seq ->
-       let r = Bbx_tls.Record.create ~key:(Option.get recovered) ~direction in
+       let r =
+         Bbx_tls.Record.create ~kernel ~key:(Option.get recovered) ~direction ()
+       in
        Bbx_tls.Record.set_seq r seq;
        t.reader <- Some r);
     Buffer.add_string t.plain plain;

@@ -46,7 +46,9 @@ type t
     messages a worker dequeues per lock acquisition.  [index] (default
     {!Bbx_detect.Detect.Hash}) selects the cipher-index backend every
     shard builds its engines with; [tier]/[budget] configure every
-    engine's escalation behaviour (see {!Shard.create}). *)
+    engine's escalation behaviour (see {!Shard.create}); [kernel]
+    (default [Scalar]) is the AES path every shard's engines use for
+    tier-3 record decryption, and the path imported connections adopt. *)
 val create :
   ?domains:int ->
   ?capacity:int ->
@@ -54,6 +56,7 @@ val create :
   ?index:Bbx_detect.Detect.index_backend ->
   ?tier:Bbx_rules.Classify.protocol_class ->
   ?budget:Engine.budget ->
+  ?kernel:Bbx_dpienc.Dpienc.aes_kernel ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   unit ->
@@ -199,6 +202,7 @@ val with_pool :
   ?index:Bbx_detect.Detect.index_backend ->
   ?tier:Bbx_rules.Classify.protocol_class ->
   ?budget:Engine.budget ->
+  ?kernel:Bbx_dpienc.Dpienc.aes_kernel ->
   mode:Bbx_dpienc.Dpienc.mode ->
   rules:Bbx_rules.Rule.t list ->
   (t -> 'a) ->

@@ -1,5 +1,5 @@
 let decrypt_records ~k_ssl ~direction records =
-  let reader = Record.create ~key:k_ssl ~direction in
+  let reader = Record.create ~key:k_ssl ~direction () in
   List.map (Record.open_ reader) records
 
 let decrypt_stream ~k_ssl ~direction records =

@@ -37,6 +37,14 @@ let fold_window s ~init ~f =
   Obs.add obs_bytes n;
   !acc
 
+(* For callers that scan windows themselves (the packed DPIEnc sender
+   rolls the window bytes instead of re-reading them): keep the obs
+   accounting identical to [fold_window]. *)
+let note_window_scan s =
+  let n = String.length s in
+  Obs.add obs_window_tokens (max 0 (n - token_len + 1));
+  Obs.add obs_bytes n
+
 let window s =
   List.rev
     (fold_window s ~init:[] ~f:(fun acc ~off ~len:_ ->

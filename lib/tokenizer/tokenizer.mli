@@ -47,6 +47,12 @@ val is_delimiter : char -> bool
 (** [fold_window s ~init ~f] folds [f] over every window offset. *)
 val fold_window : string -> init:'a -> f:('a -> off:int -> len:int -> 'a) -> 'a
 
+(** [note_window_scan s] records the observability counters that
+    [fold_window s] would, for callers that scan the windows themselves
+    (the packed DPIEnc sender rolls the window bytes instead of
+    re-reading them). *)
+val note_window_scan : string -> unit
+
 (** [fold_delimiter ?short_units s ~init ~f] folds [f] over the delimiter
     tokenizer's emission plan: full tokens in ascending offset order, then
     (with [short_units]) padded short units in ascending offset order. *)

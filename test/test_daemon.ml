@@ -218,8 +218,8 @@ let tiered_differential () =
       let sender = Dpienc.sender_create Dpienc.Probable s.Client.sc_key ~salt0:0 in
       (* two same-keyed writers so daemon and reference each get a
          well-sequenced copy of the record stream *)
-      let writer_d = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" in
-      let writer_r = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" in
+      let writer_d = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" () in
+      let writer_r = Record.create ~key:s.Client.sc_k_ssl ~direction:"client->server" () in
       let all = ref [] in
       List.iteri
         (fun i payload ->

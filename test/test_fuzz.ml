@@ -93,8 +93,8 @@ let record_fuzz =
       (QCheck.Test.make ~name:"record layer rejects every mutation" ~count:300
          QCheck.(pair small_nat (int_range 1 255))
          (fun (pos, delta) ->
-            let w = Bbx_tls.Record.create ~key:"fz" ~direction:"d" in
-            let r = Bbx_tls.Record.create ~key:"fz" ~direction:"d" in
+            let w = Bbx_tls.Record.create ~key:"fz" ~direction:"d" () in
+            let r = Bbx_tls.Record.create ~key:"fz" ~direction:"d" () in
             let sealed = Bbx_tls.Record.seal w "authentic payload" in
             let pos = pos mod String.length sealed in
             let bad =

@@ -374,7 +374,7 @@ let tiered_tests =
           pcre:\"/userquery=[0-9]+'/\"; sid:%d;)"
          sid)
   in
-  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" in
+  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" () in
   (* Ship one delivery the way Session does: the sealed record first (the
      escalation pump decrypts in stream order), then the token stream. *)
   let deliver e s writer payload =
@@ -557,7 +557,7 @@ let snapshot_tests =
           pcre:\"/userquery=[0-9]+'/\"; sid:%d;)"
          sid)
   in
-  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" in
+  let mk_writer () = Record.create ~key:k_ssl ~direction:"client->server" () in
   let details e =
     List.map (fun v -> (v.Engine.rule_idx, Engine.detail_name v.Engine.detail))
       (Engine.verdicts e)

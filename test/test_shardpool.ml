@@ -293,7 +293,7 @@ let migration_unit_tests =
         Shardpool.register pool ~conn_id:3 ~salt0:0 ~enc_chunk:(token_enc key)
           ~direction:"client->server";
         let s = sender_create Probable key ~salt0:0 in
-        let writer = Bbx_tls.Record.create ~key:k_ssl ~direction:"client->server" in
+        let writer = Bbx_tls.Record.create ~key:k_ssl ~direction:"client->server" () in
         let p = "GET /?userquery=42' HTTP/1.1" in
         Shardpool.record_stream pool ~conn_id:3
           (Bbx_tls.Record.seal writer ("T" ^ p));

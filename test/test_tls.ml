@@ -28,45 +28,45 @@ let handshake_tests =
 
 let record_tests =
   [ Alcotest.test_case "seal/open round trip" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"c2s" in
-        let r = Record.create ~key:"k" ~direction:"c2s" in
+        let w = Record.create ~key:"k" ~direction:"c2s" () in
+        let r = Record.create ~key:"k" ~direction:"c2s" () in
         List.iter
           (fun msg -> Alcotest.(check string) "msg" msg (Record.open_ r (Record.seal w msg)))
           [ "hello"; ""; String.make 5000 'x'; "final" ]);
     Alcotest.test_case "directions are independent" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"c2s" in
-        let r = Record.create ~key:"k" ~direction:"s2c" in
+        let w = Record.create ~key:"k" ~direction:"c2s" () in
+        let r = Record.create ~key:"k" ~direction:"s2c" () in
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () -> ignore (Record.open_ r (Record.seal w "x"))));
     Alcotest.test_case "tamper detected" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"d" in
-        let r = Record.create ~key:"k" ~direction:"d" in
+        let w = Record.create ~key:"k" ~direction:"d" () in
+        let r = Record.create ~key:"k" ~direction:"d" () in
         let rec_ = Record.seal w "attack at dawn" in
         let bad = String.mapi (fun i c -> if i = 14 then Char.chr (Char.code c lxor 1) else c) rec_ in
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () -> ignore (Record.open_ r bad)));
     Alcotest.test_case "replay detected" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"d" in
-        let r = Record.create ~key:"k" ~direction:"d" in
+        let w = Record.create ~key:"k" ~direction:"d" () in
+        let r = Record.create ~key:"k" ~direction:"d" () in
         let rec_ = Record.seal w "once" in
         Alcotest.(check string) "first ok" "once" (Record.open_ r rec_);
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () -> ignore (Record.open_ r rec_)));
     Alcotest.test_case "reorder detected" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"d" in
-        let r = Record.create ~key:"k" ~direction:"d" in
+        let w = Record.create ~key:"k" ~direction:"d" () in
+        let r = Record.create ~key:"k" ~direction:"d" () in
         let r1 = Record.seal w "one" in
         let r2 = Record.seal w "two" in
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () -> ignore (Record.open_ r r2));
         Alcotest.(check string) "in order still fine" "one" (Record.open_ r r1));
     Alcotest.test_case "wrong key detected" `Quick (fun () ->
-        let w = Record.create ~key:"k1" ~direction:"d" in
-        let r = Record.create ~key:"k2" ~direction:"d" in
+        let w = Record.create ~key:"k1" ~direction:"d" () in
+        let r = Record.create ~key:"k2" ~direction:"d" () in
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () -> ignore (Record.open_ r (Record.seal w "x"))));
     Alcotest.test_case "ciphertext hides plaintext" `Quick (fun () ->
-        let w = Record.create ~key:"k" ~direction:"d" in
+        let w = Record.create ~key:"k" ~direction:"d" () in
         let rec_ = Record.seal w "supersecretpayload" in
         let contains hay needle =
           let nh = String.length hay and nn = String.length needle in
@@ -74,18 +74,43 @@ let record_tests =
           go 0
         in
         Alcotest.(check bool) "hidden" false (contains rec_ "supersecret"));
+    Alcotest.test_case "bitsliced kernel seals byte-identical records" `Quick
+      (fun () ->
+        (* same key + direction, one writer per kernel: every sealed record
+           must match byte for byte — including payloads longer than one
+           bitsliced sweep (63 blocks = 1008 bytes) and the empty record *)
+        let ws = Record.create ~kernel:Aes_bs.Scalar ~key:"k" ~direction:"d" () in
+        let wb = Record.create ~kernel:Aes_bs.Bitsliced ~key:"k" ~direction:"d" () in
+        List.iter
+          (fun msg ->
+            Alcotest.(check string) "sealed bytes" (Record.seal ws msg)
+              (Record.seal wb msg))
+          [ "hello"; ""; String.make 1009 'x'; String.make 4096 '\x7f';
+            String.init 2000 (fun i -> Char.chr (i land 0xff)); "tail" ]);
+    Alcotest.test_case "kernels interoperate across the wire" `Quick (fun () ->
+        (* scalar writer -> bitsliced reader and the reverse: the kernel is
+           a per-host choice, not a protocol parameter *)
+        let ws = Record.create ~kernel:Aes_bs.Scalar ~key:"k" ~direction:"d" () in
+        let rb = Record.create ~kernel:Aes_bs.Bitsliced ~key:"k" ~direction:"d" () in
+        let wb = Record.create ~kernel:Aes_bs.Bitsliced ~key:"k" ~direction:"d" () in
+        let rs = Record.create ~kernel:Aes_bs.Scalar ~key:"k" ~direction:"d" () in
+        List.iter
+          (fun msg ->
+            Alcotest.(check string) "s->b" msg (Record.open_ rb (Record.seal ws msg));
+            Alcotest.(check string) "b->s" msg (Record.open_ rs (Record.seal wb msg)))
+          [ "one"; String.make 3000 'y'; "three" ]);
   ]
 
 let ssldump_tests =
   [ Alcotest.test_case "decrypts a recorded stream" `Quick (fun () ->
         let keys = Handshake.derive_keys "master" in
-        let w = Record.create ~key:keys.Handshake.k_ssl ~direction:"c2s" in
+        let w = Record.create ~key:keys.Handshake.k_ssl ~direction:"c2s" () in
         let records = List.map (Record.seal w) [ "GET /a"; "GET /b"; "GET /c" ] in
         Alcotest.(check string) "stream" "GET /aGET /bGET /c"
           (Ssldump.decrypt_stream ~k_ssl:keys.Handshake.k_ssl ~direction:"c2s" records));
     Alcotest.test_case "wrong key fails" `Quick (fun () ->
         let keys = Handshake.derive_keys "master" in
-        let w = Record.create ~key:keys.Handshake.k_ssl ~direction:"c2s" in
+        let w = Record.create ~key:keys.Handshake.k_ssl ~direction:"c2s" () in
         let records = [ Record.seal w "data" ] in
         Alcotest.check_raises "raises" Record.Auth_failure
           (fun () ->
